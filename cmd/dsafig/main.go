@@ -1,0 +1,81 @@
+// Command dsafig regenerates the figures and tables of Randell &
+// Kuehner, "Dynamic Storage Allocation Systems" (SOSP 1967 / CACM May
+// 1968) from the simulators in this repository.
+//
+// Usage:
+//
+//	dsafig [experiment ...]
+//
+// With no arguments every experiment runs in order. Experiment names:
+// fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsa/internal/experiments"
+	"dsa/internal/metrics"
+)
+
+var byName = map[string]func() (*metrics.Table, error){
+	"fig1": experiments.Fig1ArtificialContiguity,
+	"fig2": experiments.Fig2SimpleMapping,
+	"fig3": experiments.Fig3SpaceTime,
+	"fig4": experiments.Fig4TwoLevelMapping,
+	"t1":   experiments.T1Replacement,
+	"t2":   experiments.T2Placement,
+	"t3":   experiments.T3UnitSize,
+	"t4":   experiments.T4Machines,
+	"t5":   experiments.T5Predictive,
+	"t6":   experiments.T6DualPageSize,
+	"t7":   experiments.T7NameSpace,
+	"t8":   experiments.T8Overlap,
+	"t8b":  experiments.T8OverlapTraced,
+	"a1":   experiments.A1ReserveFrames,
+	"a2":   experiments.A2Coalescing,
+	"a3":   experiments.A3Compaction,
+	"a4":   experiments.A4WaldUtilization,
+	"a5":   experiments.A5TLBFlush,
+	"a6":   experiments.A6SegmentedPaging,
+	"t0":   experiments.T0Overlay,
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dsafig [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		tables, err := experiments.All()
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		return
+	}
+	for _, name := range names {
+		fn, ok := byName[strings.ToLower(name)]
+		if !ok {
+			fail(fmt.Errorf("unknown experiment %q", name))
+		}
+		t, err := fn()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dsafig:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,192 @@
+// Command dsasim runs one of the appendix machines (or the authors'
+// recommended configuration) against a chosen workload and prints a
+// report: fetches, space-time accounting, fragmentation and timing.
+//
+// Usage:
+//
+//	dsasim -machine atlas -workload workingset -refs 20000
+//	dsasim -machine b5000 -workload segments -refs 50000 -segs 64
+//	dsasim -machine recommended -workload segments
+//
+// Machines: atlas m44 b5000 rice b8500 multics m67 recommended.
+// Workloads: workingset sequential random loop matrix segments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsa/internal/core"
+	"dsa/internal/machine"
+	"dsa/internal/metrics"
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+	"dsa/internal/workload"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "atlas", "machine: atlas|m44|b5000|rice|b8500|multics|m67|recommended")
+		workloadKin = flag.String("workload", "workingset", "workload: workingset|sequential|random|loop|matrix|segments")
+		refs        = flag.Int("refs", 20000, "number of references")
+		segs        = flag.Int("segs", 32, "segment count (segments workload)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		scale       = flag.Int("scale", 2, "capacity scale divisor (1 = historical sizes)")
+		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
+	)
+	flag.Parse()
+
+	m, err := buildMachine(*machineName, *scale)
+	if err != nil {
+		fail(err)
+	}
+	var rep *core.Report
+	if *traceFile != "" {
+		rep, err = runTraceFile(m, *traceFile)
+	} else {
+		rep, err = runWorkload(m, strings.ToLower(*workloadKin), *refs, *segs, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+	printReport(m, rep)
+}
+
+// runTraceFile replays a trace recorded by dsatrace (or any tool
+// emitting the trace text format).
+func runTraceFile(m *machine.Machine, path string) (*core.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunLinear(tr)
+}
+
+func buildMachine(name string, scale int) (*machine.Machine, error) {
+	switch strings.ToLower(name) {
+	case "atlas":
+		return machine.Atlas(scale)
+	case "m44":
+		return machine.M44(scale)
+	case "b5000":
+		return machine.B5000(scale)
+	case "rice":
+		return machine.Rice(scale)
+	case "b8500":
+		return machine.B8500(scale)
+	case "multics":
+		return machine.Multics(scale)
+	case "m67":
+		return machine.M67(scale)
+	case "recommended":
+		sys, err := core.New(core.Recommended(65536/scale, 1048576/scale, 1024))
+		if err != nil {
+			return nil, err
+		}
+		return &machine.Machine{
+			Name:     "Recommended",
+			Appendix: "§Basic Characteristics — Summary",
+			Notes:    "symbolic segments; predictions; mapping only for large segments; nonuniform units",
+			System:   sys,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func runWorkload(m *machine.Machine, kind string, refs, segs int, seed uint64) (*core.Report, error) {
+	paged := m.System.Characteristics().UniformUnits
+	switch kind {
+	case "segments":
+		w := machine.CommonWorkload(seed, segs, refs)
+		return m.RunWorkload(w)
+	case "sequential":
+		return m.RunLinear(linearCapped(m, workload.Sequential(32*1024, 1+refs/(32*1024)), paged))
+	case "random":
+		extent := linearExtent(m, paged)
+		return m.RunLinear(workload.UniformRandom(sim.NewRNG(seed), extent, refs))
+	case "loop":
+		return m.RunLinear(workload.Loop(24, 512, refs/24+1))
+	case "matrix":
+		return m.RunLinear(workload.Matrix(128, 128, true))
+	case "workingset":
+		extent := linearExtent(m, paged)
+		tr, err := workload.WorkingSet(sim.NewRNG(seed), workload.WorkloadWS(extent, refs))
+		if err != nil {
+			return nil, err
+		}
+		return m.RunLinear(tr)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}
+
+// linearExtent picks a linear name-space extent suitable for the
+// machine: a large share of the virtual space for paged machines
+// (exercising the mapping), a fraction of core for segment machines
+// (which hold one implicit contiguous segment).
+func linearExtent(m *machine.Machine, paged bool) uint64 {
+	ext := m.System.LinearExtent()
+	if paged {
+		if ext > 64*1024 {
+			return 64 * 1024
+		}
+		return ext
+	}
+	return ext / 4
+}
+
+func linearCapped(m *machine.Machine, tr trace.Trace, paged bool) trace.Trace {
+	limit := linearExtent(m, paged)
+	out := make(trace.Trace, 0, len(tr))
+	for _, r := range tr {
+		if r.Name < limit {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func printReport(m *machine.Machine, rep *core.Report) {
+	fmt.Printf("%s (%s): %s\n", m.Name, m.Appendix, m.Notes)
+	fmt.Printf("characteristics: %s\n\n", rep.Char)
+	t := &metrics.Table{Header: []string{"measure", "value"}}
+	t.AddRow("elapsed (core cycles)", rep.Elapsed)
+	if rep.Paging != nil {
+		t.AddRow("references", rep.Paging.Refs)
+		t.AddRow("page faults", rep.Paging.Faults)
+		t.AddRow("page-ins", rep.Paging.PageIns)
+		t.AddRow("page-outs", rep.Paging.PageOuts)
+		t.AddRow("writebacks", rep.Paging.Writebacks)
+		t.AddRow("prefetches", rep.Paging.Prefetches)
+		t.AddRow("advice evictions", rep.Paging.AdviceEvictions)
+	}
+	if rep.SegStats != nil {
+		t.AddRow("segment accesses", rep.SegStats.Accesses)
+		t.AddRow("segment fetches", rep.SegStats.SegFaults)
+		t.AddRow("segment evictions", rep.SegStats.Evictions)
+		t.AddRow("compactions", rep.SegStats.Compactions)
+		t.AddRow("words moved packing", rep.SegStats.MovedWords)
+	}
+	t.AddRow("space-time active", rep.SpaceTime.ActiveArea)
+	t.AddRow("space-time waiting", rep.SpaceTime.WaitingArea)
+	t.AddRow("wait fraction", rep.SpaceTime.WaitFraction())
+	if rep.Frag != nil {
+		t.AddRow("heap utilization", rep.Frag.Utilization())
+		t.AddRow("external fragmentation", rep.Frag.ExternalFrag())
+		t.AddRow("internal fragmentation", rep.Frag.InternalFrag())
+	}
+	fmt.Println(t)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dsasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command dsatrace generates, inspects and converts reference traces
+// in the repository's text format (see internal/trace.Encode).
+//
+// Usage:
+//
+//	dsatrace gen  -kind workingset -extent 32768 -refs 20000 > t.trace
+//	dsatrace gen  -kind loop -pages 24 -passes 50 > loop.trace
+//	dsatrace stat < t.trace
+//	dsatrace advise -phase 2500 -span 2048 < t.trace > advised.trace
+//
+// Subcommands:
+//
+//	gen     generate a trace to stdout
+//	stat    summarize a trace from stdin
+//	advise  interleave accurate WillNeed/WontNeed advice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+	"dsa/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "stat":
+		cmdStat()
+	case "advise":
+		cmdAdvise(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dsatrace gen|stat|advise [flags]")
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		kind   = fs.String("kind", "workingset", "workingset|sequential|random|loop|matrix")
+		extent = fs.Uint64("extent", 32768, "name-space extent in words")
+		refs   = fs.Int("refs", 20000, "reference count")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		pages  = fs.Int("pages", 24, "loop pages")
+		psize  = fs.Uint64("pagesize", 512, "loop page size")
+		passes = fs.Int("passes", 10, "loop/sequential passes")
+		rows   = fs.Int("rows", 128, "matrix rows")
+		cols   = fs.Int("cols", 128, "matrix cols")
+		byCols = fs.Bool("bycols", false, "matrix column-order traversal")
+	)
+	_ = fs.Parse(args)
+
+	var tr trace.Trace
+	var err error
+	switch *kind {
+	case "workingset":
+		tr, err = workload.WorkingSet(sim.NewRNG(*seed), workload.WorkloadWS(*extent, *refs))
+	case "sequential":
+		tr = workload.Sequential(*extent, *passes)
+	case "random":
+		tr = workload.UniformRandom(sim.NewRNG(*seed), *extent, *refs)
+	case "loop":
+		tr = workload.Loop(*pages, *psize, *passes)
+	case "matrix":
+		tr = workload.Matrix(*rows, *cols, *byCols)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := trace.Encode(os.Stdout, tr); err != nil {
+		fail(err)
+	}
+}
+
+func cmdStat() {
+	tr, err := trace.Decode(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("events:         %d\n", len(tr))
+	fmt.Printf("reads:          %d\n", tr.Reads())
+	fmt.Printf("writes:         %d\n", tr.Writes())
+	fmt.Printf("advises:        %d\n", tr.Advises())
+	fmt.Printf("distinct names: %d\n", len(tr.Names()))
+	fmt.Printf("max name:       %d\n", tr.MaxName())
+	for _, ps := range []uint64{64, 256, 512, 1024} {
+		s := tr.PageString(ps)
+		fmt.Printf("page string (%4d-word pages): %d transitions\n", ps, len(s))
+	}
+}
+
+func cmdAdvise(args []string) {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	var (
+		phase = fs.Int("phase", 2500, "references per phase")
+		span  = fs.Uint64("span", 2048, "advised span in words")
+	)
+	_ = fs.Parse(args)
+	tr, err := trace.Decode(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	if err := trace.Encode(os.Stdout, workload.WithAdvice(tr, *phase, *span)); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dsatrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Package dsa is a Go reproduction of B. Randell and C. J. Kuehner,
+// "Dynamic Storage Allocation Systems" (ACM Symposium on Operating
+// System Principles, Gatlinburg 1967; CACM 11(5), May 1968).
+//
+// The paper classifies hardware-assisted dynamic storage allocation
+// systems along four largely independent characteristics — name space,
+// predictive information, artificial contiguity, and uniformity of the
+// unit of allocation — plus a triple of strategies (fetch, placement,
+// replacement). This package is the public facade over the full
+// implementation:
+//
+//   - NewSystem composes a runnable storage allocation system from a
+//     Config choosing one value per characteristic;
+//   - Recommended returns the configuration the authors favor
+//     (symbolic segments, predictions accepted, mapping only for large
+//     segments, nonuniform units);
+//   - Machines builds the seven appendix systems (ATLAS, IBM M44/44X,
+//     Burroughs B5000, Rice, Burroughs B8500, MULTICS, IBM 360/67);
+//   - the workload constructors generate the reference strings and
+//     allocation request streams the experiments run on.
+//
+// Lower-level building blocks (allocators, replacement policies,
+// mapping hardware, the storage hierarchy) live in the internal
+// packages and are exercised through System; the examples/ directory
+// shows typical use, and cmd/dsafig regenerates every figure and table
+// of the paper's evaluation material.
+package dsa
+
+import (
+	"io"
+
+	"dsa/internal/addr"
+	"dsa/internal/core"
+	"dsa/internal/machine"
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+	"dsa/internal/workload"
+)
+
+// System is a runnable dynamic storage allocation system.
+type System = core.System
+
+// Config selects the four characteristics, the machine shape, and the
+// strategy triple of a System.
+type Config = core.Config
+
+// Characteristics is the paper's four-way classification of a system.
+type Characteristics = core.Characteristics
+
+// Report summarizes a system run: space-time product, fault and
+// fragmentation accounting, elapsed simulated time.
+type Report = core.Report
+
+// Machine is one of the paper's appendix systems, wrapped with its
+// historical identity.
+type Machine = machine.Machine
+
+// Trace is a reference string: the input to System.RunLinear.
+type Trace = trace.Trace
+
+// Ref is one trace event (read, write, or advisory directive).
+type Ref = trace.Ref
+
+// Name is a name in a program's name space.
+type Name = addr.Name
+
+// Time is simulated time in ticks (core cycles of the modeled machine).
+type Time = sim.Time
+
+// NewSystem builds a system from a configuration.
+func NewSystem(cfg Config) (*System, error) { return core.New(cfg) }
+
+// Recommended returns the authors' favored configuration: a
+// symbolically segmented name space, predictions accepted, artificial
+// contiguity only where essential (large segments), and nonuniform
+// units of allocation. largeWords sets the routing threshold; pass 0
+// for the default of 1024.
+func Recommended(coreWords, backingWords, largeWords int) Config {
+	return core.Recommended(coreWords, backingWords, largeWords)
+}
+
+// Machines builds all seven appendix machines at the given scale
+// divisor (1 = the historical capacities).
+func Machines(scale int) ([]*Machine, error) { return machine.All(scale) }
+
+// MPConfig drives the trace-level multiprogramming simulation: real
+// programs on real pagers sharing one core, the processor switched to
+// another program whenever one blocks on a page fetch.
+type MPConfig = core.MPConfig
+
+// MPResult reports a multiprogrammed run.
+type MPResult = core.MPResult
+
+// RunMultiprogrammed runs traces to completion under a run-until-fault
+// scheduler and reports processor utilization (the paper's overlap
+// argument, experiment T8b).
+func RunMultiprogrammed(cfg MPConfig) (MPResult, error) {
+	return core.RunMultiprogrammed(cfg)
+}
+
+// EncodeTrace writes a trace in the repository's text format.
+func EncodeTrace(w io.Writer, tr Trace) error { return trace.Encode(w, tr) }
+
+// DecodeTrace reads a trace in the repository's text format.
+func DecodeTrace(r io.Reader) (Trace, error) { return trace.Decode(r) }
+
+// Atlas builds the Ferranti ATLAS (Appendix A.1).
+func Atlas(scale int) (*Machine, error) { return machine.Atlas(scale) }
+
+// M44 builds the IBM M44/44X (Appendix A.2).
+func M44(scale int) (*Machine, error) { return machine.M44(scale) }
+
+// B5000 builds the Burroughs B5000 (Appendix A.3).
+func B5000(scale int) (*Machine, error) { return machine.B5000(scale) }
+
+// Rice builds the Rice University computer (Appendix A.4).
+func Rice(scale int) (*Machine, error) { return machine.Rice(scale) }
+
+// B8500 builds the Burroughs B8500 (Appendix A.5).
+func B8500(scale int) (*Machine, error) { return machine.B8500(scale) }
+
+// Multics builds MULTICS on the GE 645 (Appendix A.6).
+func Multics(scale int) (*Machine, error) { return machine.Multics(scale) }
+
+// M67 builds the IBM System/360 Model 67 (Appendix A.7).
+func M67(scale int) (*Machine, error) { return machine.M67(scale) }
+
+// WorkingSetTrace generates a phase-locality reference string: the
+// regime in which demand paging is effective.
+func WorkingSetTrace(seed, extent uint64, refs int) (Trace, error) {
+	return workload.WorkingSet(sim.NewRNG(seed), workload.WorkloadWS(extent, refs))
+}
+
+// SequentialTrace scans [0, extent) in order, `passes` times.
+func SequentialTrace(extent uint64, passes int) Trace {
+	return workload.Sequential(extent, passes)
+}
+
+// LoopTrace cycles over `pages` pages of pageSize words — the classic
+// adversary of LRU and the showcase of the ATLAS learning policy.
+func LoopTrace(pages int, pageSize uint64, passes int) Trace {
+	return workload.Loop(pages, pageSize, passes)
+}
+
+// WithAdvice interleaves accurate WillNeed/WontNeed directives into a
+// phase-structured trace (the M44/44X predictive instructions).
+func WithAdvice(tr Trace, phaseLen int, span uint64) Trace {
+	return workload.WithAdvice(tr, phaseLen, span)
+}
+
+// CommonWorkload generates the machine-independent segmented workload
+// used to compare the appendix machines.
+func CommonWorkload(seed uint64, nsegs, refs int) machine.SegWorkload {
+	return machine.CommonWorkload(seed, nsegs, refs)
+}

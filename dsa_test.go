@@ -1,0 +1,98 @@
+package dsa_test
+
+import (
+	"testing"
+
+	"dsa"
+)
+
+func TestFacadeRecommendedSystem(t *testing.T) {
+	sys, err := dsa.NewSystem(dsa.Recommended(16384, 1<<18, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := sys.Characteristics()
+	if ch.NameSpace != dsa.SymbolicSegmentedSpace {
+		t.Errorf("name space = %v", ch.NameSpace)
+	}
+	if !ch.Predictive || !ch.ArtificialContiguity || ch.UniformUnits {
+		t.Errorf("characteristics = %+v", ch)
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	ms, err := dsa.Machines(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 7 {
+		t.Fatalf("machines = %d, want 7", len(ms))
+	}
+}
+
+func TestFacadeTraces(t *testing.T) {
+	if tr := dsa.SequentialTrace(100, 2); len(tr) != 200 {
+		t.Errorf("sequential len = %d", len(tr))
+	}
+	if tr := dsa.LoopTrace(4, 64, 3); len(tr) != 12 {
+		t.Errorf("loop len = %d", len(tr))
+	}
+	tr, err := dsa.WorkingSetTrace(1, 4096, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Error("empty working-set trace")
+	}
+	adv := dsa.WithAdvice(tr, 125, 256)
+	if adv.Advises() == 0 {
+		t.Error("no advice interleaved")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	m, err := dsa.Atlas(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := dsa.SequentialTrace(4096, 1)
+	rep, err := m.RunLinear(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Paging == nil || rep.Paging.Faults == 0 {
+		t.Error("no faults on first-touch scan")
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	for name, mk := range map[string]func(*dsa.RNG) dsa.ReplacementPolicy{
+		"lru": dsa.LRUPolicy, "fifo": dsa.FIFOPolicy, "clock": dsa.ClockPolicy,
+		"learning": dsa.LearningPolicy,
+	} {
+		if p := mk(nil); p == nil {
+			t.Errorf("%s: nil policy", name)
+		}
+	}
+	if dsa.FirstFit() == nil || dsa.BestFit() == nil || dsa.TwoEnded(10) == nil || dsa.RiceChain() == nil {
+		t.Error("nil placement policy")
+	}
+}
+
+func TestFacadeCommonWorkload(t *testing.T) {
+	w := dsa.CommonWorkload(1, 16, 500)
+	if len(w.Segments) != 16 || len(w.Refs) != 500 {
+		t.Errorf("workload shape %d/%d", len(w.Segments), len(w.Refs))
+	}
+	m, err := dsa.B5000(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SegStats == nil || rep.SegStats.Creates != 16 {
+		t.Errorf("seg stats = %+v", rep.SegStats)
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: build the paper's recommended storage allocation system,
+// run a mixed segment workload through it, and print the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsa"
+)
+
+func main() {
+	// The authors' favored configuration: symbolic segments,
+	// predictions accepted, artificial contiguity only for large
+	// segments, nonuniform units for everything else.
+	sys, err := dsa.NewSystem(dsa.Recommended(65536, 1<<20, 1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A program's storage: a few small procedure segments, one large
+	// array. The small ones live request-sized in the heap; the array
+	// is paged behind the mapping device.
+	for _, seg := range []struct {
+		name   string
+		extent dsa.Name
+	}{
+		{"main-proc", 200},
+		{"symbol-table", 600},
+		{"io-buffers", 384},
+		{"matrix", 64 * 1024},
+	} {
+		if err := sys.Create(seg.name, seg.extent); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Touch the code and table densely, the matrix sparsely (row sums
+	// of a 256x256 row-major matrix).
+	for pass := 0; pass < 3; pass++ {
+		for off := dsa.Name(0); off < 200; off += 4 {
+			must(sys.Touch("main-proc", off, false))
+		}
+		for off := dsa.Name(0); off < 600; off += 2 {
+			must(sys.Touch("symbol-table", off, pass == 0))
+		}
+	}
+	for row := 0; row < 256; row++ {
+		for col := 0; col < 256; col += 16 {
+			must(sys.Touch("matrix", dsa.Name(row*256+col), false))
+		}
+	}
+
+	rep := sys.Report()
+	fmt.Printf("system: %s\n", rep.Char)
+	fmt.Printf("elapsed: %d core cycles\n", rep.Elapsed)
+	fmt.Printf("heap segments: %d created, %d fetches, utilization %.2f, external frag %.2f\n",
+		rep.SegStats.Creates, rep.SegStats.SegFaults,
+		rep.Frag.Utilization(), rep.Frag.ExternalFrag())
+	fmt.Printf("paged region:  %d faults, %d page-ins for the large segment\n",
+		rep.Paging.Faults, rep.Paging.PageIns)
+	fmt.Printf("space-time:    %d word-ticks (%.1f%% spent waiting for fetches)\n",
+		rep.SpaceTime.Total(), 100*rep.SpaceTime.WaitFraction())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// spacetime reproduces Figure 3 interactively: a working-set program
+// under demand paging, with the page-fetch time swept from drum-fast to
+// disk-slow. It prints the space-time product split into its active and
+// waiting parts, plus an ASCII rendition of the figure's shaded area.
+//
+//	go run ./examples/spacetime
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dsa"
+)
+
+func main() {
+	tr, err := dsa.WorkingSetTrace(42, 64*512, 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 3 — storage utilization with demand paging")
+	fmt.Println("(working-set program, 8 frames of 512 words)")
+	fmt.Println()
+	fmt.Printf("%-12s %-8s %-14s %-14s %s\n",
+		"fetch time", "faults", "active w·t", "waiting w·t", "waiting share")
+	for _, access := range []dsa.Time{10, 300, 3000, 30000} {
+		sys, err := dsa.NewSystem(dsa.Config{
+			Char: dsa.Characteristics{
+				NameSpace:            dsa.LinearSpace,
+				ArtificialContiguity: true,
+				UniformUnits:         true,
+			},
+			CoreWords: 8 * 512, CoreAccess: 1,
+			BackingWords: 64 * 512, BackingKind: dsa.Drum,
+			BackingAccess: access, BackingWordTime: 2,
+			PageSize: 512, VirtualWords: 64 * 512,
+			Replacement: dsa.LRUPolicy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.RunLinear(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := strings.Repeat("#", int(40*rep.SpaceTime.WaitFraction()))
+		fmt.Printf("%-12d %-8d %-14d %-14d %5.1f%% %s\n",
+			access, rep.Paging.Faults,
+			rep.SpaceTime.ActiveArea, rep.SpaceTime.WaitingArea,
+			100*rep.SpaceTime.WaitFraction(), bar)
+	}
+	fmt.Println()
+	fmt.Println("\"If page fetching is a slow process, a large part of the")
+	fmt.Println(" space-time product for a program may well be due to space")
+	fmt.Println(" occupied while the program is inactive awaiting further pages.\"")
+}

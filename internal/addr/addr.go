@@ -1,0 +1,146 @@
+// Package addr defines names, addresses, and the three kinds of name
+// space the paper distinguishes (its first basic characteristic):
+//
+//   - linear name spaces, where permissible names are the integers
+//     0..n, optionally mapped through a relocation/limit register pair;
+//   - linearly segmented name spaces, where a fixed group of the most
+//     significant bits of a name is the segment number (IBM 360/67,
+//     MULTICS hardware);
+//   - symbolically segmented name spaces, where segment names are
+//     unordered symbols with no arithmetic between them (Burroughs
+//     B5000).
+//
+// The distinction is purely about how a program specifies the item to
+// access; it is independent of the storage allocation machinery
+// underneath, which is why this package knows nothing about mapping or
+// paging.
+package addr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Name is a name in a program's name space: what the program writes.
+type Name uint64
+
+// Address is an absolute physical working-storage address (word index).
+type Address uint64
+
+// SegID identifies a segment within a segmented name space. For a
+// linearly segmented space it is the numeric segment field of the name;
+// for a symbolic space it is an opaque handle issued by the dictionary.
+type SegID uint32
+
+// ErrLimit reports a name outside the bounds of its (segment's) extent.
+var ErrLimit = errors.New("addr: name exceeds limit")
+
+// ErrUnknownSegment reports a reference to a segment that does not
+// exist in the name space.
+var ErrUnknownSegment = errors.New("addr: unknown segment")
+
+// ErrDictionaryFull reports that a linear segment dictionary has no
+// room for a new segment name (name-space fragmentation, which the
+// paper notes symbolic segmentation avoids).
+var ErrDictionaryFull = errors.New("addr: segment dictionary full")
+
+// Kind enumerates the name-space taxonomy of the paper.
+type Kind int
+
+const (
+	// LinearSpace is a single linear name space 0..n.
+	LinearSpace Kind = iota
+	// LinearSegmentedSpace splits each name into (segment, word) bit
+	// fields; segment names are ordered integers.
+	LinearSegmentedSpace
+	// SymbolicSegmentedSpace names segments with unordered symbols.
+	SymbolicSegmentedSpace
+)
+
+// String names the kind as used in the paper.
+func (k Kind) String() string {
+	switch k {
+	case LinearSpace:
+		return "linear"
+	case LinearSegmentedSpace:
+		return "linearly segmented"
+	case SymbolicSegmentedSpace:
+		return "symbolically segmented"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Linear is a linear name space of a fixed extent. Its only check is
+// the limit comparison; translation to physical addresses is done by
+// whatever mapping sits behind it.
+type Linear struct {
+	// Extent is the number of permissible names: names are 0..Extent-1.
+	Extent Name
+}
+
+// Check validates that n lies within the space.
+func (l Linear) Check(n Name) error {
+	if n >= l.Extent {
+		return fmt.Errorf("%w: name %d, extent %d", ErrLimit, n, l.Extent)
+	}
+	return nil
+}
+
+// RelocationLimit is the classic relocation register / limit register
+// pair: every name is checked against the limit and then has the
+// relocation base added to produce an absolute address. It provides a
+// linear name space smaller than (and positioned anywhere within) the
+// absolute address space.
+type RelocationLimit struct {
+	// Base is the relocation register: the absolute address of name 0.
+	Base Address
+	// Limit is the limit register: names must be < Limit.
+	Limit Name
+}
+
+// Map checks n against the limit and relocates it.
+func (r RelocationLimit) Map(n Name) (Address, error) {
+	if n >= r.Limit {
+		return 0, fmt.Errorf("%w: name %d, limit %d", ErrLimit, n, r.Limit)
+	}
+	return r.Base + Address(n), nil
+}
+
+// LinearSegmented is a linearly segmented name space: a sequence of
+// bits at the most significant end of the name representation is the
+// segment name (as in the IBM 360/67 and the MULTICS hardware). The
+// split is fixed by WordBits.
+type LinearSegmented struct {
+	// SegBits is the width of the segment-number field.
+	SegBits uint
+	// WordBits is the width of the word-within-segment field.
+	WordBits uint
+}
+
+// Split decomposes a name into (segment, word-within-segment).
+func (s LinearSegmented) Split(n Name) (SegID, Name) {
+	word := n & ((1 << s.WordBits) - 1)
+	seg := (n >> s.WordBits) & ((1 << s.SegBits) - 1)
+	return SegID(seg), word
+}
+
+// Join composes a name from segment number and word offset. It returns
+// an error if either field overflows its bit width.
+func (s LinearSegmented) Join(seg SegID, word Name) (Name, error) {
+	if uint64(seg) >= 1<<s.SegBits {
+		return 0, fmt.Errorf("%w: segment %d exceeds %d-bit field", ErrLimit, seg, s.SegBits)
+	}
+	if uint64(word) >= 1<<s.WordBits {
+		return 0, fmt.Errorf("%w: word offset %d exceeds %d-bit field", ErrLimit, word, s.WordBits)
+	}
+	return Name(seg)<<s.WordBits | word, nil
+}
+
+// MaxSegments reports how many distinct segment names exist. The paper
+// notes this is the cost of compressing (segment, word) into the
+// standard name representation: the 24-bit 360/67 had only 16.
+func (s LinearSegmented) MaxSegments() int { return 1 << s.SegBits }
+
+// MaxSegmentExtent reports the largest possible segment, in words.
+func (s LinearSegmented) MaxSegmentExtent() Name { return 1 << s.WordBits }

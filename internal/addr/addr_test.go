@@ -1,0 +1,272 @@
+package addr
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		LinearSpace:            "linear",
+		LinearSegmentedSpace:   "linearly segmented",
+		SymbolicSegmentedSpace: "symbolically segmented",
+		Kind(42):               "Kind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind %d String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestLinearCheck(t *testing.T) {
+	l := Linear{Extent: 100}
+	if err := l.Check(0); err != nil {
+		t.Errorf("Check(0) = %v", err)
+	}
+	if err := l.Check(99); err != nil {
+		t.Errorf("Check(99) = %v", err)
+	}
+	if err := l.Check(100); !errors.Is(err, ErrLimit) {
+		t.Errorf("Check(100) = %v, want ErrLimit", err)
+	}
+}
+
+func TestRelocationLimit(t *testing.T) {
+	r := RelocationLimit{Base: 1000, Limit: 50}
+	a, err := r.Map(10)
+	if err != nil || a != 1010 {
+		t.Fatalf("Map(10) = %d, %v, want 1010, nil", a, err)
+	}
+	if _, err := r.Map(50); !errors.Is(err, ErrLimit) {
+		t.Errorf("Map(50) = %v, want ErrLimit", err)
+	}
+}
+
+func TestLinearSegmentedSplitJoin(t *testing.T) {
+	// 360/67 24-bit style: 4 segment bits, 20 word bits.
+	s := LinearSegmented{SegBits: 4, WordBits: 20}
+	if s.MaxSegments() != 16 {
+		t.Errorf("MaxSegments = %d, want 16", s.MaxSegments())
+	}
+	if s.MaxSegmentExtent() != 1<<20 {
+		t.Errorf("MaxSegmentExtent = %d, want %d", s.MaxSegmentExtent(), 1<<20)
+	}
+	n, err := s.Join(5, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, word := s.Split(n)
+	if seg != 5 || word != 12345 {
+		t.Fatalf("Split(Join(5,12345)) = (%d,%d)", seg, word)
+	}
+}
+
+func TestLinearSegmentedJoinOverflow(t *testing.T) {
+	s := LinearSegmented{SegBits: 4, WordBits: 8}
+	if _, err := s.Join(16, 0); !errors.Is(err, ErrLimit) {
+		t.Errorf("Join(16,0) = %v, want ErrLimit", err)
+	}
+	if _, err := s.Join(0, 256); !errors.Is(err, ErrLimit) {
+		t.Errorf("Join(0,256) = %v, want ErrLimit", err)
+	}
+}
+
+func TestLinearSegmentedSplitJoinProperty(t *testing.T) {
+	s := LinearSegmented{SegBits: 12, WordBits: 18} // MULTICS-like
+	f := func(seg uint16, word uint32) bool {
+		sg := SegID(seg % (1 << 12))
+		w := Name(word % (1 << 18))
+		n, err := s.Join(sg, w)
+		if err != nil {
+			return false
+		}
+		gs, gw := s.Split(n)
+		return gs == sg && gw == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolicDictionary(t *testing.T) {
+	d := NewSymbolicDictionary()
+	a := d.Declare("alpha")
+	b := d.Declare("beta")
+	if a == b {
+		t.Fatal("distinct symbols share a handle")
+	}
+	if again := d.Declare("alpha"); again != a {
+		t.Errorf("re-Declare returned %d, want %d", again, a)
+	}
+	id, err := d.Lookup("beta")
+	if err != nil || id != b {
+		t.Errorf("Lookup(beta) = %d, %v", id, err)
+	}
+	if _, err := d.Lookup("gamma"); !errors.Is(err, ErrUnknownSegment) {
+		t.Errorf("Lookup(gamma) err = %v, want ErrUnknownSegment", err)
+	}
+	sym, ok := d.Symbol(a)
+	if !ok || sym != "alpha" {
+		t.Errorf("Symbol(%d) = %q, %v", a, sym, ok)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if err := d.Remove("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("alpha"); !errors.Is(err, ErrUnknownSegment) {
+		t.Errorf("double Remove err = %v, want ErrUnknownSegment", err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("after Remove Len = %d, want 1", d.Len())
+	}
+}
+
+func TestSymbolicDictionaryNoFragmentation(t *testing.T) {
+	// Churn: symbolic dictionaries never fail while capacity (here
+	// unbounded) allows — there is no contiguity requirement at all.
+	d := NewSymbolicDictionary()
+	for i := 0; i < 1000; i++ {
+		d.Declare(string(rune('a' + i%26)))
+		if i%3 == 0 {
+			_ = d.Remove(string(rune('a' + i%26)))
+		}
+	}
+	if d.Len() == 0 {
+		t.Fatal("dictionary unexpectedly empty")
+	}
+}
+
+func TestLinearDictionaryAllocFree(t *testing.T) {
+	d := NewLinearDictionary(10)
+	first, err := d.AllocRange(4)
+	if err != nil || first != 0 {
+		t.Fatalf("AllocRange(4) = %d, %v, want 0, nil", first, err)
+	}
+	second, err := d.AllocRange(3)
+	if err != nil || second != 4 {
+		t.Fatalf("AllocRange(3) = %d, %v, want 4, nil", second, err)
+	}
+	if d.FreeCount() != 3 {
+		t.Errorf("FreeCount = %d, want 3", d.FreeCount())
+	}
+	if err := d.FreeRange(first, 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.FreeCount() != 7 {
+		t.Errorf("FreeCount after free = %d, want 7", d.FreeCount())
+	}
+}
+
+func TestLinearDictionaryFragmentation(t *testing.T) {
+	// The paper: a linear segment-name space fragments like storage.
+	// Allocate 5 ranges of 2, free alternating ones: 4 free names but
+	// the largest run is 2, so a range of 3 must fail.
+	d := NewLinearDictionary(10)
+	var starts []SegID
+	for i := 0; i < 5; i++ {
+		s, err := d.AllocRange(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts = append(starts, s)
+	}
+	_ = d.FreeRange(starts[0], 2)
+	_ = d.FreeRange(starts[2], 2)
+	if d.FreeCount() != 4 {
+		t.Fatalf("FreeCount = %d, want 4", d.FreeCount())
+	}
+	if d.LargestFreeRun() != 2 {
+		t.Fatalf("LargestFreeRun = %d, want 2", d.LargestFreeRun())
+	}
+	if _, err := d.AllocRange(3); !errors.Is(err, ErrDictionaryFull) {
+		t.Fatalf("AllocRange(3) err = %v, want ErrDictionaryFull", err)
+	}
+	if d.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", d.Failures)
+	}
+}
+
+func TestLinearDictionaryDoubleFree(t *testing.T) {
+	d := NewLinearDictionary(4)
+	s, _ := d.AllocRange(2)
+	if err := d.FreeRange(s, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FreeRange(s, 2); err == nil {
+		t.Fatal("double free succeeded")
+	}
+	if err := d.FreeRange(2, 5); !errors.Is(err, ErrLimit) {
+		t.Errorf("out-of-range free err = %v, want ErrLimit", err)
+	}
+}
+
+func TestLinearDictionaryBadArgs(t *testing.T) {
+	d := NewLinearDictionary(4)
+	if _, err := d.AllocRange(0); err == nil {
+		t.Error("AllocRange(0) succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLinearDictionary(0) did not panic")
+		}
+	}()
+	NewLinearDictionary(0)
+}
+
+func TestLinearDictionaryConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := NewLinearDictionary(64)
+		type hold struct {
+			first SegID
+			k     int
+		}
+		var held []hold
+		r := newQuickRNG(seed)
+		total := 0
+		for i := 0; i < 200; i++ {
+			if r.next()%2 == 0 || len(held) == 0 {
+				k := int(r.next()%5) + 1
+				if first, err := d.AllocRange(k); err == nil {
+					held = append(held, hold{first, k})
+					total += k
+				}
+			} else {
+				j := int(r.next() % uint64(len(held)))
+				h := held[j]
+				if err := d.FreeRange(h.first, h.k); err != nil {
+					return false
+				}
+				held = append(held[:j], held[j+1:]...)
+				total -= h.k
+			}
+			if d.FreeCount() != 64-total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newQuickRNG is a minimal local generator so the property test does
+// not depend on package sim.
+type quickRNG struct{ s uint64 }
+
+func newQuickRNG(seed uint64) *quickRNG {
+	if seed == 0 {
+		seed = 1
+	}
+	return &quickRNG{seed}
+}
+
+func (q *quickRNG) next() uint64 {
+	q.s ^= q.s >> 12
+	q.s ^= q.s << 25
+	q.s ^= q.s >> 27
+	return q.s * 0x2545F4914F6CDD1D
+}

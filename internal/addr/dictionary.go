@@ -1,0 +1,172 @@
+package addr
+
+import "fmt"
+
+// SymbolicDictionary implements the segment-name side of a symbolically
+// segmented name space: segments are named by unordered symbols, no
+// arithmetic between names is possible, and consequently there is no
+// name contiguity to fragment. Creating and destroying segments is
+// plain bookkeeping — the paper's argument for why a symbolic space
+// "involves far less bookkeeping than a linearly segmented name space".
+type SymbolicDictionary struct {
+	ids    map[string]SegID
+	names  map[SegID]string
+	nextID SegID
+	// Lookups counts dictionary probes, for the T7 bookkeeping
+	// comparison against the linear dictionary.
+	Lookups int64
+}
+
+// NewSymbolicDictionary returns an empty dictionary.
+func NewSymbolicDictionary() *SymbolicDictionary {
+	return &SymbolicDictionary{
+		ids:   make(map[string]SegID),
+		names: make(map[SegID]string),
+	}
+}
+
+// Declare introduces a segment symbol and returns its handle. Declaring
+// an existing symbol returns the existing handle.
+func (d *SymbolicDictionary) Declare(symbol string) SegID {
+	d.Lookups++
+	if id, ok := d.ids[symbol]; ok {
+		return id
+	}
+	id := d.nextID
+	d.nextID++
+	d.ids[symbol] = id
+	d.names[id] = symbol
+	return id
+}
+
+// Lookup resolves a symbol to its handle.
+func (d *SymbolicDictionary) Lookup(symbol string) (SegID, error) {
+	d.Lookups++
+	id, ok := d.ids[symbol]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownSegment, symbol)
+	}
+	return id, nil
+}
+
+// Remove deletes a symbol. Removing an unknown symbol is an error.
+func (d *SymbolicDictionary) Remove(symbol string) error {
+	d.Lookups++
+	id, ok := d.ids[symbol]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSegment, symbol)
+	}
+	delete(d.ids, symbol)
+	delete(d.names, id)
+	return nil
+}
+
+// Symbol returns the symbol for a handle.
+func (d *SymbolicDictionary) Symbol(id SegID) (string, bool) {
+	s, ok := d.names[id]
+	return s, ok
+}
+
+// Len reports how many segments are declared.
+func (d *SymbolicDictionary) Len() int { return len(d.ids) }
+
+// LinearDictionary manages segment names for a *linearly* segmented
+// name space in which a program may occupy a contiguous *range* of
+// segment numbers (so that it can index across segment names, the one
+// advantage the paper concedes to linear segment naming). Allocating
+// contiguous ranges from a bounded table re-creates, at the level of
+// segment names, exactly the fragmentation problem that variable-unit
+// storage allocation has — the paper's point in the Name Space section.
+type LinearDictionary struct {
+	used []bool
+	// Probes counts slots examined while searching, the bookkeeping
+	// cost compared in experiment T7.
+	Probes int64
+	// Failures counts range allocations that failed although enough
+	// total free names existed (fragmentation failures).
+	Failures int64
+}
+
+// NewLinearDictionary returns a dictionary of n segment-name slots.
+func NewLinearDictionary(n int) *LinearDictionary {
+	if n <= 0 {
+		panic("addr: non-positive dictionary size")
+	}
+	return &LinearDictionary{used: make([]bool, n)}
+}
+
+// AllocRange finds the first run of k contiguous free segment names,
+// marks it used, and returns the first name. It fails with
+// ErrDictionaryFull when no contiguous run exists, even if k or more
+// names are free in total; callers can distinguish the two cases with
+// FreeCount.
+func (d *LinearDictionary) AllocRange(k int) (SegID, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("addr: non-positive range %d", k)
+	}
+	run := 0
+	for i, u := range d.used {
+		d.Probes++
+		if u {
+			run = 0
+			continue
+		}
+		run++
+		if run == k {
+			start := i - k + 1
+			for j := start; j <= i; j++ {
+				d.used[j] = true
+			}
+			return SegID(start), nil
+		}
+	}
+	d.Failures++
+	return 0, fmt.Errorf("%w: no run of %d in %d slots (%d free)",
+		ErrDictionaryFull, k, len(d.used), d.FreeCount())
+}
+
+// FreeRange releases k names starting at first. Releasing a free name
+// is an error, catching double frees in tests.
+func (d *LinearDictionary) FreeRange(first SegID, k int) error {
+	if int(first)+k > len(d.used) {
+		return fmt.Errorf("%w: range %d+%d exceeds %d", ErrLimit, first, k, len(d.used))
+	}
+	for j := int(first); j < int(first)+k; j++ {
+		if !d.used[j] {
+			return fmt.Errorf("addr: double free of segment name %d", j)
+		}
+		d.used[j] = false
+	}
+	return nil
+}
+
+// FreeCount reports the number of free segment names.
+func (d *LinearDictionary) FreeCount() int {
+	n := 0
+	for _, u := range d.used {
+		if !u {
+			n++
+		}
+	}
+	return n
+}
+
+// LargestFreeRun reports the longest run of contiguous free names —
+// the dictionary-fragmentation measure used by experiment T7.
+func (d *LinearDictionary) LargestFreeRun() int {
+	best, run := 0, 0
+	for _, u := range d.used {
+		if u {
+			run = 0
+			continue
+		}
+		run++
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+// Len reports the total number of segment-name slots.
+func (d *LinearDictionary) Len() int { return len(d.used) }

@@ -1,0 +1,179 @@
+package alloc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dsa/internal/metrics"
+)
+
+// Buddy is a binary buddy allocator over a power-of-two heap. It is
+// not described in the paper — it post-dates it as a practical
+// compromise — and serves here as the baseline that makes the paper's
+// fragmentation point concrete: rounding every request to a power of
+// two converts external fragmentation into measurable internal
+// fragmentation, just as paging does with fixed units.
+type Buddy struct {
+	size     int
+	minOrder uint
+	maxOrder uint
+	// free[k] holds base addresses of free blocks of size 1<<k.
+	free map[uint]map[int]bool
+	// sizes maps allocated base address to its order.
+	sizes map[int]uint
+	// requested maps allocated base address to the requested size.
+	requested map[int]int
+
+	allocs, frees, failures int64
+	allocatedWords          int
+	requestedWords          int
+}
+
+// NewBuddy creates a buddy allocator of `size` words (a power of two),
+// with a minimum block of 1<<minOrder words.
+func NewBuddy(size int, minOrder uint) (*Buddy, error) {
+	if size <= 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("alloc: buddy size %d not a power of two", size)
+	}
+	maxOrder := uint(bits.TrailingZeros(uint(size)))
+	if minOrder > maxOrder {
+		return nil, fmt.Errorf("alloc: min order %d exceeds heap order %d", minOrder, maxOrder)
+	}
+	b := &Buddy{
+		size:      size,
+		minOrder:  minOrder,
+		maxOrder:  maxOrder,
+		free:      make(map[uint]map[int]bool),
+		sizes:     make(map[int]uint),
+		requested: make(map[int]int),
+	}
+	for k := minOrder; k <= maxOrder; k++ {
+		b.free[k] = make(map[int]bool)
+	}
+	b.free[maxOrder][0] = true
+	return b, nil
+}
+
+// orderFor returns the smallest order whose block holds n words.
+func (b *Buddy) orderFor(n int) uint {
+	k := b.minOrder
+	for (1 << k) < n {
+		k++
+	}
+	return k
+}
+
+// Alloc allocates at least n words and returns the block base address.
+func (b *Buddy) Alloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("alloc: non-positive request %d", n)
+	}
+	if n > b.size {
+		b.failures++
+		return 0, fmt.Errorf("%w: request %d exceeds heap %d", ErrNoSpace, n, b.size)
+	}
+	want := b.orderFor(n)
+	// Find the smallest order >= want with a free block.
+	k := want
+	for k <= b.maxOrder && len(b.free[k]) == 0 {
+		k++
+	}
+	if k > b.maxOrder {
+		b.failures++
+		return 0, fmt.Errorf("%w: no block of order %d", ErrNoSpace, want)
+	}
+	// Take any block at order k (map iteration picks one; take the
+	// lowest for determinism).
+	addr := -1
+	for a := range b.free[k] {
+		if addr < 0 || a < addr {
+			addr = a
+		}
+	}
+	delete(b.free[k], addr)
+	// Split down to the wanted order.
+	for k > want {
+		k--
+		buddy := addr + (1 << k)
+		b.free[k][buddy] = true
+	}
+	b.sizes[addr] = want
+	b.requested[addr] = n
+	b.allocs++
+	b.allocatedWords += 1 << want
+	b.requestedWords += n
+	return addr, nil
+}
+
+// Free releases the block based at addr, merging buddies upward.
+func (b *Buddy) Free(addr int) error {
+	k, ok := b.sizes[addr]
+	if !ok {
+		return fmt.Errorf("%w: address %d", ErrBadFree, addr)
+	}
+	delete(b.sizes, addr)
+	b.allocatedWords -= 1 << k
+	b.requestedWords -= b.requested[addr]
+	delete(b.requested, addr)
+	b.frees++
+	for k < b.maxOrder {
+		buddy := addr ^ (1 << k)
+		if !b.free[k][buddy] {
+			break
+		}
+		delete(b.free[k], buddy)
+		if buddy < addr {
+			addr = buddy
+		}
+		k++
+	}
+	b.free[k][addr] = true
+	return nil
+}
+
+// FreeWords reports total free words.
+func (b *Buddy) FreeWords() int { return b.size - b.allocatedWords }
+
+// LargestFree reports the largest free block size.
+func (b *Buddy) LargestFree() int {
+	for k := b.maxOrder + 1; k > b.minOrder; k-- {
+		if len(b.free[k-1]) > 0 {
+			return 1 << (k - 1)
+		}
+	}
+	return 0
+}
+
+// Stats summarizes the allocator state. AllocatedWords counts rounded
+// block sizes, so InternalFrag exposes the power-of-two padding.
+func (b *Buddy) Stats() metrics.FragStats {
+	nfree := 0
+	for k := b.minOrder; k <= b.maxOrder; k++ {
+		nfree += len(b.free[k])
+	}
+	return metrics.FragStats{
+		TotalWords:     b.size,
+		AllocatedWords: b.allocatedWords,
+		FreeWords:      b.FreeWords(),
+		FreeBlocks:     nfree,
+		LargestFree:    b.LargestFree(),
+		RequestedWords: b.requestedWords,
+	}
+}
+
+// CheckInvariants validates free-list and accounting consistency.
+func (b *Buddy) CheckInvariants() error {
+	words := b.allocatedWords
+	for k := b.minOrder; k <= b.maxOrder; k++ {
+		for addr := range b.free[k] {
+			if addr%(1<<k) != 0 {
+				return fmt.Errorf("alloc: misaligned free block %d at order %d", addr, k)
+			}
+			words += 1 << k
+		}
+	}
+	if words != b.size {
+		return fmt.Errorf("alloc: buddy accounts for %d of %d words", words, b.size)
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/sim"
+)
+
+func TestBuddyBasic(t *testing.T) {
+	b, err := NewBuddy(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := b.Alloc(100) // rounds to 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.AllocatedWords != 128 || st.RequestedWords != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := b.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreeWords() != 1024 || b.LargestFree() != 1024 {
+		t.Fatalf("after free: free %d, largest %d", b.FreeWords(), b.LargestFree())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyValidation(t *testing.T) {
+	if _, err := NewBuddy(1000, 2); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, err := NewBuddy(64, 10); err == nil {
+		t.Error("minOrder > maxOrder accepted")
+	}
+	b, _ := NewBuddy(64, 2)
+	if _, err := b.Alloc(0); err == nil {
+		t.Error("Alloc(0) succeeded")
+	}
+	if _, err := b.Alloc(65); !errors.Is(err, ErrNoSpace) {
+		t.Error("oversized alloc succeeded")
+	}
+	if err := b.Free(3); !errors.Is(err, ErrBadFree) {
+		t.Error("bad free succeeded")
+	}
+}
+
+func TestBuddySplitAndMerge(t *testing.T) {
+	b, _ := NewBuddy(64, 2)
+	a1, _ := b.Alloc(16)
+	a2, _ := b.Alloc(16)
+	a3, _ := b.Alloc(32)
+	if b.FreeWords() != 0 {
+		t.Fatalf("FreeWords = %d, want 0", b.FreeWords())
+	}
+	if _, err := b.Alloc(4); !errors.Is(err, ErrNoSpace) {
+		t.Fatal("alloc from full heap succeeded")
+	}
+	_ = b.Free(a1)
+	_ = b.Free(a2)
+	// Buddies merge: a 32-word block reappears.
+	if b.LargestFree() != 32 {
+		t.Fatalf("LargestFree = %d, want 32", b.LargestFree())
+	}
+	_ = b.Free(a3)
+	if b.LargestFree() != 64 {
+		t.Fatalf("LargestFree = %d, want 64", b.LargestFree())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyInternalFragmentation(t *testing.T) {
+	b, _ := NewBuddy(4096, 4)
+	_, _ = b.Alloc(17) // 32: 15 wasted
+	_, _ = b.Alloc(33) // 64: 31 wasted
+	st := b.Stats()
+	if st.AllocatedWords != 96 || st.RequestedWords != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wantFrag := float64(96-50) / 96
+	if got := st.InternalFrag(); got != wantFrag {
+		t.Errorf("InternalFrag = %g, want %g", got, wantFrag)
+	}
+}
+
+func TestBuddyMinOrderRounding(t *testing.T) {
+	b, _ := NewBuddy(256, 4) // min block 16
+	a, _ := b.Alloc(1)
+	st := b.Stats()
+	if st.AllocatedWords != 16 {
+		t.Errorf("AllocatedWords = %d, want 16 (min order)", st.AllocatedWords)
+	}
+	_ = b.Free(a)
+}
+
+func TestBuddyDeterministicPlacement(t *testing.T) {
+	b1, _ := NewBuddy(512, 3)
+	b2, _ := NewBuddy(512, 3)
+	for i := 0; i < 10; i++ {
+		x, _ := b1.Alloc(24)
+		y, _ := b2.Alloc(24)
+		if x != y {
+			t.Fatalf("placement diverged at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestPropertyBuddyRandomOps(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		b, _ := NewBuddy(4096, 3)
+		var live []int
+		for i := 0; i < 200; i++ {
+			if rng.Float64() < 0.6 || len(live) == 0 {
+				if a, err := b.Alloc(1 + rng.Intn(256)); err == nil {
+					live = append(live, a)
+				}
+			} else {
+				j := rng.Intn(len(live))
+				if err := b.Free(live[j]); err != nil {
+					return false
+				}
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		if b.CheckInvariants() != nil {
+			return false
+		}
+		for _, a := range live {
+			if err := b.Free(a); err != nil {
+				return false
+			}
+		}
+		// All freed: one maximal block.
+		return b.LargestFree() == 4096 && b.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBuddyNoOverlap(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		b, _ := NewBuddy(1024, 2)
+		type span struct{ lo, hi int }
+		spans := map[int]span{}
+		for i := 0; i < 100; i++ {
+			n := 1 + rng.Intn(64)
+			a, err := b.Alloc(n)
+			if err != nil {
+				break
+			}
+			sz := 4
+			for sz < n {
+				sz <<= 1
+			}
+			for _, s := range spans {
+				if a < s.hi && a+sz > s.lo {
+					return false // overlap
+				}
+			}
+			spans[a] = span{a, a + sz}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

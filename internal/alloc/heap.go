@@ -1,0 +1,392 @@
+// Package alloc implements dynamic storage allocation with a
+// *nonuniform* unit of allocation — the paper's fourth characteristic
+// in its variable-size form — together with the placement strategies
+// its Placement Strategies section discusses:
+//
+//   - first fit ("a common and frequently satisfactory strategy is to
+//     place the information in the smallest space which is sufficient"
+//     describes best fit; first fit is the cheaper common default),
+//   - best fit (B5000: "choosing the smallest available block of
+//     sufficient size"),
+//   - two-ended ("place large blocks of information starting at one
+//     end of storage and small blocks starting at the other"),
+//   - the Rice University inactive-block chain with deferred
+//     coalescing (Appendix A.4),
+//   - next fit and worst fit as baselines,
+//
+// plus storage packing (compaction), the "corrective data movement"
+// alternative to tolerating fragmentation.
+//
+// The heap is a word-addressed range managed as an address-ordered
+// doubly linked list of blocks, so external fragmentation, search
+// effort (probes), and failure modes are all directly measurable.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"dsa/internal/metrics"
+)
+
+// ErrNoSpace reports an allocation failure.
+var ErrNoSpace = errors.New("alloc: no space")
+
+// ErrBadFree reports a Free of an address that is not the base of an
+// allocated block.
+var ErrBadFree = errors.New("alloc: bad free")
+
+// Mode selects when free neighbours are merged.
+type Mode int
+
+const (
+	// CoalesceImmediate merges a freed block with free neighbours at
+	// Free time (boundary-tag style).
+	CoalesceImmediate Mode = iota
+	// CoalesceDeferred leaves freed blocks fragmented until an
+	// allocation fails, then merges adjacent free blocks and retries —
+	// the Rice University scheme: "an attempt is made to make [a block]
+	// by finding groups of adjacent inactive blocks which can be
+	// combined".
+	CoalesceDeferred
+)
+
+// Block is one contiguous region of the heap.
+type Block struct {
+	// Addr is the block's base address (word index within the heap).
+	Addr int
+	// Size is the block's extent in words.
+	Size int
+	// Free reports whether the block is inactive.
+	Free bool
+	// Requested is the size originally asked for (Free blocks: 0);
+	// Size-Requested is internal slack from unsplit remainders.
+	Requested int
+
+	prev, next *Block
+}
+
+// Heap is a variable-unit storage allocator over [0, size) words.
+type Heap struct {
+	size   int
+	policy Policy
+	mode   Mode
+	head   *Block
+	byAddr map[int]*Block // allocated blocks by base address
+
+	// MinFragment is the smallest remainder worth keeping as a separate
+	// free block; smaller remainders are left attached to the allocated
+	// block as internal slack. 1 means always split.
+	MinFragment int
+
+	probes    int64
+	allocs    int64
+	frees     int64
+	failures  int64 // failed allocations
+	fragFails int64 // failures with sufficient total free words
+	coalesces int64
+	requested int
+	allocated int
+}
+
+// New creates a heap of the given extent managed by the policy.
+func New(size int, policy Policy, mode Mode) *Heap {
+	if size <= 0 {
+		panic("alloc: non-positive heap size")
+	}
+	if policy == nil {
+		panic("alloc: nil policy")
+	}
+	h := &Heap{
+		size:        size,
+		policy:      policy,
+		mode:        mode,
+		byAddr:      make(map[int]*Block),
+		MinFragment: 1,
+	}
+	h.head = &Block{Addr: 0, Size: size, Free: true}
+	return h
+}
+
+// Size reports the heap extent in words.
+func (h *Heap) Size() int { return h.size }
+
+// Policy reports the placement policy in use.
+func (h *Heap) Policy() Policy { return h.policy }
+
+// Alloc allocates n words and returns the base address. On failure
+// with deferred coalescing it first combines adjacent inactive blocks
+// and retries, as the Rice system did. The returned error wraps
+// ErrNoSpace; Stats distinguishes fragmentation failures (enough total
+// free words existed) from genuine exhaustion.
+func (h *Heap) Alloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("alloc: non-positive request %d", n)
+	}
+	b, carveHigh := h.policy.Choose(h, n)
+	if b == nil && h.mode == CoalesceDeferred {
+		if h.CoalesceAll() > 0 {
+			b, carveHigh = h.policy.Choose(h, n)
+		}
+	}
+	if b == nil {
+		h.failures++
+		if h.FreeWords() >= n {
+			h.fragFails++
+			return 0, fmt.Errorf("%w: request %d fragmented (free %d, largest %d)",
+				ErrNoSpace, n, h.FreeWords(), h.LargestFree())
+		}
+		return 0, fmt.Errorf("%w: request %d exceeds free %d", ErrNoSpace, n, h.FreeWords())
+	}
+	if !b.Free || b.Size < n {
+		panic("alloc: policy returned unusable block")
+	}
+	got := h.carve(b, n, carveHigh)
+	got.Free = false
+	got.Requested = n
+	h.byAddr[got.Addr] = got
+	h.allocs++
+	h.requested += n
+	h.allocated += got.Size
+	return got.Addr, nil
+}
+
+// carve splits free block b to produce an allocated block of at least n
+// words, from the low end (carveHigh false) or high end (true). The
+// remainder, if any and at least MinFragment, stays free.
+func (h *Heap) carve(b *Block, n int, carveHigh bool) *Block {
+	rem := b.Size - n
+	if rem < h.MinFragment {
+		return b // allocate whole block; slack becomes internal
+	}
+	if carveHigh {
+		// Free remainder keeps the low end; new block at the high end.
+		nb := &Block{Addr: b.Addr + rem, Size: n}
+		b.Size = rem
+		h.insertAfter(b, nb)
+		return nb
+	}
+	// New block takes the low end; remainder stays free above it.
+	nb := &Block{Addr: b.Addr + n, Size: rem, Free: true}
+	b.Size = n
+	h.insertAfter(b, nb)
+	return b
+}
+
+func (h *Heap) insertAfter(b, nb *Block) {
+	nb.prev = b
+	nb.next = b.next
+	if b.next != nil {
+		b.next.prev = nb
+	}
+	b.next = nb
+}
+
+// Free releases the block based at addr.
+func (h *Heap) Free(addr int) error {
+	b, ok := h.byAddr[addr]
+	if !ok {
+		return fmt.Errorf("%w: address %d", ErrBadFree, addr)
+	}
+	delete(h.byAddr, addr)
+	h.frees++
+	h.requested -= b.Requested
+	h.allocated -= b.Size
+	b.Free = true
+	b.Requested = 0
+	if h.mode == CoalesceImmediate {
+		h.coalesceAround(b)
+	}
+	return nil
+}
+
+// coalesceAround merges b with free neighbours.
+func (h *Heap) coalesceAround(b *Block) {
+	if p := b.prev; p != nil && p.Free {
+		p.Size += b.Size
+		p.next = b.next
+		if b.next != nil {
+			b.next.prev = p
+		}
+		h.coalesces++
+		b = p
+	}
+	if n := b.next; n != nil && n.Free {
+		b.Size += n.Size
+		b.next = n.next
+		if n.next != nil {
+			n.next.prev = b
+		}
+		h.coalesces++
+	}
+}
+
+// CoalesceAll merges every run of adjacent free blocks and reports the
+// number of merges performed.
+func (h *Heap) CoalesceAll() int {
+	merges := 0
+	for b := h.head; b != nil; {
+		if b.Free && b.next != nil && b.next.Free {
+			n := b.next
+			b.Size += n.Size
+			b.next = n.next
+			if n.next != nil {
+				n.next.prev = b
+			}
+			merges++
+			continue // b may merge further
+		}
+		b = b.next
+	}
+	h.coalesces += int64(merges)
+	return merges
+}
+
+// Move describes one block relocation performed by Compact, so the
+// caller can mirror it onto a store.Level (and charge transfer time).
+type Move struct {
+	Src, Dst, Words int
+}
+
+// Compact slides every allocated block toward address zero, leaving
+// all free space as a single block at the top — the paper's "move
+// information around in storage so as to remove any unused spaces".
+// It returns the moves performed, in execution order. Note compaction
+// is only possible because access is via the heap's handles; the paper
+// makes the same point about stored absolute addresses.
+func (h *Heap) Compact() []Move {
+	var moves []Move
+	next := 0
+	var newOrder []*Block
+	for b := h.head; b != nil; b = b.next {
+		if b.Free {
+			continue
+		}
+		if b.Addr != next {
+			moves = append(moves, Move{Src: b.Addr, Dst: next, Words: b.Size})
+			delete(h.byAddr, b.Addr)
+			b.Addr = next
+			h.byAddr[b.Addr] = b
+		}
+		next += b.Size
+		newOrder = append(newOrder, b)
+	}
+	// Rebuild the list: allocated blocks packed low, one free block on top.
+	h.head = nil
+	var tail *Block
+	link := func(b *Block) {
+		b.prev = tail
+		b.next = nil
+		if tail != nil {
+			tail.next = b
+		} else {
+			h.head = b
+		}
+		tail = b
+	}
+	for _, b := range newOrder {
+		link(b)
+	}
+	if next < h.size {
+		link(&Block{Addr: next, Size: h.size - next, Free: true})
+	}
+	return moves
+}
+
+// FreeWords reports the total free words.
+func (h *Heap) FreeWords() int { return h.size - h.allocated }
+
+// LargestFree reports the size of the largest free block.
+func (h *Heap) LargestFree() int {
+	best := 0
+	for b := h.head; b != nil; b = b.next {
+		if b.Free && b.Size > best {
+			best = b.Size
+		}
+	}
+	return best
+}
+
+// FreeBlockCount reports the number of free blocks.
+func (h *Heap) FreeBlockCount() int {
+	n := 0
+	for b := h.head; b != nil; b = b.next {
+		if b.Free {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarizes the heap state for fragmentation reporting.
+func (h *Heap) Stats() metrics.FragStats {
+	return metrics.FragStats{
+		TotalWords:     h.size,
+		AllocatedWords: h.allocated,
+		FreeWords:      h.FreeWords(),
+		FreeBlocks:     h.FreeBlockCount(),
+		LargestFree:    h.LargestFree(),
+		RequestedWords: h.requested,
+	}
+}
+
+// Counters reports operation counts accumulated by the heap.
+type Counters struct {
+	Allocs, Frees, Failures, FragFailures, Coalesces, Probes int64
+}
+
+// Counters returns the accumulated operation counts.
+func (h *Heap) Counters() Counters {
+	return Counters{
+		Allocs: h.allocs, Frees: h.frees, Failures: h.failures,
+		FragFailures: h.fragFails, Coalesces: h.coalesces, Probes: h.probes,
+	}
+}
+
+// Blocks returns a snapshot of the block list in address order, for
+// reports and tests.
+func (h *Heap) Blocks() []Block {
+	var out []Block
+	for b := h.head; b != nil; b = b.next {
+		out = append(out, *b)
+	}
+	return out
+}
+
+// CheckInvariants verifies the block list tiles [0, size) exactly, the
+// links are consistent, and the accounting matches. Tests call it after
+// random operation sequences.
+func (h *Heap) CheckInvariants() error {
+	addr := 0
+	allocated := 0
+	var prev *Block
+	for b := h.head; b != nil; b = b.next {
+		if b.Addr != addr {
+			return fmt.Errorf("alloc: block at %d, expected %d (gap or overlap)", b.Addr, addr)
+		}
+		if b.Size <= 0 {
+			return fmt.Errorf("alloc: block at %d has size %d", b.Addr, b.Size)
+		}
+		if b.prev != prev {
+			return fmt.Errorf("alloc: bad prev link at %d", b.Addr)
+		}
+		if !b.Free {
+			allocated += b.Size
+			if h.byAddr[b.Addr] != b {
+				return fmt.Errorf("alloc: allocated block %d missing from index", b.Addr)
+			}
+		}
+		addr += b.Size
+		prev = b
+	}
+	if addr != h.size {
+		return fmt.Errorf("alloc: blocks cover %d of %d words", addr, h.size)
+	}
+	if allocated != h.allocated {
+		return fmt.Errorf("alloc: allocated accounting %d, actual %d", h.allocated, allocated)
+	}
+	if len(h.byAddr) != int(h.allocs-h.frees) {
+		return fmt.Errorf("alloc: index size %d, allocs-frees %d", len(h.byAddr), h.allocs-h.frees)
+	}
+	return nil
+}

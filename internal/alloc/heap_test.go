@@ -1,0 +1,431 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/sim"
+)
+
+func TestAllocFreeBasic(t *testing.T) {
+	h := New(100, FirstFit{}, CoalesceImmediate)
+	a, err := h.Alloc(30)
+	if err != nil || a != 0 {
+		t.Fatalf("Alloc(30) = %d, %v", a, err)
+	}
+	b, err := h.Alloc(20)
+	if err != nil || b != 30 {
+		t.Fatalf("Alloc(20) = %d, %v", b, err)
+	}
+	if h.FreeWords() != 50 {
+		t.Errorf("FreeWords = %d, want 50", h.FreeWords())
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeWords() != 80 {
+		t.Errorf("FreeWords = %d, want 80", h.FreeWords())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	h := New(10, FirstFit{}, CoalesceImmediate)
+	if _, err := h.Alloc(0); err == nil {
+		t.Error("Alloc(0) succeeded")
+	}
+	if _, err := h.Alloc(-3); err == nil {
+		t.Error("Alloc(-3) succeeded")
+	}
+	if _, err := h.Alloc(11); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("Alloc(11) err = %v, want ErrNoSpace", err)
+	}
+	if err := h.Free(5); !errors.Is(err, ErrBadFree) {
+		t.Errorf("Free(5) err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	h := New(10, FirstFit{}, CoalesceImmediate)
+	a, _ := h.Alloc(4)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double Free err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestImmediateCoalescing(t *testing.T) {
+	h := New(100, FirstFit{}, CoalesceImmediate)
+	a, _ := h.Alloc(10)
+	b, _ := h.Alloc(10)
+	c, _ := h.Alloc(10)
+	_ = h.Free(a)
+	_ = h.Free(c)
+	if got := h.FreeBlockCount(); got != 3 { // a, c, top remainder? c coalesces with top
+		// c at 20..30 merges with remainder at 30..100 → [a][b][merged 80]
+		if got != 2 {
+			t.Fatalf("FreeBlockCount = %d, want 2", got)
+		}
+	}
+	_ = h.Free(b)
+	// Everything merges into one block.
+	if got := h.FreeBlockCount(); got != 1 {
+		t.Fatalf("after all frees FreeBlockCount = %d, want 1", got)
+	}
+	if h.LargestFree() != 100 {
+		t.Fatalf("LargestFree = %d, want 100", h.LargestFree())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeferredCoalescing(t *testing.T) {
+	h := New(90, FirstFit{}, CoalesceDeferred)
+	var addrs []int
+	for i := 0; i < 3; i++ {
+		a, err := h.Alloc(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		_ = h.Free(a)
+	}
+	// Freed blocks remain fragmented until a failing alloc forces a merge.
+	if got := h.FreeBlockCount(); got != 3 {
+		t.Fatalf("deferred FreeBlockCount = %d, want 3", got)
+	}
+	a, err := h.Alloc(90) // must trigger CoalesceAll and then fit
+	if err != nil {
+		t.Fatalf("Alloc(90) after coalesce failed: %v", err)
+	}
+	if a != 0 {
+		t.Errorf("Alloc(90) = %d, want 0", a)
+	}
+	if h.Counters().Coalesces == 0 {
+		t.Error("no coalesces recorded")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentationFailureClassified(t *testing.T) {
+	h := New(100, FirstFit{}, CoalesceImmediate)
+	var addrs []int
+	for i := 0; i < 10; i++ {
+		a, _ := h.Alloc(10)
+		addrs = append(addrs, a)
+	}
+	for i := 0; i < 10; i += 2 {
+		_ = h.Free(addrs[i])
+	}
+	// 50 words free but largest run is 10.
+	if _, err := h.Alloc(20); !errors.Is(err, ErrNoSpace) {
+		t.Fatal("fragmented Alloc(20) succeeded")
+	}
+	c := h.Counters()
+	if c.Failures != 1 || c.FragFailures != 1 {
+		t.Errorf("counters = %+v, want 1 failure, 1 frag failure", c)
+	}
+	st := h.Stats()
+	if st.ExternalFrag() <= 0.5 {
+		t.Errorf("ExternalFrag = %g, want > 0.5", st.ExternalFrag())
+	}
+}
+
+func TestBestFitChoosesSmallest(t *testing.T) {
+	h := New(200, BestFit{}, CoalesceImmediate)
+	// Build free blocks of sizes 30 (at 0), 12 (at 80), 60 (at 140, top).
+	a, _ := h.Alloc(30) // 0..30
+	b, _ := h.Alloc(50) // 30..80
+	c, _ := h.Alloc(12) // 80..92
+	d, _ := h.Alloc(48) // 92..140
+	_ = h.Free(a)
+	_ = h.Free(c)
+	_, _ = b, d
+	got, err := h.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 80 {
+		t.Errorf("best fit placed at %d, want 80 (the 12-word hole)", got)
+	}
+}
+
+func TestWorstFitChoosesLargest(t *testing.T) {
+	h := New(200, WorstFit{}, CoalesceImmediate)
+	a, _ := h.Alloc(30)
+	_, _ = h.Alloc(50)
+	_ = h.Free(a) // free blocks: 30 at 0, 120 at 80
+	got, err := h.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 80 {
+		t.Errorf("worst fit placed at %d, want 80 (the 120-word hole)", got)
+	}
+}
+
+func TestFirstFitChoosesLowest(t *testing.T) {
+	h := New(200, FirstFit{}, CoalesceImmediate)
+	a, _ := h.Alloc(30)
+	_, _ = h.Alloc(50)
+	_ = h.Free(a)
+	got, err := h.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("first fit placed at %d, want 0", got)
+	}
+}
+
+func TestNextFitRoves(t *testing.T) {
+	h := New(100, &NextFit{}, CoalesceImmediate)
+	a, _ := h.Alloc(10) // at 0
+	b, _ := h.Alloc(10) // at 10
+	if a != 0 || b != 10 {
+		t.Fatalf("placements %d, %d", a, b)
+	}
+	_ = h.Free(a)
+	// Rover sits at 20; next alloc should come from 20.., not reuse 0.
+	c, _ := h.Alloc(10)
+	if c != 20 {
+		t.Errorf("next fit placed at %d, want 20", c)
+	}
+	// Exhaust the top, then wrap to reuse block 0.
+	d, _ := h.Alloc(70)
+	if d != 30 {
+		t.Errorf("placed at %d, want 30", d)
+	}
+	e, err := h.Alloc(10)
+	if err != nil {
+		t.Fatalf("wrap-around alloc failed: %v", err)
+	}
+	if e != 0 {
+		t.Errorf("wrapped placement at %d, want 0", e)
+	}
+}
+
+func TestTwoEnded(t *testing.T) {
+	h := New(1000, TwoEnded{Threshold: 100}, CoalesceImmediate)
+	small, _ := h.Alloc(10)
+	large, _ := h.Alloc(200)
+	if small != 0 {
+		t.Errorf("small at %d, want 0", small)
+	}
+	if large != 800 {
+		t.Errorf("large at %d, want 800 (top end)", large)
+	}
+	small2, _ := h.Alloc(20)
+	large2, _ := h.Alloc(100)
+	if small2 != 10 {
+		t.Errorf("small2 at %d, want 10", small2)
+	}
+	if large2 != 700 {
+		t.Errorf("large2 at %d, want 700", large2)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRiceHeapPreset(t *testing.T) {
+	h := NewRiceHeap(500)
+	if h.Policy().Name() != "rice-chain" {
+		t.Errorf("policy = %s", h.Policy().Name())
+	}
+	if h.mode != CoalesceDeferred {
+		t.Error("rice heap not deferred-coalescing")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	h := New(100, FirstFit{}, CoalesceImmediate)
+	a, _ := h.Alloc(10)
+	b, _ := h.Alloc(10)
+	c, _ := h.Alloc(10)
+	_ = h.Free(a)
+	_ = h.Free(c)
+	moves := h.Compact()
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want 1 move (b down)", moves)
+	}
+	if moves[0].Src != 10 || moves[0].Dst != 0 || moves[0].Words != 10 {
+		t.Errorf("move = %+v, want {10 0 10}", moves[0])
+	}
+	if h.LargestFree() != 90 {
+		t.Errorf("LargestFree = %d, want 90", h.LargestFree())
+	}
+	if h.FreeBlockCount() != 1 {
+		t.Errorf("FreeBlockCount = %d, want 1", h.FreeBlockCount())
+	}
+	// b's handle moved: the old address must no longer be freeable.
+	if err := h.Free(b); !errors.Is(err, ErrBadFree) {
+		t.Errorf("Free(old b) err = %v, want ErrBadFree", err)
+	}
+	if err := h.Free(0); err != nil {
+		t.Errorf("Free(new b) err = %v", err)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactEmptyAndFull(t *testing.T) {
+	h := New(50, FirstFit{}, CoalesceImmediate)
+	if moves := h.Compact(); len(moves) != 0 {
+		t.Errorf("empty heap compaction moved %v", moves)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = h.Alloc(50)
+	if moves := h.Compact(); len(moves) != 0 {
+		t.Errorf("full heap compaction moved %v", moves)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinFragmentSlack(t *testing.T) {
+	h := New(100, FirstFit{}, CoalesceImmediate)
+	h.MinFragment = 8
+	a, _ := h.Alloc(95) // remainder 5 < 8: whole heap allocated
+	if a != 0 {
+		t.Fatalf("a = %d", a)
+	}
+	st := h.Stats()
+	if st.AllocatedWords != 100 || st.RequestedWords != 95 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.InternalFrag() != 0.05 {
+		t.Errorf("InternalFrag = %g, want 0.05", st.InternalFrag())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsTrackRequested(t *testing.T) {
+	h := New(100, FirstFit{}, CoalesceImmediate)
+	a, _ := h.Alloc(40)
+	st := h.Stats()
+	if st.RequestedWords != 40 || st.AllocatedWords != 40 {
+		t.Errorf("stats = %+v", st)
+	}
+	_ = h.Free(a)
+	st = h.Stats()
+	if st.RequestedWords != 0 || st.AllocatedWords != 0 {
+		t.Errorf("stats after free = %+v", st)
+	}
+}
+
+// policyList enumerates policies for cross-policy property tests.
+func policyList() []Policy {
+	return []Policy{FirstFit{}, BestFit{}, WorstFit{}, &NextFit{}, TwoEnded{Threshold: 50}, RiceChain{}}
+}
+
+func TestPropertyRandomOpsKeepInvariants(t *testing.T) {
+	for _, pol := range policyList() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			for _, mode := range []Mode{CoalesceImmediate, CoalesceDeferred} {
+				f := func(seed uint64) bool {
+					rng := sim.NewRNG(seed)
+					h := New(4096, pol, mode)
+					var live []int
+					for i := 0; i < 300; i++ {
+						if rng.Float64() < 0.6 || len(live) == 0 {
+							if a, err := h.Alloc(1 + rng.Intn(200)); err == nil {
+								live = append(live, a)
+							}
+						} else {
+							j := rng.Intn(len(live))
+							if err := h.Free(live[j]); err != nil {
+								return false
+							}
+							live = append(live[:j], live[j+1:]...)
+						}
+						if i%37 == 0 {
+							if err := h.CheckInvariants(); err != nil {
+								t.Logf("invariant: %v", err)
+								return false
+							}
+						}
+					}
+					return h.CheckInvariants() == nil
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+					t.Fatalf("mode %d: %v", mode, err)
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyCompactAlwaysSingleFreeBlock(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		h := New(2048, BestFit{}, CoalesceImmediate)
+		var live []int
+		for i := 0; i < 100; i++ {
+			if rng.Float64() < 0.6 || len(live) == 0 {
+				if a, err := h.Alloc(1 + rng.Intn(100)); err == nil {
+					live = append(live, a)
+				}
+			} else {
+				j := rng.Intn(len(live))
+				_ = h.Free(live[j])
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		h.Compact()
+		if h.CheckInvariants() != nil {
+			return false
+		}
+		// After compaction free space is at most one block and external
+		// fragmentation is zero.
+		return h.FreeBlockCount() <= 1 && h.Stats().ExternalFrag() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[string]bool{
+		"first-fit": true, "best-fit": true, "worst-fit": true,
+		"next-fit": true, "two-ended": true, "rice-chain": true,
+	}
+	for _, p := range policyList() {
+		if !want[p.Name()] {
+			t.Errorf("unexpected policy name %q", p.Name())
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero size":  func() { New(0, FirstFit{}, CoalesceImmediate) },
+		"nil policy": func() { New(10, nil, CoalesceImmediate) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,167 @@
+package alloc
+
+// Policy is a placement strategy: given a request of n words it selects
+// a free block to carve, and whether to carve from the block's high
+// end. Returning nil reports that no suitable block exists.
+//
+// Policies may keep private state (the next-fit rover) but must treat
+// the heap's block list as the single source of truth.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Choose selects a free block of at least n words, or nil.
+	Choose(h *Heap, n int) (b *Block, carveHigh bool)
+}
+
+// FirstFit places each request in the lowest-addressed sufficient free
+// block.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Choose implements Policy.
+func (FirstFit) Choose(h *Heap, n int) (*Block, bool) {
+	for b := h.head; b != nil; b = b.next {
+		h.probes++
+		if b.Free && b.Size >= n {
+			return b, false
+		}
+	}
+	return nil, false
+}
+
+// BestFit places each request in the smallest sufficient free block —
+// the strategy the paper reports as effective on the B5000 ("choosing
+// the smallest available block of sufficient size").
+type BestFit struct{}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Choose implements Policy.
+func (BestFit) Choose(h *Heap, n int) (*Block, bool) {
+	var best *Block
+	for b := h.head; b != nil; b = b.next {
+		h.probes++
+		if !b.Free || b.Size < n {
+			continue
+		}
+		if best == nil || b.Size < best.Size {
+			best = b
+			if best.Size == n {
+				break // exact fit cannot be beaten
+			}
+		}
+	}
+	return best, false
+}
+
+// WorstFit places each request in the largest free block, a baseline
+// that maximizes the leftover remainder.
+type WorstFit struct{}
+
+// Name implements Policy.
+func (WorstFit) Name() string { return "worst-fit" }
+
+// Choose implements Policy.
+func (WorstFit) Choose(h *Heap, n int) (*Block, bool) {
+	var best *Block
+	for b := h.head; b != nil; b = b.next {
+		h.probes++
+		if !b.Free || b.Size < n {
+			continue
+		}
+		if best == nil || b.Size > best.Size {
+			best = b
+		}
+	}
+	return best, false
+}
+
+// NextFit is first fit with a roving start position, trading slightly
+// worse placement for much shorter searches.
+type NextFit struct {
+	// rover is the address after the last placement; searching resumes
+	// from the first block at or beyond it.
+	rover int
+}
+
+// Name implements Policy.
+func (*NextFit) Name() string { return "next-fit" }
+
+// Choose implements Policy.
+func (p *NextFit) Choose(h *Heap, n int) (*Block, bool) {
+	// First pass: from the rover to the end.
+	for b := h.head; b != nil; b = b.next {
+		if b.Addr+b.Size <= p.rover {
+			continue
+		}
+		h.probes++
+		if b.Free && b.Size >= n {
+			p.rover = b.Addr + n
+			return b, false
+		}
+	}
+	// Wrap around.
+	for b := h.head; b != nil && b.Addr < p.rover; b = b.next {
+		h.probes++
+		if b.Free && b.Size >= n {
+			p.rover = b.Addr + n
+			return b, false
+		}
+	}
+	return nil, false
+}
+
+// TwoEnded implements the paper's low-bookkeeping alternative: "place
+// large blocks of information starting at one end of storage and small
+// blocks starting at the other end". Requests below Threshold are
+// first-fit from the bottom; larger requests are placed at the top end
+// of the highest sufficient free block.
+type TwoEnded struct {
+	// Threshold separates small from large requests, in words.
+	Threshold int
+}
+
+// Name implements Policy.
+func (TwoEnded) Name() string { return "two-ended" }
+
+// Choose implements Policy.
+func (p TwoEnded) Choose(h *Heap, n int) (*Block, bool) {
+	if n < p.Threshold {
+		return FirstFit{}.Choose(h, n)
+	}
+	// Highest sufficient free block, carved from its high end.
+	var best *Block
+	for b := h.head; b != nil; b = b.next {
+		h.probes++
+		if b.Free && b.Size >= n {
+			best = b
+		}
+	}
+	return best, true
+}
+
+// RiceChain is the Appendix A.4 scheme viewed as a placement policy:
+// a sequential search of the chain of inactive blocks for the first of
+// sufficient size. Combined with CoalesceDeferred it reproduces the
+// Rice behaviour: leftover space "replaces the original inactive block
+// in the chain", and only on failure are adjacent inactive blocks
+// combined. (The iterative replacement fallback lives at the segment
+// layer, which decides what to evict.)
+type RiceChain struct{}
+
+// Name implements Policy.
+func (RiceChain) Name() string { return "rice-chain" }
+
+// Choose implements Policy.
+func (RiceChain) Choose(h *Heap, n int) (*Block, bool) {
+	return FirstFit{}.Choose(h, n)
+}
+
+// NewRiceHeap builds a heap configured as the Rice University system:
+// sequential inactive-block chain, deferred coalescing.
+func NewRiceHeap(size int) *Heap {
+	return New(size, RiceChain{}, CoalesceDeferred)
+}

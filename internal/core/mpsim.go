@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dsa/internal/addr"
+	"dsa/internal/paging"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+	"dsa/internal/trace"
+)
+
+// MPConfig drives the trace-level multiprogramming simulation: real
+// programs (reference traces) on real pagers sharing one core level,
+// with the processor switched to another program whenever one blocks
+// on a page fetch — the overlap mechanism of ATLAS ("at least some of
+// the time spent awaiting the arrival of pages can be overlapped") and
+// the M44/44X ("those [page transfers] that occur can in general be
+// overlapped by switching the M44 to another 44X program").
+type MPConfig struct {
+	// Traces are the programs; each runs to completion.
+	Traces []trace.Trace
+	// PageSize is the uniform unit of allocation.
+	PageSize uint64
+	// FramesPerProgram is each program's fixed core allotment.
+	FramesPerProgram int
+	// FetchLatency is the page fetch time; the faulting program blocks
+	// for this long while others may run.
+	FetchLatency sim.Time
+	// ComputePerRef is execution cost per reference beyond the storage
+	// access itself (default 0: a pure storage-bound program).
+	ComputePerRef sim.Time
+	// Replacement builds each program's replacement policy (default
+	// LRU).
+	Replacement func(*sim.RNG) replace.Policy
+	// Seed drives stochastic policies.
+	Seed uint64
+}
+
+// MPProgramResult reports one program's outcome.
+type MPProgramResult struct {
+	Refs   int64
+	Faults int64
+	Done   sim.Time // completion time
+}
+
+// MPResult reports the multiprogrammed run.
+type MPResult struct {
+	Elapsed sim.Time
+	// CPUBusy is the time the processor spent executing references.
+	CPUBusy sim.Time
+	// Utilization is CPUBusy / Elapsed.
+	Utilization float64
+	// Switches counts program switches taken on faults.
+	Switches int64
+	// Programs holds per-program outcomes.
+	Programs []MPProgramResult
+}
+
+// mpProgram is the scheduler's view of one running program.
+type mpProgram struct {
+	pager   *paging.Pager
+	tr      trace.Trace
+	next    int      // next trace index
+	readyAt sim.Time // when the outstanding fetch completes
+	faults  int64
+}
+
+// RunMultiprogrammed runs all traces to completion under a
+// run-until-fault scheduler and reports processor utilization. Page
+// transfers themselves are overlapped (the data path is modeled as a
+// dedicated channel per the era's autonomous transfer hardware); the
+// fetch *latency* is what blocks the faulting program.
+func RunMultiprogrammed(cfg MPConfig) (MPResult, error) {
+	n := len(cfg.Traces)
+	if n == 0 {
+		return MPResult{}, errors.New("core: no programs")
+	}
+	if cfg.PageSize == 0 || cfg.FramesPerProgram <= 0 {
+		return MPResult{}, fmt.Errorf("core: bad shape page %d, frames %d",
+			cfg.PageSize, cfg.FramesPerProgram)
+	}
+	if cfg.Replacement == nil {
+		cfg.Replacement = func(*sim.RNG) replace.Policy { return replace.NewLRU() }
+	}
+	rng := sim.NewRNG(cfg.Seed)
+
+	clock := &sim.Clock{}
+	coreWords := n * cfg.FramesPerProgram * int(cfg.PageSize)
+	working := store.NewLevel(clock, "core", store.Core, coreWords, 1, 0)
+
+	progs := make([]*mpProgram, n)
+	for i, tr := range cfg.Traces {
+		extent := tr.MaxName() + 1
+		// Round up so the last page is full-size within backing.
+		extent = (extent + cfg.PageSize - 1) / cfg.PageSize * cfg.PageSize
+		// Transfers cost nothing on the shared clock: the latency is
+		// accounted by the scheduler (readyAt), during which other
+		// programs execute.
+		backing := store.NewLevel(clock, fmt.Sprintf("drum-%d", i), store.Drum, int(extent), 0, 0)
+		p, err := paging.New(paging.Config{
+			Clock: clock, Working: working, Backing: backing,
+			PageSize: cfg.PageSize, Frames: cfg.FramesPerProgram,
+			Extent: extent, Policy: cfg.Replacement(rng),
+			FrameBase: i * cfg.FramesPerProgram * int(cfg.PageSize),
+			CPUCost:   cfg.ComputePerRef,
+		})
+		if err != nil {
+			return MPResult{}, fmt.Errorf("core: program %d: %w", i, err)
+		}
+		progs[i] = &mpProgram{pager: p, tr: tr}
+	}
+
+	res := MPResult{Programs: make([]MPProgramResult, n)}
+	var busy sim.Time
+	remaining := n
+	cur := 0
+	for remaining > 0 {
+		// Find a ready program, preferring the current one (run until
+		// fault), else round robin; if none is ready, idle to the
+		// earliest fetch completion.
+		pick := -1
+		if p := progs[cur]; p.next < len(p.tr) && p.readyAt <= clock.Now() {
+			pick = cur
+		} else {
+			var soonest sim.Time = 1<<62 - 1
+			soonestIdx := -1
+			for off := 0; off < n; off++ {
+				i := (cur + 1 + off) % n
+				p := progs[i]
+				if p.next >= len(p.tr) {
+					continue
+				}
+				if p.readyAt <= clock.Now() {
+					pick = i
+					break
+				}
+				if p.readyAt < soonest {
+					soonest = p.readyAt
+					soonestIdx = i
+				}
+			}
+			if pick < 0 {
+				if soonestIdx < 0 {
+					break // nothing runnable at all
+				}
+				clock.Advance(soonest - clock.Now()) // processor idles
+				pick = soonestIdx
+			}
+		}
+		if pick != cur {
+			res.Switches++
+			cur = pick
+		}
+		p := progs[cur]
+		// Execute references until this program faults or finishes.
+		for p.next < len(p.tr) {
+			r := p.tr[p.next]
+			p.next++
+			if r.Op == trace.Advise {
+				continue
+			}
+			before := clock.Now()
+			faultsBefore := p.pager.Stats().Faults
+			err := p.pager.Touch(addr.Name(r.Name), r.Op == trace.Write)
+			if err != nil {
+				return MPResult{}, fmt.Errorf("core: program %d ref %d: %w", cur, p.next-1, err)
+			}
+			busy += clock.Now() - before
+			if p.pager.Stats().Faults > faultsBefore {
+				p.faults++
+				p.readyAt = clock.Now() + cfg.FetchLatency
+				break // blocked: let another program run
+			}
+		}
+		if p.next >= len(p.tr) {
+			remaining--
+			res.Programs[cur] = MPProgramResult{
+				Refs:   p.pager.Stats().Refs,
+				Faults: p.faults,
+				Done:   clock.Now(),
+			}
+		}
+	}
+	res.Elapsed = clock.Now()
+	res.CPUBusy = busy
+	if res.Elapsed > 0 {
+		res.Utilization = float64(busy) / float64(res.Elapsed)
+	}
+	return res, nil
+}

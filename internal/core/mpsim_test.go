@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+	"dsa/internal/workload"
+)
+
+func mpTraces(t *testing.T, n int, refs int) []trace.Trace {
+	t.Helper()
+	out := make([]trace.Trace, n)
+	for i := range out {
+		tr, err := workload.WorkingSet(sim.NewRNG(uint64(100+i)), workload.WorkingSetConfig{
+			Extent: 32 * 256, SetWords: 4 * 256, PhaseLen: refs / 4,
+			Phases: 4, LocalityProb: 0.95, WriteProb: 0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+func TestRunMultiprogrammedValidation(t *testing.T) {
+	if _, err := RunMultiprogrammed(MPConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := RunMultiprogrammed(MPConfig{
+		Traces: mpTraces(t, 1, 100), PageSize: 0, FramesPerProgram: 4,
+	}); err == nil {
+		t.Error("zero page size accepted")
+	}
+}
+
+func TestRunMultiprogrammedCompletesAllPrograms(t *testing.T) {
+	traces := mpTraces(t, 3, 2000)
+	res, err := RunMultiprogrammed(MPConfig{
+		Traces: traces, PageSize: 256, FramesPerProgram: 8,
+		FetchLatency: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Programs) != 3 {
+		t.Fatalf("programs = %d", len(res.Programs))
+	}
+	for i, p := range res.Programs {
+		if p.Refs == 0 || p.Done == 0 {
+			t.Errorf("program %d did not complete: %+v", i, p)
+		}
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization = %g", res.Utilization)
+	}
+	if res.Switches == 0 {
+		t.Error("no program switches")
+	}
+}
+
+func TestMultiprogrammingOverlapImprovesUtilization(t *testing.T) {
+	// The paper's claim made concrete: with slow fetches, running four
+	// programs hides latency that a single program must eat.
+	run := func(n int) float64 {
+		res, err := RunMultiprogrammed(MPConfig{
+			Traces: mpTraces(t, n, 4000), PageSize: 256,
+			FramesPerProgram: 6, FetchLatency: 3000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Utilization
+	}
+	u1 := run(1)
+	u4 := run(4)
+	if u4 <= u1 {
+		t.Errorf("overlap did not help: N=1 %.3f, N=4 %.3f", u1, u4)
+	}
+	if u1 > 0.9 {
+		t.Errorf("single-program utilization %.3f suspiciously high for slow fetches", u1)
+	}
+}
+
+func TestMultiprogrammingDeterministic(t *testing.T) {
+	run := func() MPResult {
+		res, err := RunMultiprogrammed(MPConfig{
+			Traces: mpTraces(t, 2, 1000), PageSize: 256,
+			FramesPerProgram: 4, FetchLatency: 500, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Elapsed != b.Elapsed || a.CPUBusy != b.CPUBusy || a.Switches != b.Switches {
+		t.Errorf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestMultiprogrammingTinyFramesThrash(t *testing.T) {
+	// Starved allotments drive the fault count up sharply.
+	run := func(frames int) int64 {
+		res, err := RunMultiprogrammed(MPConfig{
+			Traces: mpTraces(t, 2, 3000), PageSize: 256,
+			FramesPerProgram: frames, FetchLatency: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var faults int64
+		for _, p := range res.Programs {
+			faults += p.Faults
+		}
+		return faults
+	}
+	generous := run(12)
+	starved := run(1)
+	if starved < generous*3 {
+		t.Errorf("starved faults %d not ≫ generous %d", starved, generous)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dsa/internal/sim"
+)
+
+// MultiprogramConfig parameterizes the multiprogramming-overlap study
+// (experiment T8). The paper argues a large space-time product "will
+// not overly affect the performance of a system if the time spent on
+// fetching pages can normally be overlapped with the execution of other
+// programs", provided each program keeps enough working storage that
+// "further pages are not demanded too frequently".
+//
+// The model: TotalFrames of core are shared equally by Programs
+// identical programs. A program computes for its inter-fault interval,
+// then blocks for FetchTime while its page arrives; the single
+// processor runs any ready program meanwhile. The inter-fault interval
+// follows a parabolic lifetime curve e(f) = LifetimeCoeff·f², the
+// classical Belady lifetime shape: more frames, quadratically fewer
+// faults. Raising the degree of multiprogramming therefore first soaks
+// up fetch latency and then collapses into thrashing as per-program
+// frames shrink — the paper's "unsuitable environments" warning.
+type MultiprogramConfig struct {
+	// Programs is the degree of multiprogramming.
+	Programs int
+	// TotalFrames is the core allotment shared by all programs.
+	TotalFrames int
+	// FetchTime is the page fetch latency in ticks.
+	FetchTime sim.Time
+	// ComputePerRef is the execution cost per reference (default 1).
+	ComputePerRef sim.Time
+	// LifetimeCoeff scales the lifetime curve e(f) = coeff·min(f, w)².
+	LifetimeCoeff float64
+	// WorkingSetFrames is the saturation point w of the lifetime curve:
+	// frames beyond a program's working set buy nothing ("sufficient
+	// working storage space for each program so that further pages are
+	// not demanded too frequently"). 0 means never saturates.
+	WorkingSetFrames int
+	// RefsPerProgram is the reference count each program must execute.
+	RefsPerProgram int64
+}
+
+// MultiprogramResult reports the outcome of the overlap simulation.
+type MultiprogramResult struct {
+	// CPUUtilization is busy time / elapsed time.
+	CPUUtilization float64
+	// Elapsed is total simulated time.
+	Elapsed sim.Time
+	// Faults is the total fault count across programs.
+	Faults int64
+	// FramesPerProgram is the equal share each program received.
+	FramesPerProgram int
+	// InterFault is the modeled references between faults.
+	InterFault int64
+}
+
+// SimulateMultiprogramming runs the overlap model to completion.
+func SimulateMultiprogramming(cfg MultiprogramConfig) (MultiprogramResult, error) {
+	if cfg.Programs <= 0 {
+		return MultiprogramResult{}, errors.New("core: need at least one program")
+	}
+	if cfg.TotalFrames < cfg.Programs {
+		return MultiprogramResult{}, fmt.Errorf("core: %d frames cannot host %d programs",
+			cfg.TotalFrames, cfg.Programs)
+	}
+	if cfg.RefsPerProgram <= 0 {
+		return MultiprogramResult{}, errors.New("core: non-positive reference count")
+	}
+	if cfg.ComputePerRef <= 0 {
+		cfg.ComputePerRef = 1
+	}
+	if cfg.LifetimeCoeff <= 0 {
+		cfg.LifetimeCoeff = 1
+	}
+
+	frames := cfg.TotalFrames / cfg.Programs
+	eff := frames
+	if cfg.WorkingSetFrames > 0 && eff > cfg.WorkingSetFrames {
+		eff = cfg.WorkingSetFrames
+	}
+	interFault := int64(math.Max(1, cfg.LifetimeCoeff*float64(eff)*float64(eff)))
+
+	type prog struct {
+		remaining int64
+		readyAt   sim.Time // time the program's outstanding fetch completes
+	}
+	progs := make([]prog, cfg.Programs)
+	for i := range progs {
+		progs[i] = prog{remaining: cfg.RefsPerProgram}
+		// Initial page fetch: programs stagger in.
+		progs[i].readyAt = sim.Time(i) * cfg.FetchTime / sim.Time(cfg.Programs)
+	}
+
+	var now, busy sim.Time
+	var faults int64
+	for {
+		// Pick the ready program with work left; if none ready, jump to
+		// the earliest completion.
+		best := -1
+		var soonest sim.Time = math.MaxInt64
+		for i := range progs {
+			p := &progs[i]
+			if p.remaining <= 0 {
+				continue
+			}
+			if p.readyAt <= now {
+				best = i
+				break
+			}
+			if p.readyAt < soonest {
+				soonest = p.readyAt
+				best = -(i + 2) // marker: waiting
+			}
+		}
+		if best == -1 {
+			break // all done
+		}
+		if best < -1 {
+			now = soonest // CPU idles until a fetch completes
+			continue
+		}
+		p := &progs[best]
+		burst := interFault
+		if burst > p.remaining {
+			burst = p.remaining
+		}
+		span := sim.Time(burst) * cfg.ComputePerRef
+		now += span
+		busy += span
+		p.remaining -= burst
+		if p.remaining > 0 {
+			faults++
+			p.readyAt = now + cfg.FetchTime
+		}
+	}
+	util := 0.0
+	if now > 0 {
+		util = float64(busy) / float64(now)
+	}
+	return MultiprogramResult{
+		CPUUtilization:   util,
+		Elapsed:          now,
+		Faults:           faults,
+		FramesPerProgram: frames,
+		InterFault:       interFault,
+	}, nil
+}
+
+// OverlapSweep runs the simulation across degrees of multiprogramming
+// and returns results sorted by degree — the T8 series.
+func OverlapSweep(base MultiprogramConfig, degrees []int) ([]MultiprogramResult, error) {
+	out := make([]MultiprogramResult, 0, len(degrees))
+	sorted := append([]int(nil), degrees...)
+	sort.Ints(sorted)
+	for _, n := range sorted {
+		cfg := base
+		cfg.Programs = n
+		r, err := SimulateMultiprogramming(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

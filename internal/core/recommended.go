@@ -1,0 +1,61 @@
+package core
+
+import (
+	"dsa/internal/addr"
+	"dsa/internal/alloc"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// Recommended returns the configuration the authors favor "from the
+// point of view of user convenience and system efficiency":
+//
+//	(i)   a symbolically segmented name space;
+//	(ii)  provisions for accepting predictions about future use of
+//	      segments;
+//	(iii) artificial contiguity used if it is essential, to provide
+//	      large segments, but with use of the mapping device avoided in
+//	      accessing small segments; and
+//	(iv)  nonuniform units of allocation, corresponding closely to the
+//	      size of small segments, but with large segments if allowed,
+//	      allocated using a set of separate blocks.
+//
+// Concretely: small segments are allocated request-sized from a heap
+// and accessed without mapping; segments of at least largeWords are
+// placed in a paged region behind a mapping device, so each occupies a
+// set of separate page frames while presenting a contiguous name range.
+func Recommended(coreWords, backingWords int, largeWords int) Config {
+	if largeWords <= 0 {
+		largeWords = 1024
+	}
+	return Config{
+		Char: Characteristics{
+			NameSpace:            addr.SymbolicSegmentedSpace,
+			Predictive:           true,
+			ArtificialContiguity: true,
+			UniformUnits:         false,
+		},
+		CoreWords:       coreWords,
+		CoreAccess:      1,
+		BackingWords:    backingWords,
+		BackingKind:     store.Drum,
+		BackingAccess:   200,
+		BackingWordTime: 2,
+
+		PageSize: 512,
+		Replacement: func(*sim.RNG) replace.Policy {
+			return replace.NewLRU()
+		},
+
+		Placement:    alloc.BestFit{},
+		CoalesceMode: alloc.CoalesceImmediate,
+		SegReplacement: func(*sim.RNG) replace.Policy {
+			return replace.NewClock()
+		},
+		CompactBeforeEvict: true,
+
+		LargeSegmentWords: largeWords,
+		PagedFraction:     0.25,
+	}
+}

@@ -1,0 +1,440 @@
+// Package core composes the substrates of this repository into
+// complete dynamic storage allocation systems, following the paper's
+// framework: a system is a choice of one value per basic characteristic
+//
+//	(1) name space            — linear | linearly segmented | symbolic
+//	(2) predictive information — accepted or not
+//	(3) artificial contiguity — mapping device present or not
+//	(4) unit of allocation    — uniform (paging) or variable (segments)
+//
+// plus a strategy triple (fetch, placement, replacement). The appendix
+// machines in internal/machine are presets of this configuration space,
+// and Recommended() builds the configuration the authors themselves
+// favor at the end of the Basic Characteristics section.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dsa/internal/addr"
+	"dsa/internal/alloc"
+	"dsa/internal/fetch"
+	"dsa/internal/metrics"
+	"dsa/internal/paging"
+	"dsa/internal/predict"
+	"dsa/internal/replace"
+	"dsa/internal/segment"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+	"dsa/internal/trace"
+)
+
+// Characteristics is the paper's four-way classification.
+type Characteristics struct {
+	// NameSpace is the kind of name space offered to programs.
+	NameSpace addr.Kind
+	// Predictive reports whether advisory directives are accepted.
+	Predictive bool
+	// ArtificialContiguity reports whether a mapping device decouples
+	// names from physical contiguity.
+	ArtificialContiguity bool
+	// UniformUnits selects paging (true) or variable units (false).
+	UniformUnits bool
+}
+
+// String renders the characteristics as a compact 4-tuple.
+func (c Characteristics) String() string {
+	p, a, u := "no-predict", "real-contig", "variable-units"
+	if c.Predictive {
+		p = "predict"
+	}
+	if c.ArtificialContiguity {
+		a = "mapped"
+	}
+	if c.UniformUnits {
+		u = "paged"
+	}
+	return fmt.Sprintf("(%s, %s, %s, %s)", c.NameSpace, p, a, u)
+}
+
+// Config assembles a System.
+type Config struct {
+	Char Characteristics
+	// Seed drives every stochastic policy in the system.
+	Seed uint64
+
+	// Machine shape.
+	CoreWords       int
+	CoreAccess      sim.Time
+	CoreWordTime    sim.Time
+	BackingWords    int
+	BackingKind     store.Kind
+	BackingAccess   sim.Time
+	BackingWordTime sim.Time
+
+	// Uniform-unit (paging) parameters.
+	PageSize     uint64
+	VirtualWords uint64 // linear name-space extent; may exceed CoreWords
+	Replacement  func(*sim.RNG) replace.Policy
+	Fetch        fetch.Strategy
+	// ReserveFrames keeps frames vacant ahead of demand (ATLAS).
+	ReserveFrames int
+
+	// Variable-unit (segment) parameters.
+	Placement          alloc.Policy
+	CoalesceMode       alloc.Mode
+	SegReplacement     func(*sim.RNG) replace.Policy
+	MaxSegmentWords    int
+	CompactBeforeEvict bool
+
+	// Hybrid (the recommended configuration): segments of at least
+	// LargeSegmentWords are routed to a paged region occupying
+	// PagedFraction of core; smaller segments use the variable-unit
+	// heap. Zero disables routing.
+	LargeSegmentWords int
+	PagedFraction     float64
+
+	// Description carries ACSI-MATIC style program descriptions
+	// (requires Char.Predictive).
+	Description *predict.ProgramDescription
+}
+
+// System is a runnable dynamic storage allocation system.
+type System struct {
+	cfg     Config
+	clock   *sim.Clock
+	rng     *sim.RNG
+	working *store.Level
+	backing *store.Level
+
+	pager  *paging.Pager    // uniform path (nil when variable-only)
+	segs   *segment.Manager // variable path (nil when uniform-only)
+	advice *predict.AdviceSet
+
+	// hybrid routing: symbols of large segments living in the paged
+	// region, with their base name in the pager's virtual space.
+	pagedSegs  map[string]pagedSeg
+	virtualTop uint64
+}
+
+type pagedSeg struct {
+	base   uint64
+	extent addr.Name
+}
+
+// New validates a configuration and builds the system.
+func New(cfg Config) (*System, error) {
+	if cfg.CoreWords <= 0 || cfg.BackingWords <= 0 {
+		return nil, errors.New("core: core and backing sizes are required")
+	}
+	if cfg.Char.UniformUnits && !cfg.Char.ArtificialContiguity {
+		return nil, errors.New("core: uniform units require artificial contiguity (a mapping device)")
+	}
+	if cfg.Description != nil && !cfg.Char.Predictive {
+		return nil, errors.New("core: program description supplied but predictive information disabled")
+	}
+	if cfg.CoreAccess == 0 {
+		cfg.CoreAccess = 1
+	}
+	if cfg.BackingAccess == 0 {
+		cfg.BackingAccess = 100
+	}
+	if cfg.BackingWordTime == 0 {
+		cfg.BackingWordTime = 2
+	}
+	if cfg.Replacement == nil {
+		cfg.Replacement = func(*sim.RNG) replace.Policy { return replace.NewLRU() }
+	}
+	if cfg.SegReplacement == nil {
+		cfg.SegReplacement = func(*sim.RNG) replace.Policy { return replace.NewClock() }
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = alloc.BestFit{}
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 512
+	}
+
+	s := &System{
+		cfg:       cfg,
+		clock:     &sim.Clock{},
+		rng:       sim.NewRNG(cfg.Seed),
+		pagedSegs: make(map[string]pagedSeg),
+	}
+	s.working = store.NewLevel(s.clock, "core", store.Core, cfg.CoreWords, cfg.CoreAccess, cfg.CoreWordTime)
+	s.backing = store.NewLevel(s.clock, backingName(cfg.BackingKind), cfg.BackingKind,
+		cfg.BackingWords, cfg.BackingAccess, cfg.BackingWordTime)
+
+	if cfg.Char.Predictive {
+		s.advice = predict.NewAdviceSet(cfg.PageSize)
+	}
+
+	hybrid := cfg.LargeSegmentWords > 0 && !cfg.Char.UniformUnits && cfg.Char.ArtificialContiguity
+	pagedWords := cfg.CoreWords
+	heapWords := 0
+	switch {
+	case hybrid:
+		frac := cfg.PagedFraction
+		if frac <= 0 || frac >= 1 {
+			frac = 0.25
+		}
+		pagedWords = int(float64(cfg.CoreWords) * frac)
+		pagedWords -= pagedWords % int(cfg.PageSize)
+		if pagedWords < int(cfg.PageSize) {
+			pagedWords = int(cfg.PageSize)
+		}
+		heapWords = cfg.CoreWords - pagedWords
+	case cfg.Char.UniformUnits:
+		heapWords = 0
+	default:
+		pagedWords = 0
+		heapWords = cfg.CoreWords
+	}
+
+	if pagedWords > 0 {
+		frames := pagedWords / int(cfg.PageSize)
+		if frames == 0 {
+			return nil, fmt.Errorf("core: page size %d exceeds paged region %d", cfg.PageSize, pagedWords)
+		}
+		virtual := cfg.VirtualWords
+		if virtual == 0 {
+			virtual = uint64(cfg.BackingWords)
+		}
+		if virtual > uint64(cfg.BackingWords) {
+			return nil, fmt.Errorf("core: virtual extent %d exceeds backing %d", virtual, cfg.BackingWords)
+		}
+		fs := cfg.Fetch
+		if fs == nil {
+			if cfg.Char.Predictive {
+				fs = fetch.Advised{Set: s.advice}
+			} else {
+				fs = fetch.Demand{}
+			}
+		}
+		pager, err := paging.New(paging.Config{
+			Clock: s.clock, Working: s.working, Backing: s.backing,
+			PageSize: cfg.PageSize, Frames: frames, Extent: virtual,
+			Policy: cfg.Replacement(s.rng), Fetch: fs, Advice: s.advice,
+			LookupCost: cfg.CoreAccess, FrameBase: heapWords,
+			OverlapPrefetch: true, ReserveFrames: cfg.ReserveFrames,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.pager = pager
+	}
+
+	if heapWords > 0 {
+		// The heap occupies core words [0, heapWords); the segment
+		// manager sees a level of that capacity. Carve a sub-level by
+		// reusing the main level via a dedicated manager-owned level
+		// would double storage, so the manager gets the real level only
+		// when it owns all of core; in hybrid mode it gets a private
+		// region level sharing the clock.
+		heapLevel := s.working
+		backingLevel := s.backing
+		if s.pager != nil {
+			heapLevel = store.NewLevel(s.clock, "core-heap", store.Core, heapWords, cfg.CoreAccess, cfg.CoreWordTime)
+			// Segment images share the backing device but must not
+			// collide with pager pages; give the manager its own
+			// backing region with identical timing.
+			backingLevel = store.NewLevel(s.clock, backingName(cfg.BackingKind)+"-segs", cfg.BackingKind,
+				cfg.BackingWords, cfg.BackingAccess, cfg.BackingWordTime)
+		}
+		mgr, err := segment.NewManager(segment.Config{
+			Clock: s.clock, Working: heapLevel, Backing: backingLevel,
+			Placement: cfg.Placement, CoalesceMode: cfg.CoalesceMode,
+			Replacement: cfg.SegReplacement(s.rng), MaxSegmentWords: cfg.MaxSegmentWords,
+			Description: cfg.Description, CompactBeforeEvict: cfg.CompactBeforeEvict,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.segs = mgr
+	}
+	return s, nil
+}
+
+func backingName(k store.Kind) string { return k.String() }
+
+// Clock exposes the simulation clock.
+func (s *System) Clock() *sim.Clock { return s.clock }
+
+// Characteristics reports the system's classification.
+func (s *System) Characteristics() Characteristics { return s.cfg.Char }
+
+// Pager exposes the uniform-unit engine, nil if absent.
+func (s *System) Pager() *paging.Pager { return s.pager }
+
+// Segments exposes the variable-unit engine, nil if absent.
+func (s *System) Segments() *segment.Manager { return s.segs }
+
+// Advice exposes the advice set (nil unless predictive).
+func (s *System) Advice() *predict.AdviceSet { return s.advice }
+
+// CoreWords reports the working-storage capacity in words.
+func (s *System) CoreWords() int { return s.cfg.CoreWords }
+
+// LinearExtent reports the linear name-space extent available to
+// RunLinear: the pager's virtual extent on a mapped system, or the
+// core capacity on a system holding programs contiguously.
+func (s *System) LinearExtent() uint64 {
+	if s.pager != nil {
+		return s.pager.Extent()
+	}
+	return uint64(s.cfg.CoreWords)
+}
+
+// RunLinear replays a linear-name-space trace. On a paged system the
+// trace drives the pager directly. On a variable-unit system the
+// program occupies one implicit contiguous segment sized to the trace
+// (the pre-paging regime: relocation register machines), which is how
+// the paper's early history maps onto this framework.
+func (s *System) RunLinear(tr trace.Trace) (*Report, error) {
+	if s.pager != nil {
+		res, err := s.pager.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		return s.report(&res), nil
+	}
+	if s.segs == nil {
+		return nil, errors.New("core: system has no engine")
+	}
+	// The linear space is held in implicit contiguous segments. With a
+	// segment-size cap (B5000) the space is chunked the way the B5000
+	// compilers chunked programs and arrays: one segment per cap-sized
+	// block.
+	extent := tr.MaxName() + 1
+	chunk := uint64(s.cfg.MaxSegmentWords)
+	if chunk == 0 || chunk > extent {
+		chunk = extent
+	}
+	nChunks := (extent + chunk - 1) / chunk
+	symbols := make([]string, nChunks)
+	for i := uint64(0); i < nChunks; i++ {
+		size := chunk
+		if i == nChunks-1 {
+			size = extent - i*chunk
+		}
+		symbols[i] = fmt.Sprintf("<linear-%d>", i)
+		if _, err := s.segs.Create(symbols[i], addr.Name(size)); err != nil {
+			return nil, err
+		}
+	}
+	for i, r := range tr {
+		if r.Op == trace.Advise {
+			continue // variable-unit linear systems predate advice
+		}
+		c := r.Name / chunk
+		if err := s.segs.Touch(symbols[c], addr.Name(r.Name%chunk), r.Op == trace.Write); err != nil {
+			return nil, fmt.Errorf("core: trace event %d: %w", i, err)
+		}
+	}
+	return s.report(nil), nil
+}
+
+// routesToPager reports whether a segment of the given extent belongs
+// in the paged region. On a uniform-unit system every segment does
+// (segments are laid out page-aligned in the linear virtual space, as
+// on the 360/67 and MULTICS); on a hybrid system only large segments
+// qualify.
+func (s *System) routesToPager(extent addr.Name) bool {
+	if s.pager == nil {
+		return false
+	}
+	if s.segs == nil {
+		return true
+	}
+	return s.cfg.LargeSegmentWords > 0 && int(extent) >= s.cfg.LargeSegmentWords
+}
+
+// Create declares a segment. Large segments on a hybrid system land in
+// the paged region ("artificial contiguity used if it is essential, to
+// provide large segments"); everything else uses the variable-unit
+// heap ("with use of the mapping device avoided in accessing small
+// segments"). On a pure paging system all segments are laid out
+// page-aligned in the linear virtual space.
+func (s *System) Create(symbol string, extent addr.Name) error {
+	if s.routesToPager(extent) {
+		if _, dup := s.pagedSegs[symbol]; dup {
+			return fmt.Errorf("core: segment %q already exists", symbol)
+		}
+		base := s.virtualTop
+		// Round the next base to a page boundary so segments do not
+		// share pages.
+		span := (uint64(extent) + s.cfg.PageSize - 1) / s.cfg.PageSize * s.cfg.PageSize
+		if base+span > uint64(s.cfg.BackingWords) {
+			return fmt.Errorf("core: paged region name space exhausted for %q", symbol)
+		}
+		s.pagedSegs[symbol] = pagedSeg{base: base, extent: extent}
+		s.virtualTop = base + span
+		return nil
+	}
+	if s.segs == nil {
+		return errors.New("core: system has no segment engine")
+	}
+	_, err := s.segs.Create(symbol, extent)
+	return err
+}
+
+// Touch references word `off` of a named segment.
+func (s *System) Touch(symbol string, off addr.Name, write bool) error {
+	if ps, ok := s.pagedSegs[symbol]; ok {
+		if off >= ps.extent {
+			return fmt.Errorf("%w: offset %d, segment %q extent %d", addr.ErrLimit, off, symbol, ps.extent)
+		}
+		return s.pager.Touch(addr.Name(ps.base)+off, write)
+	}
+	if s.segs == nil {
+		return fmt.Errorf("%w: %q", addr.ErrUnknownSegment, symbol)
+	}
+	return s.segs.Touch(symbol, off, write)
+}
+
+// Advise feeds one predictive directive to the system. Systems without
+// predictive capability ignore it silently, matching the paper: the
+// directives are "essentially advisory".
+func (s *System) Advise(r trace.Ref) {
+	if s.advice == nil {
+		return
+	}
+	s.advice.Apply(r)
+}
+
+// Report summarizes the system state.
+type Report struct {
+	Char      Characteristics
+	Elapsed   sim.Time
+	Paging    *paging.Stats
+	SpaceTime metrics.SpaceTimeReport
+	SegStats  *segment.Stats
+	Frag      *metrics.FragStats
+}
+
+func (s *System) report(res *paging.Result) *Report {
+	r := &Report{Char: s.cfg.Char, Elapsed: s.clock.Now()}
+	if res != nil {
+		st := res.Stats
+		r.Paging = &st
+		r.SpaceTime = res.SpaceTime
+	} else if s.pager != nil {
+		st := s.pager.Stats()
+		r.Paging = &st
+		r.SpaceTime = s.pager.SpaceTime().Snapshot()
+	}
+	if s.segs != nil {
+		st := s.segs.Stats()
+		r.SegStats = &st
+		frag := s.segs.Heap().Stats()
+		r.Frag = &frag
+		if r.Paging == nil {
+			r.SpaceTime = s.segs.SpaceTime().Snapshot()
+		}
+	}
+	return r
+}
+
+// Report returns the current summary.
+func (s *System) Report() *Report { return s.report(nil) }

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dsa/internal/addr"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+	"dsa/internal/trace"
+	"dsa/internal/workload"
+)
+
+func pagedConfig() Config {
+	return Config{
+		Char: Characteristics{
+			NameSpace:            addr.LinearSpace,
+			ArtificialContiguity: true,
+			UniformUnits:         true,
+		},
+		CoreWords: 4 * 512, BackingWords: 64 * 512,
+		BackingKind: store.Drum,
+		PageSize:    512, VirtualWords: 64 * 512,
+	}
+}
+
+func segConfig() Config {
+	return Config{
+		Char: Characteristics{
+			NameSpace:    addr.SymbolicSegmentedSpace,
+			UniformUnits: false,
+		},
+		CoreWords: 2048, BackingWords: 1 << 16,
+		BackingKind: store.Drum,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	bad := pagedConfig()
+	bad.Char.ArtificialContiguity = false
+	if _, err := New(bad); err == nil {
+		t.Error("paging without mapping accepted")
+	}
+	bad2 := segConfig()
+	bad2.Description = nil
+	bad2.Char.Predictive = false
+	if _, err := New(bad2); err != nil {
+		t.Errorf("valid seg config rejected: %v", err)
+	}
+}
+
+func TestPagedSystemRunLinear(t *testing.T) {
+	s, err := New(pagedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pager() == nil || s.Segments() != nil {
+		t.Fatal("paged system engines wrong")
+	}
+	rep, err := s.RunLinear(workload.Sequential(16*512, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Paging == nil || rep.Paging.Faults != 16 {
+		t.Errorf("paging stats = %+v, want 16 faults", rep.Paging)
+	}
+	if rep.SpaceTime.Total() <= 0 {
+		t.Error("no space-time accumulated")
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestVariableSystemRunLinear(t *testing.T) {
+	s, err := New(segConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pager() != nil || s.Segments() == nil {
+		t.Fatal("segment system engines wrong")
+	}
+	rep, err := s.RunLinear(workload.Sequential(1000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SegStats == nil || rep.SegStats.SegFaults != 1 {
+		t.Errorf("seg stats = %+v, want one implicit-segment fetch", rep.SegStats)
+	}
+	if rep.Frag == nil {
+		t.Error("no fragmentation report")
+	}
+}
+
+func TestSegmentedAPI(t *testing.T) {
+	s, err := New(segConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("data", 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Touch("data", 299, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Touch("data", 300, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+	if err := s.Touch("ghost", 0, false); !errors.Is(err, addr.ErrUnknownSegment) {
+		t.Errorf("err = %v, want ErrUnknownSegment", err)
+	}
+	rep := s.Report()
+	if rep.SegStats.Creates != 1 {
+		t.Errorf("creates = %d", rep.SegStats.Creates)
+	}
+}
+
+func TestUniformSystemSegmentsArePageAligned(t *testing.T) {
+	s, _ := New(pagedConfig())
+	if err := s.Create("x", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("y", 100); err != nil {
+		t.Fatal(err)
+	}
+	// Touch both first words: they sit on distinct pages, so two faults.
+	if err := s.Touch("x", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Touch("y", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Paging.Faults != 2 {
+		t.Errorf("faults = %d, want 2 (segments page-aligned)", rep.Paging.Faults)
+	}
+	if err := s.Touch("x", 100, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("bounds err = %v, want ErrLimit", err)
+	}
+}
+
+func TestAdviseIgnoredWithoutPredictive(t *testing.T) {
+	s, _ := New(pagedConfig())
+	// Must not panic or error.
+	s.Advise(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 0, Span: 512})
+	if s.Advice() != nil {
+		t.Error("advice set exists on non-predictive system")
+	}
+}
+
+func TestPredictiveSystemAcceptsAdvice(t *testing.T) {
+	cfg := pagedConfig()
+	cfg.Char.Predictive = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Advice() == nil {
+		t.Fatal("no advice set")
+	}
+	s.Advise(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 0, Span: 512})
+	if s.Advice().Accepted() != 1 {
+		t.Error("advice not accepted")
+	}
+}
+
+func TestRecommendedHybridRouting(t *testing.T) {
+	cfg := Recommended(16384, 1<<18, 1024)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pager() == nil || s.Segments() == nil {
+		t.Fatal("recommended system must have both engines")
+	}
+	// Small segment → heap; large segment → paged region.
+	if err := s.Create("small", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("large", 8000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Touch("small", 50, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Touch("large", 7999, true); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.SegStats.Creates != 1 {
+		t.Errorf("heap segment creates = %d, want 1 (large routed to pager)", rep.SegStats.Creates)
+	}
+	if rep.Paging == nil || rep.Paging.Faults == 0 {
+		t.Error("large segment access did not page")
+	}
+	// Bounds still enforced on paged segments.
+	if err := s.Touch("large", 8000, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+	// Duplicate paged segment rejected.
+	if err := s.Create("large", 9000); err == nil {
+		t.Error("duplicate paged segment accepted")
+	}
+}
+
+func TestRecommendedLargeSegmentsDontFragmentHeap(t *testing.T) {
+	// The point of the hybrid: large segments go to page frames, so the
+	// heap's external fragmentation stays low even with big objects.
+	s, err := New(Recommended(16384, 1<<18, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		sym := "big" + string(rune('0'+i))
+		if err := s.Create(sym, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Touch(sym, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := s.Report()
+	if rep.Frag.AllocatedWords != 0 {
+		t.Errorf("heap allocated %d words; large segments leaked into heap", rep.Frag.AllocatedWords)
+	}
+}
+
+func TestCharacteristicsString(t *testing.T) {
+	c := Characteristics{
+		NameSpace: addr.SymbolicSegmentedSpace, Predictive: true,
+		ArtificialContiguity: true, UniformUnits: false,
+	}
+	got := c.String()
+	want := "(symbolically segmented, predict, mapped, variable-units)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDescriptionRequiresPredictive(t *testing.T) {
+	cfg := segConfig()
+	cfg.Description = nil
+	cfg.Char.Predictive = false
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() sim.Time {
+		cfg := pagedConfig()
+		cfg.Seed = 99
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := workload.WorkingSet(sim.NewRNG(5), workload.WorkingSetConfig{
+			Extent: 64 * 512, SetWords: 1024, PhaseLen: 1000, Phases: 3, LocalityProb: 0.9,
+		})
+		rep, err := s.RunLinear(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same-seed runs diverged: %d vs %d", a, b)
+	}
+}
+
+func TestMultiprogrammingOverlapShape(t *testing.T) {
+	base := MultiprogramConfig{
+		TotalFrames:      64,
+		FetchTime:        5000,
+		LifetimeCoeff:    50,
+		WorkingSetFrames: 8,
+		RefsPerProgram:   200000,
+	}
+	results, err := OverlapSweep(base, []int{1, 2, 4, 8, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Utilization must rise with early multiprogramming...
+	if !(results[0].CPUUtilization < results[2].CPUUtilization) {
+		t.Errorf("utilization did not rise: N=1 %.3f !< N=4 %.3f",
+			results[0].CPUUtilization, results[2].CPUUtilization)
+	}
+	// ...and collapse at the thrashing end (frames per program → 1).
+	last := results[len(results)-1]
+	peak := 0.0
+	for _, r := range results {
+		if r.CPUUtilization > peak {
+			peak = r.CPUUtilization
+		}
+	}
+	if !(last.CPUUtilization < peak*0.7) {
+		t.Errorf("no thrashing collapse: last %.3f vs peak %.3f", last.CPUUtilization, peak)
+	}
+}
+
+func TestMultiprogrammingValidation(t *testing.T) {
+	if _, err := SimulateMultiprogramming(MultiprogramConfig{}); err == nil {
+		t.Error("zero programs accepted")
+	}
+	if _, err := SimulateMultiprogramming(MultiprogramConfig{Programs: 10, TotalFrames: 5, RefsPerProgram: 1}); err == nil {
+		t.Error("more programs than frames accepted")
+	}
+	if _, err := SimulateMultiprogramming(MultiprogramConfig{Programs: 1, TotalFrames: 5}); err == nil {
+		t.Error("zero refs accepted")
+	}
+}
+
+func TestMultiprogrammingSingleProgramIdlesDuringFetch(t *testing.T) {
+	r, err := SimulateMultiprogramming(MultiprogramConfig{
+		Programs: 1, TotalFrames: 4, FetchTime: 1000,
+		LifetimeCoeff: 1, RefsPerProgram: 160,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e(4)=16 refs per fault → 9 bursts, 9 faults... last burst has no
+	// fault. Utilization well below 1 because every fault idles the CPU.
+	if r.CPUUtilization > 0.5 {
+		t.Errorf("utilization %.3f, want < 0.5 with slow fetches", r.CPUUtilization)
+	}
+	if r.Faults == 0 {
+		t.Error("no faults simulated")
+	}
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"dsa/internal/addr"
+	"dsa/internal/mapping"
+	"dsa/internal/sim"
+)
+
+// segID and nameOf keep the ablation code free of casts.
+func segID(i int) addr.SegID { return addr.SegID(i) }
+func nameOf(i int) addr.Name { return addr.Name(i) }
+
+// mappingForFlush builds a fully populated two-level mapper with an
+// 8-register associative memory, used by A5.
+func mappingForFlush(clock *sim.Clock, segs int) *mapping.TwoLevel {
+	m := mapping.NewTwoLevel(clock, segs, 8, 1)
+	for s := 0; s < segs; s++ {
+		pt, err := m.Establish(addr.SegID(s), 1024, 256)
+		if err != nil {
+			panic(err)
+		}
+		for p := 0; p < 4; p++ {
+			if err := pt.SetEntry(uint64(p), s*4+p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return m
+}

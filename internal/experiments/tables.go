@@ -1,0 +1,524 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsa/internal/addr"
+	"dsa/internal/alloc"
+	"dsa/internal/core"
+	"dsa/internal/machine"
+	"dsa/internal/metrics"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+	"dsa/internal/workload"
+)
+
+// runPageString replays a page-reference string against a policy with a
+// fixed frame capacity and returns the fault count — the harness of
+// Belady's cited study.
+func runPageString(p replace.Policy, refs []replace.PageID, capacity int) int {
+	var clock sim.Clock
+	resident := make(map[replace.PageID]bool, capacity)
+	faults := 0
+	for _, r := range refs {
+		clock.Advance(1)
+		if resident[r] {
+			p.Touch(r, clock.Now(), false)
+			continue
+		}
+		faults++
+		if len(resident) == capacity {
+			v, err := p.Victim(clock.Now())
+			if err != nil {
+				panic(err)
+			}
+			p.Remove(v)
+			delete(resident, v)
+		}
+		resident[r] = true
+		p.Insert(r, clock.Now())
+	}
+	return faults
+}
+
+func toPageIDs(pages []uint64) []replace.PageID {
+	out := make([]replace.PageID, len(pages))
+	for i, p := range pages {
+		out[i] = replace.PageID(p)
+	}
+	return out
+}
+
+// T1Replacement reproduces the replacement-strategy comparison the
+// paper builds on Belady's study [1]: fault counts for MIN, LRU, Clock,
+// FIFO, Random, the M44 class policy and the ATLAS learning program,
+// across memory sizes and reference regimes. Expected shape: MIN is a
+// lower bound everywhere; LRU ≈ Clock ≤ FIFO ≤ Random under locality;
+// the learning program wins on loops and loses on random traffic.
+func T1Replacement() (*metrics.Table, error) {
+	const pageSize = 256
+	traces := []struct {
+		name string
+		tr   trace.Trace
+	}{}
+	ws, err := workload.WorkingSet(sim.NewRNG(5), workload.WorkingSetConfig{
+		Extent: 64 * pageSize, SetWords: 8 * pageSize,
+		PhaseLen: 5000, Phases: 6, LocalityProb: 0.9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	traces = append(traces,
+		struct {
+			name string
+			tr   trace.Trace
+		}{"working-set", ws},
+		struct {
+			name string
+			tr   trace.Trace
+		}{"loop(17 pages)", workload.Loop(17, pageSize, 100)},
+		struct {
+			name string
+			tr   trace.Trace
+		}{"random", workload.UniformRandom(sim.NewRNG(6), 64*pageSize, 20000)},
+	)
+
+	t := &metrics.Table{
+		Title: "T1 — replacement strategies (faults; after Belady [1])",
+		Header: []string{"trace", "frames",
+			"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"},
+	}
+	for _, tc := range traces {
+		pageStr := toPageIDs(tc.tr.PageString(pageSize))
+		for _, frames := range []int{8, 16, 24} {
+			mk := map[string]func() replace.Policy{
+				"belady-min":     func() replace.Policy { return replace.NewMIN(pageStr) },
+				"lru":            func() replace.Policy { return replace.NewLRU() },
+				"clock":          func() replace.Policy { return replace.NewClock() },
+				"fifo":           func() replace.Policy { return replace.NewFIFO() },
+				"random":         func() replace.Policy { return replace.NewRandom(sim.NewRNG(1)) },
+				"m44-random":     func() replace.Policy { return replace.NewM44Random(sim.NewRNG(1)) },
+				"atlas-learning": func() replace.Policy { return replace.NewLearning() },
+			}
+			row := []interface{}{tc.name, frames}
+			for _, name := range []string{"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"} {
+				row = append(row, runPageString(mk[name](), pageStr, frames))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// T2Placement reproduces the placement-strategy comparison of the
+// Placement Strategies section: first fit, best fit (B5000), worst
+// fit, next fit, two-ended and the Rice chain, across request-size
+// distributions. Reported: achieved utilization when the first
+// fragmentation failure occurs, external fragmentation at steady state,
+// and search effort (probes per allocation, the bookkeeping cost the
+// two-ended strategy was designed to cut).
+func T2Placement() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "T2 — placement strategies (heap 64Ki words)",
+		Header: []string{"distribution", "policy", "allocs", "frag failures",
+			"utilization@fail", "ext frag", "probes/alloc"},
+	}
+	const heapWords = 65536
+	dists := []workload.RequestConfig{
+		{Dist: workload.SizesUniform, MinSize: 16, MaxSize: 1024, MeanLifetime: 60, Count: 8000},
+		{Dist: workload.SizesExponential, MinSize: 8, MaxSize: 4096, MeanSize: 200, MeanLifetime: 60, Count: 8000},
+		{Dist: workload.SizesBimodal, MinSize: 32, MaxSize: 4096, MeanLifetime: 60, Count: 8000},
+	}
+	policies := []struct {
+		name string
+		mk   func() (alloc.Policy, alloc.Mode)
+	}{
+		{"first-fit", func() (alloc.Policy, alloc.Mode) { return alloc.FirstFit{}, alloc.CoalesceImmediate }},
+		{"best-fit", func() (alloc.Policy, alloc.Mode) { return alloc.BestFit{}, alloc.CoalesceImmediate }},
+		{"worst-fit", func() (alloc.Policy, alloc.Mode) { return alloc.WorstFit{}, alloc.CoalesceImmediate }},
+		{"next-fit", func() (alloc.Policy, alloc.Mode) { return &alloc.NextFit{}, alloc.CoalesceImmediate }},
+		{"two-ended", func() (alloc.Policy, alloc.Mode) { return alloc.TwoEnded{Threshold: 512}, alloc.CoalesceImmediate }},
+		{"rice-chain", func() (alloc.Policy, alloc.Mode) { return alloc.RiceChain{}, alloc.CoalesceDeferred }},
+	}
+	for _, dc := range dists {
+		reqs, err := workload.Requests(sim.NewRNG(31), dc)
+		if err != nil {
+			return nil, err
+		}
+		for _, pc := range policies {
+			pol, mode := pc.mk()
+			h := alloc.New(heapWords, pol, mode)
+			// freeAt[i] lists addresses to free before request i.
+			freeAt := make(map[int][]int)
+			utilAtFirstFail := -1.0
+			for i, req := range reqs {
+				for _, a := range freeAt[i] {
+					if err := h.Free(a); err != nil {
+						return nil, err
+					}
+				}
+				a, err := h.Alloc(req.Size)
+				if err != nil {
+					if utilAtFirstFail < 0 {
+						utilAtFirstFail = h.Stats().Utilization()
+					}
+					continue
+				}
+				if req.Lifetime > 0 {
+					freeAt[i+req.Lifetime] = append(freeAt[i+req.Lifetime], a)
+				}
+			}
+			c := h.Counters()
+			st := h.Stats()
+			util := utilAtFirstFail
+			if util < 0 {
+				util = 1 // never failed
+			}
+			probes := 0.0
+			if c.Allocs > 0 {
+				probes = float64(c.Probes) / float64(c.Allocs+c.Failures)
+			}
+			t.AddRow(dc.Dist.String(), pc.name, c.Allocs, c.FragFailures,
+				util, st.ExternalFrag(), probes)
+		}
+	}
+	return t, nil
+}
+
+// T3UnitSize reproduces the unit-of-allocation discussion: "If it is
+// too small, there will be an unacceptable amount of overhead. If it is
+// too large, too much space will be wasted." A compiler-shaped segment
+// population is held in pages of sweeping size; internal waste rises
+// with page size while table overhead (one word per page table entry)
+// falls. The final row gives the variable-unit alternative, which
+// trades the internal waste for external fragmentation.
+func T3UnitSize() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "T3 — choosing the unit of allocation (3000 segments)",
+		Header: []string{"unit", "pages", "table words", "internal waste",
+			"waste frac", "ext frag"},
+	}
+	rng := sim.NewRNG(17)
+	sizes := workload.SegmentSizes(rng, 3000, 8192)
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	for _, pageSize := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+		pages, waste := 0, 0
+		for _, s := range sizes {
+			pages += machine.PageCount(s, pageSize)
+			waste += machine.PageWaste(s, pageSize)
+		}
+		t.AddRow(fmt.Sprintf("%d-word pages", pageSize), pages, pages,
+			waste, float64(waste)/float64(total+waste), 0.0)
+	}
+	// Variable units: allocate the same population (with churn) from a
+	// heap and report the external fragmentation instead.
+	h := alloc.New(total/2, alloc.BestFit{}, alloc.CoalesceImmediate)
+	live := make([]int, 0)
+	rng2 := sim.NewRNG(18)
+	for _, s := range sizes {
+		if a, err := h.Alloc(s); err == nil {
+			live = append(live, a)
+		}
+		// Random churn keeps the heap near half full.
+		for h.Stats().Utilization() > 0.55 && len(live) > 0 {
+			j := rng2.Intn(len(live))
+			if err := h.Free(live[j]); err != nil {
+				return nil, err
+			}
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	st := h.Stats()
+	t.AddRow("variable (best-fit)", "-", "-", st.AllocatedWords-st.RequestedWords,
+		st.InternalFrag(), st.ExternalFrag())
+	return t, nil
+}
+
+// T4Machines runs the common segmented workload on all seven appendix
+// machines and reports their behaviour side by side.
+func T4Machines() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "T4 — the appendix survey on a common workload (32 segments, 20000 refs)",
+		Header: []string{"machine", "app.", "characteristics", "fetches",
+			"wait frac", "elapsed (cycles)", "ext frag"},
+	}
+	w := machine.CommonWorkload(3, 32, 20000)
+	ms, err := machine.All(2)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range ms {
+		rep, err := m.RunWorkload(w)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		var fetches int64
+		if rep.Paging != nil {
+			fetches += rep.Paging.Faults
+		}
+		if rep.SegStats != nil {
+			fetches += rep.SegStats.SegFaults
+		}
+		frag := 0.0
+		if rep.Frag != nil {
+			frag = rep.Frag.ExternalFrag()
+		}
+		t.AddRow(m.Name, m.Appendix, m.System.Characteristics().String(),
+			fetches, rep.SpaceTime.WaitFraction(), rep.Elapsed, frag)
+	}
+	return t, nil
+}
+
+// T5Predictive reproduces the predictive-information discussion using
+// the M44/44X (the system with the WillNeed/WontNeed instructions):
+// a phase-structured program runs under pure demand paging, with
+// accurate advice, and with adversarially wrong advice. Correct advice
+// cuts waiting (pages arrive overlapped, dead pages leave early); wrong
+// advice must not break anything but costs performance — the paper's
+// argument for treating directives as advisory tuning.
+func T5Predictive() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "T5 — predictive information on the M44/44X",
+		Header: []string{"variant", "faults", "prefetches", "advice evictions",
+			"wait frac", "space-time total", "elapsed"},
+	}
+	const pageSize = 512
+	const phaseWords = 4 * pageSize
+	base, err := workload.WorkingSet(sim.NewRNG(42), workload.WorkingSetConfig{
+		Extent: 64 * pageSize, SetWords: phaseWords,
+		PhaseLen: 3000, Phases: 8, LocalityProb: 0.97, WriteProb: 0.2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"demand only", base},
+		{"accurate advice", workload.WithAdvice(base, 3000, phaseWords)},
+		{"wrong advice", workload.WithWrongAdvice(base, 3000, phaseWords, 64*pageSize)},
+	}
+	for _, v := range variants {
+		m, err := machine.M44WithPageSize(16, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := m.RunLinear(v.tr)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, rep.Paging.Faults, rep.Paging.Prefetches,
+			rep.Paging.AdviceEvictions, rep.SpaceTime.WaitFraction(),
+			rep.SpaceTime.Total(), rep.Elapsed)
+	}
+	return t, nil
+}
+
+// T6DualPageSize reproduces the MULTICS dual-page-size argument (A.6):
+// with 64- and 1024-word page frames "the loss in storage utilization
+// caused by fragmentation occurring within pages can be reduced", at
+// the cost of added placement/replacement complexity (more table
+// entries to manage).
+func T6DualPageSize() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title:  "T6 — MULTICS dual page sizes (3000 segments)",
+		Header: []string{"scheme", "pages", "table words", "waste words", "waste frac"},
+	}
+	rng := sim.NewRNG(23)
+	sizes := workload.SegmentSizes(rng, 3000, 262144/16) // cap at scaled max segment
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	single := func(pageSize int) (pages, waste int) {
+		for _, s := range sizes {
+			pages += machine.PageCount(s, pageSize)
+			waste += machine.PageWaste(s, pageSize)
+		}
+		return
+	}
+	p64, w64 := single(64)
+	p1024, w1024 := single(1024)
+	var dualPages, dualWaste int
+	for _, s := range sizes {
+		lg, sm, w := machine.DualPageSplit(s, 64, 1024)
+		dualPages += lg + sm
+		dualWaste += w
+	}
+	t.AddRow("64-word only", p64, p64, w64, float64(w64)/float64(total+w64))
+	t.AddRow("1024-word only", p1024, p1024, w1024, float64(w1024)/float64(total+w1024))
+	t.AddRow("dual 64+1024 (MULTICS)", dualPages, dualPages, dualWaste,
+		float64(dualWaste)/float64(total+dualWaste))
+	return t, nil
+}
+
+// T7NameSpace reproduces the symbolic-vs-linear segment-naming
+// comparison of the Name Space section: under creation/destruction
+// churn, a linearly segmented name space must find and eventually fails
+// to find contiguous runs of segment names ("one does not need to
+// search a dictionary for a group of available contiguous segment
+// names" with symbols), while the symbolic dictionary does constant
+// bookkeeping and never fragments.
+func T7NameSpace() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "T7 — segment-name bookkeeping: symbolic vs linear dictionary",
+		Header: []string{"dictionary", "ops", "probes or lookups",
+			"frag failures", "largest free run", "free names"},
+	}
+	const slots = 256
+	const ops = 4000
+
+	rng := sim.NewRNG(29)
+	lin := addr.NewLinearDictionary(slots)
+	type held struct {
+		first addr.SegID
+		k     int
+	}
+	var live []held
+	linOps := 0
+	for i := 0; i < ops; i++ {
+		if rng.Float64() < 0.55 || len(live) == 0 {
+			k := 1 + rng.Intn(4) // programs want short runs to index across
+			if first, err := lin.AllocRange(k); err == nil {
+				live = append(live, held{first, k})
+			}
+			linOps++
+		} else {
+			j := rng.Intn(len(live))
+			if err := lin.FreeRange(live[j].first, live[j].k); err != nil {
+				return nil, err
+			}
+			live = append(live[:j], live[j+1:]...)
+			linOps++
+		}
+	}
+	t.AddRow("linearly segmented", linOps, lin.Probes, lin.Failures,
+		lin.LargestFreeRun(), lin.FreeCount())
+
+	rng2 := sim.NewRNG(29)
+	sym := addr.NewSymbolicDictionary()
+	var symLive []string
+	symOps := 0
+	for i := 0; i < ops; i++ {
+		if rng2.Float64() < 0.55 || len(symLive) == 0 {
+			// A group of k segments needs no contiguity: declare k
+			// independent symbols.
+			k := 1 + rng2.Intn(4)
+			for j := 0; j < k; j++ {
+				s := fmt.Sprintf("seg-%d-%d", i, j)
+				sym.Declare(s)
+				symLive = append(symLive, s)
+			}
+			symOps++
+		} else {
+			j := rng2.Intn(len(symLive))
+			if err := sym.Remove(symLive[j]); err != nil {
+				return nil, err
+			}
+			symLive = append(symLive[:j], symLive[j+1:]...)
+			symOps++
+		}
+	}
+	t.AddRow("symbolically segmented", symOps, sym.Lookups, 0, "-", "-")
+	return t, nil
+}
+
+// T8Overlap reproduces the fetch-overlap argument: "a large space-time
+// product will not overly affect the performance of a system if the
+// time spent on fetching pages can normally be overlapped with the
+// execution of other programs" — until per-program core becomes so
+// small that fault rates explode (thrashing).
+func T8Overlap() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "T8 — multiprogramming overlap of page fetches",
+		Header: []string{"programs", "frames/program", "refs between faults",
+			"CPU utilization", "faults"},
+	}
+	base := core.MultiprogramConfig{
+		TotalFrames:      64,
+		FetchTime:        5000,
+		LifetimeCoeff:    50,
+		WorkingSetFrames: 8,
+		RefsPerProgram:   300000,
+	}
+	results, err := core.OverlapSweep(base, []int{1, 2, 4, 8, 16, 32, 64})
+	if err != nil {
+		return nil, err
+	}
+	degrees := []int{1, 2, 4, 8, 16, 32, 64}
+	for i, r := range results {
+		t.AddRow(degrees[i], r.FramesPerProgram, r.InterFault,
+			r.CPUUtilization, r.Faults)
+	}
+	return t, nil
+}
+
+// T8OverlapTraced is the trace-driven companion of T8: instead of the
+// analytic lifetime curve, N real working-set programs run on real
+// pagers sharing one core, the processor switching on every fault.
+func T8OverlapTraced() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title: "T8b — multiprogramming overlap, trace-driven (shared core, LRU pagers)",
+		Header: []string{"programs", "frames/program", "faults",
+			"switches", "CPU utilization"},
+	}
+	const refs = 4000
+	mk := func(n int) ([]trace.Trace, error) {
+		out := make([]trace.Trace, n)
+		for i := range out {
+			tr, err := workload.WorkingSet(sim.NewRNG(uint64(200+i)), workload.WorkingSetConfig{
+				Extent: 32 * 256, SetWords: 4 * 256, PhaseLen: refs / 4,
+				Phases: 4, LocalityProb: 0.95, WriteProb: 0.1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out[i] = tr
+		}
+		return out, nil
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		traces, err := mk(n)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.RunMultiprogrammed(core.MPConfig{
+			Traces: traces, PageSize: 256, FramesPerProgram: 6,
+			FetchLatency: 3000, ComputePerRef: 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var faults int64
+		for _, p := range res.Programs {
+			faults += p.Faults
+		}
+		t.AddRow(n, 6, faults, res.Switches, res.Utilization)
+	}
+	return t, nil
+}
+
+// All runs every experiment in order.
+func All() ([]*metrics.Table, error) {
+	fns := []func() (*metrics.Table, error){
+		T0Overlay,
+		Fig1ArtificialContiguity, Fig2SimpleMapping, Fig3SpaceTime, Fig4TwoLevelMapping,
+		T1Replacement, T2Placement, T3UnitSize, T4Machines,
+		T5Predictive, T6DualPageSize, T7NameSpace, T8Overlap, T8OverlapTraced,
+		A1ReserveFrames, A2Coalescing, A3Compaction, A4WaldUtilization, A5TLBFlush, A6SegmentedPaging,
+	}
+	out := make([]*metrics.Table, 0, len(fns))
+	for _, fn := range fns {
+		tb, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+// Package fetch implements the paper's fetch strategies: "information
+// can be fetched before it is needed, at the moment it is needed (e.g.
+// 'demand paging'), or even later at the convenience of the system".
+//
+//   - Demand loads nothing beyond the faulting page — the ATLAS and
+//     MULTICS baseline.
+//   - Sequential anticipates by loading the next pages after a fault,
+//     profitable exactly when the workload scans.
+//   - Advised consults an AdviceSet fed by WillNeed directives, the
+//     M44/44X supplement to demand paging.
+//
+// A Strategy only *selects* extra pages; the paging engine performs the
+// transfers (and decides whether they overlap execution). "Later at the
+// convenience of the system" shows up in the engine as the write-back
+// of modified pages, which is deferred until a frame is actually
+// reclaimed.
+package fetch
+
+import "dsa/internal/predict"
+
+// Strategy selects pages to fetch in addition to a demanded page.
+type Strategy interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Extra returns additional pages to load after a fault on page.
+	// resident reports current residency; pages beyond maxPage (the
+	// last valid page) must not be returned.
+	Extra(page uint64, resident func(uint64) bool, maxPage uint64) []uint64
+}
+
+// Demand is pure demand fetching.
+type Demand struct{}
+
+// Name implements Strategy.
+func (Demand) Name() string { return "demand" }
+
+// Extra implements Strategy: nothing beyond the demanded page.
+func (Demand) Extra(uint64, func(uint64) bool, uint64) []uint64 { return nil }
+
+// Sequential prefetches the next Lookahead non-resident pages after the
+// faulting page.
+type Sequential struct {
+	// Lookahead is how many pages beyond the fault to consider.
+	Lookahead int
+}
+
+// Name implements Strategy.
+func (s Sequential) Name() string { return "sequential-prefetch" }
+
+// Extra implements Strategy.
+func (s Sequential) Extra(page uint64, resident func(uint64) bool, maxPage uint64) []uint64 {
+	var out []uint64
+	for i := 1; i <= s.Lookahead; i++ {
+		p := page + uint64(i)
+		if p > maxPage {
+			break
+		}
+		if !resident(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Advised fetches pages the program declared it will shortly need.
+// Without advice it degenerates to pure demand fetching, so system
+// behaviour never *depends* on the advice being present or correct.
+type Advised struct {
+	// Set is the advice tracker the trace feeds.
+	Set *predict.AdviceSet
+}
+
+// Name implements Strategy.
+func (a Advised) Name() string { return "advised" }
+
+// Extra implements Strategy: drain pending WillNeed pages.
+func (a Advised) Extra(_ uint64, resident func(uint64) bool, maxPage uint64) []uint64 {
+	if a.Set == nil {
+		return nil
+	}
+	var out []uint64
+	for _, p := range a.Set.TakeWillNeed() {
+		if p <= maxPage && !resident(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package fetch
+
+import (
+	"testing"
+
+	"dsa/internal/predict"
+	"dsa/internal/trace"
+)
+
+func noneResident(uint64) bool { return false }
+
+func TestDemand(t *testing.T) {
+	var d Demand
+	if d.Name() != "demand" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if got := d.Extra(5, noneResident, 100); got != nil {
+		t.Errorf("Extra = %v, want nil", got)
+	}
+}
+
+func TestSequentialPrefetch(t *testing.T) {
+	s := Sequential{Lookahead: 3}
+	got := s.Extra(10, noneResident, 100)
+	want := []uint64{11, 12, 13}
+	if len(got) != 3 {
+		t.Fatalf("Extra = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Extra = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSequentialSkipsResident(t *testing.T) {
+	s := Sequential{Lookahead: 3}
+	resident := func(p uint64) bool { return p == 11 }
+	got := s.Extra(10, resident, 100)
+	if len(got) != 2 || got[0] != 12 || got[1] != 13 {
+		t.Fatalf("Extra = %v, want [12 13]", got)
+	}
+}
+
+func TestSequentialRespectsMaxPage(t *testing.T) {
+	s := Sequential{Lookahead: 5}
+	got := s.Extra(99, noneResident, 100)
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("Extra = %v, want [100]", got)
+	}
+	if got := s.Extra(100, noneResident, 100); len(got) != 0 {
+		t.Fatalf("Extra at boundary = %v, want empty", got)
+	}
+}
+
+func TestAdvisedDrainsAdvice(t *testing.T) {
+	set := predict.NewAdviceSet(512)
+	set.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 1024, Span: 1024})
+	a := Advised{Set: set}
+	got := a.Extra(0, noneResident, 100)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Extra = %v, want [2 3]", got)
+	}
+	// Advice consumed.
+	if got := a.Extra(0, noneResident, 100); len(got) != 0 {
+		t.Fatalf("second Extra = %v, want empty", got)
+	}
+}
+
+func TestAdvisedFiltersResidentAndRange(t *testing.T) {
+	set := predict.NewAdviceSet(512)
+	set.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 0, Span: 512 * 4})
+	a := Advised{Set: set}
+	resident := func(p uint64) bool { return p == 1 }
+	got := a.Extra(0, resident, 2)
+	// pages 0..3 advised; 1 resident, 3 beyond maxPage 2 → [0 2]
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Extra = %v, want [0 2]", got)
+	}
+}
+
+func TestAdvisedNilSetDegeneratesToDemand(t *testing.T) {
+	a := Advised{}
+	if got := a.Extra(0, noneResident, 10); got != nil {
+		t.Errorf("Extra = %v, want nil", got)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (Sequential{}).Name() != "sequential-prefetch" {
+		t.Error("bad sequential name")
+	}
+	if (Advised{}).Name() != "advised" {
+		t.Error("bad advised name")
+	}
+}

@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"dsa/internal/addr"
+	"dsa/internal/core"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// Atlas builds the Ferranti ATLAS (Appendix A.1): "the first
+// [computer] to incorporate mapping mechanisms which allowed a
+// heterogeneous physical storage system to be accessed using a large
+// linear address space. The physical storage consisted of 16,384 words
+// of core storage and a 98,304 word drum", with 512-word pages, demand
+// paging, and the learning-program replacement strategy.
+//
+// Timing: ticks are ATLAS core cycles (~2 microseconds). The drum's
+// average access of a few milliseconds is ~3000 cycles, with roughly
+// one further cycle per word transferred.
+func Atlas(scale int) (*Machine, error) {
+	scale, err := checkScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	coreWords := 16384 / scale
+	drumWords := 98304 / scale
+	cfg := core.Config{
+		Char: core.Characteristics{
+			NameSpace:            addr.LinearSpace,
+			Predictive:           false,
+			ArtificialContiguity: true,
+			UniformUnits:         true,
+		},
+		CoreWords: coreWords, CoreAccess: 1,
+		BackingWords: drumWords, BackingKind: store.Drum,
+		BackingAccess: 3000, BackingWordTime: 1,
+		PageSize:     512,
+		VirtualWords: uint64(drumWords),
+		Replacement: func(*sim.RNG) replace.Policy {
+			return replace.NewLearning()
+		},
+		// "The replacement strategy ... is used to ensure that one page
+		// frame is kept vacant, ready for the next page demand."
+		ReserveFrames: 1,
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:      "ATLAS",
+		Appendix:  "A.1",
+		Notes:     "linear name space; 512-word pages; demand paging; learning replacement",
+		System:    sys,
+		TLBSize:   1, // the page address registers mapped directly; model minimal
+		PageSizes: []int{512},
+	}, nil
+}

@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"dsa/internal/addr"
+	"dsa/internal/alloc"
+	"dsa/internal/core"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// B5000 builds the Burroughs B5000 (Appendix A.3): "one of the first
+// systems to provide programmers with a segmented name space (in fact a
+// symbolically segmented name space). Segments are dynamic but have a
+// maximum size of 1024 words" while "a typical size for working storage
+// is 24,000 words". The segment is used directly as the unit of
+// allocation; each segment is fetched when reference is first made to
+// it. Placement: "choosing the smallest available block of sufficient
+// size" (best fit); replacement: "essentially cyclical".
+func B5000(scale int) (*Machine, error) {
+	scale, err := checkScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	coreWords := 24576 / scale
+	drumWords := 262144 / scale
+	cfg := core.Config{
+		Char: core.Characteristics{
+			NameSpace:            addr.SymbolicSegmentedSpace,
+			Predictive:           false,
+			ArtificialContiguity: false,
+			UniformUnits:         false,
+		},
+		CoreWords: coreWords, CoreAccess: 1,
+		BackingWords: drumWords, BackingKind: store.Drum,
+		BackingAccess: 1400, BackingWordTime: 1,
+		Placement:    alloc.BestFit{},
+		CoalesceMode: alloc.CoalesceImmediate,
+		SegReplacement: func(*sim.RNG) replace.Policy {
+			return replace.NewClock()
+		},
+		MaxSegmentWords: 1024,
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:            "B5000",
+		Appendix:        "A.3",
+		Notes:           "symbolic segments <=1024 words; PRT descriptors; best-fit; cyclic replacement",
+		System:          sys,
+		MaxSegmentWords: 1024,
+	}, nil
+}
+
+// B8500 builds the Burroughs B8500 (Appendix A.5), whose "storage
+// allocation system is very similar to that of the B5000" but adds "a
+// 44 word thin film associative memory" retaining recently used PRT
+// elements and index words — the addressing-overhead reducer of
+// experiment F4 — and a much larger multiprocessor configuration.
+func B8500(scale int) (*Machine, error) {
+	scale, err := checkScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	coreWords := 65536 / scale
+	drumWords := 1048576 / scale
+	cfg := core.Config{
+		Char: core.Characteristics{
+			NameSpace:            addr.SymbolicSegmentedSpace,
+			Predictive:           false,
+			ArtificialContiguity: false,
+			UniformUnits:         false,
+		},
+		CoreWords: coreWords, CoreAccess: 1,
+		BackingWords: drumWords, BackingKind: store.Drum,
+		BackingAccess: 1200, BackingWordTime: 1,
+		Placement:    alloc.BestFit{},
+		CoalesceMode: alloc.CoalesceImmediate,
+		SegReplacement: func(*sim.RNG) replace.Policy {
+			return replace.NewClock()
+		},
+		MaxSegmentWords: 1024,
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:            "B8500",
+		Appendix:        "A.5",
+		Notes:           "B5000 scheme + 44-word associative memory for PRT elements and index words",
+		System:          sys,
+		TLBSize:         44,
+		MaxSegmentWords: 1024,
+	}, nil
+}

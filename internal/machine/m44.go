@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"fmt"
+
+	"dsa/internal/addr"
+	"dsa/internal/core"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// M44 builds the IBM M44/44X (Appendix A.2): a modified 7044 with
+// "approximately 200,000 words of directly addressable 8 microsecond
+// core memory" and "a 9 million word IBM 1301 disk file" as backing
+// storage, giving each virtual 44X machine "a 2 million word linear
+// name space". Demand paging with a variable page size, a replacement
+// policy that "selects at random from a set of equally acceptable
+// candidates determined on the basis of frequency of usage and whether
+// or not a page has been modified", and — uniquely — two special
+// instructions conveying predictive information.
+//
+// Ticks are 8-microsecond core cycles; the 1301's ~180 ms average
+// access is ~22,000 cycles. The virtual extent is capped at the scaled
+// disk size.
+func M44(scale int) (*Machine, error) {
+	scale, err := checkScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	return m44WithPageSize(scale, 1024)
+}
+
+// M44WithPageSize builds the machine with a nonstandard page size: "the
+// page size may be varied at system start-up for experimentation
+// purposes".
+func M44WithPageSize(scale int, pageSize uint64) (*Machine, error) {
+	scale, err := checkScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	if pageSize == 0 {
+		return nil, fmt.Errorf("machine: zero M44 page size")
+	}
+	return m44WithPageSize(scale, pageSize)
+}
+
+func m44WithPageSize(scale int, pageSize uint64) (*Machine, error) {
+	coreWords := 196608 / scale
+	// The full 1301 held 9M words; virtual name space 2M words. Keep the
+	// 2M:196K ≈ 10:1 ratio the paper highlights ("ten times the actual
+	// extent of physical working storage").
+	diskWords := 2097152 / scale
+	cfg := core.Config{
+		Char: core.Characteristics{
+			NameSpace:            addr.LinearSpace,
+			Predictive:           true,
+			ArtificialContiguity: true,
+			UniformUnits:         true,
+		},
+		CoreWords: coreWords, CoreAccess: 1,
+		BackingWords: diskWords, BackingKind: store.Disk,
+		BackingAccess: 22000, BackingWordTime: 4,
+		PageSize:     pageSize,
+		VirtualWords: uint64(diskWords),
+		Replacement: func(rng *sim.RNG) replace.Policy {
+			return replace.NewM44Random(rng)
+		},
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:      "M44/44X",
+		Appendix:  "A.2",
+		Notes:     "virtual machines; demand paging + predictive instructions; random-among-candidates replacement",
+		System:    sys,
+		TLBSize:   0, // mapping store, not associative
+		PageSizes: []int{int(pageSize)},
+	}, nil
+}

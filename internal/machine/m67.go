@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"dsa/internal/addr"
+	"dsa/internal/core"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// M67 builds the IBM System/360 Model 67 (Appendix A.7): "two
+// processors, three memory modules, each of 256K 8-bit bytes, a drum
+// capacity of 4 million bytes, and close to 500 million bytes of disk
+// storage". Users get a *linearly* segmented name space — 16 segments
+// of up to one million bytes under 24-bit addressing — used as such:
+// "the segmentation is intended to reduce the number of page table
+// entries ... and not normally to convey structural information". The
+// mapping incorporates an eight-word associative memory plus a ninth
+// register for the instruction counter; use and modification of each
+// page frame are recorded automatically.
+//
+// Words here are 32-bit: 3×256K bytes = 196608 words of core, 4 MB of
+// drum = 1048576 words, 4096-byte pages = 1024 words.
+func M67(scale int) (*Machine, error) {
+	scale, err := checkScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	coreWords := 196608 / scale
+	drumWords := 1048576 / scale
+	cfg := core.Config{
+		Char: core.Characteristics{
+			NameSpace:            addr.LinearSegmentedSpace,
+			Predictive:           false,
+			ArtificialContiguity: true,
+			UniformUnits:         true,
+		},
+		CoreWords: coreWords, CoreAccess: 1,
+		BackingWords: drumWords, BackingKind: store.Drum,
+		BackingAccess: 4000, BackingWordTime: 1,
+		PageSize:     1024,
+		VirtualWords: uint64(drumWords),
+		Replacement: func(*sim.RNG) replace.Policy {
+			// The reference/change sensors feed an NRU-class scheme in
+			// TSS; model with the class-based random policy.
+			return replace.NewM44Random(sim.NewRNG(67))
+		},
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:      "360/67",
+		Appendix:  "A.7",
+		Notes:     "linearly segmented; 1024-word (4KB) pages; 8+1 register associative memory",
+		System:    sys,
+		TLBSize:   9,
+		PageSizes: []int{1024},
+	}, nil
+}

@@ -1,0 +1,163 @@
+// Package machine reproduces the appendix of the paper: seven concrete
+// computer systems, each a distinct point in the four-characteristic
+// design space, configured with the capacities and relative timings the
+// paper reports. All timings are expressed in ticks of that machine's
+// own core cycle, and capacities can be divided by a scale factor so
+// the full survey (experiment T4) runs quickly; scale 1 is the
+// historical configuration.
+//
+//	A.1 Ferranti ATLAS      — linear, mapped, 512-word pages, learning
+//	A.2 IBM M44/44X         — linear, mapped, paged, predictive
+//	A.3 Burroughs B5000     — symbolic segments, unit = segment ≤ 1024
+//	A.4 Rice University     — segments via codewords, inactive chain
+//	A.5 Burroughs B8500     — B5000 + 44-word associative memory
+//	A.6 MULTICS (GE 645)    — linearly segmented, dual page sizes
+//	A.7 IBM 360/67          — linearly segmented, paged, 8+1 reg TLB
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"dsa/internal/addr"
+	"dsa/internal/core"
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+	"dsa/internal/workload"
+)
+
+// Machine wraps a configured core.System with its historical identity.
+type Machine struct {
+	// Name is the machine's short name, e.g. "ATLAS".
+	Name string
+	// Appendix is the paper's section, e.g. "A.1".
+	Appendix string
+	// Notes summarizes the configuration in one line for reports.
+	Notes string
+	// System is the configured storage allocation system.
+	System *core.System
+	// TLBSize is the associative-memory capacity (0 = none); used by
+	// the F4 addressing-overhead experiment.
+	TLBSize int
+	// PageSizes lists the unit sizes in words (empty = pure variable).
+	PageSizes []int
+	// MaxSegmentWords is the segment-size cap (0 = unbounded).
+	MaxSegmentWords int
+}
+
+// All constructs the full survey at the given scale divisor (>= 1).
+func All(scale int) ([]*Machine, error) {
+	ctors := []func(int) (*Machine, error){
+		Atlas, M44, B5000, Rice, B8500, Multics, M67,
+	}
+	out := make([]*Machine, 0, len(ctors))
+	for _, ctor := range ctors {
+		m, err := ctor(scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func checkScale(scale int) (int, error) {
+	if scale < 1 {
+		return 0, fmt.Errorf("machine: scale %d < 1", scale)
+	}
+	return scale, nil
+}
+
+// SegDecl declares one segment of a workload.
+type SegDecl struct {
+	Symbol string
+	Extent addr.Name
+}
+
+// SegRef is one reference of a segmented workload.
+type SegRef struct {
+	Symbol string
+	Offset addr.Name
+	Write  bool
+}
+
+// SegWorkload is the machine-independent workload of experiment T4: a
+// set of segments and a reference string over them. Every machine can
+// run it — segmented systems create real segments, paged systems lay
+// the segments out in their linear name space.
+type SegWorkload struct {
+	Segments []SegDecl
+	Refs     []SegRef
+}
+
+// CommonWorkload generates the T4 workload: nsegs segments with the
+// compiler-shaped size population of workload.SegmentSizes (capped at
+// 1024 words so the B5000 can hold them), referenced in working-set
+// phases of hot segments.
+func CommonWorkload(seed uint64, nsegs, refs int) SegWorkload {
+	rng := sim.NewRNG(seed)
+	sizes := workload.SegmentSizes(rng, nsegs, 1024)
+	w := SegWorkload{Segments: make([]SegDecl, nsegs)}
+	for i, size := range sizes {
+		w.Segments[i] = SegDecl{
+			Symbol: fmt.Sprintf("seg%03d", i),
+			Extent: addr.Name(size),
+		}
+	}
+	// Phases: a hot set of ~1/8 of the segments, re-picked periodically.
+	hot := make([]int, 0, nsegs/8+1)
+	repick := func() {
+		hot = hot[:0]
+		for len(hot) < nsegs/8+1 {
+			hot = append(hot, rng.Intn(nsegs))
+		}
+	}
+	repick()
+	phaseLen := refs / 8
+	if phaseLen == 0 {
+		phaseLen = 1
+	}
+	w.Refs = make([]SegRef, refs)
+	for i := range w.Refs {
+		if i%phaseLen == 0 && i > 0 {
+			repick()
+		}
+		var segIdx int
+		if rng.Float64() < 0.9 {
+			segIdx = hot[rng.Intn(len(hot))]
+		} else {
+			segIdx = rng.Intn(nsegs)
+		}
+		seg := w.Segments[segIdx]
+		w.Refs[i] = SegRef{
+			Symbol: seg.Symbol,
+			Offset: addr.Name(rng.Intn(int(seg.Extent))),
+			Write:  rng.Float64() < 0.2,
+		}
+	}
+	return w
+}
+
+// RunWorkload creates the workload's segments on the machine and
+// replays its references, returning the system report.
+func (m *Machine) RunWorkload(w SegWorkload) (*core.Report, error) {
+	if m.System == nil {
+		return nil, errors.New("machine: no system configured")
+	}
+	for _, d := range w.Segments {
+		if err := m.System.Create(d.Symbol, d.Extent); err != nil {
+			return nil, fmt.Errorf("machine %s: create %s: %w", m.Name, d.Symbol, err)
+		}
+	}
+	for i, r := range w.Refs {
+		if err := m.System.Touch(r.Symbol, r.Offset, r.Write); err != nil {
+			return nil, fmt.Errorf("machine %s: ref %d: %w", m.Name, i, err)
+		}
+	}
+	return m.System.Report(), nil
+}
+
+// RunLinear replays a linear trace (for machines exercised that way).
+func (m *Machine) RunLinear(tr trace.Trace) (*core.Report, error) {
+	return m.System.RunLinear(tr)
+}

@@ -1,0 +1,242 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dsa/internal/addr"
+	"dsa/internal/segment"
+)
+
+func TestAllMachinesConstruct(t *testing.T) {
+	ms, err := All(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 7 {
+		t.Fatalf("got %d machines, want 7", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if m.Name == "" || m.Appendix == "" || m.Notes == "" {
+			t.Errorf("machine %+v missing identity", m)
+		}
+		if m.System == nil {
+			t.Errorf("%s: nil system", m.Name)
+		}
+		if seen[m.Appendix] {
+			t.Errorf("duplicate appendix %s", m.Appendix)
+		}
+		seen[m.Appendix] = true
+	}
+	for _, a := range []string{"A.1", "A.2", "A.3", "A.4", "A.5", "A.6", "A.7"} {
+		if !seen[a] {
+			t.Errorf("appendix %s missing", a)
+		}
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	if _, err := Atlas(0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := All(-1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestMachineCharacteristics(t *testing.T) {
+	cases := []struct {
+		build    func(int) (*Machine, error)
+		ns       addr.Kind
+		predict  bool
+		mapped   bool
+		uniform  bool
+		tlbAtLst int
+	}{
+		{Atlas, addr.LinearSpace, false, true, true, 0},
+		{M44, addr.LinearSpace, true, true, true, 0},
+		{B5000, addr.SymbolicSegmentedSpace, false, false, false, 0},
+		{Rice, addr.SymbolicSegmentedSpace, false, false, false, 0},
+		{B8500, addr.SymbolicSegmentedSpace, false, false, false, 44},
+		{Multics, addr.LinearSegmentedSpace, true, true, true, 1},
+		{M67, addr.LinearSegmentedSpace, false, true, true, 9},
+	}
+	for _, c := range cases {
+		m, err := c.build(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := m.System.Characteristics()
+		if ch.NameSpace != c.ns {
+			t.Errorf("%s: name space %v, want %v", m.Name, ch.NameSpace, c.ns)
+		}
+		if ch.Predictive != c.predict {
+			t.Errorf("%s: predictive %v, want %v", m.Name, ch.Predictive, c.predict)
+		}
+		if ch.ArtificialContiguity != c.mapped {
+			t.Errorf("%s: mapped %v, want %v", m.Name, ch.ArtificialContiguity, c.mapped)
+		}
+		if ch.UniformUnits != c.uniform {
+			t.Errorf("%s: uniform %v, want %v", m.Name, ch.UniformUnits, c.uniform)
+		}
+		if m.TLBSize < c.tlbAtLst {
+			t.Errorf("%s: TLB %d, want >= %d", m.Name, m.TLBSize, c.tlbAtLst)
+		}
+	}
+}
+
+func TestCommonWorkloadShape(t *testing.T) {
+	w := CommonWorkload(1, 64, 5000)
+	if len(w.Segments) != 64 || len(w.Refs) != 5000 {
+		t.Fatalf("workload shape %d segs, %d refs", len(w.Segments), len(w.Refs))
+	}
+	syms := map[string]addr.Name{}
+	for _, s := range w.Segments {
+		if s.Extent == 0 || s.Extent > 1024 {
+			t.Errorf("segment %s extent %d out of (0,1024]", s.Symbol, s.Extent)
+		}
+		syms[s.Symbol] = s.Extent
+	}
+	for i, r := range w.Refs {
+		ext, ok := syms[r.Symbol]
+		if !ok {
+			t.Fatalf("ref %d references unknown segment %s", i, r.Symbol)
+		}
+		if r.Offset >= ext {
+			t.Fatalf("ref %d offset %d beyond extent %d", i, r.Offset, ext)
+		}
+	}
+}
+
+func TestCommonWorkloadDeterministic(t *testing.T) {
+	a := CommonWorkload(7, 32, 1000)
+	b := CommonWorkload(7, 32, 1000)
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("workloads diverge at ref %d", i)
+		}
+	}
+}
+
+func TestEveryMachineRunsCommonWorkload(t *testing.T) {
+	w := CommonWorkload(3, 32, 4000)
+	ms, err := All(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		rep, err := m.RunWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if rep.Elapsed <= 0 {
+			t.Errorf("%s: no time elapsed", m.Name)
+		}
+		ch := m.System.Characteristics()
+		if ch.UniformUnits {
+			if rep.Paging == nil || rep.Paging.Faults == 0 {
+				t.Errorf("%s: paged machine recorded no faults", m.Name)
+			}
+		} else {
+			if rep.SegStats == nil || rep.SegStats.SegFaults == 0 {
+				t.Errorf("%s: segmented machine recorded no fetches", m.Name)
+			}
+		}
+	}
+}
+
+func TestB5000RejectsOversizeSegment(t *testing.T) {
+	m, err := B5000(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.System.Create("huge", 2000)
+	if !errors.Is(err, segment.ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestM44PageSizeVariants(t *testing.T) {
+	if _, err := M44WithPageSize(8, 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+	small, err := M44WithPageSize(8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.PageSizes[0] != 256 {
+		t.Errorf("page size = %d", small.PageSizes[0])
+	}
+}
+
+func TestM44VirtualTenTimesCore(t *testing.T) {
+	// "the extent of the linear name space ... approximately two
+	// million words, ten times the actual extent of physical working
+	// storage."
+	m, err := M44(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Notes, "predictive") {
+		t.Errorf("notes = %q", m.Notes)
+	}
+}
+
+func TestPageWaste(t *testing.T) {
+	cases := []struct{ size, page, want int }{
+		{100, 64, 28},   // 2 pages = 128, waste 28
+		{128, 64, 0},    // exact
+		{1, 1024, 1023}, // pathological
+		{0, 64, 0},
+		{64, 0, 0},
+	}
+	for _, c := range cases {
+		if got := PageWaste(c.size, c.page); got != c.want {
+			t.Errorf("PageWaste(%d,%d) = %d, want %d", c.size, c.page, got, c.want)
+		}
+	}
+}
+
+func TestPageCount(t *testing.T) {
+	if PageCount(100, 64) != 2 || PageCount(128, 64) != 2 || PageCount(129, 64) != 3 {
+		t.Error("PageCount wrong")
+	}
+	if PageCount(0, 64) != 0 {
+		t.Error("PageCount(0) != 0")
+	}
+}
+
+func TestDualPageSplit(t *testing.T) {
+	// 1100 words with 64/1024 pages: one 1024 page + tail 76 → two
+	// 64-word pages, waste 52.
+	lg, sm, waste := DualPageSplit(1100, 64, 1024)
+	if lg != 1 || sm != 2 || waste != 52 {
+		t.Errorf("DualPageSplit(1100) = %d, %d, %d, want 1, 2, 52", lg, sm, waste)
+	}
+	// Exact multiple of large: no small pages.
+	lg, sm, waste = DualPageSplit(2048, 64, 1024)
+	if lg != 2 || sm != 0 || waste != 0 {
+		t.Errorf("DualPageSplit(2048) = %d, %d, %d", lg, sm, waste)
+	}
+	// Dual waste never exceeds single-size waste.
+	for size := 1; size <= 4096; size += 13 {
+		_, _, dw := DualPageSplit(size, 64, 1024)
+		sw := PageWaste(size, 1024)
+		if dw > sw {
+			t.Fatalf("size %d: dual waste %d > single waste %d", size, dw, sw)
+		}
+	}
+}
+
+func TestRunWorkloadUnknownSegmentRef(t *testing.T) {
+	m, _ := B5000(8)
+	w := SegWorkload{
+		Segments: []SegDecl{{Symbol: "a", Extent: 10}},
+		Refs:     []SegRef{{Symbol: "nope", Offset: 0}},
+	}
+	if _, err := m.RunWorkload(w); err == nil {
+		t.Error("unknown segment reference accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"dsa/internal/addr"
+	"dsa/internal/alloc"
+	"dsa/internal/core"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// Rice builds the Rice University computer system (Appendix A.4),
+// Iliffe and Jodeit's codeword scheme: segments are the unit of
+// allocation, placed "sequentially in storage"; freed blocks join a
+// chain of inactive blocks searched sequentially for one of sufficient
+// size, with adjacent inactive blocks combined only when the search
+// fails, and "a replacement algorithm ... applied iteratively until a
+// block of sufficient size is released". Codewords carry an index
+// register address added automatically on access.
+//
+// The real machine's only backing storage was magnetic tape; the paper
+// notes the design anticipated "a more suitable backing store such as a
+// drum", which is what this model gives it (the tape timing would
+// merely stretch every fetch).
+func Rice(scale int) (*Machine, error) {
+	scale, err := checkScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	coreWords := 32768 / scale
+	backingWords := 524288 / scale
+	cfg := core.Config{
+		Char: core.Characteristics{
+			NameSpace:            addr.SymbolicSegmentedSpace,
+			Predictive:           false,
+			ArtificialContiguity: false,
+			UniformUnits:         false,
+		},
+		CoreWords: coreWords, CoreAccess: 1,
+		BackingWords: backingWords, BackingKind: store.Drum,
+		BackingAccess: 2500, BackingWordTime: 1,
+		Placement:    alloc.RiceChain{},
+		CoalesceMode: alloc.CoalesceDeferred,
+		SegReplacement: func(*sim.RNG) replace.Policy {
+			// "takes into account ... whether or not a segment has been
+			// used since it was last considered for replacement" — a
+			// use-bit sweep, i.e. the cyclic second-chance policy.
+			return replace.NewClock()
+		},
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name:     "Rice",
+		Appendix: "A.4",
+		Notes:    "codeword segments; inactive-block chain, deferred coalescing; iterative replacement",
+		System:   sys,
+	}, nil
+}

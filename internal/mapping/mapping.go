@@ -1,0 +1,174 @@
+// Package mapping implements the address-mapping hardware of the
+// paper: the mechanism that provides *artificial contiguity* (its third
+// basic characteristic) by interposing a mapping function "in the path
+// between the specification of a name by a program and the accessing by
+// absolute address of the corresponding location".
+//
+// Three mechanisms are provided:
+//
+//   - PageTable — the simple one-level scheme of Figure 2: the most
+//     significant bits of the name index a table of block addresses;
+//   - TwoLevel — the segment-table/page-table scheme of Figure 4
+//     (MULTICS, IBM 360/67), with per-segment extents and two table
+//     lookups per reference;
+//   - TLB — the small associative memory of the paper's "reduction of
+//     addressing overhead" facility (8+1 registers on the 360/67, 44
+//     words on the B8500) that holds recently used page locations so
+//     the mapping tables are usually bypassed.
+//
+// Every table lookup charges the simulation clock, so the addressing
+// overhead the paper worries about ("the cost in extra addressing time
+// ... would often be unacceptable" without associative memories) is
+// directly measurable in experiment F4.
+package mapping
+
+import (
+	"errors"
+	"fmt"
+
+	"dsa/internal/addr"
+	"dsa/internal/sim"
+)
+
+// ErrFault is the sentinel wrapped by PageFault and SegmentFault; the
+// paging engine matches it with errors.As on the concrete types.
+var ErrFault = errors.New("mapping: fault")
+
+// PageFault reports a reference to a page not currently in a frame —
+// the trap "at the heart of the demand paging strategy".
+type PageFault struct {
+	Seg  addr.SegID
+	Page uint64
+}
+
+// Error implements error.
+func (e *PageFault) Error() string {
+	return fmt.Sprintf("page fault: segment %d page %d", e.Seg, e.Page)
+}
+
+// Unwrap lets errors.Is(err, ErrFault) succeed.
+func (e *PageFault) Unwrap() error { return ErrFault }
+
+// SegmentFault reports a reference to a segment with no page table (or
+// descriptor) in working storage.
+type SegmentFault struct {
+	Seg addr.SegID
+}
+
+// Error implements error.
+func (e *SegmentFault) Error() string {
+	return fmt.Sprintf("segment fault: segment %d", e.Seg)
+}
+
+// Unwrap lets errors.Is(err, ErrFault) succeed.
+func (e *SegmentFault) Unwrap() error { return ErrFault }
+
+// Entry is a page-table entry: the current frame of the page plus the
+// hardware sensors ("automatic recording of the fact of use or of
+// modification of the contents of each page frame").
+type Entry struct {
+	Frame    int
+	Present  bool
+	Use      bool
+	Modified bool
+}
+
+// PageTable is the simple mapping scheme of Figure 2: a name is split
+// into (block number, word-within-block) and the block number indexes a
+// table of block addresses.
+type PageTable struct {
+	clock *sim.Clock
+	// PageSize is the uniform unit of allocation in words.
+	PageSize uint64
+	// LookupCost is charged per table access; typically one core cycle.
+	LookupCost sim.Time
+
+	entries []Entry
+	lookups int64
+	faults  int64
+}
+
+// NewPageTable creates a table covering `pages` pages of pageSize
+// words each.
+func NewPageTable(clock *sim.Clock, pages int, pageSize uint64, lookupCost sim.Time) *PageTable {
+	if pages <= 0 || pageSize == 0 {
+		panic("mapping: bad page table shape")
+	}
+	return &PageTable{
+		clock:      clock,
+		PageSize:   pageSize,
+		LookupCost: lookupCost,
+		entries:    make([]Entry, pages),
+	}
+}
+
+// Pages reports the number of entries.
+func (t *PageTable) Pages() int { return len(t.entries) }
+
+// Translate maps a name to an absolute address, charging one lookup.
+// A reference to an absent page returns a *PageFault; the caller
+// resolves it and retries.
+func (t *PageTable) Translate(n addr.Name, write bool) (addr.Address, error) {
+	t.clock.Advance(t.LookupCost)
+	t.lookups++
+	page := uint64(n) / t.PageSize
+	offset := uint64(n) % t.PageSize
+	if page >= uint64(len(t.entries)) {
+		return 0, fmt.Errorf("%w: name %d beyond %d pages", addr.ErrLimit, n, len(t.entries))
+	}
+	e := &t.entries[page]
+	if !e.Present {
+		t.faults++
+		return 0, &PageFault{Page: page}
+	}
+	e.Use = true
+	if write {
+		e.Modified = true
+	}
+	return addr.Address(uint64(e.Frame)*t.PageSize + offset), nil
+}
+
+// SetEntry installs page → frame.
+func (t *PageTable) SetEntry(page uint64, frame int) error {
+	if page >= uint64(len(t.entries)) {
+		return fmt.Errorf("%w: page %d beyond %d", addr.ErrLimit, page, len(t.entries))
+	}
+	t.entries[page] = Entry{Frame: frame, Present: true}
+	return nil
+}
+
+// Invalidate removes the mapping for page and returns the entry as it
+// stood, so the caller can inspect the modified sensor (a clean page
+// need not be written back).
+func (t *PageTable) Invalidate(page uint64) (Entry, error) {
+	if page >= uint64(len(t.entries)) {
+		return Entry{}, fmt.Errorf("%w: page %d beyond %d", addr.ErrLimit, page, len(t.entries))
+	}
+	e := t.entries[page]
+	t.entries[page] = Entry{}
+	return e, nil
+}
+
+// Entry returns a copy of the entry for page.
+func (t *PageTable) Entry(page uint64) (Entry, error) {
+	if page >= uint64(len(t.entries)) {
+		return Entry{}, fmt.Errorf("%w: page %d beyond %d", addr.ErrLimit, page, len(t.entries))
+	}
+	return t.entries[page], nil
+}
+
+// ClearUse clears every use sensor (periodic interrogation by a
+// replacement strategy) and returns how many were set.
+func (t *PageTable) ClearUse() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Use {
+			n++
+			t.entries[i].Use = false
+		}
+	}
+	return n
+}
+
+// Stats reports lookup and fault counts.
+func (t *PageTable) Stats() (lookups, faults int64) { return t.lookups, t.faults }

@@ -1,0 +1,405 @@
+package mapping
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/addr"
+	"dsa/internal/sim"
+)
+
+func TestPageTableTranslate(t *testing.T) {
+	var c sim.Clock
+	pt := NewPageTable(&c, 8, 512, 1)
+	if err := pt.SetEntry(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	a, err := pt.Translate(2*512+17, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 5*512+17 {
+		t.Fatalf("Translate = %d, want %d", a, 5*512+17)
+	}
+}
+
+func TestPageTableFault(t *testing.T) {
+	var c sim.Clock
+	pt := NewPageTable(&c, 8, 512, 1)
+	_, err := pt.Translate(100, false)
+	var pf *PageFault
+	if !errors.As(err, &pf) {
+		t.Fatalf("err = %v, want *PageFault", err)
+	}
+	if pf.Page != 0 {
+		t.Errorf("fault page = %d, want 0", pf.Page)
+	}
+	if !errors.Is(err, ErrFault) {
+		t.Error("PageFault does not unwrap to ErrFault")
+	}
+	_, faults := pt.Stats()
+	if faults != 1 {
+		t.Errorf("faults = %d, want 1", faults)
+	}
+}
+
+func TestPageTableLimit(t *testing.T) {
+	var c sim.Clock
+	pt := NewPageTable(&c, 4, 256, 1)
+	if _, err := pt.Translate(4*256, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("out-of-range err = %v, want ErrLimit", err)
+	}
+	if err := pt.SetEntry(4, 0); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("SetEntry(4) err = %v, want ErrLimit", err)
+	}
+	if _, err := pt.Invalidate(9); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("Invalidate(9) err = %v, want ErrLimit", err)
+	}
+	if _, err := pt.Entry(9); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("Entry(9) err = %v, want ErrLimit", err)
+	}
+}
+
+func TestPageTableSensors(t *testing.T) {
+	var c sim.Clock
+	pt := NewPageTable(&c, 4, 64, 1)
+	_ = pt.SetEntry(1, 0)
+	_, _ = pt.Translate(64, false)
+	e, _ := pt.Entry(1)
+	if !e.Use || e.Modified {
+		t.Errorf("after read: entry = %+v, want Use, clean", e)
+	}
+	_, _ = pt.Translate(64, true)
+	e, _ = pt.Entry(1)
+	if !e.Modified {
+		t.Error("write did not set Modified")
+	}
+	if n := pt.ClearUse(); n != 1 {
+		t.Errorf("ClearUse = %d, want 1", n)
+	}
+	e, _ = pt.Entry(1)
+	if e.Use {
+		t.Error("use bit survived ClearUse")
+	}
+	if !e.Modified {
+		t.Error("ClearUse must not clear Modified")
+	}
+}
+
+func TestPageTableInvalidateReturnsEntry(t *testing.T) {
+	var c sim.Clock
+	pt := NewPageTable(&c, 2, 64, 1)
+	_ = pt.SetEntry(0, 3)
+	_, _ = pt.Translate(0, true)
+	e, err := pt.Invalidate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Present || !e.Modified || e.Frame != 3 {
+		t.Errorf("invalidated entry = %+v", e)
+	}
+	if _, err := pt.Translate(0, false); err == nil {
+		t.Error("translate after invalidate succeeded")
+	}
+}
+
+func TestPageTableChargesLookup(t *testing.T) {
+	var c sim.Clock
+	pt := NewPageTable(&c, 2, 64, 3)
+	_ = pt.SetEntry(0, 0)
+	before := c.Now()
+	_, _ = pt.Translate(5, false)
+	if got := c.Now() - before; got != 3 {
+		t.Errorf("lookup charged %d, want 3", got)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(2)
+	k1 := TLBKey{Seg: 1, Page: 0}
+	k2 := TLBKey{Seg: 1, Page: 1}
+	k3 := TLBKey{Seg: 2, Page: 0}
+	if _, ok := tlb.Lookup(k1); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tlb.Install(k1, 10)
+	tlb.Install(k2, 11)
+	if f, ok := tlb.Lookup(k1); !ok || f != 10 {
+		t.Fatalf("Lookup(k1) = %d, %v", f, ok)
+	}
+	// Install third entry: k2 is LRU (k1 just used) and must go.
+	tlb.Install(k3, 12)
+	if _, ok := tlb.Lookup(k2); ok {
+		t.Error("k2 survived LRU eviction")
+	}
+	if f, ok := tlb.Lookup(k3); !ok || f != 12 {
+		t.Errorf("Lookup(k3) = %d, %v", f, ok)
+	}
+	if tlb.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tlb.Len())
+	}
+}
+
+func TestTLBZeroCapacity(t *testing.T) {
+	tlb := NewTLB(0)
+	tlb.Install(TLBKey{Seg: 0, Page: 0}, 1)
+	if _, ok := tlb.Lookup(TLBKey{Seg: 0, Page: 0}); ok {
+		t.Error("zero-capacity TLB hit")
+	}
+	if tlb.HitRatio() != 0 {
+		t.Error("HitRatio != 0")
+	}
+}
+
+func TestTLBInvalidateAndFlush(t *testing.T) {
+	tlb := NewTLB(4)
+	k := TLBKey{Seg: 3, Page: 7}
+	tlb.Install(k, 9)
+	tlb.InvalidatePage(k)
+	if _, ok := tlb.Lookup(k); ok {
+		t.Error("hit after invalidate")
+	}
+	tlb.Install(k, 9)
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Error("entries after flush")
+	}
+}
+
+func TestTLBHitRatio(t *testing.T) {
+	tlb := NewTLB(4)
+	k := TLBKey{Seg: 0, Page: 0}
+	tlb.Lookup(k) // miss
+	tlb.Install(k, 0)
+	tlb.Lookup(k) // hit
+	tlb.Lookup(k) // hit
+	if got := tlb.HitRatio(); got != 2.0/3.0 {
+		t.Errorf("HitRatio = %g, want 2/3", got)
+	}
+}
+
+func TestTLBNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTLB(-1)
+}
+
+func TestTwoLevelTranslate(t *testing.T) {
+	var c sim.Clock
+	m := NewTwoLevel(&c, 16, 8, 1)
+	pt, err := m.Establish(3, 2048, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pt.SetEntry(1, 7)
+	a, err := m.Translate(3, 512+20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 7*512+20 {
+		t.Fatalf("Translate = %d, want %d", a, 7*512+20)
+	}
+}
+
+func TestTwoLevelSegmentFault(t *testing.T) {
+	var c sim.Clock
+	m := NewTwoLevel(&c, 4, 0, 1)
+	_, err := m.Translate(2, 0, false)
+	var sf *SegmentFault
+	if !errors.As(err, &sf) || sf.Seg != 2 {
+		t.Fatalf("err = %v, want SegmentFault{2}", err)
+	}
+	if !errors.Is(err, ErrFault) {
+		t.Error("SegmentFault does not unwrap to ErrFault")
+	}
+	_, faults := m.Stats()
+	if faults != 1 {
+		t.Errorf("segFaults = %d, want 1", faults)
+	}
+}
+
+func TestTwoLevelPageFaultCarriesSegment(t *testing.T) {
+	var c sim.Clock
+	m := NewTwoLevel(&c, 4, 0, 1)
+	_, _ = m.Establish(1, 1024, 256)
+	_, err := m.Translate(1, 300, false)
+	var pf *PageFault
+	if !errors.As(err, &pf) {
+		t.Fatalf("err = %v, want *PageFault", err)
+	}
+	if pf.Seg != 1 || pf.Page != 1 {
+		t.Errorf("fault = %+v, want seg 1 page 1", pf)
+	}
+}
+
+func TestTwoLevelExtentCheck(t *testing.T) {
+	var c sim.Clock
+	m := NewTwoLevel(&c, 4, 0, 1)
+	_, _ = m.Establish(0, 100, 256)
+	if _, err := m.Translate(0, 100, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("subscript violation err = %v, want ErrLimit", err)
+	}
+	if _, err := m.Translate(9, 0, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("bad segment err = %v, want ErrLimit", err)
+	}
+}
+
+func TestTwoLevelTLBShortCircuit(t *testing.T) {
+	var c sim.Clock
+	m := NewTwoLevel(&c, 4, 8, 5)
+	pt, _ := m.Establish(0, 1024, 256)
+	_ = pt.SetEntry(0, 2)
+	// First access: TLB miss → 2 table lookups (segment + page) = 10.
+	before := c.Now()
+	_, err := m.Translate(0, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := c.Now() - before
+	// Second access same page: TLB hit → no table lookups.
+	before = c.Now()
+	_, _ = m.Translate(0, 11, false)
+	warm := c.Now() - before
+	if cold != 10 {
+		t.Errorf("cold access cost %d, want 10", cold)
+	}
+	if warm != 0 {
+		t.Errorf("warm access cost %d, want 0", warm)
+	}
+	if m.TLB().HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %g, want 0.5", m.TLB().HitRatio())
+	}
+}
+
+func TestTwoLevelTLBHitSetsSensors(t *testing.T) {
+	var c sim.Clock
+	m := NewTwoLevel(&c, 2, 4, 1)
+	pt, _ := m.Establish(0, 256, 256)
+	_ = pt.SetEntry(0, 0)
+	_, _ = m.Translate(0, 0, false) // miss, installs
+	pt.ClearUse()
+	_, _ = m.Translate(0, 1, true) // TLB hit, write
+	e, _ := pt.Entry(0)
+	if !e.Use || !e.Modified {
+		t.Errorf("sensors after TLB-hit write = %+v", e)
+	}
+}
+
+func TestTwoLevelRetractInvalidatesTLB(t *testing.T) {
+	var c sim.Clock
+	m := NewTwoLevel(&c, 2, 4, 1)
+	pt, _ := m.Establish(0, 256, 256)
+	_ = pt.SetEntry(0, 1)
+	_, _ = m.Translate(0, 0, false)
+	m.Retract(0)
+	if _, err := m.Translate(0, 0, false); err == nil {
+		t.Fatal("translate after retract succeeded")
+	}
+	e, err := m.Segment(0)
+	if err != nil || e.Present {
+		t.Errorf("segment still present after retract: %+v, %v", e, err)
+	}
+}
+
+func TestTwoLevelSetExtentGrows(t *testing.T) {
+	var c sim.Clock
+	m := NewTwoLevel(&c, 2, 0, 1)
+	pt, _ := m.Establish(0, 256, 256)
+	_ = pt.SetEntry(0, 4)
+	if err := m.SetExtent(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Old mapping preserved.
+	a, err := m.Translate(0, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 4*256+5 {
+		t.Errorf("Translate = %d, want %d", a, 4*256+5)
+	}
+	// New extent reachable (faults rather than limit-traps).
+	_, err = m.Translate(0, 900, false)
+	var pf *PageFault
+	if !errors.As(err, &pf) || pf.Page != 3 {
+		t.Errorf("err = %v, want page fault on page 3", err)
+	}
+	// Shrinking tightens the bound.
+	if err := m.SetExtent(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Translate(0, 200, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("beyond shrunk extent err = %v, want ErrLimit", err)
+	}
+	// SetExtent on absent segment faults.
+	if err := m.SetExtent(1, 10); err == nil {
+		t.Error("SetExtent on absent segment succeeded")
+	}
+}
+
+func TestTLBHitRatioImprovesWithCapacity(t *testing.T) {
+	// The F4 shape in miniature: bigger associative memories catch more
+	// of a locality-bearing reference stream.
+	run := func(tlbSize int) float64 {
+		var c sim.Clock
+		m := NewTwoLevel(&c, 8, tlbSize, 1)
+		for s := addr.SegID(0); s < 8; s++ {
+			pt, _ := m.Establish(s, 4096, 512)
+			for p := uint64(0); p < 8; p++ {
+				_ = pt.SetEntry(p, int(s)*8+int(p))
+			}
+		}
+		rng := sim.NewRNG(77)
+		for i := 0; i < 20000; i++ {
+			var seg addr.SegID
+			var name addr.Name
+			if rng.Float64() < 0.9 {
+				seg = addr.SegID(rng.Intn(2))
+				name = addr.Name(rng.Intn(1024))
+			} else {
+				seg = addr.SegID(rng.Intn(8))
+				name = addr.Name(rng.Intn(4096))
+			}
+			if _, err := m.Translate(seg, name, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.TLB().HitRatio()
+	}
+	small := run(2)
+	medium := run(8)
+	large := run(44)
+	if !(small < medium && medium < large) {
+		t.Errorf("hit ratios not increasing: %g, %g, %g", small, medium, large)
+	}
+	if large < 0.9 {
+		t.Errorf("44-register TLB hit ratio %g, want > 0.9", large)
+	}
+}
+
+func TestPropertyTranslationPreservesOffset(t *testing.T) {
+	var c sim.Clock
+	pt := NewPageTable(&c, 64, 128, 0)
+	perm := sim.NewRNG(5).Perm(64)
+	for p := 0; p < 64; p++ {
+		_ = pt.SetEntry(uint64(p), perm[p])
+	}
+	f := func(n uint16) bool {
+		name := addr.Name(n) % (64 * 128)
+		a, err := pt.Translate(name, false)
+		if err != nil {
+			return false
+		}
+		// Offset within page preserved; frame is the permuted page.
+		if uint64(a)%128 != uint64(name)%128 {
+			return false
+		}
+		return uint64(a)/128 == uint64(perm[uint64(name)/128])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package mapping
+
+import "dsa/internal/addr"
+
+// TLBKey identifies a (segment, page) pair in the associative memory.
+type TLBKey struct {
+	Seg  addr.SegID
+	Page uint64
+}
+
+// TLB models the small associative memory "in which recently-used
+// segment and/or page locations are kept": 8+1 registers on the IBM
+// 360/67, 44 thin-film words on the B8500. Hits bypass the mapping
+// tables entirely; replacement within the TLB is least-recently-used,
+// which content-addressable hardware of the era approximated with
+// usage flip-flops.
+type TLB struct {
+	capacity int
+	frames   map[TLBKey]int
+	stamp    map[TLBKey]uint64
+	n        uint64
+	hits     int64
+	misses   int64
+}
+
+// NewTLB creates an associative memory of the given capacity.
+// Capacity 0 is legal and models a machine without one: every lookup
+// misses.
+func NewTLB(capacity int) *TLB {
+	if capacity < 0 {
+		panic("mapping: negative TLB capacity")
+	}
+	return &TLB{
+		capacity: capacity,
+		frames:   make(map[TLBKey]int),
+		stamp:    make(map[TLBKey]uint64),
+	}
+}
+
+// Capacity reports the number of associative registers.
+func (t *TLB) Capacity() int { return t.capacity }
+
+// Lookup probes the associative memory.
+func (t *TLB) Lookup(k TLBKey) (frame int, ok bool) {
+	f, ok := t.frames[k]
+	if ok {
+		t.hits++
+		t.n++
+		t.stamp[k] = t.n
+		return f, true
+	}
+	t.misses++
+	return 0, false
+}
+
+// Install records a translation, evicting the least recently used
+// entry if the memory is full.
+func (t *TLB) Install(k TLBKey, frame int) {
+	if t.capacity == 0 {
+		return
+	}
+	if _, ok := t.frames[k]; !ok && len(t.frames) >= t.capacity {
+		var victim TLBKey
+		var oldest uint64
+		first := true
+		for key, s := range t.stamp {
+			if first || s < oldest {
+				victim, oldest = key, s
+				first = false
+			}
+		}
+		delete(t.frames, victim)
+		delete(t.stamp, victim)
+	}
+	t.n++
+	t.frames[k] = frame
+	t.stamp[k] = t.n
+}
+
+// InvalidatePage removes any entry for the (segment, page) pair; it
+// must be called when a page is evicted from its frame.
+func (t *TLB) InvalidatePage(k TLBKey) {
+	delete(t.frames, k)
+	delete(t.stamp, k)
+}
+
+// Flush empties the associative memory (e.g. on program switch).
+func (t *TLB) Flush() {
+	t.frames = make(map[TLBKey]int)
+	t.stamp = make(map[TLBKey]uint64)
+}
+
+// Len reports the number of valid entries.
+func (t *TLB) Len() int { return len(t.frames) }
+
+// Stats reports hit and miss counts.
+func (t *TLB) Stats() (hits, misses int64) { return t.hits, t.misses }
+
+// HitRatio reports hits / (hits+misses), 0 when unused.
+func (t *TLB) HitRatio() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}

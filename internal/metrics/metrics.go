@@ -1,0 +1,278 @@
+// Package metrics collects the measures the paper reasons with:
+//
+//   - the space-time product of a program (Figure 3), split into the
+//     part accumulated while the program is active and the part
+//     accumulated while it sits in working storage awaiting a page;
+//   - storage fragmentation, both external (free space shattered into
+//     small sets of contiguous locations) and internal (waste inside
+//     uniform allocation units, which "paging just obscures");
+//   - utilization, fault and transport counts, and histograms used by
+//     the experiment tables.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsa/internal/sim"
+)
+
+// SpaceTime integrates a program's space-time product: resident words
+// multiplied by elapsed ticks, accumulated separately for time spent
+// executing and time spent awaiting page (or segment) arrival. Figure 3
+// of the paper is exactly this quantity drawn as a shaded area.
+type SpaceTime struct {
+	clock    *sim.Clock
+	last     sim.Time
+	resident int64 // currently resident words
+
+	activeArea  int64 // word-ticks while running
+	waitingArea int64 // word-ticks while awaiting a fetch
+	activeTime  sim.Time
+	waitingTime sim.Time
+	waiting     bool
+}
+
+// NewSpaceTime returns an accumulator bound to the clock.
+func NewSpaceTime(clock *sim.Clock) *SpaceTime {
+	return &SpaceTime{clock: clock, last: clock.Now()}
+}
+
+// accumulate charges the area since the last event at the current
+// residency, into the active or waiting account.
+func (s *SpaceTime) accumulate() {
+	now := s.clock.Now()
+	dt := now - s.last
+	if dt > 0 {
+		area := int64(dt) * s.resident
+		if s.waiting {
+			s.waitingArea += area
+			s.waitingTime += dt
+		} else {
+			s.activeArea += area
+			s.activeTime += dt
+		}
+	}
+	s.last = now
+}
+
+// SetResident records a change in resident words (e.g. a page loaded or
+// evicted). The change takes effect from the current clock time.
+func (s *SpaceTime) SetResident(words int64) {
+	s.accumulate()
+	if words < 0 {
+		words = 0
+	}
+	s.resident = words
+}
+
+// AddResident adjusts residency by delta words.
+func (s *SpaceTime) AddResident(delta int64) {
+	s.SetResident(s.resident + delta)
+}
+
+// Resident reports the current resident word count.
+func (s *SpaceTime) Resident() int64 {
+	return s.resident
+}
+
+// BeginWait marks the program as awaiting a fetch: subsequent area
+// accrues to the waiting account ("a program which is awaiting arrival
+// of a further page will continue to occupy working storage").
+func (s *SpaceTime) BeginWait() {
+	s.accumulate()
+	s.waiting = true
+}
+
+// EndWait marks the fetch as complete.
+func (s *SpaceTime) EndWait() {
+	s.accumulate()
+	s.waiting = false
+}
+
+// Snapshot closes the accounting period at the current clock time and
+// returns the accumulated areas.
+func (s *SpaceTime) Snapshot() SpaceTimeReport {
+	s.accumulate()
+	return SpaceTimeReport{
+		ActiveArea:  s.activeArea,
+		WaitingArea: s.waitingArea,
+		ActiveTime:  s.activeTime,
+		WaitingTime: s.waitingTime,
+	}
+}
+
+// SpaceTimeReport is the closed-out space-time accounting of a run.
+type SpaceTimeReport struct {
+	ActiveArea  int64 // word-ticks accumulated while executing
+	WaitingArea int64 // word-ticks accumulated while awaiting fetches
+	ActiveTime  sim.Time
+	WaitingTime sim.Time
+}
+
+// Total reports the full space-time product.
+func (r SpaceTimeReport) Total() int64 { return r.ActiveArea + r.WaitingArea }
+
+// WaitFraction reports the fraction of the space-time product that was
+// accumulated while waiting — the quantity Figure 3 shows ballooning
+// when page fetches are slow.
+func (r SpaceTimeReport) WaitFraction() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.WaitingArea) / float64(t)
+}
+
+// FragStats summarizes the state of a variable-unit store.
+type FragStats struct {
+	TotalWords     int
+	AllocatedWords int
+	FreeWords      int
+	FreeBlocks     int
+	LargestFree    int
+	// RequestedWords is the sum of request sizes behind AllocatedWords;
+	// the difference is internal fragmentation from rounding (padding,
+	// page tails, buddy powers of two).
+	RequestedWords int
+}
+
+// Utilization is the fraction of storage holding allocated blocks.
+func (f FragStats) Utilization() float64 {
+	if f.TotalWords == 0 {
+		return 0
+	}
+	return float64(f.AllocatedWords) / float64(f.TotalWords)
+}
+
+// ExternalFrag is 1 - largestFree/totalFree: 0 when all free space is
+// one block, approaching 1 as free space shatters. Defined as 0 when
+// nothing is free.
+func (f FragStats) ExternalFrag() float64 {
+	if f.FreeWords == 0 {
+		return 0
+	}
+	return 1 - float64(f.LargestFree)/float64(f.FreeWords)
+}
+
+// InternalFrag is the fraction of allocated words not backed by an
+// actual request: the waste "within pages" (or padded blocks) that the
+// paper insists paging merely obscures.
+func (f FragStats) InternalFrag() float64 {
+	if f.AllocatedWords == 0 {
+		return 0
+	}
+	return float64(f.AllocatedWords-f.RequestedWords) / float64(f.AllocatedWords)
+}
+
+// Histogram is a fixed-bucket integer histogram for size and interval
+// distributions in reports.
+type Histogram struct {
+	Bounds []int64 // ascending upper bounds; a final +inf bucket is implicit
+	counts []int64
+	n      int64
+	sum    int64
+	max    int64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket
+// upper bounds.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds not ascending")
+		}
+	}
+	return &Histogram{Bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean reports the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Bucket reports the count in bucket i (i == len(Bounds) is overflow).
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Table renders rows of left-aligned columns with a header, the format
+// used by every experiment printer in cmd/dsafig and the benches.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells formatted with fmt.Sprint.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/sim"
+)
+
+func TestSpaceTimeActiveOnly(t *testing.T) {
+	var c sim.Clock
+	st := NewSpaceTime(&c)
+	st.SetResident(100)
+	c.Advance(10)
+	r := st.Snapshot()
+	if r.ActiveArea != 1000 {
+		t.Errorf("ActiveArea = %d, want 1000", r.ActiveArea)
+	}
+	if r.WaitingArea != 0 {
+		t.Errorf("WaitingArea = %d, want 0", r.WaitingArea)
+	}
+	if r.Total() != 1000 {
+		t.Errorf("Total = %d, want 1000", r.Total())
+	}
+	if r.WaitFraction() != 0 {
+		t.Errorf("WaitFraction = %g, want 0", r.WaitFraction())
+	}
+}
+
+func TestSpaceTimeWaitSplit(t *testing.T) {
+	var c sim.Clock
+	st := NewSpaceTime(&c)
+	st.SetResident(50)
+	c.Advance(10) // active: 500
+	st.BeginWait()
+	c.Advance(30) // waiting: 1500
+	st.EndWait()
+	c.Advance(10) // active: 500
+	r := st.Snapshot()
+	if r.ActiveArea != 1000 {
+		t.Errorf("ActiveArea = %d, want 1000", r.ActiveArea)
+	}
+	if r.WaitingArea != 1500 {
+		t.Errorf("WaitingArea = %d, want 1500", r.WaitingArea)
+	}
+	if got, want := r.WaitFraction(), 0.6; got != want {
+		t.Errorf("WaitFraction = %g, want %g", got, want)
+	}
+	if r.ActiveTime != 20 || r.WaitingTime != 30 {
+		t.Errorf("times = %d/%d, want 20/30", r.ActiveTime, r.WaitingTime)
+	}
+}
+
+func TestSpaceTimeResidencyChanges(t *testing.T) {
+	var c sim.Clock
+	st := NewSpaceTime(&c)
+	st.SetResident(10)
+	c.Advance(5) // 50
+	st.AddResident(10)
+	if st.Resident() != 20 {
+		t.Fatalf("Resident = %d, want 20", st.Resident())
+	}
+	c.Advance(5) // 100
+	st.AddResident(-30)
+	if st.Resident() != 0 {
+		t.Fatalf("Resident clamped = %d, want 0", st.Resident())
+	}
+	c.Advance(100) // 0
+	if r := st.Snapshot(); r.Total() != 150 {
+		t.Errorf("Total = %d, want 150", r.Total())
+	}
+}
+
+func TestSpaceTimeEmpty(t *testing.T) {
+	var c sim.Clock
+	st := NewSpaceTime(&c)
+	r := st.Snapshot()
+	if r.Total() != 0 || r.WaitFraction() != 0 {
+		t.Errorf("empty report not zero: %+v", r)
+	}
+}
+
+func TestSpaceTimeAreaProperty(t *testing.T) {
+	// Total area equals sum over intervals of resident*dt regardless of
+	// how the intervals are labeled.
+	f := func(steps []uint8) bool {
+		var c sim.Clock
+		st := NewSpaceTime(&c)
+		var want int64
+		resident := int64(0)
+		for i, s := range steps {
+			if i%2 == 0 {
+				resident = int64(s)
+				st.SetResident(resident)
+			} else {
+				dt := int64(s%16) + 1
+				if i%4 == 1 {
+					st.BeginWait()
+				} else {
+					st.EndWait()
+				}
+				c.Advance(sim.Time(dt))
+				want += resident * dt
+			}
+		}
+		return st.Snapshot().Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragStats(t *testing.T) {
+	f := FragStats{
+		TotalWords:     1000,
+		AllocatedWords: 600,
+		FreeWords:      400,
+		FreeBlocks:     4,
+		LargestFree:    100,
+		RequestedWords: 480,
+	}
+	if got := f.Utilization(); got != 0.6 {
+		t.Errorf("Utilization = %g, want 0.6", got)
+	}
+	if got := f.ExternalFrag(); got != 0.75 {
+		t.Errorf("ExternalFrag = %g, want 0.75", got)
+	}
+	if got := f.InternalFrag(); got != 0.2 {
+		t.Errorf("InternalFrag = %g, want 0.2", got)
+	}
+}
+
+func TestFragStatsZeroes(t *testing.T) {
+	var f FragStats
+	if f.Utilization() != 0 || f.ExternalFrag() != 0 || f.InternalFrag() != 0 {
+		t.Error("zero FragStats ratios not zero")
+	}
+	whole := FragStats{TotalWords: 10, FreeWords: 10, LargestFree: 10}
+	if whole.ExternalFrag() != 0 {
+		t.Error("single free block should have ExternalFrag 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []int64{5, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	wantBuckets := []int64{2, 2, 1, 1}
+	for i, want := range wantBuckets {
+		if got := h.Bucket(i); got != want {
+			t.Errorf("Bucket(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if h.Max() != 5000 {
+		t.Errorf("Max = %d, want 5000", h.Max())
+	}
+	wantMean := float64(5+10+11+100+101+5000) / 6
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("Mean = %g, want %g", got, wantMean)
+	}
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Mean() != 0 {
+		t.Error("empty histogram Mean != 0")
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds did not panic")
+		}
+	}()
+	NewHistogram(10, 5)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"name", "value"}}
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 2.5)
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Errorf("missing title in %q", s)
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "2.500") {
+		t.Errorf("missing cells in %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), s)
+	}
+	// Columns aligned: header and rows share the position of col 2.
+	if strings.Index(lines[1], "value") != strings.Index(lines[3], "1") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}

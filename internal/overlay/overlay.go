@@ -1,0 +1,249 @@
+// Package overlay implements the pre-dynamic storage management the
+// paper's introduction describes: "the programmer had to devise a
+// strategy for segmenting his program and/or its data, and for
+// controlling the 'overlaying' of segments... The simplest strategies
+// involved preplanned allocation and overlaying on the basis of worst
+// case estimates of storage requirements."
+//
+// A program is an overlay tree: the root is always resident, each
+// node's children share the storage region beyond their parent
+// (siblings overlay one another), and the worst-case storage
+// requirement is the heaviest root-to-leaf path. A Plan computes the
+// static layout; a Runtime replays a reference sequence, swapping
+// sibling subtrees in and out and charging the transfers — the manual
+// regime that dynamic storage allocation systems replaced, and the
+// baseline experiment T0 compares them against.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// ErrUnknown reports a reference to a segment absent from the tree.
+var ErrUnknown = errors.New("overlay: unknown segment")
+
+// Node is one segment in an overlay tree.
+type Node struct {
+	// Symbol names the segment.
+	Symbol string
+	// Size is the segment's extent in words.
+	Size int
+	// Children are the segments that may overlay one another in the
+	// region beyond this node.
+	Children []*Node
+}
+
+// Tree is a validated overlay tree with its static plan: each segment
+// has a fixed origin (preplanned allocation), siblings sharing one.
+type Tree struct {
+	root    *Node
+	nodes   map[string]*Node
+	parent  map[string]*Node
+	origin  map[string]int
+	planned int // worst-case storage requirement
+}
+
+// New validates the tree (unique symbols, positive sizes) and computes
+// the static plan: origin(child) = origin(parent) + size(parent), and
+// the planned storage is the maximum over root-to-leaf paths of the
+// summed sizes — the "worst case estimate".
+func New(root *Node) (*Tree, error) {
+	if root == nil {
+		return nil, errors.New("overlay: nil root")
+	}
+	t := &Tree{
+		root:   root,
+		nodes:  make(map[string]*Node),
+		parent: make(map[string]*Node),
+		origin: make(map[string]int),
+	}
+	var walk func(n, parent *Node, origin int) (int, error)
+	walk = func(n, parent *Node, origin int) (int, error) {
+		if n.Size <= 0 {
+			return 0, fmt.Errorf("overlay: segment %q has size %d", n.Symbol, n.Size)
+		}
+		if _, dup := t.nodes[n.Symbol]; dup {
+			return 0, fmt.Errorf("overlay: duplicate segment %q", n.Symbol)
+		}
+		t.nodes[n.Symbol] = n
+		t.parent[n.Symbol] = parent
+		t.origin[n.Symbol] = origin
+		deepest := origin + n.Size
+		for _, c := range n.Children {
+			d, err := walk(c, n, origin+n.Size)
+			if err != nil {
+				return 0, err
+			}
+			if d > deepest {
+				deepest = d
+			}
+		}
+		return deepest, nil
+	}
+	planned, err := walk(root, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.planned = planned
+	return t, nil
+}
+
+// PlannedWords reports the worst-case storage requirement: the storage
+// a static loader must reserve.
+func (t *Tree) PlannedWords() int { return t.planned }
+
+// TotalWords reports the sum of all segment sizes — what keeping
+// everything resident would need.
+func (t *Tree) TotalWords() int {
+	sum := 0
+	for _, n := range t.nodes {
+		sum += n.Size
+	}
+	return sum
+}
+
+// Origin reports a segment's fixed origin in the planned layout.
+func (t *Tree) Origin(symbol string) (int, error) {
+	o, ok := t.origin[symbol]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknown, symbol)
+	}
+	return o, nil
+}
+
+// Path returns the chain of segments from the root to symbol,
+// inclusive.
+func (t *Tree) Path(symbol string) ([]*Node, error) {
+	n, ok := t.nodes[symbol]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, symbol)
+	}
+	var rev []*Node
+	for cur := n; cur != nil; cur = t.parent[cur.Symbol] {
+		rev = append(rev, cur)
+	}
+	path := make([]*Node, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, nil
+}
+
+// RuntimeStats counts overlay-runtime events.
+type RuntimeStats struct {
+	Refs        int64
+	Swaps       int64 // segments loaded
+	WordsLoaded int64
+}
+
+// Runtime executes a program under the static plan: the set of
+// resident segments is always a root path, and touching a segment off
+// the current path swaps the conflicting branch for the needed one,
+// loading each newly resident segment from backing storage at its
+// planned origin.
+type Runtime struct {
+	tree     *Tree
+	clock    *sim.Clock
+	working  *store.Level
+	backing  *store.Level
+	backBase map[string]int
+	resident map[string]bool
+	stats    RuntimeStats
+}
+
+// NewRuntime stages every segment into backing storage and returns a
+// runtime with only the root loaded. The working level must hold the
+// planned words.
+func NewRuntime(t *Tree, clock *sim.Clock, working, backing *store.Level) (*Runtime, error) {
+	if working.Capacity() < t.planned {
+		return nil, fmt.Errorf("overlay: working storage %d below planned %d",
+			working.Capacity(), t.planned)
+	}
+	r := &Runtime{
+		tree: t, clock: clock, working: working, backing: backing,
+		backBase: make(map[string]int),
+		resident: make(map[string]bool),
+	}
+	next := 0
+	for sym, n := range t.nodes {
+		if next+n.Size > backing.Capacity() {
+			return nil, fmt.Errorf("overlay: backing storage exhausted staging %q", sym)
+		}
+		r.backBase[sym] = next
+		next += n.Size
+	}
+	if err := r.load(t.root); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// load brings one segment into its planned region.
+func (r *Runtime) load(n *Node) error {
+	if err := store.Transfer(r.backing, r.backBase[n.Symbol],
+		r.working, r.tree.origin[n.Symbol], n.Size); err != nil {
+		return err
+	}
+	r.resident[n.Symbol] = true
+	r.stats.Swaps++
+	r.stats.WordsLoaded += int64(n.Size)
+	return nil
+}
+
+// unloadSubtree marks a branch non-resident (its region is about to be
+// overwritten; 1960s overlays did not write code segments back).
+func (r *Runtime) unloadSubtree(n *Node) {
+	if !r.resident[n.Symbol] {
+		return
+	}
+	delete(r.resident, n.Symbol)
+	for _, c := range n.Children {
+		r.unloadSubtree(c)
+	}
+}
+
+// Touch references a segment, performing any overlay swaps its call
+// path requires.
+func (r *Runtime) Touch(symbol string) error {
+	r.stats.Refs++
+	path, err := r.tree.Path(symbol)
+	if err != nil {
+		return err
+	}
+	for i, n := range path {
+		if r.resident[n.Symbol] {
+			continue
+		}
+		// Loading n overlays n's siblings (children of path[i-1]).
+		if i > 0 {
+			for _, sib := range path[i-1].Children {
+				if sib.Symbol != n.Symbol {
+					r.unloadSubtree(sib)
+				}
+			}
+		}
+		if err := r.load(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resident reports whether a segment is currently loaded.
+func (r *Runtime) Resident(symbol string) bool { return r.resident[symbol] }
+
+// ResidentWords reports the words currently loaded.
+func (r *Runtime) ResidentWords() int {
+	sum := 0
+	for sym := range r.resident {
+		sum += r.tree.nodes[sym].Size
+	}
+	return sum
+}
+
+// Stats returns the counters so far.
+func (r *Runtime) Stats() RuntimeStats { return r.stats }

@@ -1,0 +1,227 @@
+package overlay
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// demo builds the classic overlay shape:
+//
+//	main(100) ─┬─ input(200) ── parse(150)
+//	           └─ solve(300) ─┬─ factor(120)
+//	                          └─ iterate(80)
+func demo() *Node {
+	return &Node{Symbol: "main", Size: 100, Children: []*Node{
+		{Symbol: "input", Size: 200, Children: []*Node{
+			{Symbol: "parse", Size: 150},
+		}},
+		{Symbol: "solve", Size: 300, Children: []*Node{
+			{Symbol: "factor", Size: 120},
+			{Symbol: "iterate", Size: 80},
+		}},
+	}}
+}
+
+func TestPlanWorstCasePath(t *testing.T) {
+	tree, err := New(demo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths: main+input+parse = 450; main+solve+factor = 520 (max);
+	// main+solve+iterate = 480.
+	if got := tree.PlannedWords(); got != 520 {
+		t.Errorf("PlannedWords = %d, want 520", got)
+	}
+	if got := tree.TotalWords(); got != 950 {
+		t.Errorf("TotalWords = %d, want 950", got)
+	}
+}
+
+func TestPlanOrigins(t *testing.T) {
+	tree, _ := New(demo())
+	cases := map[string]int{
+		"main": 0, "input": 100, "solve": 100,
+		"parse": 300, "factor": 400, "iterate": 400,
+	}
+	for sym, want := range cases {
+		got, err := tree.Origin(sym)
+		if err != nil || got != want {
+			t.Errorf("Origin(%s) = %d, %v, want %d", sym, got, err, want)
+		}
+	}
+	if _, err := tree.Origin("ghost"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Origin(ghost) err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil root accepted")
+	}
+	if _, err := New(&Node{Symbol: "a", Size: 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+	dup := &Node{Symbol: "a", Size: 1, Children: []*Node{{Symbol: "a", Size: 1}}}
+	if _, err := New(dup); err == nil {
+		t.Error("duplicate symbol accepted")
+	}
+}
+
+func TestPath(t *testing.T) {
+	tree, _ := New(demo())
+	p, err := tree.Path("factor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"main", "solve", "factor"}
+	if len(p) != 3 {
+		t.Fatalf("path = %v", p)
+	}
+	for i, n := range p {
+		if n.Symbol != want[i] {
+			t.Fatalf("path[%d] = %s, want %s", i, n.Symbol, want[i])
+		}
+	}
+}
+
+func newRuntime(t *testing.T) (*Runtime, *sim.Clock) {
+	t.Helper()
+	tree, err := New(demo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &sim.Clock{}
+	working := store.NewLevel(clock, "core", store.Core, 520, 1, 0)
+	backing := store.NewLevel(clock, "drum", store.Drum, 2048, 100, 1)
+	r, err := NewRuntime(tree, clock, working, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, clock
+}
+
+func TestRuntimeRootResident(t *testing.T) {
+	r, _ := newRuntime(t)
+	if !r.Resident("main") {
+		t.Error("root not resident at start")
+	}
+	if r.ResidentWords() != 100 {
+		t.Errorf("ResidentWords = %d, want 100", r.ResidentWords())
+	}
+}
+
+func TestRuntimeOverlaySwaps(t *testing.T) {
+	r, _ := newRuntime(t)
+	if err := r.Touch("parse"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Resident("input") || !r.Resident("parse") {
+		t.Error("call path not resident")
+	}
+	// Touch the other branch: input/parse are overlaid by solve.
+	if err := r.Touch("factor"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Resident("input") || r.Resident("parse") {
+		t.Error("overlaid branch still resident")
+	}
+	if !r.Resident("solve") || !r.Resident("factor") {
+		t.Error("new branch not resident")
+	}
+	// Sibling swap within a branch: factor → iterate keeps solve.
+	swapsBefore := r.Stats().Swaps
+	if err := r.Touch("iterate"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Resident("factor") {
+		t.Error("factor survived sibling swap")
+	}
+	if !r.Resident("solve") {
+		t.Error("parent evicted by sibling swap")
+	}
+	if r.Stats().Swaps != swapsBefore+1 {
+		t.Errorf("swaps = %d, want %d (only iterate loads)", r.Stats().Swaps, swapsBefore+1)
+	}
+}
+
+func TestRuntimeNoSwapWhenResident(t *testing.T) {
+	r, _ := newRuntime(t)
+	_ = r.Touch("factor")
+	before := r.Stats()
+	for i := 0; i < 10; i++ {
+		if err := r.Touch("factor"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := r.Stats()
+	if after.Swaps != before.Swaps || after.WordsLoaded != before.WordsLoaded {
+		t.Error("resident touches caused swaps")
+	}
+	if after.Refs != before.Refs+10 {
+		t.Errorf("refs = %d, want %d", after.Refs, before.Refs+10)
+	}
+}
+
+func TestRuntimeChargesTransfers(t *testing.T) {
+	r, clock := newRuntime(t)
+	before := clock.Now()
+	_ = r.Touch("parse") // loads input (200) + parse (150)
+	cost := clock.Now() - before
+	// Two drum transfers: (100 + 200) + (100 + 150) = 550 at word time 1.
+	if cost < 550 {
+		t.Errorf("swap cost %d, want >= 550", cost)
+	}
+}
+
+func TestRuntimeWorkingTooSmall(t *testing.T) {
+	tree, _ := New(demo())
+	clock := &sim.Clock{}
+	working := store.NewLevel(clock, "core", store.Core, 519, 1, 0)
+	backing := store.NewLevel(clock, "drum", store.Drum, 2048, 100, 1)
+	if _, err := NewRuntime(tree, clock, working, backing); err == nil {
+		t.Error("undersized working storage accepted")
+	}
+}
+
+func TestRuntimeUnknownTouch(t *testing.T) {
+	r, _ := newRuntime(t)
+	if err := r.Touch("ghost"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestPropertyResidentAlwaysRootPath(t *testing.T) {
+	// Invariant: after any touch sequence, the resident set is exactly
+	// the root path of the last-touched leaf plus ancestors — never two
+	// siblings at once — and fits the planned storage.
+	syms := []string{"main", "input", "parse", "solve", "factor", "iterate"}
+	siblings := [][2]string{{"input", "solve"}, {"factor", "iterate"}}
+	f := func(seed uint64) bool {
+		r, _ := newRuntime(t)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 60; i++ {
+			if err := r.Touch(syms[rng.Intn(len(syms))]); err != nil {
+				return false
+			}
+			for _, pair := range siblings {
+				if r.Resident(pair[0]) && r.Resident(pair[1]) {
+					return false
+				}
+			}
+			if r.ResidentWords() > 520 {
+				return false
+			}
+			if !r.Resident("main") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,467 @@
+package paging
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/addr"
+	"dsa/internal/fetch"
+	"dsa/internal/predict"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+	"dsa/internal/trace"
+	"dsa/internal/workload"
+)
+
+// rig builds a small machine: core with `frames` frames, drum backing.
+func rig(t testing.TB, frames int, pageSize uint64, extent uint64, opts func(*Config)) (*Pager, *sim.Clock) {
+	t.Helper()
+	clock := &sim.Clock{}
+	working := store.NewLevel(clock, "core", store.Core, frames*int(pageSize), 1, 0)
+	backing := store.NewLevel(clock, "drum", store.Drum, int(extent), 100, 2)
+	cfg := Config{
+		Clock: clock, Working: working, Backing: backing,
+		PageSize: pageSize, Frames: frames, Extent: extent,
+		Policy: replace.NewLRU(), LookupCost: 1,
+	}
+	if opts != nil {
+		opts(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, clock
+}
+
+func TestConfigValidation(t *testing.T) {
+	clock := &sim.Clock{}
+	working := store.NewLevel(clock, "core", store.Core, 1024, 1, 0)
+	backing := store.NewLevel(clock, "drum", store.Drum, 4096, 100, 2)
+	base := Config{
+		Clock: clock, Working: working, Backing: backing,
+		PageSize: 256, Frames: 4, Extent: 4096, Policy: replace.NewLRU(),
+	}
+	cases := map[string]func(Config) Config{
+		"nil clock":      func(c Config) Config { c.Clock = nil; return c },
+		"nil working":    func(c Config) Config { c.Working = nil; return c },
+		"nil backing":    func(c Config) Config { c.Backing = nil; return c },
+		"zero page size": func(c Config) Config { c.PageSize = 0; return c },
+		"zero frames":    func(c Config) Config { c.Frames = 0; return c },
+		"zero extent":    func(c Config) Config { c.Extent = 0; return c },
+		"nil policy":     func(c Config) Config { c.Policy = nil; return c },
+		"frames exceed":  func(c Config) Config { c.Frames = 5; return c },
+		"extent exceeds": func(c Config) Config { c.Extent = 8192; return c },
+	}
+	for name, mutate := range cases {
+		if _, err := New(mutate(base)); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestFaultsOnFirstTouchOnly(t *testing.T) {
+	p, _ := rig(t, 4, 256, 4*256, nil)
+	for i := 0; i < 3; i++ {
+		if err := p.Touch(100, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Faults != 1 || s.Refs != 3 || s.PageIns != 1 {
+		t.Errorf("stats = %+v, want 1 fault, 3 refs, 1 pagein", s)
+	}
+}
+
+func TestDataSurvivesEvictionViaWriteback(t *testing.T) {
+	// 2 frames, 3 pages: write to page 0, evict it with pages 1 and 2,
+	// then read it back — the writeback/reload path must preserve data.
+	p, _ := rig(t, 2, 128, 3*128, nil)
+	if err := p.Write(5, 0xABCDEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Touch(128, false); err != nil { // page 1
+		t.Fatal(err)
+	}
+	if err := p.Touch(256, false); err != nil { // page 2 evicts page 0 (LRU)
+		t.Fatal(err)
+	}
+	if p.ResidentPages() != 2 {
+		t.Fatalf("resident = %d, want 2", p.ResidentPages())
+	}
+	v, err := p.Read(5) // faults page 0 back in
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xABCDEF {
+		t.Fatalf("read back %#x, want 0xABCDEF", v)
+	}
+	s := p.Stats()
+	if s.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", s.Writebacks)
+	}
+}
+
+func TestCleanPagesNotWrittenBack(t *testing.T) {
+	p, _ := rig(t, 2, 128, 3*128, nil)
+	_ = p.Touch(0, false)
+	_ = p.Touch(128, false)
+	_ = p.Touch(256, false) // evicts page 0, never written
+	if s := p.Stats(); s.Writebacks != 0 {
+		t.Errorf("writebacks = %d, want 0 for clean pages", s.Writebacks)
+	}
+}
+
+func TestResidencyNeverExceedsFrames(t *testing.T) {
+	p, _ := rig(t, 3, 64, 20*64, nil)
+	rng := sim.NewRNG(9)
+	for i := 0; i < 2000; i++ {
+		if err := p.Touch(addr.Name(rng.Intn(20*64)), rng.Float64() < 0.3); err != nil {
+			t.Fatal(err)
+		}
+		if p.ResidentPages() > 3 {
+			t.Fatalf("residency %d exceeds 3 frames", p.ResidentPages())
+		}
+	}
+}
+
+func TestNameBeyondExtentRejected(t *testing.T) {
+	p, _ := rig(t, 2, 64, 128, nil)
+	if err := p.Touch(128, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestShortLastPage(t *testing.T) {
+	// Extent 300 with 128-word pages: page 2 has 44 words.
+	p, _ := rig(t, 3, 128, 300, nil)
+	if err := p.Touch(299, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(299, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Read(299)
+	if err != nil || v != 7 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+}
+
+func TestDemandFetchChargesWaitTime(t *testing.T) {
+	p, clock := rig(t, 2, 128, 4*128, nil)
+	before := clock.Now()
+	_ = p.Touch(0, false)
+	fetchCost := clock.Now() - before
+	// Drum access 100 + 128 words × 2 = 356, plus lookups/access.
+	if fetchCost < 356 {
+		t.Errorf("fault path cost %d, want >= 356", fetchCost)
+	}
+	rep := p.SpaceTime().Snapshot()
+	if rep.WaitingTime < 356 {
+		t.Errorf("waiting time %d, want >= 356", rep.WaitingTime)
+	}
+}
+
+func TestSpaceTimeGrowsWithFetchLatency(t *testing.T) {
+	// The Figure 3 claim: slower page fetches inflate the space-time
+	// product through waiting.
+	run := func(access sim.Time) float64 {
+		clock := &sim.Clock{}
+		working := store.NewLevel(clock, "core", store.Core, 8*256, 1, 0)
+		backing := store.NewLevel(clock, "slow", store.Disk, 64*256, access, 2)
+		p, err := New(Config{
+			Clock: clock, Working: working, Backing: backing,
+			PageSize: 256, Frames: 8, Extent: 64 * 256,
+			Policy: replace.NewLRU(), LookupCost: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := workload.WorkingSet(sim.NewRNG(42), workload.WorkingSetConfig{
+			Extent: 64 * 256, SetWords: 4 * 256, PhaseLen: 2000, Phases: 5,
+			LocalityProb: 0.95,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SpaceTime.WaitFraction()
+	}
+	fast := run(10)
+	slow := run(10000)
+	if !(fast < slow) {
+		t.Errorf("wait fraction fast %g !< slow %g", fast, slow)
+	}
+	if slow < 0.5 {
+		t.Errorf("slow-backing wait fraction %g, want > 0.5 (Figure 3 regime)", slow)
+	}
+}
+
+func TestSequentialPrefetchReducesFaults(t *testing.T) {
+	mk := func(strat fetch.Strategy) Result {
+		clock := &sim.Clock{}
+		working := store.NewLevel(clock, "core", store.Core, 8*128, 1, 0)
+		backing := store.NewLevel(clock, "drum", store.Drum, 64*128, 100, 1)
+		p, err := New(Config{
+			Clock: clock, Working: working, Backing: backing,
+			PageSize: 128, Frames: 8, Extent: 64 * 128,
+			Policy: replace.NewLRU(), Fetch: strat, OverlapPrefetch: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(workload.Sequential(64*128, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	demand := mk(fetch.Demand{})
+	pre := mk(fetch.Sequential{Lookahead: 4})
+	if demand.Stats.Faults != 64 {
+		t.Fatalf("demand faults = %d, want 64 (one per page)", demand.Stats.Faults)
+	}
+	if pre.Stats.Faults*3 > demand.Stats.Faults {
+		t.Errorf("prefetch faults %d not ≪ demand %d", pre.Stats.Faults, demand.Stats.Faults)
+	}
+	if pre.Stats.Prefetches == 0 {
+		t.Error("no prefetches recorded")
+	}
+}
+
+func TestAdviceWontNeedReleasesFrames(t *testing.T) {
+	p, _ := rig(t, 4, 128, 8*128, func(c *Config) {
+		c.Advice = predict.NewAdviceSet(128)
+		c.Fetch = fetch.Advised{Set: nil} // set below
+	})
+	p.cfg.Fetch = fetch.Advised{Set: p.cfg.Advice}
+	_ = p.Touch(0, false)
+	_ = p.Touch(128, false)
+	if p.ResidentPages() != 2 {
+		t.Fatalf("resident = %d", p.ResidentPages())
+	}
+	err := p.applyAdvice(trace.Ref{Op: trace.Advise, Advice: trace.WontNeed, Name: 0, Span: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ResidentPages() != 1 {
+		t.Errorf("resident after wont-need = %d, want 1", p.ResidentPages())
+	}
+	if p.Stats().AdviceEvictions != 1 {
+		t.Errorf("advice evictions = %d, want 1", p.Stats().AdviceEvictions)
+	}
+}
+
+func TestAdviceWillNeedPrefetches(t *testing.T) {
+	p, _ := rig(t, 4, 128, 8*128, func(c *Config) {
+		set := predict.NewAdviceSet(128)
+		c.Advice = set
+		c.Fetch = fetch.Advised{Set: set}
+		c.OverlapPrefetch = true
+	})
+	err := p.applyAdvice(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 256, Span: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.isResident(2) || !p.isResident(3) {
+		t.Error("advised pages not prefetched")
+	}
+	// Referencing them now must not fault.
+	_ = p.Touch(256, false)
+	if p.Stats().Faults != 0 {
+		t.Errorf("faults = %d, want 0 after advice prefetch", p.Stats().Faults)
+	}
+}
+
+func TestKeepResidentPinsPage(t *testing.T) {
+	p, _ := rig(t, 2, 128, 8*128, func(c *Config) {
+		c.Advice = predict.NewAdviceSet(128)
+	})
+	p.cfg.Advice.Apply(trace.Ref{Op: trace.Advise, Advice: trace.KeepResident, Name: 0, Span: 128})
+	_ = p.Touch(0, false) // page 0, pinned
+	// Cycle many other pages through the remaining frame.
+	for i := 1; i < 8; i++ {
+		if err := p.Touch(addr.Name(i*128), false); err != nil {
+			t.Fatal(err)
+		}
+		if !p.isResident(0) {
+			t.Fatalf("pinned page evicted at step %d", i)
+		}
+	}
+}
+
+func TestAllPinnedFails(t *testing.T) {
+	p, _ := rig(t, 2, 128, 8*128, func(c *Config) {
+		c.Advice = predict.NewAdviceSet(128)
+	})
+	p.cfg.Advice.Apply(trace.Ref{Op: trace.Advise, Advice: trace.KeepResident, Name: 0, Span: 2 * 128})
+	_ = p.Touch(0, false)
+	_ = p.Touch(128, false)
+	err := p.Touch(256, false)
+	if !errors.Is(err, ErrAllPinned) {
+		t.Errorf("err = %v, want ErrAllPinned", err)
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	p, _ := rig(t, 4, 128, 16*128, nil)
+	tr := workload.Sequential(16*128, 1)
+	res, err := p.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Refs != int64(len(tr)) {
+		t.Errorf("refs = %d, want %d", res.Stats.Refs, len(tr))
+	}
+	if res.Stats.Faults != 16 {
+		t.Errorf("faults = %d, want 16", res.Stats.Faults)
+	}
+	if res.FaultRate <= 0 || res.FaultRate > 1 {
+		t.Errorf("fault rate = %g", res.FaultRate)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no time elapsed")
+	}
+	if res.SpaceTime.Total() <= 0 {
+		t.Error("no space-time accumulated")
+	}
+}
+
+func TestMINBeatsLRUThroughPager(t *testing.T) {
+	// End-to-end check that the pager honors policy choices: MIN built
+	// from the page string must not fault more than LRU.
+	pageSize := uint64(128)
+	tr := workload.Loop(6, pageSize, 30)
+	run := func(pol replace.Policy) int64 {
+		clock := &sim.Clock{}
+		working := store.NewLevel(clock, "core", store.Core, 4*int(pageSize), 1, 0)
+		backing := store.NewLevel(clock, "drum", store.Drum, 6*int(pageSize), 50, 1)
+		p, err := New(Config{
+			Clock: clock, Working: working, Backing: backing,
+			PageSize: pageSize, Frames: 4, Extent: 6 * pageSize,
+			Policy: pol,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Faults
+	}
+	var pageStr []replace.PageID
+	for _, pg := range tr.PageString(pageSize) {
+		pageStr = append(pageStr, replace.PageID(pg))
+	}
+	min := run(replace.NewMIN(pageStr))
+	lru := run(replace.NewLRU())
+	if min > lru {
+		t.Errorf("MIN faults %d > LRU %d", min, lru)
+	}
+}
+
+func TestReserveFrameKeptVacant(t *testing.T) {
+	p, _ := rig(t, 4, 128, 16*128, func(c *Config) { c.ReserveFrames = 1 })
+	rng := sim.NewRNG(3)
+	for i := 0; i < 500; i++ {
+		if err := p.Touch(addr.Name(rng.Intn(16*128)), rng.Float64() < 0.5); err != nil {
+			t.Fatal(err)
+		}
+		// Outside a fault, at least one frame must be vacant.
+		if p.ResidentPages() > 3 {
+			t.Fatalf("step %d: %d pages resident, reserve violated", i, p.ResidentPages())
+		}
+	}
+	if p.Stats().ReserveEvictions == 0 {
+		t.Error("no reserve evictions recorded")
+	}
+}
+
+func TestReserveMovesWritebackOffCriticalPath(t *testing.T) {
+	// With dirty pages, the reserve converts blocking writebacks into
+	// overlapped ones: waiting time must shrink.
+	run := func(reserve int) sim.Time {
+		clock := &sim.Clock{}
+		working := store.NewLevel(clock, "core", store.Core, 4*128, 1, 0)
+		backing := store.NewLevel(clock, "drum", store.Drum, 32*128, 500, 2)
+		p, err := New(Config{
+			Clock: clock, Working: working, Backing: backing,
+			PageSize: 128, Frames: 4, Extent: 32 * 128,
+			Policy: replace.NewLRU(), ReserveFrames: reserve,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(4)
+		for i := 0; i < 2000; i++ {
+			if err := p.Touch(addr.Name(rng.Intn(32*128)), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.SpaceTime().Snapshot().WaitingTime
+	}
+	without := run(0)
+	with := run(1)
+	if with >= without {
+		t.Errorf("reserve did not cut waiting: %d (with) >= %d (without)", with, without)
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	clock := &sim.Clock{}
+	working := store.NewLevel(clock, "core", store.Core, 4*128, 1, 0)
+	backing := store.NewLevel(clock, "drum", store.Drum, 32*128, 100, 1)
+	base := Config{
+		Clock: clock, Working: working, Backing: backing,
+		PageSize: 128, Frames: 4, Extent: 32 * 128, Policy: replace.NewLRU(),
+	}
+	bad := base
+	bad.ReserveFrames = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative reserve accepted")
+	}
+	bad.ReserveFrames = 4
+	if _, err := New(bad); err == nil {
+		t.Error("reserve == frames accepted")
+	}
+}
+
+func TestPropertyDataIntegrityUnderPaging(t *testing.T) {
+	// Random writes followed by eviction churn must always read back
+	// the last written value.
+	f := func(seed uint64) bool {
+		p, _ := rig(t, 3, 64, 12*64, nil)
+		rng := sim.NewRNG(seed)
+		shadow := make(map[addr.Name]uint64)
+		for i := 0; i < 400; i++ {
+			name := addr.Name(rng.Intn(12 * 64))
+			if rng.Float64() < 0.5 {
+				v := rng.Uint64()
+				if err := p.Write(name, v); err != nil {
+					return false
+				}
+				shadow[name] = v
+			} else if want, ok := shadow[name]; ok {
+				got, err := p.Read(name)
+				if err != nil || got != want {
+					return false
+				}
+			} else if _, err := p.Read(name); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+package paging
+
+import (
+	"errors"
+	"fmt"
+
+	"dsa/internal/addr"
+	"dsa/internal/mapping"
+	"dsa/internal/metrics"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// SegConfig assembles a SegPager: demand paging of a *segmented* name
+// space through the two-level (segment table, page table) mapping of
+// Figure 4, with a small associative memory short-circuiting the
+// tables — the MULTICS / IBM 360/67 data path, where "the segment is
+// not the unit of allocation; instead allocation is performed by a
+// variant of the standard paging technique".
+type SegConfig struct {
+	// Clock is the shared simulation clock.
+	Clock *sim.Clock
+	// Working holds the page frames.
+	Working *store.Level
+	// Backing holds every segment's image.
+	Backing *store.Level
+	// PageSize is the uniform unit of allocation.
+	PageSize uint64
+	// Frames is the number of page frames.
+	Frames int
+	// MaxSegments bounds the segment table (16 on the 24-bit 360/67,
+	// 4096 with 32-bit addressing).
+	MaxSegments int
+	// TLBSize is the associative-memory capacity (9 on the 360/67).
+	TLBSize int
+	// Policy selects victim (segment, page) pairs.
+	Policy replace.Policy
+	// LookupCost is charged per mapping-table level consulted.
+	LookupCost sim.Time
+	// FrameBase offsets frame 0 within the working level.
+	FrameBase int
+}
+
+// segKey packs (segment, page) into a replace.PageID. Pages occupy the
+// low 40 bits, far beyond any simulated segment extent.
+func segKey(seg addr.SegID, page uint64) replace.PageID {
+	return replace.PageID(uint64(seg)<<40 | page)
+}
+
+func splitKey(k replace.PageID) (addr.SegID, uint64) {
+	return addr.SegID(uint64(k) >> 40), uint64(k) & (1<<40 - 1)
+}
+
+// segState is the pager's bookkeeping for one established segment.
+type segState struct {
+	extent      addr.Name
+	backingBase int
+}
+
+// SegPagerStats counts SegPager events.
+type SegPagerStats struct {
+	Refs       int64
+	PageFaults int64
+	PageIns    int64
+	PageOuts   int64
+	Writebacks int64
+}
+
+// SegPager is a demand-paging allocator for a segmented name space.
+type SegPager struct {
+	cfg  SegConfig
+	m    *mapping.TwoLevel
+	segs map[addr.SegID]*segState
+	st   *metrics.SpaceTime
+
+	free        []int
+	frameOf     map[replace.PageID]int
+	backingNext int
+	stats       SegPagerStats
+}
+
+// NewSegPager validates the configuration and builds the pager.
+func NewSegPager(cfg SegConfig) (*SegPager, error) {
+	if cfg.Clock == nil || cfg.Working == nil || cfg.Backing == nil {
+		return nil, errors.New("paging: clock, working and backing are required")
+	}
+	if cfg.PageSize == 0 || cfg.Frames <= 0 || cfg.MaxSegments <= 0 {
+		return nil, fmt.Errorf("paging: bad segmented shape page %d, frames %d, segs %d",
+			cfg.PageSize, cfg.Frames, cfg.MaxSegments)
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("paging: nil replacement policy")
+	}
+	if need := cfg.FrameBase + cfg.Frames*int(cfg.PageSize); need > cfg.Working.Capacity() {
+		return nil, fmt.Errorf("paging: %d frames of %d words exceed working storage %d",
+			cfg.Frames, cfg.PageSize, cfg.Working.Capacity())
+	}
+	p := &SegPager{
+		cfg:     cfg,
+		m:       mapping.NewTwoLevel(cfg.Clock, cfg.MaxSegments, cfg.TLBSize, cfg.LookupCost),
+		segs:    make(map[addr.SegID]*segState),
+		st:      metrics.NewSpaceTime(cfg.Clock),
+		frameOf: make(map[replace.PageID]int),
+	}
+	for f := cfg.Frames - 1; f >= 0; f-- {
+		p.free = append(p.free, f)
+	}
+	return p, nil
+}
+
+// Mapping exposes the two-level mapper (TLB statistics, tables).
+func (p *SegPager) Mapping() *mapping.TwoLevel { return p.m }
+
+// Stats returns the counters so far.
+func (p *SegPager) Stats() SegPagerStats { return p.stats }
+
+// SpaceTime exposes the space-time accumulator.
+func (p *SegPager) SpaceTime() *metrics.SpaceTime { return p.st }
+
+// Establish creates a segment of the given extent: a backing image is
+// reserved and a page table installed with every page absent, so the
+// segment pages in on demand.
+func (p *SegPager) Establish(seg addr.SegID, extent addr.Name) error {
+	if extent == 0 {
+		return fmt.Errorf("paging: zero extent for segment %d", seg)
+	}
+	if _, dup := p.segs[seg]; dup {
+		return fmt.Errorf("paging: segment %d already established", seg)
+	}
+	span := (uint64(extent) + p.cfg.PageSize - 1) / p.cfg.PageSize * p.cfg.PageSize
+	if p.backingNext+int(span) > p.cfg.Backing.Capacity() {
+		return fmt.Errorf("paging: backing storage exhausted for segment %d", seg)
+	}
+	if _, err := p.m.Establish(seg, extent, p.cfg.PageSize); err != nil {
+		return err
+	}
+	p.segs[seg] = &segState{extent: extent, backingBase: p.backingNext}
+	p.backingNext += int(span)
+	return nil
+}
+
+// Grow changes a segment's extent, keeping resident pages mapped. The
+// backing reservation is page-granular; growth beyond it reserves a
+// fresh image and copies the old one.
+func (p *SegPager) Grow(seg addr.SegID, extent addr.Name) error {
+	s, ok := p.segs[seg]
+	if !ok {
+		return fmt.Errorf("%w: segment %d", addr.ErrUnknownSegment, seg)
+	}
+	if extent == 0 {
+		return fmt.Errorf("paging: zero extent for segment %d", seg)
+	}
+	oldSpan := (uint64(s.extent) + p.cfg.PageSize - 1) / p.cfg.PageSize * p.cfg.PageSize
+	newSpan := (uint64(extent) + p.cfg.PageSize - 1) / p.cfg.PageSize * p.cfg.PageSize
+	if newSpan > oldSpan {
+		if p.backingNext+int(newSpan) > p.cfg.Backing.Capacity() {
+			return fmt.Errorf("paging: backing storage exhausted growing segment %d", seg)
+		}
+		newBase := p.backingNext
+		p.backingNext += int(newSpan)
+		if err := store.Transfer(p.cfg.Backing, s.backingBase, p.cfg.Backing, newBase, int(oldSpan)); err != nil {
+			return err
+		}
+		s.backingBase = newBase
+	}
+	s.extent = extent
+	return p.m.SetExtent(seg, extent)
+}
+
+// Read reads one word of a segment.
+func (p *SegPager) Read(seg addr.SegID, off addr.Name) (uint64, error) {
+	a, err := p.access(seg, off, false)
+	if err != nil {
+		return 0, err
+	}
+	return p.cfg.Working.ReadWord(int(a))
+}
+
+// Write writes one word of a segment.
+func (p *SegPager) Write(seg addr.SegID, off addr.Name, v uint64) error {
+	a, err := p.access(seg, off, true)
+	if err != nil {
+		return err
+	}
+	return p.cfg.Working.WriteWord(int(a), v)
+}
+
+// Touch references a word without transferring data to the caller.
+func (p *SegPager) Touch(seg addr.SegID, off addr.Name, write bool) error {
+	a, err := p.access(seg, off, write)
+	if err != nil {
+		return err
+	}
+	v, err := p.cfg.Working.ReadWord(int(a))
+	if err != nil {
+		return err
+	}
+	if write {
+		return p.cfg.Working.WriteWord(int(a), v)
+	}
+	return nil
+}
+
+// access resolves (segment, offset) through the two-level mapping,
+// servicing a page fault if one traps.
+func (p *SegPager) access(seg addr.SegID, off addr.Name, write bool) (addr.Address, error) {
+	p.stats.Refs++
+	a, err := p.m.Translate(seg, off, write)
+	if err == nil {
+		key := segKey(seg, uint64(off)/p.cfg.PageSize)
+		p.cfg.Policy.Touch(key, p.cfg.Clock.Now(), write)
+		return a + addr.Address(p.cfg.FrameBase), nil
+	}
+	var pf *mapping.PageFault
+	if !errors.As(err, &pf) {
+		return 0, err
+	}
+	if ferr := p.pageFault(seg, pf.Page, write); ferr != nil {
+		return 0, ferr
+	}
+	a, err = p.m.Translate(seg, off, write)
+	if err != nil {
+		return 0, fmt.Errorf("paging: segmented fault resolution failed: %w", err)
+	}
+	return a + addr.Address(p.cfg.FrameBase), nil
+}
+
+// pageFault brings (seg, page) into a frame, evicting if needed.
+func (p *SegPager) pageFault(seg addr.SegID, page uint64, _ bool) error {
+	p.stats.PageFaults++
+	p.st.BeginWait()
+	defer p.st.EndWait()
+
+	s := p.segs[seg]
+	if s == nil {
+		return fmt.Errorf("%w: segment %d", addr.ErrUnknownSegment, seg)
+	}
+	frame, err := p.takeSegFrame()
+	if err != nil {
+		return err
+	}
+	words := p.pageSpan(s, page)
+	if err := store.Transfer(p.cfg.Backing, s.backingBase+int(page*p.cfg.PageSize),
+		p.cfg.Working, p.cfg.FrameBase+frame*int(p.cfg.PageSize), words); err != nil {
+		return err
+	}
+	e, err := p.m.Segment(seg)
+	if err != nil {
+		return err
+	}
+	if err := e.Table.SetEntry(page, frame); err != nil {
+		return err
+	}
+	key := segKey(seg, page)
+	p.frameOf[key] = frame
+	p.cfg.Policy.Insert(key, p.cfg.Clock.Now())
+	p.st.AddResident(int64(words))
+	p.stats.PageIns++
+	return nil
+}
+
+// pageSpan is the page's true extent within its segment.
+func (p *SegPager) pageSpan(s *segState, page uint64) int {
+	start := page * p.cfg.PageSize
+	end := start + p.cfg.PageSize
+	if end > uint64(s.extent) {
+		end = uint64(s.extent)
+	}
+	return int(end - start)
+}
+
+// takeSegFrame returns a free frame, evicting a victim page if needed.
+func (p *SegPager) takeSegFrame() (int, error) {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f, nil
+	}
+	v, err := p.cfg.Policy.Victim(p.cfg.Clock.Now())
+	if err != nil {
+		return 0, err
+	}
+	vSeg, vPage := splitKey(v)
+	s := p.segs[vSeg]
+	e, err := p.m.Segment(vSeg)
+	if err != nil || s == nil || e.Table == nil {
+		return 0, fmt.Errorf("paging: victim %d/%d has no segment state", vSeg, vPage)
+	}
+	entry, err := e.Table.Invalidate(vPage)
+	if err != nil {
+		return 0, err
+	}
+	if !entry.Present {
+		return 0, fmt.Errorf("paging: victim %d/%d not present", vSeg, vPage)
+	}
+	words := p.pageSpan(s, vPage)
+	if entry.Modified {
+		if err := store.Transfer(p.cfg.Working, p.cfg.FrameBase+entry.Frame*int(p.cfg.PageSize),
+			p.cfg.Backing, s.backingBase+int(vPage*p.cfg.PageSize), words); err != nil {
+			return 0, err
+		}
+		p.stats.Writebacks++
+	}
+	p.m.TLB().InvalidatePage(mapping.TLBKey{Seg: vSeg, Page: vPage})
+	p.cfg.Policy.Remove(v)
+	delete(p.frameOf, v)
+	p.st.AddResident(-int64(words))
+	p.stats.PageOuts++
+	return entry.Frame, nil
+}
+
+// ResidentPages reports how many pages are in frames.
+func (p *SegPager) ResidentPages() int { return len(p.frameOf) }

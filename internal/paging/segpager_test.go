@@ -1,0 +1,242 @@
+package paging
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/addr"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+func segRig(t testing.TB, frames int, opts func(*SegConfig)) *SegPager {
+	t.Helper()
+	clock := &sim.Clock{}
+	working := store.NewLevel(clock, "core", store.Core, frames*256, 1, 0)
+	backing := store.NewLevel(clock, "drum", store.Drum, 1<<18, 100, 1)
+	cfg := SegConfig{
+		Clock: clock, Working: working, Backing: backing,
+		PageSize: 256, Frames: frames, MaxSegments: 16, TLBSize: 8,
+		Policy: replace.NewLRU(), LookupCost: 1,
+	}
+	if opts != nil {
+		opts(&cfg)
+	}
+	p, err := NewSegPager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSegPagerValidation(t *testing.T) {
+	if _, err := NewSegPager(SegConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	clock := &sim.Clock{}
+	w := store.NewLevel(clock, "c", store.Core, 1024, 1, 0)
+	b := store.NewLevel(clock, "d", store.Drum, 4096, 1, 0)
+	base := SegConfig{
+		Clock: clock, Working: w, Backing: b,
+		PageSize: 256, Frames: 4, MaxSegments: 4, Policy: replace.NewLRU(),
+	}
+	for name, mut := range map[string]func(SegConfig) SegConfig{
+		"zero page":   func(c SegConfig) SegConfig { c.PageSize = 0; return c },
+		"zero frames": func(c SegConfig) SegConfig { c.Frames = 0; return c },
+		"zero segs":   func(c SegConfig) SegConfig { c.MaxSegments = 0; return c },
+		"nil policy":  func(c SegConfig) SegConfig { c.Policy = nil; return c },
+		"too big":     func(c SegConfig) SegConfig { c.Frames = 5; return c },
+	} {
+		if _, err := NewSegPager(mut(base)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSegPagerEstablishAndTouch(t *testing.T) {
+	p := segRig(t, 4, nil)
+	if err := p.Establish(1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Touch(1, 999, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().PageFaults != 1 {
+		t.Errorf("faults = %d, want 1", p.Stats().PageFaults)
+	}
+	// Second touch of the same page: TLB hit, no fault.
+	if err := p.Touch(1, 998, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().PageFaults != 1 {
+		t.Errorf("faults = %d after hit, want 1", p.Stats().PageFaults)
+	}
+}
+
+func TestSegPagerBoundsAndUnknown(t *testing.T) {
+	p := segRig(t, 4, nil)
+	_ = p.Establish(0, 100)
+	if err := p.Touch(0, 100, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("subscript err = %v, want ErrLimit", err)
+	}
+	if err := p.Touch(3, 0, false); err == nil {
+		t.Error("unestablished segment touch succeeded")
+	}
+	if err := p.Establish(0, 50); err == nil {
+		t.Error("duplicate establish succeeded")
+	}
+	if err := p.Establish(2, 0); err == nil {
+		t.Error("zero extent accepted")
+	}
+}
+
+func TestSegPagerDataIntegrityAcrossEviction(t *testing.T) {
+	p := segRig(t, 2, nil)
+	_ = p.Establish(0, 256)
+	_ = p.Establish(1, 256)
+	_ = p.Establish(2, 256)
+	if err := p.Write(0, 10, 777); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Touch(1, 0, false)
+	_ = p.Touch(2, 0, false) // evicts segment 0's page (LRU)
+	if p.ResidentPages() != 2 {
+		t.Fatalf("resident = %d, want 2", p.ResidentPages())
+	}
+	v, err := p.Read(0, 10)
+	if err != nil || v != 777 {
+		t.Fatalf("read back %d, %v, want 777", v, err)
+	}
+	if p.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", p.Stats().Writebacks)
+	}
+}
+
+func TestSegPagerTLBInvalidatedOnEviction(t *testing.T) {
+	p := segRig(t, 2, nil)
+	_ = p.Establish(0, 256)
+	_ = p.Establish(1, 256)
+	_ = p.Establish(2, 256)
+	_ = p.Touch(0, 0, false)
+	_ = p.Touch(1, 0, false)
+	_ = p.Touch(2, 0, false) // evicts (0,0); its TLB entry must die
+	// Touching (0,0) again must fault (not silently hit a stale entry).
+	faults := p.Stats().PageFaults
+	_ = p.Touch(0, 0, false)
+	if p.Stats().PageFaults != faults+1 {
+		t.Error("stale TLB entry served an evicted page")
+	}
+}
+
+func TestSegPagerGrow(t *testing.T) {
+	p := segRig(t, 4, nil)
+	_ = p.Establish(0, 100)
+	_ = p.Write(0, 50, 42)
+	if err := p.Grow(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Read(0, 50)
+	if err != nil || v != 42 {
+		t.Fatalf("after grow read = %d, %v, want 42", v, err)
+	}
+	if err := p.Touch(0, 999, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Grow(0, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Touch(0, 60, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("beyond shrunk extent err = %v, want ErrLimit", err)
+	}
+	if err := p.Grow(5, 10); !errors.Is(err, addr.ErrUnknownSegment) {
+		t.Errorf("grow unknown err = %v, want ErrUnknownSegment", err)
+	}
+}
+
+func TestSegPagerTLBReducesCost(t *testing.T) {
+	// With an 8-register TLB, repeated access to a hot page must cost
+	// less than with none.
+	cost := func(tlb int) sim.Time {
+		clock := &sim.Clock{}
+		working := store.NewLevel(clock, "core", store.Core, 4*256, 1, 0)
+		backing := store.NewLevel(clock, "drum", store.Drum, 1<<16, 100, 1)
+		p, err := NewSegPager(SegConfig{
+			Clock: clock, Working: working, Backing: backing,
+			PageSize: 256, Frames: 4, MaxSegments: 4, TLBSize: tlb,
+			Policy: replace.NewLRU(), LookupCost: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = p.Establish(0, 1024)
+		rng := sim.NewRNG(1)
+		for i := 0; i < 5000; i++ {
+			if err := p.Touch(0, addr.Name(rng.Intn(512)), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return clock.Now()
+	}
+	withTLB := cost(8)
+	without := cost(0)
+	if withTLB >= without {
+		t.Errorf("TLB did not reduce cost: %d >= %d", withTLB, without)
+	}
+}
+
+func TestSegPagerResidencyBounded(t *testing.T) {
+	p := segRig(t, 3, nil)
+	for s := addr.SegID(0); s < 8; s++ {
+		if err := p.Establish(s, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(2)
+	for i := 0; i < 2000; i++ {
+		seg := addr.SegID(rng.Intn(8))
+		if err := p.Touch(seg, addr.Name(rng.Intn(512)), rng.Float64() < 0.3); err != nil {
+			t.Fatal(err)
+		}
+		if p.ResidentPages() > 3 {
+			t.Fatalf("residency %d exceeds 3 frames", p.ResidentPages())
+		}
+	}
+}
+
+func TestSegPagerPropertyIntegrity(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := segRig(t, 3, nil)
+		for s := addr.SegID(0); s < 6; s++ {
+			if err := p.Establish(s, 300); err != nil {
+				return false
+			}
+		}
+		rng := sim.NewRNG(seed)
+		type cell struct {
+			seg addr.SegID
+			off addr.Name
+		}
+		shadow := map[cell]uint64{}
+		for i := 0; i < 400; i++ {
+			c := cell{addr.SegID(rng.Intn(6)), addr.Name(rng.Intn(300))}
+			if rng.Float64() < 0.5 {
+				v := rng.Uint64()
+				if err := p.Write(c.seg, c.off, v); err != nil {
+					return false
+				}
+				shadow[c] = v
+			} else if want, ok := shadow[c]; ok {
+				got, err := p.Read(c.seg, c.off)
+				if err != nil || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package predict implements the paper's second basic characteristic:
+// the acceptance of *predictive information* — advisory directives
+// about the probable use of storage over the next short time interval.
+//
+// Two mechanisms are modeled:
+//
+//   - AdviceSet, the page-level directives of the IBM M44/44X ("one
+//     indicates that a page will shortly be needed; the other indicates
+//     that it will not be needed for some time") and the MULTICS
+//     programmer provisions (keep permanently resident / will access
+//     shortly / will not access again);
+//   - ProgramDescription, the ACSI-MATIC segment-level "program
+//     descriptions", which specified which storage medium a segment
+//     was to be in when used, and permissions and restrictions on the
+//     overlaying of groups of segments.
+//
+// Directives are advisory: the paging engine consults them but its
+// correctness never depends on them, matching the authors' position
+// that "the general level of performance of the system should not be
+// dependent on the extent and accuracy of predictive information".
+package predict
+
+import (
+	"fmt"
+
+	"dsa/internal/trace"
+)
+
+// AdviceSet tracks page-granular advice derived from Advise events.
+type AdviceSet struct {
+	pageSize uint64
+	willNeed []uint64 // FIFO of advised pages awaiting prefetch
+	pending  map[uint64]bool
+	wontNeed map[uint64]bool
+	keep     map[uint64]bool
+
+	accepted int64
+}
+
+// NewAdviceSet creates an advice tracker at the given page granularity.
+func NewAdviceSet(pageSize uint64) *AdviceSet {
+	if pageSize == 0 {
+		panic("predict: zero page size")
+	}
+	return &AdviceSet{
+		pageSize: pageSize,
+		pending:  make(map[uint64]bool),
+		wontNeed: make(map[uint64]bool),
+		keep:     make(map[uint64]bool),
+	}
+}
+
+// Apply consumes an Advise event, expanding its [Name, Name+Span) range
+// into page-level marks. Non-advise events are ignored so callers can
+// feed whole traces through.
+func (a *AdviceSet) Apply(r trace.Ref) {
+	if r.Op != trace.Advise {
+		return
+	}
+	a.accepted++
+	span := r.Span
+	if span == 0 {
+		span = 1
+	}
+	first := r.Name / a.pageSize
+	last := (r.Name + span - 1) / a.pageSize
+	for p := first; p <= last; p++ {
+		switch r.Advice {
+		case trace.WillNeed:
+			delete(a.wontNeed, p)
+			if !a.pending[p] {
+				a.pending[p] = true
+				a.willNeed = append(a.willNeed, p)
+			}
+		case trace.WontNeed:
+			a.wontNeed[p] = true
+			delete(a.pending, p)
+		case trace.KeepResident:
+			a.keep[p] = true
+			delete(a.wontNeed, p)
+		}
+	}
+}
+
+// TakeWillNeed drains and returns the pages advised as needed soon, in
+// advice order. The fetch strategy turns these into prefetches.
+func (a *AdviceSet) TakeWillNeed() []uint64 {
+	out := make([]uint64, 0, len(a.willNeed))
+	for _, p := range a.willNeed {
+		if a.pending[p] {
+			out = append(out, p)
+			delete(a.pending, p)
+		}
+	}
+	a.willNeed = a.willNeed[:0]
+	return out
+}
+
+// WontNeed reports whether the page is currently advised as not needed.
+func (a *AdviceSet) WontNeed(page uint64) bool { return a.wontNeed[page] }
+
+// Keep reports whether the page is advised permanently resident.
+func (a *AdviceSet) Keep(page uint64) bool { return a.keep[page] }
+
+// Touch notes an actual reference to a page, which supersedes any
+// standing wont-need advice for it (the program contradicted itself;
+// reality wins).
+func (a *AdviceSet) Touch(page uint64) {
+	delete(a.wontNeed, page)
+}
+
+// Accepted reports how many advise events were consumed.
+func (a *AdviceSet) Accepted() int64 { return a.accepted }
+
+// Medium identifies a preferred storage level for a segment in an
+// ACSI-MATIC program description.
+type Medium int
+
+const (
+	// AnyMedium leaves placement to the system.
+	AnyMedium Medium = iota
+	// WorkingStorage requests residence in core when used.
+	WorkingStorage
+	// BackingStorage declares the segment tolerable on drum/disk.
+	BackingStorage
+)
+
+// String names the medium.
+func (m Medium) String() string {
+	switch m {
+	case AnyMedium:
+		return "any"
+	case WorkingStorage:
+		return "working"
+	case BackingStorage:
+		return "backing"
+	default:
+		return fmt.Sprintf("Medium(%d)", int(m))
+	}
+}
+
+// ProgramDescription is an ACSI-MATIC style description accompanying a
+// program: per-segment medium preferences and overlay permissions.
+// Descriptions "could be varied dynamically", so every method is valid
+// at any time during a run.
+type ProgramDescription struct {
+	media   map[string]Medium
+	overlay map[string]map[string]bool
+}
+
+// NewProgramDescription returns an empty description.
+func NewProgramDescription() *ProgramDescription {
+	return &ProgramDescription{
+		media:   make(map[string]Medium),
+		overlay: make(map[string]map[string]bool),
+	}
+}
+
+// SetMedium records the storage medium a segment should occupy when in
+// use.
+func (d *ProgramDescription) SetMedium(segment string, m Medium) {
+	d.media[segment] = m
+}
+
+// MediumOf reports the declared medium, AnyMedium by default.
+func (d *ProgramDescription) MediumOf(segment string) Medium {
+	return d.media[segment]
+}
+
+// PermitOverlay declares that incoming may overlay (replace) resident.
+// Permissions are directional; permit both ways for symmetric groups.
+func (d *ProgramDescription) PermitOverlay(incoming, resident string) {
+	m, ok := d.overlay[incoming]
+	if !ok {
+		m = make(map[string]bool)
+		d.overlay[incoming] = m
+	}
+	m[resident] = true
+}
+
+// MayOverlay reports whether incoming may overlay resident. With no
+// declaration for incoming at all, everything is permitted (the
+// description restricts only what it mentions).
+func (d *ProgramDescription) MayOverlay(incoming, resident string) bool {
+	m, ok := d.overlay[incoming]
+	if !ok {
+		return true
+	}
+	return m[resident]
+}
+
+// Restricted reports whether the description constrains the incoming
+// segment's overlay choices at all.
+func (d *ProgramDescription) Restricted(incoming string) bool {
+	_, ok := d.overlay[incoming]
+	return ok
+}

@@ -1,0 +1,161 @@
+package predict
+
+import (
+	"testing"
+
+	"dsa/internal/trace"
+)
+
+func TestAdviceSetWillNeed(t *testing.T) {
+	a := NewAdviceSet(512)
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 512, Span: 1024})
+	got := a.TakeWillNeed()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("TakeWillNeed = %v, want [1 2]", got)
+	}
+	// Drained: second take is empty.
+	if got := a.TakeWillNeed(); len(got) != 0 {
+		t.Fatalf("second TakeWillNeed = %v, want empty", got)
+	}
+	if a.Accepted() != 1 {
+		t.Errorf("Accepted = %d, want 1", a.Accepted())
+	}
+}
+
+func TestAdviceSetZeroSpanIsOnePage(t *testing.T) {
+	a := NewAdviceSet(256)
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 300})
+	got := a.TakeWillNeed()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("TakeWillNeed = %v, want [1]", got)
+	}
+}
+
+func TestAdviceSetWontNeed(t *testing.T) {
+	a := NewAdviceSet(512)
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WontNeed, Name: 0, Span: 512})
+	if !a.WontNeed(0) {
+		t.Error("page 0 not marked wont-need")
+	}
+	// An actual touch supersedes the advice.
+	a.Touch(0)
+	if a.WontNeed(0) {
+		t.Error("wont-need survived an actual touch")
+	}
+}
+
+func TestAdviceWillNeedCancelsWontNeed(t *testing.T) {
+	a := NewAdviceSet(512)
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WontNeed, Name: 0, Span: 512})
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 0, Span: 512})
+	if a.WontNeed(0) {
+		t.Error("wont-need survived will-need")
+	}
+	if got := a.TakeWillNeed(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("TakeWillNeed = %v, want [0]", got)
+	}
+}
+
+func TestAdviceWontNeedCancelsPendingWillNeed(t *testing.T) {
+	a := NewAdviceSet(512)
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 0, Span: 512})
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WontNeed, Name: 0, Span: 512})
+	if got := a.TakeWillNeed(); len(got) != 0 {
+		t.Errorf("TakeWillNeed = %v, want empty", got)
+	}
+}
+
+func TestAdviceSetKeep(t *testing.T) {
+	a := NewAdviceSet(512)
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.KeepResident, Name: 1024, Span: 512})
+	if !a.Keep(2) {
+		t.Error("page 2 not kept")
+	}
+	if a.Keep(0) {
+		t.Error("page 0 spuriously kept")
+	}
+	// Keep cancels wont-need.
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WontNeed, Name: 1024, Span: 512})
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.KeepResident, Name: 1024, Span: 512})
+	if a.WontNeed(2) {
+		t.Error("wont-need survived keep-resident")
+	}
+}
+
+func TestAdviceSetIgnoresAccesses(t *testing.T) {
+	a := NewAdviceSet(512)
+	a.Apply(trace.Ref{Op: trace.Read, Name: 0})
+	a.Apply(trace.Ref{Op: trace.Write, Name: 512})
+	if a.Accepted() != 0 {
+		t.Errorf("Accepted = %d, want 0", a.Accepted())
+	}
+	if len(a.TakeWillNeed()) != 0 {
+		t.Error("accesses generated advice")
+	}
+}
+
+func TestAdviceDuplicateWillNeedNotQueuedTwice(t *testing.T) {
+	a := NewAdviceSet(512)
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 0, Span: 512})
+	a.Apply(trace.Ref{Op: trace.Advise, Advice: trace.WillNeed, Name: 0, Span: 512})
+	if got := a.TakeWillNeed(); len(got) != 1 {
+		t.Errorf("TakeWillNeed = %v, want single page", got)
+	}
+}
+
+func TestNewAdviceSetPanicsOnZeroPage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewAdviceSet(0)
+}
+
+func TestProgramDescriptionMedia(t *testing.T) {
+	d := NewProgramDescription()
+	if d.MediumOf("main") != AnyMedium {
+		t.Error("default medium not AnyMedium")
+	}
+	d.SetMedium("main", WorkingStorage)
+	d.SetMedium("table", BackingStorage)
+	if d.MediumOf("main") != WorkingStorage || d.MediumOf("table") != BackingStorage {
+		t.Error("media not recorded")
+	}
+}
+
+func TestProgramDescriptionOverlay(t *testing.T) {
+	d := NewProgramDescription()
+	// Unrestricted by default.
+	if !d.MayOverlay("a", "b") {
+		t.Error("default overlay not permitted")
+	}
+	if d.Restricted("a") {
+		t.Error("spuriously restricted")
+	}
+	d.PermitOverlay("a", "b")
+	if !d.Restricted("a") {
+		t.Error("not restricted after declaration")
+	}
+	if !d.MayOverlay("a", "b") {
+		t.Error("declared overlay not permitted")
+	}
+	if d.MayOverlay("a", "c") {
+		t.Error("undeclared overlay permitted once restricted")
+	}
+	// Directional.
+	if !d.MayOverlay("b", "a") {
+		t.Error("reverse direction should be unrestricted")
+	}
+}
+
+func TestMediumString(t *testing.T) {
+	for m, want := range map[Medium]string{
+		AnyMedium: "any", WorkingStorage: "working", BackingStorage: "backing",
+		Medium(7): "Medium(7)",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package replace
+
+import "dsa/internal/sim"
+
+// Clock is the "essentially cyclical" replacement strategy reported
+// effective on the Burroughs B5000: a hand sweeps the resident pages in
+// a fixed circular order; a page whose use bit is set gets a second
+// chance (the bit is cleared), and the first page found with a clear
+// bit is the victim.
+type Clock struct {
+	ring []PageID
+	use  map[PageID]bool
+	pos  map[PageID]int
+	hand int
+}
+
+// NewClock returns an empty Clock policy.
+func NewClock() *Clock {
+	return &Clock{use: make(map[PageID]bool), pos: make(map[PageID]int)}
+}
+
+// Name implements Policy.
+func (*Clock) Name() string { return "clock" }
+
+// Insert implements Policy.
+func (c *Clock) Insert(id PageID, _ sim.Time) {
+	if _, ok := c.pos[id]; ok {
+		return
+	}
+	c.pos[id] = len(c.ring)
+	c.ring = append(c.ring, id)
+	c.use[id] = true
+}
+
+// Touch implements Policy.
+func (c *Clock) Touch(id PageID, _ sim.Time, _ bool) {
+	if _, ok := c.pos[id]; ok {
+		c.use[id] = true
+	}
+}
+
+// Victim implements Policy.
+func (c *Clock) Victim(sim.Time) (PageID, error) {
+	if len(c.ring) == 0 {
+		return 0, ErrEmpty
+	}
+	for sweeps := 0; sweeps < 2*len(c.ring)+1; sweeps++ {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		id := c.ring[c.hand]
+		if c.use[id] {
+			c.use[id] = false
+			c.hand++
+			continue
+		}
+		return id, nil
+	}
+	// All bits were set repeatedly (cannot happen: first sweep clears).
+	return c.ring[0], nil
+}
+
+// Remove implements Policy.
+func (c *Clock) Remove(id PageID) {
+	i, ok := c.pos[id]
+	if !ok {
+		return
+	}
+	last := len(c.ring) - 1
+	c.ring[i] = c.ring[last]
+	c.pos[c.ring[i]] = i
+	c.ring = c.ring[:last]
+	delete(c.pos, id)
+	delete(c.use, id)
+	if c.hand > last {
+		c.hand = 0
+	}
+}
+
+// Len implements Policy.
+func (c *Clock) Len() int { return len(c.ring) }
+
+// M44Random reproduces the M44/44X replacement of Appendix A.2: the
+// resident pages are classed by recent usage and by whether they have
+// been modified; the victim is drawn at random from the most acceptable
+// class (unused & clean, then unused & dirty, then used & clean, then
+// used & dirty). Use bits age on every victim selection, standing in
+// for the periodic sensor interrogation of the real hardware.
+type M44Random struct {
+	rng   *sim.RNG
+	ids   []PageID
+	index map[PageID]int
+	used  map[PageID]bool
+	dirty map[PageID]bool
+}
+
+// NewM44Random returns an M44Random policy drawing from rng.
+func NewM44Random(rng *sim.RNG) *M44Random {
+	return &M44Random{
+		rng:   rng,
+		index: make(map[PageID]int),
+		used:  make(map[PageID]bool),
+		dirty: make(map[PageID]bool),
+	}
+}
+
+// Name implements Policy.
+func (*M44Random) Name() string { return "m44-random" }
+
+// Insert implements Policy.
+func (m *M44Random) Insert(id PageID, _ sim.Time) {
+	if _, ok := m.index[id]; ok {
+		return
+	}
+	m.index[id] = len(m.ids)
+	m.ids = append(m.ids, id)
+	m.used[id] = true
+}
+
+// Touch implements Policy.
+func (m *M44Random) Touch(id PageID, _ sim.Time, write bool) {
+	if _, ok := m.index[id]; !ok {
+		return
+	}
+	m.used[id] = true
+	if write {
+		m.dirty[id] = true
+	}
+}
+
+// class orders candidates: lower is more acceptable.
+func (m *M44Random) class(id PageID) int {
+	c := 0
+	if m.used[id] {
+		c += 2
+	}
+	if m.dirty[id] {
+		c++
+	}
+	return c
+}
+
+// Victim implements Policy.
+func (m *M44Random) Victim(sim.Time) (PageID, error) {
+	if len(m.ids) == 0 {
+		return 0, ErrEmpty
+	}
+	best := 4
+	var candidates []PageID
+	for _, id := range m.ids {
+		c := m.class(id)
+		if c < best {
+			best = c
+			candidates = candidates[:0]
+		}
+		if c == best {
+			candidates = append(candidates, id)
+		}
+	}
+	victim := candidates[m.rng.Intn(len(candidates))]
+	// Age the use bits, as the periodic hardware interrogation would.
+	for _, id := range m.ids {
+		m.used[id] = false
+	}
+	return victim, nil
+}
+
+// Remove implements Policy.
+func (m *M44Random) Remove(id PageID) {
+	i, ok := m.index[id]
+	if !ok {
+		return
+	}
+	last := len(m.ids) - 1
+	m.ids[i] = m.ids[last]
+	m.index[m.ids[i]] = i
+	m.ids = m.ids[:last]
+	delete(m.index, id)
+	delete(m.used, id)
+	delete(m.dirty, id)
+}
+
+// Len implements Policy.
+func (m *M44Random) Len() int { return len(m.ids) }

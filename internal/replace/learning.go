@@ -1,0 +1,122 @@
+package replace
+
+import "dsa/internal/sim"
+
+// Learning is the ATLAS "learning program" (Kilburn et al. [14],
+// Appendix A.1). For each resident page it records the length of time
+// since the page was last accessed (t) and the previous duration of
+// inactivity for that page (T, the last inter-use interval).
+//
+//   - It first "attempts to find a page which appears to be no longer
+//     in use": a page whose current idle time t comfortably exceeds its
+//     previous inactivity period T.
+//   - "If all the pages are in current use it tries to choose the one
+//     which, if the recent pattern of use is maintained, will be the
+//     last to be required": the page maximizing T - t, the predicted
+//     time until its next use.
+//
+// On a cyclic reference pattern T approximates the loop period, so the
+// policy keeps loop pages just long enough — the behaviour that made it
+// superior to LRU/FIFO on ATLAS's looping scientific codes and which
+// experiment T1 reproduces.
+type Learning struct {
+	lastUse  map[PageID]sim.Time
+	interval map[PageID]sim.Time
+	seq      map[PageID]uint64
+	n        uint64
+	// Slack is the multiple of T beyond which a page is deemed out of
+	// use; ATLAS used a small constant margin. 1 means t > T.
+	Slack sim.Time
+}
+
+// NewLearning returns an ATLAS learning policy.
+func NewLearning() *Learning {
+	return &Learning{
+		lastUse:  make(map[PageID]sim.Time),
+		interval: make(map[PageID]sim.Time),
+		seq:      make(map[PageID]uint64),
+		Slack:    1,
+	}
+}
+
+// Name implements Policy.
+func (*Learning) Name() string { return "atlas-learning" }
+
+// Insert implements Policy.
+func (l *Learning) Insert(id PageID, now sim.Time) {
+	if _, ok := l.lastUse[id]; ok {
+		return
+	}
+	l.lastUse[id] = now
+	l.interval[id] = 0 // no history yet
+	l.n++
+	l.seq[id] = l.n
+}
+
+// Touch implements Policy.
+func (l *Learning) Touch(id PageID, now sim.Time, _ bool) {
+	last, ok := l.lastUse[id]
+	if !ok {
+		return
+	}
+	if gap := now - last; gap > 0 {
+		l.interval[id] = gap
+	}
+	l.lastUse[id] = now
+}
+
+// Victim implements Policy.
+func (l *Learning) Victim(now sim.Time) (PageID, error) {
+	if len(l.lastUse) == 0 {
+		return 0, ErrEmpty
+	}
+	// Pass 1: a page apparently no longer in use — idle longer than its
+	// established inactivity period (with slack). Prefer the one idle
+	// longest beyond expectation.
+	var outOfUse PageID
+	var bestOver sim.Time = -1
+	for id, last := range l.lastUse {
+		T := l.interval[id]
+		if T == 0 {
+			continue // no established period yet
+		}
+		t := now - last
+		if t > T*l.Slack {
+			over := t - T
+			if over > bestOver || (over == bestOver && l.seq[id] < l.seq[outOfUse]) {
+				bestOver = over
+				outOfUse = id
+			}
+		}
+	}
+	if bestOver >= 0 {
+		return outOfUse, nil
+	}
+	// Pass 2: all in current use — choose the page whose next use is
+	// predicted farthest away: maximize T - t.
+	var victim PageID
+	var bestScore sim.Time
+	first := true
+	for id, last := range l.lastUse {
+		T := l.interval[id]
+		t := now - last
+		score := T - t
+		if first || score > bestScore ||
+			(score == bestScore && l.seq[id] < l.seq[victim]) {
+			victim = id
+			bestScore = score
+			first = false
+		}
+	}
+	return victim, nil
+}
+
+// Remove implements Policy.
+func (l *Learning) Remove(id PageID) {
+	delete(l.lastUse, id)
+	delete(l.interval, id)
+	delete(l.seq, id)
+}
+
+// Len implements Policy.
+func (l *Learning) Len() int { return len(l.lastUse) }

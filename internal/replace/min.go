@@ -1,0 +1,86 @@
+package replace
+
+import "dsa/internal/sim"
+
+// MIN is Belady's optimal offline replacement policy [1]: evict the
+// resident page whose next use lies farthest in the future. It needs
+// the full future reference string, so it is constructed from the page
+// string the experiment is about to replay and advances an internal
+// cursor on every Touch. It exists as the unreachable yardstick that
+// the paper's cited study measures every realizable policy against.
+type MIN struct {
+	// next[i] holds, for reference position i, the position of the next
+	// reference to the same page (len(refs) if none).
+	future   []PageID
+	nextPos  map[PageID][]int // ascending positions per page
+	cursor   int
+	resident map[PageID]bool
+}
+
+// NewMIN builds the policy for a known future page-reference string.
+// The caller must Touch pages in exactly the order of refs.
+func NewMIN(refs []PageID) *MIN {
+	m := &MIN{
+		future:   refs,
+		nextPos:  make(map[PageID][]int),
+		resident: make(map[PageID]bool),
+	}
+	for i, p := range refs {
+		m.nextPos[p] = append(m.nextPos[p], i)
+	}
+	return m
+}
+
+// Name implements Policy.
+func (*MIN) Name() string { return "belady-min" }
+
+// consume advances the cursor past the current reference and trims the
+// page's pending-position queue.
+func (m *MIN) consume(id PageID) {
+	m.cursor++
+	q := m.nextPos[id]
+	for len(q) > 0 && q[0] < m.cursor {
+		q = q[1:]
+	}
+	m.nextPos[id] = q
+}
+
+// Insert implements Policy. The insertion reference consumes one
+// position of the future string.
+func (m *MIN) Insert(id PageID, _ sim.Time) {
+	m.resident[id] = true
+	m.consume(id)
+}
+
+// Touch implements Policy. Each Touch consumes one position of the
+// future string.
+func (m *MIN) Touch(id PageID, _ sim.Time, _ bool) { m.consume(id) }
+
+// Victim implements Policy: the resident page with the farthest (or no)
+// next use.
+func (m *MIN) Victim(sim.Time) (PageID, error) {
+	if len(m.resident) == 0 {
+		return 0, ErrEmpty
+	}
+	var victim PageID
+	bestNext := -1
+	first := true
+	for id := range m.resident {
+		next := len(m.future) + 1 // never used again
+		if q := m.nextPos[id]; len(q) > 0 {
+			next = q[0]
+		}
+		if first || next > bestNext || (next == bestNext && id < victim) {
+			victim = id
+			bestNext = next
+			first = false
+		}
+	}
+	return victim, nil
+}
+
+// Remove implements Policy.
+func (m *MIN) Remove(id PageID) { delete(m.resident, id) }
+
+// Len implements Policy.
+func (m *MIN) Len() int { return len(m.resident) }

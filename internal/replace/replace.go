@@ -1,0 +1,224 @@
+// Package replace implements the replacement strategies the paper
+// discusses and cites (Belady [1], Kilburn et al. [14]):
+//
+//   - FIFO and Random as Belady's baselines,
+//   - LRU as the recency policy his study evaluates,
+//   - Clock, the "essentially cyclical" strategy found effective on
+//     the Burroughs B5000 (Appendix A.3),
+//   - M44Random, the M44/44X policy that "selects at random from a set
+//     of equally acceptable candidates determined on the basis of
+//     frequency of usage and whether or not a page has been modified"
+//     (Appendix A.2),
+//   - Learning, the ATLAS "learning program" that records time since
+//     last use and previous duration of inactivity, evicting a page
+//     that appears no longer in use, else the one predicted to be the
+//     last required (Appendix A.1),
+//   - MIN, Belady's offline optimal, the yardstick every table of
+//     experiment T1 is normalized against.
+//
+// A Policy tracks only residency metadata; the paging engine owns the
+// frames. All policies are deterministic given their RNG seed.
+package replace
+
+import (
+	"errors"
+
+	"dsa/internal/sim"
+)
+
+// PageID identifies a page (or segment) for replacement purposes.
+type PageID uint64
+
+// ErrEmpty reports a victim request with no resident pages.
+var ErrEmpty = errors.New("replace: no resident pages")
+
+// Policy is a replacement strategy over a set of resident pages.
+//
+// Contract: Insert records that a page became resident *because of a
+// reference* at `now` — it counts as that page's first use. Touch is
+// called only for subsequent references to an already-resident page.
+// Calling Touch immediately after Insert for the same reference
+// corrupts inter-reference statistics (the ATLAS learning policy would
+// mistake the fetch delay for the page's period of use).
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Insert records that a page became resident due to a reference.
+	Insert(id PageID, now sim.Time)
+	// Touch records a further reference to a resident page. write
+	// reports whether the reference modified the page (the hardware
+	// "sensor" of the paper's information-gathering facilities).
+	Touch(id PageID, now sim.Time, write bool)
+	// Victim selects a page to evict. It does not remove the page;
+	// the caller must call Remove once the eviction happens.
+	Victim(now sim.Time) (PageID, error)
+	// Remove records that a page left working storage.
+	Remove(id PageID)
+	// Len reports the number of resident pages tracked.
+	Len() int
+}
+
+// FIFO evicts the page resident longest.
+type FIFO struct {
+	queue []PageID
+	pos   map[PageID]bool
+}
+
+// NewFIFO returns an empty FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{pos: make(map[PageID]bool)} }
+
+// Name implements Policy.
+func (*FIFO) Name() string { return "fifo" }
+
+// Insert implements Policy.
+func (f *FIFO) Insert(id PageID, _ sim.Time) {
+	if f.pos[id] {
+		return
+	}
+	f.pos[id] = true
+	f.queue = append(f.queue, id)
+}
+
+// Touch implements Policy. FIFO ignores references.
+func (f *FIFO) Touch(PageID, sim.Time, bool) {}
+
+// Victim implements Policy.
+func (f *FIFO) Victim(sim.Time) (PageID, error) {
+	for len(f.queue) > 0 {
+		id := f.queue[0]
+		if f.pos[id] {
+			return id, nil
+		}
+		f.queue = f.queue[1:] // lazily drop removed entries
+	}
+	return 0, ErrEmpty
+}
+
+// Remove implements Policy.
+func (f *FIFO) Remove(id PageID) {
+	if !f.pos[id] {
+		return
+	}
+	delete(f.pos, id)
+	if len(f.queue) > 0 && f.queue[0] == id {
+		f.queue = f.queue[1:]
+	} else {
+		for i, q := range f.queue {
+			if q == id {
+				f.queue = append(f.queue[:i], f.queue[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Len implements Policy.
+func (f *FIFO) Len() int { return len(f.pos) }
+
+// LRU evicts the least recently used page.
+type LRU struct {
+	last map[PageID]sim.Time
+	seq  map[PageID]uint64 // tiebreak: older insert first
+	n    uint64
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{last: make(map[PageID]sim.Time), seq: make(map[PageID]uint64)}
+}
+
+// Name implements Policy.
+func (*LRU) Name() string { return "lru" }
+
+// Insert implements Policy.
+func (l *LRU) Insert(id PageID, now sim.Time) {
+	l.last[id] = now
+	l.n++
+	l.seq[id] = l.n
+}
+
+// Touch implements Policy.
+func (l *LRU) Touch(id PageID, now sim.Time, _ bool) {
+	if _, ok := l.last[id]; ok {
+		l.last[id] = now
+		l.n++
+		l.seq[id] = l.n
+	}
+}
+
+// Victim implements Policy.
+func (l *LRU) Victim(sim.Time) (PageID, error) {
+	if len(l.last) == 0 {
+		return 0, ErrEmpty
+	}
+	var victim PageID
+	first := true
+	for id, t := range l.last {
+		if first || t < l.last[victim] ||
+			(t == l.last[victim] && l.seq[id] < l.seq[victim]) {
+			victim = id
+			first = false
+		}
+	}
+	return victim, nil
+}
+
+// Remove implements Policy.
+func (l *LRU) Remove(id PageID) {
+	delete(l.last, id)
+	delete(l.seq, id)
+}
+
+// Len implements Policy.
+func (l *LRU) Len() int { return len(l.last) }
+
+// Random evicts a uniformly random resident page.
+type Random struct {
+	rng   *sim.RNG
+	ids   []PageID
+	index map[PageID]int
+}
+
+// NewRandom returns a Random policy drawing from rng.
+func NewRandom(rng *sim.RNG) *Random {
+	return &Random{rng: rng, index: make(map[PageID]int)}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Insert implements Policy.
+func (r *Random) Insert(id PageID, _ sim.Time) {
+	if _, ok := r.index[id]; ok {
+		return
+	}
+	r.index[id] = len(r.ids)
+	r.ids = append(r.ids, id)
+}
+
+// Touch implements Policy.
+func (r *Random) Touch(PageID, sim.Time, bool) {}
+
+// Victim implements Policy.
+func (r *Random) Victim(sim.Time) (PageID, error) {
+	if len(r.ids) == 0 {
+		return 0, ErrEmpty
+	}
+	return r.ids[r.rng.Intn(len(r.ids))], nil
+}
+
+// Remove implements Policy.
+func (r *Random) Remove(id PageID) {
+	i, ok := r.index[id]
+	if !ok {
+		return
+	}
+	last := len(r.ids) - 1
+	r.ids[i] = r.ids[last]
+	r.index[r.ids[i]] = i
+	r.ids = r.ids[:last]
+	delete(r.index, id)
+}
+
+// Len implements Policy.
+func (r *Random) Len() int { return len(r.ids) }

@@ -1,0 +1,114 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+
+	"dsa/internal/addr"
+)
+
+// ErrProtection reports an access that violates a program's capability
+// for a segment.
+var ErrProtection = errors.New("segment: protection violation")
+
+// Access is a program's right to a segment, checked on every reference
+// — the paper's point (ii): "segments form a very convenient unit for
+// purposes of information protection and sharing, between programs".
+type Access int
+
+const (
+	// NoAccess denies all references (the default for unshared
+	// segments).
+	NoAccess Access = iota
+	// ReadAccess permits reads only.
+	ReadAccess
+	// ReadWriteAccess permits reads and writes.
+	ReadWriteAccess
+)
+
+// String names the access mode.
+func (a Access) String() string {
+	switch a {
+	case NoAccess:
+		return "none"
+	case ReadAccess:
+		return "read"
+	case ReadWriteAccess:
+		return "read-write"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}
+
+// Program is one program's view of a shared segment Manager: a
+// capability list mapping segment symbols to access rights. Two
+// programs granted the same symbol share the segment — one copy in
+// storage, one descriptor, both sets of references hitting the same
+// words.
+type Program struct {
+	name string
+	mgr  *Manager
+	caps map[string]Access
+
+	// Violations counts trapped accesses, for reports.
+	Violations int64
+}
+
+// NewProgram creates a program view with an empty capability list.
+func (m *Manager) NewProgram(name string) *Program {
+	return &Program{name: name, mgr: m, caps: make(map[string]Access)}
+}
+
+// Name reports the program's name.
+func (p *Program) Name() string { return p.name }
+
+// Grant gives the program the stated access to a segment. Granting
+// NoAccess revokes.
+func (p *Program) Grant(symbol string, a Access) {
+	if a == NoAccess {
+		delete(p.caps, symbol)
+		return
+	}
+	p.caps[symbol] = a
+}
+
+// AccessTo reports the program's right to a segment.
+func (p *Program) AccessTo(symbol string) Access { return p.caps[symbol] }
+
+// check validates a reference against the capability list.
+func (p *Program) check(symbol string, write bool) error {
+	a := p.caps[symbol]
+	if a == NoAccess {
+		p.Violations++
+		return fmt.Errorf("%w: program %q has no access to %q", ErrProtection, p.name, symbol)
+	}
+	if write && a != ReadWriteAccess {
+		p.Violations++
+		return fmt.Errorf("%w: program %q may not write %q", ErrProtection, p.name, symbol)
+	}
+	return nil
+}
+
+// Read reads a word of the segment under the program's capability.
+func (p *Program) Read(symbol string, offset addr.Name) (uint64, error) {
+	if err := p.check(symbol, false); err != nil {
+		return 0, err
+	}
+	return p.mgr.Read(symbol, offset)
+}
+
+// Write writes a word of the segment under the program's capability.
+func (p *Program) Write(symbol string, offset addr.Name, v uint64) error {
+	if err := p.check(symbol, true); err != nil {
+		return err
+	}
+	return p.mgr.Write(symbol, offset, v)
+}
+
+// Touch references a word under the program's capability.
+func (p *Program) Touch(symbol string, offset addr.Name, write bool) error {
+	if err := p.check(symbol, write); err != nil {
+		return err
+	}
+	return p.mgr.Touch(symbol, offset, write)
+}

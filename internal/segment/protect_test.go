@@ -1,0 +1,102 @@
+package segment
+
+import (
+	"errors"
+	"testing"
+
+	"dsa/internal/addr"
+)
+
+func TestAccessString(t *testing.T) {
+	for a, want := range map[Access]string{
+		NoAccess: "none", ReadAccess: "read", ReadWriteAccess: "read-write",
+		Access(9): "Access(9)",
+	} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestProtectionDeniesUngranted(t *testing.T) {
+	m := rig(t, 1024, nil)
+	_, _ = m.Create("secret", 64)
+	p := m.NewProgram("alice")
+	if _, err := p.Read("secret", 0); !errors.Is(err, ErrProtection) {
+		t.Errorf("ungranted read err = %v, want ErrProtection", err)
+	}
+	if p.Violations != 1 {
+		t.Errorf("violations = %d, want 1", p.Violations)
+	}
+}
+
+func TestProtectionReadOnly(t *testing.T) {
+	m := rig(t, 1024, nil)
+	_, _ = m.Create("table", 64)
+	_ = m.Write("table", 5, 99) // owner initializes directly
+	p := m.NewProgram("bob")
+	p.Grant("table", ReadAccess)
+	v, err := p.Read("table", 5)
+	if err != nil || v != 99 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+	if err := p.Write("table", 5, 0); !errors.Is(err, ErrProtection) {
+		t.Errorf("read-only write err = %v, want ErrProtection", err)
+	}
+	if err := p.Touch("table", 5, true); !errors.Is(err, ErrProtection) {
+		t.Errorf("read-only touch-write err = %v, want ErrProtection", err)
+	}
+	if err := p.Touch("table", 5, false); err != nil {
+		t.Errorf("read touch failed: %v", err)
+	}
+}
+
+func TestSharingOneCopy(t *testing.T) {
+	// Two programs share one segment: a write by the writer is seen by
+	// the reader, and the segment occupies storage once.
+	m := rig(t, 1024, nil)
+	_, _ = m.Create("shared-proc", 128)
+	writer := m.NewProgram("writer")
+	reader := m.NewProgram("reader")
+	writer.Grant("shared-proc", ReadWriteAccess)
+	reader.Grant("shared-proc", ReadAccess)
+
+	if err := writer.Write("shared-proc", 7, 1234); err != nil {
+		t.Fatal(err)
+	}
+	v, err := reader.Read("shared-proc", 7)
+	if err != nil || v != 1234 {
+		t.Fatalf("reader saw %d, %v, want 1234", v, err)
+	}
+	// One fetch for both programs: the segment is shared, not copied.
+	if m.Stats().SegFaults != 1 {
+		t.Errorf("seg faults = %d, want 1 (single shared copy)", m.Stats().SegFaults)
+	}
+}
+
+func TestGrantRevoke(t *testing.T) {
+	m := rig(t, 1024, nil)
+	_, _ = m.Create("s", 16)
+	p := m.NewProgram("p")
+	p.Grant("s", ReadWriteAccess)
+	if p.AccessTo("s") != ReadWriteAccess {
+		t.Error("grant not recorded")
+	}
+	if err := p.Write("s", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Grant("s", NoAccess) // revoke
+	if _, err := p.Read("s", 0); !errors.Is(err, ErrProtection) {
+		t.Errorf("post-revoke read err = %v, want ErrProtection", err)
+	}
+}
+
+func TestProtectionStillBoundsChecks(t *testing.T) {
+	m := rig(t, 1024, nil)
+	_, _ = m.Create("arr", 10)
+	p := m.NewProgram("p")
+	p.Grant("arr", ReadWriteAccess)
+	if err := p.Touch("arr", 10, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit (subscript check after capability)", err)
+	}
+}

@@ -1,0 +1,436 @@
+package segment
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/addr"
+	"dsa/internal/alloc"
+	"dsa/internal/predict"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+func rig(t testing.TB, coreWords int, opts func(*Config)) *Manager {
+	t.Helper()
+	clock := &sim.Clock{}
+	working := store.NewLevel(clock, "core", store.Core, coreWords, 1, 0)
+	backing := store.NewLevel(clock, "drum", store.Drum, coreWords*32, 50, 1)
+	cfg := Config{
+		Clock: clock, Working: working, Backing: backing,
+		Placement:   alloc.BestFit{},
+		Replacement: replace.NewClock(),
+	}
+	if opts != nil {
+		opts(&cfg)
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	clock := &sim.Clock{}
+	w := store.NewLevel(clock, "c", store.Core, 64, 1, 0)
+	b := store.NewLevel(clock, "d", store.Drum, 64, 1, 0)
+	if _, err := NewManager(Config{Clock: clock, Working: w, Backing: b}); err == nil {
+		t.Error("nil replacement accepted")
+	}
+}
+
+func TestCreateReadWrite(t *testing.T) {
+	m := rig(t, 1024, nil)
+	if _, err := m.Create("alpha", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write("alpha", 5, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read("alpha", 5)
+	if err != nil || v != 42 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+	s := m.Stats()
+	if s.SegFaults != 1 {
+		t.Errorf("SegFaults = %d, want 1 (fetch on first reference)", s.SegFaults)
+	}
+	if s.Creates != 1 {
+		t.Errorf("Creates = %d", s.Creates)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	m := rig(t, 1024, func(c *Config) { c.MaxSegmentWords = 256 })
+	if _, err := m.Create("a", 0); err == nil {
+		t.Error("zero extent accepted")
+	}
+	if _, err := m.Create("big", 300); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("cap violation err = %v, want ErrTooLarge", err)
+	}
+	if _, err := m.Create("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("a", 100); err == nil {
+		t.Error("duplicate symbol accepted")
+	}
+}
+
+func TestSubscriptViolationTrapped(t *testing.T) {
+	m := rig(t, 1024, nil)
+	_, _ = m.Create("arr", 50)
+	if err := m.Touch("arr", 50, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+	if err := m.Touch("arr", 49, false); err != nil {
+		t.Errorf("in-bounds access failed: %v", err)
+	}
+}
+
+func TestUnknownSegment(t *testing.T) {
+	m := rig(t, 1024, nil)
+	if _, err := m.Read("ghost", 0); !errors.Is(err, addr.ErrUnknownSegment) {
+		t.Errorf("err = %v, want ErrUnknownSegment", err)
+	}
+	if err := m.Destroy("ghost"); !errors.Is(err, addr.ErrUnknownSegment) {
+		t.Errorf("Destroy err = %v, want ErrUnknownSegment", err)
+	}
+}
+
+func TestEvictionAndWriteback(t *testing.T) {
+	// Core of 256 words, three 100-word segments: the third fetch must
+	// evict one and modified data must survive the round trip.
+	m := rig(t, 256, nil)
+	for _, s := range []string{"a", "b", "c"} {
+		if _, err := m.Create(s, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Write("a", 1, 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Touch("b", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Touch("c", 0, false); err != nil { // evicts a or b
+		t.Fatal(err)
+	}
+	if m.Stats().Evictions == 0 {
+		t.Fatal("no eviction recorded")
+	}
+	v, err := m.Read("a", 1)
+	if err != nil || v != 111 {
+		t.Fatalf("a[1] = %d, %v, want 111", v, err)
+	}
+}
+
+func TestDescriptorFields(t *testing.T) {
+	m := rig(t, 512, nil)
+	_, _ = m.Create("s", 64)
+	d, err := m.Descriptor("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Present {
+		t.Error("fresh segment already present")
+	}
+	_ = m.Touch("s", 0, true)
+	d, _ = m.Descriptor("s")
+	if !d.Present || !d.Use || !d.Modified {
+		t.Errorf("descriptor after write = %+v", d)
+	}
+	if d.Extent != 64 {
+		t.Errorf("extent = %d", d.Extent)
+	}
+}
+
+func TestDestroyReleasesSpace(t *testing.T) {
+	m := rig(t, 256, nil)
+	_, _ = m.Create("a", 200)
+	_ = m.Touch("a", 0, false)
+	if err := m.Destroy("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.ResidentWords() != 0 {
+		t.Errorf("resident = %d after destroy", m.ResidentWords())
+	}
+	// Full space reusable.
+	if _, err := m.Create("b", 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Touch("b", 255, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowPreservesContent(t *testing.T) {
+	m := rig(t, 1024, nil)
+	_, _ = m.Create("v", 50)
+	for i := addr.Name(0); i < 50; i++ {
+		if err := m.Write("v", i, uint64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Grow("v", 200); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := m.Descriptor("v")
+	if d.Extent != 200 {
+		t.Fatalf("extent = %d, want 200", d.Extent)
+	}
+	for i := addr.Name(0); i < 50; i++ {
+		v, err := m.Read("v", i)
+		if err != nil || v != uint64(1000+i) {
+			t.Fatalf("v[%d] = %d, %v", i, v, err)
+		}
+	}
+	// New tail accessible.
+	if err := m.Write("v", 199, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkDropsTail(t *testing.T) {
+	m := rig(t, 1024, nil)
+	_, _ = m.Create("v", 100)
+	_ = m.Write("v", 10, 5)
+	if err := m.Grow("v", 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Touch("v", 20, false); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("beyond shrunk extent err = %v, want ErrLimit", err)
+	}
+	v, err := m.Read("v", 10)
+	if err != nil || v != 5 {
+		t.Fatalf("v[10] = %d, %v, want 5", v, err)
+	}
+}
+
+func TestGrowValidation(t *testing.T) {
+	m := rig(t, 256, func(c *Config) { c.MaxSegmentWords = 200 })
+	_, _ = m.Create("v", 50)
+	if err := m.Grow("v", 0); err == nil {
+		t.Error("zero extent accepted")
+	}
+	if err := m.Grow("v", 250); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	if err := m.Grow("ghost", 10); !errors.Is(err, addr.ErrUnknownSegment) {
+		t.Errorf("err = %v, want ErrUnknownSegment", err)
+	}
+	if err := m.Grow("v", 50); err != nil {
+		t.Errorf("no-op grow failed: %v", err)
+	}
+}
+
+func TestCompactionEnablesLargeFetch(t *testing.T) {
+	// Checkerboard the core so no contiguous 120 words exist, then
+	// fetch a 120-word segment: with CompactBeforeEvict the manager
+	// must pack storage rather than evict.
+	m := rig(t, 400, func(c *Config) {
+		c.CompactBeforeEvict = true
+		c.Placement = alloc.FirstFit{}
+	})
+	syms := []string{"a", "b", "c", "d"}
+	for _, s := range syms {
+		_, _ = m.Create(s, 80)
+		_ = m.Write(s, 0, uint64(s[0]))
+	}
+	// core: a(0-80) b(80-160) c(160-240) d(240-320), 80 free at top.
+	_ = m.Destroy("b") // hole 80..160; free total 160 but split 80+80
+	_, _ = m.Create("e", 120)
+	if err := m.Touch("e", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Compactions == 0 {
+		t.Error("no compaction recorded")
+	}
+	if m.Stats().Evictions != 0 {
+		t.Error("evicted despite compaction sufficing")
+	}
+	// Data integrity across the moves.
+	for _, s := range []string{"a", "c", "d"} {
+		v, err := m.Read(s, 0)
+		if err != nil || v != uint64(s[0]) {
+			t.Fatalf("%s[0] = %d, %v", s, v, err)
+		}
+	}
+}
+
+func TestIterativeReplacementFreesEnough(t *testing.T) {
+	// Many small resident segments; a large incoming one requires
+	// several evictions (Rice: replacement "applied iteratively").
+	m := rig(t, 512, func(c *Config) { c.CompactBeforeEvict = true })
+	for i := 0; i < 8; i++ {
+		s := string(rune('a' + i))
+		_, _ = m.Create(s, 64)
+		_ = m.Touch(s, 0, false)
+	}
+	_, _ = m.Create("big", 300)
+	if err := m.Touch("big", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Evictions < 4 {
+		t.Errorf("evictions = %d, want >= 4", m.Stats().Evictions)
+	}
+}
+
+func TestOverlayRestrictionsHonored(t *testing.T) {
+	desc := predict.NewProgramDescription()
+	// "inc" may overlay only "victim-ok".
+	desc.PermitOverlay("inc", "victim-ok")
+	m := rig(t, 200, func(c *Config) {
+		c.Description = desc
+		c.Replacement = replace.NewFIFO()
+	})
+	_, _ = m.Create("victim-no", 100)
+	_, _ = m.Create("victim-ok", 100)
+	_ = m.Touch("victim-no", 0, false)
+	_ = m.Touch("victim-ok", 0, false)
+	_, _ = m.Create("inc", 100)
+	if err := m.Touch("inc", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	dNo, _ := m.Descriptor("victim-no")
+	dOK, _ := m.Descriptor("victim-ok")
+	if !dNo.Present {
+		t.Error("protected segment was overlaid")
+	}
+	if dOK.Present {
+		t.Error("permitted victim still resident")
+	}
+}
+
+func TestWorkingStorageMediumPinsSegment(t *testing.T) {
+	desc := predict.NewProgramDescription()
+	desc.SetMedium("pinned", predict.WorkingStorage)
+	m := rig(t, 200, func(c *Config) {
+		c.Description = desc
+		c.Replacement = replace.NewFIFO()
+	})
+	_, _ = m.Create("pinned", 100)
+	_, _ = m.Create("other", 100)
+	_ = m.Touch("pinned", 0, false)
+	_ = m.Touch("other", 0, false)
+	_, _ = m.Create("inc", 150)
+	// Fetching inc (150) requires evicting both residents, but pinned
+	// may not go: the fetch must fail with ErrNoVictim.
+	if err := m.Touch("inc", 0, false); !errors.Is(err, ErrNoVictim) {
+		t.Errorf("err = %v, want ErrNoVictim", err)
+	}
+	d, _ := m.Descriptor("pinned")
+	if !d.Present {
+		t.Error("pinned segment evicted")
+	}
+}
+
+func TestCodewordIndexing(t *testing.T) {
+	m := rig(t, 512, nil)
+	_, _ = m.Create("table", 100)
+	for i := addr.Name(0); i < 100; i++ {
+		_ = m.Write("table", i, uint64(i)*3)
+	}
+	cw := Codeword{Symbol: "table", IndexReg: 2}
+	if err := m.SetIndexReg(2, 40); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadCodeword(cw, 5) // table[45]
+	if err != nil || v != 135 {
+		t.Fatalf("ReadCodeword = %d, %v, want 135", v, err)
+	}
+	if err := m.WriteCodeword(cw, 5, 999); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = m.Read("table", 45)
+	if v != 999 {
+		t.Fatalf("table[45] = %d, want 999", v)
+	}
+	// Index register pushes access out of bounds → subscript trap.
+	_ = m.SetIndexReg(2, 99)
+	if _, err := m.ReadCodeword(cw, 5); !errors.Is(err, addr.ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestCodewordValidation(t *testing.T) {
+	m := rig(t, 128, nil)
+	if err := m.SetIndexReg(-1, 0); err == nil {
+		t.Error("negative register accepted")
+	}
+	if err := m.SetIndexReg(8, 0); err == nil {
+		t.Error("register 8 accepted")
+	}
+	if _, err := m.ReadCodeword(Codeword{Symbol: "x", IndexReg: 9}, 0); err == nil {
+		t.Error("bad register read accepted")
+	}
+	if err := m.WriteCodeword(Codeword{Symbol: "x", IndexReg: -1}, 0, 0); err == nil {
+		t.Error("bad register write accepted")
+	}
+}
+
+func TestB5000SegmentCap(t *testing.T) {
+	// The B5000 limited segments to 1024 words; creation beyond must
+	// fail while a 1024x1024 "matrix" of row segments works (the
+	// compiler trick the paper describes).
+	m := rig(t, 8192, func(c *Config) { c.MaxSegmentWords = 1024 })
+	if _, err := m.Create("matrix", 2048); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	for r := 0; r < 4; r++ {
+		s := "row" + string(rune('0'+r))
+		if _, err := m.Create(s, 1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Write(s, 1023, uint64(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPropertySegmentDataIntegrity(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := rig(t, 1024, func(c *Config) { c.CompactBeforeEvict = true })
+		rng := sim.NewRNG(seed)
+		type cell struct {
+			seg string
+			off addr.Name
+		}
+		shadow := make(map[cell]uint64)
+		segs := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
+		for _, s := range segs {
+			if _, err := m.Create(s, addr.Name(100+rng.Intn(200))); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < 500; i++ {
+			s := segs[rng.Intn(len(segs))]
+			d, err := m.Descriptor(s)
+			if err != nil {
+				return false
+			}
+			off := addr.Name(rng.Intn(int(d.Extent)))
+			if rng.Float64() < 0.5 {
+				v := rng.Uint64()
+				if err := m.Write(s, off, v); err != nil {
+					return false
+				}
+				shadow[cell{s, off}] = v
+			} else if want, ok := shadow[cell{s, off}]; ok {
+				got, err := m.Read(s, off)
+				if err != nil || got != want {
+					return false
+				}
+			}
+		}
+		return m.Heap().CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+// Package sim provides the simulated time base and deterministic
+// pseudo-random source shared by every simulator in this repository.
+//
+// All simulators are sequential discrete-time machines: a single Clock
+// is advanced by CPU ticks and by storage transfer costs, and every
+// policy that needs randomness draws from an explicitly seeded RNG so
+// that experiments are reproducible bit for bit.
+package sim
+
+import "fmt"
+
+// Time is simulated time measured in ticks. One tick is the cost of a
+// single core-storage access on the baseline machine; storage levels
+// express their latencies as multiples of it.
+type Time int64
+
+// Clock is the single monotonic time source of a simulation.
+// The zero value is a clock at time zero, ready to use.
+type Clock struct {
+	now Time
+}
+
+// Now reports the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d ticks. Advancing by a negative
+// duration is a programming error and panics, since time in these
+// simulators never flows backwards.
+func (c *Clock) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %d", d))
+	}
+	c.now += d
+}
+
+// Reset returns the clock to time zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Stopwatch measures a span of simulated time against a Clock.
+type Stopwatch struct {
+	clock *Clock
+	start Time
+}
+
+// NewStopwatch starts a stopwatch at the clock's current time.
+func NewStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports the simulated time since the stopwatch started.
+func (s Stopwatch) Elapsed() Time { return s.clock.Now() - s.start }

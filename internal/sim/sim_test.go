@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5)
+	c.Advance(0)
+	c.Advance(7)
+	if got := c.Now(); got != 12 {
+		t.Fatalf("Now() = %d, want 12", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("after Reset Now() = %d, want 0", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	sw := NewStopwatch(&c)
+	c.Advance(32)
+	if got := sw.Elapsed(); got != 32 {
+		t.Fatalf("Elapsed() = %d, want 32", got)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		c.Advance(Time(i % 7))
+		if c.Now() < prev {
+			t.Fatalf("clock went backwards: %d < %d", c.Now(), prev)
+		}
+		prev = c.Now()
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("same-seed RNGs diverged at step %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded RNG stuck at zero")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnRoughlyUniform(t *testing.T) {
+	r := NewRNG(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d: count %d deviates >20%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

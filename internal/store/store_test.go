@@ -1,0 +1,288 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/sim"
+)
+
+func newTestLevel(c *sim.Clock, cap int) *Level {
+	return NewLevel(c, "core", Core, cap, 1, 0)
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Core: "core", Drum: "drum", Disk: "disk", Tape: "tape", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	var c sim.Clock
+	l := newTestLevel(&c, 16)
+	if err := l.WriteWord(3, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := l.ReadWord(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Fatalf("ReadWord = %#x, want 0xDEADBEEF", v)
+	}
+}
+
+func TestReadWriteCharged(t *testing.T) {
+	var c sim.Clock
+	l := NewLevel(&c, "core", Core, 8, 2, 1)
+	_ = l.WriteWord(0, 1)
+	if c.Now() != 3 {
+		t.Fatalf("after write clock = %d, want 3", c.Now())
+	}
+	_, _ = l.ReadWord(0)
+	if c.Now() != 6 {
+		t.Fatalf("after read clock = %d, want 6", c.Now())
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	var c sim.Clock
+	l := newTestLevel(&c, 4)
+	if _, err := l.ReadWord(4); !errors.Is(err, ErrBounds) {
+		t.Errorf("ReadWord(4) err = %v, want ErrBounds", err)
+	}
+	if _, err := l.ReadWord(-1); !errors.Is(err, ErrBounds) {
+		t.Errorf("ReadWord(-1) err = %v, want ErrBounds", err)
+	}
+	if err := l.WriteWord(99, 0); !errors.Is(err, ErrBounds) {
+		t.Errorf("WriteWord(99) err = %v, want ErrBounds", err)
+	}
+	if _, err := l.PeekWord(5); !errors.Is(err, ErrBounds) {
+		t.Errorf("PeekWord(5) err = %v, want ErrBounds", err)
+	}
+	before := c.Now()
+	_, _ = l.ReadWord(100)
+	if c.Now() != before {
+		t.Error("out-of-bounds access charged time")
+	}
+}
+
+func TestPeekFree(t *testing.T) {
+	var c sim.Clock
+	l := newTestLevel(&c, 4)
+	_ = l.WriteWord(1, 7)
+	before := c.Now()
+	v, err := l.PeekWord(1)
+	if err != nil || v != 7 {
+		t.Fatalf("PeekWord = %d, %v, want 7, nil", v, err)
+	}
+	if c.Now() != before {
+		t.Error("PeekWord charged time")
+	}
+}
+
+func TestTransferCost(t *testing.T) {
+	var c sim.Clock
+	l := NewLevel(&c, "drum", Drum, 1024, 100, 2)
+	if got := l.TransferCost(512); got != 100+512*2 {
+		t.Fatalf("TransferCost(512) = %d, want %d", got, 100+512*2)
+	}
+	if got := l.TransferCost(0); got != 0 {
+		t.Fatalf("TransferCost(0) = %d, want 0", got)
+	}
+	if got := l.TransferCost(-5); got != 0 {
+		t.Fatalf("TransferCost(-5) = %d, want 0", got)
+	}
+}
+
+func TestTransferCopiesData(t *testing.T) {
+	var c sim.Clock
+	core := NewLevel(&c, "core", Core, 64, 1, 0)
+	drum := NewLevel(&c, "drum", Drum, 64, 50, 2)
+	for i := 0; i < 8; i++ {
+		if err := drum.WriteWord(8+i, uint64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Transfer(drum, 8, core, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		v, err := core.PeekWord(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(100+i) {
+			t.Fatalf("core[%d] = %d, want %d", i, v, 100+i)
+		}
+	}
+}
+
+func TestTransferChargesSlowerSide(t *testing.T) {
+	var c sim.Clock
+	core := NewLevel(&c, "core", Core, 64, 1, 0)
+	drum := NewLevel(&c, "drum", Drum, 64, 50, 2)
+	before := c.Now()
+	if err := Transfer(drum, 0, core, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	want := drum.TransferCost(10) // 50 + 20 = 70 > core's 1
+	if got := c.Now() - before; got != want {
+		t.Fatalf("transfer cost = %d, want %d", got, want)
+	}
+}
+
+func TestTransferBounds(t *testing.T) {
+	var c sim.Clock
+	a := newTestLevel(&c, 8)
+	b := newTestLevel(&c, 8)
+	if err := Transfer(a, 4, b, 0, 8); !errors.Is(err, ErrBounds) {
+		t.Errorf("src overflow err = %v, want ErrBounds", err)
+	}
+	if err := Transfer(a, 0, b, 6, 4); !errors.Is(err, ErrBounds) {
+		t.Errorf("dst overflow err = %v, want ErrBounds", err)
+	}
+	if err := Transfer(a, 0, b, 0, -1); err == nil {
+		t.Error("negative length transfer succeeded")
+	}
+}
+
+func TestTransferStats(t *testing.T) {
+	var c sim.Clock
+	a := newTestLevel(&c, 32)
+	b := newTestLevel(&c, 32)
+	_ = Transfer(a, 0, b, 0, 16)
+	if s := a.Stats(); s.Transfers != 1 || s.WordsMoved != 16 {
+		t.Errorf("src stats = %+v, want 1 transfer, 16 words", s)
+	}
+	if s := b.Stats(); s.Transfers != 1 || s.WordsMoved != 16 {
+		t.Errorf("dst stats = %+v, want 1 transfer, 16 words", s)
+	}
+}
+
+func TestMoveWithin(t *testing.T) {
+	var c sim.Clock
+	l := newTestLevel(&c, 32)
+	for i := 0; i < 4; i++ {
+		_ = l.WriteWord(10+i, uint64(i+1))
+	}
+	if err := MoveWithin(l, 10, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		v, _ := l.PeekWord(2 + i)
+		if v != uint64(i+1) {
+			t.Fatalf("after move l[%d] = %d, want %d", 2+i, v, i+1)
+		}
+	}
+	if err := MoveWithin(l, 30, 0, 4); !errors.Is(err, ErrBounds) {
+		t.Errorf("overflowing move err = %v, want ErrBounds", err)
+	}
+}
+
+func TestMoveWithinOverlap(t *testing.T) {
+	// Overlapping forward move must behave like copy (memmove).
+	var c sim.Clock
+	l := newTestLevel(&c, 16)
+	for i := 0; i < 6; i++ {
+		_ = l.WriteWord(i, uint64(i))
+	}
+	if err := MoveWithin(l, 0, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		v, _ := l.PeekWord(2 + i)
+		if v != uint64(i) {
+			t.Fatalf("overlap move l[%d] = %d, want %d", 2+i, v, i)
+		}
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	var c sim.Clock
+	core := newTestLevel(&c, 16)
+	drum := NewLevel(&c, "drum", Drum, 64, 50, 2)
+	h := NewHierarchy(core, drum)
+	if h.Working() != core {
+		t.Error("Working() is not the first level")
+	}
+	if h.Backing() != drum {
+		t.Error("Backing() is not the second level")
+	}
+	solo := NewHierarchy(core)
+	if solo.Backing() != nil {
+		t.Error("single-level hierarchy Backing() != nil")
+	}
+	if h.Describe() == "" {
+		t.Error("Describe() empty")
+	}
+}
+
+func TestNewLevelPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLevel with capacity 0 did not panic")
+		}
+	}()
+	var c sim.Clock
+	NewLevel(&c, "x", Core, 0, 1, 0)
+}
+
+func TestNewHierarchyPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHierarchy() did not panic")
+		}
+	}()
+	NewHierarchy()
+}
+
+func TestPropertyWriteReadAnyCell(t *testing.T) {
+	var c sim.Clock
+	l := newTestLevel(&c, 128)
+	f := func(addr uint16, v uint64) bool {
+		a := int(addr) % 128
+		if err := l.WriteWord(a, v); err != nil {
+			return false
+		}
+		got, err := l.ReadWord(a)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransferPreservesContent(t *testing.T) {
+	f := func(seed uint64, length uint8) bool {
+		var c sim.Clock
+		n := int(length)%16 + 1
+		a := NewLevel(&c, "a", Core, 32, 1, 0)
+		b := NewLevel(&c, "b", Drum, 32, 10, 1)
+		r := sim.NewRNG(seed)
+		want := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			want[i] = r.Uint64()
+			if err := a.WriteWord(i, want[i]); err != nil {
+				return false
+			}
+		}
+		if err := Transfer(a, 0, b, 4, n); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			v, err := b.PeekWord(4 + i)
+			if err != nil || v != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

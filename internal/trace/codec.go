@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax reports a malformed trace line during decoding.
+var ErrSyntax = errors.New("trace: syntax error")
+
+// Encode writes the trace in a line-oriented text format, one event per
+// line:
+//
+//	R <name> [<segment>]        read
+//	W <name> [<segment>]        write
+//	A <advice> <name> <span>    advisory directive
+//
+// where <advice> is will-need, wont-need or keep-resident. Lines
+// beginning with '#' and blank lines are comments on input. The format
+// is stable, diff-friendly, and lets recorded workloads be replayed
+// across machines (experiment T4 style).
+func Encode(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range t {
+		var err error
+		switch r.Op {
+		case Read, Write:
+			op := "R"
+			if r.Op == Write {
+				op = "W"
+			}
+			if r.Seg != "" {
+				_, err = fmt.Fprintf(bw, "%s %d %s\n", op, r.Name, r.Seg)
+			} else {
+				_, err = fmt.Fprintf(bw, "%s %d\n", op, r.Name)
+			}
+		case Advise:
+			_, err = fmt.Fprintf(bw, "A %s %d %d\n", adviceToken(r.Advice), r.Name, r.Span)
+		default:
+			return fmt.Errorf("trace: event %d has unknown op %d", i, r.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func adviceToken(a Advice) string {
+	switch a {
+	case WillNeed:
+		return "will-need"
+	case WontNeed:
+		return "wont-need"
+	case KeepResident:
+		return "keep-resident"
+	default:
+		return "none"
+	}
+}
+
+func adviceFromToken(s string) (Advice, bool) {
+	switch s {
+	case "will-need":
+		return WillNeed, true
+	case "wont-need":
+		return WontNeed, true
+	case "keep-resident":
+		return KeepResident, true
+	default:
+		return NoAdvice, false
+	}
+}
+
+// Decode reads a trace in the Encode format.
+func Decode(r io.Reader) (Trace, error) {
+	var out Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "R", "W":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("%w: line %d: %q", ErrSyntax, lineNo, line)
+			}
+			name, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad name %q", ErrSyntax, lineNo, fields[1])
+			}
+			ref := Ref{Op: Read, Name: name}
+			if fields[0] == "W" {
+				ref.Op = Write
+			}
+			if len(fields) == 3 {
+				ref.Seg = fields[2]
+			}
+			out = append(out, ref)
+		case "A":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: %q", ErrSyntax, lineNo, line)
+			}
+			adv, ok := adviceFromToken(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("%w: line %d: bad advice %q", ErrSyntax, lineNo, fields[1])
+			}
+			name, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad name %q", ErrSyntax, lineNo, fields[2])
+			}
+			span, err := strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad span %q", ErrSyntax, lineNo, fields[3])
+			}
+			out = append(out, Ref{Op: Advise, Advice: adv, Name: name, Span: span})
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown op %q", ErrSyntax, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

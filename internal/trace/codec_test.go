@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := Trace{
+		{Op: Read, Name: 0},
+		{Op: Write, Name: 512},
+		{Op: Read, Name: 7, Seg: "alpha"},
+		{Op: Advise, Advice: WillNeed, Name: 1024, Span: 512},
+		{Op: Advise, Advice: WontNeed, Name: 0, Span: 256},
+		{Op: Advise, Advice: KeepResident, Name: 2048, Span: 128},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("len = %d, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestDecodeCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nR 5\n  # indented comment\nW 6\n"
+	got, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != 5 || got[1].Op != Write {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"X 5",
+		"R",
+		"R notanumber",
+		"R 1 seg extra",
+		"A will-need 5",
+		"A bogus 5 10",
+		"A will-need x 10",
+		"A will-need 5 x",
+	}
+	for _, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Decode(%q) err = %v, want ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestEncodeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	err := Encode(&buf, Trace{
+		{Op: Read, Name: 3},
+		{Op: Advise, Advice: WillNeed, Name: 9, Span: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "R 3\nA will-need 9 2\n"
+	if buf.String() != want {
+		t.Errorf("encoded %q, want %q", buf.String(), want)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(names []uint32, ops []bool) bool {
+		tr := make(Trace, 0, len(names))
+		for i, n := range names {
+			op := Read
+			if i < len(ops) && ops[i] {
+				op = Write
+			}
+			tr = append(tr, Ref{Op: op, Name: uint64(n)})
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package trace defines the reference-string model every experiment
+// runs on: a sequence of named storage references, optionally tagged
+// with a segment symbol and with advisory directives (the paper's
+// "predictive information").
+//
+// Traces can be generated (package workload), recorded from a run, and
+// replayed against any configured storage allocation system, which is
+// how the same workload is pushed through all seven appendix machines
+// in experiment T4.
+package trace
+
+// Op is the kind of a trace event.
+type Op int
+
+const (
+	// Read references a name for reading.
+	Read Op = iota
+	// Write references a name for writing (sets the modified sensor of
+	// the holding page, which replacement policies may consult).
+	Write
+	// Advise carries predictive information instead of an access.
+	Advise
+)
+
+// Advice enumerates the advisory directives of the paper's second
+// characteristic, modeled on the IBM M44/44X special instructions and
+// the MULTICS programmer provisions.
+type Advice int
+
+const (
+	// NoAdvice is the zero value; present only on non-Advise events.
+	NoAdvice Advice = iota
+	// WillNeed indicates the information will shortly be needed
+	// (M44/44X "a page will shortly be needed"; MULTICS (ii)).
+	WillNeed
+	// WontNeed indicates the information will not be needed for some
+	// time (M44/44X second instruction; MULTICS (iii)).
+	WontNeed
+	// KeepResident requests permanent residence in working storage
+	// (MULTICS (i)).
+	KeepResident
+)
+
+// String names the advice as in the paper's discussion.
+func (a Advice) String() string {
+	switch a {
+	case NoAdvice:
+		return "none"
+	case WillNeed:
+		return "will-need"
+	case WontNeed:
+		return "wont-need"
+	case KeepResident:
+		return "keep-resident"
+	default:
+		return "Advice(?)"
+	}
+}
+
+// Ref is a single trace event.
+type Ref struct {
+	// Op is the event kind.
+	Op Op
+	// Name is the name-space name referenced (or advised about).
+	Name uint64
+	// Seg optionally carries a segment symbol for segmented systems;
+	// empty for pure linear name spaces.
+	Seg string
+	// Advice is the directive when Op == Advise.
+	Advice Advice
+	// Span is the extent in words the advice covers (Advise only).
+	Span uint64
+}
+
+// Trace is an ordered reference string.
+type Trace []Ref
+
+// Reads counts Read events.
+func (t Trace) Reads() int { return t.count(Read) }
+
+// Writes counts Write events.
+func (t Trace) Writes() int { return t.count(Write) }
+
+// Advises counts Advise events.
+func (t Trace) Advises() int { return t.count(Advise) }
+
+func (t Trace) count(op Op) int {
+	n := 0
+	for _, r := range t {
+		if r.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// Accesses returns the trace with advice events stripped: the pure
+// reference string, as needed by offline policies such as Belady MIN.
+func (t Trace) Accesses() Trace {
+	out := make(Trace, 0, len(t))
+	for _, r := range t {
+		if r.Op != Advise {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Names returns the distinct names referenced, in first-touch order.
+func (t Trace) Names() []uint64 {
+	seen := make(map[uint64]bool)
+	var names []uint64
+	for _, r := range t {
+		if r.Op == Advise {
+			continue
+		}
+		if !seen[r.Name] {
+			seen[r.Name] = true
+			names = append(names, r.Name)
+		}
+	}
+	return names
+}
+
+// MaxName returns the largest name referenced, or 0 for an empty trace.
+func (t Trace) MaxName() uint64 {
+	var m uint64
+	for _, r := range t {
+		if r.Op != Advise && r.Name > m {
+			m = r.Name
+		}
+	}
+	return m
+}
+
+// PageString maps the trace onto page numbers for a given page size,
+// dropping advice and deduplicating *consecutive* references to the
+// same page (the granularity at which replacement studies such as
+// Belady's operate).
+func (t Trace) PageString(pageSize uint64) []uint64 {
+	if pageSize == 0 {
+		panic("trace: zero page size")
+	}
+	var out []uint64
+	last := uint64(0)
+	first := true
+	for _, r := range t {
+		if r.Op == Advise {
+			continue
+		}
+		p := r.Name / pageSize
+		if first || p != last {
+			out = append(out, p)
+			last = p
+			first = false
+		}
+	}
+	return out
+}

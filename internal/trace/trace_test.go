@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sample() Trace {
+	return Trace{
+		{Op: Read, Name: 0},
+		{Op: Write, Name: 1},
+		{Op: Advise, Name: 512, Advice: WillNeed, Span: 512},
+		{Op: Read, Name: 513},
+		{Op: Read, Name: 513},
+		{Op: Read, Name: 1025},
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := sample()
+	if tr.Reads() != 4 {
+		t.Errorf("Reads = %d, want 4", tr.Reads())
+	}
+	if tr.Writes() != 1 {
+		t.Errorf("Writes = %d, want 1", tr.Writes())
+	}
+	if tr.Advises() != 1 {
+		t.Errorf("Advises = %d, want 1", tr.Advises())
+	}
+}
+
+func TestAccesses(t *testing.T) {
+	acc := sample().Accesses()
+	if len(acc) != 5 {
+		t.Fatalf("Accesses len = %d, want 5", len(acc))
+	}
+	for _, r := range acc {
+		if r.Op == Advise {
+			t.Fatal("Accesses retained an Advise event")
+		}
+	}
+}
+
+func TestNamesFirstTouchOrder(t *testing.T) {
+	names := sample().Names()
+	want := []uint64{0, 1, 513, 1025}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestMaxName(t *testing.T) {
+	if got := sample().MaxName(); got != 1025 {
+		t.Errorf("MaxName = %d, want 1025", got)
+	}
+	if got := (Trace{}).MaxName(); got != 0 {
+		t.Errorf("empty MaxName = %d, want 0", got)
+	}
+	// Advise names must not count.
+	tr := Trace{{Op: Advise, Name: 9999, Advice: WillNeed}}
+	if got := tr.MaxName(); got != 0 {
+		t.Errorf("advise-only MaxName = %d, want 0", got)
+	}
+}
+
+func TestPageString(t *testing.T) {
+	ps := sample().PageString(512)
+	want := []uint64{0, 1, 2}
+	if len(ps) != len(want) {
+		t.Fatalf("PageString = %v, want %v", ps, want)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("PageString = %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestPageStringDedupsConsecutiveOnly(t *testing.T) {
+	tr := Trace{
+		{Op: Read, Name: 0},
+		{Op: Read, Name: 1},   // same page as 0
+		{Op: Read, Name: 512}, // page 1
+		{Op: Read, Name: 2},   // back to page 0: must reappear
+	}
+	ps := tr.PageString(512)
+	want := []uint64{0, 1, 0}
+	if len(ps) != len(want) {
+		t.Fatalf("PageString = %v, want %v", ps, want)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("PageString = %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestPageStringZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PageString(0) did not panic")
+		}
+	}()
+	sample().PageString(0)
+}
+
+func TestAdviceString(t *testing.T) {
+	for a, want := range map[Advice]string{
+		NoAdvice: "none", WillNeed: "will-need",
+		WontNeed: "wont-need", KeepResident: "keep-resident",
+		Advice(9): "Advice(?)",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("Advice(%d) = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestPropertyPageStringWithinRange(t *testing.T) {
+	f := func(names []uint16) bool {
+		tr := make(Trace, len(names))
+		for i, n := range names {
+			tr[i] = Ref{Op: Read, Name: uint64(n)}
+		}
+		for _, p := range tr.PageString(64) {
+			if p > uint64(^uint16(0))/64 {
+				return false
+			}
+		}
+		// Dedup invariant: no two consecutive equal pages.
+		ps := tr.PageString(64)
+		for i := 1; i < len(ps); i++ {
+			if ps[i] == ps[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

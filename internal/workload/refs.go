@@ -1,0 +1,263 @@
+// Package workload generates the synthetic workloads every experiment
+// runs on: reference strings with controllable locality (standing in
+// for the measured programs of Belady's study and the paper's
+// qualitative regimes) and allocation request streams with
+// controllable size and lifetime distributions (standing in for the
+// segment populations of the B5000/Rice placement discussions).
+//
+// Every generator is driven by an explicitly seeded sim.RNG, so each
+// experiment is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+)
+
+// Sequential returns a trace that scans names [0, extent) in order,
+// repeated `passes` times — the pure-locality regime in which
+// prefetching wins and FIFO behaves like LRU.
+func Sequential(extent uint64, passes int) trace.Trace {
+	if extent == 0 || passes <= 0 {
+		return nil
+	}
+	tr := make(trace.Trace, 0, int(extent)*passes)
+	for p := 0; p < passes; p++ {
+		for n := uint64(0); n < extent; n++ {
+			tr = append(tr, trace.Ref{Op: trace.Read, Name: n})
+		}
+	}
+	return tr
+}
+
+// UniformRandom returns length references drawn uniformly from
+// [0, extent) — the no-locality regime in which every replacement
+// policy degenerates toward the same fault rate and prediction is
+// worthless.
+func UniformRandom(rng *sim.RNG, extent uint64, length int) trace.Trace {
+	tr := make(trace.Trace, length)
+	for i := range tr {
+		op := trace.Read
+		if rng.Float64() < 0.25 {
+			op = trace.Write
+		}
+		tr[i] = trace.Ref{Op: op, Name: rng.Uint64() % extent}
+	}
+	return tr
+}
+
+// Loop returns a cyclic reference pattern over `pages` pages of
+// pageSize words, repeated passes times. Loops one page larger than
+// working storage are the classic adversary of FIFO and LRU and the
+// showcase for the ATLAS learning algorithm, which predicts the cycle
+// period.
+func Loop(pages int, pageSize uint64, passes int) trace.Trace {
+	tr := make(trace.Trace, 0, pages*passes)
+	for p := 0; p < passes; p++ {
+		for i := 0; i < pages; i++ {
+			tr = append(tr, trace.Ref{Op: trace.Read, Name: uint64(i) * pageSize})
+		}
+	}
+	return tr
+}
+
+// WorkingSetConfig parameterizes a phase-structured locality trace.
+type WorkingSetConfig struct {
+	// Extent is the total name-space extent in words.
+	Extent uint64
+	// SetWords is the size of each phase's working set in words.
+	SetWords uint64
+	// PhaseLen is the number of references per phase.
+	PhaseLen int
+	// Phases is the number of phases.
+	Phases int
+	// LocalityProb is the probability a reference stays inside the
+	// current working set (the remainder scatter over the whole space).
+	LocalityProb float64
+	// WriteProb is the probability an access is a write.
+	WriteProb float64
+}
+
+// WorkingSet generates a phase-locality trace: each phase picks a
+// contiguous working set at a random origin and issues PhaseLen
+// references, LocalityProb of which fall inside the set. This is the
+// "program with a well-defined working set" regime that makes demand
+// paging effective and is the default workload of experiments F3, T1,
+// T4 and T5.
+func WorkingSet(rng *sim.RNG, cfg WorkingSetConfig) (trace.Trace, error) {
+	if cfg.Extent == 0 || cfg.SetWords == 0 || cfg.SetWords > cfg.Extent {
+		return nil, fmt.Errorf("workload: bad working-set config %+v", cfg)
+	}
+	if cfg.LocalityProb < 0 || cfg.LocalityProb > 1 {
+		return nil, fmt.Errorf("workload: locality probability %g out of [0,1]", cfg.LocalityProb)
+	}
+	tr := make(trace.Trace, 0, cfg.PhaseLen*cfg.Phases)
+	for p := 0; p < cfg.Phases; p++ {
+		origin := rng.Uint64() % (cfg.Extent - cfg.SetWords + 1)
+		for i := 0; i < cfg.PhaseLen; i++ {
+			var name uint64
+			if rng.Float64() < cfg.LocalityProb {
+				name = origin + rng.Uint64()%cfg.SetWords
+			} else {
+				name = rng.Uint64() % cfg.Extent
+			}
+			op := trace.Read
+			if rng.Float64() < cfg.WriteProb {
+				op = trace.Write
+			}
+			tr = append(tr, trace.Ref{Op: op, Name: name})
+		}
+	}
+	return tr, nil
+}
+
+// Zipf returns `length` references whose page-granular popularity
+// follows a Zipf-like power law with exponent s over `pages` pages of
+// pageSize words: page k is drawn with probability proportional to
+// 1/(k+1)^s. Skewed popularity is the regime where a small associative
+// memory and a small core allotment both capture most references —
+// the favourable case for every caching mechanism in the paper.
+func Zipf(rng *sim.RNG, pages int, pageSize uint64, s float64, length int) trace.Trace {
+	if pages <= 0 || length <= 0 {
+		return nil
+	}
+	// Build the CDF once.
+	weights := make([]float64, pages)
+	total := 0.0
+	for k := 0; k < pages; k++ {
+		w := 1.0 / math.Pow(float64(k+1), s)
+		weights[k] = w
+		total += w
+	}
+	cdf := make([]float64, pages)
+	acc := 0.0
+	for k, w := range weights {
+		acc += w / total
+		cdf[k] = acc
+	}
+	tr := make(trace.Trace, length)
+	for i := range tr {
+		u := rng.Float64()
+		// Binary search the CDF.
+		lo, hi := 0, pages-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		off := rng.Uint64() % pageSize
+		tr[i] = trace.Ref{Op: trace.Read, Name: uint64(lo)*pageSize + off}
+	}
+	return tr
+}
+
+// WorkloadWS returns a reasonable default working-set configuration
+// for a linear space of the given extent and total reference budget:
+// eight phases, each with a working set of 1/16 of the extent and 95%
+// locality. Used by cmd/dsasim and the examples.
+func WorkloadWS(extent uint64, refs int) WorkingSetConfig {
+	phases := 8
+	phaseLen := refs / phases
+	if phaseLen == 0 {
+		phaseLen = 1
+	}
+	set := extent / 16
+	if set == 0 {
+		set = 1
+	}
+	return WorkingSetConfig{
+		Extent:       extent,
+		SetWords:     set,
+		PhaseLen:     phaseLen,
+		Phases:       phases,
+		LocalityProb: 0.95,
+		WriteProb:    0.2,
+	}
+}
+
+// Matrix returns the reference string of traversing a rows×cols matrix
+// stored row-major, visited either by rows (names ascend: good
+// locality) or by columns (stride = cols words: the paging-storm
+// pattern the B5000 compiler avoided by segmenting each row).
+func Matrix(rows, cols int, byColumns bool) trace.Trace {
+	tr := make(trace.Trace, 0, rows*cols)
+	if byColumns {
+		for c := 0; c < cols; c++ {
+			for r := 0; r < rows; r++ {
+				tr = append(tr, trace.Ref{Op: trace.Read, Name: uint64(r*cols + c)})
+			}
+		}
+	} else {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				tr = append(tr, trace.Ref{Op: trace.Read, Name: uint64(r*cols + c)})
+			}
+		}
+	}
+	return tr
+}
+
+// WithAdvice interleaves WillNeed/WontNeed advice into a phase-
+// structured trace: before each phase boundary it advises the next
+// phase's pages as WillNeed and the previous phase's as WontNeed,
+// modelling a well-tuned M44/44X program. phaseLen must divide the
+// trace into whole phases; span is the advised extent in words.
+func WithAdvice(tr trace.Trace, phaseLen int, span uint64) trace.Trace {
+	if phaseLen <= 0 || len(tr) == 0 {
+		return tr
+	}
+	out := make(trace.Trace, 0, len(tr)+len(tr)/phaseLen*2)
+	for i := 0; i < len(tr); i += phaseLen {
+		end := i + phaseLen
+		if end > len(tr) {
+			end = len(tr)
+		}
+		// Advise arrival of the coming phase's first locus.
+		out = append(out, trace.Ref{
+			Op: trace.Advise, Advice: trace.WillNeed,
+			Name: tr[i].Name, Span: span,
+		})
+		if i > 0 {
+			out = append(out, trace.Ref{
+				Op: trace.Advise, Advice: trace.WontNeed,
+				Name: tr[i-phaseLen].Name, Span: span,
+			})
+		}
+		out = append(out, tr[i:end]...)
+	}
+	return out
+}
+
+// WithWrongAdvice emits adversarially wrong advice: WontNeed for the
+// phase about to run and WillNeed for names far away. It quantifies the
+// paper's warning that system performance should not *depend* on user
+// advice ("provision and debugging of predictive information should be
+// regarded as an attempt to tune the system").
+func WithWrongAdvice(tr trace.Trace, phaseLen int, span uint64, extent uint64) trace.Trace {
+	if phaseLen <= 0 || len(tr) == 0 {
+		return tr
+	}
+	out := make(trace.Trace, 0, len(tr)+len(tr)/phaseLen*2)
+	for i := 0; i < len(tr); i += phaseLen {
+		end := i + phaseLen
+		if end > len(tr) {
+			end = len(tr)
+		}
+		out = append(out, trace.Ref{
+			Op: trace.Advise, Advice: trace.WontNeed,
+			Name: tr[i].Name, Span: span,
+		})
+		out = append(out, trace.Ref{
+			Op: trace.Advise, Advice: trace.WillNeed,
+			Name: (tr[i].Name + extent/2) % extent, Span: span,
+		})
+		out = append(out, tr[i:end]...)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dsa/internal/sim"
+)
+
+// Request is one allocation request in a placement-strategy workload:
+// a block of Size words that lives for Lifetime subsequent requests
+// before being freed. Lifetime 0 means the block is never freed.
+type Request struct {
+	Size     int
+	Lifetime int
+}
+
+// SizeDist enumerates the request-size distributions used by the
+// placement experiments (T2), spanning the regimes the paper's
+// Placement Strategies section says should influence the choice:
+// average size, spread, and number of distinct sizes.
+type SizeDist int
+
+const (
+	// SizesUniform draws sizes uniformly from [min, max].
+	SizesUniform SizeDist = iota
+	// SizesExponential draws sizes exponentially with the given mean
+	// (clamped to [min, max]) — many small requests, a heavy tail.
+	SizesExponential
+	// SizesBimodal draws small sizes near min and large near max —
+	// the regime in which the two-ended placement strategy was designed
+	// to shine.
+	SizesBimodal
+	// SizesFixed always returns min — degenerate case where every
+	// placement policy coincides and fragmentation vanishes.
+	SizesFixed
+)
+
+// String names the distribution for experiment tables.
+func (d SizeDist) String() string {
+	switch d {
+	case SizesUniform:
+		return "uniform"
+	case SizesExponential:
+		return "exponential"
+	case SizesBimodal:
+		return "bimodal"
+	case SizesFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("SizeDist(%d)", int(d))
+	}
+}
+
+// RequestConfig parameterizes a request stream.
+type RequestConfig struct {
+	Dist     SizeDist
+	MinSize  int
+	MaxSize  int
+	MeanSize int // exponential mean; ignored otherwise
+	// MeanLifetime is the mean number of subsequent requests a block
+	// survives (geometric); 0 means blocks are never freed.
+	MeanLifetime int
+	// Count is the number of requests to generate.
+	Count int
+}
+
+// Requests generates a request stream from the configuration.
+func Requests(rng *sim.RNG, cfg RequestConfig) ([]Request, error) {
+	if cfg.MinSize <= 0 || cfg.MaxSize < cfg.MinSize {
+		return nil, fmt.Errorf("workload: bad size bounds [%d,%d]", cfg.MinSize, cfg.MaxSize)
+	}
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("workload: non-positive request count %d", cfg.Count)
+	}
+	reqs := make([]Request, cfg.Count)
+	for i := range reqs {
+		var size int
+		switch cfg.Dist {
+		case SizesUniform:
+			size = cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		case SizesExponential:
+			mean := cfg.MeanSize
+			if mean <= 0 {
+				mean = (cfg.MinSize + cfg.MaxSize) / 2
+			}
+			size = int(-float64(mean) * math.Log(1-rng.Float64()))
+			if size < cfg.MinSize {
+				size = cfg.MinSize
+			}
+			if size > cfg.MaxSize {
+				size = cfg.MaxSize
+			}
+		case SizesBimodal:
+			if rng.Float64() < 0.7 {
+				span := cfg.MinSize/2 + 1
+				size = cfg.MinSize + rng.Intn(span)
+			} else {
+				span := cfg.MaxSize/4 + 1
+				size = cfg.MaxSize - rng.Intn(span)
+				if size < cfg.MinSize {
+					size = cfg.MinSize
+				}
+			}
+		case SizesFixed:
+			size = cfg.MinSize
+		default:
+			return nil, fmt.Errorf("workload: unknown size distribution %d", cfg.Dist)
+		}
+		life := 0
+		if cfg.MeanLifetime > 0 {
+			// Geometric lifetime with the requested mean.
+			life = 1 + int(-float64(cfg.MeanLifetime)*math.Log(1-rng.Float64()))
+		}
+		reqs[i] = Request{Size: size, Lifetime: life}
+	}
+	return reqs, nil
+}
+
+// SegmentSizes returns a population of segment sizes mimicking the
+// paper's discussion: compilers segment at the level of ALGOL blocks
+// and COBOL paragraphs, so most segments are small (tens to a few
+// hundred words) with occasional large data segments. Used by the
+// unit-size experiment (T3) and the MULTICS dual-page-size experiment
+// (T6).
+func SegmentSizes(rng *sim.RNG, n int, maxLarge int) []int {
+	sizes := make([]int, n)
+	for i := range sizes {
+		switch {
+		case rng.Float64() < 0.6: // small procedure segments
+			sizes[i] = 16 + rng.Intn(112)
+		case rng.Float64() < 0.75: // medium data
+			sizes[i] = 128 + rng.Intn(896)
+		default: // large arrays
+			if maxLarge <= 1024 {
+				sizes[i] = 1024
+			} else {
+				sizes[i] = 1024 + rng.Intn(maxLarge-1024)
+			}
+		}
+	}
+	return sizes
+}

@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+)
+
+func TestSequential(t *testing.T) {
+	tr := Sequential(5, 2)
+	if len(tr) != 10 {
+		t.Fatalf("len = %d, want 10", len(tr))
+	}
+	for i, r := range tr {
+		if r.Name != uint64(i%5) {
+			t.Fatalf("ref %d name = %d, want %d", i, r.Name, i%5)
+		}
+	}
+	if Sequential(0, 2) != nil || Sequential(5, 0) != nil {
+		t.Error("degenerate Sequential not nil")
+	}
+}
+
+func TestUniformRandomBounds(t *testing.T) {
+	rng := sim.NewRNG(1)
+	tr := UniformRandom(rng, 1000, 5000)
+	if len(tr) != 5000 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	writes := 0
+	for _, r := range tr {
+		if r.Name >= 1000 {
+			t.Fatalf("name %d out of extent", r.Name)
+		}
+		if r.Op == trace.Write {
+			writes++
+		}
+	}
+	if writes < 1000 || writes > 1600 {
+		t.Errorf("writes = %d, want ≈1250", writes)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	tr := Loop(3, 512, 2)
+	want := []uint64{0, 512, 1024, 0, 512, 1024}
+	if len(tr) != len(want) {
+		t.Fatalf("len = %d, want %d", len(tr), len(want))
+	}
+	for i := range want {
+		if tr[i].Name != want[i] {
+			t.Fatalf("ref %d = %d, want %d", i, tr[i].Name, want[i])
+		}
+	}
+}
+
+func TestWorkingSetLocality(t *testing.T) {
+	rng := sim.NewRNG(2)
+	cfg := WorkingSetConfig{
+		Extent: 100000, SetWords: 2000, PhaseLen: 5000, Phases: 4,
+		LocalityProb: 0.95, WriteProb: 0.2,
+	}
+	tr, err := WorkingSet(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 20000 {
+		t.Fatalf("len = %d, want 20000", len(tr))
+	}
+	// Within each phase, most references should cluster into a window
+	// of SetWords. Count references within the phase's modal 2000-word
+	// window (estimate by median name of the phase).
+	for p := 0; p < 4; p++ {
+		phase := tr[p*5000 : (p+1)*5000]
+		// take the min of the phase's in-set names as a cheap origin proxy
+		counts := map[uint64]int{}
+		for _, r := range phase {
+			counts[r.Name/cfg.SetWords]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		// The working set spans at most 2 buckets of width SetWords, so
+		// the densest bucket must hold a large share of references.
+		if best < 5000/3 {
+			t.Errorf("phase %d: densest bucket only %d/5000 refs — no locality", p, best)
+		}
+	}
+}
+
+func TestWorkingSetValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := WorkingSet(rng, WorkingSetConfig{Extent: 0, SetWords: 1}); err == nil {
+		t.Error("zero extent accepted")
+	}
+	if _, err := WorkingSet(rng, WorkingSetConfig{Extent: 10, SetWords: 20}); err == nil {
+		t.Error("set larger than extent accepted")
+	}
+	if _, err := WorkingSet(rng, WorkingSetConfig{Extent: 10, SetWords: 5, LocalityProb: 1.5}); err == nil {
+		t.Error("bad locality accepted")
+	}
+}
+
+func TestMatrixRowVsColumn(t *testing.T) {
+	row := Matrix(4, 8, false)
+	col := Matrix(4, 8, true)
+	if len(row) != 32 || len(col) != 32 {
+		t.Fatalf("lens = %d, %d, want 32", len(row), len(col))
+	}
+	// Row-major by rows: consecutive names differ by 1 within a row.
+	if row[1].Name-row[0].Name != 1 {
+		t.Error("row traversal not unit stride")
+	}
+	// By columns: consecutive names differ by cols.
+	if col[1].Name-col[0].Name != 8 {
+		t.Error("column traversal not cols stride")
+	}
+	// Same reference multiset.
+	seen := map[uint64]int{}
+	for _, r := range row {
+		seen[r.Name]++
+	}
+	for _, r := range col {
+		seen[r.Name]--
+	}
+	for n, c := range seen {
+		if c != 0 {
+			t.Fatalf("name %d count mismatch %d", n, c)
+		}
+	}
+}
+
+func TestWithAdvice(t *testing.T) {
+	base := Sequential(100, 1)
+	adv := WithAdvice(base, 25, 25)
+	if adv.Advises() != 4+3 { // 4 WillNeed + 3 WontNeed
+		t.Errorf("Advises = %d, want 7", adv.Advises())
+	}
+	if len(adv.Accesses()) != len(base) {
+		t.Errorf("accesses changed: %d vs %d", len(adv.Accesses()), len(base))
+	}
+	// First event must be WillNeed advice for name 0.
+	if adv[0].Op != trace.Advise || adv[0].Advice != trace.WillNeed || adv[0].Name != 0 {
+		t.Errorf("first event = %+v", adv[0])
+	}
+	// Degenerate args pass through.
+	if got := WithAdvice(base, 0, 10); len(got) != len(base) {
+		t.Error("phaseLen 0 altered trace")
+	}
+}
+
+func TestWithWrongAdvice(t *testing.T) {
+	base := Sequential(100, 1)
+	adv := WithWrongAdvice(base, 50, 50, 100)
+	if adv.Advises() != 4 {
+		t.Errorf("Advises = %d, want 4", adv.Advises())
+	}
+	if adv[0].Advice != trace.WontNeed {
+		t.Errorf("first advice = %v, want WontNeed", adv[0].Advice)
+	}
+	if len(adv.Accesses()) != len(base) {
+		t.Error("accesses changed")
+	}
+}
+
+func TestRequestsUniform(t *testing.T) {
+	rng := sim.NewRNG(3)
+	reqs, err := Requests(rng, RequestConfig{
+		Dist: SizesUniform, MinSize: 10, MaxSize: 100, Count: 2000, MeanLifetime: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2000 {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Size < 10 || r.Size > 100 {
+			t.Fatalf("size %d out of bounds", r.Size)
+		}
+		if r.Lifetime <= 0 {
+			t.Fatalf("lifetime %d not positive", r.Lifetime)
+		}
+	}
+}
+
+func TestRequestsExponentialClamped(t *testing.T) {
+	rng := sim.NewRNG(4)
+	reqs, err := Requests(rng, RequestConfig{
+		Dist: SizesExponential, MinSize: 8, MaxSize: 512, MeanSize: 64, Count: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, r := range reqs {
+		if r.Size < 8 || r.Size > 512 {
+			t.Fatalf("size %d out of bounds", r.Size)
+		}
+		if r.Lifetime != 0 {
+			t.Fatalf("lifetime %d, want 0 (never freed)", r.Lifetime)
+		}
+		sum += r.Size
+	}
+	mean := float64(sum) / float64(len(reqs))
+	if mean < 40 || mean > 100 {
+		t.Errorf("mean size %g not near 64", mean)
+	}
+}
+
+func TestRequestsBimodal(t *testing.T) {
+	rng := sim.NewRNG(5)
+	reqs, err := Requests(rng, RequestConfig{
+		Dist: SizesBimodal, MinSize: 10, MaxSize: 1000, Count: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := 0, 0
+	for _, r := range reqs {
+		if r.Size <= 20 {
+			small++
+		}
+		if r.Size >= 750 {
+			large++
+		}
+	}
+	if small < 2000 {
+		t.Errorf("small mode count %d, want most", small)
+	}
+	if large < 800 {
+		t.Errorf("large mode count %d, want substantial", large)
+	}
+}
+
+func TestRequestsValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := Requests(rng, RequestConfig{Dist: SizesFixed, MinSize: 0, MaxSize: 10, Count: 1}); err == nil {
+		t.Error("zero MinSize accepted")
+	}
+	if _, err := Requests(rng, RequestConfig{Dist: SizesFixed, MinSize: 10, MaxSize: 5, Count: 1}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := Requests(rng, RequestConfig{Dist: SizesFixed, MinSize: 1, MaxSize: 1, Count: 0}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Requests(rng, RequestConfig{Dist: SizeDist(99), MinSize: 1, MaxSize: 1, Count: 1}); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestSizeDistString(t *testing.T) {
+	for d, want := range map[SizeDist]string{
+		SizesUniform: "uniform", SizesExponential: "exponential",
+		SizesBimodal: "bimodal", SizesFixed: "fixed",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}
+
+func TestSegmentSizes(t *testing.T) {
+	rng := sim.NewRNG(6)
+	sizes := SegmentSizes(rng, 3000, 8192)
+	if len(sizes) != 3000 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	small := 0
+	for _, s := range sizes {
+		if s < 16 || s > 8192 {
+			t.Fatalf("size %d out of range", s)
+		}
+		if s <= 128 {
+			small++
+		}
+	}
+	if small < 1200 {
+		t.Errorf("only %d/3000 small segments; distribution should skew small", small)
+	}
+}
+
+func TestPropertyGeneratorsDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, _ := WorkingSet(sim.NewRNG(seed), WorkingSetConfig{
+			Extent: 10000, SetWords: 500, PhaseLen: 200, Phases: 2, LocalityProb: 0.9,
+		})
+		b, _ := WorkingSet(sim.NewRNG(seed), WorkingSetConfig{
+			Extent: 10000, SetWords: 500, PhaseLen: 200, Phases: 2, LocalityProb: 0.9,
+		})
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := sim.NewRNG(7)
+	tr := Zipf(rng, 100, 256, 1.2, 20000)
+	if len(tr) != 20000 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	counts := make([]int, 100)
+	for _, r := range tr {
+		p := r.Name / 256
+		if p >= 100 {
+			t.Fatalf("page %d out of range", p)
+		}
+		counts[p]++
+	}
+	// Page 0 must dominate and popularity must broadly decay.
+	if counts[0] < counts[10] || counts[0] < counts[50] {
+		t.Errorf("no Zipf skew: counts[0]=%d counts[10]=%d counts[50]=%d",
+			counts[0], counts[10], counts[50])
+	}
+	// Top 10 pages should hold the majority of references at s=1.2.
+	top := 0
+	for _, c := range counts[:10] {
+		top += c
+	}
+	if top < 10000 {
+		t.Errorf("top-10 pages hold %d/20000 refs; want majority", top)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if Zipf(rng, 0, 256, 1, 10) != nil {
+		t.Error("zero pages not nil")
+	}
+	if Zipf(rng, 10, 256, 1, 0) != nil {
+		t.Error("zero length not nil")
+	}
+	// One page: every reference lands there.
+	tr := Zipf(rng, 1, 64, 2, 100)
+	for _, r := range tr {
+		if r.Name >= 64 {
+			t.Fatalf("name %d beyond single page", r.Name)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package dsa
+
+import (
+	"dsa/internal/addr"
+	"dsa/internal/alloc"
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/store"
+)
+
+// RNG is the deterministic pseudo-random source every stochastic
+// policy draws from.
+type RNG = sim.RNG
+
+// ReplacementPolicy selects eviction victims (pages or segments).
+type ReplacementPolicy = replace.Policy
+
+// PlacementPolicy selects where variable-size blocks land in storage.
+type PlacementPolicy = alloc.Policy
+
+// Name-space kinds for Config.Char.NameSpace.
+const (
+	// LinearSpace is a single linear name space 0..n.
+	LinearSpace = addr.LinearSpace
+	// LinearSegmentedSpace splits names into ordered (segment, word)
+	// fields (IBM 360/67, MULTICS hardware).
+	LinearSegmentedSpace = addr.LinearSegmentedSpace
+	// SymbolicSegmentedSpace names segments with unordered symbols
+	// (Burroughs B5000).
+	SymbolicSegmentedSpace = addr.SymbolicSegmentedSpace
+)
+
+// Backing-store kinds for Config.BackingKind.
+const (
+	// Drum is fast rotating backing storage.
+	Drum = store.Drum
+	// Disk is slower, larger backing storage.
+	Disk = store.Disk
+	// Tape is sequential backing storage.
+	Tape = store.Tape
+)
+
+// LRUPolicy returns a least-recently-used replacement policy.
+func LRUPolicy(*RNG) ReplacementPolicy { return replace.NewLRU() }
+
+// FIFOPolicy returns a first-in-first-out replacement policy.
+func FIFOPolicy(*RNG) ReplacementPolicy { return replace.NewFIFO() }
+
+// ClockPolicy returns the cyclic second-chance policy found effective
+// on the B5000.
+func ClockPolicy(*RNG) ReplacementPolicy { return replace.NewClock() }
+
+// RandomPolicy returns a uniformly random replacement policy.
+func RandomPolicy(rng *RNG) ReplacementPolicy { return replace.NewRandom(rng) }
+
+// LearningPolicy returns the ATLAS learning-program policy.
+func LearningPolicy(*RNG) ReplacementPolicy { return replace.NewLearning() }
+
+// M44Policy returns the M44/44X random-among-candidate-classes policy.
+func M44Policy(rng *RNG) ReplacementPolicy { return replace.NewM44Random(rng) }
+
+// FirstFit places requests in the lowest sufficient free block.
+func FirstFit() PlacementPolicy { return alloc.FirstFit{} }
+
+// BestFit places requests in the smallest sufficient free block.
+func BestFit() PlacementPolicy { return alloc.BestFit{} }
+
+// TwoEnded places small requests at one end of storage and large ones
+// at the other.
+func TwoEnded(threshold int) PlacementPolicy { return alloc.TwoEnded{Threshold: threshold} }
+
+// RiceChain is first-fit over the Rice inactive-block chain; pair it
+// with deferred coalescing via Config.CoalesceMode.
+func RiceChain() PlacementPolicy { return alloc.RiceChain{} }
