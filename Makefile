@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench fig sim
+
+ci: vet build race bench ## full tier-1 + race + bench smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: a smoke that the experiment
+# battery and substrate micro-benchmarks still run end to end.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+fig:
+	$(GO) run ./cmd/dsafig
+
+sim:
+	$(GO) run ./cmd/dsasim -machine all -workload segments

@@ -11,10 +11,13 @@
 package dsa_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"dsa"
 	"dsa/internal/alloc"
+	"dsa/internal/engine"
 	"dsa/internal/experiments"
 	"dsa/internal/mapping"
 	"dsa/internal/metrics"
@@ -305,4 +308,46 @@ func BenchmarkT0Overlay(b *testing.B) {
 // BenchmarkA6SegmentedPaging regenerates the segmented-paging table.
 func BenchmarkA6SegmentedPaging(b *testing.B) {
 	benchTable(b, experiments.A6SegmentedPaging)
+}
+
+// BenchmarkAllSweep runs the entire experiment battery through the
+// engine at serial and fanned-out parallelism. On a multi-core runner
+// the parallel=8 case shows the engine's wall-clock win; the tables
+// are byte-identical either way (see the experiments golden test).
+func BenchmarkAllSweep(b *testing.B) {
+	for _, parallel := range []int{1, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			experiments.Configure(parallel, 0)
+			defer experiments.Configure(0, 0)
+			for i := 0; i < b.N; i++ {
+				tables, err := experiments.All()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tables) == 0 {
+					b.Fatal("no tables")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineOverhead measures the engine's per-job cost with
+// trivial cells — the fan-out/merge tax a sweep pays over inline loops.
+func BenchmarkEngineOverhead(b *testing.B) {
+	jobs := make([]engine.Job, 64)
+	for i := range jobs {
+		jobs[i] = engine.Job{Key: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+				return rng.Uint64(), nil
+			}}
+	}
+	eng := engine.New(engine.Options{Parallel: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := eng.Run(context.Background(), jobs)
+		if len(results) != len(jobs) {
+			b.Fatal("short results")
+		}
+	}
 }

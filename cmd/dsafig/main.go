@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	dsafig [experiment ...]
+//	dsafig [-parallel N] [-seed S] [experiment ...]
 //
 // With no arguments every experiment runs in order. Experiment names:
 // fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8.
+//
+// -parallel fans each experiment's cells across N engine workers
+// (0 = GOMAXPROCS); the tables are byte-identical at any parallelism.
+// -seed 0 (the default) reproduces the paper-exact tables; any other
+// value re-derives every workload so the same battery explores a
+// fresh, equally reproducible scenario.
 package main
 
 import (
@@ -44,12 +50,17 @@ var byName = map[string]func() (*metrics.Table, error){
 }
 
 func main() {
+	var (
+		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 0, "base seed (0 = paper-exact tables; nonzero re-derives every workload)")
+	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dsafig [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
+			"usage: dsafig [-parallel N] [-seed S] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	experiments.Configure(*parallel, *seed)
 
 	names := flag.Args()
 	if len(names) == 0 {

@@ -7,18 +7,24 @@
 //	dsasim -machine atlas -workload workingset -refs 20000
 //	dsasim -machine b5000 -workload segments -refs 50000 -segs 64
 //	dsasim -machine recommended -workload segments
+//	dsasim -machine all -parallel 8 -workload segments
 //
-// Machines: atlas m44 b5000 rice b8500 multics m67 recommended.
+// Machines: atlas m44 b5000 rice b8500 multics m67 recommended, or
+// "all" to sweep every appendix machine concurrently through the
+// experiment engine (-parallel bounds the worker pool; reports print
+// in appendix order regardless of scheduling).
 // Workloads: workingset sequential random loop matrix segments.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"dsa/internal/core"
+	"dsa/internal/engine"
 	"dsa/internal/machine"
 	"dsa/internal/metrics"
 	"dsa/internal/sim"
@@ -28,16 +34,26 @@ import (
 
 func main() {
 	var (
-		machineName = flag.String("machine", "atlas", "machine: atlas|m44|b5000|rice|b8500|multics|m67|recommended")
+		machineName = flag.String("machine", "atlas", "machine: atlas|m44|b5000|rice|b8500|multics|m67|recommended|all")
 		workloadKin = flag.String("workload", "workingset", "workload: workingset|sequential|random|loop|matrix|segments")
 		refs        = flag.Int("refs", 20000, "number of references")
 		segs        = flag.Int("segs", 32, "segment count (segments workload)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		scale       = flag.Int("scale", 2, "capacity scale divisor (1 = historical sizes)")
+		parallel    = flag.Int("parallel", 0, "engine workers for -machine all (0 = GOMAXPROCS)")
 		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
 	)
 	flag.Parse()
 
+	if strings.ToLower(*machineName) == "all" {
+		if *traceFile != "" {
+			fail(fmt.Errorf("-trace cannot be combined with -machine all"))
+		}
+		if err := runAll(*parallel, strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
+			fail(err)
+		}
+		return
+	}
 	m, err := buildMachine(*machineName, *scale)
 	if err != nil {
 		fail(err)
@@ -51,7 +67,42 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	printReport(m, rep)
+	fmt.Print(reportString(m, rep))
+}
+
+// runAll sweeps every appendix machine over the same workload, one
+// engine job per machine, and prints the reports in appendix order as
+// each prefix of the sweep completes.
+func runAll(parallel int, kind string, refs, segs int, seed uint64, scale int) error {
+	names := []string{"atlas", "m44", "b5000", "rice", "b8500", "multics", "m67"}
+	eng := engine.New(engine.Options{Parallel: parallel, Seed: seed})
+	jobs := make([]engine.Job, len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = engine.Job{Key: "dsasim/" + name, Run: func(ctx context.Context, _ *sim.RNG) (interface{}, error) {
+			m, err := buildMachine(name, scale)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := runWorkload(m, kind, refs, segs, seed)
+			if err != nil {
+				return nil, err
+			}
+			return reportString(m, rep), nil
+		}}
+	}
+	var firstErr error
+	eng.Stream(context.Background(), jobs, func(r engine.Result) {
+		if r.Err != nil {
+			fmt.Printf("%s: FAILED: %v\n\n", r.Key, r.Err)
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			return
+		}
+		fmt.Print(r.Value.(string))
+	})
+	return firstErr
 }
 
 // runTraceFile replays a trace recorded by dsatrace (or any tool
@@ -154,9 +205,10 @@ func linearCapped(m *machine.Machine, tr trace.Trace, paged bool) trace.Trace {
 	return out
 }
 
-func printReport(m *machine.Machine, rep *core.Report) {
-	fmt.Printf("%s (%s): %s\n", m.Name, m.Appendix, m.Notes)
-	fmt.Printf("characteristics: %s\n\n", rep.Char)
+func reportString(m *machine.Machine, rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): %s\n", m.Name, m.Appendix, m.Notes)
+	fmt.Fprintf(&b, "characteristics: %s\n\n", rep.Char)
 	t := &metrics.Table{Header: []string{"measure", "value"}}
 	t.AddRow("elapsed (core cycles)", rep.Elapsed)
 	if rep.Paging != nil {
@@ -183,7 +235,8 @@ func printReport(m *machine.Machine, rep *core.Report) {
 		t.AddRow("external fragmentation", rep.Frag.ExternalFrag())
 		t.AddRow("internal fragmentation", rep.Frag.InternalFrag())
 	}
-	fmt.Println(t)
+	fmt.Fprintln(&b, t)
+	return b.String()
 }
 
 func fail(err error) {

@@ -24,6 +24,49 @@
 // packages and are exercised through System; the examples/ directory
 // shows typical use, and cmd/dsafig regenerates every figure and table
 // of the paper's evaluation material.
+//
+// # Usage
+//
+// Build and test everything (the Makefile wraps the same commands):
+//
+//	go build ./...
+//	go test -race ./...
+//	make ci
+//
+// Run a single appendix machine against a workload:
+//
+//	go run ./cmd/dsasim -machine atlas -workload workingset -refs 20000
+//	go run ./cmd/dsasim -machine recommended -workload segments
+//
+// Sweep all seven appendix machines concurrently (reports print in
+// appendix order regardless of scheduling):
+//
+//	go run ./cmd/dsasim -machine all -parallel 8 -workload segments
+//
+// Regenerate the paper's figures and tables:
+//
+//	go run ./cmd/dsafig            # everything, in order
+//	go run ./cmd/dsafig t1 fig3    # selected experiments
+//
+// # The experiment engine
+//
+// Every experiment fans its independent simulation cells (one per
+// machine config × workload × policy point) across the worker pool in
+// internal/engine. Two flags control it on both commands:
+//
+//   - -parallel N bounds the pool (0 = GOMAXPROCS). Results are
+//     deterministic: every cell derives all of its randomness from
+//     fixed workload seeds (rebased through sim.SeedFor when -seed is
+//     set), never from submission order or scheduling, so the
+//     aggregated tables are byte-identical at -parallel=1 and
+//     -parallel=8. The engine also hands each job a private RNG keyed
+//     on (base seed, job key) for cells that want their own stream.
+//   - -seed S (dsafig) rebases every workload seed. 0, the default,
+//     reproduces the paper-exact tables; any other value derives a
+//     fresh but equally reproducible scenario for the whole battery.
+//
+// A cell that panics is contained by the engine and recorded as a
+// FAILED row for just that cell; the rest of the sweep completes.
 package dsa
 
 import (

@@ -1,0 +1,3 @@
+module dsa
+
+go 1.22

@@ -1,0 +1,240 @@
+package alloc
+
+import (
+	"sort"
+	"testing"
+
+	"dsa/internal/sim"
+)
+
+// liveBlock is one allocation the churn driver still holds.
+type liveBlock struct {
+	addr, size int
+}
+
+// assertHeapLayout checks the structural invariants the experiments
+// lean on: the block list tiles the heap exactly (no gaps, no
+// overlaps), every address the driver holds is inside a distinct
+// allocated block, and the allocator's own invariant checker agrees.
+func assertHeapLayout(t *testing.T, h *Heap, lives []liveBlock) {
+	t.Helper()
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	blocks := h.Blocks()
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Addr < blocks[j].Addr })
+	next := 0
+	for i, b := range blocks {
+		if b.Addr != next {
+			t.Fatalf("block %d at %d: gap or overlap (expected %d)", i, b.Addr, next)
+		}
+		if b.Size <= 0 {
+			t.Fatalf("block %d at %d: non-positive size %d", i, b.Addr, b.Size)
+		}
+		next = b.Addr + b.Size
+	}
+	if next != h.Size() {
+		t.Fatalf("blocks cover %d words, heap is %d", next, h.Size())
+	}
+	owner := map[int]bool{}
+	for _, lv := range lives {
+		i := sort.Search(len(blocks), func(i int) bool { return blocks[i].Addr > lv.addr })
+		if i == 0 {
+			t.Fatalf("live addr %d precedes every block", lv.addr)
+		}
+		b := blocks[i-1]
+		if b.Free {
+			t.Fatalf("live addr %d sits in a free block [%d,%d)", lv.addr, b.Addr, b.Addr+b.Size)
+		}
+		if lv.addr+lv.size > b.Addr+b.Size {
+			t.Fatalf("live [%d,%d) spills out of its block [%d,%d)",
+				lv.addr, lv.addr+lv.size, b.Addr, b.Addr+b.Size)
+		}
+		if owner[b.Addr] {
+			t.Fatalf("two live allocations share the block at %d — overlap", b.Addr)
+		}
+		owner[b.Addr] = true
+	}
+}
+
+// TestHeapInvariantsUnderChurn drives every placement policy and both
+// coalescing modes through mixed alloc/free churn, asserting after
+// every step window that no two live blocks overlap and that the block
+// list stays a perfect tiling of the heap.
+func TestHeapInvariantsUnderChurn(t *testing.T) {
+	const heapWords = 1 << 16
+	cases := []struct {
+		name string
+		mk   func() *Heap
+	}{
+		{"first-fit/immediate", func() *Heap { return New(heapWords, FirstFit{}, CoalesceImmediate) }},
+		{"best-fit/immediate", func() *Heap { return New(heapWords, BestFit{}, CoalesceImmediate) }},
+		{"worst-fit/immediate", func() *Heap { return New(heapWords, WorstFit{}, CoalesceImmediate) }},
+		{"next-fit/immediate", func() *Heap { return New(heapWords, &NextFit{}, CoalesceImmediate) }},
+		{"two-ended/immediate", func() *Heap { return New(heapWords, TwoEnded{Threshold: 256}, CoalesceImmediate) }},
+		{"rice-chain/deferred", func() *Heap { return New(heapWords, RiceChain{}, CoalesceDeferred) }},
+		{"first-fit/deferred", func() *Heap { return New(heapWords, FirstFit{}, CoalesceDeferred) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := tc.mk()
+			rng := sim.NewRNG(1234)
+			var lives []liveBlock
+			for i := 0; i < 4000; i++ {
+				if len(lives) == 0 || rng.Float64() < 0.55 {
+					n := 1 + rng.Intn(700)
+					if a, err := h.Alloc(n); err == nil {
+						lives = append(lives, liveBlock{a, n})
+					}
+				} else {
+					j := rng.Intn(len(lives))
+					if err := h.Free(lives[j].addr); err != nil {
+						t.Fatalf("step %d: Free(%d): %v", i, lives[j].addr, err)
+					}
+					lives = append(lives[:j], lives[j+1:]...)
+				}
+				if i%400 == 0 {
+					assertHeapLayout(t, h, lives)
+				}
+			}
+			assertHeapLayout(t, h, lives)
+		})
+	}
+}
+
+// TestHeapFreeAllocRoundTrip frees everything a churn phase left live
+// and asserts the heap returns to a pristine single free extent that
+// can satisfy a whole-heap allocation again.
+func TestHeapFreeAllocRoundTrip(t *testing.T) {
+	const heapWords = 1 << 14
+	for _, mode := range []Mode{CoalesceImmediate, CoalesceDeferred} {
+		h := New(heapWords, FirstFit{}, mode)
+		rng := sim.NewRNG(99)
+		var addrs []int
+		for i := 0; i < 500; i++ {
+			if a, err := h.Alloc(1 + rng.Intn(128)); err == nil {
+				addrs = append(addrs, a)
+			}
+		}
+		for _, a := range addrs {
+			if err := h.Free(a); err != nil {
+				t.Fatalf("mode %v: Free(%d): %v", mode, a, err)
+			}
+		}
+		if got := h.FreeWords(); got != heapWords {
+			t.Fatalf("mode %v: FreeWords = %d after freeing all, want %d", mode, got, heapWords)
+		}
+		h.CoalesceAll()
+		a, err := h.Alloc(heapWords)
+		if err != nil {
+			t.Fatalf("mode %v: whole-heap alloc after round trip: %v", mode, err)
+		}
+		if a != 0 {
+			t.Fatalf("mode %v: whole-heap alloc at %d, want 0", mode, a)
+		}
+		if err := h.Free(a); err != nil {
+			t.Fatalf("mode %v: final free: %v", mode, err)
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+// buddyRounded is the power-of-two extent a buddy block actually
+// occupies for a request of n words.
+func buddyRounded(n, minOrder int) int {
+	sz := 1 << minOrder
+	for sz < n {
+		sz <<= 1
+	}
+	return sz
+}
+
+// TestBuddyInvariantsUnderChurn churns the buddy allocator and asserts
+// no two live blocks overlap (using their rounded extents) and the
+// allocator's internal invariants hold throughout.
+func TestBuddyInvariantsUnderChurn(t *testing.T) {
+	const size = 1 << 16
+	const minOrder = 4
+	bd, err := NewBuddy(size, minOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(4321)
+	var lives []liveBlock
+	check := func(step int) {
+		t.Helper()
+		if err := bd.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		sorted := append([]liveBlock(nil), lives...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].addr < sorted[j].addr })
+		for i := 1; i < len(sorted); i++ {
+			prev := sorted[i-1]
+			if prev.addr+buddyRounded(prev.size, minOrder) > sorted[i].addr {
+				t.Fatalf("step %d: live blocks overlap: [%d,+%d) and %d",
+					step, prev.addr, buddyRounded(prev.size, minOrder), sorted[i].addr)
+			}
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		if len(lives) == 0 || rng.Float64() < 0.55 {
+			n := 1 + rng.Intn(1024)
+			if a, err := bd.Alloc(n); err == nil {
+				lives = append(lives, liveBlock{a, n})
+			}
+		} else {
+			j := rng.Intn(len(lives))
+			if err := bd.Free(lives[j].addr); err != nil {
+				t.Fatalf("step %d: Free(%d): %v", i, lives[j].addr, err)
+			}
+			lives = append(lives[:j], lives[j+1:]...)
+		}
+		if i%400 == 0 {
+			check(i)
+		}
+	}
+	check(4000)
+}
+
+// TestBuddyFreeAllocRoundTrip asserts that freeing every block merges
+// buddies all the way back to one maximal extent.
+func TestBuddyFreeAllocRoundTrip(t *testing.T) {
+	const size = 1 << 14
+	bd, err := NewBuddy(size, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	var addrs []int
+	for i := 0; i < 300; i++ {
+		if a, err := bd.Alloc(1 + rng.Intn(256)); err == nil {
+			addrs = append(addrs, a)
+		}
+	}
+	for _, a := range addrs {
+		if err := bd.Free(a); err != nil {
+			t.Fatalf("Free(%d): %v", a, err)
+		}
+	}
+	if got := bd.FreeWords(); got != size {
+		t.Fatalf("FreeWords = %d after freeing all, want %d", got, size)
+	}
+	if got := bd.LargestFree(); got != size {
+		t.Fatalf("LargestFree = %d, want %d (buddies must merge fully)", got, size)
+	}
+	a, err := bd.Alloc(size)
+	if err != nil {
+		t.Fatalf("whole-space alloc after round trip: %v", err)
+	}
+	if a != 0 {
+		t.Fatalf("whole-space alloc at %d, want 0", a)
+	}
+	if err := bd.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := bd.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package engine is the concurrent sweep runner behind
+// internal/experiments: it fans independent simulation jobs (one per
+// machine config × workload × policy cell) out across a bounded worker
+// pool and streams their results back to an aggregation stage in
+// deterministic job order.
+//
+// Three properties make sweeps safe to parallelize:
+//
+//   - Deterministic seeding. Every job receives an RNG seeded from
+//     (base seed, job key) via sim.SeedFor, never from submission
+//     order or scheduling, so a sweep reproduces bit-for-bit at any
+//     parallelism.
+//   - Fault containment. A job that panics is recovered inside its
+//     worker and recorded as a failed cell (Result.Panicked with a
+//     *PanicError) instead of sinking the whole sweep — the
+//     application-level fault-tolerance posture: contain, record,
+//     continue.
+//   - Ordered streaming aggregation. Stream delivers results to the
+//     caller in job-index order as soon as each prefix completes, so
+//     tables assemble incrementally yet identically to a serial run.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dsa/internal/metrics"
+	"dsa/internal/sim"
+)
+
+// Job is one independent simulation cell. Key must be stable and
+// unique within a sweep: it names the cell in failure reports and
+// seeds the cell's RNG.
+type Job struct {
+	// Key is the cell's stable identity (e.g. "t1/loop/frames=8").
+	Key string
+	// Run executes the cell. The context is the sweep's cancellation
+	// signal; rng is the cell's private deterministic stream. The
+	// returned value is opaque to the engine and handed to the
+	// aggregation stage.
+	Run func(ctx context.Context, rng *sim.RNG) (interface{}, error)
+}
+
+// Result records the outcome of one job.
+type Result struct {
+	// Key echoes the job's key.
+	Key string
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Value is what Run returned (nil on failure).
+	Value interface{}
+	// Err is non-nil if the job failed: Run returned an error, the
+	// sweep was cancelled before the job started, or the job panicked
+	// (then Err is a *PanicError and Panicked is set).
+	Err error
+	// Panicked reports that the job died by panic and was contained.
+	Panicked bool
+}
+
+// Failed reports whether the cell must be treated as missing.
+func (r Result) Failed() bool { return r.Err != nil }
+
+// PanicError is the recorded remains of a job that panicked.
+type PanicError struct {
+	// Key is the panicking job's key.
+	Key string
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job %q panicked: %v", e.Key, e.Value)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Parallel bounds the worker pool; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Seed is the base seed mixed with each job key by sim.SeedFor.
+	Seed uint64
+}
+
+// Engine is a reusable worker-pool sweep runner. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	parallel int
+	seed     uint64
+}
+
+// New builds an engine from options.
+func New(o Options) *Engine {
+	p := o.Parallel
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{parallel: p, seed: o.Seed}
+}
+
+// Parallel reports the configured worker count.
+func (e *Engine) Parallel() int { return e.parallel }
+
+// Run executes all jobs and returns their results indexed like jobs.
+// It always returns a full slice: failed cells carry their error in
+// place. Cancellation marks every not-yet-started job with ctx.Err().
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	e.sweep(ctx, jobs, results)
+	return results
+}
+
+// Stream executes all jobs and calls emit once per job in job-index
+// order, each as soon as that prefix of the sweep has completed — the
+// streaming aggregation stage. emit runs on the caller's goroutine
+// discipline (a single internal goroutine), so it may mutate shared
+// state such as a metrics.Table without locking. Stream returns the
+// full result slice after every job has been emitted.
+func (e *Engine) Stream(ctx context.Context, jobs []Job, emit func(Result)) []Result {
+	results := make([]Result, len(jobs))
+	if emit == nil {
+		e.sweep(ctx, jobs, results)
+		return results
+	}
+	done := make(chan int, len(jobs))
+	var mergeWG sync.WaitGroup
+	mergeWG.Add(1)
+	go func() {
+		defer mergeWG.Done()
+		// Emit in index order: buffer completion notices until the
+		// next expected index arrives.
+		ready := make(map[int]bool, len(jobs))
+		next := 0
+		for i := range done {
+			ready[i] = true
+			for ready[next] {
+				emit(results[next])
+				delete(ready, next)
+				next++
+			}
+		}
+	}()
+	e.sweepNotify(ctx, jobs, results, done)
+	close(done)
+	mergeWG.Wait()
+	return results
+}
+
+// sweep runs the pool with no completion notifications.
+func (e *Engine) sweep(ctx context.Context, jobs []Job, results []Result) {
+	e.sweepNotify(ctx, jobs, results, nil)
+}
+
+// sweepNotify fans jobs out across the pool, writing results[i] for
+// every job and (when done != nil) sending i after results[i] is
+// final.
+func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, done chan<- int) {
+	workers := e.parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		return
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] = e.runOne(ctx, i, jobs[i])
+				if done != nil {
+					done <- i
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			// Mark this and all remaining jobs as cancelled; workers
+			// drain nothing further.
+			for j := i; j < len(jobs); j++ {
+				results[j] = Result{Key: jobs[j].Key, Index: j, Err: ctx.Err()}
+				if done != nil {
+					done <- j
+				}
+			}
+			close(feed)
+			wg.Wait()
+			return
+		}
+	}
+	close(feed)
+	wg.Wait()
+}
+
+// runOne executes a single job with panic containment and per-job
+// deterministic seeding.
+func (e *Engine) runOne(ctx context.Context, index int, job Job) (res Result) {
+	res = Result{Key: job.Key, Index: index}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			stack := make([]byte, 8192)
+			stack = stack[:runtime.Stack(stack, false)]
+			res.Value = nil
+			res.Err = &PanicError{Key: job.Key, Value: p, Stack: stack}
+			res.Panicked = true
+		}
+	}()
+	rng := sim.NewRNG(sim.SeedFor(e.seed, job.Key))
+	res.Value, res.Err = job.Run(ctx, rng)
+	return res
+}
+
+// RowBatch is the value type the table-aggregation stage understands:
+// the rows one cell contributes to its table, in order.
+type RowBatch [][]interface{}
+
+// FillTable is the streaming metrics-aggregation stage: it runs jobs
+// whose results are RowBatch values and appends each batch to t in job
+// order as the sweep progresses. A panicked cell is contained as a
+// single "FAILED" row naming the cell (the sweep continues); a cell
+// that returns an ordinary error aborts the table with that error
+// (matching the serial experiment contract). The returned results
+// slice lets callers inspect contained failures.
+func (e *Engine) FillTable(ctx context.Context, t *metrics.Table, jobs []Job) ([]Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			cancel() // abort cells not yet started; the table is lost anyway
+		}
+	}
+	results := e.Stream(ctx, jobs, func(r Result) {
+		switch {
+		case r.Panicked:
+			t.AddRow(failedRow(t, r)...)
+		case r.Err != nil:
+			fail(fmt.Errorf("cell %s: %w", r.Key, r.Err))
+		default:
+			batch, ok := r.Value.(RowBatch)
+			if !ok {
+				fail(fmt.Errorf("cell %s: result %T is not a RowBatch", r.Key, r.Value))
+				return
+			}
+			for _, row := range batch {
+				t.AddRow(row...)
+			}
+		}
+	})
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, nil
+}
+
+// failedRow builds the contained-failure marker for a panicked cell,
+// padded to the table's column count so consumers indexing rows by
+// header position still find every column present.
+func failedRow(t *metrics.Table, r Result) []interface{} {
+	width := len(t.Header)
+	if width < 2 {
+		width = 2
+	}
+	row := make([]interface{}, width)
+	row[0] = r.Key
+	row[1] = "FAILED: " + fmt.Sprint(r.Err.(*PanicError).Value)
+	for i := 2; i < width; i++ {
+		row[i] = "-"
+	}
+	return row
+}

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsa/internal/metrics"
+	"dsa/internal/sim"
+)
+
+// sweepTable runs a fixed 24-cell sweep at the given parallelism and
+// renders the aggregated table. Each cell draws from its keyed RNG, so
+// any leakage of scheduling order into seeding would change the text.
+func sweepTable(t *testing.T, parallel int, seed uint64) string {
+	t.Helper()
+	eng := New(Options{Parallel: parallel, Seed: seed})
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		key := fmt.Sprintf("cell-%d", i)
+		jobs[i] = Job{Key: key, Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			// Simulated work: a small deterministic random walk.
+			sum := uint64(0)
+			for j := 0; j < 1000; j++ {
+				sum += rng.Uint64() % 1000
+			}
+			return RowBatch{{key, sum, rng.Intn(100)}}, nil
+		}}
+	}
+	tb := &metrics.Table{Title: "sweep", Header: []string{"cell", "sum", "draw"}}
+	if _, err := eng.FillTable(context.Background(), tb, jobs); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String()
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	serial := sweepTable(t, 1, 7)
+	for _, p := range []int{2, 4, 8} {
+		if got := sweepTable(t, p, 7); got != serial {
+			t.Errorf("parallel=%d table differs from serial:\n%s\nvs\n%s", p, got, serial)
+		}
+	}
+}
+
+func TestSeedChangesStreams(t *testing.T) {
+	if sweepTable(t, 4, 7) == sweepTable(t, 4, 8) {
+		t.Error("different base seeds produced identical sweeps")
+	}
+}
+
+func TestSeedingIndependentOfOrder(t *testing.T) {
+	// The same key must receive the same RNG stream regardless of its
+	// position in the job slice.
+	draw := func(jobs []Job, wantKey string) uint64 {
+		t.Helper()
+		eng := New(Options{Parallel: 4, Seed: 3})
+		for _, r := range eng.Run(context.Background(), jobs) {
+			if r.Key == wantKey {
+				return r.Value.(uint64)
+			}
+		}
+		t.Fatalf("key %q not found", wantKey)
+		return 0
+	}
+	mk := func(key string) Job {
+		return Job{Key: key, Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			return rng.Uint64(), nil
+		}}
+	}
+	a := draw([]Job{mk("x"), mk("y"), mk("z")}, "y")
+	b := draw([]Job{mk("z"), mk("y"), mk("x")}, "y")
+	if a != b {
+		t.Errorf("key-derived stream changed with submission order: %d vs %d", a, b)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	eng := New(Options{Parallel: 4})
+	jobs := make([]Job, 9)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Key: fmt.Sprintf("job-%d", i), Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			if i == 4 {
+				panic("poisoned cell")
+			}
+			return RowBatch{{i, "ok", i * 10, i * 100}}, nil
+		}}
+	}
+	tb := &metrics.Table{Header: []string{"i", "status", "x", "y"}}
+	results, err := eng.FillTable(context.Background(), tb, jobs)
+	if err != nil {
+		t.Fatalf("contained panic still aborted the sweep: %v", err)
+	}
+	var panicked int
+	for _, r := range results {
+		if r.Panicked {
+			panicked++
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Errorf("panicked cell error %T, want *PanicError", r.Err)
+			} else if pe.Key != "job-4" || len(pe.Stack) == 0 {
+				t.Errorf("panic error incomplete: key=%q stack=%d bytes", pe.Key, len(pe.Stack))
+			}
+		} else if r.Failed() {
+			t.Errorf("healthy cell %s failed: %v", r.Key, r.Err)
+		}
+	}
+	if panicked != 1 {
+		t.Fatalf("panicked cells = %d, want exactly 1", panicked)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("table rows = %d, want 9 (8 ok + 1 failure marker)", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Rows[4][1], "FAILED: poisoned cell") {
+		t.Errorf("failure marker row = %v", tb.Rows[4])
+	}
+	// The marker must be padded to the header width so consumers
+	// indexing by column never walk off a short row.
+	if len(tb.Rows[4]) != len(tb.Header) {
+		t.Errorf("failure row has %d columns, header has %d", len(tb.Rows[4]), len(tb.Header))
+	}
+}
+
+func TestErrorAbortsTableAndCancelsRemainingCells(t *testing.T) {
+	eng := New(Options{Parallel: 1})
+	var ranFirst atomic.Bool
+	var lateOutcome atomic.Value
+	jobs := []Job{
+		{Key: "ok", Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			ranFirst.Store(true)
+			return RowBatch{{"ok"}}, nil
+		}},
+		{Key: "bad", Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			return nil, errors.New("broken config")
+		}},
+		{Key: "late", Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			// A fatal sibling error must cancel this cell: either it is
+			// never started, or its context dies promptly.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Second):
+				lateOutcome.Store("ran to completion")
+				return RowBatch{{"late"}}, nil
+			}
+		}},
+	}
+	tb := &metrics.Table{Header: []string{"k"}}
+	results, err := eng.FillTable(context.Background(), tb, jobs)
+	if err == nil || !strings.Contains(err.Error(), "broken config") {
+		t.Fatalf("err = %v, want cell error", err)
+	}
+	if !ranFirst.Load() {
+		t.Error("cell before the error did not run")
+	}
+	if v := lateOutcome.Load(); v != nil {
+		t.Errorf("cell after fatal error %v instead of being cancelled", v)
+	}
+	if !errors.Is(results[2].Err, context.Canceled) {
+		t.Errorf("late cell error = %v, want context.Canceled", results[2].Err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	eng := New(Options{Parallel: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	const n = 40
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			once.Do(func() { close(started) })
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+				return "done", nil
+			}
+		}}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	results := eng.Run(ctx, jobs)
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	var cancelled int
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("cancellation reached no jobs")
+	}
+	// Every job, cancelled or not, must be accounted for.
+	for i, r := range results {
+		if r.Key == "" && r.Err == nil && r.Value == nil {
+			t.Errorf("job %d has no recorded outcome", i)
+		}
+	}
+}
+
+func TestStreamEmitsInJobOrder(t *testing.T) {
+	eng := New(Options{Parallel: 8})
+	const n = 50
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			// Vary completion time so out-of-order finishes are likely.
+			time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+			return i, nil
+		}}
+	}
+	var order []int
+	eng.Stream(context.Background(), jobs, func(r Result) {
+		order = append(order, r.Index)
+	})
+	if len(order) != n {
+		t.Fatalf("emitted %d results, want %d", len(order), n)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("emit order[%d] = %d; stream must deliver in job order", i, idx)
+		}
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	eng := New(Options{})
+	if got := eng.Run(context.Background(), nil); len(got) != 0 {
+		t.Errorf("Run(nil) = %d results", len(got))
+	}
+	tb := &metrics.Table{Header: []string{"x"}}
+	if _, err := eng.FillTable(context.Background(), tb, nil); err != nil {
+		t.Errorf("FillTable(nil) err = %v", err)
+	}
+}

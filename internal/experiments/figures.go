@@ -2,13 +2,16 @@
 // the paper's evaluation material (see DESIGN.md §3 for the index).
 // Each experiment returns a metrics.Table; cmd/dsafig prints them and
 // bench_test.go wraps them as benchmarks. All experiments are
-// deterministic.
+// deterministic: their cells fan out across internal/engine's worker
+// pool (see Configure), and the aggregated tables are byte-identical
+// at any parallelism.
 package experiments
 
 import (
 	"fmt"
 
 	"dsa/internal/addr"
+	"dsa/internal/engine"
 	"dsa/internal/mapping"
 	"dsa/internal/metrics"
 	"dsa/internal/paging"
@@ -22,105 +25,122 @@ import (
 // physical blocks, scattered in storage, made to correspond to a single
 // set of contiguous names. The table shows the name-to-address mapping
 // and verifies that every name in the contiguous range resolves while
-// offsets within blocks are preserved.
+// offsets within blocks are preserved. The figure is one engine cell:
+// its rows share running state (the previous block's end address).
 func Fig1ArtificialContiguity() (*metrics.Table, error) {
-	var clock sim.Clock
-	const pages, pageSize = 8, 256
-	pt := mapping.NewPageTable(&clock, pages, pageSize, 1)
-	// Scatter: the frames are deliberately non-contiguous and out of
-	// order, as in the figure.
-	frames := []int{11, 3, 14, 7, 0, 9, 5, 12}
-	for p, f := range frames {
-		if err := pt.SetEntry(uint64(p), f); err != nil {
-			return nil, err
-		}
+	sc := snapshot()
+	single := cell{
+		key: "fig1/scatter",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			var clock sim.Clock
+			const pages, pageSize = 8, 256
+			pt := mapping.NewPageTable(&clock, pages, pageSize, 1)
+			// Scatter: the frames are deliberately non-contiguous and out of
+			// order, as in the figure.
+			frames := []int{11, 3, 14, 7, 0, 9, 5, 12}
+			for p, f := range frames {
+				if err := pt.SetEntry(uint64(p), f); err != nil {
+					return nil, err
+				}
+			}
+			var batch engine.RowBatch
+			prevEnd := addr.Address(0)
+			contiguousBlocks := 0
+			for p := 0; p < pages; p++ {
+				lo, err := pt.Translate(addr.Name(p*pageSize), false)
+				if err != nil {
+					return nil, err
+				}
+				hi, err := pt.Translate(addr.Name(p*pageSize+pageSize-1), false)
+				if err != nil {
+					return nil, err
+				}
+				contig := "no"
+				if p > 0 && lo == prevEnd {
+					contig = "yes"
+					contiguousBlocks++
+				}
+				prevEnd = hi + 1
+				batch = append(batch, []interface{}{
+					fmt.Sprintf("%d..%d", p*pageSize, p*pageSize+pageSize-1),
+					p, frames[p],
+					fmt.Sprintf("%d..%d", lo, hi),
+					contig,
+				})
+			}
+			// Verification row: every name translates, offsets preserved.
+			bad := 0
+			for n := addr.Name(0); n < pages*pageSize; n++ {
+				a, err := pt.Translate(n, false)
+				if err != nil || uint64(a)%pageSize != uint64(n)%pageSize {
+					bad++
+				}
+			}
+			batch = append(batch, []interface{}{"all 2048 names", "-", "-",
+				fmt.Sprintf("%d translation errors", bad),
+				fmt.Sprintf("%d/7 physically adjacent", contiguousBlocks)})
+			return batch, nil
+		},
 	}
-	t := &metrics.Table{
-		Title:  "Figure 1 — artificial name contiguity (contiguous names, scattered blocks)",
-		Header: []string{"name range", "page", "frame", "absolute range", "contiguous?"},
-	}
-	prevEnd := addr.Address(0)
-	contiguousBlocks := 0
-	for p := 0; p < pages; p++ {
-		lo, err := pt.Translate(addr.Name(p*pageSize), false)
-		if err != nil {
-			return nil, err
-		}
-		hi, err := pt.Translate(addr.Name(p*pageSize+pageSize-1), false)
-		if err != nil {
-			return nil, err
-		}
-		contig := "no"
-		if p > 0 && lo == prevEnd {
-			contig = "yes"
-			contiguousBlocks++
-		}
-		prevEnd = hi + 1
-		t.AddRow(
-			fmt.Sprintf("%d..%d", p*pageSize, p*pageSize+pageSize-1),
-			p, frames[p],
-			fmt.Sprintf("%d..%d", lo, hi),
-			contig,
-		)
-	}
-	// Verification row: every name translates, offsets preserved.
-	bad := 0
-	for n := addr.Name(0); n < pages*pageSize; n++ {
-		a, err := pt.Translate(n, false)
-		if err != nil || uint64(a)%pageSize != uint64(n)%pageSize {
-			bad++
-		}
-	}
-	t.AddRow("all 2048 names", "-", "-",
-		fmt.Sprintf("%d translation errors", bad),
-		fmt.Sprintf("%d/7 physically adjacent", contiguousBlocks))
-	return t, nil
+	return runTable(sc, "Figure 1 — artificial name contiguity (contiguous names, scattered blocks)",
+		[]string{"name range", "page", "frame", "absolute range", "contiguous?"},
+		[]cell{single})
 }
 
 // Fig2SimpleMapping reproduces Figure 2: the simple one-level mapping
 // scheme, in which the most significant bits of the name index a table
 // of block addresses. The table compares addressing cost without any
 // mapping (relocation/limit pair) against the one-level mapped path,
-// quantifying the overhead the mapping device introduces.
+// quantifying the overhead the mapping device introduces. The two
+// schemes run as independent engine cells over the same trace.
 func Fig2SimpleMapping() (*metrics.Table, error) {
+	sc := snapshot()
 	const extent = 64 * 256
 	const refs = 20000
-	tr := workload.UniformRandom(sim.NewRNG(21), extent, refs)
-
-	// Unmapped: relocation/limit only — no per-reference table access.
-	var unmappedCost sim.Time
-	rl := addr.RelocationLimit{Base: 4096, Limit: extent}
-	for _, r := range tr {
-		if _, err := rl.Map(addr.Name(r.Name)); err != nil {
-			return nil, err
-		}
-		// Address formation is register arithmetic: no storage access.
+	unmapped := cell{
+		key: "fig2/relocation-limit",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			tr := workload.UniformRandom(sim.NewRNG(sc.seeded(21)), extent, refs)
+			// Unmapped: relocation/limit only — no per-reference table access.
+			var unmappedCost sim.Time
+			rl := addr.RelocationLimit{Base: 4096, Limit: extent}
+			for _, r := range tr {
+				if _, err := rl.Map(addr.Name(r.Name)); err != nil {
+					return nil, err
+				}
+				// Address formation is register arithmetic: no storage access.
+			}
+			return oneRow("relocation+limit (no mapping)", refs, 0,
+				float64(unmappedCost)/refs), nil
+		},
 	}
-
-	// Mapped: one page-table access (one core cycle) per reference.
-	var clock sim.Clock
-	pt := mapping.NewPageTable(&clock, 64, 256, 1)
-	for p := 0; p < 64; p++ {
-		if err := pt.SetEntry(uint64(p), p); err != nil {
-			return nil, err
-		}
+	mapped := cell{
+		key: "fig2/one-level-table",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			tr := workload.UniformRandom(sim.NewRNG(sc.seeded(21)), extent, refs)
+			// Mapped: one page-table access (one core cycle) per reference.
+			var clock sim.Clock
+			pt := mapping.NewPageTable(&clock, 64, 256, 1)
+			for p := 0; p < 64; p++ {
+				if err := pt.SetEntry(uint64(p), p); err != nil {
+					return nil, err
+				}
+			}
+			before := clock.Now()
+			for _, r := range tr {
+				if _, err := pt.Translate(addr.Name(r.Name), false); err != nil {
+					return nil, err
+				}
+			}
+			mappedCost := clock.Now() - before
+			lookups, _ := pt.Stats()
+			return oneRow("one-level page table (Fig 2)", refs, lookups,
+				float64(mappedCost)/refs), nil
+		},
 	}
-	before := clock.Now()
-	for _, r := range tr {
-		if _, err := pt.Translate(addr.Name(r.Name), false); err != nil {
-			return nil, err
-		}
-	}
-	mappedCost := clock.Now() - before
-
-	t := &metrics.Table{
-		Title:  "Figure 2 — simple mapping scheme: addressing cost per reference",
-		Header: []string{"scheme", "refs", "table accesses", "extra cost/ref (core cycles)"},
-	}
-	t.AddRow("relocation+limit (no mapping)", refs, 0, float64(unmappedCost)/refs)
-	lookups, _ := pt.Stats()
-	t.AddRow("one-level page table (Fig 2)", refs, lookups, float64(mappedCost)/refs)
-	return t, nil
+	return runTable(sc, "Figure 2 — simple mapping scheme: addressing cost per reference",
+		[]string{"scheme", "refs", "table accesses", "extra cost/ref (core cycles)"},
+		[]cell{unmapped, mapped})
 }
 
 // Fig3SpaceTime reproduces Figure 3: storage utilization with demand
@@ -128,55 +148,65 @@ func Fig2SimpleMapping() (*metrics.Table, error) {
 // the page-fetch time sweeps from drum-fast to disk-slow; the waiting
 // share of the space-time product balloons exactly as the figure's
 // shaded area does. A second sweep varies the allotment to show the
-// space-minimizing property of demand paging.
+// space-minimizing property of demand paging. Every (fetch time,
+// frames) point is an independent engine cell.
 func Fig3SpaceTime() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "Figure 3 — space-time product under demand paging",
-		Header: []string{"fetch access", "frames", "faults",
-			"active word-ticks", "waiting word-ticks", "wait fraction", "space-time total"},
-	}
+	sc := snapshot()
 	const pageSize = 256
 	const virtPages = 64
-	tr, err := workload.WorkingSet(sim.NewRNG(42), workload.WorkingSetConfig{
-		Extent: virtPages * pageSize, SetWords: 6 * pageSize,
-		PhaseLen: 4000, Phases: 5, LocalityProb: 0.95, WriteProb: 0.2,
-	})
-	if err != nil {
-		return nil, err
-	}
-	run := func(access sim.Time, frames int) (paging.Result, error) {
-		clock := &sim.Clock{}
-		working := store.NewLevel(clock, "core", store.Core, frames*pageSize, 1, 0)
-		backing := store.NewLevel(clock, "backing", store.Drum, virtPages*pageSize, access, 2)
-		p, err := paging.New(paging.Config{
-			Clock: clock, Working: working, Backing: backing,
-			PageSize: pageSize, Frames: frames, Extent: virtPages * pageSize,
-			Policy: replace.NewLRU(), LookupCost: 1,
-		})
-		if err != nil {
-			return paging.Result{}, err
+	point := func(access sim.Time, frames int) cell {
+		return cell{
+			key: fmt.Sprintf("fig3/access=%d/frames=%d", access, frames),
+			run: func(*sim.RNG) (engine.RowBatch, error) {
+				tr, err := workload.WorkingSet(sim.NewRNG(sc.seeded(42)), workload.WorkingSetConfig{
+					Extent: virtPages * pageSize, SetWords: 6 * pageSize,
+					PhaseLen: 4000, Phases: 5, LocalityProb: 0.95, WriteProb: 0.2,
+				})
+				if err != nil {
+					return nil, err
+				}
+				clock := &sim.Clock{}
+				working := store.NewLevel(clock, "core", store.Core, frames*pageSize, 1, 0)
+				backing := store.NewLevel(clock, "backing", store.Drum, virtPages*pageSize, access, 2)
+				p, err := paging.New(paging.Config{
+					Clock: clock, Working: working, Backing: backing,
+					PageSize: pageSize, Frames: frames, Extent: virtPages * pageSize,
+					Policy: replace.NewLRU(), LookupCost: 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := p.Run(tr)
+				if err != nil {
+					return nil, err
+				}
+				return oneRow(access, frames, res.Stats.Faults,
+					res.SpaceTime.ActiveArea, res.SpaceTime.WaitingArea,
+					res.SpaceTime.WaitFraction(), res.SpaceTime.Total()), nil
+			},
 		}
-		return p.Run(tr)
 	}
+	var cells []cell
 	for _, access := range []sim.Time{10, 100, 1000, 10000, 100000} {
-		res, err := run(access, 8)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(access, 8, res.Stats.Faults,
-			res.SpaceTime.ActiveArea, res.SpaceTime.WaitingArea,
-			res.SpaceTime.WaitFraction(), res.SpaceTime.Total())
+		cells = append(cells, point(access, 8))
 	}
 	for _, frames := range []int{4, 8, 16, 32} {
-		res, err := run(3000, frames)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(3000, frames, res.Stats.Faults,
-			res.SpaceTime.ActiveArea, res.SpaceTime.WaitingArea,
-			res.SpaceTime.WaitFraction(), res.SpaceTime.Total())
+		cells = append(cells, point(3000, frames))
 	}
-	return t, nil
+	return runTable(sc, "Figure 3 — space-time product under demand paging",
+		[]string{"fetch access", "frames", "faults",
+			"active word-ticks", "waiting word-ticks", "wait fraction", "space-time total"},
+		cells)
+}
+
+// fig4Point is the intermediate one Fig4 cell measures; the rows are
+// assembled afterwards because every row is normalized by the no-TLB
+// baseline.
+type fig4Point struct {
+	label    string
+	hitRatio float64
+	accesses float64
+	perRef   float64
 }
 
 // Fig4TwoLevelMapping reproduces Figure 4: the two-level (segment
@@ -185,20 +215,18 @@ func Fig3SpaceTime() (*metrics.Table, error) {
 // memory grows from absent to the 8+1 registers of the 360/67 and the
 // 44 words of the B8500 — demonstrating the paper's claim that without
 // such hardware "the cost in extra addressing time ... would often be
-// unacceptable".
+// unacceptable". Each associative-memory size measures in its own
+// engine cell; the "vs no-TLB" column is normalized against the
+// zero-register cell in a serial aggregation pass.
 func Fig4TwoLevelMapping() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "Figure 4 — two-level mapping: associative memory vs addressing overhead",
-		Header: []string{"assoc. registers", "hit ratio",
-			"table accesses/ref", "extra cycles/ref", "vs no-TLB"},
-	}
+	sc := snapshot()
 	const segs = 16
 	const segWords = 16 * 256
 	mkTrace := func() []struct {
 		seg addr.SegID
 		off addr.Name
 	} {
-		rng := sim.NewRNG(77)
+		rng := sim.NewRNG(sc.seeded(77))
 		out := make([]struct {
 			seg addr.SegID
 			off addr.Name
@@ -214,42 +242,60 @@ func Fig4TwoLevelMapping() (*metrics.Table, error) {
 		}
 		return out
 	}
-	var baseline float64
-	for _, tlbSize := range []int{0, 1, 2, 4, 8, 9, 16, 44} {
-		clock := &sim.Clock{}
-		m := mapping.NewTwoLevel(clock, segs, tlbSize, 1)
-		for s := addr.SegID(0); s < segs; s++ {
-			pt, err := m.Establish(s, segWords, 256)
-			if err != nil {
-				return nil, err
-			}
-			for p := 0; p < segWords/256; p++ {
-				if err := pt.SetEntry(uint64(p), int(s)*64+p); err != nil {
-					return nil, err
+	tlbSizes := []int{0, 1, 2, 4, 8, 9, 16, 44}
+	cells := make([]valueCell[fig4Point], len(tlbSizes))
+	for i, tlbSize := range tlbSizes {
+		tlbSize := tlbSize
+		cells[i] = valueCell[fig4Point]{
+			key: fmt.Sprintf("fig4/tlb=%d", tlbSize),
+			run: func(*sim.RNG) (fig4Point, error) {
+				clock := &sim.Clock{}
+				m := mapping.NewTwoLevel(clock, segs, tlbSize, 1)
+				for s := addr.SegID(0); s < segs; s++ {
+					pt, err := m.Establish(s, segWords, 256)
+					if err != nil {
+						return fig4Point{}, err
+					}
+					for p := 0; p < segWords/256; p++ {
+						if err := pt.SetEntry(uint64(p), int(s)*64+p); err != nil {
+							return fig4Point{}, err
+						}
+					}
 				}
-			}
+				refs := mkTrace()
+				before := clock.Now()
+				for _, r := range refs {
+					if _, err := m.Translate(r.seg, r.off, false); err != nil {
+						return fig4Point{}, err
+					}
+				}
+				perRef := float64(clock.Now()-before) / float64(len(refs))
+				hits, misses := m.TLB().Stats()
+				accesses := float64(2*misses) / float64(hits+misses)
+				label := fmt.Sprint(tlbSize)
+				switch tlbSize {
+				case 9:
+					label = "9 (360/67)"
+				case 44:
+					label = "44 (B8500)"
+				}
+				return fig4Point{label: label, hitRatio: m.TLB().HitRatio(),
+					accesses: accesses, perRef: perRef}, nil
+			},
 		}
-		refs := mkTrace()
-		before := clock.Now()
-		for _, r := range refs {
-			if _, err := m.Translate(r.seg, r.off, false); err != nil {
-				return nil, err
-			}
-		}
-		perRef := float64(clock.Now()-before) / float64(len(refs))
-		if tlbSize == 0 {
-			baseline = perRef
-		}
-		hits, misses := m.TLB().Stats()
-		accesses := float64(2*misses) / float64(hits+misses)
-		label := fmt.Sprint(tlbSize)
-		switch tlbSize {
-		case 9:
-			label = "9 (360/67)"
-		case 44:
-			label = "44 (B8500)"
-		}
-		t.AddRow(label, m.TLB().HitRatio(), accesses, perRef, perRef/baseline)
+	}
+	points, err := runValues(sc, cells)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title: "Figure 4 — two-level mapping: associative memory vs addressing overhead",
+		Header: []string{"assoc. registers", "hit ratio",
+			"table accesses/ref", "extra cycles/ref", "vs no-TLB"},
+	}
+	baseline := points[0].perRef
+	for _, p := range points {
+		t.AddRow(p.label, p.hitRatio, p.accesses, p.perRef, p.perRef/baseline)
 	}
 	return t, nil
 }

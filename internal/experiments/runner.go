@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"dsa/internal/engine"
+	"dsa/internal/metrics"
+	"dsa/internal/sim"
+)
+
+// runConfig is the sweep configuration every experiment snapshots on
+// entry: how many engine workers to fan cells across, and the base
+// seed that perturbs workload generation.
+type runConfig struct {
+	parallel int
+	seed     uint64
+}
+
+var (
+	cfgMu sync.Mutex
+	cfg   runConfig
+)
+
+// Configure sets the parallelism (<= 0 means GOMAXPROCS) and the base
+// seed for subsequent experiment runs. With seed 0 — the default —
+// every experiment uses its historical fixed workload seeds and the
+// tables reproduce the paper-exact serial output byte for byte at any
+// parallelism. A nonzero seed re-derives every workload seed through
+// sim.SeedFor, so the same experiment battery explores a fresh but
+// equally reproducible scenario.
+func Configure(parallel int, seed uint64) {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	cfg = runConfig{parallel: parallel, seed: seed}
+}
+
+// snapshot returns the configuration an experiment should close over
+// before building cells, so a concurrent Configure cannot tear a
+// running sweep.
+func snapshot() runConfig {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	return cfg
+}
+
+// seeded maps an experiment's historical fixed seed through the
+// configured base seed. Cells that must share a workload (the policy
+// columns of one table row, the rows of one sweep) all call seeded
+// with the same fixed value, so they still see identical inputs —
+// only the scenario as a whole moves with the base seed.
+func (c runConfig) seeded(fixed uint64) uint64 {
+	if c.seed == 0 {
+		return fixed
+	}
+	return sim.SeedFor(c.seed, "workload-seed:"+strconv.FormatUint(fixed, 10))
+}
+
+// cell is one experiment cell: a stable key plus a producer of the
+// rows that cell contributes to its table.
+type cell struct {
+	key string
+	run func(rng *sim.RNG) (engine.RowBatch, error)
+}
+
+// runTable fans cells out across the engine and streams their row
+// batches into a table in cell order. A panicked cell is recorded as
+// a FAILED row (the rest of the sweep survives); an ordinary error
+// aborts the table, matching the old serial contract.
+func runTable(c runConfig, title string, header []string, cells []cell) (*metrics.Table, error) {
+	t := &metrics.Table{Title: title, Header: header}
+	eng := engine.New(engine.Options{Parallel: c.parallel, Seed: c.seed})
+	jobs := make([]engine.Job, len(cells))
+	for i, cl := range cells {
+		cl := cl
+		jobs[i] = engine.Job{Key: cl.key, Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			return cl.run(rng)
+		}}
+	}
+	if _, err := eng.FillTable(context.Background(), t, jobs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// valueCell is a cell that yields a typed intermediate value instead
+// of finished rows — for experiments whose rows need cross-cell
+// context (e.g. Figure 4 normalizes every row by the no-TLB baseline).
+type valueCell[T any] struct {
+	key string
+	run func(rng *sim.RNG) (T, error)
+}
+
+// runValues fans value cells out across the engine and returns their
+// results in cell order. Errors — including contained panics — abort
+// the sweep, since a missing intermediate leaves nothing to normalize
+// against; the first failure cancels cells not yet started.
+func runValues[T any](c runConfig, cells []valueCell[T]) ([]T, error) {
+	eng := engine.New(engine.Options{Parallel: c.parallel, Seed: c.seed})
+	jobs := make([]engine.Job, len(cells))
+	for i, cl := range cells {
+		cl := cl
+		jobs[i] = engine.Job{Key: cl.key, Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+			return cl.run(rng)
+		}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var firstErr error
+	results := eng.Stream(ctx, jobs, func(r engine.Result) {
+		if r.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cell %s: %w", r.Key, r.Err)
+			cancel()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([]T, len(results))
+	for i, r := range results {
+		out[i] = r.Value.(T)
+	}
+	return out, nil
+}
+
+// oneRow wraps a single row as the batch a cell returns.
+func oneRow(cells ...interface{}) engine.RowBatch {
+	return engine.RowBatch{cells}
+}

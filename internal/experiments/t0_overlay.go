@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"dsa/internal/alloc"
+	"dsa/internal/engine"
 	"dsa/internal/metrics"
 	"dsa/internal/overlay"
 	"dsa/internal/replace"
@@ -59,83 +60,98 @@ func overlayCallTrace(rng *sim.RNG, phases, callsPerPhase int) []string {
 // same storage as (b). Dynamic allocation adapts to the actual
 // reference pattern instead of the preplanned overlay structure, which
 // is the paper's opening argument for why allocation became a system
-// responsibility.
+// responsibility. The three regimes replay the same call trace as
+// independent engine cells.
 func T0Overlay() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "T0 — static overlays vs dynamic allocation (introduction era)",
-		Header: []string{"regime", "storage words", "segments loaded",
-			"words transferred", "elapsed"},
+	sc := snapshot()
+	mkCalls := func() []string {
+		return overlayCallTrace(sim.NewRNG(sc.seeded(41)), 12, 60)
 	}
-	tree, err := overlay.New(overlayTree())
-	if err != nil {
-		return nil, err
-	}
-	calls := overlayCallTrace(sim.NewRNG(41), 12, 60)
 
-	// (a) Everything resident: one load per segment, maximal storage.
-	t.AddRow("all resident (no allocation)", tree.TotalWords(), 10,
-		tree.TotalWords(), "-")
-
-	// (b) Static overlays under the worst-case plan.
-	{
-		clock := &sim.Clock{}
-		working := store.NewLevel(clock, "core", store.Core, tree.PlannedWords(), 1, 0)
-		backing := store.NewLevel(clock, "drum", store.Drum, 2*tree.TotalWords(), 600, 1)
-		rt, err := overlay.NewRuntime(tree, clock, working, backing)
-		if err != nil {
-			return nil, err
-		}
-		for _, sym := range calls {
-			if err := rt.Touch(sym); err != nil {
+	resident := cell{
+		key: "t0/all-resident",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			// (a) Everything resident: one load per segment, maximal storage.
+			tree, err := overlay.New(overlayTree())
+			if err != nil {
 				return nil, err
 			}
-		}
-		st := rt.Stats()
-		t.AddRow("static overlays (worst-case plan)", tree.PlannedWords(),
-			st.Swaps, st.WordsLoaded, clock.Now())
+			return oneRow("all resident (no allocation)", tree.TotalWords(), 10,
+				tree.TotalWords(), "-"), nil
+		},
 	}
-
-	// (c) Dynamic allocation with the same storage as the static plan.
-	{
-		clock := &sim.Clock{}
-		working := store.NewLevel(clock, "core", store.Core, tree.PlannedWords(), 1, 0)
-		backing := store.NewLevel(clock, "drum", store.Drum, 2*tree.TotalWords(), 600, 1)
-		mgr, err := segment.NewManager(segment.Config{
-			Clock: clock, Working: working, Backing: backing,
-			Placement: alloc.BestFit{}, Replacement: replace.NewClock(),
-			CompactBeforeEvict: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		// Declare every module as a segment.
-		var declare func(n *overlay.Node) error
-		declare = func(n *overlay.Node) error {
-			if _, err := mgr.Create(n.Symbol, nameOf(n.Size)); err != nil {
-				return err
+	static := cell{
+		key: "t0/static-overlays",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			// (b) Static overlays under the worst-case plan.
+			tree, err := overlay.New(overlayTree())
+			if err != nil {
+				return nil, err
 			}
-			for _, c := range n.Children {
-				if err := declare(c); err != nil {
-					return err
+			clock := &sim.Clock{}
+			working := store.NewLevel(clock, "core", store.Core, tree.PlannedWords(), 1, 0)
+			backing := store.NewLevel(clock, "drum", store.Drum, 2*tree.TotalWords(), 600, 1)
+			rt, err := overlay.NewRuntime(tree, clock, working, backing)
+			if err != nil {
+				return nil, err
+			}
+			for _, sym := range mkCalls() {
+				if err := rt.Touch(sym); err != nil {
+					return nil, err
 				}
 			}
-			return nil
-		}
-		if err := declare(overlayTreeRoot(tree)); err != nil {
-			return nil, err
-		}
-		for _, sym := range calls {
-			if err := mgr.Touch(sym, 0, false); err != nil {
+			st := rt.Stats()
+			return oneRow("static overlays (worst-case plan)", tree.PlannedWords(),
+				st.Swaps, st.WordsLoaded, clock.Now()), nil
+		},
+	}
+	dynamic := cell{
+		key: "t0/dynamic-allocation",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			// (c) Dynamic allocation with the same storage as the static plan.
+			tree, err := overlay.New(overlayTree())
+			if err != nil {
 				return nil, err
 			}
-		}
-		st := mgr.Stats()
-		t.AddRow("dynamic allocation (same storage)", tree.PlannedWords(),
-			st.SegFaults, st.FetchedWords, clock.Now())
+			clock := &sim.Clock{}
+			working := store.NewLevel(clock, "core", store.Core, tree.PlannedWords(), 1, 0)
+			backing := store.NewLevel(clock, "drum", store.Drum, 2*tree.TotalWords(), 600, 1)
+			mgr, err := segment.NewManager(segment.Config{
+				Clock: clock, Working: working, Backing: backing,
+				Placement: alloc.BestFit{}, Replacement: replace.NewClock(),
+				CompactBeforeEvict: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Declare every module as a segment.
+			var declare func(n *overlay.Node) error
+			declare = func(n *overlay.Node) error {
+				if _, err := mgr.Create(n.Symbol, nameOf(n.Size)); err != nil {
+					return err
+				}
+				for _, c := range n.Children {
+					if err := declare(c); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := declare(overlayTree()); err != nil {
+				return nil, err
+			}
+			for _, sym := range mkCalls() {
+				if err := mgr.Touch(sym, 0, false); err != nil {
+					return nil, err
+				}
+			}
+			st := mgr.Stats()
+			return oneRow("dynamic allocation (same storage)", tree.PlannedWords(),
+				st.SegFaults, st.FetchedWords, clock.Now()), nil
+		},
 	}
-	return t, nil
+	return runTable(sc, "T0 — static overlays vs dynamic allocation (introduction era)",
+		[]string{"regime", "storage words", "segments loaded",
+			"words transferred", "elapsed"},
+		[]cell{resident, static, dynamic})
 }
-
-// overlayTreeRoot rebuilds the root node handle (Tree does not expose
-// it; the experiment keeps its own structural copy).
-func overlayTreeRoot(*overlay.Tree) *overlay.Node { return overlayTree() }

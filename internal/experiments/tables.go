@@ -6,6 +6,7 @@ import (
 	"dsa/internal/addr"
 	"dsa/internal/alloc"
 	"dsa/internal/core"
+	"dsa/internal/engine"
 	"dsa/internal/machine"
 	"dsa/internal/metrics"
 	"dsa/internal/replace"
@@ -56,59 +57,63 @@ func toPageIDs(pages []uint64) []replace.PageID {
 // across memory sizes and reference regimes. Expected shape: MIN is a
 // lower bound everywhere; LRU ≈ Clock ≤ FIFO ≤ Random under locality;
 // the learning program wins on loops and loses on random traffic.
+// Each trace × frame-count pair is an independent engine cell.
 func T1Replacement() (*metrics.Table, error) {
+	sc := snapshot()
 	const pageSize = 256
 	traces := []struct {
 		name string
-		tr   trace.Trace
-	}{}
-	ws, err := workload.WorkingSet(sim.NewRNG(5), workload.WorkingSetConfig{
-		Extent: 64 * pageSize, SetWords: 8 * pageSize,
-		PhaseLen: 5000, Phases: 6, LocalityProb: 0.9,
-	})
-	if err != nil {
-		return nil, err
+		mk   func() (trace.Trace, error)
+	}{
+		{"working-set", func() (trace.Trace, error) {
+			return workload.WorkingSet(sim.NewRNG(sc.seeded(5)), workload.WorkingSetConfig{
+				Extent: 64 * pageSize, SetWords: 8 * pageSize,
+				PhaseLen: 5000, Phases: 6, LocalityProb: 0.9,
+			})
+		}},
+		{"loop(17 pages)", func() (trace.Trace, error) {
+			return workload.Loop(17, pageSize, 100), nil
+		}},
+		{"random", func() (trace.Trace, error) {
+			return workload.UniformRandom(sim.NewRNG(sc.seeded(6)), 64*pageSize, 20000), nil
+		}},
 	}
-	traces = append(traces,
-		struct {
-			name string
-			tr   trace.Trace
-		}{"working-set", ws},
-		struct {
-			name string
-			tr   trace.Trace
-		}{"loop(17 pages)", workload.Loop(17, pageSize, 100)},
-		struct {
-			name string
-			tr   trace.Trace
-		}{"random", workload.UniformRandom(sim.NewRNG(6), 64*pageSize, 20000)},
-	)
+	policyOrder := []string{"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"}
 
-	t := &metrics.Table{
-		Title: "T1 — replacement strategies (faults; after Belady [1])",
-		Header: []string{"trace", "frames",
-			"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"},
-	}
+	var cells []cell
 	for _, tc := range traces {
-		pageStr := toPageIDs(tc.tr.PageString(pageSize))
 		for _, frames := range []int{8, 16, 24} {
-			mk := map[string]func() replace.Policy{
-				"belady-min":     func() replace.Policy { return replace.NewMIN(pageStr) },
-				"lru":            func() replace.Policy { return replace.NewLRU() },
-				"clock":          func() replace.Policy { return replace.NewClock() },
-				"fifo":           func() replace.Policy { return replace.NewFIFO() },
-				"random":         func() replace.Policy { return replace.NewRandom(sim.NewRNG(1)) },
-				"m44-random":     func() replace.Policy { return replace.NewM44Random(sim.NewRNG(1)) },
-				"atlas-learning": func() replace.Policy { return replace.NewLearning() },
-			}
-			row := []interface{}{tc.name, frames}
-			for _, name := range []string{"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"} {
-				row = append(row, runPageString(mk[name](), pageStr, frames))
-			}
-			t.AddRow(row...)
+			tc, frames := tc, frames
+			cells = append(cells, cell{
+				key: fmt.Sprintf("t1/%s/frames=%d", tc.name, frames),
+				run: func(*sim.RNG) (engine.RowBatch, error) {
+					tr, err := tc.mk()
+					if err != nil {
+						return nil, err
+					}
+					pageStr := toPageIDs(tr.PageString(pageSize))
+					mk := map[string]func() replace.Policy{
+						"belady-min":     func() replace.Policy { return replace.NewMIN(pageStr) },
+						"lru":            func() replace.Policy { return replace.NewLRU() },
+						"clock":          func() replace.Policy { return replace.NewClock() },
+						"fifo":           func() replace.Policy { return replace.NewFIFO() },
+						"random":         func() replace.Policy { return replace.NewRandom(sim.NewRNG(sc.seeded(1))) },
+						"m44-random":     func() replace.Policy { return replace.NewM44Random(sim.NewRNG(sc.seeded(1))) },
+						"atlas-learning": func() replace.Policy { return replace.NewLearning() },
+					}
+					row := []interface{}{tc.name, frames}
+					for _, name := range policyOrder {
+						row = append(row, runPageString(mk[name](), pageStr, frames))
+					}
+					return engine.RowBatch{row}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	return runTable(sc, "T1 — replacement strategies (faults; after Belady [1])",
+		[]string{"trace", "frames",
+			"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"},
+		cells)
 }
 
 // T2Placement reproduces the placement-strategy comparison of the
@@ -117,13 +122,11 @@ func T1Replacement() (*metrics.Table, error) {
 // distributions. Reported: achieved utilization when the first
 // fragmentation failure occurs, external fragmentation at steady state,
 // and search effort (probes per allocation, the bookkeeping cost the
-// two-ended strategy was designed to cut).
+// two-ended strategy was designed to cut). Each distribution × policy
+// pair is an independent engine cell replaying the same request
+// stream.
 func T2Placement() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "T2 — placement strategies (heap 64Ki words)",
-		Header: []string{"distribution", "policy", "allocs", "frag failures",
-			"utilization@fail", "ext frag", "probes/alloc"},
-	}
+	sc := snapshot()
 	const heapWords = 65536
 	dists := []workload.RequestConfig{
 		{Dist: workload.SizesUniform, MinSize: 16, MaxSize: 1024, MeanLifetime: 60, Count: 8000},
@@ -141,49 +144,69 @@ func T2Placement() (*metrics.Table, error) {
 		{"two-ended", func() (alloc.Policy, alloc.Mode) { return alloc.TwoEnded{Threshold: 512}, alloc.CoalesceImmediate }},
 		{"rice-chain", func() (alloc.Policy, alloc.Mode) { return alloc.RiceChain{}, alloc.CoalesceDeferred }},
 	}
+	var cells []cell
 	for _, dc := range dists {
-		reqs, err := workload.Requests(sim.NewRNG(31), dc)
-		if err != nil {
-			return nil, err
-		}
 		for _, pc := range policies {
-			pol, mode := pc.mk()
-			h := alloc.New(heapWords, pol, mode)
-			// freeAt[i] lists addresses to free before request i.
-			freeAt := make(map[int][]int)
-			utilAtFirstFail := -1.0
-			for i, req := range reqs {
-				for _, a := range freeAt[i] {
-					if err := h.Free(a); err != nil {
+			dc, pc := dc, pc
+			cells = append(cells, cell{
+				key: fmt.Sprintf("t2/%s/%s", dc.Dist, pc.name),
+				run: func(*sim.RNG) (engine.RowBatch, error) {
+					reqs, err := workload.Requests(sim.NewRNG(sc.seeded(31)), dc)
+					if err != nil {
 						return nil, err
 					}
-				}
-				a, err := h.Alloc(req.Size)
-				if err != nil {
-					if utilAtFirstFail < 0 {
-						utilAtFirstFail = h.Stats().Utilization()
+					pol, mode := pc.mk()
+					h := alloc.New(heapWords, pol, mode)
+					// freeAt[i] lists addresses to free before request i.
+					freeAt := make(map[int][]int)
+					utilAtFirstFail := -1.0
+					for i, req := range reqs {
+						for _, a := range freeAt[i] {
+							if err := h.Free(a); err != nil {
+								return nil, err
+							}
+						}
+						a, err := h.Alloc(req.Size)
+						if err != nil {
+							if utilAtFirstFail < 0 {
+								utilAtFirstFail = h.Stats().Utilization()
+							}
+							continue
+						}
+						if req.Lifetime > 0 {
+							freeAt[i+req.Lifetime] = append(freeAt[i+req.Lifetime], a)
+						}
 					}
-					continue
-				}
-				if req.Lifetime > 0 {
-					freeAt[i+req.Lifetime] = append(freeAt[i+req.Lifetime], a)
-				}
-			}
-			c := h.Counters()
-			st := h.Stats()
-			util := utilAtFirstFail
-			if util < 0 {
-				util = 1 // never failed
-			}
-			probes := 0.0
-			if c.Allocs > 0 {
-				probes = float64(c.Probes) / float64(c.Allocs+c.Failures)
-			}
-			t.AddRow(dc.Dist.String(), pc.name, c.Allocs, c.FragFailures,
-				util, st.ExternalFrag(), probes)
+					c := h.Counters()
+					st := h.Stats()
+					util := utilAtFirstFail
+					if util < 0 {
+						util = 1 // never failed
+					}
+					probes := 0.0
+					if c.Allocs > 0 {
+						probes = float64(c.Probes) / float64(c.Allocs+c.Failures)
+					}
+					return oneRow(dc.Dist.String(), pc.name, c.Allocs, c.FragFailures,
+						util, st.ExternalFrag(), probes), nil
+				},
+			})
 		}
 	}
-	return t, nil
+	return runTable(sc, "T2 — placement strategies (heap 64Ki words)",
+		[]string{"distribution", "policy", "allocs", "frag failures",
+			"utilization@fail", "ext frag", "probes/alloc"},
+		cells)
+}
+
+// t3Sizes regenerates the segment population every T3 cell shares.
+func t3Sizes(sc runConfig) ([]int, int) {
+	sizes := workload.SegmentSizes(sim.NewRNG(sc.seeded(17)), 3000, 8192)
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	return sizes, total
 }
 
 // T3UnitSize reproduces the unit-of-allocation discussion: "If it is
@@ -192,85 +215,110 @@ func T2Placement() (*metrics.Table, error) {
 // population is held in pages of sweeping size; internal waste rises
 // with page size while table overhead (one word per page table entry)
 // falls. The final row gives the variable-unit alternative, which
-// trades the internal waste for external fragmentation.
+// trades the internal waste for external fragmentation. One engine
+// cell per page size plus one for the variable-unit heap.
 func T3UnitSize() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "T3 — choosing the unit of allocation (3000 segments)",
-		Header: []string{"unit", "pages", "table words", "internal waste",
-			"waste frac", "ext frag"},
-	}
-	rng := sim.NewRNG(17)
-	sizes := workload.SegmentSizes(rng, 3000, 8192)
-	total := 0
-	for _, s := range sizes {
-		total += s
-	}
+	sc := snapshot()
+	var cells []cell
 	for _, pageSize := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
-		pages, waste := 0, 0
-		for _, s := range sizes {
-			pages += machine.PageCount(s, pageSize)
-			waste += machine.PageWaste(s, pageSize)
-		}
-		t.AddRow(fmt.Sprintf("%d-word pages", pageSize), pages, pages,
-			waste, float64(waste)/float64(total+waste), 0.0)
+		pageSize := pageSize
+		cells = append(cells, cell{
+			key: fmt.Sprintf("t3/pages=%d", pageSize),
+			run: func(*sim.RNG) (engine.RowBatch, error) {
+				sizes, total := t3Sizes(sc)
+				pages, waste := 0, 0
+				for _, s := range sizes {
+					pages += machine.PageCount(s, pageSize)
+					waste += machine.PageWaste(s, pageSize)
+				}
+				return oneRow(fmt.Sprintf("%d-word pages", pageSize), pages, pages,
+					waste, float64(waste)/float64(total+waste), 0.0), nil
+			},
+		})
 	}
-	// Variable units: allocate the same population (with churn) from a
-	// heap and report the external fragmentation instead.
-	h := alloc.New(total/2, alloc.BestFit{}, alloc.CoalesceImmediate)
-	live := make([]int, 0)
-	rng2 := sim.NewRNG(18)
-	for _, s := range sizes {
-		if a, err := h.Alloc(s); err == nil {
-			live = append(live, a)
-		}
-		// Random churn keeps the heap near half full.
-		for h.Stats().Utilization() > 0.55 && len(live) > 0 {
-			j := rng2.Intn(len(live))
-			if err := h.Free(live[j]); err != nil {
-				return nil, err
+	cells = append(cells, cell{
+		key: "t3/variable",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			// Variable units: allocate the same population (with churn)
+			// from a heap and report the external fragmentation instead.
+			sizes, total := t3Sizes(sc)
+			h := alloc.New(total/2, alloc.BestFit{}, alloc.CoalesceImmediate)
+			live := make([]int, 0)
+			rng2 := sim.NewRNG(sc.seeded(18))
+			for _, s := range sizes {
+				if a, err := h.Alloc(s); err == nil {
+					live = append(live, a)
+				}
+				// Random churn keeps the heap near half full.
+				for h.Stats().Utilization() > 0.55 && len(live) > 0 {
+					j := rng2.Intn(len(live))
+					if err := h.Free(live[j]); err != nil {
+						return nil, err
+					}
+					live = append(live[:j], live[j+1:]...)
+				}
 			}
-			live = append(live[:j], live[j+1:]...)
-		}
-	}
-	st := h.Stats()
-	t.AddRow("variable (best-fit)", "-", "-", st.AllocatedWords-st.RequestedWords,
-		st.InternalFrag(), st.ExternalFrag())
-	return t, nil
+			st := h.Stats()
+			return oneRow("variable (best-fit)", "-", "-", st.AllocatedWords-st.RequestedWords,
+				st.InternalFrag(), st.ExternalFrag()), nil
+		},
+	})
+	return runTable(sc, "T3 — choosing the unit of allocation (3000 segments)",
+		[]string{"unit", "pages", "table words", "internal waste",
+			"waste frac", "ext frag"},
+		cells)
 }
 
 // T4Machines runs the common segmented workload on all seven appendix
-// machines and reports their behaviour side by side.
+// machines and reports their behaviour side by side — one engine cell
+// per machine, each cell building its own machine and workload so the
+// seven historical simulations proceed concurrently.
 func T4Machines() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "T4 — the appendix survey on a common workload (32 segments, 20000 refs)",
-		Header: []string{"machine", "app.", "characteristics", "fetches",
+	sc := snapshot()
+	// Same order as machine.All.
+	ctors := []struct {
+		name string
+		mk   func(int) (*machine.Machine, error)
+	}{
+		{"atlas", machine.Atlas}, {"m44", machine.M44}, {"b5000", machine.B5000},
+		{"rice", machine.Rice}, {"b8500", machine.B8500}, {"multics", machine.Multics},
+		{"m67", machine.M67},
+	}
+	cells := make([]cell, len(ctors))
+	for i, ct := range ctors {
+		ct := ct
+		cells[i] = cell{
+			key: "t4/" + ct.name,
+			run: func(*sim.RNG) (engine.RowBatch, error) {
+				w := machine.CommonWorkload(sc.seeded(3), 32, 20000)
+				m, err := ct.mk(2)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := m.RunWorkload(w)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", m.Name, err)
+				}
+				var fetches int64
+				if rep.Paging != nil {
+					fetches += rep.Paging.Faults
+				}
+				if rep.SegStats != nil {
+					fetches += rep.SegStats.SegFaults
+				}
+				frag := 0.0
+				if rep.Frag != nil {
+					frag = rep.Frag.ExternalFrag()
+				}
+				return oneRow(m.Name, m.Appendix, m.System.Characteristics().String(),
+					fetches, rep.SpaceTime.WaitFraction(), rep.Elapsed, frag), nil
+			},
+		}
+	}
+	return runTable(sc, "T4 — the appendix survey on a common workload (32 segments, 20000 refs)",
+		[]string{"machine", "app.", "characteristics", "fetches",
 			"wait frac", "elapsed (cycles)", "ext frag"},
-	}
-	w := machine.CommonWorkload(3, 32, 20000)
-	ms, err := machine.All(2)
-	if err != nil {
-		return nil, err
-	}
-	for _, m := range ms {
-		rep, err := m.RunWorkload(w)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", m.Name, err)
-		}
-		var fetches int64
-		if rep.Paging != nil {
-			fetches += rep.Paging.Faults
-		}
-		if rep.SegStats != nil {
-			fetches += rep.SegStats.SegFaults
-		}
-		frag := 0.0
-		if rep.Frag != nil {
-			frag = rep.Frag.ExternalFrag()
-		}
-		t.AddRow(m.Name, m.Appendix, m.System.Characteristics().String(),
-			fetches, rep.SpaceTime.WaitFraction(), rep.Elapsed, frag)
-	}
-	return t, nil
+		cells)
 }
 
 // T5Predictive reproduces the predictive-information discussion using
@@ -279,82 +327,108 @@ func T4Machines() (*metrics.Table, error) {
 // accurate advice, and with adversarially wrong advice. Correct advice
 // cuts waiting (pages arrive overlapped, dead pages leave early); wrong
 // advice must not break anything but costs performance — the paper's
-// argument for treating directives as advisory tuning.
+// argument for treating directives as advisory tuning. One engine cell
+// per advice variant, all replaying the same base program.
 func T5Predictive() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "T5 — predictive information on the M44/44X",
-		Header: []string{"variant", "faults", "prefetches", "advice evictions",
-			"wait frac", "space-time total", "elapsed"},
-	}
+	sc := snapshot()
 	const pageSize = 512
 	const phaseWords = 4 * pageSize
-	base, err := workload.WorkingSet(sim.NewRNG(42), workload.WorkingSetConfig{
-		Extent: 64 * pageSize, SetWords: phaseWords,
-		PhaseLen: 3000, Phases: 8, LocalityProb: 0.97, WriteProb: 0.2,
-	})
-	if err != nil {
-		return nil, err
+	mkBase := func() (trace.Trace, error) {
+		return workload.WorkingSet(sim.NewRNG(sc.seeded(42)), workload.WorkingSetConfig{
+			Extent: 64 * pageSize, SetWords: phaseWords,
+			PhaseLen: 3000, Phases: 8, LocalityProb: 0.97, WriteProb: 0.2,
+		})
 	}
 	variants := []struct {
 		name string
-		tr   trace.Trace
+		mk   func(base trace.Trace) trace.Trace
 	}{
-		{"demand only", base},
-		{"accurate advice", workload.WithAdvice(base, 3000, phaseWords)},
-		{"wrong advice", workload.WithWrongAdvice(base, 3000, phaseWords, 64*pageSize)},
+		{"demand only", func(base trace.Trace) trace.Trace { return base }},
+		{"accurate advice", func(base trace.Trace) trace.Trace {
+			return workload.WithAdvice(base, 3000, phaseWords)
+		}},
+		{"wrong advice", func(base trace.Trace) trace.Trace {
+			return workload.WithWrongAdvice(base, 3000, phaseWords, 64*pageSize)
+		}},
 	}
-	for _, v := range variants {
-		m, err := machine.M44WithPageSize(16, pageSize)
-		if err != nil {
-			return nil, err
+	cells := make([]cell, len(variants))
+	for i, v := range variants {
+		v := v
+		cells[i] = cell{
+			key: "t5/" + v.name,
+			run: func(*sim.RNG) (engine.RowBatch, error) {
+				base, err := mkBase()
+				if err != nil {
+					return nil, err
+				}
+				m, err := machine.M44WithPageSize(16, pageSize)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := m.RunLinear(v.mk(base))
+				if err != nil {
+					return nil, err
+				}
+				return oneRow(v.name, rep.Paging.Faults, rep.Paging.Prefetches,
+					rep.Paging.AdviceEvictions, rep.SpaceTime.WaitFraction(),
+					rep.SpaceTime.Total(), rep.Elapsed), nil
+			},
 		}
-		rep, err := m.RunLinear(v.tr)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(v.name, rep.Paging.Faults, rep.Paging.Prefetches,
-			rep.Paging.AdviceEvictions, rep.SpaceTime.WaitFraction(),
-			rep.SpaceTime.Total(), rep.Elapsed)
 	}
-	return t, nil
+	return runTable(sc, "T5 — predictive information on the M44/44X",
+		[]string{"variant", "faults", "prefetches", "advice evictions",
+			"wait frac", "space-time total", "elapsed"},
+		cells)
 }
 
 // T6DualPageSize reproduces the MULTICS dual-page-size argument (A.6):
 // with 64- and 1024-word page frames "the loss in storage utilization
 // caused by fragmentation occurring within pages can be reduced", at
 // the cost of added placement/replacement complexity (more table
-// entries to manage).
+// entries to manage). One engine cell per paging scheme over the same
+// segment population.
 func T6DualPageSize() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title:  "T6 — MULTICS dual page sizes (3000 segments)",
-		Header: []string{"scheme", "pages", "table words", "waste words", "waste frac"},
-	}
-	rng := sim.NewRNG(23)
-	sizes := workload.SegmentSizes(rng, 3000, 262144/16) // cap at scaled max segment
-	total := 0
-	for _, s := range sizes {
-		total += s
-	}
-	single := func(pageSize int) (pages, waste int) {
+	sc := snapshot()
+	mkSizes := func() ([]int, int) {
+		sizes := workload.SegmentSizes(sim.NewRNG(sc.seeded(23)), 3000, 262144/16) // cap at scaled max segment
+		total := 0
 		for _, s := range sizes {
-			pages += machine.PageCount(s, pageSize)
-			waste += machine.PageWaste(s, pageSize)
+			total += s
 		}
-		return
+		return sizes, total
 	}
-	p64, w64 := single(64)
-	p1024, w1024 := single(1024)
-	var dualPages, dualWaste int
-	for _, s := range sizes {
-		lg, sm, w := machine.DualPageSplit(s, 64, 1024)
-		dualPages += lg + sm
-		dualWaste += w
+	single := func(label string, pageSize int) cell {
+		return cell{
+			key: "t6/" + label,
+			run: func(*sim.RNG) (engine.RowBatch, error) {
+				sizes, total := mkSizes()
+				pages, waste := 0, 0
+				for _, s := range sizes {
+					pages += machine.PageCount(s, pageSize)
+					waste += machine.PageWaste(s, pageSize)
+				}
+				return oneRow(label, pages, pages, waste,
+					float64(waste)/float64(total+waste)), nil
+			},
+		}
 	}
-	t.AddRow("64-word only", p64, p64, w64, float64(w64)/float64(total+w64))
-	t.AddRow("1024-word only", p1024, p1024, w1024, float64(w1024)/float64(total+w1024))
-	t.AddRow("dual 64+1024 (MULTICS)", dualPages, dualPages, dualWaste,
-		float64(dualWaste)/float64(total+dualWaste))
-	return t, nil
+	dual := cell{
+		key: "t6/dual",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			sizes, total := mkSizes()
+			var dualPages, dualWaste int
+			for _, s := range sizes {
+				lg, sm, w := machine.DualPageSplit(s, 64, 1024)
+				dualPages += lg + sm
+				dualWaste += w
+			}
+			return oneRow("dual 64+1024 (MULTICS)", dualPages, dualPages, dualWaste,
+				float64(dualWaste)/float64(total+dualWaste)), nil
+		},
+	}
+	return runTable(sc, "T6 — MULTICS dual page sizes (3000 segments)",
+		[]string{"scheme", "pages", "table words", "waste words", "waste frac"},
+		[]cell{single("64-word only", 64), single("1024-word only", 1024), dual})
 }
 
 // T7NameSpace reproduces the symbolic-vs-linear segment-naming
@@ -363,82 +437,88 @@ func T6DualPageSize() (*metrics.Table, error) {
 // to find contiguous runs of segment names ("one does not need to
 // search a dictionary for a group of available contiguous segment
 // names" with symbols), while the symbolic dictionary does constant
-// bookkeeping and never fragments.
+// bookkeeping and never fragments. The two dictionaries run as
+// independent engine cells over the same churn sequence.
 func T7NameSpace() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "T7 — segment-name bookkeeping: symbolic vs linear dictionary",
-		Header: []string{"dictionary", "ops", "probes or lookups",
-			"frag failures", "largest free run", "free names"},
-	}
+	sc := snapshot()
 	const slots = 256
 	const ops = 4000
 
-	rng := sim.NewRNG(29)
-	lin := addr.NewLinearDictionary(slots)
-	type held struct {
-		first addr.SegID
-		k     int
+	linear := cell{
+		key: "t7/linear",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			rng := sim.NewRNG(sc.seeded(29))
+			lin := addr.NewLinearDictionary(slots)
+			type held struct {
+				first addr.SegID
+				k     int
+			}
+			var live []held
+			linOps := 0
+			for i := 0; i < ops; i++ {
+				if rng.Float64() < 0.55 || len(live) == 0 {
+					k := 1 + rng.Intn(4) // programs want short runs to index across
+					if first, err := lin.AllocRange(k); err == nil {
+						live = append(live, held{first, k})
+					}
+					linOps++
+				} else {
+					j := rng.Intn(len(live))
+					if err := lin.FreeRange(live[j].first, live[j].k); err != nil {
+						return nil, err
+					}
+					live = append(live[:j], live[j+1:]...)
+					linOps++
+				}
+			}
+			return oneRow("linearly segmented", linOps, lin.Probes, lin.Failures,
+				lin.LargestFreeRun(), lin.FreeCount()), nil
+		},
 	}
-	var live []held
-	linOps := 0
-	for i := 0; i < ops; i++ {
-		if rng.Float64() < 0.55 || len(live) == 0 {
-			k := 1 + rng.Intn(4) // programs want short runs to index across
-			if first, err := lin.AllocRange(k); err == nil {
-				live = append(live, held{first, k})
+	symbolic := cell{
+		key: "t7/symbolic",
+		run: func(*sim.RNG) (engine.RowBatch, error) {
+			rng2 := sim.NewRNG(sc.seeded(29))
+			sym := addr.NewSymbolicDictionary()
+			var symLive []string
+			symOps := 0
+			for i := 0; i < ops; i++ {
+				if rng2.Float64() < 0.55 || len(symLive) == 0 {
+					// A group of k segments needs no contiguity: declare k
+					// independent symbols.
+					k := 1 + rng2.Intn(4)
+					for j := 0; j < k; j++ {
+						s := fmt.Sprintf("seg-%d-%d", i, j)
+						sym.Declare(s)
+						symLive = append(symLive, s)
+					}
+					symOps++
+				} else {
+					j := rng2.Intn(len(symLive))
+					if err := sym.Remove(symLive[j]); err != nil {
+						return nil, err
+					}
+					symLive = append(symLive[:j], symLive[j+1:]...)
+					symOps++
+				}
 			}
-			linOps++
-		} else {
-			j := rng.Intn(len(live))
-			if err := lin.FreeRange(live[j].first, live[j].k); err != nil {
-				return nil, err
-			}
-			live = append(live[:j], live[j+1:]...)
-			linOps++
-		}
+			return oneRow("symbolically segmented", symOps, sym.Lookups, 0, "-", "-"), nil
+		},
 	}
-	t.AddRow("linearly segmented", linOps, lin.Probes, lin.Failures,
-		lin.LargestFreeRun(), lin.FreeCount())
-
-	rng2 := sim.NewRNG(29)
-	sym := addr.NewSymbolicDictionary()
-	var symLive []string
-	symOps := 0
-	for i := 0; i < ops; i++ {
-		if rng2.Float64() < 0.55 || len(symLive) == 0 {
-			// A group of k segments needs no contiguity: declare k
-			// independent symbols.
-			k := 1 + rng2.Intn(4)
-			for j := 0; j < k; j++ {
-				s := fmt.Sprintf("seg-%d-%d", i, j)
-				sym.Declare(s)
-				symLive = append(symLive, s)
-			}
-			symOps++
-		} else {
-			j := rng2.Intn(len(symLive))
-			if err := sym.Remove(symLive[j]); err != nil {
-				return nil, err
-			}
-			symLive = append(symLive[:j], symLive[j+1:]...)
-			symOps++
-		}
-	}
-	t.AddRow("symbolically segmented", symOps, sym.Lookups, 0, "-", "-")
-	return t, nil
+	return runTable(sc, "T7 — segment-name bookkeeping: symbolic vs linear dictionary",
+		[]string{"dictionary", "ops", "probes or lookups",
+			"frag failures", "largest free run", "free names"},
+		[]cell{linear, symbolic})
 }
 
 // T8Overlap reproduces the fetch-overlap argument: "a large space-time
 // product will not overly affect the performance of a system if the
 // time spent on fetching pages can normally be overlapped with the
 // execution of other programs" — until per-program core becomes so
-// small that fault rates explode (thrashing).
+// small that fault rates explode (thrashing). One engine cell per
+// multiprogramming degree.
 func T8Overlap() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "T8 — multiprogramming overlap of page fetches",
-		Header: []string{"programs", "frames/program", "refs between faults",
-			"CPU utilization", "faults"},
-	}
+	sc := snapshot()
 	base := core.MultiprogramConfig{
 		TotalFrames:      64,
 		FetchTime:        5000,
@@ -446,32 +526,41 @@ func T8Overlap() (*metrics.Table, error) {
 		WorkingSetFrames: 8,
 		RefsPerProgram:   300000,
 	}
-	results, err := core.OverlapSweep(base, []int{1, 2, 4, 8, 16, 32, 64})
-	if err != nil {
-		return nil, err
-	}
 	degrees := []int{1, 2, 4, 8, 16, 32, 64}
-	for i, r := range results {
-		t.AddRow(degrees[i], r.FramesPerProgram, r.InterFault,
-			r.CPUUtilization, r.Faults)
+	cells := make([]cell, len(degrees))
+	for i, n := range degrees {
+		n := n
+		cells[i] = cell{
+			key: fmt.Sprintf("t8/programs=%d", n),
+			run: func(*sim.RNG) (engine.RowBatch, error) {
+				results, err := core.OverlapSweep(base, []int{n})
+				if err != nil {
+					return nil, err
+				}
+				r := results[0]
+				return oneRow(n, r.FramesPerProgram, r.InterFault,
+					r.CPUUtilization, r.Faults), nil
+			},
+		}
 	}
-	return t, nil
+	return runTable(sc, "T8 — multiprogramming overlap of page fetches",
+		[]string{"programs", "frames/program", "refs between faults",
+			"CPU utilization", "faults"},
+		cells)
 }
 
 // T8OverlapTraced is the trace-driven companion of T8: instead of the
 // analytic lifetime curve, N real working-set programs run on real
 // pagers sharing one core, the processor switching on every fault.
+// Each multiprogramming degree is an engine cell running its own
+// shared-core simulation.
 func T8OverlapTraced() (*metrics.Table, error) {
-	t := &metrics.Table{
-		Title: "T8b — multiprogramming overlap, trace-driven (shared core, LRU pagers)",
-		Header: []string{"programs", "frames/program", "faults",
-			"switches", "CPU utilization"},
-	}
+	sc := snapshot()
 	const refs = 4000
 	mk := func(n int) ([]trace.Trace, error) {
 		out := make([]trace.Trace, n)
 		for i := range out {
-			tr, err := workload.WorkingSet(sim.NewRNG(uint64(200+i)), workload.WorkingSetConfig{
+			tr, err := workload.WorkingSet(sim.NewRNG(sc.seeded(uint64(200+i))), workload.WorkingSetConfig{
 				Extent: 32 * 256, SetWords: 4 * 256, PhaseLen: refs / 4,
 				Phases: 4, LocalityProb: 0.95, WriteProb: 0.1,
 			})
@@ -482,28 +571,42 @@ func T8OverlapTraced() (*metrics.Table, error) {
 		}
 		return out, nil
 	}
-	for _, n := range []int{1, 2, 4, 8} {
-		traces, err := mk(n)
-		if err != nil {
-			return nil, err
+	degrees := []int{1, 2, 4, 8}
+	cells := make([]cell, len(degrees))
+	for i, n := range degrees {
+		n := n
+		cells[i] = cell{
+			key: fmt.Sprintf("t8b/programs=%d", n),
+			run: func(*sim.RNG) (engine.RowBatch, error) {
+				traces, err := mk(n)
+				if err != nil {
+					return nil, err
+				}
+				res, err := core.RunMultiprogrammed(core.MPConfig{
+					Traces: traces, PageSize: 256, FramesPerProgram: 6,
+					FetchLatency: 3000, ComputePerRef: 20,
+				})
+				if err != nil {
+					return nil, err
+				}
+				var faults int64
+				for _, p := range res.Programs {
+					faults += p.Faults
+				}
+				return oneRow(n, 6, faults, res.Switches, res.Utilization), nil
+			},
 		}
-		res, err := core.RunMultiprogrammed(core.MPConfig{
-			Traces: traces, PageSize: 256, FramesPerProgram: 6,
-			FetchLatency: 3000, ComputePerRef: 20,
-		})
-		if err != nil {
-			return nil, err
-		}
-		var faults int64
-		for _, p := range res.Programs {
-			faults += p.Faults
-		}
-		t.AddRow(n, 6, faults, res.Switches, res.Utilization)
 	}
-	return t, nil
+	return runTable(sc, "T8b — multiprogramming overlap, trace-driven (shared core, LRU pagers)",
+		[]string{"programs", "frames/program", "faults",
+			"switches", "CPU utilization"},
+		cells)
 }
 
-// All runs every experiment in order.
+// All runs every experiment in order. Within each experiment the cells
+// fan out across the engine (Configure sets the parallelism); the
+// experiments themselves run in sequence so their tables stream out in
+// the paper's order.
 func All() ([]*metrics.Table, error) {
 	fns := []func() (*metrics.Table, error){
 		T0Overlay,

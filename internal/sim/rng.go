@@ -41,6 +41,30 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// SeedFor derives a deterministic seed for a named stream from a base
+// seed and a stable key. The engine uses it to give every experiment
+// cell its own RNG whose sequence depends only on (base, key) — never
+// on submission order or goroutine scheduling — so concurrent sweeps
+// reproduce exactly. The key is hashed with FNV-1a and the result is
+// mixed with the base through a splitmix64 finalizer so that related
+// keys ("cell-1", "cell-2") yield statistically unrelated streams.
+func SeedFor(base uint64, key string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	// splitmix64 finalizer over base + hashed key.
+	z := base + h + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
