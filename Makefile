@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fig sim
+.PHONY: ci vet fmt-check build test race bench examples fig sim
 
-ci: vet build race bench ## full tier-1 + race + bench smoke
+ci: vet fmt-check build race bench examples ## full tier-1 + race + bench smoke + examples
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fail if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -17,9 +22,15 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of every benchmark: a smoke that the experiment
-# battery and substrate micro-benchmarks still run end to end.
+# battery, the catalog shared-vs-regeneration comparison and the
+# substrate micro-benchmarks still run end to end.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/experiments
+
+# Build every example program, then run the quickstart end to end.
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
 
 fig:
 	$(GO) run ./cmd/dsafig

@@ -338,8 +338,8 @@ func BenchmarkEngineOverhead(b *testing.B) {
 	jobs := make([]engine.Job, 64)
 	for i := range jobs {
 		jobs[i] = engine.Job{Key: fmt.Sprintf("j%d", i),
-			Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
-				return rng.Uint64(), nil
+			Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+				return env.RNG.Uint64(), nil
 			}}
 	}
 	eng := engine.New(engine.Options{Parallel: 8})

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dsafig [-parallel N] [-seed S] [experiment ...]
+//	dsafig [-parallel N] [-seed S] [-progress] [experiment ...]
 //
 // With no arguments every experiment runs in order. Experiment names:
 // fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8.
@@ -12,8 +12,10 @@
 // -parallel fans each experiment's cells across N engine workers
 // (0 = GOMAXPROCS); the tables are byte-identical at any parallelism.
 // -seed 0 (the default) reproduces the paper-exact tables; any other
-// value re-derives every workload so the same battery explores a
-// fresh, equally reproducible scenario.
+// value re-derives every workload (and its catalog keys) so the same
+// battery explores a fresh, equally reproducible scenario.
+// -progress streams per-sweep cell counts and an ETA to stderr while
+// the tables stream to stdout.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"dsa/internal/engine"
 	"dsa/internal/experiments"
 	"dsa/internal/metrics"
 )
@@ -53,14 +56,20 @@ func main() {
 	var (
 		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 0, "base seed (0 = paper-exact tables; nonzero re-derives every workload)")
+		progress = flag.Bool("progress", false, "report per-sweep progress (cells done/failed/total, ETA) on stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dsafig [-parallel N] [-seed S] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
+			"usage: dsafig [-parallel N] [-seed S] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	experiments.Configure(*parallel, *seed)
+	if *progress {
+		experiments.Observe(func(sweep string, p engine.Progress) {
+			fmt.Fprintf(os.Stderr, "dsafig: %s: %s\n", sweep, p)
+		})
+	}
 
 	names := flag.Args()
 	if len(names) == 0 {

@@ -41,6 +41,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		scale       = flag.Int("scale", 2, "capacity scale divisor (1 = historical sizes)")
 		parallel    = flag.Int("parallel", 0, "engine workers for -machine all (0 = GOMAXPROCS)")
+		progress    = flag.Bool("progress", false, "report sweep progress (cells done/failed/total, ETA) on stderr")
 		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
 	)
 	flag.Parse()
@@ -49,7 +50,7 @@ func main() {
 		if *traceFile != "" {
 			fail(fmt.Errorf("-trace cannot be combined with -machine all"))
 		}
-		if err := runAll(*parallel, strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
+		if err := runAll(*parallel, *progress, strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
 			fail(err)
 		}
 		return
@@ -72,14 +73,22 @@ func main() {
 
 // runAll sweeps every appendix machine over the same workload, one
 // engine job per machine, and prints the reports in appendix order as
-// each prefix of the sweep completes.
-func runAll(parallel int, kind string, refs, segs int, seed uint64, scale int) error {
+// each prefix of the sweep completes. With progress enabled, cell
+// completion counts and an ETA stream to stderr while reports stream
+// to stdout.
+func runAll(parallel int, progress bool, kind string, refs, segs int, seed uint64, scale int) error {
 	names := []string{"atlas", "m44", "b5000", "rice", "b8500", "multics", "m67"}
-	eng := engine.New(engine.Options{Parallel: parallel, Seed: seed})
+	opts := engine.Options{Parallel: parallel, Seed: seed}
+	if progress {
+		opts.OnProgress = func(p engine.Progress) {
+			fmt.Fprintf(os.Stderr, "dsasim: machine sweep: %s\n", p)
+		}
+	}
+	eng := engine.New(opts)
 	jobs := make([]engine.Job, len(names))
 	for i, name := range names {
 		name := name
-		jobs[i] = engine.Job{Key: "dsasim/" + name, Run: func(ctx context.Context, _ *sim.RNG) (interface{}, error) {
+		jobs[i] = engine.Job{Key: "dsasim/" + name, Run: func(ctx context.Context, _ engine.Env) (interface{}, error) {
 			m, err := buildMachine(name, scale)
 			if err != nil {
 				return nil, err

@@ -5,24 +5,37 @@
 //
 //	dsatrace gen  -kind workingset -extent 32768 -refs 20000 > t.trace
 //	dsatrace gen  -kind loop -pages 24 -passes 50 > loop.trace
+//	dsatrace batch -out traces -kinds workingset,random -variants 4 -parallel 4 -progress
 //	dsatrace stat < t.trace
 //	dsatrace advise -phase 2500 -span 2048 < t.trace > advised.trace
 //
 // Subcommands:
 //
 //	gen     generate a trace to stdout
+//	batch   materialize a whole set of traces to files, fanned across
+//	        the experiment engine (-parallel workers, -progress for
+//	        cells done/failed/total and ETA on stderr). Stochastic
+//	        kinds get one derived seed per variant via sim.SeedFor;
+//	        deterministic kinds (sequential, loop, matrix) are
+//	        materialized once in the shared workload catalog and
+//	        written once per variant.
 //	stat    summarize a trace from stdin
 //	advise  interleave accurate WillNeed/WontNeed advice
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"dsa/internal/engine"
 	"dsa/internal/sim"
 	"dsa/internal/trace"
 	"dsa/internal/workload"
+	"dsa/internal/workload/catalog"
 )
 
 func main() {
@@ -32,6 +45,8 @@ func main() {
 	switch os.Args[1] {
 	case "gen":
 		cmdGen(os.Args[2:])
+	case "batch":
+		cmdBatch(os.Args[2:])
 	case "stat":
 		cmdStat()
 	case "advise":
@@ -42,47 +57,187 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dsatrace gen|stat|advise [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dsatrace gen|batch|stat|advise [flags]")
 	os.Exit(2)
+}
+
+// genSpec carries the generation parameters shared by gen and batch.
+type genSpec struct {
+	extent uint64
+	refs   int
+	pages  int
+	psize  uint64
+	passes int
+	rows   int
+	cols   int
+	byCols bool
+}
+
+// stochastic reports whether a kind draws from the seed (so batch
+// variants differ) or is fully determined by its parameters (so the
+// shared catalog materializes it once for all variants).
+func stochastic(kind string) bool {
+	return kind == "workingset" || kind == "random"
+}
+
+// genTrace builds one trace of the given kind.
+func genTrace(kind string, seed uint64, g genSpec) (trace.Trace, error) {
+	switch kind {
+	case "workingset":
+		return workload.WorkingSet(sim.NewRNG(seed), workload.WorkloadWS(g.extent, g.refs))
+	case "sequential":
+		return workload.Sequential(g.extent, g.passes), nil
+	case "random":
+		return workload.UniformRandom(sim.NewRNG(seed), g.extent, g.refs), nil
+	case "loop":
+		return workload.Loop(g.pages, g.psize, g.passes), nil
+	case "matrix":
+		return workload.Matrix(g.rows, g.cols, g.byCols), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+// specFlags registers the generation-parameter flags shared by gen and
+// batch and returns the spec they fill.
+func specFlags(fs *flag.FlagSet) *genSpec {
+	g := &genSpec{}
+	fs.Uint64Var(&g.extent, "extent", 32768, "name-space extent in words")
+	fs.IntVar(&g.refs, "refs", 20000, "reference count")
+	fs.IntVar(&g.pages, "pages", 24, "loop pages")
+	fs.Uint64Var(&g.psize, "pagesize", 512, "loop page size")
+	fs.IntVar(&g.passes, "passes", 10, "loop/sequential passes")
+	fs.IntVar(&g.rows, "rows", 128, "matrix rows")
+	fs.IntVar(&g.cols, "cols", 128, "matrix cols")
+	fs.BoolVar(&g.byCols, "bycols", false, "matrix column-order traversal")
+	return g
 }
 
 func cmdGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	var (
-		kind   = fs.String("kind", "workingset", "workingset|sequential|random|loop|matrix")
-		extent = fs.Uint64("extent", 32768, "name-space extent in words")
-		refs   = fs.Int("refs", 20000, "reference count")
-		seed   = fs.Uint64("seed", 1, "random seed")
-		pages  = fs.Int("pages", 24, "loop pages")
-		psize  = fs.Uint64("pagesize", 512, "loop page size")
-		passes = fs.Int("passes", 10, "loop/sequential passes")
-		rows   = fs.Int("rows", 128, "matrix rows")
-		cols   = fs.Int("cols", 128, "matrix cols")
-		byCols = fs.Bool("bycols", false, "matrix column-order traversal")
-	)
+	kind := fs.String("kind", "workingset", "workingset|sequential|random|loop|matrix")
+	seed := fs.Uint64("seed", 1, "random seed")
+	g := specFlags(fs)
 	_ = fs.Parse(args)
 
-	var tr trace.Trace
-	var err error
-	switch *kind {
-	case "workingset":
-		tr, err = workload.WorkingSet(sim.NewRNG(*seed), workload.WorkloadWS(*extent, *refs))
-	case "sequential":
-		tr = workload.Sequential(*extent, *passes)
-	case "random":
-		tr = workload.UniformRandom(sim.NewRNG(*seed), *extent, *refs)
-	case "loop":
-		tr = workload.Loop(*pages, *psize, *passes)
-	case "matrix":
-		tr = workload.Matrix(*rows, *cols, *byCols)
-	default:
-		err = fmt.Errorf("unknown kind %q", *kind)
-	}
+	tr, err := genTrace(*kind, *seed, *g)
 	if err != nil {
 		fail(err)
 	}
 	if err := trace.Encode(os.Stdout, tr); err != nil {
 		fail(err)
+	}
+}
+
+// cmdBatch materializes kinds × variants traces to files through the
+// experiment engine: one job per output file, fanned across -parallel
+// workers, sharing one workload catalog so identical specs (all
+// variants of a deterministic kind) generate exactly once.
+func cmdBatch(args []string) {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	var (
+		out      = fs.String("out", "traces", "output directory (created if missing)")
+		kinds    = fs.String("kinds", "workingset,sequential,random,loop,matrix", "comma-separated trace kinds")
+		variants = fs.Int("variants", 1, "seed variants per kind")
+		seed     = fs.Uint64("seed", 1, "base seed; variant seeds derive via sim.SeedFor")
+		parallel = fs.Int("parallel", 0, "engine workers (0 = GOMAXPROCS)")
+		progress = fs.Bool("progress", false, "report batch progress (files done/failed/total, ETA) on stderr")
+	)
+	g := specFlags(fs)
+	_ = fs.Parse(args)
+
+	if *variants < 1 {
+		fail(fmt.Errorf("batch: -variants %d < 1", *variants))
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	type spec struct {
+		kind string
+		path string
+		key  string // catalog key: kind plus derived seed for stochastic kinds
+		seed uint64
+	}
+	var specs []spec
+	seen := make(map[string]bool)
+	for _, kind := range strings.Split(*kinds, ",") {
+		kind = strings.TrimSpace(kind)
+		if kind == "" || seen[kind] {
+			continue // a repeated kind would race two jobs onto one output file
+		}
+		seen[kind] = true
+		for v := 0; v < *variants; v++ {
+			sp := spec{kind: kind, path: filepath.Join(*out, fmt.Sprintf("%s-%d.trace", kind, v))}
+			if stochastic(kind) {
+				// Unique seed per variant: nothing to share, so the trace
+				// is generated directly (not pinned in the catalog).
+				sp.seed = sim.SeedFor(*seed, fmt.Sprintf("dsatrace/%s/variant=%d", kind, v))
+			} else {
+				// Parameter-determined: one catalog materialization serves
+				// every variant.
+				sp.key = kind
+			}
+			specs = append(specs, sp)
+		}
+	}
+
+	opts := engine.Options{Parallel: *parallel, Seed: *seed}
+	if *progress {
+		opts.OnProgress = func(p engine.Progress) {
+			fmt.Fprintf(os.Stderr, "dsatrace: batch: %s\n", p)
+		}
+	}
+	eng := engine.New(opts)
+	jobs := make([]engine.Job, len(specs))
+	for i, sp := range specs {
+		sp := sp
+		jobs[i] = engine.Job{Key: "batch/" + sp.path, Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+			var tr trace.Trace
+			var err error
+			if sp.key == "" {
+				tr, err = genTrace(sp.kind, sp.seed, *g)
+			} else {
+				tr, err = catalog.Get(env.Catalog, sp.key, func() (trace.Trace, error) {
+					return genTrace(sp.kind, sp.seed, *g)
+				})
+			}
+			if err != nil {
+				return nil, err
+			}
+			f, err := os.Create(sp.path)
+			if err != nil {
+				return nil, err
+			}
+			if err := trace.Encode(f, tr); err != nil {
+				f.Close()
+				os.Remove(sp.path) // never leave a truncated trace behind
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				os.Remove(sp.path)
+				return nil, err
+			}
+			return fmt.Sprintf("%s: %d events", sp.path, len(tr)), nil
+		}}
+	}
+	var firstErr error
+	wrote := 0
+	eng.Stream(context.Background(), jobs, func(r engine.Result) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "dsatrace: %s: FAILED: %v\n", r.Key, r.Err)
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			return
+		}
+		wrote++
+		fmt.Println(r.Value.(string))
+	})
+	st := eng.Catalog().Stats()
+	fmt.Printf("wrote %d of %d files (%d served from the shared catalog)\n",
+		wrote, len(specs), st.Hits)
+	if firstErr != nil {
+		fail(firstErr)
 	}
 }
 

@@ -14,10 +14,17 @@
 //     worker and recorded as a failed cell (Result.Panicked with a
 //     *PanicError) instead of sinking the whole sweep — the
 //     application-level fault-tolerance posture: contain, record,
-//     continue.
+//     continue. A poisoned workload-catalog entry surfaces the same
+//     way: every cell that asks for it fails, the sweep survives.
 //   - Ordered streaming aggregation. Stream delivers results to the
 //     caller in job-index order as soon as each prefix completes, so
 //     tables assemble incrementally yet identically to a serial run.
+//
+// Each sweep additionally carries a shared workload catalog
+// (internal/workload/catalog): jobs that declare the same workload key
+// share one immutable materialization instead of regenerating it per
+// cell, and OnProgress observers receive done/failed/total counts with
+// an ETA as cells complete.
 package engine
 
 import (
@@ -25,10 +32,25 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"dsa/internal/metrics"
 	"dsa/internal/sim"
+	"dsa/internal/workload/catalog"
 )
+
+// Env is the per-job environment the engine hands to Run: the cell's
+// private deterministic RNG plus the sweep-wide shared workload
+// catalog. Values obtained from the catalog are shared across cells and
+// must be treated as immutable (see the catalog package doc).
+type Env struct {
+	// RNG is the job's private deterministic stream, seeded from
+	// (base seed, job key) via sim.SeedFor.
+	RNG *sim.RNG
+	// Catalog is the sweep's shared workload catalog. Never nil for
+	// jobs run by an Engine.
+	Catalog *catalog.Catalog
+}
 
 // Job is one independent simulation cell. Key must be stable and
 // unique within a sweep: it names the cell in failure reports and
@@ -37,10 +59,10 @@ type Job struct {
 	// Key is the cell's stable identity (e.g. "t1/loop/frames=8").
 	Key string
 	// Run executes the cell. The context is the sweep's cancellation
-	// signal; rng is the cell's private deterministic stream. The
-	// returned value is opaque to the engine and handed to the
-	// aggregation stage.
-	Run func(ctx context.Context, rng *sim.RNG) (interface{}, error)
+	// signal; env carries the cell's private deterministic RNG and the
+	// sweep's shared workload catalog. The returned value is opaque to
+	// the engine and handed to the aggregation stage.
+	Run func(ctx context.Context, env Env) (interface{}, error)
 }
 
 // Result records the outcome of one job.
@@ -76,19 +98,61 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("engine: job %q panicked: %v", e.Key, e.Value)
 }
 
+// Progress is a snapshot of a sweep in flight, delivered to the
+// OnProgress observer after each cell completes.
+type Progress struct {
+	// Total is the number of cells in the sweep.
+	Total int
+	// Done is the number of cells that have completed (including
+	// failed and cancelled cells).
+	Done int
+	// Failed is the number of completed cells whose Result.Failed().
+	Failed int
+	// Elapsed is the wall-clock time since the sweep started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time by linear
+	// extrapolation from completed cells; zero once the sweep is done.
+	ETA time.Duration
+}
+
+// String renders the snapshot the way the -progress CLI flags print it.
+func (p Progress) String() string {
+	s := fmt.Sprintf("%d/%d cells", p.Done, p.Total)
+	if p.Failed > 0 {
+		s += fmt.Sprintf(", %d failed", p.Failed)
+	}
+	if p.Done < p.Total {
+		s += fmt.Sprintf(", eta %s", p.ETA.Round(time.Millisecond))
+	} else {
+		s += fmt.Sprintf(", done in %s", p.Elapsed.Round(time.Millisecond))
+	}
+	return s
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Parallel bounds the worker pool; <= 0 means GOMAXPROCS.
 	Parallel int
 	// Seed is the base seed mixed with each job key by sim.SeedFor.
 	Seed uint64
+	// Catalog is the sweep's shared workload catalog, handed to every
+	// job as Env.Catalog. Nil means New creates a fresh one; pass
+	// catalog.Disabled() to force per-cell regeneration (baselines).
+	Catalog *catalog.Catalog
+	// OnProgress, if non-nil, observes the sweep: it is called once
+	// after each cell completes, serialized (never concurrently), with
+	// a fresh Progress snapshot. It must not block for long — workers
+	// wait on it.
+	OnProgress func(Progress)
 }
 
 // Engine is a reusable worker-pool sweep runner. The zero value is not
 // usable; construct with New.
 type Engine struct {
-	parallel int
-	seed     uint64
+	parallel   int
+	seed       uint64
+	catalog    *catalog.Catalog
+	onProgress func(Progress)
 }
 
 // New builds an engine from options.
@@ -97,11 +161,18 @@ func New(o Options) *Engine {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{parallel: p, seed: o.Seed}
+	cat := o.Catalog
+	if cat == nil {
+		cat = catalog.New()
+	}
+	return &Engine{parallel: p, seed: o.Seed, catalog: cat, onProgress: o.OnProgress}
 }
 
 // Parallel reports the configured worker count.
 func (e *Engine) Parallel() int { return e.parallel }
+
+// Catalog returns the sweep's shared workload catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.catalog }
 
 // Run executes all jobs and returns their results indexed like jobs.
 // It always returns a full slice: failed cells carry their error in
@@ -153,6 +224,49 @@ func (e *Engine) sweep(ctx context.Context, jobs []Job, results []Result) {
 	e.sweepNotify(ctx, jobs, results, nil)
 }
 
+// progressTracker serializes per-sweep progress accounting and observer
+// calls across workers.
+type progressTracker struct {
+	mu     sync.Mutex
+	start  time.Time
+	total  int
+	done   int
+	failed int
+	fn     func(Progress)
+}
+
+// newProgressTracker returns nil when no observer is configured, so the
+// hot path stays a single nil check.
+func newProgressTracker(total int, fn func(Progress)) *progressTracker {
+	if fn == nil {
+		return nil
+	}
+	return &progressTracker{start: time.Now(), total: total, fn: fn}
+}
+
+// record accounts one completed cell and delivers a snapshot.
+func (p *progressTracker) record(failed bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if failed {
+		p.failed++
+	}
+	snap := Progress{
+		Total:   p.total,
+		Done:    p.done,
+		Failed:  p.failed,
+		Elapsed: time.Since(p.start),
+	}
+	if p.done > 0 && p.done < p.total {
+		snap.ETA = time.Duration(float64(snap.Elapsed) / float64(p.done) * float64(p.total-p.done))
+	}
+	p.fn(snap)
+}
+
 // sweepNotify fans jobs out across the pool, writing results[i] for
 // every job and (when done != nil) sending i after results[i] is
 // final.
@@ -164,6 +278,7 @@ func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, 
 	if workers < 1 {
 		return
 	}
+	prog := newProgressTracker(len(jobs), e.onProgress)
 	feed := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -172,6 +287,7 @@ func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, 
 			defer wg.Done()
 			for i := range feed {
 				results[i] = e.runOne(ctx, i, jobs[i])
+				prog.record(results[i].Failed())
 				if done != nil {
 					done <- i
 				}
@@ -186,6 +302,7 @@ func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, 
 			// drain nothing further.
 			for j := i; j < len(jobs); j++ {
 				results[j] = Result{Key: jobs[j].Key, Index: j, Err: ctx.Err()}
+				prog.record(true)
 				if done != nil {
 					done <- j
 				}
@@ -216,8 +333,8 @@ func (e *Engine) runOne(ctx context.Context, index int, job Job) (res Result) {
 			res.Panicked = true
 		}
 	}()
-	rng := sim.NewRNG(sim.SeedFor(e.seed, job.Key))
-	res.Value, res.Err = job.Run(ctx, rng)
+	env := Env{RNG: sim.NewRNG(sim.SeedFor(e.seed, job.Key)), Catalog: e.catalog}
+	res.Value, res.Err = job.Run(ctx, env)
 	return res
 }
 

@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"dsa/internal/metrics"
-	"dsa/internal/sim"
+	"dsa/internal/workload/catalog"
 )
 
 // sweepTable runs a fixed 24-cell sweep at the given parallelism and
@@ -23,13 +23,13 @@ func sweepTable(t *testing.T, parallel int, seed uint64) string {
 	jobs := make([]Job, 24)
 	for i := range jobs {
 		key := fmt.Sprintf("cell-%d", i)
-		jobs[i] = Job{Key: key, Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+		jobs[i] = Job{Key: key, Run: func(ctx context.Context, env Env) (interface{}, error) {
 			// Simulated work: a small deterministic random walk.
 			sum := uint64(0)
 			for j := 0; j < 1000; j++ {
-				sum += rng.Uint64() % 1000
+				sum += env.RNG.Uint64() % 1000
 			}
-			return RowBatch{{key, sum, rng.Intn(100)}}, nil
+			return RowBatch{{key, sum, env.RNG.Intn(100)}}, nil
 		}}
 	}
 	tb := &metrics.Table{Title: "sweep", Header: []string{"cell", "sum", "draw"}}
@@ -69,8 +69,8 @@ func TestSeedingIndependentOfOrder(t *testing.T) {
 		return 0
 	}
 	mk := func(key string) Job {
-		return Job{Key: key, Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
-			return rng.Uint64(), nil
+		return Job{Key: key, Run: func(ctx context.Context, env Env) (interface{}, error) {
+			return env.RNG.Uint64(), nil
 		}}
 	}
 	a := draw([]Job{mk("x"), mk("y"), mk("z")}, "y")
@@ -85,7 +85,7 @@ func TestPanicIsolation(t *testing.T) {
 	jobs := make([]Job, 9)
 	for i := range jobs {
 		i := i
-		jobs[i] = Job{Key: fmt.Sprintf("job-%d", i), Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+		jobs[i] = Job{Key: fmt.Sprintf("job-%d", i), Run: func(ctx context.Context, env Env) (interface{}, error) {
 			if i == 4 {
 				panic("poisoned cell")
 			}
@@ -132,14 +132,14 @@ func TestErrorAbortsTableAndCancelsRemainingCells(t *testing.T) {
 	var ranFirst atomic.Bool
 	var lateOutcome atomic.Value
 	jobs := []Job{
-		{Key: "ok", Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+		{Key: "ok", Run: func(ctx context.Context, env Env) (interface{}, error) {
 			ranFirst.Store(true)
 			return RowBatch{{"ok"}}, nil
 		}},
-		{Key: "bad", Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+		{Key: "bad", Run: func(ctx context.Context, env Env) (interface{}, error) {
 			return nil, errors.New("broken config")
 		}},
-		{Key: "late", Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+		{Key: "late", Run: func(ctx context.Context, env Env) (interface{}, error) {
 			// A fatal sibling error must cancel this cell: either it is
 			// never started, or its context dies promptly.
 			select {
@@ -175,7 +175,7 @@ func TestCancellation(t *testing.T) {
 	const n = 40
 	jobs := make([]Job, n)
 	for i := range jobs {
-		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, env Env) (interface{}, error) {
 			once.Do(func() { close(started) })
 			select {
 			case <-ctx.Done():
@@ -216,9 +216,9 @@ func TestStreamEmitsInJobOrder(t *testing.T) {
 	jobs := make([]Job, n)
 	for i := range jobs {
 		i := i
-		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
+		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, env Env) (interface{}, error) {
 			// Vary completion time so out-of-order finishes are likely.
-			time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+			time.Sleep(time.Duration(env.RNG.Intn(3)) * time.Millisecond)
 			return i, nil
 		}}
 	}
@@ -244,5 +244,158 @@ func TestZeroJobs(t *testing.T) {
 	tb := &metrics.Table{Header: []string{"x"}}
 	if _, err := eng.FillTable(context.Background(), tb, nil); err != nil {
 		t.Errorf("FillTable(nil) err = %v", err)
+	}
+}
+
+// TestSharedCatalogMaterializesOnce: every job of a sweep asking the
+// sweep catalog for the same key triggers exactly one generation, at
+// any parallelism.
+func TestSharedCatalogMaterializesOnce(t *testing.T) {
+	for _, parallel := range []int{1, 8} {
+		eng := New(Options{Parallel: parallel, Seed: 1})
+		var gens atomic.Int64
+		jobs := make([]Job, 16)
+		for i := range jobs {
+			jobs[i] = Job{Key: fmt.Sprintf("cell-%d", i), Run: func(ctx context.Context, env Env) (interface{}, error) {
+				tr, err := catalog.Get(env.Catalog, "shared-workload", func() ([]int, error) {
+					gens.Add(1)
+					return []int{1, 2, 3}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				return len(tr), nil
+			}}
+		}
+		results := eng.Run(context.Background(), jobs)
+		for _, r := range results {
+			if r.Failed() || r.Value.(int) != 3 {
+				t.Fatalf("parallel=%d: cell %s = %v, %v", parallel, r.Key, r.Value, r.Err)
+			}
+		}
+		if n := gens.Swap(0); n != 1 {
+			t.Errorf("parallel=%d: shared workload generated %d times, want 1", parallel, n)
+		}
+	}
+}
+
+// TestPoisonedCatalogEntrySurfacesAsFailedCells: a workload generator
+// that panics poisons its catalog entry; every cell that declared that
+// workload becomes a FAILED row, cells on other workloads succeed, and
+// the sweep completes rather than wedging.
+func TestPoisonedCatalogEntrySurfacesAsFailedCells(t *testing.T) {
+	eng := New(Options{Parallel: 4, Seed: 1})
+	const cells = 12
+	jobs := make([]Job, cells)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Key: fmt.Sprintf("cell-%d", i), Run: func(ctx context.Context, env Env) (interface{}, error) {
+			if i%2 == 0 {
+				// Even cells share a workload whose generator dies.
+				_, err := catalog.Get(env.Catalog, "poisoned-workload", func() (int, error) {
+					panic("generator exploded")
+				})
+				return nil, err
+			}
+			v, err := catalog.Get(env.Catalog, "healthy-workload", func() (int, error) {
+				return 7, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return RowBatch{{fmt.Sprintf("cell-%d", i), v}}, nil
+		}}
+	}
+	tb := &metrics.Table{Header: []string{"cell", "value"}}
+	results, err := eng.FillTable(context.Background(), tb, jobs)
+	if err != nil {
+		t.Fatalf("poisoned workload aborted the sweep: %v", err)
+	}
+	var failed, ok int
+	for i, r := range results {
+		if i%2 == 0 {
+			if !r.Panicked {
+				t.Errorf("cell %d on the poisoned workload did not fail", i)
+				continue
+			}
+			failed++
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Errorf("cell %d error %T, want *PanicError", i, r.Err)
+				continue
+			}
+			poison, isPoison := pe.Value.(*catalog.PoisonedError)
+			if !isPoison || poison.Key != "poisoned-workload" {
+				t.Errorf("cell %d panic value = %v, want PoisonedError for the workload", i, pe.Value)
+			}
+		} else {
+			if r.Failed() {
+				t.Errorf("cell %d on the healthy workload failed: %v", i, r.Err)
+				continue
+			}
+			ok++
+		}
+	}
+	if failed != cells/2 || ok != cells/2 {
+		t.Fatalf("failed=%d ok=%d, want %d each", failed, ok, cells/2)
+	}
+	if len(tb.Rows) != cells {
+		t.Fatalf("table rows = %d, want %d (healthy rows + FAILED markers)", len(tb.Rows), cells)
+	}
+	if !strings.Contains(tb.Rows[0][1], "FAILED") || !strings.Contains(tb.Rows[0][1], "poisoned") {
+		t.Errorf("marker row = %v", tb.Rows[0])
+	}
+	// The generation was attempted once; the poison was shared.
+	if st := eng.Catalog().Stats(); st.Poisoned != 1 || st.Generations != 2 {
+		t.Errorf("catalog stats = %+v, want 1 poisoned of 2 generations", st)
+	}
+}
+
+// TestProgressReporting: the observer sees monotone done counts ending
+// at total, with failures attributed.
+func TestProgressReporting(t *testing.T) {
+	eng := New(Options{Parallel: 4, OnProgress: nil})
+	_ = eng // the nil-observer path is exercised by every other test
+	var snaps []Progress
+	var mu sync.Mutex
+	eng = New(Options{Parallel: 4, OnProgress: func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		snaps = append(snaps, p)
+	}})
+	const n = 10
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, env Env) (interface{}, error) {
+			if i == 3 {
+				return nil, errors.New("broken cell")
+			}
+			return i, nil
+		}}
+	}
+	eng.Run(context.Background(), jobs)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) != n {
+		t.Fatalf("observer called %d times, want %d", len(snaps), n)
+	}
+	for i, p := range snaps {
+		if p.Total != n {
+			t.Errorf("snapshot %d: total = %d, want %d", i, p.Total, n)
+		}
+		if p.Done != i+1 {
+			t.Errorf("snapshot %d: done = %d, want %d (serialized, monotone)", i, p.Done, i+1)
+		}
+		if p.Done < p.Total && p.ETA < 0 {
+			t.Errorf("snapshot %d: negative ETA %v", i, p.ETA)
+		}
+	}
+	last := snaps[n-1]
+	if last.Done != n || last.Failed != 1 || last.ETA != 0 {
+		t.Errorf("final snapshot = %+v, want done=%d failed=1 eta=0", last, n)
+	}
+	if last.String() == "" {
+		t.Error("progress renders empty")
 	}
 }

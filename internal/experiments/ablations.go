@@ -11,6 +11,7 @@ import (
 	"dsa/internal/segment"
 	"dsa/internal/sim"
 	"dsa/internal/store"
+	"dsa/internal/trace"
 	"dsa/internal/workload"
 )
 
@@ -28,11 +29,14 @@ func A1ReserveFrames() (*metrics.Table, error) {
 		reserve := reserve
 		cells[i] = cell{
 			key: fmt.Sprintf("a1/reserve=%d", reserve),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
-				tr, err := workload.WorkingSet(sim.NewRNG(sc.seeded(11)), workload.WorkingSetConfig{
-					Extent: 48 * pageSize, SetWords: 10 * pageSize,
-					PhaseLen: 4000, Phases: 5, LocalityProb: 0.92, WriteProb: 0.6,
-				})
+			run: func(env engine.Env) (engine.RowBatch, error) {
+				tr, err := shared(env, sc, "a1/working-set", 11,
+					func(rng *sim.RNG) (trace.Trace, error) {
+						return workload.WorkingSet(rng, workload.WorkingSetConfig{
+							Extent: 48 * pageSize, SetWords: 10 * pageSize,
+							PhaseLen: 4000, Phases: 5, LocalityProb: 0.92, WriteProb: 0.6,
+						})
+					})
 				if err != nil {
 					return nil, err
 				}
@@ -81,11 +85,14 @@ func A2Coalescing() (*metrics.Table, error) {
 		mc := mc
 		cells[i] = cell{
 			key: "a2/" + mc.name,
-			run: func(*sim.RNG) (engine.RowBatch, error) {
-				reqs, err := workload.Requests(sim.NewRNG(sc.seeded(13)), workload.RequestConfig{
-					Dist: workload.SizesExponential, MinSize: 8, MaxSize: 2048,
-					MeanSize: 150, MeanLifetime: 40, Count: 12000,
-				})
+			run: func(env engine.Env) (engine.RowBatch, error) {
+				reqs, err := shared(env, sc, "a2/requests", 13,
+					func(rng *sim.RNG) ([]workload.Request, error) {
+						return workload.Requests(rng, workload.RequestConfig{
+							Dist: workload.SizesExponential, MinSize: 8, MaxSize: 2048,
+							MeanSize: 150, MeanLifetime: 40, Count: 12000,
+						})
+					})
 				if err != nil {
 					return nil, err
 				}
@@ -127,7 +134,7 @@ func A3Compaction() (*metrics.Table, error) {
 		compact := compact
 		cells[i] = cell{
 			key: fmt.Sprintf("a3/compact=%t", compact),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
+			run: func(engine.Env) (engine.RowBatch, error) {
 				clock := &sim.Clock{}
 				working := store.NewLevel(clock, "core", store.Core, 4096, 1, 0)
 				backing := store.NewLevel(clock, "drum", store.Drum, 1<<18, 600, 1)
@@ -201,12 +208,15 @@ func A4WaldUtilization() (*metrics.Table, error) {
 		frac := frac
 		cells[i] = cell{
 			key: fmt.Sprintf("a4/frac=1/%d", frac),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
+			run: func(env engine.Env) (engine.RowBatch, error) {
 				mean := heapWords / frac
-				reqs, err := workload.Requests(sim.NewRNG(sc.seeded(19)), workload.RequestConfig{
-					Dist: workload.SizesExponential, MinSize: 4, MaxSize: mean * 4,
-					MeanSize: mean, MeanLifetime: 50, Count: 10000,
-				})
+				reqs, err := shared(env, sc, fmt.Sprintf("a4/requests/frac=%d", frac), 19,
+					func(rng *sim.RNG) ([]workload.Request, error) {
+						return workload.Requests(rng, workload.RequestConfig{
+							Dist: workload.SizesExponential, MinSize: 4, MaxSize: mean * 4,
+							MeanSize: mean, MeanLifetime: 50, Count: 10000,
+						})
+					})
 				if err != nil {
 					return nil, err
 				}
@@ -280,7 +290,7 @@ func A5TLBFlush() (*metrics.Table, error) {
 		period := period
 		cells[i] = cell{
 			key: fmt.Sprintf("a5/period=%d", period),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
+			run: func(engine.Env) (engine.RowBatch, error) {
 				clock := &sim.Clock{}
 				m := mappingForFlush(clock, segs)
 				rng := sim.NewRNG(sc.seeded(21))
@@ -328,7 +338,7 @@ func A6SegmentedPaging() (*metrics.Table, error) {
 		tlb := tlb
 		cells[i] = cell{
 			key: fmt.Sprintf("a6/tlb=%d", tlb),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
+			run: func(engine.Env) (engine.RowBatch, error) {
 				clock := &sim.Clock{}
 				working := store.NewLevel(clock, "core", store.Core, 16*512, 1, 0)
 				backing := store.NewLevel(clock, "drum", store.Drum, 1<<20, 1000, 1)

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dsa/internal/engine"
+	"dsa/internal/sim"
+	"dsa/internal/workload/catalog"
+)
+
+// withCatalogSpy routes every sweep's catalog through fn for the
+// duration of the call to run.
+func withCatalogSpy(t *testing.T, fn func(sweep string, c *catalog.Catalog), run func()) {
+	t.Helper()
+	catalogHook = fn
+	defer func() { catalogHook = nil }()
+	run()
+}
+
+// TestSweepMaterializesEachWorkloadOnce is the tentpole claim on a real
+// sweep: T1 has 9 cells (3 traces × 3 frame counts) but the catalog
+// generates exactly 3 workloads — one per trace — at any parallelism,
+// with the other 6 requests served as hits.
+func TestSweepMaterializesEachWorkloadOnce(t *testing.T) {
+	for _, parallel := range []int{1, 8} {
+		var cat *catalog.Catalog
+		withCatalogSpy(t, func(sweep string, c *catalog.Catalog) {
+			if strings.HasPrefix(sweep, "T1") {
+				cat = c
+			}
+		}, func() {
+			Configure(parallel, 0)
+			defer Configure(0, 0)
+			if _, err := T1Replacement(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if cat == nil {
+			t.Fatal("T1 sweep catalog not observed")
+		}
+		st := cat.Stats()
+		if st.Generations != 3 {
+			t.Errorf("parallel=%d: generations = %d, want 3 (one per trace)", parallel, st.Generations)
+		}
+		if st.Hits != 6 {
+			t.Errorf("parallel=%d: hits = %d, want 6 (two reuses per trace)", parallel, st.Hits)
+		}
+		if st.Poisoned != 0 {
+			t.Errorf("parallel=%d: poisoned = %d, want 0", parallel, st.Poisoned)
+		}
+	}
+}
+
+// TestNonzeroSeedRederivesCatalogKeys: at seed 0 the catalog keys embed
+// the historical fixed workload seeds; a nonzero base seed must re-key
+// every workload through sim.SeedFor, so a fresh scenario can never
+// alias a stale materialization.
+func TestNonzeroSeedRederivesCatalogKeys(t *testing.T) {
+	keysAt := func(seed uint64) []string {
+		var cat *catalog.Catalog
+		withCatalogSpy(t, func(sweep string, c *catalog.Catalog) {
+			if strings.HasPrefix(sweep, "T1") {
+				cat = c
+			}
+		}, func() {
+			Configure(2, seed)
+			defer Configure(0, 0)
+			if _, err := T1Replacement(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if cat == nil {
+			t.Fatal("T1 sweep catalog not observed")
+		}
+		return cat.Keys()
+	}
+
+	base := keysAt(0)
+	// Seed 0: keys carry the historical fixed seeds verbatim.
+	wantBase := fmt.Sprintf("t1/page-string/working-set@%x", uint64(5))
+	if base[len(base)-1] != wantBase {
+		t.Errorf("seed-0 keys = %v, want last %q", base, wantBase)
+	}
+
+	alt := keysAt(99)
+	// Seed 99: every key re-derives through sim.SeedFor — exactly the
+	// derivation runConfig.seeded performs.
+	wantAlt := fmt.Sprintf("t1/page-string/working-set@%x", sim.SeedFor(99, "workload-seed:5"))
+	found := false
+	for _, k := range alt {
+		if k == wantAlt {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("seed-99 keys = %v, want %q derived via sim.SeedFor", alt, wantAlt)
+	}
+	for _, k := range alt {
+		for _, b := range base {
+			if k == b {
+				t.Errorf("seed-99 key %q aliases a seed-0 key", k)
+			}
+		}
+	}
+}
+
+// TestPoisonedWorkloadFailsOnlyItsCells: a workload generator that
+// panics turns exactly the cells that declared it into FAILED rows;
+// cells on other workloads keep their values and the sweep completes.
+// This is the experiments-level counterpart of the engine poisoning
+// test, run through runTable's real aggregation path.
+func TestPoisonedWorkloadFailsOnlyItsCells(t *testing.T) {
+	sc := snapshot()
+	var cells []cell
+	for _, wl := range []string{"healthy", "poisoned"} {
+		for i := 0; i < 3; i++ {
+			wl, i := wl, i
+			cells = append(cells, cell{
+				key: fmt.Sprintf("spike/%s/%d", wl, i),
+				run: func(env engine.Env) (engine.RowBatch, error) {
+					v, err := shared(env, sc, "spike/workload/"+wl, 1,
+						func(rng *sim.RNG) (int, error) {
+							if wl == "poisoned" {
+								panic("generator exploded")
+							}
+							return 7, nil
+						})
+					if err != nil {
+						return nil, err
+					}
+					return oneRow(wl, i, v), nil
+				},
+			})
+		}
+	}
+	tb, err := runTable(sc, "spike", []string{"workload", "cell", "value"}, cells)
+	if err != nil {
+		t.Fatalf("poisoned workload aborted the sweep: %v", err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 healthy + 3 FAILED)", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		if i < 3 {
+			if row[0] != "healthy" || row[2] != "7" {
+				t.Errorf("healthy row %d = %v", i, row)
+			}
+		} else {
+			if !strings.Contains(row[1], "FAILED") || !strings.Contains(row[1], "poisoned") {
+				t.Errorf("poisoned row %d = %v, want FAILED marker naming the workload", i, row)
+			}
+		}
+	}
+}

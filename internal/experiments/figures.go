@@ -3,8 +3,10 @@
 // Each experiment returns a metrics.Table; cmd/dsafig prints them and
 // bench_test.go wraps them as benchmarks. All experiments are
 // deterministic: their cells fan out across internal/engine's worker
-// pool (see Configure), and the aggregated tables are byte-identical
-// at any parallelism.
+// pool (see Configure), declare their workloads as keys in a sweep-
+// shared catalog (internal/workload/catalog) so each workload is
+// materialized exactly once per sweep, and the aggregated tables are
+// byte-identical at any parallelism.
 package experiments
 
 import (
@@ -18,8 +20,17 @@ import (
 	"dsa/internal/replace"
 	"dsa/internal/sim"
 	"dsa/internal/store"
+	"dsa/internal/trace"
 	"dsa/internal/workload"
 )
+
+// fig2Trace materializes the uniform-random trace both Figure 2 cells
+// replay.
+func fig2Trace(env engine.Env, sc runConfig, extent uint64, refs int) (trace.Trace, error) {
+	return shared(env, sc, "fig2/uniform-random", 21, func(rng *sim.RNG) (trace.Trace, error) {
+		return workload.UniformRandom(rng, extent, refs), nil
+	})
+}
 
 // Fig1ArtificialContiguity reproduces Figure 1: a set of separate
 // physical blocks, scattered in storage, made to correspond to a single
@@ -31,7 +42,7 @@ func Fig1ArtificialContiguity() (*metrics.Table, error) {
 	sc := snapshot()
 	single := cell{
 		key: "fig1/scatter",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
+		run: func(engine.Env) (engine.RowBatch, error) {
 			var clock sim.Clock
 			const pages, pageSize = 8, 256
 			pt := mapping.NewPageTable(&clock, pages, pageSize, 1)
@@ -92,15 +103,19 @@ func Fig1ArtificialContiguity() (*metrics.Table, error) {
 // of block addresses. The table compares addressing cost without any
 // mapping (relocation/limit pair) against the one-level mapped path,
 // quantifying the overhead the mapping device introduces. The two
-// schemes run as independent engine cells over the same trace.
+// schemes run as independent engine cells replaying the same cataloged
+// trace.
 func Fig2SimpleMapping() (*metrics.Table, error) {
 	sc := snapshot()
 	const extent = 64 * 256
 	const refs = 20000
 	unmapped := cell{
 		key: "fig2/relocation-limit",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
-			tr := workload.UniformRandom(sim.NewRNG(sc.seeded(21)), extent, refs)
+		run: func(env engine.Env) (engine.RowBatch, error) {
+			tr, err := fig2Trace(env, sc, extent, refs)
+			if err != nil {
+				return nil, err
+			}
 			// Unmapped: relocation/limit only — no per-reference table access.
 			var unmappedCost sim.Time
 			rl := addr.RelocationLimit{Base: 4096, Limit: extent}
@@ -116,8 +131,11 @@ func Fig2SimpleMapping() (*metrics.Table, error) {
 	}
 	mapped := cell{
 		key: "fig2/one-level-table",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
-			tr := workload.UniformRandom(sim.NewRNG(sc.seeded(21)), extent, refs)
+		run: func(env engine.Env) (engine.RowBatch, error) {
+			tr, err := fig2Trace(env, sc, extent, refs)
+			if err != nil {
+				return nil, err
+			}
 			// Mapped: one page-table access (one core cycle) per reference.
 			var clock sim.Clock
 			pt := mapping.NewPageTable(&clock, 64, 256, 1)
@@ -149,7 +167,8 @@ func Fig2SimpleMapping() (*metrics.Table, error) {
 // share of the space-time product balloons exactly as the figure's
 // shaded area does. A second sweep varies the allotment to show the
 // space-minimizing property of demand paging. Every (fetch time,
-// frames) point is an independent engine cell.
+// frames) point is an independent engine cell; all nine replay the one
+// cataloged working-set trace.
 func Fig3SpaceTime() (*metrics.Table, error) {
 	sc := snapshot()
 	const pageSize = 256
@@ -157,11 +176,14 @@ func Fig3SpaceTime() (*metrics.Table, error) {
 	point := func(access sim.Time, frames int) cell {
 		return cell{
 			key: fmt.Sprintf("fig3/access=%d/frames=%d", access, frames),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
-				tr, err := workload.WorkingSet(sim.NewRNG(sc.seeded(42)), workload.WorkingSetConfig{
-					Extent: virtPages * pageSize, SetWords: 6 * pageSize,
-					PhaseLen: 4000, Phases: 5, LocalityProb: 0.95, WriteProb: 0.2,
-				})
+			run: func(env engine.Env) (engine.RowBatch, error) {
+				tr, err := shared(env, sc, "fig3/working-set", 42,
+					func(rng *sim.RNG) (trace.Trace, error) {
+						return workload.WorkingSet(rng, workload.WorkingSetConfig{
+							Extent: virtPages * pageSize, SetWords: 6 * pageSize,
+							PhaseLen: 4000, Phases: 5, LocalityProb: 0.95, WriteProb: 0.2,
+						})
+					})
 				if err != nil {
 					return nil, err
 				}
@@ -199,6 +221,13 @@ func Fig3SpaceTime() (*metrics.Table, error) {
 		cells)
 }
 
+// fig4Ref is one reference of the Figure 4 trace: a segment plus an
+// offset within it.
+type fig4Ref struct {
+	seg addr.SegID
+	off addr.Name
+}
+
 // fig4Point is the intermediate one Fig4 cell measures; the rows are
 // assembled afterwards because every row is normalized by the no-TLB
 // baseline.
@@ -216,39 +245,37 @@ type fig4Point struct {
 // 44 words of the B8500 — demonstrating the paper's claim that without
 // such hardware "the cost in extra addressing time ... would often be
 // unacceptable". Each associative-memory size measures in its own
-// engine cell; the "vs no-TLB" column is normalized against the
-// zero-register cell in a serial aggregation pass.
+// engine cell over the one cataloged segmented trace; the "vs no-TLB"
+// column is normalized against the zero-register cell in a serial
+// aggregation pass.
 func Fig4TwoLevelMapping() (*metrics.Table, error) {
 	sc := snapshot()
 	const segs = 16
 	const segWords = 16 * 256
-	mkTrace := func() []struct {
-		seg addr.SegID
-		off addr.Name
-	} {
-		rng := sim.NewRNG(sc.seeded(77))
-		out := make([]struct {
-			seg addr.SegID
-			off addr.Name
-		}, 50000)
-		for i := range out {
-			if rng.Float64() < 0.85 {
-				out[i].seg = addr.SegID(rng.Intn(3))
-				out[i].off = addr.Name(rng.Intn(4 * 256))
-			} else {
-				out[i].seg = addr.SegID(rng.Intn(segs))
-				out[i].off = addr.Name(rng.Intn(segWords))
-			}
-		}
-		return out
-	}
 	tlbSizes := []int{0, 1, 2, 4, 8, 9, 16, 44}
 	cells := make([]valueCell[fig4Point], len(tlbSizes))
 	for i, tlbSize := range tlbSizes {
 		tlbSize := tlbSize
 		cells[i] = valueCell[fig4Point]{
 			key: fmt.Sprintf("fig4/tlb=%d", tlbSize),
-			run: func(*sim.RNG) (fig4Point, error) {
+			run: func(env engine.Env) (fig4Point, error) {
+				refs, err := shared(env, sc, "fig4/segmented-trace", 77,
+					func(rng *sim.RNG) ([]fig4Ref, error) {
+						out := make([]fig4Ref, 50000)
+						for i := range out {
+							if rng.Float64() < 0.85 {
+								out[i].seg = addr.SegID(rng.Intn(3))
+								out[i].off = addr.Name(rng.Intn(4 * 256))
+							} else {
+								out[i].seg = addr.SegID(rng.Intn(segs))
+								out[i].off = addr.Name(rng.Intn(segWords))
+							}
+						}
+						return out, nil
+					})
+				if err != nil {
+					return fig4Point{}, err
+				}
 				clock := &sim.Clock{}
 				m := mapping.NewTwoLevel(clock, segs, tlbSize, 1)
 				for s := addr.SegID(0); s < segs; s++ {
@@ -262,7 +289,6 @@ func Fig4TwoLevelMapping() (*metrics.Table, error) {
 						}
 					}
 				}
-				refs := mkTrace()
 				before := clock.Now()
 				for _, r := range refs {
 					if _, err := m.Translate(r.seg, r.off, false); err != nil {
@@ -284,7 +310,7 @@ func Fig4TwoLevelMapping() (*metrics.Table, error) {
 			},
 		}
 	}
-	points, err := runValues(sc, cells)
+	points, err := runValues(sc, "Figure 4 — two-level mapping", cells)
 	if err != nil {
 		return nil, err
 	}

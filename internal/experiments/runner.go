@@ -9,19 +9,23 @@ import (
 	"dsa/internal/engine"
 	"dsa/internal/metrics"
 	"dsa/internal/sim"
+	"dsa/internal/workload/catalog"
 )
 
 // runConfig is the sweep configuration every experiment snapshots on
-// entry: how many engine workers to fan cells across, and the base
-// seed that perturbs workload generation.
+// entry: how many engine workers to fan cells across, the base seed
+// that perturbs workload generation, and the optional progress
+// observer.
 type runConfig struct {
 	parallel int
 	seed     uint64
+	observe  func(sweep string, p engine.Progress)
 }
 
 var (
-	cfgMu sync.Mutex
-	cfg   runConfig
+	cfgMu    sync.Mutex
+	cfg      runConfig
+	observer func(sweep string, p engine.Progress)
 )
 
 // Configure sets the parallelism (<= 0 means GOMAXPROCS) and the base
@@ -37,13 +41,25 @@ func Configure(parallel int, seed uint64) {
 	cfg = runConfig{parallel: parallel, seed: seed}
 }
 
+// Observe installs a progress observer for subsequent experiment runs:
+// it receives a snapshot (cells done/failed/total, ETA) after every
+// cell of every sweep, tagged with the sweep's title. Pass nil to
+// remove the observer. cmd/dsafig wires its -progress flag here.
+func Observe(fn func(sweep string, p engine.Progress)) {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	observer = fn
+}
+
 // snapshot returns the configuration an experiment should close over
 // before building cells, so a concurrent Configure cannot tear a
 // running sweep.
 func snapshot() runConfig {
 	cfgMu.Lock()
 	defer cfgMu.Unlock()
-	return cfg
+	c := cfg
+	c.observe = observer
+	return c
 }
 
 // seeded maps an experiment's historical fixed seed through the
@@ -58,25 +74,73 @@ func (c runConfig) seeded(fixed uint64) uint64 {
 	return sim.SeedFor(c.seed, "workload-seed:"+strconv.FormatUint(fixed, 10))
 }
 
+// workloadKey names a shared workload in the sweep catalog: the
+// workload's stable name plus its derived seed in hex. Keying on the
+// derived seed means a nonzero base seed re-keys every workload through
+// sim.SeedFor, so a fresh scenario can never alias a stale
+// materialization.
+func (c runConfig) workloadKey(name string, fixed uint64) string {
+	return name + "@" + strconv.FormatUint(c.seeded(fixed), 16)
+}
+
+// newSweepCatalog builds the workload catalog each sweep shares.
+// Benchmarks swap in catalog.Disabled to measure the per-cell
+// regeneration baseline without touching any call site.
+var newSweepCatalog = catalog.New
+
+// catalogHook, when non-nil, observes each sweep's catalog as it is
+// created (test instrumentation).
+var catalogHook func(sweep string, c *catalog.Catalog)
+
+// newEngine builds the engine for one sweep: fresh shared catalog,
+// configured parallelism and seed, and the progress observer bound to
+// the sweep's title.
+func newEngine(c runConfig, sweep string) *engine.Engine {
+	opts := engine.Options{Parallel: c.parallel, Seed: c.seed, Catalog: newSweepCatalog()}
+	if obs := c.observe; obs != nil {
+		opts.OnProgress = func(p engine.Progress) { obs(sweep, p) }
+	}
+	eng := engine.New(opts)
+	if catalogHook != nil {
+		catalogHook(sweep, eng.Catalog())
+	}
+	return eng
+}
+
+// shared materializes a named workload in the sweep's catalog exactly
+// once — no matter how many cells declare it, at any parallelism — and
+// hands every cell the same immutable value. gen receives a fresh RNG
+// seeded exactly as the old per-cell generation was, so sharing changes
+// no byte of any table; it only deletes the duplicated generation work.
+// Callers must treat the returned value as read-only (see the catalog
+// package doc for the immutability contract).
+func shared[T any](env engine.Env, c runConfig, name string, fixed uint64, gen func(rng *sim.RNG) (T, error)) (T, error) {
+	return catalog.Get(env.Catalog, c.workloadKey(name, fixed), func() (T, error) {
+		return gen(sim.NewRNG(c.seeded(fixed)))
+	})
+}
+
 // cell is one experiment cell: a stable key plus a producer of the
-// rows that cell contributes to its table.
+// rows that cell contributes to its table. The env carries the cell's
+// deterministic RNG and the sweep's shared workload catalog.
 type cell struct {
 	key string
-	run func(rng *sim.RNG) (engine.RowBatch, error)
+	run func(env engine.Env) (engine.RowBatch, error)
 }
 
 // runTable fans cells out across the engine and streams their row
-// batches into a table in cell order. A panicked cell is recorded as
-// a FAILED row (the rest of the sweep survives); an ordinary error
-// aborts the table, matching the old serial contract.
+// batches into a table in cell order. A panicked cell — including one
+// that hit a poisoned catalog entry — is recorded as a FAILED row (the
+// rest of the sweep survives); an ordinary error aborts the table,
+// matching the old serial contract.
 func runTable(c runConfig, title string, header []string, cells []cell) (*metrics.Table, error) {
 	t := &metrics.Table{Title: title, Header: header}
-	eng := engine.New(engine.Options{Parallel: c.parallel, Seed: c.seed})
+	eng := newEngine(c, title)
 	jobs := make([]engine.Job, len(cells))
 	for i, cl := range cells {
 		cl := cl
-		jobs[i] = engine.Job{Key: cl.key, Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
-			return cl.run(rng)
+		jobs[i] = engine.Job{Key: cl.key, Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+			return cl.run(env)
 		}}
 	}
 	if _, err := eng.FillTable(context.Background(), t, jobs); err != nil {
@@ -90,20 +154,20 @@ func runTable(c runConfig, title string, header []string, cells []cell) (*metric
 // context (e.g. Figure 4 normalizes every row by the no-TLB baseline).
 type valueCell[T any] struct {
 	key string
-	run func(rng *sim.RNG) (T, error)
+	run func(env engine.Env) (T, error)
 }
 
 // runValues fans value cells out across the engine and returns their
 // results in cell order. Errors — including contained panics — abort
 // the sweep, since a missing intermediate leaves nothing to normalize
 // against; the first failure cancels cells not yet started.
-func runValues[T any](c runConfig, cells []valueCell[T]) ([]T, error) {
-	eng := engine.New(engine.Options{Parallel: c.parallel, Seed: c.seed})
+func runValues[T any](c runConfig, sweep string, cells []valueCell[T]) ([]T, error) {
+	eng := newEngine(c, sweep)
 	jobs := make([]engine.Job, len(cells))
 	for i, cl := range cells {
 		cl := cl
-		jobs[i] = engine.Job{Key: cl.key, Run: func(ctx context.Context, rng *sim.RNG) (interface{}, error) {
-			return cl.run(rng)
+		jobs[i] = engine.Job{Key: cl.key, Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+			return cl.run(env)
 		}}
 	}
 	ctx, cancel := context.WithCancel(context.Background())

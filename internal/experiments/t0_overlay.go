@@ -64,13 +64,17 @@ func overlayCallTrace(rng *sim.RNG, phases, callsPerPhase int) []string {
 // independent engine cells.
 func T0Overlay() (*metrics.Table, error) {
 	sc := snapshot()
-	mkCalls := func() []string {
-		return overlayCallTrace(sim.NewRNG(sc.seeded(41)), 12, 60)
+	// The phase-structured call trace both replaying regimes share, via
+	// the sweep catalog.
+	mkCalls := func(env engine.Env) ([]string, error) {
+		return shared(env, sc, "t0/call-trace", 41, func(rng *sim.RNG) ([]string, error) {
+			return overlayCallTrace(rng, 12, 60), nil
+		})
 	}
 
 	resident := cell{
 		key: "t0/all-resident",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
+		run: func(engine.Env) (engine.RowBatch, error) {
 			// (a) Everything resident: one load per segment, maximal storage.
 			tree, err := overlay.New(overlayTree())
 			if err != nil {
@@ -82,7 +86,7 @@ func T0Overlay() (*metrics.Table, error) {
 	}
 	static := cell{
 		key: "t0/static-overlays",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
+		run: func(env engine.Env) (engine.RowBatch, error) {
 			// (b) Static overlays under the worst-case plan.
 			tree, err := overlay.New(overlayTree())
 			if err != nil {
@@ -95,7 +99,11 @@ func T0Overlay() (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, sym := range mkCalls() {
+			calls, err := mkCalls(env)
+			if err != nil {
+				return nil, err
+			}
+			for _, sym := range calls {
 				if err := rt.Touch(sym); err != nil {
 					return nil, err
 				}
@@ -107,7 +115,7 @@ func T0Overlay() (*metrics.Table, error) {
 	}
 	dynamic := cell{
 		key: "t0/dynamic-allocation",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
+		run: func(env engine.Env) (engine.RowBatch, error) {
 			// (c) Dynamic allocation with the same storage as the static plan.
 			tree, err := overlay.New(overlayTree())
 			if err != nil {
@@ -140,7 +148,11 @@ func T0Overlay() (*metrics.Table, error) {
 			if err := declare(overlayTree()); err != nil {
 				return nil, err
 			}
-			for _, sym := range mkCalls() {
+			calls, err := mkCalls(env)
+			if err != nil {
+				return nil, err
+			}
+			for _, sym := range calls {
 				if err := mgr.Touch(sym, 0, false); err != nil {
 					return nil, err
 				}

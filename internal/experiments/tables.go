@@ -57,25 +57,28 @@ func toPageIDs(pages []uint64) []replace.PageID {
 // across memory sizes and reference regimes. Expected shape: MIN is a
 // lower bound everywhere; LRU ≈ Clock ≤ FIFO ≤ Random under locality;
 // the learning program wins on loops and loses on random traffic.
-// Each trace × frame-count pair is an independent engine cell.
+// Each trace × frame-count pair is an independent engine cell; the
+// three traces are materialized once each in the sweep catalog and
+// shared read-only across the frame-count cells.
 func T1Replacement() (*metrics.Table, error) {
 	sc := snapshot()
 	const pageSize = 256
 	traces := []struct {
-		name string
-		mk   func() (trace.Trace, error)
+		name  string
+		fixed uint64
+		gen   func(rng *sim.RNG) (trace.Trace, error)
 	}{
-		{"working-set", func() (trace.Trace, error) {
-			return workload.WorkingSet(sim.NewRNG(sc.seeded(5)), workload.WorkingSetConfig{
+		{"working-set", 5, func(rng *sim.RNG) (trace.Trace, error) {
+			return workload.WorkingSet(rng, workload.WorkingSetConfig{
 				Extent: 64 * pageSize, SetWords: 8 * pageSize,
 				PhaseLen: 5000, Phases: 6, LocalityProb: 0.9,
 			})
 		}},
-		{"loop(17 pages)", func() (trace.Trace, error) {
+		{"loop(17 pages)", 0, func(*sim.RNG) (trace.Trace, error) {
 			return workload.Loop(17, pageSize, 100), nil
 		}},
-		{"random", func() (trace.Trace, error) {
-			return workload.UniformRandom(sim.NewRNG(sc.seeded(6)), 64*pageSize, 20000), nil
+		{"random", 6, func(rng *sim.RNG) (trace.Trace, error) {
+			return workload.UniformRandom(rng, 64*pageSize, 20000), nil
 		}},
 	}
 	policyOrder := []string{"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"}
@@ -86,12 +89,23 @@ func T1Replacement() (*metrics.Table, error) {
 			tc, frames := tc, frames
 			cells = append(cells, cell{
 				key: fmt.Sprintf("t1/%s/frames=%d", tc.name, frames),
-				run: func(*sim.RNG) (engine.RowBatch, error) {
-					tr, err := tc.mk()
+				run: func(env engine.Env) (engine.RowBatch, error) {
+					// The cataloged view is the derived page string, not the
+					// raw trace: every frame-count cell replays the identical
+					// page-granular reference string, so the trace → page
+					// string reduction is materialized once along with the
+					// generation.
+					pageStr, err := shared(env, sc, "t1/page-string/"+tc.name, tc.fixed,
+						func(rng *sim.RNG) ([]replace.PageID, error) {
+							tr, err := tc.gen(rng)
+							if err != nil {
+								return nil, err
+							}
+							return toPageIDs(tr.PageString(pageSize)), nil
+						})
 					if err != nil {
 						return nil, err
 					}
-					pageStr := toPageIDs(tr.PageString(pageSize))
 					mk := map[string]func() replace.Policy{
 						"belady-min":     func() replace.Policy { return replace.NewMIN(pageStr) },
 						"lru":            func() replace.Policy { return replace.NewLRU() },
@@ -123,8 +137,9 @@ func T1Replacement() (*metrics.Table, error) {
 // fragmentation failure occurs, external fragmentation at steady state,
 // and search effort (probes per allocation, the bookkeeping cost the
 // two-ended strategy was designed to cut). Each distribution × policy
-// pair is an independent engine cell replaying the same request
-// stream.
+// pair is an independent engine cell; each distribution's request
+// stream is materialized once in the sweep catalog and replayed by all
+// six policy cells.
 func T2Placement() (*metrics.Table, error) {
 	sc := snapshot()
 	const heapWords = 65536
@@ -150,8 +165,11 @@ func T2Placement() (*metrics.Table, error) {
 			dc, pc := dc, pc
 			cells = append(cells, cell{
 				key: fmt.Sprintf("t2/%s/%s", dc.Dist, pc.name),
-				run: func(*sim.RNG) (engine.RowBatch, error) {
-					reqs, err := workload.Requests(sim.NewRNG(sc.seeded(31)), dc)
+				run: func(env engine.Env) (engine.RowBatch, error) {
+					reqs, err := shared(env, sc, "t2/requests/"+dc.Dist.String(), 31,
+						func(rng *sim.RNG) ([]workload.Request, error) {
+							return workload.Requests(rng, dc)
+						})
 					if err != nil {
 						return nil, err
 					}
@@ -199,14 +217,20 @@ func T2Placement() (*metrics.Table, error) {
 		cells)
 }
 
-// t3Sizes regenerates the segment population every T3 cell shares.
-func t3Sizes(sc runConfig) ([]int, int) {
-	sizes := workload.SegmentSizes(sim.NewRNG(sc.seeded(17)), 3000, 8192)
+// t3Sizes materializes the segment population every T3 cell shares and
+// returns it with its total word count.
+func t3Sizes(env engine.Env, sc runConfig) ([]int, int, error) {
+	sizes, err := shared(env, sc, "t3/segment-sizes", 17, func(rng *sim.RNG) ([]int, error) {
+		return workload.SegmentSizes(rng, 3000, 8192), nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
 	total := 0
 	for _, s := range sizes {
 		total += s
 	}
-	return sizes, total
+	return sizes, total, nil
 }
 
 // T3UnitSize reproduces the unit-of-allocation discussion: "If it is
@@ -216,7 +240,8 @@ func t3Sizes(sc runConfig) ([]int, int) {
 // with page size while table overhead (one word per page table entry)
 // falls. The final row gives the variable-unit alternative, which
 // trades the internal waste for external fragmentation. One engine
-// cell per page size plus one for the variable-unit heap.
+// cell per page size plus one for the variable-unit heap, all sharing
+// one cataloged segment population.
 func T3UnitSize() (*metrics.Table, error) {
 	sc := snapshot()
 	var cells []cell
@@ -224,8 +249,11 @@ func T3UnitSize() (*metrics.Table, error) {
 		pageSize := pageSize
 		cells = append(cells, cell{
 			key: fmt.Sprintf("t3/pages=%d", pageSize),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
-				sizes, total := t3Sizes(sc)
+			run: func(env engine.Env) (engine.RowBatch, error) {
+				sizes, total, err := t3Sizes(env, sc)
+				if err != nil {
+					return nil, err
+				}
 				pages, waste := 0, 0
 				for _, s := range sizes {
 					pages += machine.PageCount(s, pageSize)
@@ -238,10 +266,13 @@ func T3UnitSize() (*metrics.Table, error) {
 	}
 	cells = append(cells, cell{
 		key: "t3/variable",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
+		run: func(env engine.Env) (engine.RowBatch, error) {
 			// Variable units: allocate the same population (with churn)
 			// from a heap and report the external fragmentation instead.
-			sizes, total := t3Sizes(sc)
+			sizes, total, err := t3Sizes(env, sc)
+			if err != nil {
+				return nil, err
+			}
 			h := alloc.New(total/2, alloc.BestFit{}, alloc.CoalesceImmediate)
 			live := make([]int, 0)
 			rng2 := sim.NewRNG(sc.seeded(18))
@@ -271,8 +302,9 @@ func T3UnitSize() (*metrics.Table, error) {
 
 // T4Machines runs the common segmented workload on all seven appendix
 // machines and reports their behaviour side by side — one engine cell
-// per machine, each cell building its own machine and workload so the
-// seven historical simulations proceed concurrently.
+// per machine. The workload is materialized once in the sweep catalog;
+// every machine replays the same immutable declaration/reference
+// stream while the seven historical simulations proceed concurrently.
 func T4Machines() (*metrics.Table, error) {
 	sc := snapshot()
 	// Same order as machine.All.
@@ -289,8 +321,18 @@ func T4Machines() (*metrics.Table, error) {
 		ct := ct
 		cells[i] = cell{
 			key: "t4/" + ct.name,
-			run: func(*sim.RNG) (engine.RowBatch, error) {
-				w := machine.CommonWorkload(sc.seeded(3), 32, 20000)
+			run: func(env engine.Env) (engine.RowBatch, error) {
+				// CommonWorkload seeds its own RNG, so the generator ignores
+				// the one shared() hands it; the single t4WorkloadSeed
+				// constant keeps the catalog key and the generation in step.
+				const t4WorkloadSeed = 3
+				w, err := shared(env, sc, "t4/common-workload", t4WorkloadSeed,
+					func(*sim.RNG) (machine.SegWorkload, error) {
+						return machine.CommonWorkload(sc.seeded(t4WorkloadSeed), 32, 20000), nil
+					})
+				if err != nil {
+					return nil, err
+				}
 				m, err := ct.mk(2)
 				if err != nil {
 					return nil, err
@@ -328,17 +370,12 @@ func T4Machines() (*metrics.Table, error) {
 // cuts waiting (pages arrive overlapped, dead pages leave early); wrong
 // advice must not break anything but costs performance — the paper's
 // argument for treating directives as advisory tuning. One engine cell
-// per advice variant, all replaying the same base program.
+// per advice variant, all replaying the same cataloged base program
+// (the advice wrappers copy; the base is never mutated).
 func T5Predictive() (*metrics.Table, error) {
 	sc := snapshot()
 	const pageSize = 512
 	const phaseWords = 4 * pageSize
-	mkBase := func() (trace.Trace, error) {
-		return workload.WorkingSet(sim.NewRNG(sc.seeded(42)), workload.WorkingSetConfig{
-			Extent: 64 * pageSize, SetWords: phaseWords,
-			PhaseLen: 3000, Phases: 8, LocalityProb: 0.97, WriteProb: 0.2,
-		})
-	}
 	variants := []struct {
 		name string
 		mk   func(base trace.Trace) trace.Trace
@@ -356,8 +393,14 @@ func T5Predictive() (*metrics.Table, error) {
 		v := v
 		cells[i] = cell{
 			key: "t5/" + v.name,
-			run: func(*sim.RNG) (engine.RowBatch, error) {
-				base, err := mkBase()
+			run: func(env engine.Env) (engine.RowBatch, error) {
+				base, err := shared(env, sc, "t5/base-trace", 42,
+					func(rng *sim.RNG) (trace.Trace, error) {
+						return workload.WorkingSet(rng, workload.WorkingSetConfig{
+							Extent: 64 * pageSize, SetWords: phaseWords,
+							PhaseLen: 3000, Phases: 8, LocalityProb: 0.97, WriteProb: 0.2,
+						})
+					})
 				if err != nil {
 					return nil, err
 				}
@@ -386,22 +429,30 @@ func T5Predictive() (*metrics.Table, error) {
 // caused by fragmentation occurring within pages can be reduced", at
 // the cost of added placement/replacement complexity (more table
 // entries to manage). One engine cell per paging scheme over the same
-// segment population.
+// cataloged segment population.
 func T6DualPageSize() (*metrics.Table, error) {
 	sc := snapshot()
-	mkSizes := func() ([]int, int) {
-		sizes := workload.SegmentSizes(sim.NewRNG(sc.seeded(23)), 3000, 262144/16) // cap at scaled max segment
+	mkSizes := func(env engine.Env) ([]int, int, error) {
+		sizes, err := shared(env, sc, "t6/segment-sizes", 23, func(rng *sim.RNG) ([]int, error) {
+			return workload.SegmentSizes(rng, 3000, 262144/16), nil // cap at scaled max segment
+		})
+		if err != nil {
+			return nil, 0, err
+		}
 		total := 0
 		for _, s := range sizes {
 			total += s
 		}
-		return sizes, total
+		return sizes, total, nil
 	}
 	single := func(label string, pageSize int) cell {
 		return cell{
 			key: "t6/" + label,
-			run: func(*sim.RNG) (engine.RowBatch, error) {
-				sizes, total := mkSizes()
+			run: func(env engine.Env) (engine.RowBatch, error) {
+				sizes, total, err := mkSizes(env)
+				if err != nil {
+					return nil, err
+				}
 				pages, waste := 0, 0
 				for _, s := range sizes {
 					pages += machine.PageCount(s, pageSize)
@@ -414,8 +465,11 @@ func T6DualPageSize() (*metrics.Table, error) {
 	}
 	dual := cell{
 		key: "t6/dual",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
-			sizes, total := mkSizes()
+		run: func(env engine.Env) (engine.RowBatch, error) {
+			sizes, total, err := mkSizes(env)
+			if err != nil {
+				return nil, err
+			}
 			var dualPages, dualWaste int
 			for _, s := range sizes {
 				lg, sm, w := machine.DualPageSplit(s, 64, 1024)
@@ -438,7 +492,10 @@ func T6DualPageSize() (*metrics.Table, error) {
 // search a dictionary for a group of available contiguous segment
 // names" with symbols), while the symbolic dictionary does constant
 // bookkeeping and never fragments. The two dictionaries run as
-// independent engine cells over the same churn sequence.
+// independent engine cells over the same churn sequence. The churn is
+// generated inline (not cataloged): each step's RNG draws depend on the
+// dictionary's own success or failure, so the sequence is simulation
+// state, not a pure workload.
 func T7NameSpace() (*metrics.Table, error) {
 	sc := snapshot()
 	const slots = 256
@@ -446,7 +503,7 @@ func T7NameSpace() (*metrics.Table, error) {
 
 	linear := cell{
 		key: "t7/linear",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
+		run: func(engine.Env) (engine.RowBatch, error) {
 			rng := sim.NewRNG(sc.seeded(29))
 			lin := addr.NewLinearDictionary(slots)
 			type held struct {
@@ -477,7 +534,7 @@ func T7NameSpace() (*metrics.Table, error) {
 	}
 	symbolic := cell{
 		key: "t7/symbolic",
-		run: func(*sim.RNG) (engine.RowBatch, error) {
+		run: func(engine.Env) (engine.RowBatch, error) {
 			rng2 := sim.NewRNG(sc.seeded(29))
 			sym := addr.NewSymbolicDictionary()
 			var symLive []string
@@ -516,7 +573,8 @@ func T7NameSpace() (*metrics.Table, error) {
 // time spent on fetching pages can normally be overlapped with the
 // execution of other programs" — until per-program core becomes so
 // small that fault rates explode (thrashing). One engine cell per
-// multiprogramming degree.
+// multiprogramming degree; the sweep is analytic (no generated
+// workload to catalog).
 func T8Overlap() (*metrics.Table, error) {
 	sc := snapshot()
 	base := core.MultiprogramConfig{
@@ -532,7 +590,7 @@ func T8Overlap() (*metrics.Table, error) {
 		n := n
 		cells[i] = cell{
 			key: fmt.Sprintf("t8/programs=%d", n),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
+			run: func(engine.Env) (engine.RowBatch, error) {
 				results, err := core.OverlapSweep(base, []int{n})
 				if err != nil {
 					return nil, err
@@ -553,34 +611,32 @@ func T8Overlap() (*metrics.Table, error) {
 // analytic lifetime curve, N real working-set programs run on real
 // pagers sharing one core, the processor switching on every fault.
 // Each multiprogramming degree is an engine cell running its own
-// shared-core simulation.
+// shared-core simulation; program i's trace is materialized once in
+// the sweep catalog, so degree 8 reuses the traces degrees 1–4
+// already forced.
 func T8OverlapTraced() (*metrics.Table, error) {
 	sc := snapshot()
 	const refs = 4000
-	mk := func(n int) ([]trace.Trace, error) {
-		out := make([]trace.Trace, n)
-		for i := range out {
-			tr, err := workload.WorkingSet(sim.NewRNG(sc.seeded(uint64(200+i))), workload.WorkingSetConfig{
-				Extent: 32 * 256, SetWords: 4 * 256, PhaseLen: refs / 4,
-				Phases: 4, LocalityProb: 0.95, WriteProb: 0.1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			out[i] = tr
-		}
-		return out, nil
-	}
 	degrees := []int{1, 2, 4, 8}
 	cells := make([]cell, len(degrees))
 	for i, n := range degrees {
 		n := n
 		cells[i] = cell{
 			key: fmt.Sprintf("t8b/programs=%d", n),
-			run: func(*sim.RNG) (engine.RowBatch, error) {
-				traces, err := mk(n)
-				if err != nil {
-					return nil, err
+			run: func(env engine.Env) (engine.RowBatch, error) {
+				traces := make([]trace.Trace, n)
+				for i := range traces {
+					tr, err := shared(env, sc, fmt.Sprintf("t8b/trace/%d", i), uint64(200+i),
+						func(rng *sim.RNG) (trace.Trace, error) {
+							return workload.WorkingSet(rng, workload.WorkingSetConfig{
+								Extent: 32 * 256, SetWords: 4 * 256, PhaseLen: refs / 4,
+								Phases: 4, LocalityProb: 0.95, WriteProb: 0.1,
+							})
+						})
+					if err != nil {
+						return nil, err
+					}
+					traces[i] = tr
 				}
 				res, err := core.RunMultiprogrammed(core.MPConfig{
 					Traces: traces, PageSize: 256, FramesPerProgram: 6,
@@ -604,9 +660,9 @@ func T8OverlapTraced() (*metrics.Table, error) {
 }
 
 // All runs every experiment in order. Within each experiment the cells
-// fan out across the engine (Configure sets the parallelism); the
-// experiments themselves run in sequence so their tables stream out in
-// the paper's order.
+// fan out across the engine (Configure sets the parallelism) and share
+// one workload catalog; the experiments themselves run in sequence so
+// their tables stream out in the paper's order.
 func All() ([]*metrics.Table, error) {
 	fns := []func() (*metrics.Table, error){
 		T0Overlay,

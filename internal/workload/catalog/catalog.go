@@ -1,0 +1,199 @@
+// Package catalog is the sweep-wide workload store: a concurrency-safe,
+// seed-keyed cache that materializes each named workload exactly once
+// and hands every engine cell an immutable shared view of the result.
+//
+// Before the catalog, every cell of a machine × workload × policy sweep
+// regenerated its reference string or request stream from scratch, so a
+// sweep paid the (pure, deterministic) generation cost multiplied by the
+// policy count. With the catalog, cells that declare the same key block
+// on a single generation — singleflight semantics — and then share one
+// materialized value.
+//
+// # Keys
+//
+// A key names a workload *and* its derived seed (the experiments layer
+// builds keys as "<name>@<seed>", with the seed re-derived through
+// sim.SeedFor when a nonzero base seed is configured). Two requests with
+// the same key MUST describe byte-identical generation; the catalog
+// trusts the key and never compares generator functions.
+//
+// # Immutability contract
+//
+// The catalog hands out the same underlying value (typically a
+// trace.Trace or request slice) to every caller. Callers MUST treat it
+// as immutable: never append to it, never write through it, never hand
+// it to an API that mutates its argument. Derive per-cell state (page
+// strings, policy structures) into fresh storage instead. This is what
+// keeps independent cells independent — the fault-containment posture
+// of the engine extends to the catalog because shared values are only
+// ever read.
+//
+// # Fault containment
+//
+// A generator that panics poisons only its own entry: the panic value is
+// recorded and re-raised in every caller of that key (as a
+// *PoisonedError), where the engine's per-job recovery turns it into a
+// FAILED cell. The sweep never wedges: waiters are always released, and
+// unrelated keys are unaffected.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Catalog is a concurrency-safe, materialize-once workload store. The
+// zero value is not usable; construct with New (or Disabled, which
+// turns every Get into a plain regeneration for baseline comparisons).
+type Catalog struct {
+	disabled bool
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   Stats
+}
+
+// entry is one materialized (or in-flight, or poisoned) workload.
+type entry struct {
+	done chan struct{} // closed when materialization finishes
+
+	// Written before done is closed, read only after.
+	val    interface{}
+	err    error
+	poison *PoisonedError
+}
+
+// Stats counts catalog traffic, for tests and progress reporting.
+type Stats struct {
+	// Generations is the number of generator invocations — the work
+	// actually done.
+	Generations int
+	// Hits is the number of Get calls served from an existing entry
+	// (including calls that blocked on an in-flight generation).
+	Hits int
+	// Poisoned is the number of entries whose generator panicked.
+	Poisoned int
+}
+
+// PoisonedError is raised (as a panic value) by every Get of a key
+// whose generator panicked. The engine's per-job recovery contains it
+// as a FAILED cell.
+type PoisonedError struct {
+	// Key is the poisoned workload's key.
+	Key string
+	// Cause is the recovered panic value of the original generation.
+	Cause interface{}
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("catalog: workload %q poisoned: %v", e.Key, e.Cause)
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{entries: make(map[string]*entry)}
+}
+
+// Disabled returns a catalog that never shares: every Get invokes its
+// generator directly. It exists so benchmarks and ablations can compare
+// per-cell regeneration against the shared catalog without changing the
+// call sites.
+func Disabled() *Catalog {
+	return &Catalog{disabled: true}
+}
+
+// Get returns the value materialized under key, generating it with gen
+// exactly once no matter how many goroutines ask concurrently. If an
+// earlier (or concurrent) generation panicked, Get panics with the
+// recorded *PoisonedError. A nil or Disabled catalog degrades to calling
+// gen directly. A key reused at a different type yields an error rather
+// than a corrupt value.
+func Get[T any](c *Catalog, key string, gen func() (T, error)) (T, error) {
+	var zero T
+	if c == nil || c.disabled {
+		return gen()
+	}
+	v, err := c.get(key, func() (interface{}, error) { return gen() })
+	if err != nil {
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("catalog: key %q holds %T, requested %T", key, v, zero)
+	}
+	return t, nil
+}
+
+// get is the untyped singleflight core.
+func (c *Catalog) get(key string, gen func() (interface{}, error)) (interface{}, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-e.done
+	} else {
+		e = &entry{done: make(chan struct{})}
+		c.entries[key] = e
+		c.stats.Generations++
+		c.mu.Unlock()
+		c.materialize(key, e, gen)
+	}
+	if e.poison != nil {
+		panic(e.poison)
+	}
+	return e.val, e.err
+}
+
+// materialize runs the generator with panic capture, then releases all
+// waiters. The done channel is closed on every path, so a panicking
+// generator can never wedge the sweep.
+func (c *Catalog) materialize(key string, e *entry, gen func() (interface{}, error)) {
+	defer close(e.done)
+	defer func() {
+		if p := recover(); p != nil {
+			e.poison = &PoisonedError{Key: key, Cause: p}
+			c.mu.Lock()
+			c.stats.Poisoned++
+			c.mu.Unlock()
+		}
+	}()
+	e.val, e.err = gen()
+}
+
+// Stats returns a snapshot of the catalog's traffic counters.
+func (c *Catalog) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Keys returns the sorted keys materialized (or in flight, or poisoned)
+// so far.
+func (c *Catalog) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len reports the number of distinct keys requested so far.
+func (c *Catalog) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
