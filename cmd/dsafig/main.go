@@ -4,18 +4,28 @@
 //
 // Usage:
 //
-//	dsafig [-parallel N] [-seed S] [-progress] [experiment ...]
+//	dsafig [-parallel N] [-workers N] [-seed S] [-progress] [experiment ...]
 //
 // With no arguments every experiment runs in order. Experiment names:
 // fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8.
 //
 // -parallel fans each experiment's cells across N engine workers
 // (0 = GOMAXPROCS); the tables are byte-identical at any parallelism.
+// -workers distributes each experiment's cells across N `dsafig
+// worker` child processes instead: every cell crosses the wire as
+// {sweep id, cell key, base seed}, is rebuilt from the worker's
+// compiled-in sweep registry, and re-materializes its workloads from
+// their catalog keys — so the tables are byte-identical to any
+// in-process run, and a crashed worker costs FAILED cells, never the
+// battery.
 // -seed 0 (the default) reproduces the paper-exact tables; any other
 // value re-derives every workload (and its catalog keys) so the same
 // battery explores a fresh, equally reproducible scenario.
 // -progress streams per-sweep cell counts and an ETA to stderr while
 // the tables stream to stdout.
+//
+// The hidden `dsafig worker` subcommand is the child side of -workers,
+// started only by a dispatching dsafig.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"strings"
 
 	"dsa/internal/engine"
+	"dsa/internal/engine/dist"
 	"dsa/internal/experiments"
 	"dsa/internal/metrics"
 )
@@ -53,18 +64,42 @@ var byName = map[string]func() (*metrics.Table, error){
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		// The experiments package registered its cell handler at init;
+		// serve cells until the dispatcher closes stdin.
+		if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
 	var (
 		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
 		seed     = flag.Uint64("seed", 0, "base seed (0 = paper-exact tables; nonzero re-derives every workload)")
 		progress = flag.Bool("progress", false, "report per-sweep progress (cells done/failed/total, ETA) on stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dsafig [-parallel N] [-seed S] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
+			"usage: dsafig [-parallel N] [-workers N] [-seed S] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	experiments.Configure(*parallel, *seed)
+	if *workers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fail(err)
+		}
+		pool, err := dist.NewPool(dist.Options{Workers: *workers, Command: exe, Args: []string{"worker"}})
+		if err != nil {
+			fail(err)
+		}
+		defer pool.Close()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "dsafig: dist: %s\n", pool.Stats().Summary(*workers))
+		}()
+		experiments.UseExecutor(pool)
+	}
 	if *progress {
 		experiments.Observe(func(sweep string, p engine.Progress) {
 			fmt.Fprintf(os.Stderr, "dsafig: %s: %s\n", sweep, p)

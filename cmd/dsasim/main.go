@@ -8,12 +8,21 @@
 //	dsasim -machine b5000 -workload segments -refs 50000 -segs 64
 //	dsasim -machine recommended -workload segments
 //	dsasim -machine all -parallel 8 -workload segments
+//	dsasim -machine all -workers 2 -workload segments
 //
 // Machines: atlas m44 b5000 rice b8500 multics m67 recommended, or
 // "all" to sweep every appendix machine concurrently through the
 // experiment engine (-parallel bounds the worker pool; reports print
-// in appendix order regardless of scheduling).
+// in appendix order regardless of scheduling). -workers N distributes
+// the sweep's cells across N `dsasim worker` child processes instead
+// of goroutines (0 = in-process); output is byte-identical either
+// way, and a worker crash surfaces as a FAILED cell while the sweep
+// completes.
 // Workloads: workingset sequential random loop matrix segments.
+//
+// The hidden `dsasim worker` subcommand is the child side of -workers:
+// it serves cells over the stdio protocol of internal/engine/dist and
+// is started only by a dispatching dsasim.
 package main
 
 import (
@@ -21,10 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"dsa/internal/core"
 	"dsa/internal/engine"
+	"dsa/internal/engine/dist"
 	"dsa/internal/machine"
 	"dsa/internal/metrics"
 	"dsa/internal/sim"
@@ -32,7 +43,40 @@ import (
 	"dsa/internal/workload"
 )
 
+// reportTask is the dist handler that runs one machine × workload cell
+// in a worker process and returns the rendered report.
+const reportTask = "dsasim/report"
+
+// registerWorkerTasks installs the handlers a `dsasim worker` process
+// serves. The handler and the in-process job closure both call
+// machineReport, so a distributed sweep is byte-identical by
+// construction.
+func registerWorkerTasks() {
+	dist.Handle(reportTask, func(ctx context.Context, c dist.Call) (interface{}, error) {
+		refs, err := strconv.Atoi(c.Spec.Args["refs"])
+		if err != nil {
+			return nil, fmt.Errorf("bad refs %q: %w", c.Spec.Args["refs"], err)
+		}
+		segs, err := strconv.Atoi(c.Spec.Args["segs"])
+		if err != nil {
+			return nil, fmt.Errorf("bad segs %q: %w", c.Spec.Args["segs"], err)
+		}
+		scale, err := strconv.Atoi(c.Spec.Args["scale"])
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", c.Spec.Args["scale"], err)
+		}
+		return machineReport(c.Spec.Machine, c.Spec.Workload, refs, segs, scale, c.Seed)
+	})
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		registerWorkerTasks()
+		if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
 	var (
 		machineName = flag.String("machine", "atlas", "machine: atlas|m44|b5000|rice|b8500|multics|m67|recommended|all")
 		workloadKin = flag.String("workload", "workingset", "workload: workingset|sequential|random|loop|matrix|segments")
@@ -41,6 +85,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		scale       = flag.Int("scale", 2, "capacity scale divisor (1 = historical sizes)")
 		parallel    = flag.Int("parallel", 0, "engine workers for -machine all (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "distribute -machine all cells across N worker processes (0 = in-process)")
 		progress    = flag.Bool("progress", false, "report sweep progress (cells done/failed/total, ETA) on stderr")
 		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
 	)
@@ -50,10 +95,13 @@ func main() {
 		if *traceFile != "" {
 			fail(fmt.Errorf("-trace cannot be combined with -machine all"))
 		}
-		if err := runAll(*parallel, *progress, strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
+		if err := runAll(*parallel, *workers, *progress, strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
 			fail(err)
 		}
 		return
+	}
+	if *workers > 0 {
+		fail(fmt.Errorf("-workers requires -machine all (single-machine runs have one cell)"))
 	}
 	m, err := buildMachine(*machineName, *scale)
 	if err != nil {
@@ -75,8 +123,10 @@ func main() {
 // engine job per machine, and prints the reports in appendix order as
 // each prefix of the sweep completes. With progress enabled, cell
 // completion counts and an ETA stream to stderr while reports stream
-// to stdout.
-func runAll(parallel int, progress bool, kind string, refs, segs int, seed uint64, scale int) error {
+// to stdout. With workers > 0 the cells run in that many `dsasim
+// worker` child processes — byte-identical output, since each cell is
+// rebuilt from {machine, workload, seed} and every RNG is key-derived.
+func runAll(parallel, workers int, progress bool, kind string, refs, segs int, seed uint64, scale int) error {
 	names := []string{"atlas", "m44", "b5000", "rice", "b8500", "multics", "m67"}
 	opts := engine.Options{Parallel: parallel, Seed: seed}
 	if progress {
@@ -84,21 +134,37 @@ func runAll(parallel int, progress bool, kind string, refs, segs int, seed uint6
 			fmt.Fprintf(os.Stderr, "dsasim: machine sweep: %s\n", p)
 		}
 	}
+	var pool *dist.Pool
+	if workers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		pool, err = dist.NewPool(dist.Options{Workers: workers, Command: exe, Args: []string{"worker"}})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		opts.Executor = pool
+	}
 	eng := engine.New(opts)
 	jobs := make([]engine.Job, len(names))
 	for i, name := range names {
 		name := name
-		jobs[i] = engine.Job{Key: "dsasim/" + name, Run: func(ctx context.Context, _ engine.Env) (interface{}, error) {
-			m, err := buildMachine(name, scale)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := runWorkload(m, kind, refs, segs, seed)
-			if err != nil {
-				return nil, err
-			}
-			return reportString(m, rep), nil
-		}}
+		jobs[i] = engine.Job{
+			Key: "dsasim/" + name,
+			Spec: &engine.Spec{
+				Task: reportTask, Machine: name, Workload: kind,
+				Args: map[string]string{
+					"refs":  strconv.Itoa(refs),
+					"segs":  strconv.Itoa(segs),
+					"scale": strconv.Itoa(scale),
+				},
+			},
+			Run: func(ctx context.Context, _ engine.Env) (interface{}, error) {
+				return machineReport(name, kind, refs, segs, scale, seed)
+			},
+		}
 	}
 	var firstErr error
 	eng.Stream(context.Background(), jobs, func(r engine.Result) {
@@ -111,7 +177,25 @@ func runAll(parallel int, progress bool, kind string, refs, segs int, seed uint6
 		}
 		fmt.Print(r.Value.(string))
 	})
+	if pool != nil {
+		fmt.Fprintf(os.Stderr, "dsasim: dist: %s\n", pool.Stats().Summary(workers))
+	}
 	return firstErr
+}
+
+// machineReport runs one machine × workload cell and renders its
+// report: the single implementation behind both the in-process sweep
+// closure and the `dsasim worker` handler.
+func machineReport(name, kind string, refs, segs, scale int, seed uint64) (string, error) {
+	m, err := buildMachine(name, scale)
+	if err != nil {
+		return "", err
+	}
+	rep, err := runWorkload(m, kind, refs, segs, seed)
+	if err != nil {
+		return "", err
+	}
+	return reportString(m, rep), nil
 }
 
 // runTraceFile replays a trace recorded by dsatrace (or any tool

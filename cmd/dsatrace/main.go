@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"dsa/internal/engine"
+	"dsa/internal/engine/dist"
 	"dsa/internal/sim"
 	"dsa/internal/trace"
 	"dsa/internal/workload"
@@ -224,7 +225,11 @@ func cmdBatch(args []string) {
 	wrote := 0
 	eng.Stream(context.Background(), jobs, func(r engine.Result) {
 		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "dsatrace: %s: FAILED: %v\n", r.Key, r.Err)
+			// The same per-cell line prefixing the dist pool applies to
+			// worker stderr: every line of a failure names its cell, so
+			// FAILED rows in batch output stay attributable even when
+			// the error spans lines (e.g. a contained panic's value).
+			fmt.Fprintf(dist.Prefixed(os.Stderr, "dsatrace: "+r.Key+": "), "FAILED: %v\n", r.Err)
 			if firstErr == nil {
 				firstErr = r.Err
 			}

@@ -39,9 +39,11 @@
 //	go run ./cmd/dsasim -machine recommended -workload segments
 //
 // Sweep all seven appendix machines concurrently (reports print in
-// appendix order regardless of scheduling):
+// appendix order regardless of scheduling), in-process or across
+// worker processes:
 //
 //	go run ./cmd/dsasim -machine all -parallel 8 -workload segments
+//	go run ./cmd/dsasim -machine all -workers 4 -workload segments
 //
 // Regenerate the paper's figures and tables:
 //
@@ -67,6 +69,40 @@
 //
 // A cell that panics is contained by the engine and recorded as a
 // FAILED row for just that cell; the rest of the sweep completes.
+//
+// # Scaling a sweep
+//
+// Both sweep commands offer two orthogonal scaling axes:
+//
+//   - -parallel N fans cells across N goroutines in one process — the
+//     engine's default executor. Use it when one machine's cores are
+//     the budget.
+//   - -workers N shards cells across N child worker processes
+//     (internal/engine/dist): the dispatcher spawns `dsasim worker` /
+//     `dsafig worker` children and ships each cell over a
+//     length-prefixed gob stdio protocol as {task, cell key, base
+//     seed} plus its parameters. 0 (the default) stays in-process.
+//
+// The determinism guarantee is identical on both axes, and is CI-
+// enforced: every cell's RNG derives from (base seed, cell key) via
+// sim.SeedFor — never from scheduling — aggregation is cell-ordered,
+// and workloads re-materialize in each worker's own catalog from their
+// "<name>@<seed>" keys, so the immutable workload catalog is the
+// serialization boundary and no workload bytes ever cross the wire.
+// `-workers N` output is byte-for-byte `-parallel N` output (the CI
+// dist-smoke job diffs a real multi-process sweep against the
+// in-process pool and fails on the first differing byte; `make
+// dist-smoke` runs the same check locally).
+//
+// Fault containment extends across the process boundary: a worker that
+// crashes or is killed mid-cell costs exactly its in-flight cells —
+// they surface as FAILED rows, attributably (child stderr is prefixed
+// with the worker slot and cell key) — while the dispatcher respawns
+// the slot within a bounded budget and the sweep completes. A slot
+// that cannot be respawned degrades to running its cells in-process,
+// so output is still complete and byte-identical. Idle workers steal
+// queued cells from busy ones, so one expensive cell cannot idle the
+// pool.
 package dsa
 
 import (

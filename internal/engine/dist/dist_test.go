@@ -1,0 +1,447 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsa/internal/engine"
+	"dsa/internal/metrics"
+	"dsa/internal/sim"
+	"dsa/internal/workload/catalog"
+)
+
+// workerEnv marks a re-execution of this test binary as a dist worker.
+const workerEnv = "DSA_DIST_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	registerTestHandlers()
+	if os.Getenv(workerEnv) == "1" {
+		if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// cellWork is the shared cell implementation: the same function backs
+// the in-process Job.Run and the remote handler, so local and
+// distributed execution are byte-identical by construction.
+func cellWork(env engine.Env, key string) (interface{}, error) {
+	shared, err := catalog.Get(env.Catalog, "test/shared", func() (uint64, error) {
+		return 40 + 2, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	draw := env.RNG.Uint64() % 100000
+	return engine.RowBatch{{key, int(draw), float64(draw) / 7, sim.Time(draw), draw%2 == 0, shared}}, nil
+}
+
+func registerTestHandlers() {
+	Handle("test/rows", func(ctx context.Context, c Call) (interface{}, error) {
+		return cellWork(c.Env, c.Key)
+	})
+	Handle("test/crash", func(ctx context.Context, c Call) (interface{}, error) {
+		os.Exit(3)
+		return nil, nil
+	})
+	Handle("test/panic", func(ctx context.Context, c Call) (interface{}, error) {
+		panic("remote boom")
+	})
+	Handle("test/error", func(ctx context.Context, c Call) (interface{}, error) {
+		return nil, fmt.Errorf("deliberate failure in %s", c.Key)
+	})
+	Handle("test/sleep", func(ctx context.Context, c Call) (interface{}, error) {
+		ms, _ := strconv.Atoi(c.Spec.Args["ms"])
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+		return c.Key, nil
+	})
+	Handle("test/stderr", func(ctx context.Context, c Call) (interface{}, error) {
+		fmt.Fprintf(os.Stderr, "grumble from %s\nsecond line\n", c.Key)
+		return c.Key, nil
+	})
+}
+
+// newTestPool builds a pool of this test binary in worker mode.
+func newTestPool(t *testing.T, workers int, stderr io.Writer) *Pool {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(Options{
+		Workers: workers,
+		Command: exe,
+		Env:     append(os.Environ(), workerEnv+"=1"),
+		Stderr:  stderr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// rowJobs builds n cells that run cellWork locally and carry specs for
+// the test/rows handler remotely.
+func rowJobs(n int) []engine.Job {
+	jobs := make([]engine.Job, n)
+	for i := range jobs {
+		key := fmt.Sprintf("cell-%02d", i)
+		jobs[i] = engine.Job{
+			Key:  key,
+			Spec: &engine.Spec{Task: "test/rows"},
+			Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+				return cellWork(env, key)
+			},
+		}
+	}
+	return jobs
+}
+
+// renderSweep runs jobs through an engine into a table.
+func renderSweep(t *testing.T, opts engine.Options, jobs []engine.Job) string {
+	t.Helper()
+	tb := &metrics.Table{Title: "dist", Header: []string{"key", "draw", "ratio", "time", "even", "shared"}}
+	eng := engine.New(opts)
+	if _, err := eng.FillTable(context.Background(), tb, jobs); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String()
+}
+
+// TestDistMatchesInProcess is the core contract: a sweep through two
+// worker processes renders byte-identically to the in-process pool,
+// including named types (sim.Time) round-tripped through gob.
+func TestDistMatchesInProcess(t *testing.T) {
+	local := renderSweep(t, engine.Options{Parallel: 2, Seed: 7}, rowJobs(12))
+
+	pool := newTestPool(t, 2, io.Discard)
+	dist := renderSweep(t, engine.Options{Seed: 7, Executor: pool}, rowJobs(12))
+
+	if local != dist {
+		t.Errorf("distributed output diverged from in-process:\nlocal:\n%s\ndist:\n%s", local, dist)
+	}
+	st := pool.Stats()
+	if st.Remote != 12 || st.Local != 0 {
+		t.Errorf("stats = %+v, want 12 remote cells", st)
+	}
+}
+
+// TestWorkerCrashContained kills a worker mid-cell (os.Exit in the
+// handler) and requires the crashed cell to surface as a contained
+// FAILED cell while the rest of the sweep completes remotely on a
+// respawned worker. One slot, so the respawn is the only way the
+// remaining cells can stay remote.
+func TestWorkerCrashContained(t *testing.T) {
+	jobs := rowJobs(8)
+	jobs[3] = engine.Job{Key: "cell-03", Spec: &engine.Spec{Task: "test/crash"}}
+
+	pool := newTestPool(t, 1, io.Discard)
+	eng := engine.New(engine.Options{Seed: 1, Executor: pool})
+	results := eng.Run(context.Background(), jobs)
+
+	for _, r := range results {
+		if r.Key == "cell-03" {
+			if !r.Panicked {
+				t.Fatalf("crashed cell result = %+v, want contained panic", r)
+			}
+			pe, ok := r.Err.(*engine.PanicError)
+			if !ok || !strings.Contains(pe.Error(), "crashed") {
+				t.Errorf("crashed cell error = %v, want worker-crash PanicError", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("%s: unexpected error %v", r.Key, r.Err)
+		}
+	}
+	st := pool.Stats()
+	if st.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", st.Crashes)
+	}
+	if st.Respawns < 1 {
+		t.Errorf("respawns = %d, want >= 1 (slot must recover)", st.Respawns)
+	}
+	if st.Remote != 7 {
+		t.Errorf("remote = %d, want 7 (every healthy cell stays distributed)", st.Remote)
+	}
+}
+
+// TestRemotePanicMatchesLocalContainment: a panic inside a worker must
+// render the same FAILED row an in-process contained panic renders.
+func TestRemotePanicMatchesLocalContainment(t *testing.T) {
+	mkJobs := func() []engine.Job {
+		jobs := rowJobs(3)
+		jobs[1] = engine.Job{
+			Key:  "cell-01",
+			Spec: &engine.Spec{Task: "test/panic"},
+			Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+				panic("remote boom")
+			},
+		}
+		return jobs
+	}
+	local := renderSweep(t, engine.Options{Parallel: 2, Seed: 3}, mkJobs())
+	pool := newTestPool(t, 2, io.Discard)
+	dist := renderSweep(t, engine.Options{Seed: 3, Executor: pool}, mkJobs())
+	if local != dist {
+		t.Errorf("contained panic rendered differently:\nlocal:\n%s\ndist:\n%s", local, dist)
+	}
+	if !strings.Contains(dist, "FAILED: remote boom") {
+		t.Errorf("FAILED row missing panic value:\n%s", dist)
+	}
+}
+
+// TestRemoteErrorStaysOrdinary: a handler error must come back as an
+// ordinary error (aborting FillTable), not a contained panic.
+func TestRemoteErrorStaysOrdinary(t *testing.T) {
+	jobs := rowJobs(3)
+	jobs[2] = engine.Job{Key: "cell-02", Spec: &engine.Spec{Task: "test/error"}}
+	pool := newTestPool(t, 2, io.Discard)
+	eng := engine.New(engine.Options{Executor: pool})
+	tb := &metrics.Table{Header: []string{"k", "v", "r", "t", "e", "s"}}
+	_, err := eng.FillTable(context.Background(), tb, jobs)
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure in cell-02") {
+		t.Errorf("FillTable error = %v, want the remote cell's error", err)
+	}
+}
+
+// TestCancellationKillsChildren cancels a sweep whose first cells
+// sleep far longer than the test budget; the pool must kill the
+// children and report every unfinished cell with the context error.
+func TestCancellationKillsChildren(t *testing.T) {
+	jobs := make([]engine.Job, 6)
+	for i := range jobs {
+		key := fmt.Sprintf("sleep-%d", i)
+		jobs[i] = engine.Job{Key: key, Spec: &engine.Spec{
+			Task: "test/sleep", Args: map[string]string{"ms": "60000"},
+		}}
+	}
+	pool := newTestPool(t, 2, io.Discard)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond) // let the workers start their cells
+		cancel()
+	}()
+	start := time.Now()
+	eng := engine.New(engine.Options{Executor: pool})
+	results := eng.Run(ctx, jobs)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; children were not killed", elapsed)
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			t.Errorf("%s completed despite cancellation", r.Key)
+		}
+	}
+}
+
+// TestWorkStealing gives slot 0 a long-running first cell; the other
+// worker must steal the rest of slot 0's queue instead of idling.
+func TestWorkStealing(t *testing.T) {
+	jobs := make([]engine.Job, 10)
+	for i := range jobs {
+		key := fmt.Sprintf("cell-%d", i)
+		ms := "1"
+		if i == 0 {
+			ms = "1500" // pins slot 0 while its queue still holds cells 2,4,6,8
+		}
+		jobs[i] = engine.Job{Key: key, Spec: &engine.Spec{
+			Task: "test/sleep", Args: map[string]string{"ms": ms},
+		}}
+	}
+	pool := newTestPool(t, 2, io.Discard)
+	eng := engine.New(engine.Options{Executor: pool})
+	results := eng.Run(context.Background(), jobs)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Key, r.Err)
+		}
+	}
+	if st := pool.Stats(); st.Steals < 1 {
+		t.Errorf("steals = %d, want >= 1 (slot 1 should have drained slot 0's queue)", st.Steals)
+	}
+}
+
+// TestSpecLessJobsRunLocally: jobs without a Spec execute in the
+// dispatching process against the sweep catalog, not in workers.
+func TestSpecLessJobsRunLocally(t *testing.T) {
+	jobs := make([]engine.Job, 4)
+	for i := range jobs {
+		key := fmt.Sprintf("cell-%d", i)
+		jobs[i] = engine.Job{Key: key, Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+			return cellWork(env, key)
+		}}
+	}
+	pool := newTestPool(t, 2, io.Discard)
+	eng := engine.New(engine.Options{Executor: pool})
+	for _, r := range eng.Run(context.Background(), jobs) {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Key, r.Err)
+		}
+	}
+	st := pool.Stats()
+	if st.Local != 4 || st.Remote != 0 {
+		t.Errorf("stats = %+v, want 4 local / 0 remote", st)
+	}
+}
+
+// TestBrokenWorkerBinaryFallsBack: when the worker command cannot be
+// spawned at all, every cell must still complete — in-process — so a
+// sweep never wedges on a deployment problem.
+func TestBrokenWorkerBinaryFallsBack(t *testing.T) {
+	p, err := NewPool(Options{
+		Workers: 2,
+		Command: "/nonexistent/dsa-worker-binary",
+		Stderr:  io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	eng := engine.New(engine.Options{Seed: 7, Executor: p})
+	jobs := rowJobs(6)
+	want := renderSweep(t, engine.Options{Parallel: 2, Seed: 7}, rowJobs(6))
+	tb := &metrics.Table{Title: "dist", Header: []string{"key", "draw", "ratio", "time", "even", "shared"}}
+	if _, err := eng.FillTable(context.Background(), tb, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if tb.String() != want {
+		t.Errorf("fallback output diverged:\n%s\nwant:\n%s", tb.String(), want)
+	}
+	st := p.Stats()
+	if st.Remote != 0 || st.Local != 6 {
+		t.Errorf("stats = %+v, want all 6 cells local", st)
+	}
+}
+
+// TestStderrPrefixNamesCell: whatever a worker writes to stderr while
+// a cell is in flight arrives prefixed with the slot and cell key.
+func TestStderrPrefixNamesCell(t *testing.T) {
+	var buf syncBuffer
+	jobs := []engine.Job{{Key: "noisy/cell", Spec: &engine.Spec{Task: "test/stderr"}}}
+	pool := newTestPool(t, 1, &buf)
+	eng := engine.New(engine.Options{Executor: pool})
+	for _, r := range eng.Run(context.Background(), jobs) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Key, r.Err)
+		}
+	}
+	pool.Close() // flush the child's stderr copier
+	out := buf.String()
+	for _, line := range []string{
+		"worker[0] noisy/cell: grumble from noisy/cell",
+		"worker[0] noisy/cell: second line",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("stderr missing %q; got:\n%s", line, out)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for child stderr.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestPrefixWriter(t *testing.T) {
+	var buf bytes.Buffer
+	n := 0
+	w := NewPrefixWriter(&buf, func() string { n++; return fmt.Sprintf("p%d: ", n) })
+	io.WriteString(w, "one\ntwo\npartial")
+	io.WriteString(w, " line\n")
+	want := "p1: one\np2: two\np3: partial line\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+	buf.Reset()
+	io.WriteString(Prefixed(&buf, "x: "), "a\nb\n")
+	if buf.String() != "x: a\nx: b\n" {
+		t.Errorf("Prefixed got %q", buf.String())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := request{ID: 9, Index: 4, Key: "k", Seed: 77, Spec: engine.Spec{
+		Task: "t", Machine: "atlas", Workload: "loop@2a", Args: map[string]string{"refs": "100"},
+	}}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out request
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Key != in.Key || out.Spec.Machine != "atlas" || out.Spec.Args["refs"] != "100" {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+	// Clean EOF at a frame boundary.
+	if err := readFrame(&buf, &out); err != io.EOF {
+		t.Errorf("empty stream read = %v, want io.EOF", err)
+	}
+	// A truncated frame is not a clean EOF.
+	buf.Reset()
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	if err := readFrame(trunc, &out); err == nil || err == io.EOF {
+		t.Errorf("truncated frame read = %v, want a hard error", err)
+	}
+}
+
+func TestQueuesStealFromLongest(t *testing.T) {
+	qs := newQueues(3, 9) // slot queues: [0 3 6] [1 4 7] [2 5 8]
+	// Drain slot 0's own queue.
+	for _, want := range []int{0, 3, 6} {
+		idx, stolen, ok := qs.next(0)
+		if !ok || stolen || idx != want {
+			t.Fatalf("own pop = (%d,%v,%v), want (%d,false,true)", idx, stolen, ok, want)
+		}
+	}
+	// Next pop steals the tail of the longest remaining queue (slot 1).
+	idx, stolen, ok := qs.next(0)
+	if !ok || !stolen || idx != 7 {
+		t.Fatalf("steal = (%d,%v,%v), want (7,true,true)", idx, stolen, ok)
+	}
+	// Exhaust everything; every index must be handed out exactly once.
+	seen := map[int]bool{0: true, 3: true, 6: true, 7: true}
+	for {
+		idx, _, ok := qs.next(2)
+		if !ok {
+			break
+		}
+		if seen[idx] {
+			t.Fatalf("index %d handed out twice", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 9 {
+		t.Errorf("handed out %d of 9 indices", len(seen))
+	}
+}

@@ -1,0 +1,441 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+
+	"dsa/internal/engine"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the number of child processes; it must be >= 1.
+	Workers int
+	// Command is the worker executable — typically the running binary
+	// itself (os.Executable()) so the handler registry is identical on
+	// both sides.
+	Command string
+	// Args are passed to Command before the protocol starts, e.g.
+	// ["worker"].
+	Args []string
+	// Env is the child environment; nil inherits the parent's.
+	Env []string
+	// MaxRespawns bounds how many times one worker slot may be
+	// respawned after a crash before the slot degrades to running its
+	// cells in-process. <= 0 means DefaultMaxRespawns.
+	MaxRespawns int
+	// Stderr receives the children's stderr, each line prefixed with
+	// the worker slot and its in-flight cell key so failures are
+	// attributable. Nil means os.Stderr.
+	Stderr io.Writer
+}
+
+// DefaultMaxRespawns is the per-slot crash-respawn budget.
+const DefaultMaxRespawns = 2
+
+// Stats counts a pool's traffic, for tests and operational summaries.
+type Stats struct {
+	// Remote is the number of cells executed in worker processes.
+	Remote int
+	// Local is the number of cells executed in the dispatching process
+	// (spec-less jobs, exhausted slots, spawn failures).
+	Local int
+	// Crashes is the number of cells lost to a worker dying mid-cell;
+	// each surfaces as one contained FAILED cell.
+	Crashes int
+	// Respawns is the number of replacement workers spawned after
+	// crashes.
+	Respawns int
+	// Steals is the number of cells a worker took from another
+	// worker's queue after draining its own.
+	Steals int
+}
+
+// Summary renders the one-line operational summary the CLIs print on
+// stderr after a distributed sweep; the CI dist-smoke gate greps this
+// exact phrasing to prove cells really distributed.
+func (s Stats) Summary(workers int) string {
+	return fmt.Sprintf("%d cells in %d workers, %d in-process, %d crashes, %d steals",
+		s.Remote, workers, s.Local, s.Crashes, s.Steals)
+}
+
+// Pool shards engine sweeps across a pool of worker processes: the
+// out-of-process counterpart of the engine's default goroutine pool,
+// implementing engine.Executor. Cells are pre-sharded round-robin onto
+// the workers; a worker that drains its own queue steals from the
+// longest remaining queue, so one skewed-cost cell cannot idle the
+// rest of the pool.
+//
+// Children are spawned lazily and kept alive across sweeps (their
+// per-process workload catalogs persist with them); Close shuts them
+// down. A Pool may be shared by consecutive sweeps but not by
+// concurrent ones: Execute must not be called concurrently with
+// itself or with Close.
+type Pool struct {
+	opts   Options
+	stderr io.Writer
+	slots  []*slot
+
+	mu     sync.Mutex
+	stats  Stats
+	closed bool
+}
+
+// NewPool validates the options and returns a pool. No children are
+// spawned until the first remote cell is dispatched.
+func NewPool(o Options) (*Pool, error) {
+	if o.Workers < 1 {
+		return nil, fmt.Errorf("dist: Workers = %d, need >= 1", o.Workers)
+	}
+	if o.Command == "" {
+		return nil, fmt.Errorf("dist: Command is required")
+	}
+	if o.MaxRespawns <= 0 {
+		o.MaxRespawns = DefaultMaxRespawns
+	}
+	p := &Pool{opts: o, stderr: o.Stderr}
+	if p.stderr == nil {
+		p.stderr = os.Stderr
+	}
+	p.slots = make([]*slot, o.Workers)
+	for i := range p.slots {
+		p.slots[i] = &slot{id: i, pool: p}
+		p.slots[i].currentKey.Store("")
+	}
+	return p, nil
+}
+
+// Stats returns a snapshot of the pool's counters, accumulated across
+// every sweep it has executed.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close kills and reaps every child. The pool's counters remain
+// readable; Execute must not be called again.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	for _, s := range p.slots {
+		s.teardown()
+	}
+	return nil
+}
+
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+func (p *Pool) count(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// Execute implements engine.Executor: it runs every job, reporting
+// each exactly once. Cells with a Spec go to worker processes; cells
+// without one run in this process through engine.RunJob (so mixed
+// sweeps still complete, byte-identically). Cancellation kills the
+// children and reports every unfinished cell with ctx.Err().
+func (p *Pool) Execute(ctx context.Context, sw engine.SweepEnv, jobs []engine.Job, report func(engine.Result)) {
+	if len(jobs) == 0 {
+		return
+	}
+	qs := newQueues(len(p.slots), len(jobs))
+
+	// Kill children the moment the sweep is cancelled, so a worker
+	// stuck in a long cell cannot outlive its sweep.
+	watcherDone := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			for _, s := range p.slots {
+				s.kill()
+			}
+		case <-stop:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, s := range p.slots {
+		wg.Add(1)
+		go func(s *slot) {
+			defer wg.Done()
+			for {
+				idx, stolen, ok := qs.next(s.id)
+				if !ok {
+					return
+				}
+				if stolen {
+					p.count(func(st *Stats) { st.Steals++ })
+				}
+				if err := ctx.Err(); err != nil {
+					report(engine.Result{Key: jobs[idx].Key, Index: idx, Err: err})
+					continue
+				}
+				report(s.runCell(ctx, sw, idx, jobs[idx]))
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(stop)
+	<-watcherDone
+	if ctx.Err() != nil {
+		// The watcher killed the children; reap them so the next sweep
+		// starts from clean slots without spending respawn budget.
+		for _, s := range p.slots {
+			s.teardown()
+		}
+	}
+}
+
+// slot is one worker seat: the protocol connection to a child process
+// plus its crash accounting. All fields except cmd/currentKey are
+// owned by the single Execute goroutine driving the slot.
+type slot struct {
+	id   int
+	pool *Pool
+
+	wbuf    *bufio.Writer
+	rbuf    *bufio.Reader
+	stdin   io.WriteCloser
+	nextID  uint64
+	crashes int
+	local   bool // respawn budget exhausted: run cells in-process
+
+	// currentKey is the in-flight cell key, read concurrently by the
+	// child's stderr prefixer.
+	currentKey atomic.Value
+
+	procMu sync.Mutex
+	cmd    *exec.Cmd // also read by the cancellation watcher
+}
+
+// runCell executes one cell: remotely when it has a Spec and the slot
+// still has a live (or spawnable) worker, in-process otherwise. A
+// worker dying mid-cell is contained as a FAILED cell — exactly the
+// shape of an in-process contained panic — and the slot respawns for
+// subsequent cells within its budget.
+func (s *slot) runCell(ctx context.Context, sw engine.SweepEnv, idx int, job engine.Job) engine.Result {
+	if job.Spec == nil || job.Spec.Task == "" || s.local || s.pool.isClosed() {
+		s.pool.count(func(st *Stats) { st.Local++ })
+		return engine.RunJob(ctx, idx, job, sw.Seed, sw.Catalog)
+	}
+	if err := s.ensure(ctx); err != nil {
+		// Could not (re)spawn a worker: the cell itself is fine — run
+		// it here. Determinism is key-derived, so the result is
+		// byte-identical either way.
+		fmt.Fprintf(s.pool.stderr, "dist: worker[%d]: %v; running %s in-process\n", s.id, err, job.Key)
+		s.pool.count(func(st *Stats) { st.Local++ })
+		return engine.RunJob(ctx, idx, job, sw.Seed, sw.Catalog)
+	}
+
+	s.currentKey.Store(job.Key)
+	defer s.currentKey.Store("")
+	s.nextID++
+	req := request{ID: s.nextID, Index: idx, Key: job.Key, Seed: sw.Seed, Spec: *job.Spec}
+	resp, err := s.roundTrip(&req)
+	if err != nil {
+		s.teardown()
+		if ctx.Err() != nil {
+			return engine.Result{Key: job.Key, Index: idx, Err: ctx.Err()}
+		}
+		// The worker died with this cell in flight: contain it as a
+		// FAILED cell (the sweep continues) and note the crash. The
+		// next cell on this slot respawns within the budget.
+		s.crashes++
+		s.pool.count(func(st *Stats) { st.Crashes++ })
+		return engine.Result{
+			Key: job.Key, Index: idx, Panicked: true,
+			Err: &engine.PanicError{Key: job.Key, Value: fmt.Sprintf("worker[%d] crashed: %v", s.id, err)},
+		}
+	}
+	s.pool.count(func(st *Stats) { st.Remote++ })
+	return resultFrom(idx, job.Key, resp)
+}
+
+// roundTrip sends one request and reads its response.
+func (s *slot) roundTrip(req *request) (*response, error) {
+	if err := writeFrame(s.wbuf, req); err != nil {
+		return nil, err
+	}
+	if err := s.wbuf.Flush(); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := readFrame(s.rbuf, &resp); err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("dist: response %d for request %d", resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+// resultFrom reconstructs an engine.Result from a wire response. A
+// contained worker panic is rebuilt as a *engine.PanicError whose
+// value is the worker's fmt.Sprint of the original panic value, so
+// FAILED rows render byte-identically to in-process containment.
+func resultFrom(idx int, key string, resp *response) engine.Result {
+	r := engine.Result{Key: key, Index: idx}
+	switch {
+	case resp.Panicked:
+		r.Panicked = true
+		r.Err = &engine.PanicError{Key: key, Value: resp.PanicVal, Stack: resp.Stack}
+	case resp.Err != "":
+		r.Err = fmt.Errorf("dist: %s", resp.Err)
+	default:
+		r.Value = resp.Value
+	}
+	return r
+}
+
+// ensure makes sure the slot has a live child, spawning (or
+// respawning, within the crash budget) as needed.
+func (s *slot) ensure(ctx context.Context) error {
+	s.procMu.Lock()
+	alive := s.cmd != nil
+	s.procMu.Unlock()
+	if alive {
+		return nil
+	}
+	if s.crashes > s.pool.opts.MaxRespawns {
+		s.local = true
+		return fmt.Errorf("respawn budget exhausted after %d crashes", s.crashes)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.spawn(); err != nil {
+		s.crashes++
+		return fmt.Errorf("spawning %s: %w", s.pool.opts.Command, err)
+	}
+	if s.crashes > 0 {
+		s.pool.count(func(st *Stats) { st.Respawns++ })
+	}
+	return nil
+}
+
+// spawn starts a child and wires up the protocol pipes. The child's
+// stderr flows through a line prefixer naming the slot and its
+// in-flight cell key, so anything a crashing worker manages to say is
+// attributable to the cell that killed it.
+func (s *slot) spawn() error {
+	cmd := exec.Command(s.pool.opts.Command, s.pool.opts.Args...)
+	if s.pool.opts.Env != nil {
+		cmd.Env = s.pool.opts.Env
+	}
+	cmd.Stderr = NewPrefixWriter(s.pool.stderr, func() string {
+		if k, _ := s.currentKey.Load().(string); k != "" {
+			return fmt.Sprintf("worker[%d] %s: ", s.id, k)
+		}
+		return fmt.Sprintf("worker[%d]: ", s.id)
+	})
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	s.stdin = stdin
+	s.wbuf = bufio.NewWriter(stdin)
+	s.rbuf = bufio.NewReader(stdout)
+	s.procMu.Lock()
+	s.cmd = cmd
+	s.procMu.Unlock()
+	return nil
+}
+
+// kill signals the child without reaping it (safe from the watcher
+// goroutine while the slot goroutine owns the pipes).
+func (s *slot) kill() {
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	if s.cmd != nil && s.cmd.Process != nil {
+		_ = s.cmd.Process.Kill()
+	}
+}
+
+// teardown kills and reaps the child and drops the connection.
+func (s *slot) teardown() {
+	s.procMu.Lock()
+	cmd := s.cmd
+	s.cmd = nil
+	s.procMu.Unlock()
+	if cmd == nil {
+		return
+	}
+	if s.stdin != nil {
+		_ = s.stdin.Close()
+	}
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+	_ = cmd.Wait()
+	s.stdin, s.wbuf, s.rbuf = nil, nil, nil
+}
+
+// queues pre-shards a sweep's cell indices round-robin across the
+// worker slots and hands them out with work stealing: a slot pops from
+// the head of its own queue until empty, then steals from the tail of
+// the longest other queue. Round-robin keeps the no-contention path
+// cheap and deterministic; stealing keeps every worker busy when cell
+// costs are skewed. (Result bytes never depend on which worker runs a
+// cell — seeding is key-derived and aggregation is index-ordered — so
+// stealing is pure load balancing.)
+type queues struct {
+	mu sync.Mutex
+	q  [][]int
+}
+
+func newQueues(slots, jobs int) *queues {
+	qs := &queues{q: make([][]int, slots)}
+	for i := 0; i < jobs; i++ {
+		s := i % slots
+		qs.q[s] = append(qs.q[s], i)
+	}
+	return qs
+}
+
+// next returns the next cell index for slot, reporting whether it was
+// stolen, or ok=false when no work remains anywhere.
+func (qs *queues) next(slot int) (idx int, stolen, ok bool) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if own := qs.q[slot]; len(own) > 0 {
+		idx = own[0]
+		qs.q[slot] = own[1:]
+		return idx, false, true
+	}
+	victim, max := -1, 0
+	for i, q := range qs.q {
+		if i != slot && len(q) > max {
+			victim, max = i, len(q)
+		}
+	}
+	if victim < 0 {
+		return 0, false, false
+	}
+	vq := qs.q[victim]
+	idx = vq[len(vq)-1]
+	qs.q[victim] = vq[:len(vq)-1]
+	return idx, true, true
+}

@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// prefixWriter stamps every line written through it with a prefix
+// computed at the moment the line starts. The pool uses it to tag
+// child stderr with the worker slot and its in-flight cell key;
+// dsatrace batch reuses it to tag per-cell failure output.
+type prefixWriter struct {
+	mu          sync.Mutex
+	dst         io.Writer
+	prefix      func() string
+	atLineStart bool
+}
+
+// NewPrefixWriter returns a writer that prepends prefix() to every
+// line it forwards to dst. The prefix is evaluated lazily at each line
+// start, so a caller may vary it (e.g. per in-flight cell) between
+// lines. Writes are serialized; partial lines are prefixed when their
+// first byte arrives and continue unadorned until their newline.
+func NewPrefixWriter(dst io.Writer, prefix func() string) io.Writer {
+	return &prefixWriter{dst: dst, prefix: prefix, atLineStart: true}
+}
+
+// Prefixed returns a writer that prepends the fixed prefix to every
+// line written to dst.
+func Prefixed(dst io.Writer, prefix string) io.Writer {
+	return NewPrefixWriter(dst, func() string { return prefix })
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	written := 0
+	for len(b) > 0 {
+		if p.atLineStart {
+			if _, err := io.WriteString(p.dst, p.prefix()); err != nil {
+				return written, err
+			}
+			p.atLineStart = false
+		}
+		chunk := b
+		if i := bytes.IndexByte(b, '\n'); i >= 0 {
+			chunk = b[:i+1]
+			p.atLineStart = true
+		}
+		n, err := p.dst.Write(chunk)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		b = b[len(chunk):]
+	}
+	return written, nil
+}

@@ -1,0 +1,141 @@
+// Package dist distributes engine sweeps across worker processes: a
+// dispatcher (Pool) that implements engine.Executor by sharding cells
+// over a pool of child processes, and the worker side (WorkerMain)
+// those children run, speaking a length-prefixed gob protocol over
+// stdio.
+//
+// A cell crosses the process boundary as its engine.Spec — a task name
+// resolved against the worker's compiled-in handler registry plus the
+// sweep's base seed and the cell key. The worker re-derives the cell's
+// RNG exactly as the in-process pool does (sim.SeedFor(seed, key)) and
+// materializes workloads from its own workload catalog by key, so the
+// immutable catalog is the wire boundary: no workload data is ever
+// serialized, only the keys that deterministically regenerate it.
+// Output is therefore byte-identical to an in-process run at any
+// worker count.
+//
+// The engine's fault-containment posture extends across the process
+// boundary: a worker that crashes (or is killed) surfaces as a
+// contained failure — a FAILED cell — for whatever cell it had in
+// flight, the child is respawned within a bounded budget, and the
+// sweep completes. A slot whose budget is exhausted (or whose binary
+// cannot be spawned at all) degrades to running its cells in the
+// dispatching process, so a sweep never wedges and never loses cells.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"dsa/internal/engine"
+	"dsa/internal/sim"
+)
+
+// maxFrame bounds a single protocol frame. Cells return row batches
+// and report strings, not bulk data; anything larger than this is a
+// protocol error, not a workload.
+const maxFrame = 64 << 20
+
+// request asks a worker to run one cell.
+type request struct {
+	// ID matches the response to the request on one connection.
+	ID uint64
+	// Index is the cell's position in the sweep (diagnostics only).
+	Index int
+	// Key is the cell's stable identity; the worker seeds the cell's
+	// RNG from (Seed, Key) via sim.SeedFor, exactly as the in-process
+	// pool does.
+	Key string
+	// Seed is the sweep's base seed.
+	Seed uint64
+	// Spec names the handler and carries the cell's parameters.
+	Spec engine.Spec
+}
+
+// response reports one cell's outcome.
+type response struct {
+	// ID echoes the request.
+	ID uint64
+	// Key echoes the cell key.
+	Key string
+	// Value is the cell's result (nil on failure). Its concrete type
+	// must be gob-registered on both sides; RegisterValue does this for
+	// types beyond the defaults.
+	Value interface{}
+	// Err is the cell's ordinary error, "" for none.
+	Err string
+	// Panicked reports that the cell died by panic and was contained
+	// in the worker; PanicVal is fmt.Sprint of the panic value and
+	// Stack the goroutine stack at recovery.
+	Panicked bool
+	PanicVal string
+	Stack    []byte
+}
+
+// writeFrame encodes v with a fresh gob encoder and writes it as one
+// length-prefixed frame: a 4-byte big-endian length followed by the
+// gob bytes. A fresh encoder per frame keeps frames self-contained, so
+// a reader can never be desynchronized by a half-written stream.
+func writeFrame(w io.Writer, v interface{}) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	if buf.Len() > maxFrame {
+		return fmt.Errorf("dist: frame %d bytes exceeds limit %d", buf.Len(), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame reads one length-prefixed frame into v. io.EOF at a frame
+// boundary is returned as-is (a clean end of stream); a partial frame
+// surfaces as io.ErrUnexpectedEOF.
+func readFrame(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("dist: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("dist: reading %d-byte frame: %w", n, err)
+	}
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// RegisterValue records a concrete type that cells transport in
+// response values (directly or inside an engine.RowBatch), so gob can
+// round-trip it through an interface. Call it from the same package
+// init on both sides of the protocol — which, with a self-spawning
+// worker binary, is one call site.
+func RegisterValue(v interface{}) { gob.Register(v) }
+
+func init() {
+	// The row-value vocabulary of the experiment tables. gob
+	// pre-registers the unnamed basics (int, float64, string, bool,
+	// ...); the named types cells put in rows must be added here or via
+	// RegisterValue so they survive the interface round-trip with their
+	// concrete type — and thus their formatting — intact.
+	gob.Register(engine.RowBatch{})
+	gob.Register([]interface{}{})
+	gob.Register(sim.Time(0))
+	gob.Register(time.Duration(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+}

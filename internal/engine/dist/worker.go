@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dsa/internal/engine"
+	"dsa/internal/sim"
+	"dsa/internal/workload/catalog"
+)
+
+// Call carries one cell invocation into a registered handler: the
+// cell's key and the sweep's base seed (together they derive the
+// cell's RNG), the wire spec naming the cell, and an engine.Env whose
+// catalog is the worker process's own — shared across every cell this
+// worker runs, so workloads materialize once per process no matter how
+// many cells declare them.
+type Call struct {
+	Key  string
+	Seed uint64
+	Spec engine.Spec
+	Env  engine.Env
+}
+
+// Handler runs one cell in a worker process. The returned value must
+// be gob-serializable (see RegisterValue) and byte-for-byte what the
+// corresponding in-process Job.Run would have produced — handlers and
+// local closures should share one implementation.
+type Handler func(ctx context.Context, c Call) (interface{}, error)
+
+var (
+	regMu    sync.RWMutex
+	handlers = map[string]Handler{}
+)
+
+// Handle registers the handler a worker runs for cells whose Spec.Task
+// equals task. It panics on an empty task or a duplicate registration:
+// the registry is compiled-in configuration, not runtime state.
+func Handle(task string, h Handler) {
+	if task == "" || h == nil {
+		panic("dist: Handle requires a task name and a handler")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := handlers[task]; dup {
+		panic(fmt.Sprintf("dist: task %q registered twice", task))
+	}
+	handlers[task] = h
+}
+
+// lookupHandler returns the registered handler, nil if absent.
+func lookupHandler(task string) Handler {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return handlers[task]
+}
+
+// Tasks returns the sorted registered task names (diagnostics).
+func Tasks() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(handlers))
+	for t := range handlers {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WorkerMain is the worker side of the protocol: the `<cmd> worker`
+// subcommand calls it with the process's stdin and stdout. It serves
+// requests one at a time — parallelism comes from the dispatcher
+// running N workers — until stdin closes (a clean shutdown, returning
+// nil) or the protocol breaks. Cells run under the engine's standard
+// contract: RNG seeded via sim.SeedFor(seed, key) and panic
+// containment, with the recovered panic shipped back for the
+// dispatcher to surface exactly as an in-process contained panic.
+func WorkerMain(in io.Reader, out io.Writer) error {
+	r := bufio.NewReader(in)
+	w := bufio.NewWriter(out)
+	cat := catalog.New() // per-process workload catalog, shared across cells
+	for {
+		var req request
+		if err := readFrame(r, &req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		resp := serve(&req, cat)
+		if err := writeFrame(w, resp); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// serve runs one request with panic containment.
+func serve(req *request, cat *catalog.Catalog) (resp *response) {
+	resp = &response{ID: req.ID, Key: req.Key}
+	h := lookupHandler(req.Spec.Task)
+	if h == nil {
+		resp.Err = fmt.Sprintf("dist: worker has no handler for task %q (registered: %v)", req.Spec.Task, Tasks())
+		return resp
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			stack := make([]byte, 8192)
+			stack = stack[:runtime.Stack(stack, false)]
+			resp.Value = nil
+			resp.Err = ""
+			resp.Panicked = true
+			resp.PanicVal = fmt.Sprint(p)
+			resp.Stack = stack
+		}
+	}()
+	env := engine.Env{RNG: sim.NewRNG(sim.SeedFor(req.Seed, req.Key)), Catalog: cat}
+	v, err := h(context.Background(), Call{Key: req.Key, Seed: req.Seed, Spec: req.Spec, Env: env})
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Value = v
+	return resp
+}

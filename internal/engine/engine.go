@@ -63,6 +63,31 @@ type Job struct {
 	// sweep's shared workload catalog. The returned value is opaque to
 	// the engine and handed to the aggregation stage.
 	Run func(ctx context.Context, env Env) (interface{}, error)
+	// Spec, if non-nil, describes the cell in serializable form so an
+	// out-of-process executor (internal/engine/dist) can reconstruct
+	// and run it in a worker process. Jobs without a Spec can only run
+	// in-process; a dist pool executes them locally in the dispatcher.
+	Spec *Spec
+}
+
+// Spec is the wire-serializable description of a cell: everything a
+// worker process needs to rebuild the cell from its own compiled-in
+// registries plus the sweep's base seed (which travels alongside in
+// the protocol). The named fields carry the common axes of a sweep;
+// Args holds task-specific parameters.
+type Spec struct {
+	// Task names the handler registered in the worker (dist.Handle).
+	Task string
+	// Machine optionally names the machine configuration under test.
+	Machine string
+	// Policy optionally names the policy under test.
+	Policy string
+	// Workload optionally carries the cell's workload catalog key (or
+	// workload kind), making the immutable catalog the serialization
+	// boundary: the worker re-materializes the workload from the key.
+	Workload string
+	// Args carries any further task parameters.
+	Args map[string]string
 }
 
 // Result records the outcome of one job.
@@ -129,9 +154,42 @@ func (p Progress) String() string {
 	return s
 }
 
+// SweepEnv is the sweep-wide environment the engine hands its
+// executor: the base seed every cell's RNG derives from and the shared
+// workload catalog for cells executed in this process.
+type SweepEnv struct {
+	// Seed is the base seed mixed with each job key by sim.SeedFor.
+	Seed uint64
+	// Catalog is the dispatching process's shared workload catalog.
+	// Out-of-process executors use it only for cells they fall back to
+	// running locally; worker processes materialize workloads from
+	// their own catalogs by key.
+	Catalog *catalog.Catalog
+}
+
+// Executor runs the cells of one sweep. The engine's default executor
+// is the in-process goroutine pool; internal/engine/dist provides one
+// that shards cells across worker processes. The contract:
+//
+//   - report must be called exactly once per job, with Result.Index and
+//     Result.Key filled in; report is safe for concurrent use.
+//   - Cells must observe the engine's per-job contract — RNG seeded
+//     via sim.SeedFor(sw.Seed, job.Key), panic containment — which
+//     RunJob implements for in-process execution.
+//   - On cancellation every job not yet finished must still be
+//     reported, with Err = ctx.Err().
+//
+// Aggregation order, progress accounting and result collection stay
+// with the engine, so any conforming executor yields byte-identical
+// sweeps.
+type Executor interface {
+	Execute(ctx context.Context, sw SweepEnv, jobs []Job, report func(Result))
+}
+
 // Options configures an Engine.
 type Options struct {
-	// Parallel bounds the worker pool; <= 0 means GOMAXPROCS.
+	// Parallel bounds the in-process worker pool; <= 0 means
+	// GOMAXPROCS. Ignored when Executor is set.
 	Parallel int
 	// Seed is the base seed mixed with each job key by sim.SeedFor.
 	Seed uint64
@@ -144,6 +202,10 @@ type Options struct {
 	// a fresh Progress snapshot. It must not block for long — workers
 	// wait on it.
 	OnProgress func(Progress)
+	// Executor, if non-nil, replaces the in-process goroutine pool —
+	// the seam internal/engine/dist plugs into to run cells in worker
+	// processes. Output is byte-identical either way.
+	Executor Executor
 }
 
 // Engine is a reusable worker-pool sweep runner. The zero value is not
@@ -153,6 +215,7 @@ type Engine struct {
 	seed       uint64
 	catalog    *catalog.Catalog
 	onProgress func(Progress)
+	exec       Executor
 }
 
 // New builds an engine from options.
@@ -165,7 +228,11 @@ func New(o Options) *Engine {
 	if cat == nil {
 		cat = catalog.New()
 	}
-	return &Engine{parallel: p, seed: o.Seed, catalog: cat, onProgress: o.OnProgress}
+	exec := o.Executor
+	if exec == nil {
+		exec = poolExecutor{workers: p}
+	}
+	return &Engine{parallel: p, seed: o.Seed, catalog: cat, onProgress: o.OnProgress, exec: exec}
 }
 
 // Parallel reports the configured worker count.
@@ -267,18 +334,38 @@ func (p *progressTracker) record(failed bool) {
 	p.fn(snap)
 }
 
-// sweepNotify fans jobs out across the pool, writing results[i] for
+// sweepNotify hands the sweep to the executor, writing results[i] for
 // every job and (when done != nil) sending i after results[i] is
 // final.
 func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, done chan<- int) {
-	workers := e.parallel
+	if len(jobs) == 0 {
+		return
+	}
+	prog := newProgressTracker(len(jobs), e.onProgress)
+	report := func(r Result) {
+		results[r.Index] = r
+		prog.record(r.Failed())
+		if done != nil {
+			done <- r.Index
+		}
+	}
+	e.exec.Execute(ctx, SweepEnv{Seed: e.seed, Catalog: e.catalog}, jobs, report)
+}
+
+// poolExecutor is the default Executor: a bounded pool of goroutines
+// in the dispatching process pulling cells off a shared feed.
+type poolExecutor struct {
+	workers int
+}
+
+func (p poolExecutor) Execute(ctx context.Context, sw SweepEnv, jobs []Job, report func(Result)) {
+	workers := p.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers < 1 {
-		return
+		workers = 1
 	}
-	prog := newProgressTracker(len(jobs), e.onProgress)
 	feed := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -286,11 +373,7 @@ func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, 
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				results[i] = e.runOne(ctx, i, jobs[i])
-				prog.record(results[i].Failed())
-				if done != nil {
-					done <- i
-				}
+				report(RunJob(ctx, i, jobs[i], sw.Seed, sw.Catalog))
 			}
 		}()
 	}
@@ -301,11 +384,7 @@ func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, 
 			// Mark this and all remaining jobs as cancelled; workers
 			// drain nothing further.
 			for j := i; j < len(jobs); j++ {
-				results[j] = Result{Key: jobs[j].Key, Index: j, Err: ctx.Err()}
-				prog.record(true)
-				if done != nil {
-					done <- j
-				}
+				report(Result{Key: jobs[j].Key, Index: j, Err: ctx.Err()})
 			}
 			close(feed)
 			wg.Wait()
@@ -316,9 +395,13 @@ func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, 
 	wg.Wait()
 }
 
-// runOne executes a single job with panic containment and per-job
-// deterministic seeding.
-func (e *Engine) runOne(ctx context.Context, index int, job Job) (res Result) {
+// RunJob executes a single job in-process under the engine's standard
+// per-job contract: RNG seeded from (seed, job key) via sim.SeedFor —
+// never from scheduling — and panic containment, so a dying cell
+// becomes a failed Result instead of sinking the sweep. Both the
+// default in-process pool and the dist dispatcher's local fallback run
+// cells through here.
+func RunJob(ctx context.Context, index int, job Job, seed uint64, cat *catalog.Catalog) (res Result) {
 	res = Result{Key: job.Key, Index: index}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
@@ -333,7 +416,7 @@ func (e *Engine) runOne(ctx context.Context, index int, job Job) (res Result) {
 			res.Panicked = true
 		}
 	}()
-	env := Env{RNG: sim.NewRNG(sim.SeedFor(e.seed, job.Key)), Catalog: e.catalog}
+	env := Env{RNG: sim.NewRNG(sim.SeedFor(seed, job.Key)), Catalog: cat}
 	res.Value, res.Err = job.Run(ctx, env)
 	return res
 }

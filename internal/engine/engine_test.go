@@ -399,3 +399,121 @@ func TestProgressReporting(t *testing.T) {
 		t.Error("progress renders empty")
 	}
 }
+
+// TestProgressTrackerETAMath pins the tracker's arithmetic directly:
+// ETA is a linear extrapolation from completed cells — elapsed/done ×
+// remaining — zero once the sweep is done, and Failed counts exactly
+// the cells recorded as failed.
+func TestProgressTrackerETAMath(t *testing.T) {
+	var snaps []Progress
+	p := newProgressTracker(4, func(s Progress) { snaps = append(snaps, s) })
+	// Pretend the sweep started 900ms ago so elapsed is a known
+	// quantity (up to scheduling jitter, bounded below by 900ms).
+	p.start = time.Now().Add(-900 * time.Millisecond)
+
+	p.record(false)
+	first := snaps[0]
+	if first.Total != 4 || first.Done != 1 || first.Failed != 0 {
+		t.Fatalf("first snapshot = %+v, want total=4 done=1 failed=0", first)
+	}
+	if first.Elapsed < 900*time.Millisecond {
+		t.Errorf("elapsed = %v, want >= 900ms", first.Elapsed)
+	}
+	// done=1 of 4: ETA = elapsed × 3. Allow generous scheduling slack
+	// above the exact 2.7s.
+	if first.ETA < 2700*time.Millisecond || first.ETA > 6*time.Second {
+		t.Errorf("ETA at 1/4 = %v, want ~2.7s (3× elapsed)", first.ETA)
+	}
+
+	p.record(true)
+	second := snaps[1]
+	if second.Failed != 1 {
+		t.Errorf("failed after one failure = %d, want 1", second.Failed)
+	}
+	// done=2 of 4: ETA = elapsed — the halfway point of a linear model.
+	if second.ETA < second.Elapsed/2 || second.ETA > 2*second.Elapsed {
+		t.Errorf("ETA at 2/4 = %v with elapsed %v, want ≈ elapsed", second.ETA, second.Elapsed)
+	}
+
+	p.record(false)
+	p.record(false)
+	final := snaps[3]
+	if final.Done != 4 || final.ETA != 0 {
+		t.Errorf("final snapshot = %+v, want done=4 eta=0", final)
+	}
+	if final.Failed != 1 {
+		t.Errorf("final failed = %d, want 1", final.Failed)
+	}
+
+	// No observer: the tracker is nil and recording is a no-op.
+	nilTracker := newProgressTracker(5, nil)
+	if nilTracker != nil {
+		t.Error("tracker without observer should be nil")
+	}
+	nilTracker.record(true) // must not panic
+}
+
+// TestProgressString pins the two renderings the -progress flags
+// print: in-flight (with ETA) and finished (with elapsed).
+func TestProgressString(t *testing.T) {
+	inFlight := Progress{Total: 10, Done: 3, Failed: 1,
+		Elapsed: 2 * time.Second, ETA: 1500 * time.Millisecond}
+	if got, want := inFlight.String(), "3/10 cells, 1 failed, eta 1.5s"; got != want {
+		t.Errorf("in-flight = %q, want %q", got, want)
+	}
+	done := Progress{Total: 4, Done: 4, Elapsed: 2 * time.Second}
+	if got, want := done.String(), "4/4 cells, done in 2s"; got != want {
+		t.Errorf("done = %q, want %q", got, want)
+	}
+}
+
+// TestOnProgressUnderCancellation: cancelling a sweep mid-flight must
+// still deliver exactly one snapshot per cell — the in-flight cells as
+// they unblock and fail, the never-started cells as they are marked
+// cancelled — ending with a final done=total snapshot.
+func TestOnProgressUnderCancellation(t *testing.T) {
+	const n = 8
+	var mu sync.Mutex
+	var snaps []Progress
+	eng := New(Options{Parallel: 2, OnProgress: func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		snaps = append(snaps, p)
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{}, n)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, env Env) (interface{}, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}}
+	}
+	go func() {
+		<-started
+		<-started // both workers hold a blocked cell
+		cancel()
+	}()
+	results := eng.Run(ctx, jobs)
+	for _, r := range results {
+		if r.Err == nil {
+			t.Errorf("%s succeeded despite cancellation", r.Key)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) != n {
+		t.Fatalf("observer called %d times, want %d (every cell reports, cancelled or not)", len(snaps), n)
+	}
+	for i, p := range snaps {
+		if p.Done != i+1 {
+			t.Errorf("snapshot %d: done = %d, want %d (monotone under cancellation)", i, p.Done, i+1)
+		}
+	}
+	final := snaps[n-1]
+	if final.Done != n || final.Failed != n || final.ETA != 0 {
+		t.Errorf("final snapshot = %+v, want done=%d failed=%d eta=0", final, n, n)
+	}
+}

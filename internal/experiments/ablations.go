@@ -20,8 +20,15 @@ import (
 // off the fault critical path, cutting waiting time at the cost of a
 // slightly smaller effective allotment. One engine cell per reserve
 // depth, all replaying the same write-heavy program.
-func A1ReserveFrames() (*metrics.Table, error) {
-	sc := snapshot()
+func A1ReserveFrames() (*metrics.Table, error) { return a1Def.run() }
+
+var a1Def = registerSweep("a1",
+	"A1 — ablation: ATLAS vacant-frame reserve (write-heavy working set)",
+	[]string{"reserve", "faults", "reserve evictions",
+		"waiting time", "elapsed"},
+	a1Cells)
+
+func a1Cells(sc runConfig) []cell {
 	const pageSize = 256
 	reserves := []int{0, 1, 2}
 	cells := make([]cell, len(reserves))
@@ -60,10 +67,7 @@ func A1ReserveFrames() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "A1 — ablation: ATLAS vacant-frame reserve (write-heavy working set)",
-		[]string{"reserve", "faults", "reserve evictions",
-			"waiting time", "elapsed"},
-		cells)
+	return cells
 }
 
 // A2Coalescing ablates the Rice deferred-coalescing choice against
@@ -71,8 +75,15 @@ func A1ReserveFrames() (*metrics.Table, error) {
 // deferral makes frees O(1) but lengthens searches (more, smaller
 // chain entries) and risks transient fragmentation failures. The two
 // coalescing modes run as independent engine cells.
-func A2Coalescing() (*metrics.Table, error) {
-	sc := snapshot()
+func A2Coalescing() (*metrics.Table, error) { return a2Def.run() }
+
+var a2Def = registerSweep("a2",
+	"A2 — ablation: immediate vs deferred (Rice) coalescing, first-fit",
+	[]string{"mode", "allocs", "frag failures", "coalesce ops",
+		"probes/alloc", "free blocks at end"},
+	a2Cells)
+
+func a2Cells(sc runConfig) []cell {
 	modes := []struct {
 		name string
 		mode alloc.Mode
@@ -114,10 +125,7 @@ func A2Coalescing() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "A2 — ablation: immediate vs deferred (Rice) coalescing, first-fit",
-		[]string{"mode", "allocs", "frag failures", "coalesce ops",
-			"probes/alloc", "free blocks at end"},
-		cells)
+	return cells
 }
 
 // A3Compaction ablates storage packing in the segment manager: with
@@ -127,8 +135,15 @@ func A2Coalescing() (*metrics.Table, error) {
 // general more complex because of the additional possibility of moving
 // information within working storage in order to compact vacant
 // spaces." One engine cell per regime, replaying the same churn.
-func A3Compaction() (*metrics.Table, error) {
-	sc := snapshot()
+func A3Compaction() (*metrics.Table, error) { return a3Def.run() }
+
+var a3Def = registerSweep("a3",
+	"A3 — ablation: storage packing vs eviction (segment manager)",
+	[]string{"compaction", "fetches", "evictions", "compactions",
+		"words moved", "elapsed"},
+	a3Cells)
+
+func a3Cells(sc runConfig) []cell {
 	cells := make([]cell, 2)
 	for i, compact := range []bool{false, true} {
 		compact := compact
@@ -179,10 +194,7 @@ func A3Compaction() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "A3 — ablation: storage packing vs eviction (segment manager)",
-		[]string{"compaction", "fetches", "evictions", "compactions",
-			"words moved", "elapsed"},
-		cells)
+	return cells
 }
 
 func segChurnName(i int) string {
@@ -199,8 +211,15 @@ func segChurnName(i int) string {
 // column checks Knuth's later "fifty-percent rule" (free blocks ≈ half
 // the allocated blocks at equilibrium), which this substrate exhibits.
 // One engine cell per request-size fraction.
-func A4WaldUtilization() (*metrics.Table, error) {
-	sc := snapshot()
+func A4WaldUtilization() (*metrics.Table, error) { return a4Def.run() }
+
+var a4Def = registerSweep("a4",
+	"A4 — ablation: utilization vs relative request size (Wald)",
+	[]string{"mean size / heap", "utilization@fail", "ext frag",
+		"free blocks / allocated blocks"},
+	a4Cells)
+
+func a4Cells(sc runConfig) []cell {
 	const heapWords = 65536
 	fracs := []int{512, 128, 32, 16, 8}
 	cells := make([]cell, len(fracs))
@@ -257,10 +276,7 @@ func A4WaldUtilization() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "A4 — ablation: utilization vs relative request size (Wald)",
-		[]string{"mean size / heap", "utilization@fail", "ext frag",
-			"free blocks / allocated blocks"},
-		cells)
+	return cells
 }
 
 func itoa(n int) string {
@@ -281,8 +297,14 @@ func itoa(n int) string {
 // program switches, the price multiprogrammed use of the Figure 4
 // mapping pays: hit ratio and addressing overhead versus switch
 // frequency. One engine cell per flush period.
-func A5TLBFlush() (*metrics.Table, error) {
-	sc := snapshot()
+func A5TLBFlush() (*metrics.Table, error) { return a5Def.run() }
+
+var a5Def = registerSweep("a5",
+	"A5 — ablation: associative memory flushes on program switch",
+	[]string{"refs per switch", "hit ratio", "extra cycles/ref"},
+	a5Cells)
+
+func a5Cells(sc runConfig) []cell {
 	const segs = 8
 	periods := []int{0, 10000, 1000, 100, 10}
 	cells := make([]cell, len(periods))
@@ -318,9 +340,7 @@ func A5TLBFlush() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "A5 — ablation: associative memory flushes on program switch",
-		[]string{"refs per switch", "hit ratio", "extra cycles/ref"},
-		cells)
+	return cells
 }
 
 // A6SegmentedPaging exercises the full Figure 4 data path live: a
@@ -330,8 +350,15 @@ func A5TLBFlush() (*metrics.Table, error) {
 // B8500's 44. Unlike F4 (translation only), faults, write-backs and
 // transfers are all in the accounting here. One engine cell per
 // associative-memory size.
-func A6SegmentedPaging() (*metrics.Table, error) {
-	sc := snapshot()
+func A6SegmentedPaging() (*metrics.Table, error) { return a6Def.run() }
+
+var a6Def = registerSweep("a6",
+	"A6 — segmented paging data path (SegPager, 16 segments)",
+	[]string{"assoc. registers", "hit ratio", "page faults",
+		"writebacks", "elapsed"},
+	a6Cells)
+
+func a6Cells(sc runConfig) []cell {
 	tlbs := []int{0, 2, 9, 16, 44}
 	cells := make([]cell, len(tlbs))
 	for i, tlb := range tlbs {
@@ -386,8 +413,5 @@ func A6SegmentedPaging() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "A6 — segmented paging data path (SegPager, 16 segments)",
-		[]string{"assoc. registers", "hit ratio", "page faults",
-			"writebacks", "elapsed"},
-		cells)
+	return cells
 }

@@ -38,8 +38,14 @@ func fig2Trace(env engine.Env, sc runConfig, extent uint64, refs int) (trace.Tra
 // and verifies that every name in the contiguous range resolves while
 // offsets within blocks are preserved. The figure is one engine cell:
 // its rows share running state (the previous block's end address).
-func Fig1ArtificialContiguity() (*metrics.Table, error) {
-	sc := snapshot()
+func Fig1ArtificialContiguity() (*metrics.Table, error) { return fig1Def.run() }
+
+var fig1Def = registerSweep("fig1",
+	"Figure 1 — artificial name contiguity (contiguous names, scattered blocks)",
+	[]string{"name range", "page", "frame", "absolute range", "contiguous?"},
+	fig1Cells)
+
+func fig1Cells(runConfig) []cell {
 	single := cell{
 		key: "fig1/scatter",
 		run: func(engine.Env) (engine.RowBatch, error) {
@@ -93,9 +99,7 @@ func Fig1ArtificialContiguity() (*metrics.Table, error) {
 			return batch, nil
 		},
 	}
-	return runTable(sc, "Figure 1 — artificial name contiguity (contiguous names, scattered blocks)",
-		[]string{"name range", "page", "frame", "absolute range", "contiguous?"},
-		[]cell{single})
+	return []cell{single}
 }
 
 // Fig2SimpleMapping reproduces Figure 2: the simple one-level mapping
@@ -105,8 +109,14 @@ func Fig1ArtificialContiguity() (*metrics.Table, error) {
 // quantifying the overhead the mapping device introduces. The two
 // schemes run as independent engine cells replaying the same cataloged
 // trace.
-func Fig2SimpleMapping() (*metrics.Table, error) {
-	sc := snapshot()
+func Fig2SimpleMapping() (*metrics.Table, error) { return fig2Def.run() }
+
+var fig2Def = registerSweep("fig2",
+	"Figure 2 — simple mapping scheme: addressing cost per reference",
+	[]string{"scheme", "refs", "table accesses", "extra cost/ref (core cycles)"},
+	fig2Cells)
+
+func fig2Cells(sc runConfig) []cell {
 	const extent = 64 * 256
 	const refs = 20000
 	unmapped := cell{
@@ -156,9 +166,7 @@ func Fig2SimpleMapping() (*metrics.Table, error) {
 				float64(mappedCost)/refs), nil
 		},
 	}
-	return runTable(sc, "Figure 2 — simple mapping scheme: addressing cost per reference",
-		[]string{"scheme", "refs", "table accesses", "extra cost/ref (core cycles)"},
-		[]cell{unmapped, mapped})
+	return []cell{unmapped, mapped}
 }
 
 // Fig3SpaceTime reproduces Figure 3: storage utilization with demand
@@ -169,8 +177,15 @@ func Fig2SimpleMapping() (*metrics.Table, error) {
 // space-minimizing property of demand paging. Every (fetch time,
 // frames) point is an independent engine cell; all nine replay the one
 // cataloged working-set trace.
-func Fig3SpaceTime() (*metrics.Table, error) {
-	sc := snapshot()
+func Fig3SpaceTime() (*metrics.Table, error) { return fig3Def.run() }
+
+var fig3Def = registerSweep("fig3",
+	"Figure 3 — space-time product under demand paging",
+	[]string{"fetch access", "frames", "faults",
+		"active word-ticks", "waiting word-ticks", "wait fraction", "space-time total"},
+	fig3Cells)
+
+func fig3Cells(sc runConfig) []cell {
 	const pageSize = 256
 	const virtPages = 64
 	point := func(access sim.Time, frames int) cell {
@@ -215,10 +230,7 @@ func Fig3SpaceTime() (*metrics.Table, error) {
 	for _, frames := range []int{4, 8, 16, 32} {
 		cells = append(cells, point(3000, frames))
 	}
-	return runTable(sc, "Figure 3 — space-time product under demand paging",
-		[]string{"fetch access", "frames", "faults",
-			"active word-ticks", "waiting word-ticks", "wait fraction", "space-time total"},
-		cells)
+	return cells
 }
 
 // fig4Ref is one reference of the Figure 4 trace: a segment plus an
@@ -230,12 +242,13 @@ type fig4Ref struct {
 
 // fig4Point is the intermediate one Fig4 cell measures; the rows are
 // assembled afterwards because every row is normalized by the no-TLB
-// baseline.
+// baseline. Its fields are exported because the value crosses the
+// process boundary (gob) when the sweep is distributed.
 type fig4Point struct {
-	label    string
-	hitRatio float64
-	accesses float64
-	perRef   float64
+	Label    string
+	HitRatio float64
+	Accesses float64
+	PerRef   float64
 }
 
 // Fig4TwoLevelMapping reproduces Figure 4: the two-level (segment
@@ -249,7 +262,25 @@ type fig4Point struct {
 // column is normalized against the zero-register cell in a serial
 // aggregation pass.
 func Fig4TwoLevelMapping() (*metrics.Table, error) {
-	sc := snapshot()
+	points, err := runValueSweep[fig4Point](fig4Def)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title: "Figure 4 — two-level mapping: associative memory vs addressing overhead",
+		Header: []string{"assoc. registers", "hit ratio",
+			"table accesses/ref", "extra cycles/ref", "vs no-TLB"},
+	}
+	baseline := points[0].PerRef
+	for _, p := range points {
+		t.AddRow(p.Label, p.HitRatio, p.Accesses, p.PerRef, p.PerRef/baseline)
+	}
+	return t, nil
+}
+
+var fig4Def = registerValueSweep("fig4", "Figure 4 — two-level mapping", fig4Cells)
+
+func fig4Cells(sc runConfig) []valueCell[fig4Point] {
 	const segs = 16
 	const segWords = 16 * 256
 	tlbSizes := []int{0, 1, 2, 4, 8, 9, 16, 44}
@@ -305,23 +336,10 @@ func Fig4TwoLevelMapping() (*metrics.Table, error) {
 				case 44:
 					label = "44 (B8500)"
 				}
-				return fig4Point{label: label, hitRatio: m.TLB().HitRatio(),
-					accesses: accesses, perRef: perRef}, nil
+				return fig4Point{Label: label, HitRatio: m.TLB().HitRatio(),
+					Accesses: accesses, PerRef: perRef}, nil
 			},
 		}
 	}
-	points, err := runValues(sc, "Figure 4 — two-level mapping", cells)
-	if err != nil {
-		return nil, err
-	}
-	t := &metrics.Table{
-		Title: "Figure 4 — two-level mapping: associative memory vs addressing overhead",
-		Header: []string{"assoc. registers", "hit ratio",
-			"table accesses/ref", "extra cycles/ref", "vs no-TLB"},
-	}
-	baseline := points[0].perRef
-	for _, p := range points {
-		t.AddRow(p.label, p.hitRatio, p.accesses, p.perRef, p.perRef/baseline)
-	}
-	return t, nil
+	return cells
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 	"strconv"
 	"sync"
 
@@ -14,18 +13,20 @@ import (
 
 // runConfig is the sweep configuration every experiment snapshots on
 // entry: how many engine workers to fan cells across, the base seed
-// that perturbs workload generation, and the optional progress
-// observer.
+// that perturbs workload generation, the optional progress observer,
+// and the optional executor that replaces the in-process pool.
 type runConfig struct {
 	parallel int
 	seed     uint64
 	observe  func(sweep string, p engine.Progress)
+	executor engine.Executor
 }
 
 var (
 	cfgMu    sync.Mutex
 	cfg      runConfig
 	observer func(sweep string, p engine.Progress)
+	executor engine.Executor
 )
 
 // Configure sets the parallelism (<= 0 means GOMAXPROCS) and the base
@@ -51,6 +52,17 @@ func Observe(fn func(sweep string, p engine.Progress)) {
 	observer = fn
 }
 
+// UseExecutor installs an engine executor for subsequent experiment
+// runs — the Options.Executor seam. cmd/dsafig wires its -workers flag
+// here with a dist.Pool, which ships every cell to a worker process by
+// {sweep id, cell key, base seed} (see DistTask); pass nil to restore
+// the in-process pool. Tables are byte-identical either way.
+func UseExecutor(x engine.Executor) {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	executor = x
+}
+
 // snapshot returns the configuration an experiment should close over
 // before building cells, so a concurrent Configure cannot tear a
 // running sweep.
@@ -59,6 +71,7 @@ func snapshot() runConfig {
 	defer cfgMu.Unlock()
 	c := cfg
 	c.observe = observer
+	c.executor = executor
 	return c
 }
 
@@ -96,7 +109,7 @@ var catalogHook func(sweep string, c *catalog.Catalog)
 // configured parallelism and seed, and the progress observer bound to
 // the sweep's title.
 func newEngine(c runConfig, sweep string) *engine.Engine {
-	opts := engine.Options{Parallel: c.parallel, Seed: c.seed, Catalog: newSweepCatalog()}
+	opts := engine.Options{Parallel: c.parallel, Seed: c.seed, Catalog: newSweepCatalog(), Executor: c.executor}
 	if obs := c.observe; obs != nil {
 		opts.OnProgress = func(p engine.Progress) { obs(sweep, p) }
 	}
@@ -132,7 +145,9 @@ type cell struct {
 // batches into a table in cell order. A panicked cell — including one
 // that hit a poisoned catalog entry — is recorded as a FAILED row (the
 // rest of the sweep survives); an ordinary error aborts the table,
-// matching the old serial contract.
+// matching the old serial contract. Unlike registered sweeps
+// (sweepDef.run), these ad-hoc cells carry no Spec and always execute
+// in-process — the path tests and benchmarks use for one-off sweeps.
 func runTable(c runConfig, title string, header []string, cells []cell) (*metrics.Table, error) {
 	t := &metrics.Table{Title: title, Header: header}
 	eng := newEngine(c, title)
@@ -152,41 +167,11 @@ func runTable(c runConfig, title string, header []string, cells []cell) (*metric
 // valueCell is a cell that yields a typed intermediate value instead
 // of finished rows — for experiments whose rows need cross-cell
 // context (e.g. Figure 4 normalizes every row by the no-TLB baseline).
+// Value sweeps register with registerValueSweep and run with
+// runValueSweep.
 type valueCell[T any] struct {
 	key string
 	run func(env engine.Env) (T, error)
-}
-
-// runValues fans value cells out across the engine and returns their
-// results in cell order. Errors — including contained panics — abort
-// the sweep, since a missing intermediate leaves nothing to normalize
-// against; the first failure cancels cells not yet started.
-func runValues[T any](c runConfig, sweep string, cells []valueCell[T]) ([]T, error) {
-	eng := newEngine(c, sweep)
-	jobs := make([]engine.Job, len(cells))
-	for i, cl := range cells {
-		cl := cl
-		jobs[i] = engine.Job{Key: cl.key, Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
-			return cl.run(env)
-		}}
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var firstErr error
-	results := eng.Stream(ctx, jobs, func(r engine.Result) {
-		if r.Err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("cell %s: %w", r.Key, r.Err)
-			cancel()
-		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	out := make([]T, len(results))
-	for i, r := range results {
-		out[i] = r.Value.(T)
-	}
-	return out, nil
 }
 
 // oneRow wraps a single row as the batch a cell returns.

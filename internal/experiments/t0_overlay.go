@@ -62,8 +62,15 @@ func overlayCallTrace(rng *sim.RNG, phases, callsPerPhase int) []string {
 // is the paper's opening argument for why allocation became a system
 // responsibility. The three regimes replay the same call trace as
 // independent engine cells.
-func T0Overlay() (*metrics.Table, error) {
-	sc := snapshot()
+func T0Overlay() (*metrics.Table, error) { return t0Def.run() }
+
+var t0Def = registerSweep("t0",
+	"T0 — static overlays vs dynamic allocation (introduction era)",
+	[]string{"regime", "storage words", "segments loaded",
+		"words transferred", "elapsed"},
+	t0Cells)
+
+func t0Cells(sc runConfig) []cell {
 	// The phase-structured call trace both replaying regimes share, via
 	// the sweep catalog.
 	mkCalls := func(env engine.Env) ([]string, error) {
@@ -162,8 +169,5 @@ func T0Overlay() (*metrics.Table, error) {
 				st.SegFaults, st.FetchedWords, clock.Now()), nil
 		},
 	}
-	return runTable(sc, "T0 — static overlays vs dynamic allocation (introduction era)",
-		[]string{"regime", "storage words", "segments loaded",
-			"words transferred", "elapsed"},
-		[]cell{resident, static, dynamic})
+	return []cell{resident, static, dynamic}
 }

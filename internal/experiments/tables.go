@@ -60,8 +60,15 @@ func toPageIDs(pages []uint64) []replace.PageID {
 // Each trace × frame-count pair is an independent engine cell; the
 // three traces are materialized once each in the sweep catalog and
 // shared read-only across the frame-count cells.
-func T1Replacement() (*metrics.Table, error) {
-	sc := snapshot()
+func T1Replacement() (*metrics.Table, error) { return t1Def.run() }
+
+var t1Def = registerSweep("t1",
+	"T1 — replacement strategies (faults; after Belady [1])",
+	[]string{"trace", "frames",
+		"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"},
+	t1Cells)
+
+func t1Cells(sc runConfig) []cell {
 	const pageSize = 256
 	traces := []struct {
 		name  string
@@ -124,10 +131,7 @@ func T1Replacement() (*metrics.Table, error) {
 			})
 		}
 	}
-	return runTable(sc, "T1 — replacement strategies (faults; after Belady [1])",
-		[]string{"trace", "frames",
-			"belady-min", "lru", "clock", "fifo", "random", "m44-random", "atlas-learning"},
-		cells)
+	return cells
 }
 
 // T2Placement reproduces the placement-strategy comparison of the
@@ -140,8 +144,15 @@ func T1Replacement() (*metrics.Table, error) {
 // pair is an independent engine cell; each distribution's request
 // stream is materialized once in the sweep catalog and replayed by all
 // six policy cells.
-func T2Placement() (*metrics.Table, error) {
-	sc := snapshot()
+func T2Placement() (*metrics.Table, error) { return t2Def.run() }
+
+var t2Def = registerSweep("t2",
+	"T2 — placement strategies (heap 64Ki words)",
+	[]string{"distribution", "policy", "allocs", "frag failures",
+		"utilization@fail", "ext frag", "probes/alloc"},
+	t2Cells)
+
+func t2Cells(sc runConfig) []cell {
 	const heapWords = 65536
 	dists := []workload.RequestConfig{
 		{Dist: workload.SizesUniform, MinSize: 16, MaxSize: 1024, MeanLifetime: 60, Count: 8000},
@@ -211,10 +222,7 @@ func T2Placement() (*metrics.Table, error) {
 			})
 		}
 	}
-	return runTable(sc, "T2 — placement strategies (heap 64Ki words)",
-		[]string{"distribution", "policy", "allocs", "frag failures",
-			"utilization@fail", "ext frag", "probes/alloc"},
-		cells)
+	return cells
 }
 
 // t3Sizes materializes the segment population every T3 cell shares and
@@ -242,8 +250,15 @@ func t3Sizes(env engine.Env, sc runConfig) ([]int, int, error) {
 // trades the internal waste for external fragmentation. One engine
 // cell per page size plus one for the variable-unit heap, all sharing
 // one cataloged segment population.
-func T3UnitSize() (*metrics.Table, error) {
-	sc := snapshot()
+func T3UnitSize() (*metrics.Table, error) { return t3Def.run() }
+
+var t3Def = registerSweep("t3",
+	"T3 — choosing the unit of allocation (3000 segments)",
+	[]string{"unit", "pages", "table words", "internal waste",
+		"waste frac", "ext frag"},
+	t3Cells)
+
+func t3Cells(sc runConfig) []cell {
 	var cells []cell
 	for _, pageSize := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
 		pageSize := pageSize
@@ -294,10 +309,7 @@ func T3UnitSize() (*metrics.Table, error) {
 				st.InternalFrag(), st.ExternalFrag()), nil
 		},
 	})
-	return runTable(sc, "T3 — choosing the unit of allocation (3000 segments)",
-		[]string{"unit", "pages", "table words", "internal waste",
-			"waste frac", "ext frag"},
-		cells)
+	return cells
 }
 
 // T4Machines runs the common segmented workload on all seven appendix
@@ -305,8 +317,15 @@ func T3UnitSize() (*metrics.Table, error) {
 // per machine. The workload is materialized once in the sweep catalog;
 // every machine replays the same immutable declaration/reference
 // stream while the seven historical simulations proceed concurrently.
-func T4Machines() (*metrics.Table, error) {
-	sc := snapshot()
+func T4Machines() (*metrics.Table, error) { return t4Def.run() }
+
+var t4Def = registerSweep("t4",
+	"T4 — the appendix survey on a common workload (32 segments, 20000 refs)",
+	[]string{"machine", "app.", "characteristics", "fetches",
+		"wait frac", "elapsed (cycles)", "ext frag"},
+	t4Cells)
+
+func t4Cells(sc runConfig) []cell {
 	// Same order as machine.All.
 	ctors := []struct {
 		name string
@@ -357,10 +376,7 @@ func T4Machines() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "T4 — the appendix survey on a common workload (32 segments, 20000 refs)",
-		[]string{"machine", "app.", "characteristics", "fetches",
-			"wait frac", "elapsed (cycles)", "ext frag"},
-		cells)
+	return cells
 }
 
 // T5Predictive reproduces the predictive-information discussion using
@@ -372,8 +388,15 @@ func T4Machines() (*metrics.Table, error) {
 // argument for treating directives as advisory tuning. One engine cell
 // per advice variant, all replaying the same cataloged base program
 // (the advice wrappers copy; the base is never mutated).
-func T5Predictive() (*metrics.Table, error) {
-	sc := snapshot()
+func T5Predictive() (*metrics.Table, error) { return t5Def.run() }
+
+var t5Def = registerSweep("t5",
+	"T5 — predictive information on the M44/44X",
+	[]string{"variant", "faults", "prefetches", "advice evictions",
+		"wait frac", "space-time total", "elapsed"},
+	t5Cells)
+
+func t5Cells(sc runConfig) []cell {
 	const pageSize = 512
 	const phaseWords = 4 * pageSize
 	variants := []struct {
@@ -418,10 +441,7 @@ func T5Predictive() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "T5 — predictive information on the M44/44X",
-		[]string{"variant", "faults", "prefetches", "advice evictions",
-			"wait frac", "space-time total", "elapsed"},
-		cells)
+	return cells
 }
 
 // T6DualPageSize reproduces the MULTICS dual-page-size argument (A.6):
@@ -430,8 +450,14 @@ func T5Predictive() (*metrics.Table, error) {
 // the cost of added placement/replacement complexity (more table
 // entries to manage). One engine cell per paging scheme over the same
 // cataloged segment population.
-func T6DualPageSize() (*metrics.Table, error) {
-	sc := snapshot()
+func T6DualPageSize() (*metrics.Table, error) { return t6Def.run() }
+
+var t6Def = registerSweep("t6",
+	"T6 — MULTICS dual page sizes (3000 segments)",
+	[]string{"scheme", "pages", "table words", "waste words", "waste frac"},
+	t6Cells)
+
+func t6Cells(sc runConfig) []cell {
 	mkSizes := func(env engine.Env) ([]int, int, error) {
 		sizes, err := shared(env, sc, "t6/segment-sizes", 23, func(rng *sim.RNG) ([]int, error) {
 			return workload.SegmentSizes(rng, 3000, 262144/16), nil // cap at scaled max segment
@@ -480,9 +506,7 @@ func T6DualPageSize() (*metrics.Table, error) {
 				float64(dualWaste)/float64(total+dualWaste)), nil
 		},
 	}
-	return runTable(sc, "T6 — MULTICS dual page sizes (3000 segments)",
-		[]string{"scheme", "pages", "table words", "waste words", "waste frac"},
-		[]cell{single("64-word only", 64), single("1024-word only", 1024), dual})
+	return []cell{single("64-word only", 64), single("1024-word only", 1024), dual}
 }
 
 // T7NameSpace reproduces the symbolic-vs-linear segment-naming
@@ -496,8 +520,15 @@ func T6DualPageSize() (*metrics.Table, error) {
 // generated inline (not cataloged): each step's RNG draws depend on the
 // dictionary's own success or failure, so the sequence is simulation
 // state, not a pure workload.
-func T7NameSpace() (*metrics.Table, error) {
-	sc := snapshot()
+func T7NameSpace() (*metrics.Table, error) { return t7Def.run() }
+
+var t7Def = registerSweep("t7",
+	"T7 — segment-name bookkeeping: symbolic vs linear dictionary",
+	[]string{"dictionary", "ops", "probes or lookups",
+		"frag failures", "largest free run", "free names"},
+	t7Cells)
+
+func t7Cells(sc runConfig) []cell {
 	const slots = 256
 	const ops = 4000
 
@@ -562,10 +593,7 @@ func T7NameSpace() (*metrics.Table, error) {
 			return oneRow("symbolically segmented", symOps, sym.Lookups, 0, "-", "-"), nil
 		},
 	}
-	return runTable(sc, "T7 — segment-name bookkeeping: symbolic vs linear dictionary",
-		[]string{"dictionary", "ops", "probes or lookups",
-			"frag failures", "largest free run", "free names"},
-		[]cell{linear, symbolic})
+	return []cell{linear, symbolic}
 }
 
 // T8Overlap reproduces the fetch-overlap argument: "a large space-time
@@ -575,8 +603,15 @@ func T7NameSpace() (*metrics.Table, error) {
 // small that fault rates explode (thrashing). One engine cell per
 // multiprogramming degree; the sweep is analytic (no generated
 // workload to catalog).
-func T8Overlap() (*metrics.Table, error) {
-	sc := snapshot()
+func T8Overlap() (*metrics.Table, error) { return t8Def.run() }
+
+var t8Def = registerSweep("t8",
+	"T8 — multiprogramming overlap of page fetches",
+	[]string{"programs", "frames/program", "refs between faults",
+		"CPU utilization", "faults"},
+	t8Cells)
+
+func t8Cells(sc runConfig) []cell {
 	base := core.MultiprogramConfig{
 		TotalFrames:      64,
 		FetchTime:        5000,
@@ -601,10 +636,7 @@ func T8Overlap() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "T8 — multiprogramming overlap of page fetches",
-		[]string{"programs", "frames/program", "refs between faults",
-			"CPU utilization", "faults"},
-		cells)
+	return cells
 }
 
 // T8OverlapTraced is the trace-driven companion of T8: instead of the
@@ -614,8 +646,15 @@ func T8Overlap() (*metrics.Table, error) {
 // shared-core simulation; program i's trace is materialized once in
 // the sweep catalog, so degree 8 reuses the traces degrees 1–4
 // already forced.
-func T8OverlapTraced() (*metrics.Table, error) {
-	sc := snapshot()
+func T8OverlapTraced() (*metrics.Table, error) { return t8bDef.run() }
+
+var t8bDef = registerSweep("t8b",
+	"T8b — multiprogramming overlap, trace-driven (shared core, LRU pagers)",
+	[]string{"programs", "frames/program", "faults",
+		"switches", "CPU utilization"},
+	t8bCells)
+
+func t8bCells(sc runConfig) []cell {
 	const refs = 4000
 	degrees := []int{1, 2, 4, 8}
 	cells := make([]cell, len(degrees))
@@ -653,10 +692,7 @@ func T8OverlapTraced() (*metrics.Table, error) {
 			},
 		}
 	}
-	return runTable(sc, "T8b — multiprogramming overlap, trace-driven (shared core, LRU pagers)",
-		[]string{"programs", "frames/program", "faults",
-			"switches", "CPU utilization"},
-		cells)
+	return cells
 }
 
 // All runs every experiment in order. Within each experiment the cells
