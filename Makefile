@@ -33,10 +33,13 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of every benchmark: a smoke that the experiment
-# battery, the catalog shared-vs-regeneration comparison and the
-# substrate micro-benchmarks still run end to end.
+# battery, the catalog shared-vs-regeneration and disk-replay
+# comparisons, the batched-vs-per-cell dist round trips and the
+# substrate micro-benchmarks still run end to end. The CI bench job
+# publishes this output and benchstats it against main, so the batch
+# and disk-cache wins stay visible.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/experiments
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/experiments ./internal/workload/catalog ./internal/engine/dist
 
 # Build every example program, then run the quickstart end to end.
 examples:
@@ -50,9 +53,12 @@ sim:
 	$(GO) run ./cmd/dsasim -machine all -workload segments
 
 # Cross-process determinism check: a real multi-process sweep must be
-# byte-identical to the in-process pool, with every cell actually
-# distributed (the stderr summary proves no silent local fallback).
-# CI's dist-smoke job runs this; it is cheap enough to run locally.
+# byte-identical to the in-process pool — per-cell, batched, and
+# against a cold or warm workload cache directory — with every cell
+# actually distributed (the stderr summary proves no silent local
+# fallback) and the warm run actually replaying from disk (the store
+# summary proves zero regenerations). CI's dist-smoke job runs this;
+# it is cheap enough to run locally.
 dist-smoke:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/dsasim" ./cmd/dsasim; \
@@ -62,9 +68,24 @@ dist-smoke:
 	cat "$$tmp/sim-workers.err"; \
 	cmp "$$tmp/sim-parallel.out" "$$tmp/sim-workers.out"; \
 	grep -q "7 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/sim-workers.err"; \
+	"$$tmp/dsasim" -machine all -workers 2 -batch 3 -workload segments > "$$tmp/sim-batch.out"; \
+	cmp "$$tmp/sim-parallel.out" "$$tmp/sim-batch.out"; \
 	"$$tmp/dsafig" -parallel 4 t1 t4 > "$$tmp/fig-parallel.out"; \
 	"$$tmp/dsafig" -workers 2 t1 t4 > "$$tmp/fig-workers.out" 2> "$$tmp/fig-workers.err"; \
 	cat "$$tmp/fig-workers.err"; \
 	cmp "$$tmp/fig-parallel.out" "$$tmp/fig-workers.out"; \
 	grep -q "16 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/fig-workers.err"; \
-	echo "dist-smoke: workers and parallel output byte-identical"
+	"$$tmp/dsafig" -workers 2 -batch 4 t1 t4 > "$$tmp/fig-batch.out" 2> "$$tmp/fig-batch.err"; \
+	cmp "$$tmp/fig-parallel.out" "$$tmp/fig-batch.out"; \
+	grep -q "16 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/fig-batch.err"; \
+	"$$tmp/dsafig" -cache-dir "$$tmp/cache" t1 t4 > "$$tmp/fig-cold.out" 2> "$$tmp/fig-cold.err"; \
+	cat "$$tmp/fig-cold.err"; \
+	cmp "$$tmp/fig-parallel.out" "$$tmp/fig-cold.out"; \
+	grep -q "store: 4 generated, 12 hits, 0 disk hits, 4 disk writes" "$$tmp/fig-cold.err"; \
+	"$$tmp/dsafig" -cache-dir "$$tmp/cache" t1 t4 > "$$tmp/fig-warm.out" 2> "$$tmp/fig-warm.err"; \
+	cat "$$tmp/fig-warm.err"; \
+	cmp "$$tmp/fig-parallel.out" "$$tmp/fig-warm.out"; \
+	grep -q "store: 0 generated, 12 hits, 4 disk hits, 0 disk writes" "$$tmp/fig-warm.err"; \
+	"$$tmp/dsafig" -cache-dir "$$tmp/cache" -workers 2 -batch 4 t1 t4 > "$$tmp/fig-warm-dist.out"; \
+	cmp "$$tmp/fig-parallel.out" "$$tmp/fig-warm-dist.out"; \
+	echo "dist-smoke: workers, batched, and cached output byte-identical"

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	dsafig [-parallel N] [-workers N] [-seed S] [-progress] [experiment ...]
+//	dsafig [-parallel N] [-workers N] [-batch B] [-seed S]
+//	       [-cache-dir DIR] [-progress] [experiment ...]
 //
 // With no arguments every experiment runs in order. Experiment names:
 // fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8.
@@ -17,12 +18,21 @@
 // compiled-in sweep registry, and re-materializes its workloads from
 // their catalog keys — so the tables are byte-identical to any
 // in-process run, and a crashed worker costs FAILED cells, never the
-// battery.
+// battery. -batch B ships B cells per protocol frame (default 1),
+// amortizing the round trip on small-cell sweeps without changing a
+// byte.
+// -cache-dir backs the battery's workload store with a
+// content-addressed disk cache: a cold run writes every materialized
+// workload, later runs (and the worker processes, which share the
+// directory) replay them instead of regenerating. Corrupt or
+// version-skewed cache files are logged and regenerated; an unusable
+// directory degrades to memory-only. Bytes never change — only where
+// the workloads come from.
 // -seed 0 (the default) reproduces the paper-exact tables; any other
 // value re-derives every workload (and its catalog keys) so the same
 // battery explores a fresh, equally reproducible scenario.
-// -progress streams per-sweep cell counts and an ETA to stderr while
-// the tables stream to stdout.
+// -progress streams per-sweep cell counts, an ETA, and the sweep's
+// workload-cache traffic to stderr while the tables stream to stdout.
 //
 // The hidden `dsafig worker` subcommand is the child side of -workers,
 // started only by a dispatching dsafig.
@@ -38,6 +48,7 @@ import (
 	"dsa/internal/engine/dist"
 	"dsa/internal/experiments"
 	"dsa/internal/metrics"
+	"dsa/internal/workload/catalog"
 )
 
 var byName = map[string]func() (*metrics.Table, error){
@@ -63,11 +74,24 @@ var byName = map[string]func() (*metrics.Table, error){
 	"t0":   experiments.T0Overlay,
 }
 
+// newStore builds a workload store for this process, disk-backed when
+// cacheDir is set, with diagnostics prefixed for this command.
+func newStore(cacheDir string) *catalog.Catalog {
+	return catalog.NewStore(catalog.Options{Dir: cacheDir, Log: func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "dsafig: catalog: "+format+"\n", args...)
+	}})
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
 		// The experiments package registered its cell handler at init;
-		// serve cells until the dispatcher closes stdin.
-		if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
+		// serve cell batches until the dispatcher closes stdin. With
+		// -cache-dir the worker's per-process catalog is backed by the
+		// shared cache directory, so workloads replay across processes.
+		fs := flag.NewFlagSet("worker", flag.ExitOnError)
+		cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory shared with the dispatcher")
+		_ = fs.Parse(os.Args[2:])
+		if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOptions{Catalog: newStore(*cacheDir)}); err != nil {
 			fail(err)
 		}
 		return
@@ -75,22 +99,32 @@ func main() {
 	var (
 		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
 		workers  = flag.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
+		batch    = flag.Int("batch", 1, "cells per dist protocol frame with -workers (amortizes round trips)")
 		seed     = flag.Uint64("seed", 0, "base seed (0 = paper-exact tables; nonzero re-derives every workload)")
-		progress = flag.Bool("progress", false, "report per-sweep progress (cells done/failed/total, ETA) on stderr")
+		cacheDir = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
+		progress = flag.Bool("progress", false, "report per-sweep progress (cells done/failed/total, ETA, cache traffic) on stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dsafig [-parallel N] [-workers N] [-seed S] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
+			"usage: dsafig [-parallel N] [-workers N] [-batch B] [-seed S] [-cache-dir DIR] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	experiments.Configure(*parallel, *seed)
-	if *workers > 0 {
-		exe, err := os.Executable()
-		if err != nil {
-			fail(err)
+
+	// One battery-scoped store for everything this invocation runs:
+	// sweeps share workloads across experiments, and with -cache-dir
+	// they replay them across runs and processes.
+	store := newStore(*cacheDir)
+	experiments.UseStore(store)
+	defer func() {
+		if st := store.Stats(); *cacheDir != "" || *progress {
+			fmt.Fprintf(os.Stderr, "dsafig: store: %s\n", st.Summary())
 		}
-		pool, err := dist.NewPool(dist.Options{Workers: *workers, Command: exe, Args: []string{"worker"}})
+	}()
+
+	if *workers > 0 {
+		pool, err := dist.SelfPool(*workers, *batch, *cacheDir)
 		if err != nil {
 			fail(err)
 		}

@@ -8,21 +8,26 @@
 //	dsasim -machine b5000 -workload segments -refs 50000 -segs 64
 //	dsasim -machine recommended -workload segments
 //	dsasim -machine all -parallel 8 -workload segments
-//	dsasim -machine all -workers 2 -workload segments
+//	dsasim -machine all -workers 2 -batch 4 -workload segments
+//	dsasim -machine all -cache-dir traces.cache -workload segments
 //
 // Machines: atlas m44 b5000 rice b8500 multics m67 recommended, or
 // "all" to sweep every appendix machine concurrently through the
 // experiment engine (-parallel bounds the worker pool; reports print
 // in appendix order regardless of scheduling). -workers N distributes
 // the sweep's cells across N `dsasim worker` child processes instead
-// of goroutines (0 = in-process); output is byte-identical either
-// way, and a worker crash surfaces as a FAILED cell while the sweep
-// completes.
-// Workloads: workingset sequential random loop matrix segments.
+// of goroutines (0 = in-process), -batch B ships B cells per protocol
+// frame; output is byte-identical either way, and a worker crash
+// surfaces as FAILED cells while the sweep completes.
+// Workloads: workingset sequential random loop matrix segments. The
+// sweep materializes each distinct workload once in its shared catalog
+// (machines with equal linear extents replay one generation);
+// -cache-dir backs that catalog with a disk cache replayed across runs
+// and worker processes.
 //
 // The hidden `dsasim worker` subcommand is the child side of -workers:
-// it serves cells over the stdio protocol of internal/engine/dist and
-// is started only by a dispatching dsasim.
+// it serves cell batches over the stdio protocol of
+// internal/engine/dist and is started only by a dispatching dsasim.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"dsa/internal/sim"
 	"dsa/internal/trace"
 	"dsa/internal/workload"
+	"dsa/internal/workload/catalog"
 )
 
 // reportTask is the dist handler that runs one machine × workload cell
@@ -49,8 +55,8 @@ const reportTask = "dsasim/report"
 
 // registerWorkerTasks installs the handlers a `dsasim worker` process
 // serves. The handler and the in-process job closure both call
-// machineReport, so a distributed sweep is byte-identical by
-// construction.
+// machineReport against their process's catalog, so a distributed
+// sweep is byte-identical by construction.
 func registerWorkerTasks() {
 	dist.Handle(reportTask, func(ctx context.Context, c dist.Call) (interface{}, error) {
 		refs, err := strconv.Atoi(c.Spec.Args["refs"])
@@ -65,14 +71,25 @@ func registerWorkerTasks() {
 		if err != nil {
 			return nil, fmt.Errorf("bad scale %q: %w", c.Spec.Args["scale"], err)
 		}
-		return machineReport(c.Spec.Machine, c.Spec.Workload, refs, segs, scale, c.Seed)
+		return machineReport(c.Env.Catalog, c.Spec.Machine, c.Spec.Workload, refs, segs, scale, c.Seed)
 	})
+}
+
+// newStore builds this process's workload store, disk-backed when
+// cacheDir is set.
+func newStore(cacheDir string) *catalog.Catalog {
+	return catalog.NewStore(catalog.Options{Dir: cacheDir, Log: func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "dsasim: catalog: "+format+"\n", args...)
+	}})
 }
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
 		registerWorkerTasks()
-		if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fs := flag.NewFlagSet("worker", flag.ExitOnError)
+		cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory shared with the dispatcher")
+		_ = fs.Parse(os.Args[2:])
+		if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOptions{Catalog: newStore(*cacheDir)}); err != nil {
 			fail(err)
 		}
 		return
@@ -86,7 +103,9 @@ func main() {
 		scale       = flag.Int("scale", 2, "capacity scale divisor (1 = historical sizes)")
 		parallel    = flag.Int("parallel", 0, "engine workers for -machine all (0 = GOMAXPROCS)")
 		workers     = flag.Int("workers", 0, "distribute -machine all cells across N worker processes (0 = in-process)")
-		progress    = flag.Bool("progress", false, "report sweep progress (cells done/failed/total, ETA) on stderr")
+		batch       = flag.Int("batch", 1, "cells per dist protocol frame with -workers (amortizes round trips)")
+		cacheDir    = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
+		progress    = flag.Bool("progress", false, "report sweep progress (cells done/failed/total, ETA, cache traffic) on stderr")
 		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
 	)
 	flag.Parse()
@@ -95,7 +114,8 @@ func main() {
 		if *traceFile != "" {
 			fail(fmt.Errorf("-trace cannot be combined with -machine all"))
 		}
-		if err := runAll(*parallel, *workers, *progress, strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
+		if err := runAll(*parallel, *workers, *batch, *cacheDir, *progress,
+			strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
 			fail(err)
 		}
 		return
@@ -111,7 +131,9 @@ func main() {
 	if *traceFile != "" {
 		rep, err = runTraceFile(m, *traceFile)
 	} else {
-		rep, err = runWorkload(m, strings.ToLower(*workloadKin), *refs, *segs, *seed)
+		// A single-machine run still goes through a store, so
+		// -cache-dir replays the workload across invocations.
+		rep, err = runWorkload(newStore(*cacheDir), m, strings.ToLower(*workloadKin), *refs, *segs, *seed)
 	}
 	if err != nil {
 		fail(err)
@@ -124,11 +146,16 @@ func main() {
 // each prefix of the sweep completes. With progress enabled, cell
 // completion counts and an ETA stream to stderr while reports stream
 // to stdout. With workers > 0 the cells run in that many `dsasim
-// worker` child processes — byte-identical output, since each cell is
-// rebuilt from {machine, workload, seed} and every RNG is key-derived.
-func runAll(parallel, workers int, progress bool, kind string, refs, segs int, seed uint64, scale int) error {
+// worker` child processes, batch cells per protocol frame —
+// byte-identical output, since each cell is rebuilt from {machine,
+// workload, seed} and every RNG is key-derived. The sweep shares one
+// workload store: machines whose workloads coincide (equal linear
+// extents, or the machine-independent kinds) replay a single
+// materialization, disk-backed when cacheDir is set.
+func runAll(parallel, workers, batch int, cacheDir string, progress bool, kind string, refs, segs int, seed uint64, scale int) error {
 	names := []string{"atlas", "m44", "b5000", "rice", "b8500", "multics", "m67"}
-	opts := engine.Options{Parallel: parallel, Seed: seed}
+	store := newStore(cacheDir)
+	opts := engine.Options{Parallel: parallel, Seed: seed, Catalog: store}
 	if progress {
 		opts.OnProgress = func(p engine.Progress) {
 			fmt.Fprintf(os.Stderr, "dsasim: machine sweep: %s\n", p)
@@ -136,11 +163,8 @@ func runAll(parallel, workers int, progress bool, kind string, refs, segs int, s
 	}
 	var pool *dist.Pool
 	if workers > 0 {
-		exe, err := os.Executable()
-		if err != nil {
-			return err
-		}
-		pool, err = dist.NewPool(dist.Options{Workers: workers, Command: exe, Args: []string{"worker"}})
+		var err error
+		pool, err = dist.SelfPool(workers, batch, cacheDir)
 		if err != nil {
 			return err
 		}
@@ -161,8 +185,8 @@ func runAll(parallel, workers int, progress bool, kind string, refs, segs int, s
 					"scale": strconv.Itoa(scale),
 				},
 			},
-			Run: func(ctx context.Context, _ engine.Env) (interface{}, error) {
-				return machineReport(name, kind, refs, segs, scale, seed)
+			Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+				return machineReport(env.Catalog, name, kind, refs, segs, scale, seed)
 			},
 		}
 	}
@@ -180,18 +204,22 @@ func runAll(parallel, workers int, progress bool, kind string, refs, segs int, s
 	if pool != nil {
 		fmt.Fprintf(os.Stderr, "dsasim: dist: %s\n", pool.Stats().Summary(workers))
 	}
+	if cacheDir != "" || progress {
+		fmt.Fprintf(os.Stderr, "dsasim: store: %s\n", store.Stats().Summary())
+	}
 	return firstErr
 }
 
 // machineReport runs one machine × workload cell and renders its
 // report: the single implementation behind both the in-process sweep
-// closure and the `dsasim worker` handler.
-func machineReport(name, kind string, refs, segs, scale int, seed uint64) (string, error) {
+// closure and the `dsasim worker` handler. cat is the running
+// process's shared workload store.
+func machineReport(cat *catalog.Catalog, name, kind string, refs, segs, scale int, seed uint64) (string, error) {
 	m, err := buildMachine(name, scale)
 	if err != nil {
 		return "", err
 	}
-	rep, err := runWorkload(m, kind, refs, segs, seed)
+	rep, err := runWorkload(cat, m, kind, refs, segs, seed)
 	if err != nil {
 		return "", err
 	}
@@ -245,24 +273,75 @@ func buildMachine(name string, scale int) (*machine.Machine, error) {
 	}
 }
 
-func runWorkload(m *machine.Machine, kind string, refs, segs int, seed uint64) (*core.Report, error) {
+// runWorkload materializes the machine's workload through the shared
+// store and replays it. The catalog keys embed every generation
+// determinant — kind, extent or cap, counts, and the seed for the
+// stochastic kinds — so two machines whose parameters coincide share
+// one materialization (in this process, across worker processes via
+// the cache directory, and across runs), and two that differ can never
+// alias. Replay APIs treat the trace as read-only, upholding the
+// store's immutability contract.
+func runWorkload(cat *catalog.Catalog, m *machine.Machine, kind string, refs, segs int, seed uint64) (*core.Report, error) {
 	paged := m.System.Characteristics().UniformUnits
 	switch kind {
 	case "segments":
-		w := machine.CommonWorkload(seed, segs, refs)
+		w, err := catalog.Get(cat,
+			fmt.Sprintf("dsasim/segments/segs=%d/refs=%d@%x", segs, refs, seed),
+			func() (machine.SegWorkload, error) {
+				return machine.CommonWorkload(seed, segs, refs), nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		return m.RunWorkload(w)
 	case "sequential":
-		return m.RunLinear(linearCapped(m, workload.Sequential(32*1024, 1+refs/(32*1024)), paged))
+		limit := linearExtent(m, paged)
+		tr, err := catalog.Get(cat,
+			fmt.Sprintf("dsasim/sequential/refs=%d/limit=%d", refs, limit),
+			func() (trace.Trace, error) {
+				return capTrace(workload.Sequential(32*1024, 1+refs/(32*1024)), limit), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return m.RunLinear(tr)
 	case "random":
 		extent := linearExtent(m, paged)
-		return m.RunLinear(workload.UniformRandom(sim.NewRNG(seed), extent, refs))
+		tr, err := catalog.Get(cat,
+			fmt.Sprintf("dsasim/random/extent=%d/refs=%d@%x", extent, refs, seed),
+			func() (trace.Trace, error) {
+				return workload.UniformRandom(sim.NewRNG(seed), extent, refs), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return m.RunLinear(tr)
 	case "loop":
-		return m.RunLinear(workload.Loop(24, 512, refs/24+1))
+		tr, err := catalog.Get(cat,
+			fmt.Sprintf("dsasim/loop/refs=%d", refs),
+			func() (trace.Trace, error) {
+				return workload.Loop(24, 512, refs/24+1), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return m.RunLinear(tr)
 	case "matrix":
-		return m.RunLinear(workload.Matrix(128, 128, true))
+		tr, err := catalog.Get(cat, "dsasim/matrix/rows=128/cols=128/bycols",
+			func() (trace.Trace, error) {
+				return workload.Matrix(128, 128, true), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return m.RunLinear(tr)
 	case "workingset":
 		extent := linearExtent(m, paged)
-		tr, err := workload.WorkingSet(sim.NewRNG(seed), workload.WorkloadWS(extent, refs))
+		tr, err := catalog.Get(cat,
+			fmt.Sprintf("dsasim/workingset/extent=%d/refs=%d@%x", extent, refs, seed),
+			func() (trace.Trace, error) {
+				return workload.WorkingSet(sim.NewRNG(seed), workload.WorkloadWS(extent, refs))
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -287,8 +366,8 @@ func linearExtent(m *machine.Machine, paged bool) uint64 {
 	return ext / 4
 }
 
-func linearCapped(m *machine.Machine, tr trace.Trace, paged bool) trace.Trace {
-	limit := linearExtent(m, paged)
+// capTrace drops references at or beyond limit, into fresh storage.
+func capTrace(tr trace.Trace, limit uint64) trace.Trace {
 	out := make(trace.Trace, 0, len(tr))
 	for _, r := range tr {
 		if r.Name < limit {

@@ -6,6 +6,7 @@
 //	dsatrace gen  -kind workingset -extent 32768 -refs 20000 > t.trace
 //	dsatrace gen  -kind loop -pages 24 -passes 50 > loop.trace
 //	dsatrace batch -out traces -kinds workingset,random -variants 4 -parallel 4 -progress
+//	dsatrace batch -out traces -cache-dir traces.cache -workers 2 -batch 4
 //	dsatrace stat < t.trace
 //	dsatrace advise -phase 2500 -span 2048 < t.trace > advised.trace
 //
@@ -14,13 +15,22 @@
 //	gen     generate a trace to stdout
 //	batch   materialize a whole set of traces to files, fanned across
 //	        the experiment engine (-parallel workers, -progress for
-//	        cells done/failed/total and ETA on stderr). Stochastic
-//	        kinds get one derived seed per variant via sim.SeedFor;
-//	        deterministic kinds (sequential, loop, matrix) are
-//	        materialized once in the shared workload catalog and
-//	        written once per variant.
+//	        cells done/failed/total and ETA on stderr) or across
+//	        `dsatrace worker` child processes (-workers N, -batch B
+//	        cells per protocol frame; byte-identical output).
+//	        Deterministic kinds materialize once in the shared workload
+//	        store and serve every variant; with -cache-dir the store is
+//	        disk-backed and every trace — stochastic variants included,
+//	        under keys embedding kind, parameters and derived seed — is
+//	        written to the cache, so a re-run (or any sweep sharing the
+//	        directory) replays instead of regenerating. Without
+//	        -cache-dir, unique-seed variants bypass the store: pinning
+//	        what can never be shared would only hold memory.
 //	stat    summarize a trace from stdin
 //	advise  interleave accurate WillNeed/WontNeed advice
+//
+// The hidden `dsatrace worker` subcommand is the child side of
+// -workers, started only by a dispatching dsatrace.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"dsa/internal/engine"
@@ -38,6 +49,10 @@ import (
 	"dsa/internal/workload"
 	"dsa/internal/workload/catalog"
 )
+
+// writeTask is the dist handler that materializes and writes one trace
+// file in a worker process.
+const writeTask = "dsatrace/write"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -52,6 +67,8 @@ func main() {
 		cmdStat()
 	case "advise":
 		cmdAdvise(os.Args[2:])
+	case "worker":
+		cmdWorker(os.Args[2:])
 	default:
 		usage()
 	}
@@ -99,6 +116,28 @@ func genTrace(kind string, seed uint64, g genSpec) (trace.Trace, error) {
 	}
 }
 
+// storeKey names one trace in the workload store. Every generation
+// determinant is embedded — the kind's parameters, and the derived
+// seed for stochastic kinds — so the key is valid across processes and
+// runs (the disk layer's contract), and distinct specs can never
+// alias one cache entry.
+func storeKey(kind string, seed uint64, g genSpec) string {
+	switch kind {
+	case "workingset":
+		return fmt.Sprintf("dsatrace/workingset/extent=%d/refs=%d@%x", g.extent, g.refs, seed)
+	case "random":
+		return fmt.Sprintf("dsatrace/random/extent=%d/refs=%d@%x", g.extent, g.refs, seed)
+	case "sequential":
+		return fmt.Sprintf("dsatrace/sequential/extent=%d/passes=%d", g.extent, g.passes)
+	case "loop":
+		return fmt.Sprintf("dsatrace/loop/pages=%d/psize=%d/passes=%d", g.pages, g.psize, g.passes)
+	case "matrix":
+		return fmt.Sprintf("dsatrace/matrix/rows=%d/cols=%d/bycols=%v", g.rows, g.cols, g.byCols)
+	default:
+		return "dsatrace/" + kind
+	}
+}
+
 // specFlags registers the generation-parameter flags shared by gen and
 // batch and returns the spec they fill.
 func specFlags(fs *flag.FlagSet) *genSpec {
@@ -112,6 +151,45 @@ func specFlags(fs *flag.FlagSet) *genSpec {
 	fs.IntVar(&g.cols, "cols", 128, "matrix cols")
 	fs.BoolVar(&g.byCols, "bycols", false, "matrix column-order traversal")
 	return g
+}
+
+// args serializes the spec for the dist wire (see parseGenSpec).
+func (g genSpec) args() map[string]string {
+	return map[string]string{
+		"extent": strconv.FormatUint(g.extent, 10),
+		"refs":   strconv.Itoa(g.refs),
+		"pages":  strconv.Itoa(g.pages),
+		"psize":  strconv.FormatUint(g.psize, 10),
+		"passes": strconv.Itoa(g.passes),
+		"rows":   strconv.Itoa(g.rows),
+		"cols":   strconv.Itoa(g.cols),
+		"bycols": strconv.FormatBool(g.byCols),
+	}
+}
+
+// parseGenSpec rebuilds a genSpec from wire args.
+func parseGenSpec(a map[string]string) (genSpec, error) {
+	var g genSpec
+	var err error
+	fail := func(field string, e error) error { return fmt.Errorf("bad %s %q: %w", field, a[field], e) }
+	if g.extent, err = strconv.ParseUint(a["extent"], 10, 64); err != nil {
+		return g, fail("extent", err)
+	}
+	if g.psize, err = strconv.ParseUint(a["psize"], 10, 64); err != nil {
+		return g, fail("psize", err)
+	}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"refs", &g.refs}, {"pages", &g.pages}, {"passes", &g.passes}, {"rows", &g.rows}, {"cols", &g.cols}} {
+		if *f.dst, err = strconv.Atoi(a[f.name]); err != nil {
+			return g, fail(f.name, err)
+		}
+	}
+	if g.byCols, err = strconv.ParseBool(a["bycols"]); err != nil {
+		return g, fail("bycols", err)
+	}
+	return g, nil
 }
 
 func cmdGen(args []string) {
@@ -130,10 +208,84 @@ func cmdGen(args []string) {
 	}
 }
 
+// newStore builds this process's workload store, disk-backed when
+// cacheDir is set.
+func newStore(cacheDir string) *catalog.Catalog {
+	return catalog.NewStore(catalog.Options{Dir: cacheDir, Log: func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "dsatrace: catalog: "+format+"\n", args...)
+	}})
+}
+
+// registerWorkerTasks installs the handlers a `dsatrace worker`
+// process serves; the handler and the in-process job closure both call
+// writeTrace, so distribution changes no output byte.
+func registerWorkerTasks() {
+	dist.Handle(writeTask, func(ctx context.Context, c dist.Call) (interface{}, error) {
+		g, err := parseGenSpec(c.Spec.Args)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseUint(c.Spec.Args["seed"], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", c.Spec.Args["seed"], err)
+		}
+		return writeTrace(c.Env.Catalog, c.Spec.Args["kind"], c.Spec.Args["path"], seed, g)
+	})
+}
+
+// cmdWorker is the hidden child side of `dsatrace batch -workers`.
+func cmdWorker(args []string) {
+	registerWorkerTasks()
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory shared with the dispatcher")
+	_ = fs.Parse(args)
+	if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOptions{Catalog: newStore(*cacheDir)}); err != nil {
+		fail(err)
+	}
+}
+
+// writeTrace materializes one trace through the store and encodes it
+// to its output file: the single implementation behind the in-process
+// batch cell and the worker handler. A stochastic trace's key embeds
+// its unique variant seed, so it can never be shared within a run —
+// it goes through GetOnce, which replays from (and writes to) the
+// disk layer without pinning the trace in memory: one stochastic
+// trace is resident at a time no matter how many variants the batch
+// asks for. Deterministic kinds are shared by every variant and use
+// the pinning path.
+func writeTrace(cat *catalog.Catalog, kind, path string, seed uint64, g genSpec) (string, error) {
+	gen := func() (trace.Trace, error) { return genTrace(kind, seed, g) }
+	var tr trace.Trace
+	var err error
+	if stochastic(kind) {
+		tr, err = catalog.GetOnce(cat, storeKey(kind, seed, g), gen)
+	} else {
+		tr, err = catalog.Get(cat, storeKey(kind, seed, g), gen)
+	}
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := trace.Encode(f, tr); err != nil {
+		f.Close()
+		os.Remove(path) // never leave a truncated trace behind
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	return fmt.Sprintf("%s: %d events", path, len(tr)), nil
+}
+
 // cmdBatch materializes kinds × variants traces to files through the
 // experiment engine: one job per output file, fanned across -parallel
-// workers, sharing one workload catalog so identical specs (all
-// variants of a deterministic kind) generate exactly once.
+// goroutines or -workers child processes, sharing one workload store
+// so identical specs (all variants of a deterministic kind, or
+// anything already in the -cache-dir) generate exactly once.
 func cmdBatch(args []string) {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	var (
@@ -142,7 +294,10 @@ func cmdBatch(args []string) {
 		variants = fs.Int("variants", 1, "seed variants per kind")
 		seed     = fs.Uint64("seed", 1, "base seed; variant seeds derive via sim.SeedFor")
 		parallel = fs.Int("parallel", 0, "engine workers (0 = GOMAXPROCS)")
-		progress = fs.Bool("progress", false, "report batch progress (files done/failed/total, ETA) on stderr")
+		workers  = fs.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
+		batch    = fs.Int("batch", 1, "cells per dist protocol frame with -workers")
+		cacheDir = fs.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
+		progress = fs.Bool("progress", false, "report batch progress (files done/failed/total, ETA, cache traffic) on stderr")
 	)
 	g := specFlags(fs)
 	_ = fs.Parse(args)
@@ -156,11 +311,12 @@ func cmdBatch(args []string) {
 	type spec struct {
 		kind string
 		path string
-		key  string // catalog key: kind plus derived seed for stochastic kinds
 		seed uint64
 	}
 	var specs []spec
+	shared := 0 // jobs whose store key aliases an earlier job's
 	seen := make(map[string]bool)
+	seenKeys := make(map[string]bool)
 	for _, kind := range strings.Split(*kinds, ",") {
 		kind = strings.TrimSpace(kind)
 		if kind == "" || seen[kind] {
@@ -168,58 +324,55 @@ func cmdBatch(args []string) {
 		}
 		seen[kind] = true
 		for v := 0; v < *variants; v++ {
-			sp := spec{kind: kind, path: filepath.Join(*out, fmt.Sprintf("%s-%d.trace", kind, v))}
+			sp := spec{kind: kind, seed: *seed,
+				path: filepath.Join(*out, fmt.Sprintf("%s-%d.trace", kind, v))}
 			if stochastic(kind) {
-				// Unique seed per variant: nothing to share, so the trace
-				// is generated directly (not pinned in the catalog).
+				// Unique seed per variant; the store key embeds it, so
+				// variants share nothing with each other but everything
+				// with their own replay on a warm cache.
 				sp.seed = sim.SeedFor(*seed, fmt.Sprintf("dsatrace/%s/variant=%d", kind, v))
+			}
+			if key := storeKey(kind, sp.seed, *g); seenKeys[key] {
+				shared++
 			} else {
-				// Parameter-determined: one catalog materialization serves
-				// every variant.
-				sp.key = kind
+				seenKeys[key] = true
 			}
 			specs = append(specs, sp)
 		}
 	}
 
-	opts := engine.Options{Parallel: *parallel, Seed: *seed}
+	store := newStore(*cacheDir)
+	opts := engine.Options{Parallel: *parallel, Seed: *seed, Catalog: store}
 	if *progress {
 		opts.OnProgress = func(p engine.Progress) {
 			fmt.Fprintf(os.Stderr, "dsatrace: batch: %s\n", p)
 		}
 	}
+	var pool *dist.Pool
+	if *workers > 0 {
+		var err error
+		pool, err = dist.SelfPool(*workers, *batch, *cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		defer pool.Close()
+		opts.Executor = pool
+	}
 	eng := engine.New(opts)
 	jobs := make([]engine.Job, len(specs))
 	for i, sp := range specs {
 		sp := sp
-		jobs[i] = engine.Job{Key: "batch/" + sp.path, Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
-			var tr trace.Trace
-			var err error
-			if sp.key == "" {
-				tr, err = genTrace(sp.kind, sp.seed, *g)
-			} else {
-				tr, err = catalog.Get(env.Catalog, sp.key, func() (trace.Trace, error) {
-					return genTrace(sp.kind, sp.seed, *g)
-				})
-			}
-			if err != nil {
-				return nil, err
-			}
-			f, err := os.Create(sp.path)
-			if err != nil {
-				return nil, err
-			}
-			if err := trace.Encode(f, tr); err != nil {
-				f.Close()
-				os.Remove(sp.path) // never leave a truncated trace behind
-				return nil, err
-			}
-			if err := f.Close(); err != nil {
-				os.Remove(sp.path)
-				return nil, err
-			}
-			return fmt.Sprintf("%s: %d events", sp.path, len(tr)), nil
-		}}
+		specArgs := g.args()
+		specArgs["kind"] = sp.kind
+		specArgs["path"] = sp.path
+		specArgs["seed"] = strconv.FormatUint(sp.seed, 16)
+		jobs[i] = engine.Job{
+			Key:  "batch/" + sp.path,
+			Spec: &engine.Spec{Task: writeTask, Workload: sp.kind, Args: specArgs},
+			Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+				return writeTrace(env.Catalog, sp.kind, sp.path, sp.seed, *g)
+			},
+		}
 	}
 	var firstErr error
 	wrote := 0
@@ -238,9 +391,18 @@ func cmdBatch(args []string) {
 		wrote++
 		fmt.Println(r.Value.(string))
 	})
-	st := eng.Catalog().Stats()
+	// The sharing count is structural — how many jobs' store keys alias
+	// an earlier job's — so this line is byte-identical however the
+	// cells ran (-parallel, -workers, warm or cold cache); the runtime
+	// cache traffic goes to stderr below.
 	fmt.Printf("wrote %d of %d files (%d served from the shared catalog)\n",
-		wrote, len(specs), st.Hits)
+		wrote, len(specs), shared)
+	if pool != nil {
+		fmt.Fprintf(os.Stderr, "dsatrace: dist: %s\n", pool.Stats().Summary(*workers))
+	}
+	if *cacheDir != "" || *progress {
+		fmt.Fprintf(os.Stderr, "dsatrace: store: %s\n", store.Stats().Summary())
+	}
 	if firstErr != nil {
 		fail(firstErr)
 	}

@@ -79,9 +79,14 @@
 //     the budget.
 //   - -workers N shards cells across N child worker processes
 //     (internal/engine/dist): the dispatcher spawns `dsasim worker` /
-//     `dsafig worker` children and ships each cell over a
-//     length-prefixed gob stdio protocol as {task, cell key, base
-//     seed} plus its parameters. 0 (the default) stays in-process.
+//     `dsafig worker` / `dsatrace worker` children and ships cells
+//     over a length-prefixed gob stdio protocol as {task, cell key,
+//     base seed} plus parameters. 0 (the default) stays in-process.
+//     -batch B packs B cells into each protocol frame, amortizing the
+//     gob+pipe round trip; on small-cell sweeps batching is worth
+//     several× (see BenchmarkDistRoundTrips). A crash costs at most
+//     one in-flight batch, so keep B modest (4–16) — large B trades
+//     containment granularity for round-trip savings, never bytes.
 //
 // The determinism guarantee is identical on both axes, and is CI-
 // enforced: every cell's RNG derives from (base seed, cell key) via
@@ -89,20 +94,58 @@
 // and workloads re-materialize in each worker's own catalog from their
 // "<name>@<seed>" keys, so the immutable workload catalog is the
 // serialization boundary and no workload bytes ever cross the wire.
-// `-workers N` output is byte-for-byte `-parallel N` output (the CI
-// dist-smoke job diffs a real multi-process sweep against the
-// in-process pool and fails on the first differing byte; `make
-// dist-smoke` runs the same check locally).
+// `-workers N` output is byte-for-byte `-parallel N` output at any
+// batch size (the CI dist-smoke job diffs real multi-process sweeps —
+// per-cell, batched, and cache-warm — against the in-process pool and
+// fails on the first differing byte; `make dist-smoke` runs the same
+// checks locally).
 //
 // Fault containment extends across the process boundary: a worker that
-// crashes or is killed mid-cell costs exactly its in-flight cells —
+// crashes or is killed mid-batch costs exactly its in-flight cells —
 // they surface as FAILED rows, attributably (child stderr is prefixed
-// with the worker slot and cell key) — while the dispatcher respawns
-// the slot within a bounded budget and the sweep completes. A slot
-// that cannot be respawned degrades to running its cells in-process,
-// so output is still complete and byte-identical. Idle workers steal
-// queued cells from busy ones, so one expensive cell cannot idle the
-// pool.
+// with the worker slot and cell key, and a partial line in flight at
+// the crash is flushed with its prefix rather than lost) — while the
+// dispatcher respawns the slot within a bounded budget and the sweep
+// completes. A slot that cannot be respawned degrades to running its
+// cells in-process, so output is still complete and byte-identical.
+// Idle workers steal queued cell batches from busy ones, so one
+// expensive cell cannot idle the pool.
+//
+// # Caching workloads
+//
+// Workload generation is pure and deterministic, which makes it
+// cacheable at every scope. The catalog (internal/workload/catalog)
+// is a scope chain: each sweep's catalog is a child of a
+// battery-scoped store, so a workload key declared by several sweeps —
+// or by the same experiment run twice — materializes once per battery,
+// not once per sweep. All of this is automatic; two flags extend it
+// across processes and runs:
+//
+//   - -cache-dir DIR backs the store with a content-addressed disk
+//     layer: every materialized workload is written (atomically,
+//     checksummed, under a versioned header) to DIR and replayed by
+//     later misses anywhere the directory is shared — a warm rerun, a
+//     `dsatrace batch` replay, or the -workers children, which are
+//     spawned with the same flag and read the same directory. Replay
+//     beats regeneration severalfold on trace-heavy sweeps
+//     (BenchmarkDiskReplay), and bytes never change: cold and warm
+//     runs are diffed in CI.
+//   - -progress reports each sweep's cache traffic alongside its ETA
+//     ("workloads: 3 generated, 6 hits, 2 disk hits, ..."), so cache
+//     effectiveness is visible per sweep; dsafig and dsatrace also
+//     print a battery-total store line on stderr.
+//
+// The cache only ever degrades toward regeneration: a corrupt,
+// truncated, version-skewed or type-skewed file is logged and
+// regenerated in place; an unwritable directory is logged once and the
+// run continues memory-only; a value gob cannot encode stays
+// memory-only. No cache state can wedge a sweep or change a table.
+// Keys embed every generation parameter plus the derived seed, and
+// catalog.DiskVersion must be bumped when a generator's output
+// changes, so a stale cache can never replay old science. Batch
+// sizing guidance: -batch amortizes protocol round trips (cheap cells
+// → higher B), -cache-dir amortizes generation (expensive workloads →
+// always worth it); they compose freely with -parallel/-workers.
 package dsa
 
 import (

@@ -70,10 +70,23 @@ func registerTestHandlers() {
 		fmt.Fprintf(os.Stderr, "grumble from %s\nsecond line\n", c.Key)
 		return c.Key, nil
 	})
+	Handle("test/crash-midline", func(ctx context.Context, c Call) (interface{}, error) {
+		// Dying words without a trailing newline: the dispatcher's
+		// prefixer must flush them at teardown instead of losing them.
+		fmt.Fprintf(os.Stderr, "dying words from %s", c.Key)
+		os.Stderr.Sync()
+		os.Exit(3)
+		return nil, nil
+	})
 }
 
 // newTestPool builds a pool of this test binary in worker mode.
 func newTestPool(t *testing.T, workers int, stderr io.Writer) *Pool {
+	return newBatchPool(t, workers, 0, stderr)
+}
+
+// newBatchPool is newTestPool with an explicit protocol batch size.
+func newBatchPool(t *testing.T, workers, batch int, stderr io.Writer) *Pool {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
@@ -81,6 +94,7 @@ func newTestPool(t *testing.T, workers int, stderr io.Writer) *Pool {
 	}
 	p, err := NewPool(Options{
 		Workers: workers,
+		Batch:   batch,
 		Command: exe,
 		Env:     append(os.Environ(), workerEnv+"=1"),
 		Stderr:  stderr,
@@ -135,6 +149,78 @@ func TestDistMatchesInProcess(t *testing.T) {
 	st := pool.Stats()
 	if st.Remote != 12 || st.Local != 0 {
 		t.Errorf("stats = %+v, want 12 remote cells", st)
+	}
+}
+
+// TestBatchedDistMatchesInProcess: batching cells onto protocol
+// frames must change round-trip counts, never bytes — at several batch
+// sizes including ones that do not divide the cell count.
+func TestBatchedDistMatchesInProcess(t *testing.T) {
+	local := renderSweep(t, engine.Options{Parallel: 2, Seed: 7}, rowJobs(13))
+	for _, batch := range []int{2, 5, 64} {
+		pool := newBatchPool(t, 2, batch, io.Discard)
+		dist := renderSweep(t, engine.Options{Seed: 7, Executor: pool}, rowJobs(13))
+		if local != dist {
+			t.Errorf("batch=%d output diverged from in-process:\nlocal:\n%s\ndist:\n%s", batch, local, dist)
+		}
+		st := pool.Stats()
+		if st.Remote != 13 || st.Local != 0 || st.Crashes != 0 {
+			t.Errorf("batch=%d stats = %+v, want 13 remote cells", batch, st)
+		}
+	}
+}
+
+// TestBatchCrashContainedPerBatch: a worker dying mid-batch costs
+// exactly the in-flight batch — every cell of it a contained FAILED
+// row — while the rest of the sweep completes remotely on the
+// respawned slot.
+func TestBatchCrashContainedPerBatch(t *testing.T) {
+	jobs := rowJobs(12)
+	jobs[2] = engine.Job{Key: "cell-02", Spec: &engine.Spec{Task: "test/crash"}}
+
+	pool := newBatchPool(t, 1, 3, io.Discard)
+	eng := engine.New(engine.Options{Seed: 1, Executor: pool})
+	results := eng.Run(context.Background(), jobs)
+
+	var failed int
+	for _, r := range results {
+		if r.Panicked {
+			failed++
+			if !strings.Contains(r.Err.Error(), "crashed") {
+				t.Errorf("%s: error %v, want worker-crash containment", r.Key, r.Err)
+			}
+		} else if r.Err != nil {
+			t.Errorf("%s: unexpected error %v", r.Key, r.Err)
+		}
+	}
+	st := pool.Stats()
+	// One slot at batch 3: cells 0..2 were in flight, all three lost.
+	if failed != 3 || st.Crashes != 3 {
+		t.Errorf("failed=%d crashes=%d (stats %+v), want the 3-cell batch contained", failed, st.Crashes, st)
+	}
+	if st.Respawns < 1 {
+		t.Errorf("respawns = %d, want >= 1 (slot must recover)", st.Respawns)
+	}
+	if st.Remote != 9 {
+		t.Errorf("remote = %d, want 9 (every healthy batch stays distributed)", st.Remote)
+	}
+	// In a batch containing one panicking cell the worker survives and
+	// the batch's other cells still succeed.
+	jobs = rowJobs(4)
+	jobs[1] = engine.Job{Key: "cell-01", Spec: &engine.Spec{Task: "test/panic"}}
+	pool2 := newBatchPool(t, 1, 4, io.Discard)
+	eng2 := engine.New(engine.Options{Seed: 1, Executor: pool2})
+	for _, r := range eng2.Run(context.Background(), jobs) {
+		if r.Key == "cell-01" {
+			if !r.Panicked || !strings.Contains(r.Err.Error(), "remote boom") {
+				t.Errorf("panicking cell = %+v, want contained panic", r)
+			}
+		} else if r.Err != nil {
+			t.Errorf("%s failed alongside a contained panic: %v", r.Key, r.Err)
+		}
+	}
+	if st := pool2.Stats(); st.Crashes != 0 || st.Remote != 4 {
+		t.Errorf("stats = %+v, want 4 remote cells and no crash (panic contained in-worker)", st)
 	}
 }
 
@@ -350,6 +436,25 @@ func TestStderrPrefixNamesCell(t *testing.T) {
 	}
 }
 
+// TestCrashPartialLineFlushed: a worker that dies with an unterminated
+// stderr line in flight must still get that line printed, prefixed
+// with its slot and cell key — the last pre-crash log is evidence, not
+// noise.
+func TestCrashPartialLineFlushed(t *testing.T) {
+	var buf syncBuffer
+	jobs := []engine.Job{{Key: "doomed/cell", Spec: &engine.Spec{Task: "test/crash-midline"}}}
+	pool := newTestPool(t, 1, &buf)
+	eng := engine.New(engine.Options{Executor: pool})
+	results := eng.Run(context.Background(), jobs)
+	if !results[0].Panicked {
+		t.Fatalf("crashed cell = %+v, want contained crash", results[0])
+	}
+	want := "worker[0] doomed/cell: dying words from doomed/cell\n"
+	if out := buf.String(); !strings.Contains(out, want) {
+		t.Errorf("stderr missing flushed partial line %q; got:\n%s", want, out)
+	}
+}
+
 // syncBuffer is a goroutine-safe bytes.Buffer for child stderr.
 type syncBuffer struct {
 	mu  sync.Mutex
@@ -385,10 +490,81 @@ func TestPrefixWriter(t *testing.T) {
 	}
 }
 
+// TestPrefixWriterFlushRecoversPartialLine pins the crash-path
+// contract: Flush emits a buffered unterminated line with the prefix
+// captured at its first byte, plus a closing newline; at a line
+// boundary it is a no-op.
+func TestPrefixWriterFlushRecoversPartialLine(t *testing.T) {
+	var buf bytes.Buffer
+	w := Prefixed(&buf, "w: ")
+	io.WriteString(w, "done line\nlast gasp")
+	if got, want := buf.String(), "w: done line\n"; got != want {
+		t.Fatalf("before flush: %q, want %q (partial line held back)", got, want)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "w: done line\nw: last gasp\n"; got != want {
+		t.Errorf("after flush: %q, want %q", got, want)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "w: done line\nw: last gasp\n" {
+		t.Errorf("idle flush emitted bytes: %q", got)
+	}
+}
+
+// TestPrefixWriterHardFlushTerminates: an oversized newline-less line
+// is hard-flushed as a terminated, prefixed line, so a concurrent
+// writer on the same destination can never glue onto it mid-line.
+func TestPrefixWriterHardFlushTerminates(t *testing.T) {
+	var buf bytes.Buffer
+	w := Prefixed(&buf, "p: ")
+	huge := strings.Repeat("x", maxBufferedLine+10)
+	if _, err := io.WriteString(w, huge); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Errorf("hard-flushed chunk not newline-terminated (%d bytes, tail %q)", len(out), out[max(0, len(out)-5):])
+	}
+	if !strings.HasPrefix(out, "p: ") {
+		t.Errorf("hard-flushed chunk lost its prefix: %q...", out[:10])
+	}
+	// The line's continuation starts a fresh prefixed line.
+	io.WriteString(w, "tail")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rest := buf.String()[len(out):]; rest != "p: tail\n" {
+		t.Errorf("continuation chunk = %q, want a fresh prefixed line", rest)
+	}
+}
+
+// TestPrefixWriterAtomicLines: two prefix writers interleaving partial
+// writes onto one destination must still emit whole prefixed lines —
+// the property that keeps N worker slots' stderr readable.
+func TestPrefixWriterAtomicLines(t *testing.T) {
+	var buf bytes.Buffer
+	a := Prefixed(&buf, "a: ")
+	b := Prefixed(&buf, "b: ")
+	io.WriteString(a, "first half")
+	io.WriteString(b, "other writer\n")
+	io.WriteString(a, " second half\n")
+	want := "b: other writer\na: first half second half\n"
+	if buf.String() != want {
+		t.Errorf("interleaved writes got %q, want %q", buf.String(), want)
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := request{ID: 9, Index: 4, Key: "k", Seed: 77, Spec: engine.Spec{
-		Task: "t", Machine: "atlas", Workload: "loop@2a", Args: map[string]string{"refs": "100"},
+	in := request{ID: 9, Seed: 77, Cells: []cellReq{
+		{Index: 4, Key: "k", Spec: engine.Spec{
+			Task: "t", Machine: "atlas", Workload: "loop@2a", Args: map[string]string{"refs": "100"},
+		}},
+		{Index: 7, Key: "k2", Spec: engine.Spec{Task: "t"}},
 	}}
 	if err := writeFrame(&buf, &in); err != nil {
 		t.Fatal(err)
@@ -397,7 +573,9 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := readFrame(&buf, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.ID != in.ID || out.Key != in.Key || out.Spec.Machine != "atlas" || out.Spec.Args["refs"] != "100" {
+	if out.ID != in.ID || len(out.Cells) != 2 || out.Cells[0].Key != "k" ||
+		out.Cells[0].Spec.Machine != "atlas" || out.Cells[0].Spec.Args["refs"] != "100" ||
+		out.Cells[1].Index != 7 {
 		t.Errorf("round trip = %+v, want %+v", out, in)
 	}
 	// Clean EOF at a frame boundary.
@@ -417,31 +595,62 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestQueuesStealFromLongest(t *testing.T) {
 	qs := newQueues(3, 9) // slot queues: [0 3 6] [1 4 7] [2 5 8]
-	// Drain slot 0's own queue.
+	// Drain slot 0's own queue one at a time.
 	for _, want := range []int{0, 3, 6} {
-		idx, stolen, ok := qs.next(0)
-		if !ok || stolen || idx != want {
-			t.Fatalf("own pop = (%d,%v,%v), want (%d,false,true)", idx, stolen, ok, want)
+		idxs, stolen, ok := qs.nextBatch(0, 1)
+		if !ok || stolen != 0 || len(idxs) != 1 || idxs[0] != want {
+			t.Fatalf("own pop = (%v,%d,%v), want ([%d],0,true)", idxs, stolen, ok, want)
 		}
 	}
 	// Next pop steals the tail of the longest remaining queue (slot 1).
-	idx, stolen, ok := qs.next(0)
-	if !ok || !stolen || idx != 7 {
-		t.Fatalf("steal = (%d,%v,%v), want (7,true,true)", idx, stolen, ok)
+	idxs, stolen, ok := qs.nextBatch(0, 1)
+	if !ok || stolen != 1 || len(idxs) != 1 || idxs[0] != 7 {
+		t.Fatalf("steal = (%v,%d,%v), want ([7],1,true)", idxs, stolen, ok)
 	}
 	// Exhaust everything; every index must be handed out exactly once.
 	seen := map[int]bool{0: true, 3: true, 6: true, 7: true}
 	for {
-		idx, _, ok := qs.next(2)
+		idxs, _, ok := qs.nextBatch(2, 1)
 		if !ok {
 			break
 		}
-		if seen[idx] {
-			t.Fatalf("index %d handed out twice", idx)
+		if seen[idxs[0]] {
+			t.Fatalf("index %d handed out twice", idxs[0])
 		}
-		seen[idx] = true
+		seen[idxs[0]] = true
 	}
 	if len(seen) != 9 {
 		t.Errorf("handed out %d of 9 indices", len(seen))
+	}
+}
+
+func TestQueuesBatchedPopsAndSteals(t *testing.T) {
+	qs := newQueues(2, 10) // [0 2 4 6 8] [1 3 5 7 9]
+	// A batch pop takes a prefix of the slot's own queue.
+	idxs, stolen, ok := qs.nextBatch(0, 3)
+	if !ok || stolen != 0 || fmt.Sprint(idxs) != "[0 2 4]" {
+		t.Fatalf("batch pop = (%v,%d,%v), want ([0 2 4],0,true)", idxs, stolen, ok)
+	}
+	// A short remainder ships as a partial batch rather than waiting.
+	idxs, stolen, ok = qs.nextBatch(0, 3)
+	if !ok || stolen != 0 || fmt.Sprint(idxs) != "[6 8]" {
+		t.Fatalf("partial pop = (%v,%d,%v), want ([6 8],0,true)", idxs, stolen, ok)
+	}
+	// Empty own queue: steal a whole batch from the victim's tail.
+	idxs, stolen, ok = qs.nextBatch(0, 2)
+	if !ok || stolen != 2 || fmt.Sprint(idxs) != "[7 9]" {
+		t.Fatalf("batch steal = (%v,%d,%v), want ([7 9],2,true)", idxs, stolen, ok)
+	}
+	// Everything else drains through the owner.
+	count := 0
+	for {
+		idxs, _, ok := qs.nextBatch(1, 8)
+		if !ok {
+			break
+		}
+		count += len(idxs)
+	}
+	if count != 3 {
+		t.Errorf("owner drained %d cells, want the remaining 3", count)
 	}
 }

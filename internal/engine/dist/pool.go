@@ -30,6 +30,13 @@ type Options struct {
 	// respawned after a crash before the slot degrades to running its
 	// cells in-process. <= 0 means DefaultMaxRespawns.
 	MaxRespawns int
+	// Batch is how many cells travel per protocol frame. One frame
+	// each way then serves a whole batch, amortizing the gob+pipe
+	// round trip across cells — the lever that makes small-cell sweeps
+	// worth distributing. A worker crash costs at most one in-flight
+	// batch (each cell a contained FAILED row). <= 0 means
+	// DefaultBatch. Output bytes are identical at any batch size.
+	Batch int
 	// Stderr receives the children's stderr, each line prefixed with
 	// the worker slot and its in-flight cell key so failures are
 	// attributable. Nil means os.Stderr.
@@ -39,6 +46,10 @@ type Options struct {
 // DefaultMaxRespawns is the per-slot crash-respawn budget.
 const DefaultMaxRespawns = 2
 
+// DefaultBatch is the per-frame cell count: one cell per frame, the
+// maximally containment-friendly setting (a crash costs one cell).
+const DefaultBatch = 1
+
 // Stats counts a pool's traffic, for tests and operational summaries.
 type Stats struct {
 	// Remote is the number of cells executed in worker processes.
@@ -46,8 +57,9 @@ type Stats struct {
 	// Local is the number of cells executed in the dispatching process
 	// (spec-less jobs, exhausted slots, spawn failures).
 	Local int
-	// Crashes is the number of cells lost to a worker dying mid-cell;
-	// each surfaces as one contained FAILED cell.
+	// Crashes is the number of cells lost to a worker dying with work
+	// in flight — at most one batch per crash; each lost cell surfaces
+	// as one contained FAILED cell.
 	Crashes int
 	// Respawns is the number of replacement workers spawned after
 	// crashes.
@@ -87,6 +99,22 @@ type Pool struct {
 	closed bool
 }
 
+// SelfPool builds a pool of this binary's own `worker` subcommand —
+// the shape every self-spawning CLI shares. cacheDir, when nonempty,
+// travels to the children as their -cache-dir flag, so the workers'
+// stores read and write the dispatcher's cache directory.
+func SelfPool(workers, batch int, cacheDir string) (*Pool, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	args := []string{"worker"}
+	if cacheDir != "" {
+		args = append(args, "-cache-dir", cacheDir)
+	}
+	return NewPool(Options{Workers: workers, Batch: batch, Command: exe, Args: args})
+}
+
 // NewPool validates the options and returns a pool. No children are
 // spawned until the first remote cell is dispatched.
 func NewPool(o Options) (*Pool, error) {
@@ -98,6 +126,9 @@ func NewPool(o Options) (*Pool, error) {
 	}
 	if o.MaxRespawns <= 0 {
 		o.MaxRespawns = DefaultMaxRespawns
+	}
+	if o.Batch <= 0 {
+		o.Batch = DefaultBatch
 	}
 	p := &Pool{opts: o, stderr: o.Stderr}
 	if p.stderr == nil {
@@ -175,18 +206,20 @@ func (p *Pool) Execute(ctx context.Context, sw engine.SweepEnv, jobs []engine.Jo
 		go func(s *slot) {
 			defer wg.Done()
 			for {
-				idx, stolen, ok := qs.next(s.id)
+				idxs, stolen, ok := qs.nextBatch(s.id, p.opts.Batch)
 				if !ok {
 					return
 				}
-				if stolen {
-					p.count(func(st *Stats) { st.Steals++ })
+				if stolen > 0 {
+					p.count(func(st *Stats) { st.Steals += stolen })
 				}
 				if err := ctx.Err(); err != nil {
-					report(engine.Result{Key: jobs[idx].Key, Index: idx, Err: err})
+					for _, idx := range idxs {
+						report(engine.Result{Key: jobs[idx].Key, Index: idx, Err: err})
+					}
 					continue
 				}
-				report(s.runCell(ctx, sw, idx, jobs[idx]))
+				s.runBatch(ctx, sw, idxs, jobs, report)
 			}
 		}(s)
 	}
@@ -209,62 +242,109 @@ type slot struct {
 	id   int
 	pool *Pool
 
-	wbuf    *bufio.Writer
-	rbuf    *bufio.Reader
-	stdin   io.WriteCloser
-	nextID  uint64
-	crashes int
-	local   bool // respawn budget exhausted: run cells in-process
+	wbuf     *bufio.Writer
+	rbuf     *bufio.Reader
+	stdin    io.WriteCloser
+	prefixer *PrefixWriter // the child's stderr line prefixer
+	nextID   uint64
+	crashes  int
+	local    bool // respawn budget exhausted: run cells in-process
 
-	// currentKey is the in-flight cell key, read concurrently by the
-	// child's stderr prefixer.
+	// currentKey is the most recent cell (or batch) label, read
+	// concurrently by the child's stderr prefixer; it is set before
+	// each batch ships and deliberately never cleared (see runBatch).
 	currentKey atomic.Value
 
 	procMu sync.Mutex
 	cmd    *exec.Cmd // also read by the cancellation watcher
 }
 
-// runCell executes one cell: remotely when it has a Spec and the slot
-// still has a live (or spawnable) worker, in-process otherwise. A
-// worker dying mid-cell is contained as a FAILED cell — exactly the
-// shape of an in-process contained panic — and the slot respawns for
-// subsequent cells within its budget.
-func (s *slot) runCell(ctx context.Context, sw engine.SweepEnv, idx int, job engine.Job) engine.Result {
-	if job.Spec == nil || job.Spec.Task == "" || s.local || s.pool.isClosed() {
-		s.pool.count(func(st *Stats) { st.Local++ })
-		return engine.RunJob(ctx, idx, job, sw.Seed, sw.Catalog)
+// runBatch executes one batch of cells and reports each exactly once:
+// cells with a Spec go to the slot's worker in a single protocol
+// frame, the rest run in this process. A worker dying mid-batch is
+// contained as FAILED cells for exactly the in-flight batch — the
+// shape of an in-process contained panic, once per cell — and the slot
+// respawns for subsequent batches within its budget.
+func (s *slot) runBatch(ctx context.Context, sw engine.SweepEnv, idxs []int, jobs []engine.Job, report func(engine.Result)) {
+	remote := make([]int, 0, len(idxs))
+	for _, idx := range idxs {
+		job := jobs[idx]
+		if job.Spec == nil || job.Spec.Task == "" || s.local || s.pool.isClosed() {
+			s.pool.count(func(st *Stats) { st.Local++ })
+			report(engine.RunJob(ctx, idx, job, sw.Seed, sw.Catalog))
+			continue
+		}
+		remote = append(remote, idx)
+	}
+	if len(remote) == 0 {
+		return
 	}
 	if err := s.ensure(ctx); err != nil {
-		// Could not (re)spawn a worker: the cell itself is fine — run
-		// it here. Determinism is key-derived, so the result is
+		// Could not (re)spawn a worker: the cells themselves are fine —
+		// run them here. Determinism is key-derived, so the result is
 		// byte-identical either way.
-		fmt.Fprintf(s.pool.stderr, "dist: worker[%d]: %v; running %s in-process\n", s.id, err, job.Key)
-		s.pool.count(func(st *Stats) { st.Local++ })
-		return engine.RunJob(ctx, idx, job, sw.Seed, sw.Catalog)
+		fmt.Fprintf(s.pool.stderr, "dist: worker[%d]: %v; running %s in-process\n",
+			s.id, err, batchLabel(jobs, remote))
+		for _, idx := range remote {
+			s.pool.count(func(st *Stats) { st.Local++ })
+			report(engine.RunJob(ctx, idx, jobs[idx], sw.Seed, sw.Catalog))
+		}
+		return
 	}
 
-	s.currentKey.Store(job.Key)
-	defer s.currentKey.Store("")
+	// The label stays set after the batch completes (rather than being
+	// cleared) because the child's stderr reaches the prefixer through
+	// exec's copier goroutine, which may run after the response frame
+	// has been read — clearing on return would race the copier and
+	// strip the attribution off the very lines it names. Output between
+	// batches is thus attributed to the most recent batch, which is
+	// also the only plausible source.
+	s.currentKey.Store(batchLabel(jobs, remote))
 	s.nextID++
-	req := request{ID: s.nextID, Index: idx, Key: job.Key, Seed: sw.Seed, Spec: *job.Spec}
+	req := request{ID: s.nextID, Seed: sw.Seed, Cells: make([]cellReq, len(remote))}
+	for i, idx := range remote {
+		req.Cells[i] = cellReq{Index: idx, Key: jobs[idx].Key, Spec: *jobs[idx].Spec}
+	}
 	resp, err := s.roundTrip(&req)
+	if err == nil && len(resp.Results) != len(remote) {
+		err = fmt.Errorf("dist: %d results for %d cells", len(resp.Results), len(remote))
+	}
 	if err != nil {
 		s.teardown()
 		if ctx.Err() != nil {
-			return engine.Result{Key: job.Key, Index: idx, Err: ctx.Err()}
+			for _, idx := range remote {
+				report(engine.Result{Key: jobs[idx].Key, Index: idx, Err: ctx.Err()})
+			}
+			return
 		}
-		// The worker died with this cell in flight: contain it as a
-		// FAILED cell (the sweep continues) and note the crash. The
-		// next cell on this slot respawns within the budget.
+		// The worker died with this batch in flight: contain every
+		// in-flight cell as a FAILED cell (the sweep continues) and
+		// note one crash against the respawn budget. The next batch on
+		// this slot respawns within that budget.
 		s.crashes++
-		s.pool.count(func(st *Stats) { st.Crashes++ })
-		return engine.Result{
-			Key: job.Key, Index: idx, Panicked: true,
-			Err: &engine.PanicError{Key: job.Key, Value: fmt.Sprintf("worker[%d] crashed: %v", s.id, err)},
+		s.pool.count(func(st *Stats) { st.Crashes += len(remote) })
+		for _, idx := range remote {
+			key := jobs[idx].Key
+			report(engine.Result{
+				Key: key, Index: idx, Panicked: true,
+				Err: &engine.PanicError{Key: key, Value: fmt.Sprintf("worker[%d] crashed: %v", s.id, err)},
+			})
 		}
+		return
 	}
-	s.pool.count(func(st *Stats) { st.Remote++ })
-	return resultFrom(idx, job.Key, resp)
+	s.pool.count(func(st *Stats) { st.Remote += len(remote) })
+	for i, idx := range remote {
+		report(resultFrom(idx, jobs[idx].Key, &resp.Results[i]))
+	}
+}
+
+// batchLabel names an in-flight batch for stderr attribution: the
+// first cell's key, with a count when more ride along.
+func batchLabel(jobs []engine.Job, idxs []int) string {
+	if len(idxs) == 1 {
+		return jobs[idxs[0]].Key
+	}
+	return fmt.Sprintf("%s (+%d)", jobs[idxs[0]].Key, len(idxs)-1)
 }
 
 // roundTrip sends one request and reads its response.
@@ -285,20 +365,20 @@ func (s *slot) roundTrip(req *request) (*response, error) {
 	return &resp, nil
 }
 
-// resultFrom reconstructs an engine.Result from a wire response. A
-// contained worker panic is rebuilt as a *engine.PanicError whose
+// resultFrom reconstructs an engine.Result from one wire cell result.
+// A contained worker panic is rebuilt as a *engine.PanicError whose
 // value is the worker's fmt.Sprint of the original panic value, so
 // FAILED rows render byte-identically to in-process containment.
-func resultFrom(idx int, key string, resp *response) engine.Result {
+func resultFrom(idx int, key string, cr *cellResp) engine.Result {
 	r := engine.Result{Key: key, Index: idx}
 	switch {
-	case resp.Panicked:
+	case cr.Panicked:
 		r.Panicked = true
-		r.Err = &engine.PanicError{Key: key, Value: resp.PanicVal, Stack: resp.Stack}
-	case resp.Err != "":
-		r.Err = fmt.Errorf("dist: %s", resp.Err)
+		r.Err = &engine.PanicError{Key: key, Value: cr.PanicVal, Stack: cr.Stack}
+	case cr.Err != "":
+		r.Err = fmt.Errorf("dist: %s", cr.Err)
 	default:
-		r.Value = resp.Value
+		r.Value = cr.Value
 	}
 	return r
 }
@@ -338,12 +418,13 @@ func (s *slot) spawn() error {
 	if s.pool.opts.Env != nil {
 		cmd.Env = s.pool.opts.Env
 	}
-	cmd.Stderr = NewPrefixWriter(s.pool.stderr, func() string {
+	s.prefixer = NewPrefixWriter(s.pool.stderr, func() string {
 		if k, _ := s.currentKey.Load().(string); k != "" {
 			return fmt.Sprintf("worker[%d] %s: ", s.id, k)
 		}
 		return fmt.Sprintf("worker[%d]: ", s.id)
 	})
+	cmd.Stderr = s.prefixer
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return err
@@ -390,16 +471,23 @@ func (s *slot) teardown() {
 		_ = cmd.Process.Kill()
 	}
 	_ = cmd.Wait()
-	s.stdin, s.wbuf, s.rbuf = nil, nil, nil
+	if s.prefixer != nil {
+		// Wait has drained the child's stderr; recover whatever partial
+		// line a crashing worker got out before dying, prefixed like
+		// every other line, instead of dropping it.
+		_ = s.prefixer.Flush()
+	}
+	s.stdin, s.wbuf, s.rbuf, s.prefixer = nil, nil, nil, nil
 }
 
 // queues pre-shards a sweep's cell indices round-robin across the
-// worker slots and hands them out with work stealing: a slot pops from
-// the head of its own queue until empty, then steals from the tail of
-// the longest other queue. Round-robin keeps the no-contention path
-// cheap and deterministic; stealing keeps every worker busy when cell
-// costs are skewed. (Result bytes never depend on which worker runs a
-// cell — seeding is key-derived and aggregation is index-ordered — so
+// worker slots and hands them out in batches with work stealing: a
+// slot pops up to its batch size from the head of its own queue until
+// empty, then steals up to a batch from the tail of the longest other
+// queue. Round-robin keeps the no-contention path cheap and
+// deterministic; stealing keeps every worker busy when cell costs are
+// skewed. (Result bytes never depend on which worker runs a cell —
+// seeding is key-derived and aggregation is index-ordered — so
 // stealing is pure load balancing.)
 type queues struct {
 	mu sync.Mutex
@@ -415,27 +503,41 @@ func newQueues(slots, jobs int) *queues {
 	return qs
 }
 
-// next returns the next cell index for slot, reporting whether it was
-// stolen, or ok=false when no work remains anywhere.
-func (qs *queues) next(slot int) (idx int, stolen, ok bool) {
+// nextBatch returns up to max cell indices for slot, with stolen
+// counting how many came from another slot's queue, or ok=false when
+// no work remains anywhere. A batch never mixes own and stolen work:
+// partial own batches ship as-is rather than waiting on a steal, so a
+// short queue drains promptly.
+func (qs *queues) nextBatch(slot, max int) (idxs []int, stolen int, ok bool) {
+	if max < 1 {
+		max = 1
+	}
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
 	if own := qs.q[slot]; len(own) > 0 {
-		idx = own[0]
-		qs.q[slot] = own[1:]
-		return idx, false, true
+		n := max
+		if n > len(own) {
+			n = len(own)
+		}
+		idxs = own[:n:n]
+		qs.q[slot] = own[n:]
+		return idxs, 0, true
 	}
-	victim, max := -1, 0
+	victim, longest := -1, 0
 	for i, q := range qs.q {
-		if i != slot && len(q) > max {
-			victim, max = i, len(q)
+		if i != slot && len(q) > longest {
+			victim, longest = i, len(q)
 		}
 	}
 	if victim < 0 {
-		return 0, false, false
+		return nil, 0, false
 	}
 	vq := qs.q[victim]
-	idx = vq[len(vq)-1]
-	qs.q[victim] = vq[:len(vq)-1]
-	return idx, true, true
+	n := max
+	if n > len(vq) {
+		n = len(vq)
+	}
+	idxs = append(idxs, vq[len(vq)-n:]...)
+	qs.q[victim] = vq[:len(vq)-n]
+	return idxs, n, true
 }

@@ -6,54 +6,99 @@ import (
 	"sync"
 )
 
-// prefixWriter stamps every line written through it with a prefix
-// computed at the moment the line starts. The pool uses it to tag
-// child stderr with the worker slot and its in-flight cell key;
-// dsatrace batch reuses it to tag per-cell failure output.
-type prefixWriter struct {
-	mu          sync.Mutex
-	dst         io.Writer
-	prefix      func() string
-	atLineStart bool
+// maxBufferedLine bounds how much of a newline-less line a
+// PrefixWriter holds before hard-flushing it as a prefixed,
+// newline-terminated chunk, so a log-spamming child cannot grow the
+// buffer without bound.
+const maxBufferedLine = 64 << 10
+
+// PrefixWriter stamps every line written through it with a prefix
+// computed when the line's first byte arrives. Lines are buffered
+// until their newline and emitted with one Write on the destination,
+// so concurrent PrefixWriters sharing a destination (the pool's worker
+// slots all write to one stderr) never interleave mid-line. The pool
+// uses it to tag child stderr with the worker slot and its in-flight
+// cell key; dsatrace batch reuses it to tag per-cell failure output.
+//
+// A partial line buffered when the stream dies — the last words of a
+// crashing worker — is recovered by Flush, which emits it with its
+// prefix and a closing newline instead of dropping it.
+type PrefixWriter struct {
+	mu      sync.Mutex
+	dst     io.Writer
+	prefix  func() string
+	pending string // prefix captured at the buffered line's first byte
+	buf     bytes.Buffer
 }
 
 // NewPrefixWriter returns a writer that prepends prefix() to every
-// line it forwards to dst. The prefix is evaluated lazily at each line
-// start, so a caller may vary it (e.g. per in-flight cell) between
-// lines. Writes are serialized; partial lines are prefixed when their
-// first byte arrives and continue unadorned until their newline.
-func NewPrefixWriter(dst io.Writer, prefix func() string) io.Writer {
-	return &prefixWriter{dst: dst, prefix: prefix, atLineStart: true}
+// line it forwards to dst. The prefix is evaluated lazily at each
+// line's first byte, so a caller may vary it (e.g. per in-flight cell)
+// between lines.
+func NewPrefixWriter(dst io.Writer, prefix func() string) *PrefixWriter {
+	return &PrefixWriter{dst: dst, prefix: prefix}
 }
 
 // Prefixed returns a writer that prepends the fixed prefix to every
 // line written to dst.
-func Prefixed(dst io.Writer, prefix string) io.Writer {
+func Prefixed(dst io.Writer, prefix string) *PrefixWriter {
 	return NewPrefixWriter(dst, func() string { return prefix })
 }
 
-func (p *prefixWriter) Write(b []byte) (int, error) {
+func (p *PrefixWriter) Write(b []byte) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	written := 0
 	for len(b) > 0 {
-		if p.atLineStart {
-			if _, err := io.WriteString(p.dst, p.prefix()); err != nil {
-				return written, err
+		if p.buf.Len() == 0 {
+			p.pending = p.prefix()
+		}
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			p.buf.Write(b)
+			written += len(b)
+			if p.buf.Len() > maxBufferedLine {
+				// Hard flush: emit what we hold as a terminated line (an
+				// inserted newline, like Flush's) so a concurrent writer
+				// sharing dst can never glue onto it mid-line; the rest
+				// of this oversized line starts a fresh prefixed line.
+				if err := p.emit([]byte("\n")); err != nil {
+					return written, err
+				}
 			}
-			p.atLineStart = false
+			return written, nil
 		}
-		chunk := b
-		if i := bytes.IndexByte(b, '\n'); i >= 0 {
-			chunk = b[:i+1]
-			p.atLineStart = true
-		}
-		n, err := p.dst.Write(chunk)
-		written += n
-		if err != nil {
+		chunk := b[:i+1]
+		if err := p.emit(chunk); err != nil {
 			return written, err
 		}
-		b = b[len(chunk):]
+		written += len(chunk)
+		b = b[i+1:]
 	}
 	return written, nil
+}
+
+// Flush emits a buffered partial line — prefixed and newline-
+// terminated — so the last thing a crashed child said is printed, not
+// lost. It is a no-op at a line boundary.
+func (p *PrefixWriter) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.buf.Len() == 0 {
+		return nil
+	}
+	return p.emit([]byte("\n"))
+}
+
+// emit writes prefix + buffered bytes + tail as one Write on dst and
+// resets the line state. Callers hold p.mu.
+func (p *PrefixWriter) emit(tail []byte) error {
+	line := make([]byte, 0, len(p.pending)+p.buf.Len()+len(tail))
+	line = append(line, p.pending...)
+	line = append(line, p.buf.Bytes()...)
+	line = append(line, tail...)
+	p.buf.Reset()
+	p.pending = ""
+	_, err := p.dst.Write(line)
+	return err
 }

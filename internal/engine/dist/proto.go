@@ -6,13 +6,17 @@
 //
 // A cell crosses the process boundary as its engine.Spec — a task name
 // resolved against the worker's compiled-in handler registry plus the
-// sweep's base seed and the cell key. The worker re-derives the cell's
-// RNG exactly as the in-process pool does (sim.SeedFor(seed, key)) and
-// materializes workloads from its own workload catalog by key, so the
-// immutable catalog is the wire boundary: no workload data is ever
-// serialized, only the keys that deterministically regenerate it.
-// Output is therefore byte-identical to an in-process run at any
-// worker count.
+// sweep's base seed and the cell key. Cells travel in batches of
+// Options.Batch per frame, amortizing the gob+pipe round trip across
+// small cells; the worker runs each batch cell by cell, in order. The
+// worker re-derives each cell's RNG exactly as the in-process pool
+// does (sim.SeedFor(seed, key)) and materializes workloads from its
+// own workload catalog by key — optionally a disk-backed store shared
+// with the dispatcher and the other workers — so the immutable catalog
+// is the wire boundary: no workload data is ever serialized, only the
+// keys that deterministically regenerate it. Output is therefore
+// byte-identical to an in-process run at any worker count and any
+// batch size.
 //
 // The engine's fault-containment posture extends across the process
 // boundary: a worker that crashes (or is killed) surfaces as a
@@ -40,26 +44,33 @@ import (
 // protocol error, not a workload.
 const maxFrame = 64 << 20
 
-// request asks a worker to run one cell.
-type request struct {
-	// ID matches the response to the request on one connection.
-	ID uint64
+// cellReq is one cell inside a request batch.
+type cellReq struct {
 	// Index is the cell's position in the sweep (diagnostics only).
 	Index int
 	// Key is the cell's stable identity; the worker seeds the cell's
 	// RNG from (Seed, Key) via sim.SeedFor, exactly as the in-process
 	// pool does.
 	Key string
-	// Seed is the sweep's base seed.
-	Seed uint64
 	// Spec names the handler and carries the cell's parameters.
 	Spec engine.Spec
 }
 
-// response reports one cell's outcome.
-type response struct {
-	// ID echoes the request.
+// request asks a worker to run a batch of cells in order. Batching is
+// the round-trip amortization: one frame each way per Options.Batch
+// cells instead of per cell, which is what makes small-cell sweeps
+// worth distributing at all.
+type request struct {
+	// ID matches the response to the request on one connection.
 	ID uint64
+	// Seed is the sweep's base seed, shared by every cell in the batch.
+	Seed uint64
+	// Cells is the batch, never empty.
+	Cells []cellReq
+}
+
+// cellResp reports one cell's outcome within a response batch.
+type cellResp struct {
 	// Key echoes the cell key.
 	Key string
 	// Value is the cell's result (nil on failure). Its concrete type
@@ -74,6 +85,16 @@ type response struct {
 	Panicked bool
 	PanicVal string
 	Stack    []byte
+}
+
+// response answers one request, with Results parallel to its Cells. A
+// panic in one cell of a batch is contained per cell — the worker
+// survives and the remaining cells of the batch still run.
+type response struct {
+	// ID echoes the request.
+	ID uint64
+	// Results holds one entry per requested cell, in request order.
+	Results []cellResp
 }
 
 // writeFrame encodes v with a fresh gob encoder and writes it as one

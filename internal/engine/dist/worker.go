@@ -72,18 +72,38 @@ func Tasks() []string {
 	return out
 }
 
-// WorkerMain is the worker side of the protocol: the `<cmd> worker`
-// subcommand calls it with the process's stdin and stdout. It serves
-// requests one at a time — parallelism comes from the dispatcher
-// running N workers — until stdin closes (a clean shutdown, returning
-// nil) or the protocol breaks. Cells run under the engine's standard
-// contract: RNG seeded via sim.SeedFor(seed, key) and panic
-// containment, with the recovered panic shipped back for the
-// dispatcher to surface exactly as an in-process contained panic.
+// WorkerOptions configures the worker side of the protocol.
+type WorkerOptions struct {
+	// Catalog is the worker's per-process workload catalog, shared
+	// across every cell and sweep this worker serves. Nil means a fresh
+	// in-memory catalog; the CLIs pass a disk-backed store here when
+	// spawned with -cache-dir, so workers replay workloads across
+	// processes and runs.
+	Catalog *catalog.Catalog
+}
+
+// WorkerMain is ServeWorker with default options — the historical
+// entry point for a `<cmd> worker` subcommand without flags.
 func WorkerMain(in io.Reader, out io.Writer) error {
+	return ServeWorker(in, out, WorkerOptions{})
+}
+
+// ServeWorker is the worker side of the protocol: the `<cmd> worker`
+// subcommand calls it with the process's stdin and stdout. It serves
+// request batches one frame at a time — parallelism comes from the
+// dispatcher running N workers — until stdin closes (a clean shutdown,
+// returning nil) or the protocol breaks. Cells run under the engine's
+// standard contract: RNG seeded via sim.SeedFor(seed, key) and
+// per-cell panic containment, with the recovered panic shipped back
+// for the dispatcher to surface exactly as an in-process contained
+// panic (the rest of the batch still runs).
+func ServeWorker(in io.Reader, out io.Writer, o WorkerOptions) error {
 	r := bufio.NewReader(in)
 	w := bufio.NewWriter(out)
-	cat := catalog.New() // per-process workload catalog, shared across cells
+	cat := o.Catalog
+	if cat == nil {
+		cat = catalog.New() // per-process workload catalog, shared across cells
+	}
 	for {
 		var req request
 		if err := readFrame(r, &req); err != nil {
@@ -102,31 +122,39 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 	}
 }
 
-// serve runs one request with panic containment.
-func serve(req *request, cat *catalog.Catalog) (resp *response) {
-	resp = &response{ID: req.ID, Key: req.Key}
-	h := lookupHandler(req.Spec.Task)
+// serve runs one request batch, cell by cell in order.
+func serve(req *request, cat *catalog.Catalog) *response {
+	resp := &response{ID: req.ID, Results: make([]cellResp, len(req.Cells))}
+	for i := range req.Cells {
+		serveCell(&req.Cells[i], req.Seed, cat, &resp.Results[i])
+	}
+	return resp
+}
+
+// serveCell runs one cell with panic containment.
+func serveCell(c *cellReq, seed uint64, cat *catalog.Catalog, out *cellResp) {
+	out.Key = c.Key
+	h := lookupHandler(c.Spec.Task)
 	if h == nil {
-		resp.Err = fmt.Sprintf("dist: worker has no handler for task %q (registered: %v)", req.Spec.Task, Tasks())
-		return resp
+		out.Err = fmt.Sprintf("dist: worker has no handler for task %q (registered: %v)", c.Spec.Task, Tasks())
+		return
 	}
 	defer func() {
 		if p := recover(); p != nil {
 			stack := make([]byte, 8192)
 			stack = stack[:runtime.Stack(stack, false)]
-			resp.Value = nil
-			resp.Err = ""
-			resp.Panicked = true
-			resp.PanicVal = fmt.Sprint(p)
-			resp.Stack = stack
+			out.Value = nil
+			out.Err = ""
+			out.Panicked = true
+			out.PanicVal = fmt.Sprint(p)
+			out.Stack = stack
 		}
 	}()
-	env := engine.Env{RNG: sim.NewRNG(sim.SeedFor(req.Seed, req.Key)), Catalog: cat}
-	v, err := h(context.Background(), Call{Key: req.Key, Seed: req.Seed, Spec: req.Spec, Env: env})
+	env := engine.Env{RNG: sim.NewRNG(sim.SeedFor(seed, c.Key)), Catalog: cat}
+	v, err := h(context.Background(), Call{Key: c.Key, Seed: seed, Spec: c.Spec, Env: env})
 	if err != nil {
-		resp.Err = err.Error()
-		return resp
+		out.Err = err.Error()
+		return
 	}
-	resp.Value = v
-	return resp
+	out.Value = v
 }

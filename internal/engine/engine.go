@@ -138,9 +138,15 @@ type Progress struct {
 	// ETA estimates the remaining wall-clock time by linear
 	// extrapolation from completed cells; zero once the sweep is done.
 	ETA time.Duration
+	// Catalog is the sweep catalog's traffic so far — how many workload
+	// requests hit the shared store, regenerated, or replayed from the
+	// disk layer. Zero when the sweep's cells never touch the catalog.
+	Catalog catalog.Stats
 }
 
-// String renders the snapshot the way the -progress CLI flags print it.
+// String renders the snapshot the way the -progress CLI flags print
+// it. The final snapshot of a sweep (Done == Total) appends the
+// catalog's cache-effectiveness summary when the sweep used it.
 func (p Progress) String() string {
 	s := fmt.Sprintf("%d/%d cells", p.Done, p.Total)
 	if p.Failed > 0 {
@@ -150,6 +156,9 @@ func (p Progress) String() string {
 		s += fmt.Sprintf(", eta %s", p.ETA.Round(time.Millisecond))
 	} else {
 		s += fmt.Sprintf(", done in %s", p.Elapsed.Round(time.Millisecond))
+		if !p.Catalog.Zero() {
+			s += "; workloads: " + p.Catalog.Summary()
+		}
 	}
 	return s
 }
@@ -300,6 +309,7 @@ type progressTracker struct {
 	done   int
 	failed int
 	fn     func(Progress)
+	cat    *catalog.Catalog // snapshotted into Progress.Catalog; may be nil
 }
 
 // newProgressTracker returns nil when no observer is configured, so the
@@ -327,6 +337,7 @@ func (p *progressTracker) record(failed bool) {
 		Done:    p.done,
 		Failed:  p.failed,
 		Elapsed: time.Since(p.start),
+		Catalog: p.cat.Stats(),
 	}
 	if p.done > 0 && p.done < p.total {
 		snap.ETA = time.Duration(float64(snap.Elapsed) / float64(p.done) * float64(p.total-p.done))
@@ -342,6 +353,9 @@ func (e *Engine) sweepNotify(ctx context.Context, jobs []Job, results []Result, 
 		return
 	}
 	prog := newProgressTracker(len(jobs), e.onProgress)
+	if prog != nil {
+		prog.cat = e.catalog
+	}
 	report := func(r Result) {
 		results[r.Index] = r
 		prog.record(r.Failed())

@@ -467,6 +467,35 @@ func TestProgressString(t *testing.T) {
 	}
 }
 
+// TestProgressCarriesCatalogStats: the observer's snapshots expose the
+// sweep catalog's traffic, and the final snapshot's rendering appends
+// the cache-effectiveness summary — the -progress surface for cache
+// visibility.
+func TestProgressCarriesCatalogStats(t *testing.T) {
+	var mu sync.Mutex
+	var last Progress
+	eng := New(Options{Parallel: 2, OnProgress: func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		last = p
+	}})
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, env Env) (interface{}, error) {
+			return catalog.Get(env.Catalog, "shared", func() (int, error) { return 1, nil })
+		}}
+	}
+	eng.Run(context.Background(), jobs)
+	mu.Lock()
+	defer mu.Unlock()
+	if last.Catalog.Generations != 1 || last.Catalog.Hits != 3 {
+		t.Errorf("final snapshot catalog = %+v, want 1 generation + 3 hits", last.Catalog)
+	}
+	if s := last.String(); !strings.Contains(s, "workloads: 1 generated, 3 hits") {
+		t.Errorf("final rendering %q missing the catalog summary", s)
+	}
+}
+
 // TestOnProgressUnderCancellation: cancelling a sweep mid-flight must
 // still deliver exactly one snapshot per cell — the in-flight cells as
 // they unblock and fail, the never-started cells as they are marked

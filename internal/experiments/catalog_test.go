@@ -106,6 +106,87 @@ func TestNonzeroSeedRederivesCatalogKeys(t *testing.T) {
 	}
 }
 
+// TestBatteryStoreSharesAcrossSweeps: with a battery-scoped store
+// installed, a sweep run twice (dsafig `t1 t1`) regenerates nothing
+// the second time — every workload request is a store hit — and the
+// tables stay byte-identical.
+func TestBatteryStoreSharesAcrossSweeps(t *testing.T) {
+	store := catalog.New()
+	UseStore(store)
+	defer UseStore(nil)
+	Configure(4, 0)
+	defer Configure(0, 0)
+
+	first, err := T1Replacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := store.Stats()
+	if afterFirst.Generations != 3 {
+		t.Fatalf("first run stats = %+v, want 3 generations", afterFirst)
+	}
+
+	var sweepCat *catalog.Catalog
+	withCatalogSpy(t, func(sweep string, c *catalog.Catalog) {
+		if strings.HasPrefix(sweep, "T1") {
+			sweepCat = c
+		}
+	}, func() {
+		second, err := T1Replacement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.String() != first.String() {
+			t.Error("battery-store rerun changed bytes")
+		}
+	})
+	if sweepCat == nil {
+		t.Fatal("second T1 sweep catalog not observed")
+	}
+	st := sweepCat.Stats()
+	if st.Generations != 0 || st.Hits != 9 {
+		t.Errorf("second sweep stats = %+v, want 0 generations and 9 hits (all served by the store)", st)
+	}
+	total := store.Stats()
+	if total.Generations != 3 || total.Hits != afterFirst.Hits+9 {
+		t.Errorf("battery totals = %+v, want 3 generations and accumulated hits", total)
+	}
+}
+
+// TestAllColdVsWarmDiskStore is the acceptance criterion in test form:
+// the full battery rendered against a cold disk-backed store and again
+// against the warm directory must be byte-identical, with the warm run
+// replaying workloads from disk instead of regenerating them.
+func TestAllColdVsWarmDiskStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full battery twice")
+	}
+	dir := t.TempDir()
+	logf := func(string, ...interface{}) {} // fig4's refs are deliberately not disk-cacheable
+	runBattery := func() (string, catalog.Stats) {
+		store := catalog.NewStore(catalog.Options{Dir: dir, Log: logf})
+		UseStore(store)
+		defer UseStore(nil)
+		return renderAll(t, 4, 0), store.Stats()
+	}
+	cold, coldStats := runBattery()
+	warm, warmStats := runBattery()
+	if cold != warm {
+		t.Errorf("cold and warm cache runs diverged\nfirst divergence: %s", firstDiff(warm, cold))
+	}
+	if coldStats.DiskWrites == 0 || coldStats.DiskHits != 0 {
+		t.Errorf("cold stats = %+v, want disk writes and no disk hits", coldStats)
+	}
+	if warmStats.DiskHits != coldStats.DiskWrites {
+		t.Errorf("warm stats = %+v, want every written workload (%d) replayed from disk",
+			warmStats, coldStats.DiskWrites)
+	}
+	if warmStats.Generations >= coldStats.Generations {
+		t.Errorf("warm run regenerated %d workloads vs cold %d; the disk layer did nothing",
+			warmStats.Generations, coldStats.Generations)
+	}
+}
+
 // TestPoisonedWorkloadFailsOnlyItsCells: a workload generator that
 // panics turns exactly the cells that declared it into FAILED rows;
 // cells on other workloads keep their values and the sweep completes.

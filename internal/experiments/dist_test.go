@@ -33,6 +33,11 @@ func TestMain(m *testing.M) {
 
 // newWorkerPool builds a dist pool of this test binary in worker mode.
 func newWorkerPool(t *testing.T, workers int) *dist.Pool {
+	return newBatchWorkerPool(t, workers, 0)
+}
+
+// newBatchWorkerPool is newWorkerPool with an explicit protocol batch.
+func newBatchWorkerPool(t *testing.T, workers, batch int) *dist.Pool {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
@@ -40,6 +45,7 @@ func newWorkerPool(t *testing.T, workers int) *dist.Pool {
 	}
 	pool, err := dist.NewPool(dist.Options{
 		Workers: workers,
+		Batch:   batch,
 		Command: exe,
 		Env:     append(os.Environ(), workerEnv+"=1"),
 	})
@@ -81,6 +87,32 @@ func TestAllMatchesGoldenThroughDistPool(t *testing.T) {
 	}
 	if st.Crashes != 0 {
 		t.Errorf("workers crashed %d times (stats %+v)", st.Crashes, st)
+	}
+}
+
+// TestAllMatchesGoldenThroughBatchedDistPool: the same acceptance at a
+// protocol batch size that packs several cells per frame (and does not
+// divide most sweeps' cell counts) — batching amortizes round trips
+// without touching a byte.
+func TestAllMatchesGoldenThroughBatchedDistPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and runs the full battery")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "all_tables.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newBatchWorkerPool(t, 2, 5)
+	UseExecutor(pool)
+	defer UseExecutor(nil)
+	got := renderAll(t, 0, 0)
+	if got != string(want) {
+		t.Errorf("batched distributed battery diverged from serial golden baseline\n"+
+			"got %d bytes, want %d bytes\nfirst divergence: %s",
+			len(got), len(want), firstDiff(got, string(want)))
+	}
+	if st := pool.Stats(); st.Local != 0 || st.Remote == 0 || st.Crashes != 0 {
+		t.Errorf("stats = %+v, want a clean fully-remote battery", st)
 	}
 }
 

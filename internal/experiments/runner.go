@@ -14,19 +14,22 @@ import (
 // runConfig is the sweep configuration every experiment snapshots on
 // entry: how many engine workers to fan cells across, the base seed
 // that perturbs workload generation, the optional progress observer,
-// and the optional executor that replaces the in-process pool.
+// the optional executor that replaces the in-process pool, and the
+// optional battery-scoped workload store.
 type runConfig struct {
 	parallel int
 	seed     uint64
 	observe  func(sweep string, p engine.Progress)
 	executor engine.Executor
+	store    *catalog.Catalog
 }
 
 var (
-	cfgMu    sync.Mutex
-	cfg      runConfig
-	observer func(sweep string, p engine.Progress)
-	executor engine.Executor
+	cfgMu        sync.Mutex
+	cfg          runConfig
+	observer     func(sweep string, p engine.Progress)
+	executor     engine.Executor
+	batteryStore *catalog.Catalog
 )
 
 // Configure sets the parallelism (<= 0 means GOMAXPROCS) and the base
@@ -63,6 +66,21 @@ func UseExecutor(x engine.Executor) {
 	executor = x
 }
 
+// UseStore installs a battery-scoped workload store for subsequent
+// experiment runs: every sweep's catalog becomes a child scope of it,
+// so workloads shared across sweeps — or replayed from the store's
+// disk layer (catalog.Options.Dir) across processes and runs —
+// materialize once battery-wide. cmd/dsafig wires its -cache-dir flag
+// here; All() installs an in-memory battery store for its own duration
+// when none is configured. Pass nil to restore per-sweep catalogs.
+// Values never change: the store only deletes duplicated generation
+// work, so tables are byte-identical with or without it.
+func UseStore(c *catalog.Catalog) {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	batteryStore = c
+}
+
 // snapshot returns the configuration an experiment should close over
 // before building cells, so a concurrent Configure cannot tear a
 // running sweep.
@@ -72,6 +90,7 @@ func snapshot() runConfig {
 	c := cfg
 	c.observe = observer
 	c.executor = executor
+	c.store = batteryStore
 	return c
 }
 
@@ -105,11 +124,16 @@ var newSweepCatalog = catalog.New
 // created (test instrumentation).
 var catalogHook func(sweep string, c *catalog.Catalog)
 
-// newEngine builds the engine for one sweep: fresh shared catalog,
-// configured parallelism and seed, and the progress observer bound to
-// the sweep's title.
+// newEngine builds the engine for one sweep: the sweep's catalog — a
+// child scope of the battery store when one is installed, a fresh
+// per-sweep catalog otherwise — plus the configured parallelism, seed,
+// and the progress observer bound to the sweep's title.
 func newEngine(c runConfig, sweep string) *engine.Engine {
-	opts := engine.Options{Parallel: c.parallel, Seed: c.seed, Catalog: newSweepCatalog(), Executor: c.executor}
+	cat := c.store.Child()
+	if cat == nil {
+		cat = newSweepCatalog()
+	}
+	opts := engine.Options{Parallel: c.parallel, Seed: c.seed, Catalog: cat, Executor: c.executor}
 	if obs := c.observe; obs != nil {
 		opts.OnProgress = func(p engine.Progress) { obs(sweep, p) }
 	}

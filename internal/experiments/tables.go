@@ -13,6 +13,7 @@ import (
 	"dsa/internal/sim"
 	"dsa/internal/trace"
 	"dsa/internal/workload"
+	"dsa/internal/workload/catalog"
 )
 
 // runPageString replays a page-reference string against a policy with a
@@ -700,6 +701,17 @@ func t8bCells(sc runConfig) []cell {
 // one workload catalog; the experiments themselves run in sequence so
 // their tables stream out in the paper's order.
 func All() ([]*metrics.Table, error) {
+	// The whole battery shares one workload store: each sweep's catalog
+	// becomes a child scope, so any workload key declared by more than
+	// one sweep — and, with a disk-backed store installed via UseStore,
+	// any workload cached by an earlier run — materializes once. When
+	// the caller (cmd/dsafig) has already installed a store, battery
+	// scoping is its concern; otherwise install an in-memory one for
+	// the duration of this battery.
+	if snapshot().store == nil {
+		UseStore(catalog.New())
+		defer UseStore(nil)
+	}
 	fns := []func() (*metrics.Table, error){
 		T0Overlay,
 		Fig1ArtificialContiguity, Fig2SimpleMapping, Fig3SpaceTime, Fig4TwoLevelMapping,

@@ -1,6 +1,7 @@
-// Package catalog is the sweep-wide workload store: a concurrency-safe,
-// seed-keyed cache that materializes each named workload exactly once
-// and hands every engine cell an immutable shared view of the result.
+// Package catalog is the workload store behind the experiment engine:
+// a concurrency-safe, seed-keyed cache that materializes each named
+// workload exactly once and hands every engine cell an immutable
+// shared view of the result.
 //
 // Before the catalog, every cell of a machine × workload × policy sweep
 // regenerated its reference string or request stream from scratch, so a
@@ -9,13 +10,38 @@
 // on a single generation — singleflight semantics — and then share one
 // materialized value.
 //
+// # Scopes
+//
+// A catalog is either a root store or a child scope of one. Child
+// (battery → sweep) builds the scope chain: every Get on a child is
+// served from — and materializes into — the chain's root, so all the
+// sweeps of an experiment battery share one store, while each child
+// keeps its own traffic counters. A sweep's Stats therefore report
+// that sweep's hits and misses even when the bytes live battery-wide.
+//
 // # Keys
 //
 // A key names a workload *and* its derived seed (the experiments layer
 // builds keys as "<name>@<seed>", with the seed re-derived through
 // sim.SeedFor when a nonzero base seed is configured). Two requests with
 // the same key MUST describe byte-identical generation; the catalog
-// trusts the key and never compares generator functions.
+// trusts the key and never compares generator functions. With the disk
+// layer enabled the key must determine the value across *processes and
+// runs*, not just within one sweep — embed every generation parameter
+// that can vary, and bump DiskVersion when a generator's output
+// changes.
+//
+// # The disk layer
+//
+// A root store built with Options.Dir persists successful
+// materializations as content-addressed files (the file name is a hash
+// of the key) and replays them on later misses — across sweeps,
+// worker processes, and runs. The format is a versioned header plus a
+// checksummed gob payload; see disk.go. The layer only ever degrades:
+// a corrupt, truncated, version-skewed, or type-skewed file is logged
+// and regenerated; an unwritable directory is logged once and the
+// store continues memory-only; a value gob cannot encode is simply not
+// persisted. No cache condition can wedge or corrupt a sweep.
 //
 // # Immutability contract
 //
@@ -34,24 +60,44 @@
 // recorded and re-raised in every caller of that key (as a
 // *PoisonedError), where the engine's per-job recovery turns it into a
 // FAILED cell. The sweep never wedges: waiters are always released, and
-// unrelated keys are unaffected.
+// unrelated keys are unaffected. Poisoned and erroring entries are
+// never written to disk.
 package catalog
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 )
 
-// Catalog is a concurrency-safe, materialize-once workload store. The
-// zero value is not usable; construct with New (or Disabled, which
-// turns every Get into a plain regeneration for baseline comparisons).
+// Catalog is a concurrency-safe, materialize-once workload store, or a
+// child scope of one (see Child). The zero value is not usable;
+// construct with New, NewStore, or Disabled (which turns every Get
+// into a plain regeneration for baseline comparisons).
 type Catalog struct {
 	disabled bool
+	parent   *Catalog // nil at a root store
+	disk     *disk    // root only; nil without Options.Dir
 
 	mu      sync.Mutex
-	entries map[string]*entry
+	entries map[string]*entry // root only
 	stats   Stats
+}
+
+// Options configures a root store.
+type Options struct {
+	// Dir, if nonempty, enables the content-addressed disk layer in
+	// that directory (created if missing). Multiple stores — including
+	// ones in other processes — may share a directory concurrently:
+	// writes are atomic (temp file + rename) and readers validate a
+	// checksum, so they can never observe a torn entry.
+	Dir string
+	// Log receives diagnostics from the disk layer's degradation paths
+	// (corrupt file regenerated, unwritable directory, unencodable
+	// value). Nil logs to os.Stderr; a store that must be silent can
+	// pass func(string, ...interface{}) {}.
+	Log func(format string, args ...interface{})
 }
 
 // entry is one materialized (or in-flight, or poisoned) workload.
@@ -64,17 +110,40 @@ type entry struct {
 	poison *PoisonedError
 }
 
-// Stats counts catalog traffic, for tests and progress reporting.
+// Stats counts catalog traffic, for tests and progress reporting. On a
+// child scope the counters reflect that scope's own traffic; every
+// count also accumulates up the chain, so a root store's Stats are
+// battery-wide totals.
 type Stats struct {
-	// Generations is the number of generator invocations — the work
-	// actually done.
+	// Generations is the number of generator invocations — the cold
+	// misses, where the work was actually done.
 	Generations int
-	// Hits is the number of Get calls served from an existing entry
-	// (including calls that blocked on an in-flight generation).
+	// Hits is the number of Get calls served from an existing in-memory
+	// entry (including calls that blocked on an in-flight generation).
 	Hits int
+	// DiskHits is the number of misses served by loading the disk
+	// layer instead of running the generator.
+	DiskHits int
+	// DiskWrites is the number of materializations persisted to the
+	// disk layer.
+	DiskWrites int
 	// Poisoned is the number of entries whose generator panicked.
 	Poisoned int
 }
+
+// Summary renders the one-line cache-effectiveness report the CLIs
+// print on stderr ("3 generated, 6 hits, 2 disk hits, 3 disk writes").
+func (s Stats) Summary() string {
+	out := fmt.Sprintf("%d generated, %d hits, %d disk hits, %d disk writes",
+		s.Generations, s.Hits, s.DiskHits, s.DiskWrites)
+	if s.Poisoned > 0 {
+		out += fmt.Sprintf(", %d poisoned", s.Poisoned)
+	}
+	return out
+}
+
+// Zero reports whether the snapshot recorded no traffic at all.
+func (s Stats) Zero() bool { return s == Stats{} }
 
 // PoisonedError is raised (as a panic value) by every Get of a key
 // whose generator panicked. The engine's per-job recovery contains it
@@ -90,9 +159,19 @@ func (e *PoisonedError) Error() string {
 	return fmt.Sprintf("catalog: workload %q poisoned: %v", e.Key, e.Cause)
 }
 
-// New returns an empty catalog.
-func New() *Catalog {
-	return &Catalog{entries: make(map[string]*entry)}
+// New returns an empty in-memory root store.
+func New() *Catalog { return NewStore(Options{}) }
+
+// NewStore returns an empty root store, with the disk layer enabled
+// when o.Dir is set. An unusable directory does not fail construction:
+// the store logs once and serves memory-only — the cache degrades, the
+// sweep never does.
+func NewStore(o Options) *Catalog {
+	c := &Catalog{entries: make(map[string]*entry)}
+	if o.Dir != "" {
+		c.disk = newDisk(o.Dir, o.Log)
+	}
+	return c
 }
 
 // Disabled returns a catalog that never shares: every Get invokes its
@@ -101,6 +180,42 @@ func New() *Catalog {
 // call sites.
 func Disabled() *Catalog {
 	return &Catalog{disabled: true}
+}
+
+// Child returns a scope whose Gets are served from (and materialize
+// into) c's root store while being counted in the child's own Stats —
+// the battery → sweep scope chain. Child of a nil or disabled catalog
+// returns the receiver unchanged (nothing to scope).
+func (c *Catalog) Child() *Catalog {
+	if c == nil || c.disabled {
+		return c
+	}
+	return &Catalog{parent: c}
+}
+
+// root walks the scope chain to the owning store.
+func (c *Catalog) root() *Catalog {
+	for c.parent != nil {
+		c = c.parent
+	}
+	return c
+}
+
+// DiskBacked reports whether the owning store has a disk layer.
+// Callers use it to decide whether pinning a never-shared value (a
+// unique-seed trace) buys replay on a later run or just holds memory.
+func (c *Catalog) DiskBacked() bool {
+	return c != nil && !c.disabled && c.root().disk != nil
+}
+
+// note applies a stats mutation to c and every ancestor, so child
+// scopes count their own traffic and roots accumulate battery totals.
+func (c *Catalog) note(f func(*Stats)) {
+	for ; c != nil; c = c.parent {
+		c.mu.Lock()
+		f(&c.stats)
+		c.mu.Unlock()
+	}
 }
 
 // Get returns the value materialized under key, generating it with gen
@@ -114,7 +229,13 @@ func Get[T any](c *Catalog, key string, gen func() (T, error)) (T, error) {
 	if c == nil || c.disabled {
 		return gen()
 	}
-	v, err := c.get(key, func() (interface{}, error) { return gen() })
+	var cod *codec
+	if c.DiskBacked() {
+		// The codec is only ever consulted by the disk layer; skip
+		// building its closures on the pure in-memory path.
+		cod = newCodec[T]()
+	}
+	v, err := c.get(key, func() (interface{}, error) { return gen() }, cod)
 	if err != nil {
 		return zero, err
 	}
@@ -125,20 +246,57 @@ func Get[T any](c *Catalog, key string, gen func() (T, error)) (T, error) {
 	return t, nil
 }
 
-// get is the untyped singleflight core.
-func (c *Catalog) get(key string, gen func() (interface{}, error)) (interface{}, error) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
+// GetOnce materializes key like Get but never pins the value in
+// memory: it is served from (and written to) the disk layer when the
+// store has one, and generated directly otherwise. Use it for keys
+// that are requested at most once per process — a unique-seed trace
+// variant — where a memory entry could only hold space, never be
+// shared. Unlike Get there is no singleflight: the at-most-once
+// contract is the caller's (concurrent same-key calls would generate
+// twice and atomically write the same bytes twice — wasteful, not
+// wrong).
+func GetOnce[T any](c *Catalog, key string, gen func() (T, error)) (T, error) {
+	var zero T
+	if !c.DiskBacked() {
+		return gen()
+	}
+	r := c.root()
+	cod := newCodec[T]()
+	if v, ok := r.disk.load(key, cod); ok {
+		t, isT := v.(T)
+		if !isT {
+			return zero, fmt.Errorf("catalog: key %q holds %T on disk, requested %T", key, v, zero)
+		}
+		c.note(func(s *Stats) { s.DiskHits++ })
+		return t, nil
+	}
+	c.note(func(s *Stats) { s.Generations++ })
+	t, err := gen()
+	if err != nil {
+		return zero, err
+	}
+	if r.disk.save(key, t, cod) {
+		c.note(func(s *Stats) { s.DiskWrites++ })
+	}
+	return t, nil
+}
+
+// get is the untyped singleflight core. codec carries the requested
+// type's gob round-trip for the disk layer (nil when the caller cannot
+// provide one).
+func (c *Catalog) get(key string, gen func() (interface{}, error), codec *codec) (interface{}, error) {
+	r := c.root()
+	r.mu.Lock()
+	e, ok := r.entries[key]
 	if ok {
-		c.stats.Hits++
-		c.mu.Unlock()
+		r.mu.Unlock()
+		c.note(func(s *Stats) { s.Hits++ })
 		<-e.done
 	} else {
 		e = &entry{done: make(chan struct{})}
-		c.entries[key] = e
-		c.stats.Generations++
-		c.mu.Unlock()
-		c.materialize(key, e, gen)
+		r.entries[key] = e
+		r.mu.Unlock()
+		r.materialize(c, key, e, gen, codec)
 	}
 	if e.poison != nil {
 		panic(e.poison)
@@ -146,23 +304,37 @@ func (c *Catalog) get(key string, gen func() (interface{}, error)) (interface{},
 	return e.val, e.err
 }
 
-// materialize runs the generator with panic capture, then releases all
+// materialize fills one entry — from the disk layer when it has a
+// valid copy, by running the generator otherwise — then releases all
 // waiters. The done channel is closed on every path, so a panicking
-// generator can never wedge the sweep.
-func (c *Catalog) materialize(key string, e *entry, gen func() (interface{}, error)) {
+// generator can never wedge the sweep. r is the owning root; scope is
+// the catalog the request arrived on, charged with the stats.
+func (r *Catalog) materialize(scope *Catalog, key string, e *entry, gen func() (interface{}, error), codec *codec) {
 	defer close(e.done)
 	defer func() {
 		if p := recover(); p != nil {
 			e.poison = &PoisonedError{Key: key, Cause: p}
-			c.mu.Lock()
-			c.stats.Poisoned++
-			c.mu.Unlock()
+			scope.note(func(s *Stats) { s.Poisoned++ })
 		}
 	}()
+	if r.disk != nil && codec != nil {
+		if v, ok := r.disk.load(key, codec); ok {
+			e.val = v
+			scope.note(func(s *Stats) { s.DiskHits++ })
+			return
+		}
+	}
+	scope.note(func(s *Stats) { s.Generations++ })
 	e.val, e.err = gen()
+	if e.err == nil && r.disk != nil && codec != nil {
+		if r.disk.save(key, e.val, codec) {
+			scope.note(func(s *Stats) { s.DiskWrites++ })
+		}
+	}
 }
 
-// Stats returns a snapshot of the catalog's traffic counters.
+// Stats returns a snapshot of the catalog's traffic counters (this
+// scope's own traffic; a root's counters are battery-wide totals).
 func (c *Catalog) Stats() Stats {
 	if c == nil {
 		return Stats{}
@@ -173,27 +345,35 @@ func (c *Catalog) Stats() Stats {
 }
 
 // Keys returns the sorted keys materialized (or in flight, or poisoned)
-// so far.
+// so far in the owning store.
 func (c *Catalog) Keys() []string {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
+	r := c.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// Len reports the number of distinct keys requested so far.
+// Len reports the number of distinct keys requested so far in the
+// owning store.
 func (c *Catalog) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	r := c.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// stderrLog is the default disk-layer diagnostic sink.
+func stderrLog(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "catalog: "+format+"\n", args...)
 }

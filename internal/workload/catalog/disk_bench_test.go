@@ -1,0 +1,68 @@
+package catalog
+
+import (
+	"testing"
+
+	"dsa/internal/replace"
+	"dsa/internal/sim"
+	"dsa/internal/workload"
+)
+
+// benchPageString is the generation a warm disk cache replaces: the
+// scaled T1 shape — a long working-set trace reduced to its
+// page-granular reference string (the value the sweeps actually
+// consume and dsatrace batch replays).
+func benchPageString() ([]replace.PageID, error) {
+	const pageSize = 256
+	tr, err := workload.WorkingSet(sim.NewRNG(5), workload.WorkingSetConfig{
+		Extent: 256 * pageSize, SetWords: 16 * pageSize,
+		PhaseLen: 400000 / 8, Phases: 8, LocalityProb: 0.95,
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw := tr.PageString(pageSize)
+	out := make([]replace.PageID, len(raw))
+	for i, p := range raw {
+		out[i] = replace.PageID(p)
+	}
+	return out, nil
+}
+
+// BenchmarkDiskReplay compares regenerating a batch workload per run
+// against replaying it from a warm disk cache — the dsatrace batch →
+// sweep replay path. Every iteration uses a fresh store (cold memory),
+// so "warm-disk" measures exactly the disk layer: open, validate,
+// checksum, gob-decode.
+func BenchmarkDiskReplay(b *testing.B) {
+	quietLog := func(string, ...interface{}) {}
+
+	b.Run("regenerate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := New()
+			v, err := Get(st, "bench/page-string@5", benchPageString)
+			if err != nil || len(v) == 0 {
+				b.Fatalf("Get = %d pages, %v", len(v), err)
+			}
+		}
+	})
+
+	b.Run("warm-disk", func(b *testing.B) {
+		dir := b.TempDir()
+		warm := NewStore(Options{Dir: dir, Log: quietLog})
+		if _, err := Get(warm, "bench/page-string@5", benchPageString); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := NewStore(Options{Dir: dir, Log: quietLog})
+			v, err := Get(st, "bench/page-string@5", benchPageString)
+			if err != nil || len(v) == 0 {
+				b.Fatalf("Get = %d pages, %v", len(v), err)
+			}
+			if s := st.Stats(); s.DiskHits != 1 {
+				b.Fatalf("stats = %+v, want a disk hit", s)
+			}
+		}
+	})
+}
