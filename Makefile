@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet fmt-check lint build test race bench examples fig sim dist-smoke
+.PHONY: ci vet fmt-check lint build test race bench examples fig sim dist-smoke battery-smoke
 
 ci: vet fmt-check lint build race bench examples ## full tier-1 + lint + race + bench smoke + examples
 
@@ -89,3 +89,50 @@ dist-smoke:
 	"$$tmp/dsafig" -cache-dir "$$tmp/cache" -workers 2 -batch 4 t1 t4 > "$$tmp/fig-warm-dist.out"; \
 	cmp "$$tmp/fig-parallel.out" "$$tmp/fig-warm-dist.out"; \
 	echo "dist-smoke: workers, batched, and cached output byte-identical"
+
+# Battery-level determinism check: whole sweeps running concurrently
+# over one shared executor (-battery-parallel, plain and combined with
+# -workers/-batch/-cache-dir) must be byte-identical to the serial
+# battery; the store summaries must match the serial run's exactly
+# (concurrent sweeps share the battery store — no duplicate
+# generations for shared workloads); and a `dsatrace warm`ed cache
+# directory must make the very first battery run against it regenerate
+# nothing. CI's dist-smoke job runs this with BATTERY_SMOKE_DIR set so
+# the outputs can be uploaded as a debugging artifact on failure.
+BATTERY_SMOKE_DIR ?=
+battery-smoke:
+	@set -e; \
+	if [ -n "$(BATTERY_SMOKE_DIR)" ]; then tmp="$(BATTERY_SMOKE_DIR)"; mkdir -p "$$tmp"; \
+	else tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; fi; \
+	$(GO) build -o "$$tmp/dsasim" ./cmd/dsasim; \
+	$(GO) build -o "$$tmp/dsafig" ./cmd/dsafig; \
+	$(GO) build -o "$$tmp/dsatrace" ./cmd/dsatrace; \
+	"$$tmp/dsafig" -progress > "$$tmp/fig-serial.out" 2> "$$tmp/fig-serial.err"; \
+	"$$tmp/dsafig" -battery-parallel 4 -progress > "$$tmp/fig-bp.out" 2> "$$tmp/fig-bp.err"; \
+	cmp "$$tmp/fig-serial.out" "$$tmp/fig-bp.out"; \
+	grep '^dsafig: store:' "$$tmp/fig-serial.err" > "$$tmp/fig-serial.store"; \
+	grep '^dsafig: store:' "$$tmp/fig-bp.err" > "$$tmp/fig-bp.store"; \
+	cat "$$tmp/fig-bp.store"; \
+	cmp "$$tmp/fig-serial.store" "$$tmp/fig-bp.store"; \
+	"$$tmp/dsafig" -battery-parallel 4 -workers 2 -batch 4 -cache-dir "$$tmp/figcache" \
+		> "$$tmp/fig-bp-dist.out" 2> "$$tmp/fig-bp-dist.err"; \
+	cmp "$$tmp/fig-serial.out" "$$tmp/fig-bp-dist.out"; \
+	grep -q "cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/fig-bp-dist.err"; \
+	"$$tmp/dsasim" -machine all -workload segments > "$$tmp/sim-serial.out"; \
+	"$$tmp/dsasim" -machine all -battery-parallel 4 -workload segments > "$$tmp/sim-bp.out"; \
+	cmp "$$tmp/sim-serial.out" "$$tmp/sim-bp.out"; \
+	"$$tmp/dsasim" -machine all -battery-parallel 4 -workers 2 -batch 2 -workload segments \
+		> "$$tmp/sim-bp-dist.out" 2> "$$tmp/sim-bp-dist.err"; \
+	cmp "$$tmp/sim-serial.out" "$$tmp/sim-bp-dist.out"; \
+	grep -q "7 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/sim-bp-dist.err"; \
+	"$$tmp/dsatrace" warm -cache-dir "$$tmp/warmcache" -machines -workload segments; \
+	"$$tmp/dsasim" -machine all -battery-parallel 4 -cache-dir "$$tmp/warmcache" -workload segments \
+		> "$$tmp/sim-warm.out" 2> "$$tmp/sim-warm.err"; \
+	cat "$$tmp/sim-warm.err"; \
+	cmp "$$tmp/sim-serial.out" "$$tmp/sim-warm.out"; \
+	grep -q "store: 0 generated" "$$tmp/sim-warm.err"; \
+	"$$tmp/dsatrace" warm -cache-dir "$$tmp/tracecache" -kinds workingset,loop -variants 2; \
+	"$$tmp/dsatrace" batch -out "$$tmp/traces" -cache-dir "$$tmp/tracecache" -kinds workingset,loop -variants 2 \
+		> /dev/null 2> "$$tmp/trace-warm.err"; \
+	grep -q "store: 0 generated" "$$tmp/trace-warm.err"; \
+	echo "battery-smoke: concurrent battery byte-identical, store shared, warmed cache replays everything"

@@ -4,14 +4,19 @@
 //
 // Usage:
 //
-//	dsafig [-parallel N] [-workers N] [-batch B] [-seed S]
-//	       [-cache-dir DIR] [-progress] [experiment ...]
+//	dsafig [-parallel N] [-workers N] [-batch B] [-battery-parallel N]
+//	       [-seed S] [-cache-dir DIR] [-progress] [experiment ...]
 //
 // With no arguments every experiment runs in order. Experiment names:
 // fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8.
 //
 // -parallel fans each experiment's cells across N engine workers
 // (0 = GOMAXPROCS); the tables are byte-identical at any parallelism.
+// -battery-parallel runs up to N whole experiments concurrently over
+// one shared executor (the -workers pool, whose children and caches
+// then persist across the battery, or a battery-wide cell pool bounded
+// by -parallel), re-emitting tables in canonical order — byte-identical
+// to the serial battery at any N.
 // -workers distributes each experiment's cells across N `dsafig
 // worker` child processes instead: every cell crosses the wire as
 // {sweep id, cell key, base seed}, is rebuilt from the worker's
@@ -42,37 +47,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"dsa/internal/engine"
+	"dsa/internal/engine/battery"
 	"dsa/internal/engine/dist"
 	"dsa/internal/experiments"
 	"dsa/internal/metrics"
 	"dsa/internal/workload/catalog"
 )
-
-var byName = map[string]func() (*metrics.Table, error){
-	"fig1": experiments.Fig1ArtificialContiguity,
-	"fig2": experiments.Fig2SimpleMapping,
-	"fig3": experiments.Fig3SpaceTime,
-	"fig4": experiments.Fig4TwoLevelMapping,
-	"t1":   experiments.T1Replacement,
-	"t2":   experiments.T2Placement,
-	"t3":   experiments.T3UnitSize,
-	"t4":   experiments.T4Machines,
-	"t5":   experiments.T5Predictive,
-	"t6":   experiments.T6DualPageSize,
-	"t7":   experiments.T7NameSpace,
-	"t8":   experiments.T8Overlap,
-	"t8b":  experiments.T8OverlapTraced,
-	"a1":   experiments.A1ReserveFrames,
-	"a2":   experiments.A2Coalescing,
-	"a3":   experiments.A3Compaction,
-	"a4":   experiments.A4WaldUtilization,
-	"a5":   experiments.A5TLBFlush,
-	"a6":   experiments.A6SegmentedPaging,
-	"t0":   experiments.T0Overlay,
-}
 
 // newStore builds a workload store for this process, disk-backed when
 // cacheDir is set, with diagnostics prefixed for this command.
@@ -97,20 +79,22 @@ func main() {
 		return
 	}
 	var (
-		parallel = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
-		workers  = flag.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
-		batch    = flag.Int("batch", 1, "cells per dist protocol frame with -workers (amortizes round trips)")
-		seed     = flag.Uint64("seed", 0, "base seed (0 = paper-exact tables; nonzero re-derives every workload)")
-		cacheDir = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
-		progress = flag.Bool("progress", false, "report per-sweep progress (cells done/failed/total, ETA, cache traffic) on stderr")
+		parallel   = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
+		batch      = flag.Int("batch", 1, "cells per dist protocol frame with -workers (amortizes round trips)")
+		batteryPar = flag.Int("battery-parallel", 1, "run N whole experiments concurrently over one shared executor (1 = serial; byte-identical at any N)")
+		seed       = flag.Uint64("seed", 0, "base seed (0 = paper-exact tables; nonzero re-derives every workload)")
+		cacheDir   = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
+		progress   = flag.Bool("progress", false, "report per-sweep progress (cells done/failed/total, ETA, cache traffic) on stderr; battery-wide with -battery-parallel > 1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dsafig [-parallel N] [-workers N] [-batch B] [-seed S] [-cache-dir DIR] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
+			"usage: dsafig [-parallel N] [-workers N] [-batch B] [-battery-parallel N] [-seed S] [-cache-dir DIR] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	experiments.Configure(*parallel, *seed)
+	experiments.ConfigureBattery(*batteryPar)
 
 	// One battery-scoped store for everything this invocation runs:
 	// sweeps share workloads across experiments, and with -cache-dir
@@ -135,32 +119,23 @@ func main() {
 		experiments.UseExecutor(pool)
 	}
 	if *progress {
-		experiments.Observe(func(sweep string, p engine.Progress) {
-			fmt.Fprintf(os.Stderr, "dsafig: %s: %s\n", sweep, p)
-		})
+		if *batteryPar > 1 {
+			// Interleaved per-sweep lines from concurrent sweeps would be
+			// unreadable; report the aggregated battery view instead.
+			experiments.ObserveBattery(func(p battery.Progress) {
+				fmt.Fprintf(os.Stderr, "dsafig: battery: %s\n", p)
+			})
+		} else {
+			experiments.Observe(func(sweep string, p engine.Progress) {
+				fmt.Fprintf(os.Stderr, "dsafig: %s: %s\n", sweep, p)
+			})
+		}
 	}
 
-	names := flag.Args()
-	if len(names) == 0 {
-		tables, err := experiments.All()
-		if err != nil {
-			fail(err)
-		}
-		for _, t := range tables {
-			fmt.Println(t)
-		}
-		return
-	}
-	for _, name := range names {
-		fn, ok := byName[strings.ToLower(name)]
-		if !ok {
-			fail(fmt.Errorf("unknown experiment %q", name))
-		}
-		t, err := fn()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(t)
+	// Stream each table out as soon as its prefix of the battery
+	// completes — in canonical order, whatever order sweeps finish in.
+	if err := experiments.Stream(func(t *metrics.Table) { fmt.Println(t) }, flag.Args()...); err != nil {
+		fail(err)
 	}
 }
 

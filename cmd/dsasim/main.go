@@ -10,6 +10,7 @@
 //	dsasim -machine all -parallel 8 -workload segments
 //	dsasim -machine all -workers 2 -batch 4 -workload segments
 //	dsasim -machine all -cache-dir traces.cache -workload segments
+//	dsasim -machine all -battery-parallel 4 -workload segments
 //
 // Machines: atlas m44 b5000 rice b8500 multics m67 recommended, or
 // "all" to sweep every appendix machine concurrently through the
@@ -19,6 +20,10 @@
 // of goroutines (0 = in-process), -batch B ships B cells per protocol
 // frame; output is byte-identical either way, and a worker crash
 // surfaces as FAILED cells while the sweep completes.
+// -battery-parallel N runs the machines as a battery of per-machine
+// sweeps, up to N in flight over one shared executor (the -workers
+// pool or a -parallel-bounded battery-wide cell pool), re-emitting
+// reports in appendix order — byte-identical at any N.
 // Workloads: workingset sequential random loop matrix segments. The
 // sweep materializes each distinct workload once in its shared catalog
 // (machines with equal linear extents replay one generation);
@@ -40,13 +45,13 @@ import (
 
 	"dsa/internal/core"
 	"dsa/internal/engine"
+	"dsa/internal/engine/battery"
 	"dsa/internal/engine/dist"
 	"dsa/internal/machine"
 	"dsa/internal/metrics"
-	"dsa/internal/sim"
 	"dsa/internal/trace"
-	"dsa/internal/workload"
 	"dsa/internal/workload/catalog"
+	"dsa/internal/workload/stock"
 )
 
 // reportTask is the dist handler that runs one machine × workload cell
@@ -104,6 +109,7 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "engine workers for -machine all (0 = GOMAXPROCS)")
 		workers     = flag.Int("workers", 0, "distribute -machine all cells across N worker processes (0 = in-process)")
 		batch       = flag.Int("batch", 1, "cells per dist protocol frame with -workers (amortizes round trips)")
+		batteryPar  = flag.Int("battery-parallel", 1, "run -machine all as a battery of per-machine sweeps, N in flight over one shared executor (1 = serial; byte-identical at any N)")
 		cacheDir    = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
 		progress    = flag.Bool("progress", false, "report sweep progress (cells done/failed/total, ETA, cache traffic) on stderr")
 		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
@@ -114,7 +120,7 @@ func main() {
 		if *traceFile != "" {
 			fail(fmt.Errorf("-trace cannot be combined with -machine all"))
 		}
-		if err := runAll(*parallel, *workers, *batch, *cacheDir, *progress,
+		if err := runAll(*parallel, *workers, *batch, *batteryPar, *cacheDir, *progress,
 			strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
 			fail(err)
 		}
@@ -122,6 +128,9 @@ func main() {
 	}
 	if *workers > 0 {
 		fail(fmt.Errorf("-workers requires -machine all (single-machine runs have one cell)"))
+	}
+	if *batteryPar > 1 {
+		fail(fmt.Errorf("-battery-parallel requires -machine all (single-machine runs have one sweep)"))
 	}
 	m, err := buildMachine(*machineName, *scale)
 	if err != nil {
@@ -148,19 +157,15 @@ func main() {
 // to stdout. With workers > 0 the cells run in that many `dsasim
 // worker` child processes, batch cells per protocol frame —
 // byte-identical output, since each cell is rebuilt from {machine,
-// workload, seed} and every RNG is key-derived. The sweep shares one
-// workload store: machines whose workloads coincide (equal linear
-// extents, or the machine-independent kinds) replay a single
+// workload, seed} and every RNG is key-derived. With batteryParallel
+// > 1 each machine becomes its own sweep and up to that many run
+// concurrently over one shared executor (see runAllBattery). The sweep
+// shares one workload store: machines whose workloads coincide (equal
+// linear extents, or the machine-independent kinds) replay a single
 // materialization, disk-backed when cacheDir is set.
-func runAll(parallel, workers, batch int, cacheDir string, progress bool, kind string, refs, segs int, seed uint64, scale int) error {
+func runAll(parallel, workers, batch, batteryParallel int, cacheDir string, progress bool, kind string, refs, segs int, seed uint64, scale int) error {
 	names := []string{"atlas", "m44", "b5000", "rice", "b8500", "multics", "m67"}
 	store := newStore(cacheDir)
-	opts := engine.Options{Parallel: parallel, Seed: seed, Catalog: store}
-	if progress {
-		opts.OnProgress = func(p engine.Progress) {
-			fmt.Fprintf(os.Stderr, "dsasim: machine sweep: %s\n", p)
-		}
-	}
 	var pool *dist.Pool
 	if workers > 0 {
 		var err error
@@ -169,29 +174,9 @@ func runAll(parallel, workers, batch int, cacheDir string, progress bool, kind s
 			return err
 		}
 		defer pool.Close()
-		opts.Executor = pool
-	}
-	eng := engine.New(opts)
-	jobs := make([]engine.Job, len(names))
-	for i, name := range names {
-		name := name
-		jobs[i] = engine.Job{
-			Key: "dsasim/" + name,
-			Spec: &engine.Spec{
-				Task: reportTask, Machine: name, Workload: kind,
-				Args: map[string]string{
-					"refs":  strconv.Itoa(refs),
-					"segs":  strconv.Itoa(segs),
-					"scale": strconv.Itoa(scale),
-				},
-			},
-			Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
-				return machineReport(env.Catalog, name, kind, refs, segs, scale, seed)
-			},
-		}
 	}
 	var firstErr error
-	eng.Stream(context.Background(), jobs, func(r engine.Result) {
+	emit := func(r engine.Result) {
 		if r.Err != nil {
 			fmt.Printf("%s: FAILED: %v\n\n", r.Key, r.Err)
 			if firstErr == nil {
@@ -200,7 +185,27 @@ func runAll(parallel, workers, batch int, cacheDir string, progress bool, kind s
 			return
 		}
 		fmt.Print(r.Value.(string))
-	})
+	}
+	if batteryParallel > 1 {
+		runAllBattery(names, store, pool, batteryParallel, parallel, progress,
+			kind, refs, segs, seed, scale, emit)
+	} else {
+		opts := engine.Options{Parallel: parallel, Seed: seed, Catalog: store}
+		if progress {
+			opts.OnProgress = func(p engine.Progress) {
+				fmt.Fprintf(os.Stderr, "dsasim: machine sweep: %s\n", p)
+			}
+		}
+		if pool != nil {
+			opts.Executor = pool
+		}
+		eng := engine.New(opts)
+		jobs := make([]engine.Job, len(names))
+		for i, name := range names {
+			jobs[i] = machineJob(name, kind, refs, segs, seed, scale)
+		}
+		eng.Stream(context.Background(), jobs, emit)
+	}
 	if pool != nil {
 		fmt.Fprintf(os.Stderr, "dsasim: dist: %s\n", pool.Stats().Summary(workers))
 	}
@@ -208,6 +213,78 @@ func runAll(parallel, workers, batch int, cacheDir string, progress bool, kind s
 		fmt.Fprintf(os.Stderr, "dsasim: store: %s\n", store.Stats().Summary())
 	}
 	return firstErr
+}
+
+// machineJob builds the engine job for one machine × workload cell:
+// the in-process closure and the wire spec the `dsasim worker` handler
+// rebuilds it from.
+func machineJob(name, kind string, refs, segs int, seed uint64, scale int) engine.Job {
+	return engine.Job{
+		Key: "dsasim/" + name,
+		Spec: &engine.Spec{
+			Task: reportTask, Machine: name, Workload: kind,
+			Args: map[string]string{
+				"refs":  strconv.Itoa(refs),
+				"segs":  strconv.Itoa(segs),
+				"scale": strconv.Itoa(scale),
+			},
+		},
+		Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+			return machineReport(env.Catalog, name, kind, refs, segs, scale, seed)
+		},
+	}
+}
+
+// runAllBattery is the -battery-parallel form of the machine sweep:
+// every machine is its own single-cell sweep, up to batteryParallel of
+// them in flight at once over one shared executor — the dist pool when
+// -workers is set (its children and their caches persist across the
+// whole battery), a battery-wide cell pool bounded by -parallel
+// otherwise. Every sweep's catalog is a child scope of the one shared
+// store, so concurrent sweeps still materialize each workload exactly
+// once battery-wide, and reports are re-emitted in appendix order
+// regardless of completion order: output is byte-identical to the
+// serial sweep. With progress enabled, battery-wide aggregate
+// snapshots (sweeps done/running, cells, store traffic) stream to
+// stderr.
+func runAllBattery(names []string, store *catalog.Catalog, pool *dist.Pool,
+	batteryParallel, parallel int, progress bool,
+	kind string, refs, segs int, seed uint64, scale int, emit func(engine.Result)) {
+	var exec engine.Executor
+	if pool != nil {
+		exec = pool
+	} else {
+		exec = battery.NewPool(parallel)
+	}
+	var tracker *battery.Tracker
+	if progress {
+		tracker = battery.NewTracker(len(names), store.Stats, func(p battery.Progress) {
+			fmt.Fprintf(os.Stderr, "dsasim: battery: %s\n", p)
+		})
+	}
+	units := make([]battery.Unit, len(names))
+	for i, name := range names {
+		name := name
+		units[i] = battery.Unit{Name: "dsasim/" + name, Run: func(ctx context.Context) (interface{}, error) {
+			opts := engine.Options{Seed: seed, Catalog: store.Child(), Executor: exec}
+			if tracker != nil {
+				opts.OnProgress = func(p engine.Progress) { tracker.Observe("dsasim/"+name, p) }
+			}
+			eng := engine.New(opts)
+			return eng.Run(ctx, []engine.Job{machineJob(name, kind, refs, segs, seed, scale)})[0], nil
+		}}
+	}
+	battery.Run(context.Background(), units,
+		battery.Options{Parallel: batteryParallel, Tracker: tracker}, func(r battery.Result) {
+			if r.Err != nil {
+				// A unit cannot fail by construction (cell failures ride
+				// inside the engine.Result), but containment demands we
+				// surface rather than drop it.
+				emit(engine.Result{Key: r.Name, Err: r.Err})
+				return
+			}
+			emit(r.Value.(engine.Result))
+		})
 }
 
 // machineReport runs one machine × workload cell and renders its
@@ -274,107 +351,26 @@ func buildMachine(name string, scale int) (*machine.Machine, error) {
 }
 
 // runWorkload materializes the machine's workload through the shared
-// store and replays it. The catalog keys embed every generation
-// determinant — kind, extent or cap, counts, and the seed for the
-// stochastic kinds — so two machines whose parameters coincide share
-// one materialization (in this process, across worker processes via
-// the cache directory, and across runs), and two that differ can never
+// store (internal/workload/stock owns the keys and generators, shared
+// with `dsatrace warm`) and replays it. Keys embed every generation
+// determinant, so two machines whose parameters coincide share one
+// materialization (in this process, across worker processes via the
+// cache directory, and across runs), and two that differ can never
 // alias. Replay APIs treat the trace as read-only, upholding the
 // store's immutability contract.
 func runWorkload(cat *catalog.Catalog, m *machine.Machine, kind string, refs, segs int, seed uint64) (*core.Report, error) {
-	paged := m.System.Characteristics().UniformUnits
-	switch kind {
-	case "segments":
-		w, err := catalog.Get(cat,
-			fmt.Sprintf("dsasim/segments/segs=%d/refs=%d@%x", segs, refs, seed),
-			func() (machine.SegWorkload, error) {
-				return machine.CommonWorkload(seed, segs, refs), nil
-			})
+	if kind == "segments" {
+		w, err := stock.Segments(cat, segs, refs, seed)
 		if err != nil {
 			return nil, err
 		}
 		return m.RunWorkload(w)
-	case "sequential":
-		limit := linearExtent(m, paged)
-		tr, err := catalog.Get(cat,
-			fmt.Sprintf("dsasim/sequential/refs=%d/limit=%d", refs, limit),
-			func() (trace.Trace, error) {
-				return capTrace(workload.Sequential(32*1024, 1+refs/(32*1024)), limit), nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		return m.RunLinear(tr)
-	case "random":
-		extent := linearExtent(m, paged)
-		tr, err := catalog.Get(cat,
-			fmt.Sprintf("dsasim/random/extent=%d/refs=%d@%x", extent, refs, seed),
-			func() (trace.Trace, error) {
-				return workload.UniformRandom(sim.NewRNG(seed), extent, refs), nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		return m.RunLinear(tr)
-	case "loop":
-		tr, err := catalog.Get(cat,
-			fmt.Sprintf("dsasim/loop/refs=%d", refs),
-			func() (trace.Trace, error) {
-				return workload.Loop(24, 512, refs/24+1), nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		return m.RunLinear(tr)
-	case "matrix":
-		tr, err := catalog.Get(cat, "dsasim/matrix/rows=128/cols=128/bycols",
-			func() (trace.Trace, error) {
-				return workload.Matrix(128, 128, true), nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		return m.RunLinear(tr)
-	case "workingset":
-		extent := linearExtent(m, paged)
-		tr, err := catalog.Get(cat,
-			fmt.Sprintf("dsasim/workingset/extent=%d/refs=%d@%x", extent, refs, seed),
-			func() (trace.Trace, error) {
-				return workload.WorkingSet(sim.NewRNG(seed), workload.WorkloadWS(extent, refs))
-			})
-		if err != nil {
-			return nil, err
-		}
-		return m.RunLinear(tr)
-	default:
-		return nil, fmt.Errorf("unknown workload %q", kind)
 	}
-}
-
-// linearExtent picks a linear name-space extent suitable for the
-// machine: a large share of the virtual space for paged machines
-// (exercising the mapping), a fraction of core for segment machines
-// (which hold one implicit contiguous segment).
-func linearExtent(m *machine.Machine, paged bool) uint64 {
-	ext := m.System.LinearExtent()
-	if paged {
-		if ext > 64*1024 {
-			return 64 * 1024
-		}
-		return ext
+	tr, err := stock.Linear(cat, kind, stock.Extent(m), refs, seed)
+	if err != nil {
+		return nil, err
 	}
-	return ext / 4
-}
-
-// capTrace drops references at or beyond limit, into fresh storage.
-func capTrace(tr trace.Trace, limit uint64) trace.Trace {
-	out := make(trace.Trace, 0, len(tr))
-	for _, r := range tr {
-		if r.Name < limit {
-			out = append(out, r)
-		}
-	}
-	return out
+	return m.RunLinear(tr)
 }
 
 func reportString(m *machine.Machine, rep *core.Report) string {

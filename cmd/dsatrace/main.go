@@ -7,6 +7,8 @@
 //	dsatrace gen  -kind loop -pages 24 -passes 50 > loop.trace
 //	dsatrace batch -out traces -kinds workingset,random -variants 4 -parallel 4 -progress
 //	dsatrace batch -out traces -cache-dir traces.cache -workers 2 -batch 4
+//	dsatrace warm -cache-dir traces.cache -kinds workingset,loop -variants 4
+//	dsatrace warm -cache-dir traces.cache -machines -workload segments -refs 8000
 //	dsatrace stat < t.trace
 //	dsatrace advise -phase 2500 -span 2048 < t.trace > advised.trace
 //
@@ -26,6 +28,14 @@
 //	        directory) replays instead of regenerating. Without
 //	        -cache-dir, unique-seed variants bypass the store: pinning
 //	        what can never be shared would only hold memory.
+//	warm    pre-materialize a battery's workload keys into a cache
+//	        directory — the trace keys a `dsatrace batch` with the same
+//	        parameters will request (-kinds/-variants), and/or the
+//	        machine-sweep keys a `dsasim -machine all` will request
+//	        (-machines; one key per distinct machine extent) — so the
+//	        very first battery run against the warmed directory
+//	        regenerates nothing. Idempotent: keys already cached are
+//	        replayed, not rewritten.
 //	stat    summarize a trace from stdin
 //	advise  interleave accurate WillNeed/WontNeed advice
 //
@@ -48,6 +58,7 @@ import (
 	"dsa/internal/trace"
 	"dsa/internal/workload"
 	"dsa/internal/workload/catalog"
+	"dsa/internal/workload/stock"
 )
 
 // writeTask is the dist handler that materializes and writes one trace
@@ -63,6 +74,8 @@ func main() {
 		cmdGen(os.Args[2:])
 	case "batch":
 		cmdBatch(os.Args[2:])
+	case "warm":
+		cmdWarm(os.Args[2:])
 	case "stat":
 		cmdStat()
 	case "advise":
@@ -75,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dsatrace gen|batch|stat|advise [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dsatrace gen|batch|warm|stat|advise [flags]")
 	os.Exit(2)
 }
 
@@ -244,24 +257,28 @@ func cmdWorker(args []string) {
 	}
 }
 
-// writeTrace materializes one trace through the store and encodes it
-// to its output file: the single implementation behind the in-process
-// batch cell and the worker handler. A stochastic trace's key embeds
-// its unique variant seed, so it can never be shared within a run —
-// it goes through GetOnce, which replays from (and writes to) the
-// disk layer without pinning the trace in memory: one stochastic
+// getTrace materializes one trace through the store: the single
+// dispatch behind `batch` and `warm`, so a warmed cache directory
+// holds exactly what a later batch will ask for. A stochastic trace's
+// key embeds its unique variant seed, so it can never be shared within
+// a run — it goes through GetOnce, which replays from (and writes to)
+// the disk layer without pinning the trace in memory: one stochastic
 // trace is resident at a time no matter how many variants the batch
 // asks for. Deterministic kinds are shared by every variant and use
 // the pinning path.
-func writeTrace(cat *catalog.Catalog, kind, path string, seed uint64, g genSpec) (string, error) {
+func getTrace(cat *catalog.Catalog, kind string, seed uint64, g genSpec) (trace.Trace, error) {
 	gen := func() (trace.Trace, error) { return genTrace(kind, seed, g) }
-	var tr trace.Trace
-	var err error
 	if stochastic(kind) {
-		tr, err = catalog.GetOnce(cat, storeKey(kind, seed, g), gen)
-	} else {
-		tr, err = catalog.Get(cat, storeKey(kind, seed, g), gen)
+		return catalog.GetOnce(cat, storeKey(kind, seed, g), gen)
 	}
+	return catalog.Get(cat, storeKey(kind, seed, g), gen)
+}
+
+// writeTrace materializes one trace through the store and encodes it
+// to its output file: the single implementation behind the in-process
+// batch cell and the worker handler.
+func writeTrace(cat *catalog.Catalog, kind, path string, seed uint64, g genSpec) (string, error) {
+	tr, err := getTrace(cat, kind, seed, g)
 	if err != nil {
 		return "", err
 	}
@@ -279,6 +296,48 @@ func writeTrace(cat *catalog.Catalog, kind, path string, seed uint64, g genSpec)
 		return "", err
 	}
 	return fmt.Sprintf("%s: %d events", path, len(tr)), nil
+}
+
+// batchSpec is one batch output: a trace kind, its output path, and
+// its (variant-derived for stochastic kinds) seed.
+type batchSpec struct {
+	kind string
+	path string
+	seed uint64
+}
+
+// batchSpecs expands -kinds × -variants into the batch's output specs
+// — the single derivation behind `dsatrace batch` and `dsatrace warm`,
+// so a warmed cache directory holds exactly the keys a later batch
+// will ask for. shared counts the specs whose store key aliases an
+// earlier spec's (the deterministic kinds' extra variants).
+func batchSpecs(out, kinds string, variants int, seed uint64, g genSpec) (specs []batchSpec, shared int) {
+	seen := make(map[string]bool)
+	seenKeys := make(map[string]bool)
+	for _, kind := range strings.Split(kinds, ",") {
+		kind = strings.TrimSpace(kind)
+		if kind == "" || seen[kind] {
+			continue // a repeated kind would race two jobs onto one output file
+		}
+		seen[kind] = true
+		for v := 0; v < variants; v++ {
+			sp := batchSpec{kind: kind, seed: seed,
+				path: filepath.Join(out, fmt.Sprintf("%s-%d.trace", kind, v))}
+			if stochastic(kind) {
+				// Unique seed per variant; the store key embeds it, so
+				// variants share nothing with each other but everything
+				// with their own replay on a warm cache.
+				sp.seed = sim.SeedFor(seed, fmt.Sprintf("dsatrace/%s/variant=%d", kind, v))
+			}
+			if key := storeKey(kind, sp.seed, g); seenKeys[key] {
+				shared++
+			} else {
+				seenKeys[key] = true
+			}
+			specs = append(specs, sp)
+		}
+	}
+	return specs, shared
 }
 
 // cmdBatch materializes kinds × variants traces to files through the
@@ -308,38 +367,7 @@ func cmdBatch(args []string) {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}
-	type spec struct {
-		kind string
-		path string
-		seed uint64
-	}
-	var specs []spec
-	shared := 0 // jobs whose store key aliases an earlier job's
-	seen := make(map[string]bool)
-	seenKeys := make(map[string]bool)
-	for _, kind := range strings.Split(*kinds, ",") {
-		kind = strings.TrimSpace(kind)
-		if kind == "" || seen[kind] {
-			continue // a repeated kind would race two jobs onto one output file
-		}
-		seen[kind] = true
-		for v := 0; v < *variants; v++ {
-			sp := spec{kind: kind, seed: *seed,
-				path: filepath.Join(*out, fmt.Sprintf("%s-%d.trace", kind, v))}
-			if stochastic(kind) {
-				// Unique seed per variant; the store key embeds it, so
-				// variants share nothing with each other but everything
-				// with their own replay on a warm cache.
-				sp.seed = sim.SeedFor(*seed, fmt.Sprintf("dsatrace/%s/variant=%d", kind, v))
-			}
-			if key := storeKey(kind, sp.seed, *g); seenKeys[key] {
-				shared++
-			} else {
-				seenKeys[key] = true
-			}
-			specs = append(specs, sp)
-		}
-	}
+	specs, shared := batchSpecs(*out, *kinds, *variants, *seed, *g)
 
 	store := newStore(*cacheDir)
 	opts := engine.Options{Parallel: *parallel, Seed: *seed, Catalog: store}
@@ -406,6 +434,61 @@ func cmdBatch(args []string) {
 	if firstErr != nil {
 		fail(firstErr)
 	}
+}
+
+// cmdWarm pre-materializes a battery's workload keys into a cache
+// directory without running anything against them: every key is
+// generated (or disk-replayed, making warm idempotent) through the
+// store, so the very first battery run that shares the directory —
+// `dsatrace batch -cache-dir`, `dsasim -machine all -cache-dir`, and
+// their worker processes — regenerates nothing. -kinds warms the trace
+// keys a `dsatrace batch` with the same parameters will request;
+// -machines warms the machine-sweep keys a `dsasim -machine all
+// -workload KIND` will request (one key per distinct machine extent,
+// via internal/workload/stock — the same keys dsasim itself uses).
+func cmdWarm(args []string) {
+	fs := flag.NewFlagSet("warm", flag.ExitOnError)
+	var (
+		cacheDir = fs.String("cache-dir", "", "disk-backed workload store directory to warm (required)")
+		kinds    = fs.String("kinds", "", "comma-separated trace kinds to warm for `dsatrace batch`")
+		variants = fs.Int("variants", 1, "seed variants per kind")
+		seed     = fs.Uint64("seed", 1, "base seed; stochastic variant seeds derive via sim.SeedFor")
+		machines = fs.Bool("machines", false, "warm the `dsasim -machine all` workload keys")
+		mkind    = fs.String("workload", "segments", "machine-sweep workload kind with -machines")
+		segs     = fs.Int("segs", 32, "segment count (segments workload) with -machines")
+		scale    = fs.Int("scale", 2, "capacity scale divisor with -machines")
+	)
+	g := specFlags(fs)
+	_ = fs.Parse(args)
+
+	if *cacheDir == "" {
+		fail(fmt.Errorf("warm: -cache-dir is required (a memory-only warm evaporates with this process)"))
+	}
+	if *kinds == "" && !*machines {
+		fail(fmt.Errorf("warm: nothing to warm; pass -kinds and/or -machines"))
+	}
+	if *kinds != "" && *variants < 1 {
+		// The same guard batch enforces: a zero-variant warm would
+		// "succeed" while warming nothing.
+		fail(fmt.Errorf("warm: -variants %d < 1", *variants))
+	}
+	store := newStore(*cacheDir)
+	specs, _ := batchSpecs("", *kinds, *variants, *seed, *g)
+	for _, sp := range specs {
+		if _, err := getTrace(store, sp.kind, sp.seed, *g); err != nil {
+			fail(err)
+		}
+	}
+	if *machines {
+		if _, err := stock.WarmMachines(store, strings.ToLower(*mkind), g.refs, *segs, *seed, *scale); err != nil {
+			fail(err)
+		}
+	}
+	// Distinct keys touched = generations + disk replays (repeat
+	// variants of a deterministic kind are in-memory hits, and GetOnce
+	// keys never pin, so neither inflates the count).
+	st := store.Stats()
+	fmt.Printf("warmed %d keys into %s (%s)\n", st.Generations+st.DiskHits, *cacheDir, st.Summary())
 }
 
 func cmdStat() {

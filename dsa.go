@@ -111,6 +111,44 @@
 // Idle workers steal queued cell batches from busy ones, so one
 // expensive cell cannot idle the pool.
 //
+// # Running the battery
+//
+// Above the per-sweep axes sits the battery scheduler
+// (internal/engine/battery): -battery-parallel N runs up to N whole
+// experiments concurrently over one shared executor, instead of
+// strictly one after another the way experiments.All() historically
+// did. It composes with the other flags rather than multiplying them:
+//
+//   - -battery-parallel × -parallel: without -workers, the battery
+//     installs one battery-wide cell pool bounded by -parallel, so
+//     the budget is total cells in flight across every running sweep —
+//     N sweeps never mean N × parallel goroutines. Serial sweeps leave
+//     cores idle during single-cell figures and aggregation tails; the
+//     scheduler fills those gaps with other sweeps' cells.
+//   - -battery-parallel × -workers: the dist pool is the shared
+//     executor. Its worker processes — and their per-process workload
+//     catalogs — persist across the whole battery instead of being
+//     torn down per sweep, each worker slot serving one cell batch at
+//     a time whichever sweep it came from, so -workers likewise bounds
+//     total concurrency. Cancelling one sweep never disturbs a child
+//     serving another.
+//   - -battery-parallel × -cache-dir: every sweep's catalog is a child
+//     scope of the one battery store, so concurrent sweeps still
+//     materialize each shared workload exactly once (the store
+//     summaries are identical to a serial run's — CI greps this), and
+//     a directory pre-warmed with `dsatrace warm` makes the very first
+//     battery run regenerate nothing.
+//
+// Output is byte-identical at any -battery-parallel: sweeps complete
+// in any order, but tables are re-emitted in canonical order, and all
+// determinism remains key-derived. A sweep whose cells panic still
+// becomes FAILED rows in its own table while the rest of the battery
+// completes; with -progress, dsafig reports aggregated battery-wide
+// snapshots (sweeps done/running, cells done/failed/total, store
+// traffic, ETA) instead of interleaved per-sweep lines. The CI
+// battery-smoke gate (`make battery-smoke`) diffs all of this against
+// the serial baseline on every push.
+//
 // # Caching workloads
 //
 // Workload generation is pure and deterministic, which makes it

@@ -333,6 +333,88 @@ func TestCancellationKillsChildren(t *testing.T) {
 	}
 }
 
+// TestConcurrentSweepsSharePool: two sweeps executing concurrently on
+// one pool — the battery scheduler's shape — must each render
+// byte-identically to their in-process runs, with every cell remote:
+// the worker slots serve whichever sweep's batch comes next instead of
+// being torn down and respawned per sweep.
+func TestConcurrentSweepsSharePool(t *testing.T) {
+	localA := renderSweep(t, engine.Options{Parallel: 2, Seed: 7}, rowJobs(12))
+	localB := renderSweep(t, engine.Options{Parallel: 2, Seed: 31}, rowJobs(9))
+
+	pool := newBatchPool(t, 2, 2, io.Discard)
+	var wg sync.WaitGroup
+	var distA, distB string
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		distA = renderSweep(t, engine.Options{Seed: 7, Executor: pool}, rowJobs(12))
+	}()
+	go func() {
+		defer wg.Done()
+		distB = renderSweep(t, engine.Options{Seed: 31, Executor: pool}, rowJobs(9))
+	}()
+	wg.Wait()
+	if distA != localA {
+		t.Errorf("sweep A diverged under concurrent Execute:\n%s\nwant:\n%s", distA, localA)
+	}
+	if distB != localB {
+		t.Errorf("sweep B diverged under concurrent Execute:\n%s\nwant:\n%s", distB, localB)
+	}
+	st := pool.Stats()
+	if st.Remote != 21 || st.Local != 0 || st.Crashes != 0 {
+		t.Errorf("stats = %+v, want all 21 cells remote across both sweeps", st)
+	}
+}
+
+// TestCancelOneSweepLeavesOtherIntact: cancelling one of two sweeps
+// sharing a pool must not disturb the other — its cells stay remote,
+// complete, and byte-identical — because the cancellation kill is
+// scoped to children serving the cancelled sweep's context.
+func TestCancelOneSweepLeavesOtherIntact(t *testing.T) {
+	want := renderSweep(t, engine.Options{Parallel: 2, Seed: 7}, rowJobs(12))
+
+	pool := newTestPool(t, 2, io.Discard)
+	sleepJobs := make([]engine.Job, 4)
+	for i := range sleepJobs {
+		key := fmt.Sprintf("sleep-%d", i)
+		sleepJobs[i] = engine.Job{Key: key, Spec: &engine.Spec{
+			Task: "test/sleep", Args: map[string]string{"ms": "60000"},
+		}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var cancelledResults []engine.Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eng := engine.New(engine.Options{Executor: pool})
+		cancelledResults = eng.Run(ctx, sleepJobs)
+	}()
+	go func() {
+		time.Sleep(300 * time.Millisecond) // let the sleepers occupy the workers
+		cancel()
+	}()
+	wg.Wait()
+	for _, r := range cancelledResults {
+		if r.Err == nil {
+			t.Errorf("%s completed despite cancellation", r.Key)
+		}
+	}
+
+	// The healthy sweep runs after the cancellation killed the sleeping
+	// children: the slots must respawn cleanly (the kill spent no crash
+	// budget) and the output must not change a byte.
+	got := renderSweep(t, engine.Options{Seed: 7, Executor: pool}, rowJobs(12))
+	if got != want {
+		t.Errorf("sweep after a concurrent cancellation diverged:\n%s\nwant:\n%s", got, want)
+	}
+	st := pool.Stats()
+	if st.Remote != 12 {
+		t.Errorf("stats = %+v, want the healthy sweep fully remote", st)
+	}
+}
+
 // TestWorkStealing gives slot 0 a long-running first cell; the other
 // worker must steal the rest of slot 0's queue instead of idling.
 func TestWorkStealing(t *testing.T) {

@@ -86,9 +86,14 @@ func (s Stats) Summary(workers int) string {
 //
 // Children are spawned lazily and kept alive across sweeps (their
 // per-process workload catalogs persist with them); Close shuts them
-// down. A Pool may be shared by consecutive sweeps but not by
-// concurrent ones: Execute must not be called concurrently with
-// itself or with Close.
+// down. Execute is safe for concurrent use: the battery scheduler
+// (internal/engine/battery) runs whole sweeps concurrently over one
+// pool, each worker slot serving one batch at a time whichever sweep
+// it came from, so the worker count bounds total cell concurrency
+// battery-wide. Cancelling one sweep's context never disturbs a child
+// serving another sweep: only children whose in-flight batch belongs
+// to the cancelled sweep are killed. Close must not be called
+// concurrently with Execute.
 type Pool struct {
 	opts   Options
 	stderr io.Writer
@@ -136,7 +141,7 @@ func NewPool(o Options) (*Pool, error) {
 	}
 	p.slots = make([]*slot, o.Workers)
 	for i := range p.slots {
-		p.slots[i] = &slot{id: i, pool: p}
+		p.slots[i] = &slot{id: i, pool: p, tok: make(chan struct{}, 1)}
 		p.slots[i].currentKey.Store("")
 	}
 	return p, nil
@@ -178,15 +183,22 @@ func (p *Pool) count(f func(*Stats)) {
 // each exactly once. Cells with a Spec go to worker processes; cells
 // without one run in this process through engine.RunJob (so mixed
 // sweeps still complete, byte-identically). Cancellation kills the
-// children and reports every unfinished cell with ctx.Err().
+// children whose in-flight batch belongs to this sweep — a child
+// serving a concurrent sweep is untouched — and reports every
+// unfinished cell with ctx.Err().
 func (p *Pool) Execute(ctx context.Context, sw engine.SweepEnv, jobs []engine.Job, report func(engine.Result)) {
 	if len(jobs) == 0 {
 		return
 	}
 	qs := newQueues(len(p.slots), len(jobs))
 
-	// Kill children the moment the sweep is cancelled, so a worker
-	// stuck in a long cell cannot outlive its sweep.
+	// Kill this sweep's children the moment it is cancelled, so a
+	// worker stuck in a long cell cannot outlive its sweep. The kill is
+	// ctx-scoped: a slot is only killed while its in-flight round trip
+	// carries this sweep's context, which is what keeps concurrent
+	// sweeps sharing the pool isolated from each other's cancellation.
+	// (A killed child is torn down and its batch contained by the slot
+	// goroutine's own round-trip error path.)
 	watcherDone := make(chan struct{})
 	stop := make(chan struct{})
 	go func() {
@@ -194,7 +206,7 @@ func (p *Pool) Execute(ctx context.Context, sw engine.SweepEnv, jobs []engine.Jo
 		select {
 		case <-ctx.Done():
 			for _, s := range p.slots {
-				s.kill()
+				s.killIfServing(ctx)
 			}
 		case <-stop:
 		}
@@ -206,8 +218,34 @@ func (p *Pool) Execute(ctx context.Context, sw engine.SweepEnv, jobs []engine.Jo
 		go func(s *slot) {
 			defer wg.Done()
 			for {
+				// Claim the slot before taking work — one batch at a time
+				// per slot, whichever sweep it came from, so the worker
+				// count bounds total in-flight cells battery-wide. Claiming
+				// first (rather than popping first) keeps unpopped cells
+				// stealable by this sweep's other slots while a concurrent
+				// sweep holds this one, and lets a cancelled or fully-
+				// drained sweep stop waiting on a busy slot immediately.
+				select {
+				case s.tok <- struct{}{}:
+				case <-ctx.Done():
+					// Drain whatever is still queued as cancelled; other
+					// slot goroutines may be draining concurrently, and
+					// nextBatch hands each cell out exactly once.
+					for {
+						idxs, _, ok := qs.nextBatch(s.id, p.opts.Batch)
+						if !ok {
+							return
+						}
+						for _, idx := range idxs {
+							report(engine.Result{Key: jobs[idx].Key, Index: idx, Err: ctx.Err()})
+						}
+					}
+				case <-qs.drained:
+					return
+				}
 				idxs, stolen, ok := qs.nextBatch(s.id, p.opts.Batch)
 				if !ok {
+					<-s.tok
 					return
 				}
 				if stolen > 0 {
@@ -217,31 +255,30 @@ func (p *Pool) Execute(ctx context.Context, sw engine.SweepEnv, jobs []engine.Jo
 					for _, idx := range idxs {
 						report(engine.Result{Key: jobs[idx].Key, Index: idx, Err: err})
 					}
+					<-s.tok
 					continue
 				}
 				s.runBatch(ctx, sw, idxs, jobs, report)
+				<-s.tok
 			}
 		}(s)
 	}
 	wg.Wait()
 	close(stop)
 	<-watcherDone
-	if ctx.Err() != nil {
-		// The watcher killed the children; reap them so the next sweep
-		// starts from clean slots without spending respawn budget.
-		for _, s := range p.slots {
-			s.teardown()
-		}
-	}
 }
 
 // slot is one worker seat: the protocol connection to a child process
-// plus its crash accounting. All fields except cmd/currentKey are
-// owned by the single Execute goroutine driving the slot.
+// plus its crash accounting. The tok channel serializes batches onto
+// the slot — concurrent sweeps sharing the pool take turns here, and
+// unlike a mutex a waiter can abandon the claim on cancellation — and
+// its holder owns every field except cmd/curCtx/currentKey, which have
+// their own synchronization.
 type slot struct {
 	id   int
 	pool *Pool
 
+	tok      chan struct{} // slot ownership: send to claim, receive to release
 	wbuf     *bufio.Writer
 	rbuf     *bufio.Reader
 	stdin    io.WriteCloser
@@ -256,7 +293,9 @@ type slot struct {
 	currentKey atomic.Value
 
 	procMu sync.Mutex
-	cmd    *exec.Cmd // also read by the cancellation watcher
+	cmd    *exec.Cmd       // also read by the cancellation watchers
+	curCtx context.Context // the in-flight batch's sweep context, nil when idle
+	killed bool            // a watcher killed the child; respawn before reuse
 }
 
 // runBatch executes one batch of cells and reports each exactly once:
@@ -266,6 +305,14 @@ type slot struct {
 // shape of an in-process contained panic, once per cell — and the slot
 // respawns for subsequent batches within its budget.
 func (s *slot) runBatch(ctx context.Context, sw engine.SweepEnv, idxs []int, jobs []engine.Job, report func(engine.Result)) {
+	if err := ctx.Err(); err != nil {
+		// The sweep was cancelled while this batch waited its turn on
+		// the slot (a concurrent sweep held it): report, don't ship.
+		for _, idx := range idxs {
+			report(engine.Result{Key: jobs[idx].Key, Index: idx, Err: err})
+		}
+		return
+	}
 	remote := make([]int, 0, len(idxs))
 	for _, idx := range idxs {
 		job := jobs[idx]
@@ -305,7 +352,24 @@ func (s *slot) runBatch(ctx context.Context, sw engine.SweepEnv, idxs []int, job
 	for i, idx := range remote {
 		req.Cells[i] = cellReq{Index: idx, Key: jobs[idx].Key, Spec: *jobs[idx].Spec}
 	}
+	// Publish which sweep this round trip serves, so that sweep's
+	// cancellation watcher — and only that sweep's — may kill the child
+	// mid-batch. Re-check the context after publishing: a cancellation
+	// that fired in between saw curCtx unset (its watcher killed
+	// nothing and has already exited), so without this check the batch
+	// would ship and block uninterruptibly on a child nothing will ever
+	// kill. Publish-then-check and check-then-kill both take procMu, so
+	// every cancellation is seen by at least one side.
+	s.setCurCtx(ctx)
+	if err := ctx.Err(); err != nil {
+		s.setCurCtx(nil)
+		for _, idx := range remote {
+			report(engine.Result{Key: jobs[idx].Key, Index: idx, Err: err})
+		}
+		return
+	}
 	resp, err := s.roundTrip(&req)
+	s.setCurCtx(nil)
 	if err == nil && len(resp.Results) != len(remote) {
 		err = fmt.Errorf("dist: %d results for %d cells", len(resp.Results), len(remote))
 	}
@@ -387,10 +451,16 @@ func resultFrom(idx int, key string, cr *cellResp) engine.Result {
 // respawning, within the crash budget) as needed.
 func (s *slot) ensure(ctx context.Context) error {
 	s.procMu.Lock()
-	alive := s.cmd != nil
+	alive := s.cmd != nil && !s.killed
+	reap := s.cmd != nil && s.killed
 	s.procMu.Unlock()
 	if alive {
 		return nil
+	}
+	if reap {
+		// A cancellation watcher killed the child after its last batch
+		// completed; reap it and fall through to a fresh spawn.
+		s.teardown()
 	}
 	if s.crashes > s.pool.opts.MaxRespawns {
 		s.local = true
@@ -445,13 +515,34 @@ func (s *slot) spawn() error {
 	return nil
 }
 
-// kill signals the child without reaping it (safe from the watcher
-// goroutine while the slot goroutine owns the pipes).
-func (s *slot) kill() {
+// setCurCtx publishes (or clears) the sweep context of the slot's
+// in-flight round trip for the cancellation watchers.
+func (s *slot) setCurCtx(ctx context.Context) {
+	s.procMu.Lock()
+	s.curCtx = ctx
+	s.procMu.Unlock()
+}
+
+// killIfServing signals the child iff its in-flight batch belongs to
+// ctx's sweep (safe from a watcher goroutine while a slot goroutine
+// owns the pipes). An idle child, or one serving a concurrent sweep,
+// is left alone: the cancelled sweep's remaining cells are reported
+// with ctx.Err() without ever reaching a worker, and killing a shared
+// child would turn another sweep's healthy batch into FAILED rows.
+func (s *slot) killIfServing(ctx context.Context) {
 	s.procMu.Lock()
 	defer s.procMu.Unlock()
+	if s.curCtx != ctx {
+		return
+	}
 	if s.cmd != nil && s.cmd.Process != nil {
 		_ = s.cmd.Process.Kill()
+		// Tombstone the corpse: the kill can land just after the batch's
+		// response was read, in which case the slot goroutine sees a
+		// clean round trip and would otherwise ship the next sweep's
+		// batch to a dead child. ensure() reaps and respawns instead —
+		// without charging the crash budget, since nothing crashed.
+		s.killed = true
 	}
 }
 
@@ -460,6 +551,7 @@ func (s *slot) teardown() {
 	s.procMu.Lock()
 	cmd := s.cmd
 	s.cmd = nil
+	s.killed = false
 	s.procMu.Unlock()
 	if cmd == nil {
 		return
@@ -490,17 +582,32 @@ func (s *slot) teardown() {
 // seeding is key-derived and aggregation is index-ordered — so
 // stealing is pure load balancing.)
 type queues struct {
-	mu sync.Mutex
-	q  [][]int
+	mu      sync.Mutex
+	q       [][]int
+	left    int           // cells not yet handed out
+	drained chan struct{} // closed when the last cell is handed out
 }
 
 func newQueues(slots, jobs int) *queues {
-	qs := &queues{q: make([][]int, slots)}
+	qs := &queues{q: make([][]int, slots), left: jobs, drained: make(chan struct{})}
 	for i := 0; i < jobs; i++ {
 		s := i % slots
 		qs.q[s] = append(qs.q[s], i)
 	}
+	if jobs == 0 {
+		close(qs.drained)
+	}
 	return qs
+}
+
+// take accounts n cells handed out, signalling drained at zero so slot
+// goroutines waiting on a busy slot can stop waiting once no work is
+// left anywhere. Callers hold qs.mu.
+func (qs *queues) take(n int) {
+	qs.left -= n
+	if qs.left == 0 {
+		close(qs.drained)
+	}
 }
 
 // nextBatch returns up to max cell indices for slot, with stolen
@@ -521,6 +628,7 @@ func (qs *queues) nextBatch(slot, max int) (idxs []int, stolen int, ok bool) {
 		}
 		idxs = own[:n:n]
 		qs.q[slot] = own[n:]
+		qs.take(n)
 		return idxs, 0, true
 	}
 	victim, longest := -1, 0
@@ -539,5 +647,6 @@ func (qs *queues) nextBatch(slot, max int) (idxs []int, stolen int, ok bool) {
 	}
 	idxs = append(idxs, vq[len(vq)-n:]...)
 	qs.q[victim] = vq[:len(vq)-n]
+	qs.take(n)
 	return idxs, n, true
 }

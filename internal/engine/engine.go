@@ -276,18 +276,7 @@ func (e *Engine) Stream(ctx context.Context, jobs []Job, emit func(Result)) []Re
 	mergeWG.Add(1)
 	go func() {
 		defer mergeWG.Done()
-		// Emit in index order: buffer completion notices until the
-		// next expected index arrives.
-		ready := make(map[int]bool, len(jobs))
-		next := 0
-		for i := range done {
-			ready[i] = true
-			for ready[next] {
-				emit(results[next])
-				delete(ready, next)
-				next++
-			}
-		}
+		MergeOrdered(done, func(i int) { emit(results[i]) })
 	}()
 	e.sweepNotify(ctx, jobs, results, done)
 	close(done)
@@ -298,6 +287,26 @@ func (e *Engine) Stream(ctx context.Context, jobs []Job, emit func(Result)) []Re
 // sweep runs the pool with no completion notifications.
 func (e *Engine) sweep(ctx context.Context, jobs []Job, results []Result) {
 	e.sweepNotify(ctx, jobs, results, nil)
+}
+
+// MergeOrdered is the ordered-emission stage shared by Stream and the
+// battery scheduler (internal/engine/battery): it drains completion
+// indices from done and calls emit exactly once per index in ascending
+// index order, buffering out-of-order completions until the next
+// expected index arrives. It returns when done is closed. The sender
+// must send each index exactly once; receiving an index means the
+// value it guards (results[i], a table, ...) is final.
+func MergeOrdered(done <-chan int, emit func(index int)) {
+	ready := make(map[int]bool)
+	next := 0
+	for i := range done {
+		ready[i] = true
+		for ready[next] {
+			emit(next)
+			delete(ready, next)
+			next++
+		}
+	}
 }
 
 // progressTracker serializes per-sweep progress accounting and observer

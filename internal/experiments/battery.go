@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"dsa/internal/engine"
+	"dsa/internal/engine/battery"
+	"dsa/internal/metrics"
+	"dsa/internal/workload/catalog"
+)
+
+// namedExperiment pairs an experiment's canonical CLI name with its
+// table function.
+type namedExperiment struct {
+	name string
+	fn   func() (*metrics.Table, error)
+}
+
+// allExperiments is the canonical battery: every experiment in the
+// paper's presentation order. Run emits tables in this order no matter
+// how the battery scheduler interleaves the sweeps.
+var allExperiments = []namedExperiment{
+	{"t0", T0Overlay},
+	{"fig1", Fig1ArtificialContiguity},
+	{"fig2", Fig2SimpleMapping},
+	{"fig3", Fig3SpaceTime},
+	{"fig4", Fig4TwoLevelMapping},
+	{"t1", T1Replacement},
+	{"t2", T2Placement},
+	{"t3", T3UnitSize},
+	{"t4", T4Machines},
+	{"t5", T5Predictive},
+	{"t6", T6DualPageSize},
+	{"t7", T7NameSpace},
+	{"t8", T8Overlap},
+	{"t8b", T8OverlapTraced},
+	{"a1", A1ReserveFrames},
+	{"a2", A2Coalescing},
+	{"a3", A3Compaction},
+	{"a4", A4WaldUtilization},
+	{"a5", A5TLBFlush},
+	{"a6", A6SegmentedPaging},
+}
+
+// Names returns the canonical experiment names in battery order.
+func Names() []string {
+	out := make([]string, len(allExperiments))
+	for i, e := range allExperiments {
+		out[i] = e.name
+	}
+	return out
+}
+
+// byName resolves a (case-insensitive) experiment name.
+func byName(name string) (namedExperiment, error) {
+	lower := strings.ToLower(name)
+	for _, e := range allExperiments {
+		if e.name == lower {
+			return e, nil
+		}
+	}
+	return namedExperiment{}, fmt.Errorf("unknown experiment %q", name)
+}
+
+// All runs the whole experiment battery and returns the tables in the
+// paper's order. It is Run with no names.
+func All() ([]*metrics.Table, error) { return Run() }
+
+// Run executes the named experiments (all of them when names is empty)
+// as one battery and returns their tables in the order asked for. It
+// is Stream collecting into a slice; see Stream for the battery
+// semantics.
+func Run(names ...string) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	if err := Stream(func(t *metrics.Table) { out = append(out, t) }, names...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream executes the named experiments (all of them when names is
+// empty) as one battery, calling emit once per experiment in the order
+// asked for, each as soon as that prefix of the battery has completed
+// — so cmd/dsafig prints tables while later sweeps still run.
+//
+// The whole battery shares one workload store: each sweep's catalog
+// becomes a child scope, so any workload key declared by more than one
+// sweep — and, with a disk-backed store installed via UseStore, any
+// workload cached by an earlier run — materializes once. When the
+// caller (cmd/dsafig) has already installed a store, battery scoping
+// is its concern; otherwise an in-memory one is installed for the
+// duration of this battery.
+//
+// With ConfigureBattery(n > 1) the sweeps themselves run concurrently
+// — up to n in flight — over one shared executor (the installed
+// dist.Pool, or a battery-wide cell pool bounded by the Configure
+// parallelism), with tables re-emitted in canonical order, so output
+// is byte-identical to a serial battery. A sweep that fails with an
+// ordinary error aborts the battery, as in a serial run: in-flight
+// sweeps finish, sweeps not yet started are skipped, and what has
+// been emitted is always a correct canonical prefix — ending at the
+// first failed or skipped slot, which the abort may place before the
+// failing sweep's own slot (a serial battery would have emitted up to
+// the failure; the concurrent abort trades that tail for not running
+// doomed sweeps). Panicking cells inside a sweep remain contained as
+// FAILED rows either way.
+func Stream(emit func(*metrics.Table), names ...string) error {
+	list := allExperiments
+	if len(names) > 0 {
+		list = make([]namedExperiment, len(names))
+		for i, name := range names {
+			e, err := byName(name)
+			if err != nil {
+				return err
+			}
+			list[i] = e
+		}
+	}
+	if snapshot().store == nil {
+		UseStore(catalog.New())
+		defer UseStore(nil)
+	}
+	sc := snapshot()
+	if sc.batteryParallel <= 1 {
+		for _, e := range list {
+			tb, err := e.fn()
+			if err != nil {
+				return err
+			}
+			emit(tb)
+		}
+		return nil
+	}
+	return runConcurrentBattery(sc, list, emit)
+}
+
+// runConcurrentBattery fans whole sweeps across the battery scheduler.
+func runConcurrentBattery(sc runConfig, list []namedExperiment, emit func(*metrics.Table)) error {
+	// One shared executor for every sweep of the battery. A dist pool
+	// installed via UseExecutor already is one (its worker processes
+	// bound total cell concurrency and persist across sweeps); without
+	// one, install a battery-wide cell pool so the Configure
+	// parallelism bounds cells in flight across all sweeps, not per
+	// sweep.
+	if sc.executor == nil {
+		UseExecutor(battery.NewPool(sc.parallel))
+		defer UseExecutor(nil)
+	}
+
+	// Aggregate per-sweep engine progress battery-wide when someone is
+	// watching; the per-sweep observer, if any, still sees every
+	// snapshot.
+	var tracker *battery.Tracker
+	if sc.bobserve != nil {
+		tracker = battery.NewTracker(len(list), sc.store.Stats, sc.bobserve)
+		prev := sc.observe
+		Observe(func(sweep string, p engine.Progress) {
+			tracker.Observe(sweep, p)
+			if prev != nil {
+				prev(sweep, p)
+			}
+		})
+		defer Observe(prev)
+	}
+
+	// The first sweep to fail cancels the battery the moment it fails
+	// (not when its slot comes up in emission order), so sweeps not yet
+	// started are skipped — the serial abort contract, minus the work
+	// already in flight.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errMu sync.Mutex
+	var firstErr error
+	units := make([]battery.Unit, len(list))
+	for i, e := range list {
+		e := e
+		units[i] = battery.Unit{Name: e.name, Run: func(context.Context) (interface{}, error) {
+			tb, err := e.fn()
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				cancel()
+			}
+			return tb, err
+		}}
+	}
+	failed := false
+	results := battery.Run(ctx, units,
+		battery.Options{Parallel: sc.batteryParallel, Tracker: tracker}, func(r battery.Result) {
+			// Ordered emission: stop at the first failed slot, exactly
+			// where the serial loop would have stopped.
+			if failed {
+				return
+			}
+			if r.Err != nil {
+				failed = true
+				return
+			}
+			emit(r.Value.(*metrics.Table))
+		})
+	errMu.Lock()
+	defer errMu.Unlock()
+	// Report the battery-order-first real failure — the error a serial
+	// battery would have returned, in the serial battery's bare shape
+	// (cell errors already name their sweep through the cell key) —
+	// not the chronologically-first one; skip the cancellation markers
+	// our own abort painted onto sweeps ordered before it. firstErr
+	// remains the fallback in case every ordered error is a
+	// cancellation (it is what triggered them).
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			return r.Err
+		}
+	}
+	return firstErr
+}

@@ -6,30 +6,35 @@ import (
 	"sync"
 
 	"dsa/internal/engine"
+	"dsa/internal/engine/battery"
 	"dsa/internal/metrics"
 	"dsa/internal/sim"
 	"dsa/internal/workload/catalog"
 )
 
 // runConfig is the sweep configuration every experiment snapshots on
-// entry: how many engine workers to fan cells across, the base seed
-// that perturbs workload generation, the optional progress observer,
+// entry: how many engine workers to fan cells across, how many whole
+// sweeps the battery scheduler may run concurrently, the base seed
+// that perturbs workload generation, the optional progress observers,
 // the optional executor that replaces the in-process pool, and the
 // optional battery-scoped workload store.
 type runConfig struct {
-	parallel int
-	seed     uint64
-	observe  func(sweep string, p engine.Progress)
-	executor engine.Executor
-	store    *catalog.Catalog
+	parallel        int
+	batteryParallel int
+	seed            uint64
+	observe         func(sweep string, p engine.Progress)
+	bobserve        func(battery.Progress)
+	executor        engine.Executor
+	store           *catalog.Catalog
 }
 
 var (
-	cfgMu        sync.Mutex
-	cfg          runConfig
-	observer     func(sweep string, p engine.Progress)
-	executor     engine.Executor
-	batteryStore *catalog.Catalog
+	cfgMu           sync.Mutex
+	cfg             runConfig
+	observer        func(sweep string, p engine.Progress)
+	batteryObserver func(battery.Progress)
+	executor        engine.Executor
+	batteryStore    *catalog.Catalog
 )
 
 // Configure sets the parallelism (<= 0 means GOMAXPROCS) and the base
@@ -45,6 +50,20 @@ func Configure(parallel int, seed uint64) {
 	cfg = runConfig{parallel: parallel, seed: seed}
 }
 
+// ConfigureBattery sets how many whole sweeps Run/All may have in
+// flight at once (<= 1, the default, runs the battery serially in
+// canonical order — exactly the historical behavior). Concurrency
+// never changes a byte: cells still seed from (base seed, cell key),
+// sweeps still share one battery store, and tables are re-emitted in
+// canonical order regardless of completion order. Configure resets
+// this to serial, so call ConfigureBattery after Configure.
+// cmd/dsasim and cmd/dsafig wire their -battery-parallel flags here.
+func ConfigureBattery(n int) {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	cfg.batteryParallel = n
+}
+
 // Observe installs a progress observer for subsequent experiment runs:
 // it receives a snapshot (cells done/failed/total, ETA) after every
 // cell of every sweep, tagged with the sweep's title. Pass nil to
@@ -53,6 +72,19 @@ func Observe(fn func(sweep string, p engine.Progress)) {
 	cfgMu.Lock()
 	defer cfgMu.Unlock()
 	observer = fn
+}
+
+// ObserveBattery installs a battery-wide progress observer for
+// subsequent Run/All batteries: it receives an aggregated snapshot
+// (sweeps done/running, cells done/failed/total across every started
+// sweep, the shared store's traffic, ETA) whenever a sweep starts or
+// finishes and after every cell. Pass nil to remove it. cmd/dsafig
+// wires -progress here when -battery-parallel > 1, where interleaved
+// per-sweep lines would be unreadable.
+func ObserveBattery(fn func(battery.Progress)) {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	batteryObserver = fn
 }
 
 // UseExecutor installs an engine executor for subsequent experiment
@@ -89,6 +121,7 @@ func snapshot() runConfig {
 	defer cfgMu.Unlock()
 	c := cfg
 	c.observe = observer
+	c.bobserve = batteryObserver
 	c.executor = executor
 	c.store = batteryStore
 	return c

@@ -13,7 +13,6 @@ import (
 	"dsa/internal/sim"
 	"dsa/internal/trace"
 	"dsa/internal/workload"
-	"dsa/internal/workload/catalog"
 )
 
 // runPageString replays a page-reference string against a policy with a
@@ -694,38 +693,4 @@ func t8bCells(sc runConfig) []cell {
 		}
 	}
 	return cells
-}
-
-// All runs every experiment in order. Within each experiment the cells
-// fan out across the engine (Configure sets the parallelism) and share
-// one workload catalog; the experiments themselves run in sequence so
-// their tables stream out in the paper's order.
-func All() ([]*metrics.Table, error) {
-	// The whole battery shares one workload store: each sweep's catalog
-	// becomes a child scope, so any workload key declared by more than
-	// one sweep — and, with a disk-backed store installed via UseStore,
-	// any workload cached by an earlier run — materializes once. When
-	// the caller (cmd/dsafig) has already installed a store, battery
-	// scoping is its concern; otherwise install an in-memory one for
-	// the duration of this battery.
-	if snapshot().store == nil {
-		UseStore(catalog.New())
-		defer UseStore(nil)
-	}
-	fns := []func() (*metrics.Table, error){
-		T0Overlay,
-		Fig1ArtificialContiguity, Fig2SimpleMapping, Fig3SpaceTime, Fig4TwoLevelMapping,
-		T1Replacement, T2Placement, T3UnitSize, T4Machines,
-		T5Predictive, T6DualPageSize, T7NameSpace, T8Overlap, T8OverlapTraced,
-		A1ReserveFrames, A2Coalescing, A3Compaction, A4WaldUtilization, A5TLBFlush, A6SegmentedPaging,
-	}
-	out := make([]*metrics.Table, 0, len(fns))
-	for _, fn := range fns {
-		tb, err := fn()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, tb)
-	}
-	return out, nil
 }
