@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet fmt-check lint build test race bench examples fig sim dist-smoke battery-smoke
+.PHONY: ci vet fmt-check lint build test race bench examples fig sim dist-smoke battery-smoke tcp-smoke
 
 ci: vet fmt-check lint build race bench examples ## full tier-1 + lint + race + bench smoke + examples
 
@@ -136,3 +136,50 @@ battery-smoke:
 		> /dev/null 2> "$$tmp/trace-warm.err"; \
 	grep -q "store: 0 generated" "$$tmp/trace-warm.err"; \
 	echo "battery-smoke: concurrent battery byte-identical, store shared, warmed cache replays everything"
+
+# Remote-transport determinism and fault-containment check: sweeps
+# dialed through real localhost TCP serve-workers (two pool slots on
+# one server, plain and under -battery-parallel, with an auth token)
+# must be byte-identical to the serial runs with every cell remote —
+# the stderr summary proves no silent local fallback — and the
+# fault-injection suite (worker kill mid-batch, stalled link, corrupt
+# frame, budget exhaustion) must hold under -race. CI's tcp-smoke job
+# runs this with TCP_SMOKE_DIR set so the outputs can be uploaded as a
+# debugging artifact on failure.
+TCP_SMOKE_DIR ?=
+tcp-smoke:
+	@set -e; \
+	if [ -n "$(TCP_SMOKE_DIR)" ]; then tmp="$(TCP_SMOKE_DIR)"; mkdir -p "$$tmp"; keep=1; \
+	else tmp=$$(mktemp -d); keep=; fi; \
+	pids=; \
+	trap 'kill $$pids 2>/dev/null; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/dsasim" ./cmd/dsasim; \
+	$(GO) build -o "$$tmp/dsafig" ./cmd/dsafig; \
+	"$$tmp/dsasim" -machine all -workload segments > "$$tmp/sim-serial.out"; \
+	"$$tmp/dsafig" t1 t4 > "$$tmp/fig-serial.out"; \
+	"$$tmp/dsasim" serve-worker -listen 127.0.0.1:0 -addr-file "$$tmp/sim-worker.addr" -auth-token smoke \
+		2> "$$tmp/sim-worker.err" & pids="$$!"; \
+	"$$tmp/dsafig" serve-worker -listen 127.0.0.1:0 -addr-file "$$tmp/fig-worker.addr" -auth-token smoke \
+		2> "$$tmp/fig-worker.err" & pids="$$pids $$!"; \
+	for f in sim-worker.addr fig-worker.addr; do \
+		i=0; while [ ! -s "$$tmp/$$f" ]; do \
+			i=$$((i+1)); if [ $$i -gt 500 ]; then echo "tcp-smoke: $$f never appeared"; exit 1; fi; \
+			sleep 0.02; done; \
+	done; \
+	simaddr=$$(cat "$$tmp/sim-worker.addr"); figaddr=$$(cat "$$tmp/fig-worker.addr"); \
+	"$$tmp/dsasim" -machine all -remote "$$simaddr,$$simaddr" -auth-token smoke -workload segments \
+		> "$$tmp/sim-tcp.out" 2> "$$tmp/sim-tcp.err"; \
+	cat "$$tmp/sim-tcp.err"; \
+	cmp "$$tmp/sim-serial.out" "$$tmp/sim-tcp.out"; \
+	grep -q "7 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/sim-tcp.err"; \
+	"$$tmp/dsafig" -remote "$$figaddr,$$figaddr" -auth-token smoke t1 t4 \
+		> "$$tmp/fig-tcp.out" 2> "$$tmp/fig-tcp.err"; \
+	cat "$$tmp/fig-tcp.err"; \
+	cmp "$$tmp/fig-serial.out" "$$tmp/fig-tcp.out"; \
+	grep -q "16 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/fig-tcp.err"; \
+	"$$tmp/dsafig" -battery-parallel 4 -remote "$$figaddr,$$figaddr" -auth-token smoke -batch 4 t1 t4 \
+		> "$$tmp/fig-tcp-bp.out" 2> "$$tmp/fig-tcp-bp.err"; \
+	cmp "$$tmp/fig-serial.out" "$$tmp/fig-tcp-bp.out"; \
+	grep -q "16 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/fig-tcp-bp.err"; \
+	$(GO) test -race -count=1 -run 'TCP|Fault|Frame|RemoteLocal' ./internal/engine/dist; \
+	echo "tcp-smoke: remote TCP output byte-identical; fault-injection suite green under -race"

@@ -4,8 +4,10 @@
 //
 // Usage:
 //
-//	dsafig [-parallel N] [-workers N] [-batch B] [-battery-parallel N]
-//	       [-seed S] [-cache-dir DIR] [-progress] [experiment ...]
+//	dsafig [-parallel N] [-workers N] [-remote host:port,...] [-batch B]
+//	       [-battery-parallel N] [-seed S] [-cache-dir DIR] [-progress]
+//	       [experiment ...]
+//	dsafig serve-worker [-listen ADDR] [-cache-dir DIR] [-auth-token T]
 //
 // With no arguments every experiment runs in order. Experiment names:
 // fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8.
@@ -39,8 +41,18 @@
 // -progress streams per-sweep cell counts, an ETA, and the sweep's
 // workload-cache traffic to stderr while the tables stream to stdout.
 //
+// -remote host:port,... adds one pool slot per listed `dsafig
+// serve-worker` endpoint alongside any -workers children; -auth-token
+// (default $DSA_WORKER_TOKEN) must match the servers'. A dead or
+// corrupted link costs exactly its in-flight batch (contained FAILED
+// cells), reconnects within the same budget as local respawns, and
+// degrades to in-process execution — byte-identical tables throughout.
+//
 // The hidden `dsafig worker` subcommand is the child side of -workers,
-// started only by a dispatching dsafig.
+// started only by a dispatching dsafig. `dsafig serve-worker` is its
+// TCP counterpart for -remote: it listens on -listen (port 0 picks a
+// free port, announced on stderr and via -addr-file), requires
+// -auth-token when set, and warms its own -cache-dir.
 package main
 
 import (
@@ -78,10 +90,28 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve-worker" {
+		// Same cell handlers (registered at init by the experiments
+		// package), served over TCP to dialing dsafig -remote pools.
+		fs := flag.NewFlagSet("serve-worker", flag.ExitOnError)
+		listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port, announced on stderr)")
+		cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory this worker warms by content-addressed key")
+		authToken := fs.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret dialers must present (default $DSA_WORKER_TOKEN; empty accepts any)")
+		addrFile := fs.String("addr-file", "", "write the bound host:port to this file (atomically) once listening")
+		_ = fs.Parse(os.Args[2:])
+		o := dist.ServeOptions{AuthToken: *authToken}
+		o.Catalog = newStore(*cacheDir)
+		if err := dist.ListenAndServe(*listen, *addrFile, o); err != nil {
+			fail(err)
+		}
+		return
+	}
 	var (
 		parallel   = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
 		workers    = flag.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
-		batch      = flag.Int("batch", 1, "cells per dist protocol frame with -workers (amortizes round trips)")
+		remote     = flag.String("remote", "", "comma-separated `dsafig serve-worker` endpoints (host:port,...) serving cells alongside any -workers")
+		authToken  = flag.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret for -remote handshakes (default $DSA_WORKER_TOKEN)")
+		batch      = flag.Int("batch", 1, "cells per dist protocol frame with -workers/-remote (amortizes round trips)")
 		batteryPar = flag.Int("battery-parallel", 1, "run N whole experiments concurrently over one shared executor (1 = serial; byte-identical at any N)")
 		seed       = flag.Uint64("seed", 0, "base seed (0 = paper-exact tables; nonzero re-derives every workload)")
 		cacheDir   = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
@@ -89,7 +119,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dsafig [-parallel N] [-workers N] [-batch B] [-battery-parallel N] [-seed S] [-cache-dir DIR] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
+			"usage: dsafig [-parallel N] [-workers N] [-remote host:port,...] [-batch B] [-battery-parallel N] [-seed S] [-cache-dir DIR] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -107,14 +137,15 @@ func main() {
 		}
 	}()
 
-	if *workers > 0 {
-		pool, err := dist.SelfPool(*workers, *batch, *cacheDir)
+	remotes := dist.SplitEndpoints(*remote)
+	if *workers > 0 || len(remotes) > 0 {
+		pool, err := dist.SelfPool(*workers, *batch, *cacheDir, remotes, *authToken)
 		if err != nil {
 			fail(err)
 		}
 		defer pool.Close()
 		defer func() {
-			fmt.Fprintf(os.Stderr, "dsafig: dist: %s\n", pool.Stats().Summary(*workers))
+			fmt.Fprintf(os.Stderr, "dsafig: dist: %s\n", pool.Stats().Summary(*workers+len(remotes)))
 		}()
 		experiments.UseExecutor(pool)
 	}

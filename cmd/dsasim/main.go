@@ -11,6 +11,8 @@
 //	dsasim -machine all -workers 2 -batch 4 -workload segments
 //	dsasim -machine all -cache-dir traces.cache -workload segments
 //	dsasim -machine all -battery-parallel 4 -workload segments
+//	dsasim serve-worker -listen 0.0.0.0:7070 -cache-dir traces.cache
+//	dsasim -machine all -remote host1:7070,host2:7070 -workload segments
 //
 // Machines: atlas m44 b5000 rice b8500 multics m67 recommended, or
 // "all" to sweep every appendix machine concurrently through the
@@ -30,9 +32,20 @@
 // -cache-dir backs that catalog with a disk cache replayed across runs
 // and worker processes.
 //
+// -remote host:port,... adds one remote slot per listed `dsasim
+// serve-worker` endpoint alongside any -workers children; -auth-token
+// (default $DSA_WORKER_TOKEN) must match the servers'. A dead or
+// corrupted link costs exactly its in-flight batch (contained FAILED
+// cells), reconnects within the same budget as local respawns, and
+// degrades to in-process execution — byte-identical output throughout.
+//
 // The hidden `dsasim worker` subcommand is the child side of -workers:
 // it serves cell batches over the stdio protocol of
 // internal/engine/dist and is started only by a dispatching dsasim.
+// `dsasim serve-worker` is its TCP counterpart for -remote: it listens
+// on -listen (port 0 picks a free port, announced on stderr and via
+// -addr-file), requires -auth-token when set, and warms its own
+// -cache-dir by content-addressed key.
 package main
 
 import (
@@ -99,6 +112,21 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve-worker" {
+		registerWorkerTasks()
+		fs := flag.NewFlagSet("serve-worker", flag.ExitOnError)
+		listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port, announced on stderr)")
+		cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory this worker warms by content-addressed key")
+		authToken := fs.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret dialers must present (default $DSA_WORKER_TOKEN; empty accepts any)")
+		addrFile := fs.String("addr-file", "", "write the bound host:port to this file (atomically) once listening")
+		_ = fs.Parse(os.Args[2:])
+		o := dist.ServeOptions{AuthToken: *authToken}
+		o.Catalog = newStore(*cacheDir)
+		if err := dist.ListenAndServe(*listen, *addrFile, o); err != nil {
+			fail(err)
+		}
+		return
+	}
 	var (
 		machineName = flag.String("machine", "atlas", "machine: atlas|m44|b5000|rice|b8500|multics|m67|recommended|all")
 		workloadKin = flag.String("workload", "workingset", "workload: workingset|sequential|random|loop|matrix|segments")
@@ -108,7 +136,9 @@ func main() {
 		scale       = flag.Int("scale", 2, "capacity scale divisor (1 = historical sizes)")
 		parallel    = flag.Int("parallel", 0, "engine workers for -machine all (0 = GOMAXPROCS)")
 		workers     = flag.Int("workers", 0, "distribute -machine all cells across N worker processes (0 = in-process)")
-		batch       = flag.Int("batch", 1, "cells per dist protocol frame with -workers (amortizes round trips)")
+		remote      = flag.String("remote", "", "comma-separated `dsasim serve-worker` endpoints (host:port,...) serving -machine all cells alongside any -workers")
+		authToken   = flag.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret for -remote handshakes (default $DSA_WORKER_TOKEN)")
+		batch       = flag.Int("batch", 1, "cells per dist protocol frame with -workers/-remote (amortizes round trips)")
 		batteryPar  = flag.Int("battery-parallel", 1, "run -machine all as a battery of per-machine sweeps, N in flight over one shared executor (1 = serial; byte-identical at any N)")
 		cacheDir    = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
 		progress    = flag.Bool("progress", false, "report sweep progress (cells done/failed/total, ETA, cache traffic) on stderr")
@@ -116,18 +146,19 @@ func main() {
 	)
 	flag.Parse()
 
+	remotes := dist.SplitEndpoints(*remote)
 	if strings.ToLower(*machineName) == "all" {
 		if *traceFile != "" {
 			fail(fmt.Errorf("-trace cannot be combined with -machine all"))
 		}
 		if err := runAll(*parallel, *workers, *batch, *batteryPar, *cacheDir, *progress,
-			strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
+			remotes, *authToken, strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
 			fail(err)
 		}
 		return
 	}
-	if *workers > 0 {
-		fail(fmt.Errorf("-workers requires -machine all (single-machine runs have one cell)"))
+	if *workers > 0 || len(remotes) > 0 {
+		fail(fmt.Errorf("-workers/-remote require -machine all (single-machine runs have one cell)"))
 	}
 	if *batteryPar > 1 {
 		fail(fmt.Errorf("-battery-parallel requires -machine all (single-machine runs have one sweep)"))
@@ -157,19 +188,22 @@ func main() {
 // to stdout. With workers > 0 the cells run in that many `dsasim
 // worker` child processes, batch cells per protocol frame —
 // byte-identical output, since each cell is rebuilt from {machine,
-// workload, seed} and every RNG is key-derived. With batteryParallel
-// > 1 each machine becomes its own sweep and up to that many run
-// concurrently over one shared executor (see runAllBattery). The sweep
-// shares one workload store: machines whose workloads coincide (equal
-// linear extents, or the machine-independent kinds) replay a single
-// materialization, disk-backed when cacheDir is set.
-func runAll(parallel, workers, batch, batteryParallel int, cacheDir string, progress bool, kind string, refs, segs int, seed uint64, scale int) error {
+// workload, seed} and every RNG is key-derived. remotes adds one slot
+// per `dsasim serve-worker` endpoint to the same pool. With
+// batteryParallel > 1 each machine becomes its own sweep and up to
+// that many run concurrently over one shared executor (see
+// runAllBattery). The sweep shares one workload store: machines whose
+// workloads coincide (equal linear extents, or the machine-independent
+// kinds) replay a single materialization, disk-backed when cacheDir is
+// set.
+func runAll(parallel, workers, batch, batteryParallel int, cacheDir string, progress bool,
+	remotes []string, authToken, kind string, refs, segs int, seed uint64, scale int) error {
 	names := []string{"atlas", "m44", "b5000", "rice", "b8500", "multics", "m67"}
 	store := newStore(cacheDir)
 	var pool *dist.Pool
-	if workers > 0 {
+	if workers > 0 || len(remotes) > 0 {
 		var err error
-		pool, err = dist.SelfPool(workers, batch, cacheDir)
+		pool, err = dist.SelfPool(workers, batch, cacheDir, remotes, authToken)
 		if err != nil {
 			return err
 		}
@@ -207,7 +241,7 @@ func runAll(parallel, workers, batch, batteryParallel int, cacheDir string, prog
 		eng.Stream(context.Background(), jobs, emit)
 	}
 	if pool != nil {
-		fmt.Fprintf(os.Stderr, "dsasim: dist: %s\n", pool.Stats().Summary(workers))
+		fmt.Fprintf(os.Stderr, "dsasim: dist: %s\n", pool.Stats().Summary(workers+len(remotes)))
 	}
 	if cacheDir != "" || progress {
 		fmt.Fprintf(os.Stderr, "dsasim: store: %s\n", store.Stats().Summary())

@@ -40,7 +40,13 @@
 //	advise  interleave accurate WillNeed/WontNeed advice
 //
 // The hidden `dsatrace worker` subcommand is the child side of
-// -workers, started only by a dispatching dsatrace.
+// -workers, started only by a dispatching dsatrace. `dsatrace
+// serve-worker` is its TCP counterpart: `batch -remote host:port,...`
+// sends cells to such servers alongside any -workers children
+// (-auth-token, default $DSA_WORKER_TOKEN, must match). A remote
+// worker writes its trace files and warms its -cache-dir on its own
+// host — point both at shared storage when the files must land
+// together.
 package main
 
 import (
@@ -82,6 +88,8 @@ func main() {
 		cmdAdvise(os.Args[2:])
 	case "worker":
 		cmdWorker(os.Args[2:])
+	case "serve-worker":
+		cmdServeWorker(os.Args[2:])
 	default:
 		usage()
 	}
@@ -257,6 +265,23 @@ func cmdWorker(args []string) {
 	}
 }
 
+// cmdServeWorker is the TCP counterpart of cmdWorker: it serves the
+// same batch cells to dialing `dsatrace batch -remote` pools.
+func cmdServeWorker(args []string) {
+	registerWorkerTasks()
+	fs := flag.NewFlagSet("serve-worker", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port, announced on stderr)")
+	cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory this worker warms by content-addressed key")
+	authToken := fs.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret dialers must present (default $DSA_WORKER_TOKEN; empty accepts any)")
+	addrFile := fs.String("addr-file", "", "write the bound host:port to this file (atomically) once listening")
+	_ = fs.Parse(args)
+	o := dist.ServeOptions{AuthToken: *authToken}
+	o.Catalog = newStore(*cacheDir)
+	if err := dist.ListenAndServe(*listen, *addrFile, o); err != nil {
+		fail(err)
+	}
+}
+
 // getTrace materializes one trace through the store: the single
 // dispatch behind `batch` and `warm`, so a warmed cache directory
 // holds exactly what a later batch will ask for. A stochastic trace's
@@ -354,7 +379,9 @@ func cmdBatch(args []string) {
 		seed     = fs.Uint64("seed", 1, "base seed; variant seeds derive via sim.SeedFor")
 		parallel = fs.Int("parallel", 0, "engine workers (0 = GOMAXPROCS)")
 		workers  = fs.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
-		batch    = fs.Int("batch", 1, "cells per dist protocol frame with -workers")
+		remote   = fs.String("remote", "", "comma-separated `dsatrace serve-worker` endpoints (host:port,...) serving cells alongside any -workers")
+		authTok  = fs.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret for -remote handshakes (default $DSA_WORKER_TOKEN)")
+		batch    = fs.Int("batch", 1, "cells per dist protocol frame with -workers/-remote")
 		cacheDir = fs.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
 		progress = fs.Bool("progress", false, "report batch progress (files done/failed/total, ETA, cache traffic) on stderr")
 	)
@@ -376,10 +403,11 @@ func cmdBatch(args []string) {
 			fmt.Fprintf(os.Stderr, "dsatrace: batch: %s\n", p)
 		}
 	}
+	remotes := dist.SplitEndpoints(*remote)
 	var pool *dist.Pool
-	if *workers > 0 {
+	if *workers > 0 || len(remotes) > 0 {
 		var err error
-		pool, err = dist.SelfPool(*workers, *batch, *cacheDir)
+		pool, err = dist.SelfPool(*workers, *batch, *cacheDir, remotes, *authTok)
 		if err != nil {
 			fail(err)
 		}
@@ -426,7 +454,7 @@ func cmdBatch(args []string) {
 	fmt.Printf("wrote %d of %d files (%d served from the shared catalog)\n",
 		wrote, len(specs), shared)
 	if pool != nil {
-		fmt.Fprintf(os.Stderr, "dsatrace: dist: %s\n", pool.Stats().Summary(*workers))
+		fmt.Fprintf(os.Stderr, "dsatrace: dist: %s\n", pool.Stats().Summary(*workers+len(remotes)))
 	}
 	if *cacheDir != "" || *progress {
 		fmt.Fprintf(os.Stderr, "dsatrace: store: %s\n", store.Stats().Summary())

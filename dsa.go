@@ -111,6 +111,47 @@
 // Idle workers steal queued cell batches from busy ones, so one
 // expensive cell cannot idle the pool.
 //
+// # Remote workers
+//
+// The same dist protocol runs over TCP, so a sweep can shard its cells
+// across other machines. Each of the three sweep commands grows a
+// serve-worker subcommand that serves cells to any number of dialers:
+//
+//	dsasim serve-worker -listen 0.0.0.0:7077 -cache-dir /var/dsa-cache
+//	dsafig  serve-worker -listen 127.0.0.1:0 -addr-file /tmp/w.addr
+//
+// and a -remote flag that adds one pool slot per endpoint, freely
+// mixed with local -workers slots:
+//
+//	dsasim -machine all -remote host-a:7077,host-b:7077 -workload segments
+//	dsafig -workers 2 -remote host-a:7077 -batch 8 t1 t4
+//
+// The wire format is the stdio protocol with an 8-byte header (length
+// plus CRC-32C) per frame, a version/auth handshake (-auth-token on
+// both ends, defaulting to $DSA_WORKER_TOKEN; the token is a
+// misconfiguration guard, not cryptographic security — run remote
+// workers on trusted networks), and heartbeat frames the server emits
+// while a batch computes. Heartbeats are what let the dialer tell a
+// slow cell from a dead link: a healthy link is never silent for
+// longer than the heartbeat interval, so only genuine link death — not
+// an expensive cell — trips the per-batch deadline. Remote workers
+// warm their own -cache-dir on their own disk; as everywhere else,
+// only {task, cell key, seed} tuples and result rows cross the wire,
+// never workload bytes.
+//
+// Failure semantics mirror the local pool exactly: a dropped, stalled,
+// or corrupted connection (every frame is checksummed) costs only the
+// cells in flight on it — FAILED rows name the worker[host:port] slot,
+// and remote stderr lines are prefixed the same way — then the slot
+// redials within the same bounded budget that governs local respawns
+// (MaxRespawns). A slot whose budget is exhausted, or whose endpoint
+// never answers, degrades to running its cells in-process, so the
+// sweep always completes and -remote output stays byte-identical to
+// -parallel output. The CI tcp-smoke job (`make tcp-smoke` locally)
+// enforces this over real localhost TCP and runs the fault-injection
+// suite — worker killed mid-batch, one-way stall, corrupt frame,
+// budget exhaustion — under the race detector.
+//
 // # Running the battery
 //
 // Above the per-sweep axes sits the battery scheduler

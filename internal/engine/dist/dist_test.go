@@ -21,11 +21,29 @@ import (
 // workerEnv marks a re-execution of this test binary as a dist worker.
 const workerEnv = "DSA_DIST_TEST_WORKER"
 
+// serverEnv marks a re-execution of this test binary as a TCP
+// serve-worker; its value is the addr-file the server publishes its
+// bound address to. A separate process is what lets tests kill a
+// remote worker mid-batch (test/crash calls os.Exit) without taking
+// the test binary down with it.
+const serverEnv = "DSA_DIST_TEST_SERVER"
+
+// serverTokenEnv carries the re-exec'd server's -auth-token.
+const serverTokenEnv = "DSA_DIST_TEST_TOKEN"
+
 func TestMain(m *testing.M) {
 	registerTestHandlers()
 	if os.Getenv(workerEnv) == "1" {
 		if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if addrFile := os.Getenv(serverEnv); addrFile != "" {
+		o := ServeOptions{AuthToken: os.Getenv(serverTokenEnv)}
+		if err := ListenAndServe("127.0.0.1:0", addrFile, o); err != nil {
+			fmt.Fprintln(os.Stderr, "serve-worker:", err)
 			os.Exit(1)
 		}
 		os.Exit(0)

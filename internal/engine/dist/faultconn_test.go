@@ -1,0 +1,299 @@
+package dist
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultOpts configures the faults a faultConn injects into one
+// direction of a byte stream. Byte counts are absolute offsets from
+// the start of the stream; -1 disables a fault. The zero value is NOT
+// fault-free — build from noFaults() so an unset field means "off",
+// not "at byte 0".
+type faultOpts struct {
+	// latency delays every Write by this fixed amount before any bytes
+	// move — a slow-but-healthy link.
+	latency time.Duration
+	// closeAfter closes the connection once this many bytes have
+	// passed, truncating the stream mid-frame at an exact offset.
+	closeAfter int
+	// stallAfter stops forwarding (without closing!) once this many
+	// bytes have passed — the one-way-stall failure TCP cannot surface
+	// as an error, which only an application-level deadline catches.
+	stallAfter int
+	// corruptAt flips a bit (^= 0x20) in the byte at this offset,
+	// leaving framing intact so the checksum is what must catch it.
+	corruptAt int
+}
+
+// noFaults returns a faultOpts with every fault disabled.
+func noFaults() faultOpts {
+	return faultOpts{closeAfter: -1, stallAfter: -1, corruptAt: -1}
+}
+
+// faultConn wraps a net.Conn and applies faultOpts to its Write path.
+// Wrapping the destination conn of an io.Copy pump faults exactly one
+// direction of a proxied stream; tests can also use it directly over a
+// TCP pair. Close unblocks a stalled Write, so teardown never wedges.
+type faultConn struct {
+	net.Conn
+	opts faultOpts
+
+	mu    sync.Mutex
+	wrote int // bytes accepted before this Write
+
+	done      chan struct{} // closed by Close; unblocks stalls
+	closeOnce sync.Once
+}
+
+func newFaultConn(c net.Conn, o faultOpts) *faultConn {
+	return &faultConn{Conn: c, opts: o, done: make(chan struct{})}
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	if f.opts.latency > 0 {
+		select {
+		case <-time.After(f.opts.latency):
+		case <-f.done:
+			return 0, net.ErrClosed
+		}
+	}
+	f.mu.Lock()
+	start := f.wrote
+	n := len(p)
+	// Cap this write at the nearest enabled fault boundary.
+	stall := f.opts.stallAfter >= 0 && start+n >= f.opts.stallAfter
+	if stall {
+		n = f.opts.stallAfter - start
+	}
+	drop := f.opts.closeAfter >= 0 && start+n >= f.opts.closeAfter
+	if drop {
+		n = f.opts.closeAfter - start
+	}
+	f.wrote = start + n
+	f.mu.Unlock()
+
+	if n < 0 {
+		n = 0
+	}
+	buf := p[:n]
+	if c := f.opts.corruptAt; c >= start && c < start+n {
+		buf = append([]byte(nil), buf...)
+		buf[c-start] ^= 0x20
+	}
+	wrote := 0
+	if n > 0 {
+		var err error
+		wrote, err = f.Conn.Write(buf)
+		if err != nil {
+			return wrote, err
+		}
+	}
+	if drop {
+		f.Close()
+		return wrote, net.ErrClosed
+	}
+	if stall {
+		// Swallow bytes without closing: the peer sees silence, not an
+		// error, until someone gives up and closes the connection.
+		<-f.done
+		return wrote, net.ErrClosed
+	}
+	return wrote, nil
+}
+
+func (f *faultConn) Close() error {
+	f.closeOnce.Do(func() { close(f.done) })
+	return f.Conn.Close()
+}
+
+// faultProxy is a TCP proxy that forwards each accepted connection to
+// a target address, injecting faults into the proxied byte streams: up
+// faults the dialer→server direction, down the server→dialer one. With
+// onceOnly set, only the first accepted connection is faulted and
+// reconnections flow clean — the shape of a transient network failure.
+type faultProxy struct {
+	t        *testing.T
+	ln       net.Listener
+	target   string
+	up, down faultOpts
+	onceOnly bool
+
+	mu       sync.Mutex
+	accepted int
+	conns    []io.Closer
+	wg       sync.WaitGroup
+}
+
+// newFaultProxy starts a proxy on 127.0.0.1:0 toward target and
+// returns it; its Addr is what the pool should dial. The proxy and
+// every proxied connection are torn down in test cleanup.
+func newFaultProxy(t *testing.T, target string, up, down faultOpts, onceOnly bool) *faultProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &faultProxy{t: t, ln: ln, target: target, up: up, down: down, onceOnly: onceOnly}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	t.Cleanup(p.Close)
+	return p
+}
+
+func (p *faultProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *faultProxy) Close() {
+	_ = p.ln.Close()
+	p.mu.Lock()
+	for _, c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *faultProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			_ = client.Close()
+			continue
+		}
+		up, down := p.up, p.down
+		p.mu.Lock()
+		p.accepted++
+		if p.onceOnly && p.accepted > 1 {
+			up, down = noFaults(), noFaults()
+		}
+		// Faults live on the destination side of each pump: writes
+		// toward the server carry the up faults, writes toward the
+		// client the down faults.
+		toServer := newFaultConn(server, up)
+		toClient := newFaultConn(client, down)
+		p.conns = append(p.conns, toServer, toClient)
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(toServer, client)
+		go p.pump(toClient, server)
+	}
+}
+
+// pump copies src into dst until either side dies, then closes both so
+// the other pump of the pair unblocks too.
+func (p *faultProxy) pump(dst *faultConn, src net.Conn) {
+	defer p.wg.Done()
+	_, _ = io.Copy(dst, src)
+	_ = dst.Close()
+	_ = src.Close()
+}
+
+// tcpPair returns the two ends of one loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if cerr != nil || err != nil {
+		t.Fatalf("tcp pair: dial %v, accept %v", cerr, err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestFaultConnCloseAfter: the stream is truncated at the exact byte
+// offset and then closed — the reader sees precisely N bytes then EOF.
+func TestFaultConnCloseAfter(t *testing.T) {
+	client, server := tcpPair(t)
+	o := noFaults()
+	o.closeAfter = 5
+	fc := newFaultConn(client, o)
+	if _, err := fc.Write([]byte("0123456789")); err == nil {
+		t.Error("write past closeAfter returned nil error")
+	}
+	got, _ := io.ReadAll(server)
+	if string(got) != "01234" {
+		t.Errorf("reader got %q, want exactly the first 5 bytes", got)
+	}
+}
+
+// TestFaultConnCorruptAt: exactly one byte is flipped, length intact.
+func TestFaultConnCorruptAt(t *testing.T) {
+	client, server := tcpPair(t)
+	o := noFaults()
+	o.corruptAt = 3
+	fc := newFaultConn(client, o)
+	if _, err := fc.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	got, _ := io.ReadAll(server)
+	if string(got) != "abc"+string(rune('d'^0x20))+"ef" {
+		t.Errorf("reader got %q, want byte 3 flipped", got)
+	}
+}
+
+// TestFaultConnStallBlocksUntilClose: a stalled write neither errors
+// nor forwards; Close unblocks it — the property that keeps test (and
+// pool) teardown from wedging on an injected stall.
+func TestFaultConnStallBlocksUntilClose(t *testing.T) {
+	client, server := tcpPair(t)
+	o := noFaults()
+	o.stallAfter = 2
+	fc := newFaultConn(client, o)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("stall-me"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	fc.Close()
+	if err := <-wrote; err == nil {
+		t.Error("unblocked stalled write returned nil error")
+	}
+	got, _ := io.ReadAll(server)
+	if string(got) != "st" {
+		t.Errorf("reader got %q, want only the 2 pre-stall bytes", got)
+	}
+}
+
+// TestFaultConnLatency: bytes arrive intact, just late.
+func TestFaultConnLatency(t *testing.T) {
+	client, server := tcpPair(t)
+	o := noFaults()
+	o.latency = 50 * time.Millisecond
+	fc := newFaultConn(client, o)
+	start := time.Now()
+	if _, err := fc.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < o.latency {
+		t.Errorf("write returned after %v, want >= %v", d, o.latency)
+	}
+	fc.Close()
+	got, _ := io.ReadAll(server)
+	if string(got) != "slow" {
+		t.Errorf("reader got %q, want the bytes unharmed", got)
+	}
+}

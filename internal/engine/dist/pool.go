@@ -1,34 +1,55 @@
 package dist
 
 import (
-	"bufio"
 	"context"
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsa/internal/engine"
 )
 
 // Options configures a Pool.
 type Options struct {
-	// Workers is the number of child processes; it must be >= 1.
+	// Workers is the number of local child processes. It must be >= 1
+	// unless Remote supplies the slots instead, in which case 0 means a
+	// purely remote pool.
 	Workers int
 	// Command is the worker executable — typically the running binary
 	// itself (os.Executable()) so the handler registry is identical on
-	// both sides.
+	// both sides. Required when Workers > 0.
 	Command string
 	// Args are passed to Command before the protocol starts, e.g.
 	// ["worker"].
 	Args []string
 	// Env is the child environment; nil inherits the parent's.
 	Env []string
+	// Remote lists serve-worker endpoints ("host:port"); each
+	// contributes one remote slot alongside the Workers local slots.
+	// Remote slots dial lazily like local slots spawn lazily, share the
+	// same batching, stealing and containment machinery, and degrade to
+	// in-process execution when their reconnect budget (MaxRespawns) is
+	// exhausted — a sweep never wedges on a dead endpoint.
+	Remote []string
+	// AuthToken is sent in the remote handshake; it must match the
+	// serve-workers' -auth-token. Empty matches only servers that
+	// require none.
+	AuthToken string
+	// LinkTimeout is how long a remote link may stay silent — no
+	// heartbeat, no response — before it is declared dead and its
+	// in-flight batch contained. <= 0 means DefaultLinkTimeout. Local
+	// stdio children need no deadline: their death is pipe EOF.
+	LinkTimeout time.Duration
+	// DialTimeout bounds connecting (dial + handshake) to a remote
+	// endpoint. <= 0 means DefaultDialTimeout.
+	DialTimeout time.Duration
 	// MaxRespawns bounds how many times one worker slot may be
-	// respawned after a crash before the slot degrades to running its
-	// cells in-process. <= 0 means DefaultMaxRespawns.
+	// respawned after a crash — or one remote slot reconnected after a
+	// link failure — before the slot degrades to running its cells
+	// in-process. <= 0 means DefaultMaxRespawns.
 	MaxRespawns int
 	// Batch is how many cells travel per protocol frame. One frame
 	// each way then serves a whole batch, amortizing the gob+pipe
@@ -77,16 +98,17 @@ func (s Stats) Summary(workers int) string {
 		s.Remote, workers, s.Local, s.Crashes, s.Steals)
 }
 
-// Pool shards engine sweeps across a pool of worker processes: the
+// Pool shards engine sweeps across a pool of worker slots — local
+// child processes (Workers) and/or remote serve-workers (Remote): the
 // out-of-process counterpart of the engine's default goroutine pool,
 // implementing engine.Executor. Cells are pre-sharded round-robin onto
-// the workers; a worker that drains its own queue steals from the
-// longest remaining queue, so one skewed-cost cell cannot idle the
-// rest of the pool.
+// the slots; a slot that drains its own queue steals from the longest
+// remaining queue, so one skewed-cost cell cannot idle the rest of the
+// pool.
 //
-// Children are spawned lazily and kept alive across sweeps (their
-// per-process workload catalogs persist with them); Close shuts them
-// down. Execute is safe for concurrent use: the battery scheduler
+// Children are spawned — and endpoints dialed — lazily, and links are
+// kept alive across sweeps (the workers' per-process workload catalogs
+// persist with them); Close shuts them down. Execute is safe for concurrent use: the battery scheduler
 // (internal/engine/battery) runs whole sweeps concurrently over one
 // pool, each worker slot serving one batch at a time whichever sweep
 // it came from, so the worker count bounds total cell concurrency
@@ -105,29 +127,45 @@ type Pool struct {
 }
 
 // SelfPool builds a pool of this binary's own `worker` subcommand —
-// the shape every self-spawning CLI shares. cacheDir, when nonempty,
+// the shape every self-spawning CLI shares — plus one remote slot per
+// endpoint in remote, dialed with authToken. cacheDir, when nonempty,
 // travels to the children as their -cache-dir flag, so the workers'
-// stores read and write the dispatcher's cache directory.
-func SelfPool(workers, batch int, cacheDir string) (*Pool, error) {
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, err
+// stores read and write the dispatcher's cache directory (remote
+// serve-workers warm their own -cache-dir instead). workers may be 0
+// when remote endpoints supply all the slots.
+func SelfPool(workers, batch int, cacheDir string, remote []string, authToken string) (*Pool, error) {
+	o := Options{Workers: workers, Batch: batch, Remote: remote, AuthToken: authToken}
+	if workers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		o.Command = exe
+		o.Args = []string{"worker"}
+		if cacheDir != "" {
+			o.Args = append(o.Args, "-cache-dir", cacheDir)
+		}
 	}
-	args := []string{"worker"}
-	if cacheDir != "" {
-		args = append(args, "-cache-dir", cacheDir)
-	}
-	return NewPool(Options{Workers: workers, Batch: batch, Command: exe, Args: args})
+	return NewPool(o)
 }
 
 // NewPool validates the options and returns a pool. No children are
-// spawned until the first remote cell is dispatched.
+// spawned and no endpoints dialed until the first remote cell is
+// dispatched.
 func NewPool(o Options) (*Pool, error) {
-	if o.Workers < 1 {
+	if o.Workers < 1 && len(o.Remote) == 0 {
 		return nil, fmt.Errorf("dist: Workers = %d, need >= 1", o.Workers)
 	}
-	if o.Command == "" {
+	if o.Workers < 0 {
+		return nil, fmt.Errorf("dist: Workers = %d, need >= 0", o.Workers)
+	}
+	if o.Workers > 0 && o.Command == "" {
 		return nil, fmt.Errorf("dist: Command is required")
+	}
+	for _, ep := range o.Remote {
+		if ep == "" {
+			return nil, fmt.Errorf("dist: empty Remote endpoint")
+		}
 	}
 	if o.MaxRespawns <= 0 {
 		o.MaxRespawns = DefaultMaxRespawns
@@ -135,14 +173,27 @@ func NewPool(o Options) (*Pool, error) {
 	if o.Batch <= 0 {
 		o.Batch = DefaultBatch
 	}
+	if o.LinkTimeout <= 0 {
+		o.LinkTimeout = DefaultLinkTimeout
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
 	p := &Pool{opts: o, stderr: o.Stderr}
 	if p.stderr == nil {
 		p.stderr = os.Stderr
 	}
-	p.slots = make([]*slot, o.Workers)
+	p.slots = make([]*slot, o.Workers+len(o.Remote))
 	for i := range p.slots {
-		p.slots[i] = &slot{id: i, pool: p, tok: make(chan struct{}, 1)}
-		p.slots[i].currentKey.Store("")
+		s := &slot{id: i, pool: p, tok: make(chan struct{}, 1)}
+		if i < o.Workers {
+			s.name = fmt.Sprintf("worker[%d]", i)
+		} else {
+			s.endpoint = o.Remote[i-o.Workers]
+			s.name = fmt.Sprintf("worker[%s]", s.endpoint)
+		}
+		s.currentKey.Store("")
+		p.slots[i] = s
 	}
 	return p, nil
 }
@@ -268,24 +319,22 @@ func (p *Pool) Execute(ctx context.Context, sw engine.SweepEnv, jobs []engine.Jo
 	<-watcherDone
 }
 
-// slot is one worker seat: the protocol connection to a child process
-// plus its crash accounting. The tok channel serializes batches onto
-// the slot — concurrent sweeps sharing the pool take turns here, and
-// unlike a mutex a waiter can abandon the claim on cancellation — and
-// its holder owns every field except cmd/curCtx/currentKey, which have
-// their own synchronization.
+// slot is one worker seat: the protocol link to a worker — a local
+// child process or a remote serve-worker — plus its crash accounting.
+// The tok channel serializes batches onto the slot — concurrent sweeps
+// sharing the pool take turns here, and unlike a mutex a waiter can
+// abandon the claim on cancellation — and its holder owns every field
+// except live/curCtx/currentKey, which have their own synchronization.
 type slot struct {
-	id   int
-	pool *Pool
+	id       int
+	pool     *Pool
+	name     string // "worker[0]" for local slots, "worker[host:port]" for remote
+	endpoint string // "" for local slots, "host:port" for remote
 
-	tok      chan struct{} // slot ownership: send to claim, receive to release
-	wbuf     *bufio.Writer
-	rbuf     *bufio.Reader
-	stdin    io.WriteCloser
-	prefixer *PrefixWriter // the child's stderr line prefixer
-	nextID   uint64
-	crashes  int
-	local    bool // respawn budget exhausted: run cells in-process
+	tok     chan struct{} // slot ownership: send to claim, receive to release
+	nextID  uint64
+	crashes int  // crashes (local) or link failures (remote), against MaxRespawns
+	local   bool // respawn/reconnect budget exhausted: run cells in-process
 
 	// currentKey is the most recent cell (or batch) label, read
 	// concurrently by the child's stderr prefixer; it is set before
@@ -293,9 +342,9 @@ type slot struct {
 	currentKey atomic.Value
 
 	procMu sync.Mutex
-	cmd    *exec.Cmd       // also read by the cancellation watchers
+	live   link            // the connected link; also read by the cancellation watchers
 	curCtx context.Context // the in-flight batch's sweep context, nil when idle
-	killed bool            // a watcher killed the child; respawn before reuse
+	killed bool            // a watcher killed the link; reconnect before reuse
 }
 
 // runBatch executes one batch of cells and reports each exactly once:
@@ -327,11 +376,11 @@ func (s *slot) runBatch(ctx context.Context, sw engine.SweepEnv, idxs []int, job
 		return
 	}
 	if err := s.ensure(ctx); err != nil {
-		// Could not (re)spawn a worker: the cells themselves are fine —
-		// run them here. Determinism is key-derived, so the result is
-		// byte-identical either way.
-		fmt.Fprintf(s.pool.stderr, "dist: worker[%d]: %v; running %s in-process\n",
-			s.id, err, batchLabel(jobs, remote))
+		// Could not (re)spawn a worker or (re)dial an endpoint: the
+		// cells themselves are fine — run them here. Determinism is
+		// key-derived, so the result is byte-identical either way.
+		fmt.Fprintf(s.pool.stderr, "dist: %s: %v; running %s in-process\n",
+			s.name, err, batchLabel(jobs, remote))
 		for _, idx := range remote {
 			s.pool.count(func(st *Stats) { st.Local++ })
 			report(engine.RunJob(ctx, idx, jobs[idx], sw.Seed, sw.Catalog))
@@ -381,17 +430,25 @@ func (s *slot) runBatch(ctx context.Context, sw engine.SweepEnv, idxs []int, job
 			}
 			return
 		}
-		// The worker died with this batch in flight: contain every
-		// in-flight cell as a FAILED cell (the sweep continues) and
-		// note one crash against the respawn budget. The next batch on
-		// this slot respawns within that budget.
+		// The worker died — or its link did — with this batch in
+		// flight: contain every in-flight cell as a FAILED cell (the
+		// sweep continues) and note one crash against the
+		// respawn/reconnect budget. The next batch on this slot
+		// respawns or redials within that budget.
 		s.crashes++
 		s.pool.count(func(st *Stats) { st.Crashes += len(remote) })
+		if s.endpoint != "" {
+			// A local child's own stderr shows why it died; a remote
+			// worker's stderr stays on its host, so the dispatcher-side
+			// line is the only attribution this side of the wire.
+			fmt.Fprintf(s.pool.stderr, "dist: %s: link retired: %v (batch %s contained)\n",
+				s.name, err, batchLabel(jobs, remote))
+		}
 		for _, idx := range remote {
 			key := jobs[idx].Key
 			report(engine.Result{
 				Key: key, Index: idx, Panicked: true,
-				Err: &engine.PanicError{Key: key, Value: fmt.Sprintf("worker[%d] crashed: %v", s.id, err)},
+				Err: &engine.PanicError{Key: key, Value: fmt.Sprintf("%s crashed: %v", s.name, err)},
 			})
 		}
 		return
@@ -411,22 +468,17 @@ func batchLabel(jobs []engine.Job, idxs []int) string {
 	return fmt.Sprintf("%s (+%d)", jobs[idxs[0]].Key, len(idxs)-1)
 }
 
-// roundTrip sends one request and reads its response.
+// roundTrip sends one request over the slot's link and blocks for its
+// response. The link consumes heartbeat frames itself; for remote
+// links each frame also re-arms the silence deadline.
 func (s *slot) roundTrip(req *request) (*response, error) {
-	if err := writeFrame(s.wbuf, req); err != nil {
-		return nil, err
+	s.procMu.Lock()
+	ln := s.live
+	s.procMu.Unlock()
+	if ln == nil {
+		return nil, fmt.Errorf("dist: %s: link closed", s.name)
 	}
-	if err := s.wbuf.Flush(); err != nil {
-		return nil, err
-	}
-	var resp response
-	if err := readFrame(s.rbuf, &resp); err != nil {
-		return nil, err
-	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("dist: response %d for request %d", resp.ID, req.ID)
-	}
-	return &resp, nil
+	return ln.roundTrip(req)
 }
 
 // resultFrom reconstructs an engine.Result from one wire cell result.
@@ -447,31 +499,35 @@ func resultFrom(idx int, key string, cr *cellResp) engine.Result {
 	return r
 }
 
-// ensure makes sure the slot has a live child, spawning (or
-// respawning, within the crash budget) as needed.
+// ensure makes sure the slot has a live link, spawning a child or
+// dialing the slot's endpoint (or re-doing either, within the shared
+// crash/reconnect budget) as needed.
 func (s *slot) ensure(ctx context.Context) error {
 	s.procMu.Lock()
-	alive := s.cmd != nil && !s.killed
-	reap := s.cmd != nil && s.killed
+	alive := s.live != nil && !s.killed
+	reap := s.live != nil && s.killed
 	s.procMu.Unlock()
 	if alive {
 		return nil
 	}
 	if reap {
-		// A cancellation watcher killed the child after its last batch
-		// completed; reap it and fall through to a fresh spawn.
+		// A cancellation watcher killed the link after its last batch
+		// completed; reap it and fall through to a fresh connect.
 		s.teardown()
 	}
 	if s.crashes > s.pool.opts.MaxRespawns {
 		s.local = true
+		if s.endpoint != "" {
+			return fmt.Errorf("reconnect budget exhausted after %d link failures", s.crashes)
+		}
 		return fmt.Errorf("respawn budget exhausted after %d crashes", s.crashes)
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := s.spawn(); err != nil {
+	if err := s.connect(ctx); err != nil {
 		s.crashes++
-		return fmt.Errorf("spawning %s: %w", s.pool.opts.Command, err)
+		return err
 	}
 	if s.crashes > 0 {
 		s.pool.count(func(st *Stats) { st.Respawns++ })
@@ -479,38 +535,37 @@ func (s *slot) ensure(ctx context.Context) error {
 	return nil
 }
 
-// spawn starts a child and wires up the protocol pipes. The child's
-// stderr flows through a line prefixer naming the slot and its
-// in-flight cell key, so anything a crashing worker manages to say is
-// attributable to the cell that killed it.
-func (s *slot) spawn() error {
-	cmd := exec.Command(s.pool.opts.Command, s.pool.opts.Args...)
-	if s.pool.opts.Env != nil {
-		cmd.Env = s.pool.opts.Env
-	}
-	s.prefixer = NewPrefixWriter(s.pool.stderr, func() string {
-		if k, _ := s.currentKey.Load().(string); k != "" {
-			return fmt.Sprintf("worker[%d] %s: ", s.id, k)
+// connect establishes the slot's link: local slots spawn a worker
+// child whose stderr flows through a line prefixer naming the slot and
+// its in-flight cell key — so anything a crashing worker manages to
+// say is attributable to the cell that killed it — and remote slots
+// dial their serve-worker endpoint and handshake. (A remote worker's
+// own stderr stays on its host, prefixed there per connection; this
+// side attributes link events by endpoint instead.)
+func (s *slot) connect(ctx context.Context) error {
+	var (
+		ln  link
+		err error
+	)
+	if s.endpoint != "" {
+		ln, err = dialRemote(ctx, s.endpoint, s.pool.opts.AuthToken, s.pool.opts.LinkTimeout, s.pool.opts.DialTimeout)
+		if err != nil {
+			return fmt.Errorf("dialing %s: %w", s.endpoint, err)
 		}
-		return fmt.Sprintf("worker[%d]: ", s.id)
-	})
-	cmd.Stderr = s.prefixer
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return err
+	} else {
+		prefixer := NewPrefixWriter(s.pool.stderr, func() string {
+			if k, _ := s.currentKey.Load().(string); k != "" {
+				return fmt.Sprintf("%s %s: ", s.name, k)
+			}
+			return s.name + ": "
+		})
+		ln, err = spawnProc(s.pool.opts.Command, s.pool.opts.Args, s.pool.opts.Env, prefixer)
+		if err != nil {
+			return fmt.Errorf("spawning %s: %w", s.pool.opts.Command, err)
+		}
 	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return err
-	}
-	if err := cmd.Start(); err != nil {
-		return err
-	}
-	s.stdin = stdin
-	s.wbuf = bufio.NewWriter(stdin)
-	s.rbuf = bufio.NewReader(stdout)
 	s.procMu.Lock()
-	s.cmd = cmd
+	s.live = ln
 	s.procMu.Unlock()
 	return nil
 }
@@ -523,53 +578,41 @@ func (s *slot) setCurCtx(ctx context.Context) {
 	s.procMu.Unlock()
 }
 
-// killIfServing signals the child iff its in-flight batch belongs to
+// killIfServing takes the link down iff its in-flight batch belongs to
 // ctx's sweep (safe from a watcher goroutine while a slot goroutine
-// owns the pipes). An idle child, or one serving a concurrent sweep,
-// is left alone: the cancelled sweep's remaining cells are reported
-// with ctx.Err() without ever reaching a worker, and killing a shared
-// child would turn another sweep's healthy batch into FAILED rows.
+// owns the link — kill is the link's one async-safe method). An idle
+// link, or one serving a concurrent sweep, is left alone: the
+// cancelled sweep's remaining cells are reported with ctx.Err()
+// without ever reaching a worker, and killing a shared link would turn
+// another sweep's healthy batch into FAILED rows.
 func (s *slot) killIfServing(ctx context.Context) {
 	s.procMu.Lock()
 	defer s.procMu.Unlock()
 	if s.curCtx != ctx {
 		return
 	}
-	if s.cmd != nil && s.cmd.Process != nil {
-		_ = s.cmd.Process.Kill()
+	if s.live != nil {
+		s.live.kill()
 		// Tombstone the corpse: the kill can land just after the batch's
 		// response was read, in which case the slot goroutine sees a
 		// clean round trip and would otherwise ship the next sweep's
-		// batch to a dead child. ensure() reaps and respawns instead —
+		// batch over a dead link. ensure() reaps and reconnects instead —
 		// without charging the crash budget, since nothing crashed.
 		s.killed = true
 	}
 }
 
-// teardown kills and reaps the child and drops the connection.
+// teardown retires the slot's link: kills and reaps the child, or
+// closes the connection.
 func (s *slot) teardown() {
 	s.procMu.Lock()
-	cmd := s.cmd
-	s.cmd = nil
+	ln := s.live
+	s.live = nil
 	s.killed = false
 	s.procMu.Unlock()
-	if cmd == nil {
-		return
+	if ln != nil {
+		ln.close()
 	}
-	if s.stdin != nil {
-		_ = s.stdin.Close()
-	}
-	if cmd.Process != nil {
-		_ = cmd.Process.Kill()
-	}
-	_ = cmd.Wait()
-	if s.prefixer != nil {
-		// Wait has drained the child's stderr; recover whatever partial
-		// line a crashing worker got out before dying, prefixed like
-		// every other line, instead of dropping it.
-		_ = s.prefixer.Flush()
-	}
-	s.stdin, s.wbuf, s.rbuf, s.prefixer = nil, nil, nil, nil
 }
 
 // queues pre-shards a sweep's cell indices round-robin across the

@@ -1,8 +1,9 @@
 // Package dist distributes engine sweeps across worker processes: a
 // dispatcher (Pool) that implements engine.Executor by sharding cells
-// over a pool of child processes, and the worker side (WorkerMain)
-// those children run, speaking a length-prefixed gob protocol over
-// stdio.
+// over a pool of workers, and the worker side (ServeWorker for child
+// processes over stdio, Serve for remote serve-worker processes over
+// TCP), speaking a length-prefixed, checksummed gob protocol over
+// either byte stream.
 //
 // A cell crosses the process boundary as its engine.Spec — a task name
 // resolved against the worker's compiled-in handler registry plus the
@@ -32,6 +33,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -43,6 +45,37 @@ import (
 // and report strings, not bulk data; anything larger than this is a
 // protocol error, not a workload.
 const maxFrame = 64 << 20
+
+// protoVersion is negotiated by the remote handshake (hello/helloAck),
+// so a dialer and a serve-worker built from different revisions refuse
+// each other cleanly instead of mis-decoding frames. The stdio
+// transport needs no handshake: dispatcher and child are the same
+// binary by construction.
+const protoVersion = 1
+
+// crcTable is the Castagnoli polynomial used for the per-frame
+// payload checksum (hardware-accelerated on the platforms we run on).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// hello opens a remote connection: the dialer's first frame. The
+// serve-worker answers with a helloAck before any cells flow.
+type hello struct {
+	// Version is the dialer's protoVersion; a mismatch is refused.
+	Version int
+	// Token is the shared secret (Options.AuthToken / serve-worker
+	// -auth-token). Empty matches only a server that requires none.
+	Token string
+}
+
+// helloAck answers a hello.
+type helloAck struct {
+	// OK reports that the server accepted the connection.
+	OK bool
+	// Err says why it did not ("bad auth token", version skew).
+	Err string
+	// Version is the server's protoVersion.
+	Version int
+}
 
 // cellReq is one cell inside a request batch.
 type cellReq struct {
@@ -93,14 +126,24 @@ type cellResp struct {
 type response struct {
 	// ID echoes the request.
 	ID uint64
+	// Heartbeat marks a keep-alive frame emitted while the request's
+	// batch is still executing: no Results, just proof the link and the
+	// worker are alive. Heartbeats are what let the dispatcher tell a
+	// slow cell (frames keep arriving) from a dead or stalled link
+	// (silence past the deadline); they are consumed by the transport
+	// and never reach the engine, so they cannot change output bytes.
+	Heartbeat bool
 	// Results holds one entry per requested cell, in request order.
 	Results []cellResp
 }
 
 // writeFrame encodes v with a fresh gob encoder and writes it as one
-// length-prefixed frame: a 4-byte big-endian length followed by the
-// gob bytes. A fresh encoder per frame keeps frames self-contained, so
-// a reader can never be desynchronized by a half-written stream.
+// length-prefixed frame: a 4-byte big-endian length, a 4-byte CRC-32C
+// of the payload, then the gob bytes. A fresh encoder per frame keeps
+// frames self-contained, so a reader can never be desynchronized by a
+// half-written stream; the checksum catches payload corruption on
+// transports (a TCP path through middleboxes) where a flipped bit
+// could otherwise gob-decode into silently wrong science.
 func writeFrame(w io.Writer, v interface{}) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -109,8 +152,9 @@ func writeFrame(w io.Writer, v interface{}) error {
 	if buf.Len() > maxFrame {
 		return fmt.Errorf("dist: frame %d bytes exceeds limit %d", buf.Len(), maxFrame)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(buf.Len()))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(buf.Bytes(), crcTable))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -118,24 +162,30 @@ func writeFrame(w io.Writer, v interface{}) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame into v. io.EOF at a frame
-// boundary is returned as-is (a clean end of stream); a partial frame
-// surfaces as io.ErrUnexpectedEOF.
+// readFrame reads one length-prefixed frame into v, verifying its
+// checksum before decoding. io.EOF at a frame boundary is returned
+// as-is (a clean end of stream); a partial frame surfaces as
+// io.ErrUnexpectedEOF; a checksum mismatch is a hard error that must
+// retire the connection — after corruption the stream can never be
+// trusted to be framed correctly again.
 func readFrame(r io.Reader, v interface{}) error {
-	var hdr [4]byte
+	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return io.EOF
 		}
 		return fmt.Errorf("dist: reading frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxFrame {
 		return fmt.Errorf("dist: frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return fmt.Errorf("dist: reading %d-byte frame: %w", n, err)
+	}
+	if sum := crc32.Checksum(body, crcTable); sum != binary.BigEndian.Uint32(hdr[4:]) {
+		return fmt.Errorf("dist: frame checksum mismatch (%08x != %08x): corrupt stream", sum, binary.BigEndian.Uint32(hdr[4:]))
 	}
 	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
 }

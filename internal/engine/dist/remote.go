@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"dsa/internal/workload/catalog"
+)
+
+// DefaultHandshakeTimeout bounds the hello/helloAck exchange on a
+// freshly accepted connection, so a port-scanner or half-open dial
+// cannot pin a server goroutine.
+const DefaultHandshakeTimeout = 10 * time.Second
+
+// ServeOptions configures Serve, the TCP serve-worker side.
+type ServeOptions struct {
+	// WorkerOptions configure the protocol loop each accepted
+	// connection runs — notably the shared per-process Catalog (one
+	// serve-worker warms one cache no matter how many dispatchers
+	// connect) and the heartbeat interval.
+	WorkerOptions
+	// AuthToken, when nonempty, must match each dialer's hello token;
+	// mismatches are refused at the handshake before any cells flow.
+	AuthToken string
+	// Stderr receives per-connection lifecycle lines, each prefixed
+	// with the peer address. Nil means os.Stderr.
+	Stderr io.Writer
+	// HandshakeTimeout bounds the hello/helloAck exchange. <= 0 means
+	// DefaultHandshakeTimeout.
+	HandshakeTimeout time.Duration
+}
+
+// Serve accepts connections on ln and runs the worker protocol on each
+// — the TCP counterpart of ServeWorker, one protocol loop per accepted
+// connection, all sharing one per-process workload catalog. Each
+// connection is handshaken (protocol version, auth token) under a
+// deadline before any cells flow. A connection failing mid-batch costs
+// only itself: the loop's error retires that connection while the
+// others keep serving. Serve returns nil when the listener is closed,
+// after closing every live connection and waiting for its goroutines.
+func Serve(ln net.Listener, o ServeOptions) error {
+	if o.Catalog == nil {
+		o.Catalog = catalog.New()
+	}
+	stderr := o.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	hs := o.HandshakeTimeout
+	if hs <= 0 {
+		hs = DefaultHandshakeTimeout
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = map[net.Conn]struct{}{}
+	)
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Listener closed = shutdown: take every live connection down
+			// with it so in-flight batches unblock and goroutines drain.
+			mu.Lock()
+			for c := range conns {
+				_ = c.Close()
+			}
+			mu.Unlock()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer func() {
+				_ = conn.Close()
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
+			serveAccepted(conn, o, stderr, hs)
+		}(conn)
+	}
+}
+
+// serveAccepted handshakes one accepted connection and, if accepted,
+// runs the worker protocol loop on it until the dialer disconnects.
+func serveAccepted(conn net.Conn, o ServeOptions, stderr io.Writer, hs time.Duration) {
+	lg := Prefixed(stderr, fmt.Sprintf("serve-worker[%s]: ", conn.RemoteAddr()))
+	br := bufio.NewReader(conn)
+	// Every write arms a fresh write deadline, so a dialer that stalls
+	// without closing (reads nothing, connection open) cannot pin this
+	// goroutine once the kernel buffer fills — the heartbeat write
+	// errors and the loop retires the connection.
+	bw := bufio.NewWriter(deadlineWriter{conn: conn, d: DefaultLinkTimeout})
+
+	_ = conn.SetDeadline(time.Now().Add(hs))
+	var h hello
+	if err := readFrame(br, &h); err != nil {
+		fmt.Fprintf(lg, "handshake failed: %v\n", err)
+		return
+	}
+	ack := helloAck{OK: true, Version: protoVersion}
+	switch {
+	case h.Version != protoVersion:
+		ack = helloAck{Err: fmt.Sprintf("protocol version skew: dialer %d, server %d", h.Version, protoVersion), Version: protoVersion}
+	case o.AuthToken != "" && h.Token != o.AuthToken:
+		ack = helloAck{Err: "bad auth token", Version: protoVersion}
+	}
+	err := writeFrame(bw, &ack)
+	if err == nil {
+		err = bw.Flush()
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		fmt.Fprintf(lg, "handshake failed: %v\n", err)
+		return
+	}
+	if !ack.OK {
+		fmt.Fprintf(lg, "refused: %s\n", ack.Err)
+		return
+	}
+	fmt.Fprintf(lg, "connected\n")
+	if err := serveConn(context.Background(), br, bw, o.WorkerOptions); err != nil {
+		fmt.Fprintf(lg, "connection lost: %v\n", err)
+		return
+	}
+	fmt.Fprintf(lg, "disconnected\n")
+}
+
+// deadlineWriter arms a write deadline before every Write, bounding
+// how long any single protocol write (heartbeat or response) may block
+// on an unresponsive peer.
+type deadlineWriter struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (w deadlineWriter) Write(p []byte) (int, error) {
+	_ = w.conn.SetWriteDeadline(time.Now().Add(w.d))
+	return w.conn.Write(p)
+}
+
+// ListenAndServe binds addr (host:port; port 0 picks a free one),
+// announces the bound address on stderr, optionally publishes it to
+// addrFile (written atomically via rename, so a watcher never reads a
+// partial address), and serves until the listener is closed. This is
+// the body of the CLIs' serve-worker subcommand.
+func ListenAndServe(addr, addrFile string, o ServeOptions) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	stderr := o.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	fmt.Fprintf(stderr, "dist: serve-worker listening on %s\n", ln.Addr())
+	if addrFile != "" {
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			_ = ln.Close()
+			return err
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			_ = ln.Close()
+			return err
+		}
+	}
+	return Serve(ln, o)
+}

@@ -1,0 +1,241 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// DefaultLinkTimeout is how long a remote link may stay silent — no
+// heartbeat, no response — before the dispatcher declares it dead and
+// contains the in-flight batch. It is 20× DefaultHeartbeat, so a link
+// dies only after many consecutive missed beats, never one slow frame.
+const DefaultLinkTimeout = 10 * time.Second
+
+// DefaultDialTimeout bounds connecting to a remote serve-worker
+// (TCP dial plus handshake); an unreachable endpoint fails fast and
+// charges the slot's reconnect budget instead of stalling the sweep.
+const DefaultDialTimeout = 5 * time.Second
+
+// link is the transport seam under a pool slot: one connection to one
+// worker, local or remote. The slot goroutine owns roundTrip and close;
+// kill is the one async-safe method, called by cancellation watchers to
+// force the link down mid-round-trip (the owning goroutine then sees a
+// transport error and contains the batch). Both implementations carry
+// the same failure contract: any round-trip error means the link can no
+// longer be trusted and must be retired via close.
+type link interface {
+	// roundTrip ships one request and blocks for its response,
+	// consuming heartbeat frames along the way.
+	roundTrip(req *request) (*response, error)
+	// kill forces the link down asynchronously (process kill / conn
+	// close); safe to call concurrently with roundTrip.
+	kill()
+	// close tears the link down and reaps its resources.
+	close()
+}
+
+// procLink is a link to a spawned child process over stdio pipes — the
+// original transport. The child's death is detected by pipe EOF, so no
+// read deadline is needed; its stderr flows through the slot's line
+// prefixer.
+type procLink struct {
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	wbuf     *bufio.Writer
+	rbuf     *bufio.Reader
+	prefixer *PrefixWriter
+}
+
+// spawnProc starts a worker child and wires up the protocol pipes. The
+// child's stderr flows through the given line prefixer, so anything a
+// crashing worker manages to say is attributable to its slot and cell.
+func spawnProc(command string, args, env []string, prefixer *PrefixWriter) (*procLink, error) {
+	cmd := exec.Command(command, args...)
+	if env != nil {
+		cmd.Env = env
+	}
+	cmd.Stderr = prefixer
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &procLink{
+		cmd:      cmd,
+		stdin:    stdin,
+		wbuf:     bufio.NewWriter(stdin),
+		rbuf:     bufio.NewReader(stdout),
+		prefixer: prefixer,
+	}, nil
+}
+
+func (l *procLink) roundTrip(req *request) (*response, error) {
+	if err := writeFrame(l.wbuf, req); err != nil {
+		return nil, err
+	}
+	if err := l.wbuf.Flush(); err != nil {
+		return nil, err
+	}
+	// No deadline arming: a dead child closes the pipe and the read
+	// returns immediately, so heartbeats are merely consumed here.
+	return awaitResponse(l.rbuf, req.ID, nil)
+}
+
+func (l *procLink) kill() {
+	if l.cmd.Process != nil {
+		_ = l.cmd.Process.Kill()
+	}
+}
+
+func (l *procLink) close() {
+	if l.stdin != nil {
+		_ = l.stdin.Close()
+	}
+	l.kill()
+	_ = l.cmd.Wait()
+	if l.prefixer != nil {
+		// Wait has drained the child's stderr; recover whatever partial
+		// line a crashing worker got out before dying, prefixed like
+		// every other line, instead of dropping it.
+		_ = l.prefixer.Flush()
+	}
+}
+
+// tcpLink is a link to a remote serve-worker over a network
+// connection. Unlike a stdio child, a dead peer produces no EOF — the
+// connection just goes silent — so liveness is application-level: the
+// worker emits heartbeat frames while a batch executes, and the read
+// deadline is re-armed before every frame. Silence past the timeout
+// retires the link and contains exactly the in-flight batch.
+type tcpLink struct {
+	conn    net.Conn
+	wbuf    *bufio.Writer
+	rbuf    *bufio.Reader
+	timeout time.Duration
+}
+
+// dialRemote connects to a serve-worker at addr and completes the
+// hello/helloAck handshake (version check plus auth token) before any
+// cells flow. The dial and the handshake together are bounded by
+// dialTimeout; linkTimeout governs the per-frame silence deadline for
+// the rest of the connection's life.
+func dialRemote(ctx context.Context, addr, token string, linkTimeout, dialTimeout time.Duration) (*tcpLink, error) {
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &tcpLink{
+		conn:    conn,
+		wbuf:    bufio.NewWriter(conn),
+		rbuf:    bufio.NewReader(conn),
+		timeout: linkTimeout,
+	}
+	if err := l.handshake(token, dialTimeout); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// handshake sends the dialer's hello and validates the server's ack.
+func (l *tcpLink) handshake(token string, timeout time.Duration) error {
+	_ = l.conn.SetDeadline(time.Now().Add(timeout))
+	defer l.conn.SetDeadline(time.Time{})
+	if err := writeFrame(l.wbuf, &hello{Version: protoVersion, Token: token}); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if err := l.wbuf.Flush(); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	var ack helloAck
+	if err := readFrame(l.rbuf, &ack); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if !ack.OK {
+		return fmt.Errorf("server refused connection: %s", ack.Err)
+	}
+	if ack.Version != protoVersion {
+		return fmt.Errorf("protocol version skew: dialer %d, server %d", protoVersion, ack.Version)
+	}
+	return nil
+}
+
+func (l *tcpLink) roundTrip(req *request) (*response, error) {
+	_ = l.conn.SetWriteDeadline(time.Now().Add(l.timeout))
+	if err := writeFrame(l.wbuf, req); err != nil {
+		return nil, err
+	}
+	if err := l.wbuf.Flush(); err != nil {
+		return nil, err
+	}
+	_ = l.conn.SetWriteDeadline(time.Time{})
+	return awaitResponse(l.rbuf, req.ID, func() error {
+		return l.conn.SetReadDeadline(time.Now().Add(l.timeout))
+	})
+}
+
+func (l *tcpLink) kill()  { _ = l.conn.Close() }
+func (l *tcpLink) close() { _ = l.conn.Close() }
+
+// awaitResponse reads frames until the real response for id arrives,
+// consuming heartbeat frames along the way. arm, when non-nil, re-arms
+// the link's read deadline before each frame — every heartbeat resets
+// the clock, so the deadline measures silence, not batch duration, and
+// an arbitrarily slow cell on a live link never times out.
+func awaitResponse(r *bufio.Reader, id uint64, arm func() error) (*response, error) {
+	for {
+		if arm != nil {
+			if err := arm(); err != nil {
+				return nil, err
+			}
+		}
+		var resp response
+		if err := readFrame(r, &resp); err != nil {
+			if isTimeout(err) {
+				return nil, fmt.Errorf("dist: link silent past deadline (no heartbeat): %w", err)
+			}
+			return nil, err
+		}
+		if resp.ID != id {
+			return nil, fmt.Errorf("dist: response %d for request %d", resp.ID, id)
+		}
+		if resp.Heartbeat {
+			continue
+		}
+		return &resp, nil
+	}
+}
+
+// isTimeout reports whether err is a network timeout (a read deadline
+// firing), possibly wrapped by frame-reading context.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// SplitEndpoints parses a comma-separated -remote flag value
+// ("host:port,host:port") into endpoint strings, trimming whitespace
+// and dropping empties; it returns nil for an empty flag.
+func SplitEndpoints(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}

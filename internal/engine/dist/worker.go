@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"dsa/internal/engine"
 	"dsa/internal/sim"
@@ -72,6 +73,12 @@ func Tasks() []string {
 	return out
 }
 
+// DefaultHeartbeat is how often a worker proves its link alive while a
+// batch executes. Dispatcher-side link deadlines must be comfortably
+// larger (DefaultLinkTimeout is 20× this), so a link is only declared
+// dead after many consecutive missed beats, never by one slow frame.
+const DefaultHeartbeat = 500 * time.Millisecond
+
 // WorkerOptions configures the worker side of the protocol.
 type WorkerOptions struct {
 	// Catalog is the worker's per-process workload catalog, shared
@@ -80,6 +87,13 @@ type WorkerOptions struct {
 	// spawned with -cache-dir, so workers replay workloads across
 	// processes and runs.
 	Catalog *catalog.Catalog
+	// HeartbeatInterval is how often the worker emits heartbeat frames
+	// while a batch is executing — the application-level liveness
+	// signal that lets the dispatcher distinguish a slow cell (beats
+	// keep arriving) from a dead link (silence). <= 0 means
+	// DefaultHeartbeat. Heartbeats are consumed by the dispatcher's
+	// transport and never change output bytes.
+	HeartbeatInterval time.Duration
 }
 
 // WorkerMain is ServeWorker with default options — the historical
@@ -88,21 +102,58 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 	return ServeWorker(in, out, WorkerOptions{})
 }
 
-// ServeWorker is the worker side of the protocol: the `<cmd> worker`
-// subcommand calls it with the process's stdin and stdout. It serves
-// request batches one frame at a time — parallelism comes from the
-// dispatcher running N workers — until stdin closes (a clean shutdown,
-// returning nil) or the protocol breaks. Cells run under the engine's
-// standard contract: RNG seeded via sim.SeedFor(seed, key) and
-// per-cell panic containment, with the recovered panic shipped back
-// for the dispatcher to surface exactly as an in-process contained
-// panic (the rest of the batch still runs).
+// ServeWorker is the stdio worker side of the protocol: the `<cmd>
+// worker` subcommand calls it with the process's stdin and stdout. It
+// serves request batches one frame at a time — parallelism comes from
+// the dispatcher running N workers — until stdin closes (a clean
+// shutdown, returning nil) or the protocol breaks. Cells run under the
+// engine's standard contract: RNG seeded via sim.SeedFor(seed, key)
+// and per-cell panic containment, with the recovered panic shipped
+// back for the dispatcher to surface exactly as an in-process
+// contained panic (the rest of the batch still runs). The TCP
+// counterpart is Serve, which runs the same loop per accepted
+// connection after a handshake.
 func ServeWorker(in io.Reader, out io.Writer, o WorkerOptions) error {
-	r := bufio.NewReader(in)
-	w := bufio.NewWriter(out)
+	return serveConn(context.Background(), in, out, o)
+}
+
+// serveConn is the worker protocol loop shared by the stdio and TCP
+// transports: read a request frame, run its batch, answer with a
+// response frame — emitting heartbeat frames on a ticker while the
+// batch executes, so the dispatcher's link deadline measures silence,
+// not cell cost. ctx scopes the connection: when a heartbeat write
+// fails (the link is gone and nothing this batch computes can be
+// delivered) the in-flight batch's context is cancelled and the loop
+// returns without waiting on cells that ignore cancellation — a
+// serve-worker must not let one dead dialer pin a goroutine forever.
+func serveConn(ctx context.Context, in io.Reader, out io.Writer, o WorkerOptions) error {
+	r, ok := in.(*bufio.Reader)
+	if !ok {
+		r = bufio.NewReader(in)
+	}
+	w, ok := out.(*bufio.Writer)
+	if !ok {
+		w = bufio.NewWriter(out)
+	}
 	cat := o.Catalog
 	if cat == nil {
 		cat = catalog.New() // per-process workload catalog, shared across cells
+	}
+	hb := o.HeartbeatInterval
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	// One writer mutex per connection: heartbeats come from a ticker
+	// racing the batch's own response, and a frame torn between the two
+	// would desynchronize the stream.
+	var wmu sync.Mutex
+	send := func(v interface{}) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeFrame(w, v); err != nil {
+			return err
+		}
+		return w.Flush()
 	}
 	for {
 		var req request
@@ -112,27 +163,46 @@ func ServeWorker(in io.Reader, out io.Writer, o WorkerOptions) error {
 			}
 			return err
 		}
-		resp := serve(&req, cat)
-		if err := writeFrame(w, resp); err != nil {
-			return err
+		batchCtx, cancel := context.WithCancel(ctx)
+		done := make(chan *response, 1) // buffered: the batch goroutine never blocks on a departed reader
+		go func() { done <- serve(batchCtx, &req, cat) }()
+		ticker := time.NewTicker(hb)
+		var resp *response
+		var linkErr error
+		for resp == nil && linkErr == nil {
+			select {
+			case resp = <-done:
+			case <-ticker.C:
+				if err := send(&response{ID: req.ID, Heartbeat: true}); err != nil {
+					linkErr = err
+					cancel() // the dialer is gone: tell the batch to stop
+				}
+			}
 		}
-		if err := w.Flush(); err != nil {
+		ticker.Stop()
+		cancel()
+		if linkErr != nil {
+			return linkErr
+		}
+		if err := send(resp); err != nil {
 			return err
 		}
 	}
 }
 
-// serve runs one request batch, cell by cell in order.
-func serve(req *request, cat *catalog.Catalog) *response {
+// serve runs one request batch, cell by cell in order. ctx is the
+// connection's context: cancelled when the link that asked for this
+// batch has died, so well-behaved handlers can stop early.
+func serve(ctx context.Context, req *request, cat *catalog.Catalog) *response {
 	resp := &response{ID: req.ID, Results: make([]cellResp, len(req.Cells))}
 	for i := range req.Cells {
-		serveCell(&req.Cells[i], req.Seed, cat, &resp.Results[i])
+		serveCell(ctx, &req.Cells[i], req.Seed, cat, &resp.Results[i])
 	}
 	return resp
 }
 
 // serveCell runs one cell with panic containment.
-func serveCell(c *cellReq, seed uint64, cat *catalog.Catalog, out *cellResp) {
+func serveCell(ctx context.Context, c *cellReq, seed uint64, cat *catalog.Catalog, out *cellResp) {
 	out.Key = c.Key
 	h := lookupHandler(c.Spec.Task)
 	if h == nil {
@@ -151,7 +221,7 @@ func serveCell(c *cellReq, seed uint64, cat *catalog.Catalog, out *cellResp) {
 		}
 	}()
 	env := engine.Env{RNG: sim.NewRNG(sim.SeedFor(seed, c.Key)), Catalog: cat}
-	v, err := h(context.Background(), Call{Key: c.Key, Seed: seed, Spec: c.Spec, Env: env})
+	v, err := h(ctx, Call{Key: c.Key, Seed: seed, Spec: c.Spec, Env: env})
 	if err != nil {
 		out.Err = err.Error()
 		return
