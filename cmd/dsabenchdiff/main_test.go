@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchKeepsFastestAndStripsProcSuffix(t *testing.T) {
+	in := `goos: linux
+BenchmarkHeapAllocFree/policy=first-fit-8         1000    1500 ns/op    0 B/op    0 allocs/op
+BenchmarkHeapAllocFree/policy=first-fit-8         1200    1029 ns/op    0 B/op    0 allocs/op
+BenchmarkTLBLookup-8                            100000      77.35 ns/op
+PASS
+ok      dsa     1.234s
+`
+	snap, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	heap := snap.Benchmarks[0]
+	if heap.Name != "BenchmarkHeapAllocFree/policy=first-fit" {
+		t.Fatalf("proc suffix not stripped: %q", heap.Name)
+	}
+	if heap.NsPerOp != 1029 {
+		t.Fatalf("kept %v ns/op, want the fastest of the -count runs (1029)", heap.NsPerOp)
+	}
+	if heap.AllocsPerOp != 0 || heap.BytesPerOp != 0 {
+		t.Fatalf("alloc counters mis-parsed: %+v", heap)
+	}
+	tlb := snap.Benchmarks[1]
+	if tlb.Name != "BenchmarkTLBLookup" || tlb.NsPerOp != 77.35 {
+		t.Fatalf("plain line mis-parsed: %+v", tlb)
+	}
+}
+
+func TestParseBenchRejectsEmptyInput(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok dsa 0.1s\n")); err == nil {
+		t.Fatal("want an error when no benchmark lines are present")
+	}
+}

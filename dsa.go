@@ -225,6 +225,38 @@
 // sizing guidance: -batch amortizes protocol round trips (cheap cells
 // → higher B), -cache-dir amortizes generation (expensive workloads →
 // always worth it); they compose freely with -parallel/-workers.
+//
+// # Benchmarking and the perf gate
+//
+// The hot paths under every experiment — heap alloc/free probing, TLB
+// lookup/install, the pager's touch path, the replacement policies,
+// and the dist protocol's framing — are benchmarked at two speeds:
+//
+//	make bench        # 1x smoke: every benchmark still runs (part of make ci)
+//	make bench-gate   # measured: fixed -benchtime/-count, snapshot to JSON
+//
+// bench-gate runs the named hot-path benchmarks (BenchmarkHeapAllocFree,
+// BenchmarkTLBLookup, BenchmarkPagerTouch, BenchmarkReplacementPolicies,
+// BenchmarkAllSweep, BenchmarkDistRoundTrips) and has cmd/dsabenchdiff
+// condense the output to a JSON snapshot, keeping the fastest of the
+// -count runs per benchmark — the noise floor that is stable enough to
+// gate on. CI's bench-gate job diffs that snapshot against the cached
+// main-branch baseline and fails the build when the geomean time ratio
+// regresses by more than 10%, so a change that slows these paths down
+// is blocked rather than merely reported; the baseline is re-saved
+// only from main pushes whose gate passed. The BENCH_<pr>.json files
+// at the repo root are local bench-gate snapshots committed per PR —
+// the recorded perf trajectory. Compare any two with:
+//
+//	go run ./cmd/dsabenchdiff diff BENCH_6.json BENCH_7.json
+//
+// Every speedup to these paths is pinned by equivalence tests, not
+// just benchmarks: the indexed heap free list, the intrusive-LRU TLB,
+// and each rewritten replacement policy run in lockstep against
+// straightforward reference implementations (the seed's originals)
+// over randomized workloads, and testing.AllocsPerRun regression
+// tests hold the steady-state hot paths at zero allocations — so the
+// experiment tables stay byte-identical while getting faster.
 package dsa
 
 import (

@@ -20,6 +20,17 @@
 // The heap is a word-addressed range managed as an address-ordered
 // doubly linked list of blocks, so external fragmentation, search
 // effort (probes), and failure modes are all directly measurable.
+//
+// Alongside the full block list the heap threads an intrusive list of
+// just the free blocks, in the same address order, with a per-free-
+// block count of the allocated blocks immediately preceding it (its
+// "gap"). Placement policies walk the free list — skipping allocated
+// runs in O(1) — while the gap counts let them report exactly the
+// probe totals a linear scan of the full list would have accumulated,
+// so the measured search effort (and every golden table derived from
+// it) is byte-identical to the original implementation. The probes
+// counter remains the *model's* cost of a sequential search; the free
+// list is only how the simulator computes it quickly.
 package alloc
 
 import (
@@ -64,6 +75,13 @@ type Block struct {
 	Requested int
 
 	prev, next *Block
+
+	// freePrev/freeNext thread the free blocks, in address order.
+	freePrev, freeNext *Block
+	// gap is the number of allocated blocks between the previous free
+	// block (or the list head) and this block. Meaningful only while
+	// the block is on the free list.
+	gap int
 }
 
 // Heap is a variable-unit storage allocator over [0, size) words.
@@ -72,7 +90,20 @@ type Heap struct {
 	policy Policy
 	mode   Mode
 	head   *Block
+	tail   *Block
 	byAddr map[int]*Block // allocated blocks by base address
+
+	// Free-list index: the free blocks in address order, plus the
+	// counters that keep probe accounting exact (see package comment).
+	freeHead  *Block
+	freeTail  *Block
+	freeCount int
+	blocks    int // total blocks on the full list
+	tailGap   int // allocated blocks after the last free block
+
+	// pool recycles Block nodes (linked through next) so steady-state
+	// alloc/free traffic does not allocate.
+	pool *Block
 
 	// MinFragment is the smallest remainder worth keeping as a separate
 	// free block; smaller remainders are left attached to the allocated
@@ -105,6 +136,11 @@ func New(size int, policy Policy, mode Mode) *Heap {
 		MinFragment: 1,
 	}
 	h.head = &Block{Addr: 0, Size: size, Free: true}
+	h.tail = h.head
+	h.freeHead = h.head
+	h.freeTail = h.head
+	h.freeCount = 1
+	h.blocks = 1
 	return h
 }
 
@@ -113,6 +149,23 @@ func (h *Heap) Size() int { return h.size }
 
 // Policy reports the placement policy in use.
 func (h *Heap) Policy() Policy { return h.policy }
+
+// newBlock takes a node from the pool, or allocates one.
+func (h *Heap) newBlock(addr, size int, free bool) *Block {
+	b := h.pool
+	if b == nil {
+		return &Block{Addr: addr, Size: size, Free: free}
+	}
+	h.pool = b.next
+	*b = Block{Addr: addr, Size: size, Free: free}
+	return b
+}
+
+// releaseBlock returns a node no longer on any list to the pool.
+func (h *Heap) releaseBlock(b *Block) {
+	*b = Block{next: h.pool}
+	h.pool = b
+}
 
 // Alloc allocates n words and returns the base address. On failure
 // with deferred coalescing it first combines adjacent inactive blocks
@@ -157,20 +210,77 @@ func (h *Heap) Alloc(n int) (int, error) {
 func (h *Heap) carve(b *Block, n int, carveHigh bool) *Block {
 	rem := b.Size - n
 	if rem < h.MinFragment {
-		return b // allocate whole block; slack becomes internal
+		// Allocate the whole block; slack becomes internal. The run of
+		// allocated blocks before b joins the following free block's gap.
+		h.freeRemove(b, b.gap+1)
+		return b
 	}
 	if carveHigh {
 		// Free remainder keeps the low end; new block at the high end.
-		nb := &Block{Addr: b.Addr + rem, Size: n}
+		nb := h.newBlock(b.Addr+rem, n, false)
 		b.Size = rem
 		h.insertAfter(b, nb)
+		h.blocks++
+		// b stays free in place; the new allocated block extends the gap
+		// run in front of the next free block.
+		h.bumpNextGap(b, 1)
 		return nb
 	}
 	// New block takes the low end; remainder stays free above it.
-	nb := &Block{Addr: b.Addr + n, Size: rem, Free: true}
+	nb := h.newBlock(b.Addr+n, rem, true)
 	b.Size = n
 	h.insertAfter(b, nb)
+	h.blocks++
+	// The remainder takes b's place on the free list; b itself becomes
+	// one more allocated block in the remainder's gap run.
+	nb.gap = b.gap + 1
+	nb.freePrev = b.freePrev
+	nb.freeNext = b.freeNext
+	if nb.freePrev != nil {
+		nb.freePrev.freeNext = nb
+	} else {
+		h.freeHead = nb
+	}
+	if nb.freeNext != nil {
+		nb.freeNext.freePrev = nb
+	} else {
+		h.freeTail = nb
+	}
+	b.freePrev, b.freeNext, b.gap = nil, nil, 0
 	return b
+}
+
+// bumpNextGap adds delta allocated blocks to the gap run after free
+// block b: to the next free block's gap, or to the tail gap.
+func (h *Heap) bumpNextGap(b *Block, delta int) {
+	if b.freeNext != nil {
+		b.freeNext.gap += delta
+	} else {
+		h.tailGap += delta
+	}
+}
+
+// freeRemove unlinks free block b from the free list, crediting
+// gapCarry allocated blocks to the following gap run: b.gap+1 when b
+// itself becomes allocated, b.gap when b is merged away entirely.
+func (h *Heap) freeRemove(b *Block, gapCarry int) {
+	if b.freeNext != nil {
+		b.freeNext.gap += gapCarry
+	} else {
+		h.tailGap += gapCarry
+	}
+	if b.freePrev != nil {
+		b.freePrev.freeNext = b.freeNext
+	} else {
+		h.freeHead = b.freeNext
+	}
+	if b.freeNext != nil {
+		b.freeNext.freePrev = b.freePrev
+	} else {
+		h.freeTail = b.freePrev
+	}
+	b.freePrev, b.freeNext, b.gap = nil, nil, 0
+	h.freeCount--
 }
 
 func (h *Heap) insertAfter(b, nb *Block) {
@@ -178,8 +288,25 @@ func (h *Heap) insertAfter(b, nb *Block) {
 	nb.next = b.next
 	if b.next != nil {
 		b.next.prev = nb
+	} else {
+		h.tail = nb
 	}
 	b.next = nb
+}
+
+// unlinkFull removes b from the full block list.
+func (h *Heap) unlinkFull(b *Block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		h.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		h.tail = b.prev
+	}
+	h.blocks--
 }
 
 // Free releases the block based at addr.
@@ -194,49 +321,115 @@ func (h *Heap) Free(addr int) error {
 	h.allocated -= b.Size
 	b.Free = true
 	b.Requested = 0
+	h.freeInsert(b)
 	if h.mode == CoalesceImmediate {
 		h.coalesceAround(b)
 	}
 	return nil
 }
 
+// freeInsert links the just-freed b into the free list and fixes the
+// gap accounting. It walks the full list outward from b in both
+// directions at once, stopping at the nearest free neighbour, so the
+// cost is bounded by the shorter distance — O(1) when a neighbour is
+// free, which immediate coalescing makes the common case.
+func (h *Heap) freeInsert(b *Block) {
+	fwd, bwd := b.next, b.prev
+	k2 := 0 // allocated blocks strictly between b and the next free block
+	k1 := 0 // allocated blocks strictly between the previous free block and b
+	for {
+		if fwd != nil {
+			if fwd.Free {
+				// Found the successor first: its gap covered b and both
+				// runs; split it around b.
+				b.gap = fwd.gap - k2 - 1
+				fwd.gap = k2
+				b.freeNext = fwd
+				b.freePrev = fwd.freePrev
+				fwd.freePrev = b
+				if b.freePrev != nil {
+					b.freePrev.freeNext = b
+				} else {
+					h.freeHead = b
+				}
+				h.freeCount++
+				return
+			}
+			k2++
+			fwd = fwd.next
+		}
+		if bwd != nil {
+			if bwd.Free {
+				// Found the predecessor first: b splits the gap run that
+				// followed it.
+				b.gap = k1
+				h.bumpNextGap(bwd, -(k1 + 1))
+				b.freePrev = bwd
+				b.freeNext = bwd.freeNext
+				bwd.freeNext = b
+				if b.freeNext != nil {
+					b.freeNext.freePrev = b
+				} else {
+					h.freeTail = b
+				}
+				h.freeCount++
+				return
+			}
+			k1++
+			bwd = bwd.prev
+		}
+		if fwd == nil && bwd == nil {
+			// No other free block: b becomes the whole free list. Every
+			// other block is allocated; k1 of them precede b.
+			b.gap = k1
+			h.tailGap = k2
+			b.freePrev, b.freeNext = nil, nil
+			h.freeHead, h.freeTail = b, b
+			h.freeCount = 1
+			return
+		}
+	}
+}
+
 // coalesceAround merges b with free neighbours.
 func (h *Heap) coalesceAround(b *Block) {
 	if p := b.prev; p != nil && p.Free {
 		p.Size += b.Size
-		p.next = b.next
-		if b.next != nil {
-			b.next.prev = p
-		}
+		h.unlinkFull(b)
+		h.freeRemove(b, b.gap) // b merges away; its gap run (0) carries over
+		h.releaseBlock(b)
 		h.coalesces++
 		b = p
 	}
 	if n := b.next; n != nil && n.Free {
 		b.Size += n.Size
-		b.next = n.next
-		if n.next != nil {
-			n.next.prev = b
-		}
+		h.unlinkFull(n)
+		h.freeRemove(n, n.gap)
+		h.releaseBlock(n)
 		h.coalesces++
 	}
 }
 
 // CoalesceAll merges every run of adjacent free blocks and reports the
-// number of merges performed.
+// number of merges performed. Adjacent free blocks are exactly the
+// free-list neighbours with a zero gap between them, so only the free
+// list is walked.
 func (h *Heap) CoalesceAll() int {
 	merges := 0
-	for b := h.head; b != nil; {
-		if b.Free && b.next != nil && b.next.Free {
-			n := b.next
-			b.Size += n.Size
-			b.next = n.next
-			if n.next != nil {
-				n.next.prev = b
+	for b := h.freeHead; b != nil; b = b.freeNext {
+		for {
+			n := b.freeNext
+			if n == nil || n.gap != 0 {
+				break
 			}
+			// gap 0 means no allocated block separates them, so n is
+			// b's immediate neighbour on the full list too.
+			b.Size += n.Size
+			h.unlinkFull(n)
+			h.freeRemove(n, 0)
+			h.releaseBlock(n)
 			merges++
-			continue // b may merge further
 		}
-		b = b.next
 	}
 	h.coalesces += int64(merges)
 	return merges
@@ -258,8 +451,13 @@ func (h *Heap) Compact() []Move {
 	var moves []Move
 	next := 0
 	var newOrder []*Block
-	for b := h.head; b != nil; b = b.next {
+	var stale *Block // old free blocks, chained for release
+	for b := h.head; b != nil; {
+		nb := b.next
 		if b.Free {
+			b.next = stale
+			stale = b
+			b = nb
 			continue
 		}
 		if b.Addr != next {
@@ -270,26 +468,45 @@ func (h *Heap) Compact() []Move {
 		}
 		next += b.Size
 		newOrder = append(newOrder, b)
+		b = nb
+	}
+	for stale != nil {
+		nb := stale.next
+		h.releaseBlock(stale)
+		stale = nb
 	}
 	// Rebuild the list: allocated blocks packed low, one free block on top.
 	h.head = nil
-	var tail *Block
+	h.tail = nil
+	var tailb *Block
 	link := func(b *Block) {
-		b.prev = tail
+		b.prev = tailb
 		b.next = nil
-		if tail != nil {
-			tail.next = b
+		b.freePrev, b.freeNext, b.gap = nil, nil, 0
+		if tailb != nil {
+			tailb.next = b
 		} else {
 			h.head = b
 		}
-		tail = b
+		tailb = b
 	}
 	for _, b := range newOrder {
 		link(b)
 	}
+	h.blocks = len(newOrder)
+	h.freeHead, h.freeTail = nil, nil
+	h.freeCount, h.tailGap = 0, 0
 	if next < h.size {
-		link(&Block{Addr: next, Size: h.size - next, Free: true})
+		fb := h.newBlock(next, h.size-next, true)
+		link(fb)
+		fb.gap = len(newOrder)
+		h.freeHead, h.freeTail = fb, fb
+		h.freeCount = 1
+		h.blocks++
+	} else {
+		h.tailGap = len(newOrder)
 	}
+	h.tail = tailb
 	return moves
 }
 
@@ -299,8 +516,8 @@ func (h *Heap) FreeWords() int { return h.size - h.allocated }
 // LargestFree reports the size of the largest free block.
 func (h *Heap) LargestFree() int {
 	best := 0
-	for b := h.head; b != nil; b = b.next {
-		if b.Free && b.Size > best {
+	for b := h.freeHead; b != nil; b = b.freeNext {
+		if b.Size > best {
 			best = b.Size
 		}
 	}
@@ -308,15 +525,7 @@ func (h *Heap) LargestFree() int {
 }
 
 // FreeBlockCount reports the number of free blocks.
-func (h *Heap) FreeBlockCount() int {
-	n := 0
-	for b := h.head; b != nil; b = b.next {
-		if b.Free {
-			n++
-		}
-	}
-	return n
-}
+func (h *Heap) FreeBlockCount() int { return h.freeCount }
 
 // Stats summarizes the heap state for fragmentation reporting.
 func (h *Heap) Stats() metrics.FragStats {
@@ -354,12 +563,16 @@ func (h *Heap) Blocks() []Block {
 }
 
 // CheckInvariants verifies the block list tiles [0, size) exactly, the
-// links are consistent, and the accounting matches. Tests call it after
-// random operation sequences.
+// links are consistent, the free-list index mirrors the free blocks of
+// the full list (membership, order, gap counts), and the accounting
+// matches. Tests call it after random operation sequences.
 func (h *Heap) CheckInvariants() error {
 	addr := 0
 	allocated := 0
 	var prev *Block
+	freeSeen := 0
+	gapRun := 0
+	expectFree := h.freeHead
 	for b := h.head; b != nil; b = b.next {
 		if b.Addr != addr {
 			return fmt.Errorf("alloc: block at %d, expected %d (gap or overlap)", b.Addr, addr)
@@ -370,7 +583,24 @@ func (h *Heap) CheckInvariants() error {
 		if b.prev != prev {
 			return fmt.Errorf("alloc: bad prev link at %d", b.Addr)
 		}
-		if !b.Free {
+		if b.Free {
+			if expectFree != b {
+				return fmt.Errorf("alloc: free block %d not next on free list", b.Addr)
+			}
+			if b.gap != gapRun {
+				return fmt.Errorf("alloc: free block %d gap %d, actual %d", b.Addr, b.gap, gapRun)
+			}
+			if b.freePrev == nil && h.freeHead != b {
+				return fmt.Errorf("alloc: free block %d has nil freePrev but is not freeHead", b.Addr)
+			}
+			if b.freePrev != nil && b.freePrev.freeNext != b {
+				return fmt.Errorf("alloc: bad freePrev link at %d", b.Addr)
+			}
+			expectFree = b.freeNext
+			gapRun = 0
+			freeSeen++
+		} else {
+			gapRun++
 			allocated += b.Size
 			if h.byAddr[b.Addr] != b {
 				return fmt.Errorf("alloc: allocated block %d missing from index", b.Addr)
@@ -381,6 +611,33 @@ func (h *Heap) CheckInvariants() error {
 	}
 	if addr != h.size {
 		return fmt.Errorf("alloc: blocks cover %d of %d words", addr, h.size)
+	}
+	if h.tail != prev {
+		return fmt.Errorf("alloc: stale tail pointer")
+	}
+	if expectFree != nil {
+		return fmt.Errorf("alloc: free list longer than free blocks (next %d)", expectFree.Addr)
+	}
+	if freeSeen != h.freeCount {
+		return fmt.Errorf("alloc: freeCount %d, actual %d", h.freeCount, freeSeen)
+	}
+	if gapRun != h.tailGap {
+		return fmt.Errorf("alloc: tailGap %d, actual %d", h.tailGap, gapRun)
+	}
+	if h.freeCount == 0 && (h.freeHead != nil || h.freeTail != nil) {
+		return fmt.Errorf("alloc: empty free list with non-nil ends")
+	}
+	if h.freeCount > 0 && (h.freeHead == nil || h.freeTail == nil || h.freeTail.freeNext != nil) {
+		return fmt.Errorf("alloc: bad free list ends")
+	}
+	blocks := freeSeen
+	for b := h.head; b != nil; b = b.next {
+		if !b.Free {
+			blocks++
+		}
+	}
+	if blocks != h.blocks {
+		return fmt.Errorf("alloc: block counter %d, actual %d", h.blocks, blocks)
 	}
 	if allocated != h.allocated {
 		return fmt.Errorf("alloc: allocated accounting %d, actual %d", h.allocated, allocated)

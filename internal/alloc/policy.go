@@ -6,6 +6,14 @@ package alloc
 //
 // Policies may keep private state (the next-fit rover) but must treat
 // the heap's block list as the single source of truth.
+//
+// The probes counter models the cost of the sequential search each
+// strategy performs over the full address-ordered block list — the
+// search effort the paper's placement discussion weighs. The
+// implementations below walk only the heap's free-block index, using
+// the per-free-block gap counts to charge exactly the probes the full
+// scan would have: the numbers in the experiment tables are unchanged,
+// only the time to compute them.
 type Policy interface {
 	// Name identifies the policy in experiment tables.
 	Name() string
@@ -20,14 +28,19 @@ type FirstFit struct{}
 // Name implements Policy.
 func (FirstFit) Name() string { return "first-fit" }
 
-// Choose implements Policy.
+// Choose implements Policy. A full-list first-fit scan probes every
+// block up to and including the first sufficient free one; on failure
+// it probes the whole list.
 func (FirstFit) Choose(h *Heap, n int) (*Block, bool) {
-	for b := h.head; b != nil; b = b.next {
-		h.probes++
-		if b.Free && b.Size >= n {
+	pos := int64(0)
+	for b := h.freeHead; b != nil; b = b.freeNext {
+		pos += int64(b.gap) + 1
+		if b.Size >= n {
+			h.probes += pos
 			return b, false
 		}
 	}
+	h.probes += int64(h.blocks)
 	return nil, false
 }
 
@@ -39,21 +52,26 @@ type BestFit struct{}
 // Name implements Policy.
 func (BestFit) Name() string { return "best-fit" }
 
-// Choose implements Policy.
+// Choose implements Policy. The full scan stops early only at an exact
+// fit (probing every block up to it); otherwise it probes the whole
+// list and takes the first block of the winning size.
 func (BestFit) Choose(h *Heap, n int) (*Block, bool) {
+	pos := int64(0)
 	var best *Block
-	for b := h.head; b != nil; b = b.next {
-		h.probes++
-		if !b.Free || b.Size < n {
+	for b := h.freeHead; b != nil; b = b.freeNext {
+		pos += int64(b.gap) + 1
+		if b.Size < n {
 			continue
 		}
 		if best == nil || b.Size < best.Size {
 			best = b
-			if best.Size == n {
-				break // exact fit cannot be beaten
+			if b.Size == n {
+				h.probes += pos
+				return best, false
 			}
 		}
 	}
+	h.probes += int64(h.blocks)
 	return best, false
 }
 
@@ -64,18 +82,19 @@ type WorstFit struct{}
 // Name implements Policy.
 func (WorstFit) Name() string { return "worst-fit" }
 
-// Choose implements Policy.
+// Choose implements Policy. The scan never stops early: every block is
+// probed, and the first block of the winning size is taken.
 func (WorstFit) Choose(h *Heap, n int) (*Block, bool) {
 	var best *Block
-	for b := h.head; b != nil; b = b.next {
-		h.probes++
-		if !b.Free || b.Size < n {
+	for b := h.freeHead; b != nil; b = b.freeNext {
+		if b.Size < n {
 			continue
 		}
 		if best == nil || b.Size > best.Size {
 			best = b
 		}
 	}
+	h.probes += int64(h.blocks)
 	return best, false
 }
 
@@ -90,27 +109,67 @@ type NextFit struct {
 // Name implements Policy.
 func (*NextFit) Name() string { return "next-fit" }
 
-// Choose implements Policy.
+// Choose implements Policy. The modelled search skips (without probing)
+// every block that ends at or before the rover, probes onward to the
+// end of the list, then wraps and probes blocks below the rover. The
+// free-list walk reproduces those probe counts: the backward walks over
+// an allocated run touch only blocks the full scan would probe anyway.
 func (p *NextFit) Choose(h *Heap, n int) (*Block, bool) {
-	// First pass: from the rover to the end.
-	for b := h.head; b != nil; b = b.next {
-		if b.Addr+b.Size <= p.rover {
-			continue
-		}
-		h.probes++
-		if b.Free && b.Size >= n {
-			p.rover = b.Addr + n
-			return b, false
+	// Pass 1: from the rover to the end.
+	probes := int64(0)
+	var f0 *Block // first free block ending beyond the rover
+	for f := h.freeHead; f != nil; f = f.freeNext {
+		if f.Addr+f.Size > p.rover {
+			f0 = f
+			break
 		}
 	}
-	// Wrap around.
-	for b := h.head; b != nil && b.Addr < p.rover; b = b.next {
-		h.probes++
-		if b.Free && b.Size >= n {
-			p.rover = b.Addr + n
-			return b, false
+	if f0 != nil {
+		// Allocated blocks of f0's gap run that end beyond the rover are
+		// probed before f0 is reached.
+		for b := f0.prev; b != nil && !b.Free && b.Addr+b.Size > p.rover; b = b.prev {
+			probes++
+		}
+		for f := f0; f != nil; f = f.freeNext {
+			if f != f0 {
+				probes += int64(f.gap)
+			}
+			probes++
+			if f.Size >= n {
+				h.probes += probes
+				p.rover = f.Addr + n
+				return f, false
+			}
+		}
+		probes += int64(h.tailGap)
+	} else {
+		// Every free block ends at or before the rover, so pass 1 probes
+		// only the trailing run of allocated blocks ending beyond it.
+		for b := h.tail; b != nil && !b.Free && b.Addr+b.Size > p.rover; b = b.prev {
+			probes++
 		}
 	}
+	// Wrap around: probe blocks starting below the rover.
+	var lastF *Block
+	for f := h.freeHead; f != nil && f.Addr < p.rover; f = f.freeNext {
+		probes += int64(f.gap) + 1
+		if f.Size >= n {
+			h.probes += probes
+			p.rover = f.Addr + n
+			return f, false
+		}
+		lastF = f
+	}
+	// Failure: the wrap pass also probed the allocated blocks between
+	// the last free block below the rover and the rover itself.
+	start := h.head
+	if lastF != nil {
+		start = lastF.next
+	}
+	for b := start; b != nil && !b.Free && b.Addr < p.rover; b = b.next {
+		probes++
+	}
+	h.probes += probes
 	return nil, false
 }
 
@@ -127,19 +186,21 @@ type TwoEnded struct {
 // Name implements Policy.
 func (TwoEnded) Name() string { return "two-ended" }
 
-// Choose implements Policy.
+// Choose implements Policy. The large-request scan probes every block
+// and takes the last sufficient one.
 func (p TwoEnded) Choose(h *Heap, n int) (*Block, bool) {
 	if n < p.Threshold {
 		return FirstFit{}.Choose(h, n)
 	}
 	// Highest sufficient free block, carved from its high end.
 	var best *Block
-	for b := h.head; b != nil; b = b.next {
-		h.probes++
-		if b.Free && b.Size >= n {
+	for b := h.freeTail; b != nil; b = b.freePrev {
+		if b.Size >= n {
 			best = b
+			break
 		}
 	}
+	h.probes += int64(h.blocks)
 	return best, true
 }
 

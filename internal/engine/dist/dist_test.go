@@ -693,6 +693,69 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPersistentCodecStream pins the v2 stream behaviour: one
+// encoder/decoder pair carries many frames, gob type definitions cross
+// the wire only once (so every frame after the first is much smaller),
+// payloads survive intact, and the stream still ends in a clean EOF.
+func TestPersistentCodecStream(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	const frames = 16
+	sizes := make([]int, frames)
+	for i := 0; i < frames; i++ {
+		before := buf.Len()
+		in := request{ID: uint64(i), Seed: 5, Cells: []cellReq{
+			{Index: i, Key: fmt.Sprintf("cell-%d", i), Spec: engine.Spec{Task: "t", Args: map[string]string{"n": "1"}}},
+		}}
+		if err := fw.writeFrame(&in); err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = buf.Len() - before
+	}
+	if sizes[1] >= sizes[0] {
+		t.Errorf("second frame is %d bytes, first %d: type definitions were re-sent", sizes[1], sizes[0])
+	}
+	fr := newFrameReader(&buf)
+	for i := 0; i < frames; i++ {
+		var out request
+		if err := fr.readFrame(&out); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if out.ID != uint64(i) || len(out.Cells) != 1 || out.Cells[0].Key != fmt.Sprintf("cell-%d", i) {
+			t.Fatalf("frame %d decoded as %+v", i, out)
+		}
+	}
+	var out request
+	if err := fr.readFrame(&out); err != io.EOF {
+		t.Errorf("drained stream read = %v, want io.EOF", err)
+	}
+}
+
+// TestPersistentCodecCorruptionDetected flips one payload bit in the
+// middle of a persistent stream: the checksum must fail that frame
+// before any corrupt byte reaches the decoder.
+func TestPersistentCodecCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := fw.writeFrame(&request{ID: uint64(i), Cells: []cellReq{{Key: "k"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-2] ^= 0x01 // corrupt the final frame's payload
+	fr := newFrameReader(bytes.NewReader(raw))
+	var out request
+	for i := 0; i < 2; i++ {
+		if err := fr.readFrame(&out); err != nil {
+			t.Fatalf("clean frame %d: %v", i, err)
+		}
+	}
+	if err := fr.readFrame(&out); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("corrupt frame read = %v, want a checksum mismatch", err)
+	}
+}
+
 func TestQueuesStealFromLongest(t *testing.T) {
 	qs := newQueues(3, 9) // slot queues: [0 3 6] [1 4 7] [2 5 8]
 	// Drain slot 0's own queue one at a time.

@@ -51,7 +51,14 @@ const maxFrame = 64 << 20
 // each other cleanly instead of mis-decoding frames. The stdio
 // transport needs no handshake: dispatcher and child are the same
 // binary by construction.
-const protoVersion = 1
+//
+// Version 2 switched the post-handshake stream from self-contained
+// frames (a fresh gob encoder per frame, re-sending type definitions
+// every time) to one persistent encoder/decoder pair per connection.
+// The handshake itself still uses one-shot codecs — the first value on
+// a fresh gob stream has identical bytes either way, so version skew
+// in either direction is detected before any stateful frame flows.
+const protoVersion = 2
 
 // crcTable is the Castagnoli polynomial used for the per-frame
 // payload checksum (hardware-accelerated on the platforms we run on).
@@ -137,40 +144,104 @@ type response struct {
 	Results []cellResp
 }
 
-// writeFrame encodes v with a fresh gob encoder and writes it as one
-// length-prefixed frame: a 4-byte big-endian length, a 4-byte CRC-32C
-// of the payload, then the gob bytes. A fresh encoder per frame keeps
-// frames self-contained, so a reader can never be desynchronized by a
-// half-written stream; the checksum catches payload corruption on
-// transports (a TCP path through middleboxes) where a flipped bit
-// could otherwise gob-decode into silently wrong science.
+// writeFrame encodes v with a one-shot gob encoder and writes it as
+// one length-prefixed frame: a 4-byte big-endian length, a 4-byte
+// CRC-32C of the payload, then the gob bytes. The checksum catches
+// payload corruption on transports (a TCP path through middleboxes)
+// where a flipped bit could otherwise gob-decode into silently wrong
+// science. One-shot codecs serve the handshake (which must decode
+// without any stream state, across protocol versions) and tests; the
+// request/response stream uses a frameWriter/frameReader pair so type
+// definitions cross the wire once per connection, not once per frame.
 func writeFrame(w io.Writer, v interface{}) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	return newFrameWriter(w).writeFrame(v)
+}
+
+// readFrame reads one length-prefixed frame into v with a one-shot
+// decoder; see writeFrame for when the one-shot codecs apply. io.EOF
+// at a frame boundary is returned as-is (a clean end of stream); a
+// partial frame surfaces as io.ErrUnexpectedEOF; a checksum mismatch
+// is a hard error that must retire the connection — after corruption
+// the stream can never be trusted to be framed correctly again.
+func readFrame(r io.Reader, v interface{}) error {
+	return newFrameReader(r).readFrame(v)
+}
+
+// frameWriter frames gob values onto one stream with a persistent
+// encoder: gob sends each type definition once per encoder, so reusing
+// the encoder (and its staging buffer) removes the dominant per-frame
+// cost — re-encoding and re-transmitting the wire types of request,
+// response, and every registered row value on every frame. Any encode
+// or write error leaves the stream unusable; callers already retire
+// the connection on error, and a fresh connection gets fresh codecs.
+type frameWriter struct {
+	w   io.Writer
+	enc *gob.Encoder
+	buf bytes.Buffer
+}
+
+// newFrameWriter returns a frameWriter whose frames a frameReader (or,
+// for the first frame only, a one-shot readFrame) can decode.
+func newFrameWriter(w io.Writer) *frameWriter {
+	fw := &frameWriter{w: w}
+	fw.enc = gob.NewEncoder(&fw.buf)
+	return fw
+}
+
+// writeFrame stages one gob message in the reused buffer, then writes
+// the framing header and payload.
+func (fw *frameWriter) writeFrame(v interface{}) error {
+	fw.buf.Reset()
+	if err := fw.enc.Encode(v); err != nil {
 		return err
 	}
-	if buf.Len() > maxFrame {
-		return fmt.Errorf("dist: frame %d bytes exceeds limit %d", buf.Len(), maxFrame)
+	if fw.buf.Len() > maxFrame {
+		return fmt.Errorf("dist: frame %d bytes exceeds limit %d", fw.buf.Len(), maxFrame)
 	}
 	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(buf.Len()))
-	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(buf.Bytes(), crcTable))
-	if _, err := w.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(hdr[:4], uint32(fw.buf.Len()))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(fw.buf.Bytes(), crcTable))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(buf.Bytes())
+	_, err := fw.w.Write(fw.buf.Bytes())
 	return err
 }
 
-// readFrame reads one length-prefixed frame into v, verifying its
-// checksum before decoding. io.EOF at a frame boundary is returned
-// as-is (a clean end of stream); a partial frame surfaces as
-// io.ErrUnexpectedEOF; a checksum mismatch is a hard error that must
-// retire the connection — after corruption the stream can never be
-// trusted to be framed correctly again.
-func readFrame(r io.Reader, v interface{}) error {
+// frameReader decodes the frame stream a frameWriter produces, with a
+// persistent decoder fed one verified frame body at a time. Every
+// frame's checksum is verified before any of its bytes reach gob, so
+// corruption still surfaces as a hard framing error, never a
+// mis-decode. The body buffer is reused across frames.
+type frameReader struct {
+	r    io.Reader
+	dec  *gob.Decoder
+	body []byte
+	off  int
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	fr := &frameReader{r: r}
+	// frameReader implements io.ByteReader, so gob uses it directly
+	// instead of interposing a bufio.Reader that could read ahead
+	// across frame boundaries.
+	fr.dec = gob.NewDecoder(fr)
+	return fr
+}
+
+// readFrame decodes the next non-heartbeat gob message. The encoder
+// side emits exactly one gob message per frame, so the decoder
+// consumes frame bodies in lockstep with fill.
+func (fr *frameReader) readFrame(v interface{}) error {
+	return fr.dec.Decode(v)
+}
+
+// fill reads and verifies the next frame body. io.EOF at a frame
+// boundary is returned as-is: through gob it becomes Decode's clean
+// end-of-stream error.
+func (fr *frameReader) fill() error {
 	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return io.EOF
 		}
@@ -180,14 +251,43 @@ func readFrame(r io.Reader, v interface{}) error {
 	if n > maxFrame {
 		return fmt.Errorf("dist: frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if uint32(cap(fr.body)) < n {
+		fr.body = make([]byte, n)
+	}
+	fr.body = fr.body[:n]
+	if _, err := io.ReadFull(fr.r, fr.body); err != nil {
 		return fmt.Errorf("dist: reading %d-byte frame: %w", n, err)
 	}
-	if sum := crc32.Checksum(body, crcTable); sum != binary.BigEndian.Uint32(hdr[4:]) {
+	if sum := crc32.Checksum(fr.body, crcTable); sum != binary.BigEndian.Uint32(hdr[4:]) {
 		return fmt.Errorf("dist: frame checksum mismatch (%08x != %08x): corrupt stream", sum, binary.BigEndian.Uint32(hdr[4:]))
 	}
-	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+	fr.off = 0
+	return nil
+}
+
+// Read serves gob from the current frame body, fetching the next frame
+// when the body is exhausted.
+func (fr *frameReader) Read(p []byte) (int, error) {
+	for fr.off >= len(fr.body) {
+		if err := fr.fill(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, fr.body[fr.off:])
+	fr.off += n
+	return n, nil
+}
+
+// ReadByte implements io.ByteReader for gob (see newFrameReader).
+func (fr *frameReader) ReadByte() (byte, error) {
+	for fr.off >= len(fr.body) {
+		if err := fr.fill(); err != nil {
+			return 0, err
+		}
+	}
+	b := fr.body[fr.off]
+	fr.off++
+	return b, nil
 }
 
 // RegisterValue records a concrete type that cells transport in

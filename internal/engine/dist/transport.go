@@ -49,7 +49,8 @@ type procLink struct {
 	cmd      *exec.Cmd
 	stdin    io.WriteCloser
 	wbuf     *bufio.Writer
-	rbuf     *bufio.Reader
+	fw       *frameWriter
+	fr       *frameReader
 	prefixer *PrefixWriter
 }
 
@@ -73,17 +74,19 @@ func spawnProc(command string, args, env []string, prefixer *PrefixWriter) (*pro
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
+	wbuf := bufio.NewWriter(stdin)
 	return &procLink{
 		cmd:      cmd,
 		stdin:    stdin,
-		wbuf:     bufio.NewWriter(stdin),
-		rbuf:     bufio.NewReader(stdout),
+		wbuf:     wbuf,
+		fw:       newFrameWriter(wbuf),
+		fr:       newFrameReader(bufio.NewReader(stdout)),
 		prefixer: prefixer,
 	}, nil
 }
 
 func (l *procLink) roundTrip(req *request) (*response, error) {
-	if err := writeFrame(l.wbuf, req); err != nil {
+	if err := l.fw.writeFrame(req); err != nil {
 		return nil, err
 	}
 	if err := l.wbuf.Flush(); err != nil {
@@ -91,7 +94,7 @@ func (l *procLink) roundTrip(req *request) (*response, error) {
 	}
 	// No deadline arming: a dead child closes the pipe and the read
 	// returns immediately, so heartbeats are merely consumed here.
-	return awaitResponse(l.rbuf, req.ID, nil)
+	return awaitResponse(l.fr, req.ID, nil)
 }
 
 func (l *procLink) kill() {
@@ -124,6 +127,8 @@ type tcpLink struct {
 	conn    net.Conn
 	wbuf    *bufio.Writer
 	rbuf    *bufio.Reader
+	fw      *frameWriter
+	fr      *frameReader
 	timeout time.Duration
 }
 
@@ -148,6 +153,11 @@ func dialRemote(ctx context.Context, addr, token string, linkTimeout, dialTimeou
 		_ = conn.Close()
 		return nil, err
 	}
+	// The persistent request/response codecs start after the handshake,
+	// at the same stream position on both sides; a redial builds a new
+	// link and therefore fresh codecs.
+	l.fw = newFrameWriter(l.wbuf)
+	l.fr = newFrameReader(l.rbuf)
 	return l, nil
 }
 
@@ -176,14 +186,14 @@ func (l *tcpLink) handshake(token string, timeout time.Duration) error {
 
 func (l *tcpLink) roundTrip(req *request) (*response, error) {
 	_ = l.conn.SetWriteDeadline(time.Now().Add(l.timeout))
-	if err := writeFrame(l.wbuf, req); err != nil {
+	if err := l.fw.writeFrame(req); err != nil {
 		return nil, err
 	}
 	if err := l.wbuf.Flush(); err != nil {
 		return nil, err
 	}
 	_ = l.conn.SetWriteDeadline(time.Time{})
-	return awaitResponse(l.rbuf, req.ID, func() error {
+	return awaitResponse(l.fr, req.ID, func() error {
 		return l.conn.SetReadDeadline(time.Now().Add(l.timeout))
 	})
 }
@@ -196,7 +206,7 @@ func (l *tcpLink) close() { _ = l.conn.Close() }
 // the link's read deadline before each frame — every heartbeat resets
 // the clock, so the deadline measures silence, not batch duration, and
 // an arbitrarily slow cell on a live link never times out.
-func awaitResponse(r *bufio.Reader, id uint64, arm func() error) (*response, error) {
+func awaitResponse(fr *frameReader, id uint64, arm func() error) (*response, error) {
 	for {
 		if arm != nil {
 			if err := arm(); err != nil {
@@ -204,7 +214,7 @@ func awaitResponse(r *bufio.Reader, id uint64, arm func() error) (*response, err
 			}
 		}
 		var resp response
-		if err := readFrame(r, &resp); err != nil {
+		if err := fr.readFrame(&resp); err != nil {
 			if isTimeout(err) {
 				return nil, fmt.Errorf("dist: link silent past deadline (no heartbeat): %w", err)
 			}

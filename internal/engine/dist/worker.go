@@ -143,21 +143,26 @@ func serveConn(ctx context.Context, in io.Reader, out io.Writer, o WorkerOptions
 	if hb <= 0 {
 		hb = DefaultHeartbeat
 	}
-	// One writer mutex per connection: heartbeats come from a ticker
-	// racing the batch's own response, and a frame torn between the two
-	// would desynchronize the stream.
+	// Persistent per-connection codecs: the encoder ships each wire
+	// type's definition once, and the decoder mirrors the dispatcher's
+	// persistent encoder. The write mutex also serializes access to the
+	// shared encoder: heartbeats come from a ticker racing the batch's
+	// own response, and a frame torn between the two would
+	// desynchronize the stream.
+	fw := newFrameWriter(w)
+	fr := newFrameReader(r)
 	var wmu sync.Mutex
 	send := func(v interface{}) error {
 		wmu.Lock()
 		defer wmu.Unlock()
-		if err := writeFrame(w, v); err != nil {
+		if err := fw.writeFrame(v); err != nil {
 			return err
 		}
 		return w.Flush()
 	}
 	for {
 		var req request
-		if err := readFrame(r, &req); err != nil {
+		if err := fr.readFrame(&req); err != nil {
 			if err == io.EOF {
 				return nil
 			}

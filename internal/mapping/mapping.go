@@ -86,6 +86,10 @@ type PageTable struct {
 	entries []Entry
 	lookups int64
 	faults  int64
+	// fault is reused across Translate calls so the demand-paging hot
+	// path does not allocate per trap. Callers consume the fault before
+	// retrying the translation, so the reuse is invisible to them.
+	fault PageFault
 }
 
 // NewPageTable creates a table covering `pages` pages of pageSize
@@ -119,7 +123,8 @@ func (t *PageTable) Translate(n addr.Name, write bool) (addr.Address, error) {
 	e := &t.entries[page]
 	if !e.Present {
 		t.faults++
-		return 0, &PageFault{Page: page}
+		t.fault = PageFault{Page: page}
+		return 0, &t.fault
 	}
 	e.Use = true
 	if write {

@@ -8,19 +8,33 @@ type TLBKey struct {
 	Page uint64
 }
 
+// tlbEntry is one associative register, threaded on an intrusive
+// recency list (head = most recently used). Entries are recycled
+// through a free list so steady-state install/evict traffic does not
+// allocate.
+type tlbEntry struct {
+	key        TLBKey
+	frame      int
+	prev, next *tlbEntry
+}
+
 // TLB models the small associative memory "in which recently-used
 // segment and/or page locations are kept": 8+1 registers on the IBM
 // 360/67, 44 thin-film words on the B8500. Hits bypass the mapping
 // tables entirely; replacement within the TLB is least-recently-used,
 // which content-addressable hardware of the era approximated with
-// usage flip-flops.
+// usage flip-flops. The model keeps the registers on an intrusive
+// recency list, so installing into a full memory evicts the list tail
+// in O(1) instead of scanning every register for the oldest stamp —
+// the victim (strict LRU, which unique stamps made deterministic) is
+// identical.
 type TLB struct {
-	capacity int
-	frames   map[TLBKey]int
-	stamp    map[TLBKey]uint64
-	n        uint64
-	hits     int64
-	misses   int64
+	capacity   int
+	entries    map[TLBKey]*tlbEntry
+	head, tail *tlbEntry // recency order: head = most recent
+	free       *tlbEntry // recycled entries, chained through next
+	hits       int64
+	misses     int64
 }
 
 // NewTLB creates an associative memory of the given capacity.
@@ -32,22 +46,71 @@ func NewTLB(capacity int) *TLB {
 	}
 	return &TLB{
 		capacity: capacity,
-		frames:   make(map[TLBKey]int),
-		stamp:    make(map[TLBKey]uint64),
+		entries:  make(map[TLBKey]*tlbEntry, capacity),
 	}
 }
 
 // Capacity reports the number of associative registers.
 func (t *TLB) Capacity() int { return t.capacity }
 
+// moveToFront makes e the most recently used entry.
+func (t *TLB) moveToFront(e *tlbEntry) {
+	if t.head == e {
+		return
+	}
+	// Unlink (e is on the list and not the head, so e.prev != nil).
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	// Relink at the head.
+	e.prev = nil
+	e.next = t.head
+	t.head.prev = e
+	t.head = e
+}
+
+// pushFront links a detached entry at the head of the recency list.
+func (t *TLB) pushFront(e *tlbEntry) {
+	e.prev = nil
+	e.next = t.head
+	if t.head != nil {
+		t.head.prev = e
+	} else {
+		t.tail = e
+	}
+	t.head = e
+}
+
+// unlink removes e from the recency list.
+func (t *TLB) unlink(e *tlbEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+}
+
+// release recycles a detached entry.
+func (t *TLB) release(e *tlbEntry) {
+	*e = tlbEntry{next: t.free}
+	t.free = e
+}
+
 // Lookup probes the associative memory.
 func (t *TLB) Lookup(k TLBKey) (frame int, ok bool) {
-	f, ok := t.frames[k]
+	e, ok := t.entries[k]
 	if ok {
 		t.hits++
-		t.n++
-		t.stamp[k] = t.n
-		return f, true
+		t.moveToFront(e)
+		return e.frame, true
 	}
 	t.misses++
 	return 0, false
@@ -59,39 +122,51 @@ func (t *TLB) Install(k TLBKey, frame int) {
 	if t.capacity == 0 {
 		return
 	}
-	if _, ok := t.frames[k]; !ok && len(t.frames) >= t.capacity {
-		var victim TLBKey
-		var oldest uint64
-		first := true
-		for key, s := range t.stamp {
-			if first || s < oldest {
-				victim, oldest = key, s
-				first = false
-			}
-		}
-		delete(t.frames, victim)
-		delete(t.stamp, victim)
+	if e, ok := t.entries[k]; ok {
+		e.frame = frame
+		t.moveToFront(e)
+		return
 	}
-	t.n++
-	t.frames[k] = frame
-	t.stamp[k] = t.n
+	if len(t.entries) >= t.capacity {
+		victim := t.tail
+		t.unlink(victim)
+		delete(t.entries, victim.key)
+		t.release(victim)
+	}
+	e := t.free
+	if e == nil {
+		e = &tlbEntry{}
+	} else {
+		t.free = e.next
+		*e = tlbEntry{}
+	}
+	e.key = k
+	e.frame = frame
+	t.pushFront(e)
+	t.entries[k] = e
 }
 
 // InvalidatePage removes any entry for the (segment, page) pair; it
 // must be called when a page is evicted from its frame.
 func (t *TLB) InvalidatePage(k TLBKey) {
-	delete(t.frames, k)
-	delete(t.stamp, k)
+	if e, ok := t.entries[k]; ok {
+		t.unlink(e)
+		delete(t.entries, k)
+		t.release(e)
+	}
 }
 
 // Flush empties the associative memory (e.g. on program switch).
 func (t *TLB) Flush() {
-	t.frames = make(map[TLBKey]int)
-	t.stamp = make(map[TLBKey]uint64)
+	for k, e := range t.entries {
+		delete(t.entries, k)
+		t.release(e)
+	}
+	t.head, t.tail = nil, nil
 }
 
 // Len reports the number of valid entries.
-func (t *TLB) Len() int { return len(t.frames) }
+func (t *TLB) Len() int { return len(t.entries) }
 
 // Stats reports hit and miss counts.
 func (t *TLB) Stats() (hits, misses int64) { return t.hits, t.misses }

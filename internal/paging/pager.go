@@ -102,6 +102,12 @@ type Pager struct {
 	free     []int
 	maxPage  uint64
 	stats    Stats
+	// residentFn is p.isResident bound once, so handing it to the fetch
+	// strategy on every fault does not allocate a closure.
+	residentFn func(uint64) bool
+	// skipped is scratch for chooseVictimWith: pages sidelined while
+	// hunting for an evictable victim, reinserted before returning.
+	skipped []replace.PageID
 }
 
 // New validates the configuration and builds a pager. The backing level
@@ -144,6 +150,7 @@ func New(cfg Config) (*Pager, error) {
 		resident: make(map[uint64]bool),
 		maxPage:  uint64(pages - 1),
 	}
+	p.residentFn = p.isResident
 	for f := cfg.Frames - 1; f >= 0; f-- {
 		p.free = append(p.free, f)
 	}
@@ -224,8 +231,10 @@ func (p *Pager) access(name addr.Name, write bool) (addr.Address, error) {
 	}
 	a, err := p.table.Translate(name, write)
 	if err != nil {
-		var pf *mapping.PageFault
-		if !errors.As(err, &pf) {
+		// Translate returns the fault unwrapped; a type assertion avoids
+		// the errors.As escape on the per-fault path.
+		pf, ok := err.(*mapping.PageFault)
+		if !ok {
 			return 0, err
 		}
 		if ferr := p.fault(pf.Page, write); ferr != nil {
@@ -254,7 +263,7 @@ func (p *Pager) fault(page uint64, _ bool) error {
 	if err != nil {
 		return err
 	}
-	for _, extra := range p.cfg.Fetch.Extra(page, p.isResident, p.maxPage) {
+	for _, extra := range p.cfg.Fetch.Extra(page, p.residentFn, p.maxPage) {
 		if err := p.loadPage(extra, false); err != nil {
 			if errors.Is(err, ErrAllPinned) {
 				break // anticipation is optional; stop quietly
@@ -371,17 +380,17 @@ func (p *Pager) chooseVictimWith(exclude *uint64) (uint64, error) {
 			return best, nil
 		}
 	}
-	var skipped []replace.PageID
+	p.skipped = p.skipped[:0]
 	defer func() {
 		now := p.cfg.Clock.Now()
-		for _, id := range skipped {
+		for _, id := range p.skipped {
 			p.cfg.Policy.Insert(id, now)
 		}
 	}()
 	for i := 0; i <= len(p.resident); i++ {
 		v, err := p.cfg.Policy.Victim(p.cfg.Clock.Now())
 		if err != nil {
-			if errors.Is(err, replace.ErrEmpty) && len(skipped) > 0 {
+			if errors.Is(err, replace.ErrEmpty) && len(p.skipped) > 0 {
 				return 0, ErrAllPinned
 			}
 			return 0, err
@@ -393,7 +402,7 @@ func (p *Pager) chooseVictimWith(exclude *uint64) (uint64, error) {
 			// it. Ordering loss is harmless: pinned pages are never
 			// evicted, and the excluded page was referenced just now.
 			p.cfg.Policy.Remove(v)
-			skipped = append(skipped, v)
+			p.skipped = append(p.skipped, v)
 			continue
 		}
 		return page, nil
@@ -458,7 +467,7 @@ func (p *Pager) applyAdvice(r trace.Ref) error {
 		}
 	}
 	page := r.Name / p.cfg.PageSize
-	for _, extra := range p.cfg.Fetch.Extra(page, p.isResident, p.maxPage) {
+	for _, extra := range p.cfg.Fetch.Extra(page, p.residentFn, p.maxPage) {
 		if err := p.loadPage(extra, false); err != nil {
 			if errors.Is(err, ErrAllPinned) {
 				return nil

@@ -465,3 +465,25 @@ func TestPropertyDataIntegrityUnderPaging(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPagerSteadyStateAllocs pins the reference hot path: once the
+// resident set is established, hits and fault/evict churn run without
+// per-reference allocations (the reused page-fault value, the bound
+// resident closure, and the sidelined-page scratch absorb it all).
+func TestPagerSteadyStateAllocs(t *testing.T) {
+	p, _ := rig(t, 4, 64, 16*64, nil)
+	name := addr.Name(0)
+	cycle := func() {
+		for i := 0; i < 32; i++ {
+			name = (name + 64) % addr.Name(p.Extent())
+			if err := p.Touch(name, i%4 == 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cycle() // warm: residency, policy pools, scratch buffers
+	cycle()
+	if avg := testing.AllocsPerRun(100, cycle); avg > 0 {
+		t.Fatalf("steady-state reference cycle allocates %.1f times per run", avg)
+	}
+}

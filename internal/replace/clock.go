@@ -86,12 +86,18 @@ func (c *Clock) Len() int { return len(c.ring) }
 // class (unused & clean, then unused & dirty, then used & clean, then
 // used & dirty). Use bits age on every victim selection, standing in
 // for the periodic sensor interrogation of the real hardware.
+//
+// The use and modify bits live in slices parallel to ids, and the
+// candidate set is a reusable buffer, so victim selection neither
+// iterates maps nor allocates. Candidates accumulate in ids order
+// exactly as before, so the single rng.Intn draw picks the same victim.
 type M44Random struct {
-	rng   *sim.RNG
-	ids   []PageID
-	index map[PageID]int
-	used  map[PageID]bool
-	dirty map[PageID]bool
+	rng        *sim.RNG
+	ids        []PageID
+	index      map[PageID]int
+	used       []bool
+	dirty      []bool
+	candidates []int // scratch for Victim, indices into ids
 }
 
 // NewM44Random returns an M44Random policy drawing from rng.
@@ -99,8 +105,6 @@ func NewM44Random(rng *sim.RNG) *M44Random {
 	return &M44Random{
 		rng:   rng,
 		index: make(map[PageID]int),
-		used:  make(map[PageID]bool),
-		dirty: make(map[PageID]bool),
 	}
 }
 
@@ -114,27 +118,29 @@ func (m *M44Random) Insert(id PageID, _ sim.Time) {
 	}
 	m.index[id] = len(m.ids)
 	m.ids = append(m.ids, id)
-	m.used[id] = true
+	m.used = append(m.used, true)
+	m.dirty = append(m.dirty, false)
 }
 
 // Touch implements Policy.
 func (m *M44Random) Touch(id PageID, _ sim.Time, write bool) {
-	if _, ok := m.index[id]; !ok {
+	i, ok := m.index[id]
+	if !ok {
 		return
 	}
-	m.used[id] = true
+	m.used[i] = true
 	if write {
-		m.dirty[id] = true
+		m.dirty[i] = true
 	}
 }
 
 // class orders candidates: lower is more acceptable.
-func (m *M44Random) class(id PageID) int {
+func (m *M44Random) class(i int) int {
 	c := 0
-	if m.used[id] {
+	if m.used[i] {
 		c += 2
 	}
-	if m.dirty[id] {
+	if m.dirty[i] {
 		c++
 	}
 	return c
@@ -146,21 +152,21 @@ func (m *M44Random) Victim(sim.Time) (PageID, error) {
 		return 0, ErrEmpty
 	}
 	best := 4
-	var candidates []PageID
-	for _, id := range m.ids {
-		c := m.class(id)
+	m.candidates = m.candidates[:0]
+	for i := range m.ids {
+		c := m.class(i)
 		if c < best {
 			best = c
-			candidates = candidates[:0]
+			m.candidates = m.candidates[:0]
 		}
 		if c == best {
-			candidates = append(candidates, id)
+			m.candidates = append(m.candidates, i)
 		}
 	}
-	victim := candidates[m.rng.Intn(len(candidates))]
+	victim := m.ids[m.candidates[m.rng.Intn(len(m.candidates))]]
 	// Age the use bits, as the periodic hardware interrogation would.
-	for _, id := range m.ids {
-		m.used[id] = false
+	for i := range m.used {
+		m.used[i] = false
 	}
 	return victim, nil
 }
@@ -173,11 +179,13 @@ func (m *M44Random) Remove(id PageID) {
 	}
 	last := len(m.ids) - 1
 	m.ids[i] = m.ids[last]
+	m.used[i] = m.used[last]
+	m.dirty[i] = m.dirty[last]
 	m.index[m.ids[i]] = i
 	m.ids = m.ids[:last]
+	m.used = m.used[:last]
+	m.dirty = m.dirty[:last]
 	delete(m.index, id)
-	delete(m.used, id)
-	delete(m.dirty, id)
 }
 
 // Len implements Policy.

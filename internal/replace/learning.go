@@ -2,6 +2,16 @@ package replace
 
 import "dsa/internal/sim"
 
+// learnEntry is the per-page usage record of the learning program: time
+// of last use, previous duration of inactivity, and an insertion
+// sequence number for deterministic tie-breaks.
+type learnEntry struct {
+	id       PageID
+	lastUse  sim.Time
+	interval sim.Time
+	seq      uint64
+}
+
 // Learning is the ATLAS "learning program" (Kilburn et al. [14],
 // Appendix A.1). For each resident page it records the length of time
 // since the page was last accessed (t) and the previous duration of
@@ -19,11 +29,16 @@ import "dsa/internal/sim"
 // policy keeps loop pages just long enough — the behaviour that made it
 // superior to LRU/FIFO on ATLAS's looping scientific codes and which
 // experiment T1 reproduces.
+//
+// The records live in a dense slice (with an id→slot index for O(1)
+// Touch/Remove) so the two victim-selection passes scan contiguous
+// memory instead of iterating maps. Both passes break ties by sequence
+// number, so the winner does not depend on scan order and matches the
+// map-iteration original exactly.
 type Learning struct {
-	lastUse  map[PageID]sim.Time
-	interval map[PageID]sim.Time
-	seq      map[PageID]uint64
-	n        uint64
+	entries []learnEntry
+	index   map[PageID]int
+	n       uint64
 	// Slack is the multiple of T beyond which a page is deemed out of
 	// use; ATLAS used a small constant margin. 1 means t > T.
 	Slack sim.Time
@@ -32,10 +47,8 @@ type Learning struct {
 // NewLearning returns an ATLAS learning policy.
 func NewLearning() *Learning {
 	return &Learning{
-		lastUse:  make(map[PageID]sim.Time),
-		interval: make(map[PageID]sim.Time),
-		seq:      make(map[PageID]uint64),
-		Slack:    1,
+		index: make(map[PageID]int),
+		Slack: 1,
 	}
 }
 
@@ -44,79 +57,88 @@ func (*Learning) Name() string { return "atlas-learning" }
 
 // Insert implements Policy.
 func (l *Learning) Insert(id PageID, now sim.Time) {
-	if _, ok := l.lastUse[id]; ok {
+	if _, ok := l.index[id]; ok {
 		return
 	}
-	l.lastUse[id] = now
-	l.interval[id] = 0 // no history yet
 	l.n++
-	l.seq[id] = l.n
+	l.index[id] = len(l.entries)
+	l.entries = append(l.entries, learnEntry{
+		id:       id,
+		lastUse:  now,
+		interval: 0, // no history yet
+		seq:      l.n,
+	})
 }
 
 // Touch implements Policy.
 func (l *Learning) Touch(id PageID, now sim.Time, _ bool) {
-	last, ok := l.lastUse[id]
+	i, ok := l.index[id]
 	if !ok {
 		return
 	}
-	if gap := now - last; gap > 0 {
-		l.interval[id] = gap
+	e := &l.entries[i]
+	if gap := now - e.lastUse; gap > 0 {
+		e.interval = gap
 	}
-	l.lastUse[id] = now
+	e.lastUse = now
 }
 
 // Victim implements Policy.
 func (l *Learning) Victim(now sim.Time) (PageID, error) {
-	if len(l.lastUse) == 0 {
+	if len(l.entries) == 0 {
 		return 0, ErrEmpty
 	}
 	// Pass 1: a page apparently no longer in use — idle longer than its
 	// established inactivity period (with slack). Prefer the one idle
 	// longest beyond expectation.
-	var outOfUse PageID
+	var outOfUse *learnEntry
 	var bestOver sim.Time = -1
-	for id, last := range l.lastUse {
-		T := l.interval[id]
+	for i := range l.entries {
+		e := &l.entries[i]
+		T := e.interval
 		if T == 0 {
 			continue // no established period yet
 		}
-		t := now - last
+		t := now - e.lastUse
 		if t > T*l.Slack {
 			over := t - T
-			if over > bestOver || (over == bestOver && l.seq[id] < l.seq[outOfUse]) {
+			if over > bestOver || (over == bestOver && e.seq < outOfUse.seq) {
 				bestOver = over
-				outOfUse = id
+				outOfUse = e
 			}
 		}
 	}
-	if bestOver >= 0 {
-		return outOfUse, nil
+	if outOfUse != nil {
+		return outOfUse.id, nil
 	}
 	// Pass 2: all in current use — choose the page whose next use is
 	// predicted farthest away: maximize T - t.
-	var victim PageID
+	var victim *learnEntry
 	var bestScore sim.Time
-	first := true
-	for id, last := range l.lastUse {
-		T := l.interval[id]
-		t := now - last
-		score := T - t
-		if first || score > bestScore ||
-			(score == bestScore && l.seq[id] < l.seq[victim]) {
-			victim = id
+	for i := range l.entries {
+		e := &l.entries[i]
+		score := e.interval - (now - e.lastUse)
+		if victim == nil || score > bestScore ||
+			(score == bestScore && e.seq < victim.seq) {
+			victim = e
 			bestScore = score
-			first = false
 		}
 	}
-	return victim, nil
+	return victim.id, nil
 }
 
 // Remove implements Policy.
 func (l *Learning) Remove(id PageID) {
-	delete(l.lastUse, id)
-	delete(l.interval, id)
-	delete(l.seq, id)
+	i, ok := l.index[id]
+	if !ok {
+		return
+	}
+	last := len(l.entries) - 1
+	l.entries[i] = l.entries[last]
+	l.index[l.entries[i].id] = i
+	l.entries = l.entries[:last]
+	delete(l.index, id)
 }
 
 // Len implements Policy.
-func (l *Learning) Len() int { return len(l.lastUse) }
+func (l *Learning) Len() int { return len(l.entries) }

@@ -115,62 +115,117 @@ func (f *FIFO) Remove(id PageID) {
 // Len implements Policy.
 func (f *FIFO) Len() int { return len(f.pos) }
 
-// LRU evicts the least recently used page.
+// lruEntry is one resident page on the LRU recency list.
+type lruEntry struct {
+	id         PageID
+	prev, next *lruEntry
+}
+
+// LRU evicts the least recently used page. The resident pages live on
+// an intrusive recency list (head = most recent), so victim selection
+// is O(1) instead of a scan for the oldest timestamp. Because the
+// simulation clock never runs backward and references at equal times
+// were ordered by a strictly increasing sequence number, recency-list
+// order is exactly the (timestamp, sequence) order the scan minimized:
+// the victims are identical.
 type LRU struct {
-	last map[PageID]sim.Time
-	seq  map[PageID]uint64 // tiebreak: older insert first
-	n    uint64
+	entries    map[PageID]*lruEntry
+	head, tail *lruEntry
+	free       *lruEntry // recycled entries, chained through next
 }
 
 // NewLRU returns an empty LRU policy.
 func NewLRU() *LRU {
-	return &LRU{last: make(map[PageID]sim.Time), seq: make(map[PageID]uint64)}
+	return &LRU{entries: make(map[PageID]*lruEntry)}
 }
 
 // Name implements Policy.
 func (*LRU) Name() string { return "lru" }
 
-// Insert implements Policy.
-func (l *LRU) Insert(id PageID, now sim.Time) {
-	l.last[id] = now
-	l.n++
-	l.seq[id] = l.n
+// pushFront links a detached entry at the head of the recency list.
+func (l *LRU) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	} else {
+		l.tail = e
+	}
+	l.head = e
+}
+
+// moveToFront makes e the most recently used entry.
+func (l *LRU) moveToFront(e *lruEntry) {
+	if l.head == e {
+		return
+	}
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	l.pushFront(e)
+}
+
+// Insert implements Policy. Re-inserting a resident page refreshes its
+// recency, matching the timestamp overwrite of the original
+// implementation.
+func (l *LRU) Insert(id PageID, _ sim.Time) {
+	if e, ok := l.entries[id]; ok {
+		l.moveToFront(e)
+		return
+	}
+	e := l.free
+	if e == nil {
+		e = &lruEntry{}
+	} else {
+		l.free = e.next
+		*e = lruEntry{}
+	}
+	e.id = id
+	l.pushFront(e)
+	l.entries[id] = e
 }
 
 // Touch implements Policy.
-func (l *LRU) Touch(id PageID, now sim.Time, _ bool) {
-	if _, ok := l.last[id]; ok {
-		l.last[id] = now
-		l.n++
-		l.seq[id] = l.n
+func (l *LRU) Touch(id PageID, _ sim.Time, _ bool) {
+	if e, ok := l.entries[id]; ok {
+		l.moveToFront(e)
 	}
 }
 
 // Victim implements Policy.
 func (l *LRU) Victim(sim.Time) (PageID, error) {
-	if len(l.last) == 0 {
+	if l.tail == nil {
 		return 0, ErrEmpty
 	}
-	var victim PageID
-	first := true
-	for id, t := range l.last {
-		if first || t < l.last[victim] ||
-			(t == l.last[victim] && l.seq[id] < l.seq[victim]) {
-			victim = id
-			first = false
-		}
-	}
-	return victim, nil
+	return l.tail.id, nil
 }
 
 // Remove implements Policy.
 func (l *LRU) Remove(id PageID) {
-	delete(l.last, id)
-	delete(l.seq, id)
+	e, ok := l.entries[id]
+	if !ok {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	delete(l.entries, id)
+	*e = lruEntry{next: l.free}
+	l.free = e
 }
 
 // Len implements Policy.
-func (l *LRU) Len() int { return len(l.last) }
+func (l *LRU) Len() int { return len(l.entries) }
 
 // Random evicts a uniformly random resident page.
 type Random struct {
