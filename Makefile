@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet fmt-check lint build test race bench bench-gate examples fig sim dist-smoke battery-smoke tcp-smoke
+.PHONY: ci vet fmt-check lint build test race bench bench-gate examples fig sim dist-smoke battery-smoke tcp-smoke scenario-smoke
 
 ci: vet fmt-check lint build race bench examples ## full tier-1 + lint + race + bench smoke + examples
 
@@ -157,6 +157,50 @@ battery-smoke:
 		> /dev/null 2> "$$tmp/trace-warm.err"; \
 	grep -q "store: 0 generated" "$$tmp/trace-warm.err"; \
 	echo "battery-smoke: concurrent battery byte-identical, store shared, warmed cache replays everything"
+
+# Declarative-sweep determinism check: the examples/scenarios/
+# t2-mirror.toml file declares exactly the compiled-in t2 sweep, so
+# `dsafig -scenario` must reproduce `dsafig t2` byte-for-byte —
+# serially, under -parallel, across a real 2-process -workers pool
+# (the stderr summary proves every cell crossed the wire), and via
+# `dsasim run -scenario` (the second entry point into the same
+# compiler). Then the cache contract: a `dsatrace warm -scenario`ed
+# directory — covering all three example scenarios, the two new
+# workload families included — must make the very first battery run
+# against it regenerate nothing. CI's scenario-smoke job runs this
+# with SCENARIO_SMOKE_DIR set so the outputs can be uploaded as a
+# debugging artifact on failure.
+SCENARIO_SMOKE_DIR ?=
+scenario-smoke:
+	@set -e; \
+	if [ -n "$(SCENARIO_SMOKE_DIR)" ]; then tmp="$(SCENARIO_SMOKE_DIR)"; mkdir -p "$$tmp"; \
+	else tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; fi; \
+	$(GO) build -o "$$tmp/dsasim" ./cmd/dsasim; \
+	$(GO) build -o "$$tmp/dsafig" ./cmd/dsafig; \
+	$(GO) build -o "$$tmp/dsatrace" ./cmd/dsatrace; \
+	mirror=examples/scenarios/t2-mirror.toml; \
+	all="$$mirror,examples/scenarios/adversarial-frag.toml,examples/scenarios/phased-machines.toml"; \
+	"$$tmp/dsafig" t2 > "$$tmp/t2-compiled.out"; \
+	"$$tmp/dsafig" -scenario "$$mirror" > "$$tmp/t2-scenario.out"; \
+	cmp "$$tmp/t2-compiled.out" "$$tmp/t2-scenario.out"; \
+	"$$tmp/dsafig" -parallel 4 -scenario "$$mirror" > "$$tmp/t2-scenario-par.out"; \
+	cmp "$$tmp/t2-compiled.out" "$$tmp/t2-scenario-par.out"; \
+	"$$tmp/dsafig" -workers 2 -scenario "$$mirror" \
+		> "$$tmp/t2-scenario-dist.out" 2> "$$tmp/t2-scenario-dist.err"; \
+	cat "$$tmp/t2-scenario-dist.err"; \
+	cmp "$$tmp/t2-compiled.out" "$$tmp/t2-scenario-dist.out"; \
+	grep -q "18 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/t2-scenario-dist.err"; \
+	"$$tmp/dsasim" run -scenario "$$mirror" > "$$tmp/t2-scenario-sim.out"; \
+	cmp "$$tmp/t2-compiled.out" "$$tmp/t2-scenario-sim.out"; \
+	"$$tmp/dsatrace" warm -cache-dir "$$tmp/scencache" -scenario "$$all"; \
+	"$$tmp/dsafig" -cache-dir "$$tmp/scencache" -scenario "$$all" \
+		> "$$tmp/scen-warm.out" 2> "$$tmp/scen-warm.err"; \
+	cat "$$tmp/scen-warm.err"; \
+	grep -q "store: 0 generated" "$$tmp/scen-warm.err"; \
+	"$$tmp/dsafig" -workers 2 -cache-dir "$$tmp/scencache" -scenario "$$all" \
+		> "$$tmp/scen-warm-dist.out" 2> "$$tmp/scen-warm-dist.err"; \
+	cmp "$$tmp/scen-warm.out" "$$tmp/scen-warm-dist.out"; \
+	echo "scenario-smoke: declarative t2 byte-identical everywhere; warmed scenarios regenerate nothing"
 
 # Remote-transport determinism and fault-containment check: sweeps
 # dialed through real localhost TCP serve-workers (two pool slots on

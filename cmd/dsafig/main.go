@@ -5,8 +5,8 @@
 // Usage:
 //
 //	dsafig [-parallel N] [-workers N] [-remote host:port,...] [-batch B]
-//	       [-battery-parallel N] [-seed S] [-cache-dir DIR] [-progress]
-//	       [experiment ...]
+//	       [-battery-parallel N] [-seed S] [-cache-dir DIR]
+//	       [-scenario FILE,...] [-progress] [experiment ...]
 //	dsafig serve-worker [-listen ADDR] [-cache-dir DIR] [-auth-token T]
 //
 // With no arguments every experiment runs in order. Experiment names:
@@ -48,6 +48,14 @@
 // cells), reconnects within the same budget as local respawns, and
 // degrades to in-process execution — byte-identical tables throughout.
 //
+// -scenario FILE,... compiles declarative sweep files (see
+// internal/scenario and examples/scenarios/) and runs them through the
+// same battery: each file registers under its wire id
+// "scenario/<name>@<hash>" and may also be named positionally by its
+// bare name. Scenario cells distribute across -workers/-remote pools
+// unchanged — the file's source travels in the cell spec, and workers
+// compile it on first use.
+//
 // The hidden `dsafig worker` subcommand is the child side of -workers,
 // started only by a dispatching dsafig. `dsafig serve-worker` is its
 // TCP counterpart for -remote: it listens on -listen (port 0 picks a
@@ -59,98 +67,90 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"dsa/internal/cliflags"
 	"dsa/internal/engine"
 	"dsa/internal/engine/battery"
-	"dsa/internal/engine/dist"
 	"dsa/internal/experiments"
 	"dsa/internal/metrics"
-	"dsa/internal/workload/catalog"
+	"dsa/internal/scenario"
 )
-
-// newStore builds a workload store for this process, disk-backed when
-// cacheDir is set, with diagnostics prefixed for this command.
-func newStore(cacheDir string) *catalog.Catalog {
-	return catalog.NewStore(catalog.Options{Dir: cacheDir, Log: func(format string, args ...interface{}) {
-		fmt.Fprintf(os.Stderr, "dsafig: catalog: "+format+"\n", args...)
-	}})
-}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
-		// The experiments package registered its cell handler at init;
-		// serve cell batches until the dispatcher closes stdin. With
-		// -cache-dir the worker's per-process catalog is backed by the
-		// shared cache directory, so workloads replay across processes.
-		fs := flag.NewFlagSet("worker", flag.ExitOnError)
-		cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory shared with the dispatcher")
-		_ = fs.Parse(os.Args[2:])
-		if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOptions{Catalog: newStore(*cacheDir)}); err != nil {
+		// The experiments package registered its cell handlers at init
+		// (compiled-in sweeps and scenario cells both); serve cell
+		// batches until the dispatcher closes stdin. With -cache-dir the
+		// worker's per-process catalog is backed by the shared cache
+		// directory, so workloads replay across processes.
+		if err := cliflags.RunWorker("dsafig", os.Args[2:]); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve-worker" {
-		// Same cell handlers (registered at init by the experiments
-		// package), served over TCP to dialing dsafig -remote pools.
-		fs := flag.NewFlagSet("serve-worker", flag.ExitOnError)
-		listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port, announced on stderr)")
-		cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory this worker warms by content-addressed key")
-		authToken := fs.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret dialers must present (default $DSA_WORKER_TOKEN; empty accepts any)")
-		addrFile := fs.String("addr-file", "", "write the bound host:port to this file (atomically) once listening")
-		_ = fs.Parse(os.Args[2:])
-		o := dist.ServeOptions{AuthToken: *authToken}
-		o.Catalog = newStore(*cacheDir)
-		if err := dist.ListenAndServe(*listen, *addrFile, o); err != nil {
+		// Same cell handlers, served over TCP to dialing dsafig -remote
+		// pools.
+		if err := cliflags.RunServeWorker("dsafig", os.Args[2:]); err != nil {
 			fail(err)
 		}
 		return
 	}
-	var (
-		parallel   = flag.Int("parallel", 0, "engine workers per experiment sweep (0 = GOMAXPROCS)")
-		workers    = flag.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
-		remote     = flag.String("remote", "", "comma-separated `dsafig serve-worker` endpoints (host:port,...) serving cells alongside any -workers")
-		authToken  = flag.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret for -remote handshakes (default $DSA_WORKER_TOKEN)")
-		batch      = flag.Int("batch", 1, "cells per dist protocol frame with -workers/-remote (amortizes round trips)")
-		batteryPar = flag.Int("battery-parallel", 1, "run N whole experiments concurrently over one shared executor (1 = serial; byte-identical at any N)")
-		seed       = flag.Uint64("seed", 0, "base seed (0 = paper-exact tables; nonzero re-derives every workload)")
-		cacheDir   = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
-		progress   = flag.Bool("progress", false, "report per-sweep progress (cells done/failed/total, ETA, cache traffic) on stderr; battery-wide with -battery-parallel > 1")
-	)
+	sw := cliflags.Register(flag.CommandLine, "dsafig", 0)
+	scenarios := flag.String("scenario", "", "comma-separated scenario files to compile and run alongside any named experiments")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dsafig [-parallel N] [-workers N] [-remote host:port,...] [-batch B] [-battery-parallel N] [-seed S] [-cache-dir DIR] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
+			"usage: dsafig [-parallel N] [-workers N] [-remote host:port,...] [-batch B] [-battery-parallel N] [-seed S] [-cache-dir DIR] [-scenario FILE,...] [-progress] [experiment ...]\nexperiments: fig1 fig2 fig3 fig4 t1 t2 t3 t4 t5 t6 t7 t8 (default: all)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	experiments.Configure(*parallel, *seed)
-	experiments.ConfigureBattery(*batteryPar)
+	experiments.Configure(sw.Parallel, sw.Seed)
+	experiments.ConfigureBattery(sw.BatteryParallel)
+
+	// Declarative sweeps: each -scenario file compiles to engine cells
+	// and registers as a battery experiment under its wire id. With no
+	// positional experiment names the invocation runs just the
+	// scenarios; with names it runs both, in the order given.
+	names := flag.Args()
+	for _, path := range splitList(*scenarios) {
+		s, err := scenario.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		names = append(names, experiments.RegisterScenario(s))
+	}
+	if *scenarios != "" && len(names) == 0 {
+		fail(fmt.Errorf("-scenario %q named no files", *scenarios))
+	}
+	if len(flag.Args()) == 0 && *scenarios == "" {
+		names = nil // the whole compiled-in battery
+	}
 
 	// One battery-scoped store for everything this invocation runs:
 	// sweeps share workloads across experiments, and with -cache-dir
 	// they replay them across runs and processes.
-	store := newStore(*cacheDir)
+	store := sw.Store()
 	experiments.UseStore(store)
 	defer func() {
-		if st := store.Stats(); *cacheDir != "" || *progress {
+		if st := store.Stats(); sw.CacheDir != "" || sw.Progress {
 			fmt.Fprintf(os.Stderr, "dsafig: store: %s\n", st.Summary())
 		}
 	}()
 
-	remotes := dist.SplitEndpoints(*remote)
-	if *workers > 0 || len(remotes) > 0 {
-		pool, err := dist.SelfPool(*workers, *batch, *cacheDir, remotes, *authToken)
-		if err != nil {
-			fail(err)
-		}
+	pool, err := sw.Pool()
+	if err != nil {
+		fail(err)
+	}
+	if pool != nil {
 		defer pool.Close()
 		defer func() {
-			fmt.Fprintf(os.Stderr, "dsafig: dist: %s\n", pool.Stats().Summary(*workers+len(remotes)))
+			fmt.Fprintf(os.Stderr, "dsafig: dist: %s\n", pool.Stats().Summary(sw.PoolSlots()))
 		}()
 		experiments.UseExecutor(pool)
 	}
-	if *progress {
-		if *batteryPar > 1 {
+	if sw.Progress {
+		if sw.BatteryParallel > 1 {
 			// Interleaved per-sweep lines from concurrent sweeps would be
 			// unreadable; report the aggregated battery view instead.
 			experiments.ObserveBattery(func(p battery.Progress) {
@@ -165,9 +165,20 @@ func main() {
 
 	// Stream each table out as soon as its prefix of the battery
 	// completes — in canonical order, whatever order sweeps finish in.
-	if err := experiments.Stream(func(t *metrics.Table) { fmt.Println(t) }, flag.Args()...); err != nil {
+	if err := experiments.Stream(func(t *metrics.Table) { fmt.Println(t) }, names...); err != nil {
 		fail(err)
 	}
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(v string) []string {
+	var out []string
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fail(err error) {

@@ -13,6 +13,7 @@
 //	dsasim -machine all -battery-parallel 4 -workload segments
 //	dsasim serve-worker -listen 0.0.0.0:7070 -cache-dir traces.cache
 //	dsasim -machine all -remote host1:7070,host2:7070 -workload segments
+//	dsasim run -scenario examples/scenarios/t2-mirror.toml
 //
 // Machines: atlas m44 b5000 rice b8500 multics m67 recommended, or
 // "all" to sweep every appendix machine concurrently through the
@@ -39,6 +40,12 @@
 // cells), reconnects within the same budget as local respawns, and
 // degrades to in-process execution — byte-identical output throughout.
 //
+// `dsasim run -scenario FILE,...` compiles declarative sweep files
+// (see internal/scenario and examples/scenarios/) and runs them
+// through the experiments battery — the same scheduler, store scoping
+// and -workers/-remote distribution dsafig uses, with byte-identical
+// output. Its -seed defaults to 0 (paper-exact), matching dsafig.
+//
 // The hidden `dsasim worker` subcommand is the child side of -workers:
 // it serves cell batches over the stdio protocol of
 // internal/engine/dist and is started only by a dispatching dsasim.
@@ -56,12 +63,15 @@ import (
 	"strconv"
 	"strings"
 
+	"dsa/internal/cliflags"
 	"dsa/internal/core"
 	"dsa/internal/engine"
 	"dsa/internal/engine/battery"
 	"dsa/internal/engine/dist"
+	"dsa/internal/experiments"
 	"dsa/internal/machine"
 	"dsa/internal/metrics"
+	"dsa/internal/scenario"
 	"dsa/internal/trace"
 	"dsa/internal/workload/catalog"
 	"dsa/internal/workload/stock"
@@ -93,38 +103,23 @@ func registerWorkerTasks() {
 	})
 }
 
-// newStore builds this process's workload store, disk-backed when
-// cacheDir is set.
-func newStore(cacheDir string) *catalog.Catalog {
-	return catalog.NewStore(catalog.Options{Dir: cacheDir, Log: func(format string, args ...interface{}) {
-		fmt.Fprintf(os.Stderr, "dsasim: catalog: "+format+"\n", args...)
-	}})
-}
-
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
 		registerWorkerTasks()
-		fs := flag.NewFlagSet("worker", flag.ExitOnError)
-		cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory shared with the dispatcher")
-		_ = fs.Parse(os.Args[2:])
-		if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOptions{Catalog: newStore(*cacheDir)}); err != nil {
+		if err := cliflags.RunWorker("dsasim", os.Args[2:]); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve-worker" {
 		registerWorkerTasks()
-		fs := flag.NewFlagSet("serve-worker", flag.ExitOnError)
-		listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port, announced on stderr)")
-		cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory this worker warms by content-addressed key")
-		authToken := fs.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret dialers must present (default $DSA_WORKER_TOKEN; empty accepts any)")
-		addrFile := fs.String("addr-file", "", "write the bound host:port to this file (atomically) once listening")
-		_ = fs.Parse(os.Args[2:])
-		o := dist.ServeOptions{AuthToken: *authToken}
-		o.Catalog = newStore(*cacheDir)
-		if err := dist.ListenAndServe(*listen, *addrFile, o); err != nil {
+		if err := cliflags.RunServeWorker("dsasim", os.Args[2:]); err != nil {
 			fail(err)
 		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		cmdRun(os.Args[2:])
 		return
 	}
 	var (
@@ -132,35 +127,25 @@ func main() {
 		workloadKin = flag.String("workload", "workingset", "workload: workingset|sequential|random|loop|matrix|segments")
 		refs        = flag.Int("refs", 20000, "number of references")
 		segs        = flag.Int("segs", 32, "segment count (segments workload)")
-		seed        = flag.Uint64("seed", 1, "random seed")
 		scale       = flag.Int("scale", 2, "capacity scale divisor (1 = historical sizes)")
-		parallel    = flag.Int("parallel", 0, "engine workers for -machine all (0 = GOMAXPROCS)")
-		workers     = flag.Int("workers", 0, "distribute -machine all cells across N worker processes (0 = in-process)")
-		remote      = flag.String("remote", "", "comma-separated `dsasim serve-worker` endpoints (host:port,...) serving -machine all cells alongside any -workers")
-		authToken   = flag.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret for -remote handshakes (default $DSA_WORKER_TOKEN)")
-		batch       = flag.Int("batch", 1, "cells per dist protocol frame with -workers/-remote (amortizes round trips)")
-		batteryPar  = flag.Int("battery-parallel", 1, "run -machine all as a battery of per-machine sweeps, N in flight over one shared executor (1 = serial; byte-identical at any N)")
-		cacheDir    = flag.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
-		progress    = flag.Bool("progress", false, "report sweep progress (cells done/failed/total, ETA, cache traffic) on stderr")
 		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
 	)
+	sw := cliflags.Register(flag.CommandLine, "dsasim", 1)
 	flag.Parse()
 
-	remotes := dist.SplitEndpoints(*remote)
 	if strings.ToLower(*machineName) == "all" {
 		if *traceFile != "" {
 			fail(fmt.Errorf("-trace cannot be combined with -machine all"))
 		}
-		if err := runAll(*parallel, *workers, *batch, *batteryPar, *cacheDir, *progress,
-			remotes, *authToken, strings.ToLower(*workloadKin), *refs, *segs, *seed, *scale); err != nil {
+		if err := runAll(sw, strings.ToLower(*workloadKin), *refs, *segs, *scale); err != nil {
 			fail(err)
 		}
 		return
 	}
-	if *workers > 0 || len(remotes) > 0 {
+	if sw.Workers > 0 || len(sw.Remotes()) > 0 {
 		fail(fmt.Errorf("-workers/-remote require -machine all (single-machine runs have one cell)"))
 	}
-	if *batteryPar > 1 {
+	if sw.BatteryParallel > 1 {
 		fail(fmt.Errorf("-battery-parallel requires -machine all (single-machine runs have one sweep)"))
 	}
 	m, err := buildMachine(*machineName, *scale)
@@ -173,7 +158,7 @@ func main() {
 	} else {
 		// A single-machine run still goes through a store, so
 		// -cache-dir replays the workload across invocations.
-		rep, err = runWorkload(newStore(*cacheDir), m, strings.ToLower(*workloadKin), *refs, *segs, *seed)
+		rep, err = runWorkload(sw.Store(), m, strings.ToLower(*workloadKin), *refs, *segs, sw.Seed)
 	}
 	if err != nil {
 		fail(err)
@@ -181,32 +166,91 @@ func main() {
 	fmt.Print(reportString(m, rep))
 }
 
+// cmdRun is the `dsasim run -scenario file.toml` entry point: compile
+// declarative sweep files and run them through the experiments battery
+// — the same scheduler, store scoping and distribution dsafig uses, so
+// the output of `dsasim run -scenario F` and `dsafig -scenario F` is
+// byte-identical. -seed defaults to 0 here (paper-exact semantics, as
+// for dsafig) rather than dsasim's generation default of 1.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scenarios := fs.String("scenario", "", "comma-separated scenario files to compile and run (required)")
+	sw := cliflags.Register(fs, "dsasim", 0)
+	_ = fs.Parse(args)
+
+	var names []string
+	for _, path := range strings.Split(*scenarios, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		s, err := scenario.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		names = append(names, experiments.RegisterScenario(s))
+	}
+	if len(names) == 0 {
+		fail(fmt.Errorf("run: -scenario names no files"))
+	}
+
+	experiments.Configure(sw.Parallel, sw.Seed)
+	experiments.ConfigureBattery(sw.BatteryParallel)
+	store := sw.Store()
+	experiments.UseStore(store)
+	defer func() {
+		if sw.CacheDir != "" || sw.Progress {
+			fmt.Fprintf(os.Stderr, "dsasim: store: %s\n", store.Stats().Summary())
+		}
+	}()
+	pool, err := sw.Pool()
+	if err != nil {
+		fail(err)
+	}
+	if pool != nil {
+		defer pool.Close()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "dsasim: dist: %s\n", pool.Stats().Summary(sw.PoolSlots()))
+		}()
+		experiments.UseExecutor(pool)
+	}
+	if sw.Progress {
+		if sw.BatteryParallel > 1 {
+			experiments.ObserveBattery(func(p battery.Progress) {
+				fmt.Fprintf(os.Stderr, "dsasim: battery: %s\n", p)
+			})
+		} else {
+			experiments.Observe(func(sweep string, p engine.Progress) {
+				fmt.Fprintf(os.Stderr, "dsasim: %s: %s\n", sweep, p)
+			})
+		}
+	}
+	if err := experiments.Stream(func(t *metrics.Table) { fmt.Println(t) }, names...); err != nil {
+		fail(err)
+	}
+}
+
 // runAll sweeps every appendix machine over the same workload, one
 // engine job per machine, and prints the reports in appendix order as
-// each prefix of the sweep completes. With progress enabled, cell
-// completion counts and an ETA stream to stderr while reports stream
-// to stdout. With workers > 0 the cells run in that many `dsasim
-// worker` child processes, batch cells per protocol frame —
-// byte-identical output, since each cell is rebuilt from {machine,
-// workload, seed} and every RNG is key-derived. remotes adds one slot
-// per `dsasim serve-worker` endpoint to the same pool. With
-// batteryParallel > 1 each machine becomes its own sweep and up to
-// that many run concurrently over one shared executor (see
-// runAllBattery). The sweep shares one workload store: machines whose
-// workloads coincide (equal linear extents, or the machine-independent
-// kinds) replay a single materialization, disk-backed when cacheDir is
-// set.
-func runAll(parallel, workers, batch, batteryParallel int, cacheDir string, progress bool,
-	remotes []string, authToken, kind string, refs, segs int, seed uint64, scale int) error {
+// each prefix of the sweep completes. With -progress, cell completion
+// counts and an ETA stream to stderr while reports stream to stdout.
+// With -workers the cells run in that many `dsasim worker` child
+// processes, -batch cells per protocol frame — byte-identical output,
+// since each cell is rebuilt from {machine, workload, seed} and every
+// RNG is key-derived. -remote adds one slot per `dsasim serve-worker`
+// endpoint to the same pool. With -battery-parallel > 1 each machine
+// becomes its own sweep and up to that many run concurrently over one
+// shared executor (see runAllBattery). The sweep shares one workload
+// store: machines whose workloads coincide (equal linear extents, or
+// the machine-independent kinds) replay a single materialization,
+// disk-backed when -cache-dir is set.
+func runAll(sw *cliflags.Sweep, kind string, refs, segs, scale int) error {
 	names := []string{"atlas", "m44", "b5000", "rice", "b8500", "multics", "m67"}
-	store := newStore(cacheDir)
-	var pool *dist.Pool
-	if workers > 0 || len(remotes) > 0 {
-		var err error
-		pool, err = dist.SelfPool(workers, batch, cacheDir, remotes, authToken)
-		if err != nil {
-			return err
-		}
+	store := sw.Store()
+	pool, err := sw.Pool()
+	if err != nil {
+		return err
+	}
+	if pool != nil {
 		defer pool.Close()
 	}
 	var firstErr error
@@ -220,30 +264,29 @@ func runAll(parallel, workers, batch, batteryParallel int, cacheDir string, prog
 		}
 		fmt.Print(r.Value.(string))
 	}
-	if batteryParallel > 1 {
-		runAllBattery(names, store, pool, batteryParallel, parallel, progress,
-			kind, refs, segs, seed, scale, emit)
+	if sw.BatteryParallel > 1 {
+		runAllBattery(names, store, pool, sw, kind, refs, segs, scale, emit)
 	} else {
-		opts := engine.Options{Parallel: parallel, Seed: seed, Catalog: store}
-		if progress {
-			opts.OnProgress = func(p engine.Progress) {
+		cfg := sw.Config(store)
+		if sw.Progress {
+			cfg.OnProgress = func(p engine.Progress) {
 				fmt.Fprintf(os.Stderr, "dsasim: machine sweep: %s\n", p)
 			}
 		}
 		if pool != nil {
-			opts.Executor = pool
+			cfg.Executor = pool
 		}
-		eng := engine.New(opts)
+		eng := engine.NewFromConfig(cfg)
 		jobs := make([]engine.Job, len(names))
 		for i, name := range names {
-			jobs[i] = machineJob(name, kind, refs, segs, seed, scale)
+			jobs[i] = machineJob(name, kind, refs, segs, sw.Seed, scale)
 		}
 		eng.Stream(context.Background(), jobs, emit)
 	}
 	if pool != nil {
-		fmt.Fprintf(os.Stderr, "dsasim: dist: %s\n", pool.Stats().Summary(workers+len(remotes)))
+		fmt.Fprintf(os.Stderr, "dsasim: dist: %s\n", pool.Stats().Summary(sw.PoolSlots()))
 	}
-	if cacheDir != "" || progress {
+	if sw.CacheDir != "" || sw.Progress {
 		fmt.Fprintf(os.Stderr, "dsasim: store: %s\n", store.Stats().Summary())
 	}
 	return firstErr
@@ -282,16 +325,14 @@ func machineJob(name, kind string, refs, segs int, seed uint64, scale int) engin
 // snapshots (sweeps done/running, cells, store traffic) stream to
 // stderr.
 func runAllBattery(names []string, store *catalog.Catalog, pool *dist.Pool,
-	batteryParallel, parallel int, progress bool,
-	kind string, refs, segs int, seed uint64, scale int, emit func(engine.Result)) {
-	var exec engine.Executor
+	sw *cliflags.Sweep, kind string, refs, segs, scale int, emit func(engine.Result)) {
+	cfg := sw.Config(store)
 	if pool != nil {
-		exec = pool
-	} else {
-		exec = battery.NewPool(parallel)
+		cfg.Executor = pool
 	}
+	exec := battery.PoolFromConfig(cfg)
 	var tracker *battery.Tracker
-	if progress {
+	if sw.Progress {
 		tracker = battery.NewTracker(len(names), store.Stats, func(p battery.Progress) {
 			fmt.Fprintf(os.Stderr, "dsasim: battery: %s\n", p)
 		})
@@ -300,16 +341,16 @@ func runAllBattery(names []string, store *catalog.Catalog, pool *dist.Pool,
 	for i, name := range names {
 		name := name
 		units[i] = battery.Unit{Name: "dsasim/" + name, Run: func(ctx context.Context) (interface{}, error) {
-			opts := engine.Options{Seed: seed, Catalog: store.Child(), Executor: exec}
+			opts := engine.Options{Seed: sw.Seed, Catalog: store.Child(), Executor: exec}
 			if tracker != nil {
 				opts.OnProgress = func(p engine.Progress) { tracker.Observe("dsasim/"+name, p) }
 			}
 			eng := engine.New(opts)
-			return eng.Run(ctx, []engine.Job{machineJob(name, kind, refs, segs, seed, scale)})[0], nil
+			return eng.Run(ctx, []engine.Job{machineJob(name, kind, refs, segs, sw.Seed, scale)})[0], nil
 		}}
 	}
 	battery.Run(context.Background(), units,
-		battery.Options{Parallel: batteryParallel, Tracker: tracker}, func(r battery.Result) {
+		battery.Options{Parallel: sw.BatteryParallel, Tracker: tracker}, func(r battery.Result) {
 			if r.Err != nil {
 				// A unit cannot fail by construction (cell failures ride
 				// inside the engine.Result), but containment demands we

@@ -9,6 +9,7 @@
 //	dsatrace batch -out traces -cache-dir traces.cache -workers 2 -batch 4
 //	dsatrace warm -cache-dir traces.cache -kinds workingset,loop -variants 4
 //	dsatrace warm -cache-dir traces.cache -machines -workload segments -refs 8000
+//	dsatrace warm -cache-dir traces.cache -scenario examples/scenarios/t2-mirror.toml
 //	dsatrace stat < t.trace
 //	dsatrace advise -phase 2500 -span 2048 < t.trace > advised.trace
 //
@@ -30,12 +31,15 @@
 //	        what can never be shared would only hold memory.
 //	warm    pre-materialize a battery's workload keys into a cache
 //	        directory — the trace keys a `dsatrace batch` with the same
-//	        parameters will request (-kinds/-variants), and/or the
+//	        parameters will request (-kinds/-variants), the
 //	        machine-sweep keys a `dsasim -machine all` will request
-//	        (-machines; one key per distinct machine extent) — so the
-//	        very first battery run against the warmed directory
-//	        regenerates nothing. Idempotent: keys already cached are
-//	        replayed, not rewritten.
+//	        (-machines; one key per distinct machine extent), and/or
+//	        the workload keys a declarative sweep's cells will request
+//	        (-scenario FILE,...; the same keys `dsafig -scenario` and
+//	        `dsasim run -scenario` derive) — so the very first battery
+//	        run against the warmed directory regenerates nothing.
+//	        Idempotent: keys already cached are replayed, not
+//	        rewritten.
 //	stat    summarize a trace from stdin
 //	advise  interleave accurate WillNeed/WontNeed advice
 //
@@ -58,8 +62,10 @@ import (
 	"strconv"
 	"strings"
 
+	"dsa/internal/cliflags"
 	"dsa/internal/engine"
 	"dsa/internal/engine/dist"
+	"dsa/internal/scenario"
 	"dsa/internal/sim"
 	"dsa/internal/trace"
 	"dsa/internal/workload"
@@ -229,14 +235,6 @@ func cmdGen(args []string) {
 	}
 }
 
-// newStore builds this process's workload store, disk-backed when
-// cacheDir is set.
-func newStore(cacheDir string) *catalog.Catalog {
-	return catalog.NewStore(catalog.Options{Dir: cacheDir, Log: func(format string, args ...interface{}) {
-		fmt.Fprintf(os.Stderr, "dsatrace: catalog: "+format+"\n", args...)
-	}})
-}
-
 // registerWorkerTasks installs the handlers a `dsatrace worker`
 // process serves; the handler and the in-process job closure both call
 // writeTrace, so distribution changes no output byte.
@@ -257,10 +255,7 @@ func registerWorkerTasks() {
 // cmdWorker is the hidden child side of `dsatrace batch -workers`.
 func cmdWorker(args []string) {
 	registerWorkerTasks()
-	fs := flag.NewFlagSet("worker", flag.ExitOnError)
-	cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory shared with the dispatcher")
-	_ = fs.Parse(args)
-	if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOptions{Catalog: newStore(*cacheDir)}); err != nil {
+	if err := cliflags.RunWorker("dsatrace", args); err != nil {
 		fail(err)
 	}
 }
@@ -269,15 +264,7 @@ func cmdWorker(args []string) {
 // same batch cells to dialing `dsatrace batch -remote` pools.
 func cmdServeWorker(args []string) {
 	registerWorkerTasks()
-	fs := flag.NewFlagSet("serve-worker", flag.ExitOnError)
-	listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port, announced on stderr)")
-	cacheDir := fs.String("cache-dir", "", "disk-backed workload cache directory this worker warms by content-addressed key")
-	authToken := fs.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret dialers must present (default $DSA_WORKER_TOKEN; empty accepts any)")
-	addrFile := fs.String("addr-file", "", "write the bound host:port to this file (atomically) once listening")
-	_ = fs.Parse(args)
-	o := dist.ServeOptions{AuthToken: *authToken}
-	o.Catalog = newStore(*cacheDir)
-	if err := dist.ListenAndServe(*listen, *addrFile, o); err != nil {
+	if err := cliflags.RunServeWorker("dsatrace", args); err != nil {
 		fail(err)
 	}
 }
@@ -376,45 +363,40 @@ func cmdBatch(args []string) {
 		out      = fs.String("out", "traces", "output directory (created if missing)")
 		kinds    = fs.String("kinds", "workingset,sequential,random,loop,matrix", "comma-separated trace kinds")
 		variants = fs.Int("variants", 1, "seed variants per kind")
-		seed     = fs.Uint64("seed", 1, "base seed; variant seeds derive via sim.SeedFor")
-		parallel = fs.Int("parallel", 0, "engine workers (0 = GOMAXPROCS)")
-		workers  = fs.Int("workers", 0, "distribute cells across N worker processes (0 = in-process)")
-		remote   = fs.String("remote", "", "comma-separated `dsatrace serve-worker` endpoints (host:port,...) serving cells alongside any -workers")
-		authTok  = fs.String("auth-token", os.Getenv("DSA_WORKER_TOKEN"), "shared secret for -remote handshakes (default $DSA_WORKER_TOKEN)")
-		batch    = fs.Int("batch", 1, "cells per dist protocol frame with -workers/-remote")
-		cacheDir = fs.String("cache-dir", "", "disk-backed workload store directory (created if missing; shared across runs and workers)")
-		progress = fs.Bool("progress", false, "report batch progress (files done/failed/total, ETA, cache traffic) on stderr")
 	)
+	sw := cliflags.Register(fs, "dsatrace", 1)
 	g := specFlags(fs)
 	_ = fs.Parse(args)
 
 	if *variants < 1 {
 		fail(fmt.Errorf("batch: -variants %d < 1", *variants))
 	}
+	if sw.BatteryParallel > 1 {
+		// batch is a single sweep over output files; there is no battery
+		// of sweeps to interleave.
+		fail(fmt.Errorf("batch: -battery-parallel has no effect here (batch is one sweep); drop the flag"))
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}
-	specs, shared := batchSpecs(*out, *kinds, *variants, *seed, *g)
+	specs, shared := batchSpecs(*out, *kinds, *variants, sw.Seed, *g)
 
-	store := newStore(*cacheDir)
-	opts := engine.Options{Parallel: *parallel, Seed: *seed, Catalog: store}
-	if *progress {
-		opts.OnProgress = func(p engine.Progress) {
+	store := sw.Store()
+	cfg := sw.Config(store)
+	if sw.Progress {
+		cfg.OnProgress = func(p engine.Progress) {
 			fmt.Fprintf(os.Stderr, "dsatrace: batch: %s\n", p)
 		}
 	}
-	remotes := dist.SplitEndpoints(*remote)
-	var pool *dist.Pool
-	if *workers > 0 || len(remotes) > 0 {
-		var err error
-		pool, err = dist.SelfPool(*workers, *batch, *cacheDir, remotes, *authTok)
-		if err != nil {
-			fail(err)
-		}
-		defer pool.Close()
-		opts.Executor = pool
+	pool, err := sw.Pool()
+	if err != nil {
+		fail(err)
 	}
-	eng := engine.New(opts)
+	if pool != nil {
+		defer pool.Close()
+		cfg.Executor = pool
+	}
+	eng := engine.NewFromConfig(cfg)
 	jobs := make([]engine.Job, len(specs))
 	for i, sp := range specs {
 		sp := sp
@@ -454,9 +436,9 @@ func cmdBatch(args []string) {
 	fmt.Printf("wrote %d of %d files (%d served from the shared catalog)\n",
 		wrote, len(specs), shared)
 	if pool != nil {
-		fmt.Fprintf(os.Stderr, "dsatrace: dist: %s\n", pool.Stats().Summary(*workers+len(remotes)))
+		fmt.Fprintf(os.Stderr, "dsatrace: dist: %s\n", pool.Stats().Summary(sw.PoolSlots()))
 	}
-	if *cacheDir != "" || *progress {
+	if sw.CacheDir != "" || sw.Progress {
 		fmt.Fprintf(os.Stderr, "dsatrace: store: %s\n", store.Stats().Summary())
 	}
 	if firstErr != nil {
@@ -474,17 +456,22 @@ func cmdBatch(args []string) {
 // -machines warms the machine-sweep keys a `dsasim -machine all
 // -workload KIND` will request (one key per distinct machine extent,
 // via internal/workload/stock — the same keys dsasim itself uses).
+// -scenario warms the workload keys a declarative sweep file's cells
+// will request (`dsafig -scenario F` / `dsasim run -scenario F`): the
+// scenario's seed defaults to 0 — the paper-exact base those commands
+// use — unless -seed is given explicitly.
 func cmdWarm(args []string) {
 	fs := flag.NewFlagSet("warm", flag.ExitOnError)
 	var (
-		cacheDir = fs.String("cache-dir", "", "disk-backed workload store directory to warm (required)")
-		kinds    = fs.String("kinds", "", "comma-separated trace kinds to warm for `dsatrace batch`")
-		variants = fs.Int("variants", 1, "seed variants per kind")
-		seed     = fs.Uint64("seed", 1, "base seed; stochastic variant seeds derive via sim.SeedFor")
-		machines = fs.Bool("machines", false, "warm the `dsasim -machine all` workload keys")
-		mkind    = fs.String("workload", "segments", "machine-sweep workload kind with -machines")
-		segs     = fs.Int("segs", 32, "segment count (segments workload) with -machines")
-		scale    = fs.Int("scale", 2, "capacity scale divisor with -machines")
+		cacheDir  = fs.String("cache-dir", "", "disk-backed workload store directory to warm (required)")
+		kinds     = fs.String("kinds", "", "comma-separated trace kinds to warm for `dsatrace batch`")
+		variants  = fs.Int("variants", 1, "seed variants per kind")
+		seed      = fs.Uint64("seed", 1, "base seed; stochastic variant seeds derive via sim.SeedFor")
+		machines  = fs.Bool("machines", false, "warm the `dsasim -machine all` workload keys")
+		mkind     = fs.String("workload", "segments", "machine-sweep workload kind with -machines")
+		segs      = fs.Int("segs", 32, "segment count (segments workload) with -machines")
+		scale     = fs.Int("scale", 2, "capacity scale divisor with -machines")
+		scenarios = fs.String("scenario", "", "comma-separated scenario files whose workload keys to warm")
 	)
 	g := specFlags(fs)
 	_ = fs.Parse(args)
@@ -492,15 +479,15 @@ func cmdWarm(args []string) {
 	if *cacheDir == "" {
 		fail(fmt.Errorf("warm: -cache-dir is required (a memory-only warm evaporates with this process)"))
 	}
-	if *kinds == "" && !*machines {
-		fail(fmt.Errorf("warm: nothing to warm; pass -kinds and/or -machines"))
+	if *kinds == "" && !*machines && *scenarios == "" {
+		fail(fmt.Errorf("warm: nothing to warm; pass -kinds, -machines and/or -scenario"))
 	}
 	if *kinds != "" && *variants < 1 {
 		// The same guard batch enforces: a zero-variant warm would
 		// "succeed" while warming nothing.
 		fail(fmt.Errorf("warm: -variants %d < 1", *variants))
 	}
-	store := newStore(*cacheDir)
+	store := cliflags.Store("dsatrace", *cacheDir)
 	specs, _ := batchSpecs("", *kinds, *variants, *seed, *g)
 	for _, sp := range specs {
 		if _, err := getTrace(store, sp.kind, sp.seed, *g); err != nil {
@@ -510,6 +497,29 @@ func cmdWarm(args []string) {
 	if *machines {
 		if _, err := stock.WarmMachines(store, strings.ToLower(*mkind), g.refs, *segs, *seed, *scale); err != nil {
 			fail(err)
+		}
+	}
+	if *scenarios != "" {
+		// Scenario runs default to seed 0 (paper-exact), while warm's
+		// trace/machine keys default to seed 1 — so warm a scenario at 0
+		// unless the user said -seed themselves.
+		scenarioSeed := uint64(0)
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				scenarioSeed = *seed
+			}
+		})
+		for _, path := range strings.Split(*scenarios, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			s, err := scenario.Load(path)
+			if err != nil {
+				fail(err)
+			}
+			if _, err := s.Warm(store, scenarioSeed); err != nil {
+				fail(fmt.Errorf("warm: %s: %w", s.ID(), err))
+			}
 		}
 	}
 	// Distinct keys touched = generations + disk replays (repeat

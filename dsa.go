@@ -190,6 +190,52 @@
 // battery-smoke gate (`make battery-smoke`) diffs all of this against
 // the serial baseline on every push.
 //
+// # Declarative sweeps
+//
+// Beyond the compiled-in experiments, a sweep can be declared in a
+// scenario file — a small TOML-subset document (internal/scenario;
+// commented examples under examples/scenarios/) naming a sweep kind
+// and its axes:
+//
+//	kind = "placement"            # or "replacement", "machines"
+//	seed = 31
+//	[placement]
+//	heap_words = 65536
+//	policies = ["first-fit", "best-fit", "two-ended"]
+//	[[workload]]
+//	dist = "uniform"              # uniform | exponential | bimodal |
+//	min = 16                      # fixed | adversarial | phased | ...
+//	max = 1024
+//
+// Two entry points compile and run scenario files through the same
+// battery plumbing as everything above — scheduler, shared store,
+// -parallel/-workers/-remote/-battery-parallel, -progress:
+//
+//	dsafig -scenario examples/scenarios/t2-mirror.toml
+//	dsasim run -scenario examples/scenarios/adversarial-frag.toml
+//
+// Compilation lowers the file to exactly the cell shapes the
+// compiled-in experiments produce: same policy constructors, same
+// workload generators behind the same catalog keys, same row and
+// header formats. The guarantee is literal — t2-mirror.toml declares
+// the paper's Table 2 sweep, and CI's scenario-smoke job
+// (`make scenario-smoke` locally) diffs its output byte-for-byte
+// against `dsafig t2`, serially, under -parallel, and across a real
+// two-process -workers pool.
+//
+// A scenario's identity is its wire id, "scenario/<name>@<hash>" — the
+// hash taken over the file's source bytes — so declarative sweeps
+// distribute unchanged: the id and source travel in each cell's spec,
+// a worker compiles the source on first use (verifying it hashes back
+// to the same id, so a stale or edited file can never impersonate
+// another sweep), and rebuilds cells from {id, cell key, base seed}
+// exactly as it does for compiled-in sweeps. Positionally a scenario
+// may also be named by its bare <name> when unambiguous. Scenario
+// workload keys live in the same catalog namespace as everything else,
+// so `dsatrace warm -scenario FILE` pre-materializes a declarative
+// battery's keys and its first -cache-dir run regenerates nothing —
+// the scenario-smoke gate holds that, too.
+//
 // # Caching workloads
 //
 // Workload generation is pure and deterministic, which makes it

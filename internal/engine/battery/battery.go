@@ -180,6 +180,19 @@ type Pool struct {
 	sem chan struct{}
 }
 
+// PoolFromConfig returns the battery-wide cell executor an
+// engine.Config implies: the config's own Executor when set (a dist
+// pool's children and caches then persist across the whole battery),
+// otherwise a shared in-process pool bounded by the config's Parallel
+// — so the same flag bounds total cells in flight whether sweeps run
+// serially or concurrently.
+func PoolFromConfig(c engine.Config) engine.Executor {
+	if c.Executor != nil {
+		return c.Executor
+	}
+	return NewPool(c.Parallel)
+}
+
 // NewPool returns a shared executor with n battery-wide cell slots
 // (n <= 0 means GOMAXPROCS).
 func NewPool(n int) *Pool {

@@ -1,0 +1,84 @@
+package engine
+
+import "dsa/internal/workload/catalog"
+
+// Config is the one documented knob set behind every sweep-running
+// entry point — the dsasim/dsafig/dsatrace command lines (registered
+// uniformly by internal/cliflags), the experiments runner, and
+// declarative scenarios. It unifies what used to be spread across
+// three shapes: the per-engine Options (which remain as this config's
+// engine-level view, see Options()), the dist pool parameters
+// (consumed by dist.PoolFromConfig), and the battery scheduler's
+// executor choice (battery.PoolFromConfig).
+//
+// The zero value is the documented default everywhere: in-process
+// execution with GOMAXPROCS cell workers, paper-exact seeding, a
+// fresh in-memory workload store, no worker processes, no remote
+// endpoints, a serial battery, and no disk cache. Every field only
+// ever widens that: output bytes are identical at any setting.
+type Config struct {
+	// Parallel bounds the in-process cell workers per sweep; <= 0
+	// means GOMAXPROCS. Ignored when Executor is set (the executor
+	// owns its own concurrency).
+	Parallel int
+	// Seed is the base seed mixed with each job key by sim.SeedFor.
+	// 0 reproduces the paper-exact workloads; any other value
+	// re-derives every workload (and its catalog keys).
+	Seed uint64
+	// Catalog is the shared workload store. Nil means each engine
+	// creates a fresh in-memory one; pass catalog.Disabled() to force
+	// per-cell regeneration.
+	Catalog *catalog.Catalog
+	// OnProgress, if non-nil, observes each sweep (serialized, once
+	// per completed cell).
+	OnProgress func(Progress)
+	// Executor, if non-nil, replaces the in-process goroutine pool —
+	// a dist.Pool for worker processes, a battery.Pool for a shared
+	// battery-wide cell budget.
+	Executor Executor
+
+	// Workers is the number of local `<cmd> worker` child processes a
+	// dist pool should spawn; 0 means none (in-process cells, unless
+	// Remote supplies slots).
+	Workers int
+	// Batch is the number of cells per dist protocol frame; <= 0
+	// means the dist default (one cell per frame).
+	Batch int
+	// Remote lists `<cmd> serve-worker` endpoints ("host:port"), one
+	// pool slot each, alongside any Workers children.
+	Remote []string
+	// AuthToken is presented in remote handshakes; it must match the
+	// serve-workers' -auth-token (empty matches only servers that
+	// require none).
+	AuthToken string
+	// CacheDir, when set, backs workload stores with a shared
+	// content-addressed disk cache and travels to local worker
+	// children as their -cache-dir.
+	CacheDir string
+
+	// BatteryParallel bounds how many whole sweeps run concurrently
+	// over one shared executor; <= 1 means serial. Byte-identical at
+	// any value.
+	BatteryParallel int
+}
+
+// Options is this config's engine-level view — the subset engine.New
+// consumes. Options itself predates Config and is kept as its thin
+// alias for per-engine construction; new code should carry a Config
+// and project it here at the engine boundary.
+func (c Config) Options() Options {
+	return Options{
+		Parallel:   c.Parallel,
+		Seed:       c.Seed,
+		Catalog:    c.Catalog,
+		OnProgress: c.OnProgress,
+		Executor:   c.Executor,
+	}
+}
+
+// Distributed reports whether the config asks for out-of-process
+// cells — the condition under which dist.PoolFromConfig builds a pool.
+func (c Config) Distributed() bool { return c.Workers > 0 || len(c.Remote) > 0 }
+
+// NewFromConfig builds an engine from the config's engine-level view.
+func NewFromConfig(c Config) *Engine { return New(c.Options()) }

@@ -149,6 +149,19 @@ func SelfPool(workers, batch int, cacheDir string, remote []string, authToken st
 	return NewPool(o)
 }
 
+// PoolFromConfig builds the worker pool an engine.Config asks for:
+// SelfPool over its Workers, Batch, CacheDir, Remote and AuthToken
+// fields. It returns (nil, nil) when the config asks for no
+// distribution (Workers 0 and no Remote endpoints), so callers can
+// unconditionally route their flags through here and only wire an
+// executor when one came back.
+func PoolFromConfig(c engine.Config) (*Pool, error) {
+	if !c.Distributed() {
+		return nil, nil
+	}
+	return SelfPool(c.Workers, c.Batch, c.CacheDir, c.Remote, c.AuthToken)
+}
+
 // NewPool validates the options and returns a pool. No children are
 // spawned and no endpoints dialed until the first remote cell is
 // dispatched.

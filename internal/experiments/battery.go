@@ -55,13 +55,22 @@ func Names() []string {
 	return out
 }
 
-// byName resolves a (case-insensitive) experiment name.
+// byName resolves a (case-insensitive) experiment name: first against
+// the compiled-in battery, then against registered declarative
+// scenarios (by full wire id or bare scenario name).
 func byName(name string) (namedExperiment, error) {
 	lower := strings.ToLower(name)
 	for _, e := range allExperiments {
 		if e.name == lower {
 			return e, nil
 		}
+	}
+	d, err := scenarioByName(name)
+	if err != nil {
+		return namedExperiment{}, err
+	}
+	if d != nil {
+		return namedExperiment{name: d.id, fn: d.run}, nil
 	}
 	return namedExperiment{}, fmt.Errorf("unknown experiment %q", name)
 }

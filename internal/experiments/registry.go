@@ -36,6 +36,11 @@ type sweepDef struct {
 	title  string
 	header []string
 	build  func(sc runConfig) []anyCell
+	// spec, when non-nil, overrides the wire spec jobs carry — the seam
+	// declarative scenarios use: their cells travel under the
+	// scenario/cell task (source included), not the compiled-in
+	// registry's DistTask.
+	spec func(cellKey string) *engine.Spec
 }
 
 var sweepRegistry = map[string]*sweepDef{}
@@ -97,9 +102,13 @@ func (d *sweepDef) jobs(sc runConfig) []engine.Job {
 	jobs := make([]engine.Job, len(cells))
 	for i, cl := range cells {
 		cl := cl
+		spec := &engine.Spec{Task: DistTask, Args: map[string]string{"sweep": d.id, "cell": cl.key}}
+		if d.spec != nil {
+			spec = d.spec(cl.key)
+		}
 		jobs[i] = engine.Job{
 			Key:  cl.key,
-			Spec: &engine.Spec{Task: DistTask, Args: map[string]string{"sweep": d.id, "cell": cl.key}},
+			Spec: spec,
 			Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
 				return cl.run(env)
 			},

@@ -10,6 +10,7 @@ import (
 	"dsa/internal/machine"
 	"dsa/internal/metrics"
 	"dsa/internal/replace"
+	"dsa/internal/scenario"
 	"dsa/internal/sim"
 	"dsa/internal/trace"
 	"dsa/internal/workload"
@@ -17,30 +18,9 @@ import (
 
 // runPageString replays a page-reference string against a policy with a
 // fixed frame capacity and returns the fault count — the harness of
-// Belady's cited study.
+// Belady's cited study, shared with declarative replacement scenarios.
 func runPageString(p replace.Policy, refs []replace.PageID, capacity int) int {
-	var clock sim.Clock
-	resident := make(map[replace.PageID]bool, capacity)
-	faults := 0
-	for _, r := range refs {
-		clock.Advance(1)
-		if resident[r] {
-			p.Touch(r, clock.Now(), false)
-			continue
-		}
-		faults++
-		if len(resident) == capacity {
-			v, err := p.Victim(clock.Now())
-			if err != nil {
-				panic(err)
-			}
-			p.Remove(v)
-			delete(resident, v)
-		}
-		resident[r] = true
-		p.Insert(r, clock.Now())
-	}
-	return faults
+	return scenario.FaultCount(p, refs, capacity)
 }
 
 func toPageIDs(pages []uint64) []replace.PageID {
@@ -113,18 +93,14 @@ func t1Cells(sc runConfig) []cell {
 					if err != nil {
 						return nil, err
 					}
-					mk := map[string]func() replace.Policy{
-						"belady-min":     func() replace.Policy { return replace.NewMIN(pageStr) },
-						"lru":            func() replace.Policy { return replace.NewLRU() },
-						"clock":          func() replace.Policy { return replace.NewClock() },
-						"fifo":           func() replace.Policy { return replace.NewFIFO() },
-						"random":         func() replace.Policy { return replace.NewRandom(sim.NewRNG(sc.seeded(1))) },
-						"m44-random":     func() replace.Policy { return replace.NewM44Random(sim.NewRNG(sc.seeded(1))) },
-						"atlas-learning": func() replace.Policy { return replace.NewLearning() },
-					}
 					row := []interface{}{tc.name, frames}
 					for _, name := range policyOrder {
-						row = append(row, runPageString(mk[name](), pageStr, frames))
+						// The policy table is the scenario package's: the
+						// compiled-in sweep and declarative replacement
+						// scenarios can never mean different policies by the
+						// same name.
+						p, _ := scenario.ReplacePolicy(name, pageStr, sc.seeded(1))
+						row = append(row, runPageString(p, pageStr, frames))
 					}
 					return engine.RowBatch{row}, nil
 				},
@@ -159,23 +135,16 @@ func t2Cells(sc runConfig) []cell {
 		{Dist: workload.SizesExponential, MinSize: 8, MaxSize: 4096, MeanSize: 200, MeanLifetime: 60, Count: 8000},
 		{Dist: workload.SizesBimodal, MinSize: 32, MaxSize: 4096, MeanLifetime: 60, Count: 8000},
 	}
-	policies := []struct {
-		name string
-		mk   func() (alloc.Policy, alloc.Mode)
-	}{
-		{"first-fit", func() (alloc.Policy, alloc.Mode) { return alloc.FirstFit{}, alloc.CoalesceImmediate }},
-		{"best-fit", func() (alloc.Policy, alloc.Mode) { return alloc.BestFit{}, alloc.CoalesceImmediate }},
-		{"worst-fit", func() (alloc.Policy, alloc.Mode) { return alloc.WorstFit{}, alloc.CoalesceImmediate }},
-		{"next-fit", func() (alloc.Policy, alloc.Mode) { return &alloc.NextFit{}, alloc.CoalesceImmediate }},
-		{"two-ended", func() (alloc.Policy, alloc.Mode) { return alloc.TwoEnded{Threshold: 512}, alloc.CoalesceImmediate }},
-		{"rice-chain", func() (alloc.Policy, alloc.Mode) { return alloc.RiceChain{}, alloc.CoalesceDeferred }},
-	}
+	// The policy table and the replay loop are the scenario package's:
+	// a declarative placement scenario naming "best-fit" runs exactly
+	// this sweep's best-fit, and its rows end in exactly these columns.
+	policies := []string{"first-fit", "best-fit", "worst-fit", "next-fit", "two-ended", "rice-chain"}
 	var cells []cell
 	for _, dc := range dists {
-		for _, pc := range policies {
-			dc, pc := dc, pc
+		for _, name := range policies {
+			dc, name := dc, name
 			cells = append(cells, cell{
-				key: fmt.Sprintf("t2/%s/%s", dc.Dist, pc.name),
+				key: fmt.Sprintf("t2/%s/%s", dc.Dist, name),
 				run: func(env engine.Env) (engine.RowBatch, error) {
 					reqs, err := shared(env, sc, "t2/requests/"+dc.Dist.String(), 31,
 						func(rng *sim.RNG) ([]workload.Request, error) {
@@ -184,40 +153,13 @@ func t2Cells(sc runConfig) []cell {
 					if err != nil {
 						return nil, err
 					}
-					pol, mode := pc.mk()
-					h := alloc.New(heapWords, pol, mode)
-					// freeAt[i] lists addresses to free before request i.
-					freeAt := make(map[int][]int)
-					utilAtFirstFail := -1.0
-					for i, req := range reqs {
-						for _, a := range freeAt[i] {
-							if err := h.Free(a); err != nil {
-								return nil, err
-							}
-						}
-						a, err := h.Alloc(req.Size)
-						if err != nil {
-							if utilAtFirstFail < 0 {
-								utilAtFirstFail = h.Stats().Utilization()
-							}
-							continue
-						}
-						if req.Lifetime > 0 {
-							freeAt[i+req.Lifetime] = append(freeAt[i+req.Lifetime], a)
-						}
+					mk, _ := scenario.AllocPolicy(name)
+					pol, mode := mk()
+					tail, err := scenario.PlacementTail(reqs, pol, mode, heapWords)
+					if err != nil {
+						return nil, err
 					}
-					c := h.Counters()
-					st := h.Stats()
-					util := utilAtFirstFail
-					if util < 0 {
-						util = 1 // never failed
-					}
-					probes := 0.0
-					if c.Allocs > 0 {
-						probes = float64(c.Probes) / float64(c.Allocs+c.Failures)
-					}
-					return oneRow(dc.Dist.String(), pc.name, c.Allocs, c.FragFailures,
-						util, st.ExternalFrag(), probes), nil
+					return engine.RowBatch{append([]interface{}{dc.Dist.String(), name}, tail...)}, nil
 				},
 			})
 		}

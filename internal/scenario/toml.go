@@ -1,0 +1,408 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-written parser for the TOML subset scenario
+// files use: root key/value pairs, [section] tables, [[section]]
+// array-of-tables, and values that are strings, integers, floats,
+// booleans, or single-line arrays of those. Comments (#) run to end
+// of line. The subset is deliberately small — stdlib-only, and every
+// construct a scenario needs — but the errors are full TOML quality:
+// each one carries file:line, and unknown keys are rejected with the
+// line they were written on (see table.leftover).
+
+// value is one parsed right-hand side with its source line.
+type value struct {
+	line int
+	v    interface{} // string | int64 | float64 | bool | []interface{}
+}
+
+// table is one section's key → value map, tracking declaration order
+// (for deterministic leftover errors) and which keys the model
+// extraction consumed (the rest are unknown fields).
+type table struct {
+	file  string
+	name  string // section name; "" for the root table
+	line  int    // line of the [section] header; 0 for the root
+	items map[string]value
+	order []string
+	used  map[string]bool
+}
+
+func newTable(file, name string, line int) *table {
+	return &table{file: file, name: name, line: line,
+		items: make(map[string]value), used: make(map[string]bool)}
+}
+
+// document is one parsed scenario file: the root table, named
+// sections, and named array-of-tables.
+type document struct {
+	file     string
+	root     *table
+	tables   map[string]*table
+	lists    map[string][]*table
+	secOrder []string // distinct section names in first-appearance order
+	secLines map[string]int
+	usedSecs map[string]bool
+}
+
+// errAt formats a positional parse error.
+func errAt(file string, line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", file, line, fmt.Sprintf(format, args...))
+}
+
+// parseDocument parses src; file names the source in error messages.
+func parseDocument(src, file string) (*document, error) {
+	d := &document{
+		file:     file,
+		root:     newTable(file, "", 0),
+		tables:   make(map[string]*table),
+		lists:    make(map[string][]*table),
+		secLines: make(map[string]int),
+		usedSecs: make(map[string]bool),
+	}
+	cur := d.root
+	for i, raw := range strings.Split(src, "\n") {
+		ln := i + 1
+		line, err := stripComment(raw, file, ln)
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return nil, errAt(file, ln, "malformed array-of-tables header %q", line)
+			}
+			name := strings.TrimSpace(line[2 : len(line)-2])
+			if !validKeyName(name) {
+				return nil, errAt(file, ln, "bad section name %q", name)
+			}
+			if _, clash := d.tables[name]; clash {
+				return nil, errAt(file, ln, "section [[%s]] conflicts with earlier [%s]", name, name)
+			}
+			cur = newTable(file, name, ln)
+			d.lists[name] = append(d.lists[name], cur)
+			d.noteSection(name, ln)
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return nil, errAt(file, ln, "malformed section header %q", line)
+			}
+			name := strings.TrimSpace(line[1 : len(line)-1])
+			if !validKeyName(name) {
+				return nil, errAt(file, ln, "bad section name %q", name)
+			}
+			if _, dup := d.tables[name]; dup {
+				return nil, errAt(file, ln, "section [%s] declared twice", name)
+			}
+			if _, clash := d.lists[name]; clash {
+				return nil, errAt(file, ln, "section [%s] conflicts with earlier [[%s]]", name, name)
+			}
+			cur = newTable(file, name, ln)
+			d.tables[name] = cur
+			d.noteSection(name, ln)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, errAt(file, ln, "expected key = value, got %q", line)
+			}
+			key := strings.TrimSpace(line[:eq])
+			if !validKeyName(key) {
+				return nil, errAt(file, ln, "bad key %q", key)
+			}
+			if _, dup := cur.items[key]; dup {
+				return nil, errAt(file, ln, "key %q set twice in the same table", key)
+			}
+			v, rest, err := parseValue(strings.TrimSpace(line[eq+1:]), file, ln)
+			if err != nil {
+				return nil, err
+			}
+			if strings.TrimSpace(rest) != "" {
+				return nil, errAt(file, ln, "trailing garbage %q after value", strings.TrimSpace(rest))
+			}
+			cur.items[key] = value{line: ln, v: v}
+			cur.order = append(cur.order, key)
+		}
+	}
+	return d, nil
+}
+
+func (d *document) noteSection(name string, line int) {
+	if _, seen := d.secLines[name]; !seen {
+		d.secOrder = append(d.secOrder, name)
+		d.secLines[name] = line
+	}
+}
+
+// stripComment removes a trailing # comment, respecting quoted strings.
+func stripComment(line, file string, ln int) (string, error) {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inStr {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i], nil
+			}
+		}
+	}
+	if inStr {
+		return "", errAt(file, ln, "unterminated string")
+	}
+	return line, nil
+}
+
+// validKeyName accepts bare TOML keys: letters, digits, '-' and '_'.
+func validKeyName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseValue parses one value from the front of s and returns the
+// unconsumed remainder.
+func parseValue(s, file string, ln int) (interface{}, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, "", errAt(file, ln, "missing value")
+	}
+	switch {
+	case s[0] == '"':
+		return parseString(s, file, ln)
+	case s[0] == '[':
+		return parseArray(s, file, ln)
+	case strings.HasPrefix(s, "true"):
+		return true, s[len("true"):], nil
+	case strings.HasPrefix(s, "false"):
+		return false, s[len("false"):], nil
+	default:
+		return parseNumber(s, file, ln)
+	}
+}
+
+func parseString(s, file string, ln int) (interface{}, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return nil, "", errAt(file, ln, "unterminated escape in string")
+			}
+			switch s[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return nil, "", errAt(file, ln, `unsupported escape \%c in string`, s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return nil, "", errAt(file, ln, "unterminated string")
+}
+
+func parseArray(s, file string, ln int) (interface{}, string, error) {
+	rest := strings.TrimSpace(s[1:])
+	out := []interface{}{}
+	for {
+		if rest == "" {
+			return nil, "", errAt(file, ln, "unterminated array")
+		}
+		if rest[0] == ']' {
+			return out, rest[1:], nil
+		}
+		v, r, err := parseValue(rest, file, ln)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, v)
+		rest = strings.TrimSpace(r)
+		if rest == "" {
+			return nil, "", errAt(file, ln, "unterminated array")
+		}
+		switch rest[0] {
+		case ',':
+			rest = strings.TrimSpace(rest[1:])
+		case ']':
+			// next loop iteration closes
+		default:
+			return nil, "", errAt(file, ln, "expected ',' or ']' in array, got %q", rest)
+		}
+	}
+}
+
+// parseNumber parses a bare token as an int64 or float64.
+func parseNumber(s, file string, ln int) (interface{}, string, error) {
+	end := len(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == ']' || s[i] == ' ' || s[i] == '\t' {
+			end = i
+			break
+		}
+	}
+	tok, rest := s[:end], s[end:]
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return n, rest, nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f, rest, nil
+	}
+	return nil, "", errAt(file, ln, "bad value %q (expected string, integer, float, bool, or array)", tok)
+}
+
+// --- typed accessors -------------------------------------------------
+//
+// Each accessor marks the key consumed; leftover() then reports the
+// first key nobody asked for — the unknown-field rejection with the
+// exact line the stray key sits on.
+
+func (t *table) has(key string) bool {
+	_, ok := t.items[key]
+	return ok
+}
+
+func (t *table) context() string {
+	if t.name == "" {
+		return "top level"
+	}
+	return "[" + t.name + "]"
+}
+
+func (t *table) str(key string) (string, bool, error) {
+	it, ok := t.items[key]
+	if !ok {
+		return "", false, nil
+	}
+	t.used[key] = true
+	s, isStr := it.v.(string)
+	if !isStr {
+		return "", true, errAt(t.file, it.line, "%s: %s must be a string", t.context(), key)
+	}
+	return s, true, nil
+}
+
+func (t *table) integer(key string) (int64, bool, error) {
+	it, ok := t.items[key]
+	if !ok {
+		return 0, false, nil
+	}
+	t.used[key] = true
+	n, isInt := it.v.(int64)
+	if !isInt {
+		return 0, true, errAt(t.file, it.line, "%s: %s must be an integer", t.context(), key)
+	}
+	return n, true, nil
+}
+
+func (t *table) strings(key string) ([]string, bool, error) {
+	it, ok := t.items[key]
+	if !ok {
+		return nil, false, nil
+	}
+	t.used[key] = true
+	arr, isArr := it.v.([]interface{})
+	if !isArr {
+		return nil, true, errAt(t.file, it.line, "%s: %s must be an array of strings", t.context(), key)
+	}
+	out := make([]string, len(arr))
+	for i, v := range arr {
+		s, isStr := v.(string)
+		if !isStr {
+			return nil, true, errAt(t.file, it.line, "%s: %s[%d] must be a string", t.context(), key, i)
+		}
+		out[i] = s
+	}
+	return out, true, nil
+}
+
+func (t *table) ints(key string) ([]int, bool, error) {
+	it, ok := t.items[key]
+	if !ok {
+		return nil, false, nil
+	}
+	t.used[key] = true
+	arr, isArr := it.v.([]interface{})
+	if !isArr {
+		return nil, true, errAt(t.file, it.line, "%s: %s must be an array of integers", t.context(), key)
+	}
+	out := make([]int, len(arr))
+	for i, v := range arr {
+		n, isInt := v.(int64)
+		if !isInt {
+			return nil, true, errAt(t.file, it.line, "%s: %s[%d] must be an integer", t.context(), key, i)
+		}
+		out[i] = int(n)
+	}
+	return out, true, nil
+}
+
+// keyLine returns the source line of a (consumed or not) key, for
+// semantic errors that want to point at the offending field.
+func (t *table) keyLine(key string) int {
+	if it, ok := t.items[key]; ok {
+		return it.line
+	}
+	return t.line
+}
+
+// leftover reports the first key no accessor consumed, in declaration
+// order — the unknown-field rejection.
+func (t *table) leftover() error {
+	for _, key := range t.order {
+		if !t.used[key] {
+			return errAt(t.file, t.items[key].line, "%s: unknown field %q", t.context(), key)
+		}
+	}
+	return nil
+}
+
+// section returns the named [section] table, marking it consumed.
+func (d *document) section(name string) *table {
+	d.usedSecs[name] = true
+	return d.tables[name]
+}
+
+// list returns the named [[section]] tables, marking them consumed.
+func (d *document) list(name string) []*table {
+	d.usedSecs[name] = true
+	return d.lists[name]
+}
+
+// leftoverSections reports the first section the model didn't ask for.
+func (d *document) leftoverSections() error {
+	for _, name := range d.secOrder {
+		if !d.usedSecs[name] {
+			return errAt(d.file, d.secLines[name], "unknown section [%s]", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDocumentValues(t *testing.T) {
+	src := `
+# a comment
+name = "demo"    # trailing comment
+count = 42
+ratio = 0.5
+flag = true
+list = ["a", "b"]
+nums = [1, 2, 3]
+
+[section]
+key = "v"
+
+[[item]]
+n = 1
+
+[[item]]
+n = 2
+`
+	d, err := parseDocument(src, "test.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _, _ := d.root.str("name"); s != "demo" {
+		t.Errorf("name = %q", s)
+	}
+	if n, _, _ := d.root.integer("count"); n != 42 {
+		t.Errorf("count = %d", n)
+	}
+	if it := d.root.items["ratio"]; it.v != 0.5 {
+		t.Errorf("ratio = %v", it.v)
+	}
+	if it := d.root.items["flag"]; it.v != true {
+		t.Errorf("flag = %v", it.v)
+	}
+	if l, _, _ := d.root.strings("list"); len(l) != 2 || l[1] != "b" {
+		t.Errorf("list = %v", l)
+	}
+	if ns, _, _ := d.root.ints("nums"); len(ns) != 3 || ns[2] != 3 {
+		t.Errorf("nums = %v", ns)
+	}
+	sec := d.tables["section"]
+	if sec == nil {
+		t.Fatal("no [section]")
+	}
+	if s, _, _ := sec.str("key"); s != "v" {
+		t.Errorf("section key = %q", s)
+	}
+	if items := d.lists["item"]; len(items) != 2 {
+		t.Errorf("items = %d", len(items))
+	} else if n, _, _ := items[1].integer("n"); n != 2 {
+		t.Errorf("item[1].n = %d", n)
+	}
+}
+
+// TestParseDocumentErrorsArePositional: every malformed construct is
+// rejected with the file name and the line it sits on.
+func TestParseDocumentErrorsArePositional(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the error, including file:line
+	}{
+		{"x 1", `f.toml:1: expected key = value`},
+		{"\nkey = ", "f.toml:2: missing value"},
+		{`key = "unterminated`, "f.toml:1: unterminated string"},
+		{"key = [1, 2", "f.toml:1: unterminated array"},
+		{"key = @oops", "f.toml:1: bad value"},
+		{"[bad name]", "f.toml:1: bad section name"},
+		{"[sec]\n[sec]", "f.toml:2: section [sec] declared twice"},
+		{"[[x]]\nn=1\n[x]", "f.toml:3: section [x] conflicts"},
+		{"[x]\n[[x]]", "f.toml:2: section [[x]] conflicts"},
+		{"a = 1\na = 2", `f.toml:2: key "a" set twice`},
+		{`a = 1 2`, "f.toml:1: trailing garbage"},
+	}
+	for _, c := range cases {
+		_, err := parseDocument(c.src, "f.toml")
+		if err == nil {
+			t.Errorf("src %q: accepted, want error %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLeftoverReportsUnknownKeyWithLine(t *testing.T) {
+	d, err := parseDocument("known = 1\nmystery = 2\n", "f.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.root.integer("known"); err != nil {
+		t.Fatal(err)
+	}
+	err = d.root.leftover()
+	if err == nil || !strings.Contains(err.Error(), `f.toml:2: top level: unknown field "mystery"`) {
+		t.Errorf("leftover = %v", err)
+	}
+}

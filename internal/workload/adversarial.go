@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"dsa/internal/sim"
+)
+
+// AdversarialTargets lists the placement policies the adversarial
+// request generator knows how to attack, in canonical order.
+func AdversarialTargets() []string {
+	out := make([]string, 0, len(adversaries))
+	for name := range adversaries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AdversarialConfig parameterizes a worst-case alloc/free interleaving
+// crafted against one placement policy — the fragmentation adversaries
+// the paper's Placement Strategies section invites ("the choice of
+// strategy should be influenced by the characteristics of the size
+// distribution"): each policy's weakness is a *pattern*, not a
+// distribution, so these streams are structured interleavings with
+// only jitter left to the RNG.
+//
+// Each stream mixes three ingredients scaled to HeapWords: tiny
+// immortal "pins" that survive any coalescing and dice the address
+// space, a churn class whose size×lifetime product holds the heap near
+// capacity, and periodic large "victim" requests that fail fragmented
+// (free words sufficient, no hole big enough) once the attack bites.
+type AdversarialConfig struct {
+	// Target names the placement policy the stream attacks (one of
+	// AdversarialTargets).
+	Target string
+	// HeapWords is the heap size the stream is scaled against.
+	HeapWords int
+	// Count is the number of requests to generate.
+	Count int
+}
+
+// adversaries maps each target policy to its interleaving generator.
+// Every generator emits exactly cfg.Count requests, deterministically
+// for a given RNG.
+var adversaries = map[string]func(rng *sim.RNG, cfg AdversarialConfig) []Request{
+	"first-fit":  attackFirstFit,
+	"best-fit":   attackBestFit,
+	"worst-fit":  attackWorstFit,
+	"next-fit":   attackNextFit,
+	"two-ended":  attackTwoEnded,
+	"rice-chain": attackRiceChain,
+}
+
+// Adversarial generates a request stream adversarial to the configured
+// placement policy.
+func Adversarial(rng *sim.RNG, cfg AdversarialConfig) ([]Request, error) {
+	gen := adversaries[cfg.Target]
+	if gen == nil {
+		return nil, fmt.Errorf("workload: no adversary for placement policy %q (have %v)",
+			cfg.Target, AdversarialTargets())
+	}
+	if cfg.HeapWords <= 0 || cfg.Count <= 0 {
+		return nil, fmt.Errorf("workload: adversarial needs positive heap and count, got heap=%d count=%d",
+			cfg.HeapWords, cfg.Count)
+	}
+	return gen(rng, cfg), nil
+}
+
+// pin is a tiny, effectively immortal allocation: it outlives the
+// stream, so no coalescing pass ever reclaims the space around it.
+func pin(rng *sim.RNG, count int) Request {
+	return Request{Size: 8 + rng.Intn(8), Lifetime: count}
+}
+
+// attackFirstFit: splinter accumulation. Tiny immortal pins land at
+// the lowest address first-fit finds; the heavy medium churn between
+// them keeps splitting the low free blocks, so the front of the heap
+// silts up with splinters every later search must probe past — and the
+// periodic large requests fail while total free space would suffice.
+func attackFirstFit(rng *sim.RNG, cfg AdversarialConfig) []Request {
+	h := cfg.HeapWords
+	reqs := make([]Request, cfg.Count)
+	for i := range reqs {
+		switch i % 8 {
+		case 0:
+			reqs[i] = pin(rng, cfg.Count)
+		case 7: // the victim: a large request that needs a clean run
+			reqs[i] = Request{Size: h / 16, Lifetime: 6 + rng.Intn(4)}
+		default: // churn holding the heap near capacity
+			reqs[i] = Request{Size: 64 + rng.Intn(192), Lifetime: 1 + h/256 + rng.Intn(1+h/256)}
+		}
+	}
+	return reqs
+}
+
+// attackNextFit: rover littering. next-fit resumes scanning where the
+// last allocation ended, so interleaving pins with span allocations
+// walks the rover around the whole heap leaving immortal splinters
+// uniformly along its path — no region stays clean enough for the
+// recurring large requests.
+func attackNextFit(rng *sim.RNG, cfg AdversarialConfig) []Request {
+	h := cfg.HeapWords
+	reqs := make([]Request, cfg.Count)
+	for i := range reqs {
+		switch i % 6 {
+		case 0: // splinter dropped at the rover's current position
+			reqs[i] = pin(rng, cfg.Count)
+		case 5:
+			reqs[i] = Request{Size: h / 16, Lifetime: 4 + rng.Intn(4)}
+		default: // spans that march the rover forward
+			reqs[i] = Request{Size: 256 + rng.Intn(256), Lifetime: 1 + h/512 + rng.Intn(1+h/512)}
+		}
+	}
+	return reqs
+}
+
+// attackBestFit: sliver carving. Waves allocate blocks of size w with
+// short lifetimes, then request w-d for small d: best-fit places each
+// follow-up into the tightest hole — the just-freed w-block — leaving
+// a d-word sliver too small to ever satisfy anything. Descending wave
+// sizes keep manufacturing fresh exact-ish fits to carve, and the
+// occasional pin keeps immediate coalescing from healing the slivers.
+func attackBestFit(rng *sim.RNG, cfg AdversarialConfig) []Request {
+	h := cfg.HeapWords
+	reqs := make([]Request, cfg.Count)
+	wave := h / 32
+	if wave < 64 {
+		wave = 64
+	}
+	for i := range reqs {
+		switch i % 4 {
+		case 0: // seed a hole of size wave
+			reqs[i] = Request{Size: wave, Lifetime: 2}
+		case 2: // carve it, leaving a useless sliver
+			reqs[i] = Request{Size: wave - 2 - rng.Intn(4), Lifetime: 1 + 2*h/wave + rng.Intn(1+2*h/wave)}
+		default:
+			switch {
+			case i%32 == 1:
+				reqs[i] = pin(rng, cfg.Count)
+			case i%48 == 3:
+				// The victim: far larger than any sliver-diced hole,
+				// but well under the accumulated free total.
+				reqs[i] = Request{Size: h/8 + rng.Intn(h/8), Lifetime: 2}
+			default:
+				reqs[i] = Request{Size: 32 + rng.Intn(64), Lifetime: 1 + h/256 + rng.Intn(64)}
+			}
+		}
+		if i%64 == 63 { // next wave: smaller holes, smaller carvings
+			wave = wave*7/8 + 8
+		}
+	}
+	return reqs
+}
+
+// attackWorstFit: largest-block erosion. worst-fit always splits the
+// biggest free block, so a steady diet of medium requests guarantees
+// no large extent ever survives; the stream's escalating requests then
+// fail against a heap with ample total free space.
+func attackWorstFit(rng *sim.RNG, cfg AdversarialConfig) []Request {
+	h := cfg.HeapWords
+	reqs := make([]Request, cfg.Count)
+	for i := range reqs {
+		switch {
+		case i%10 == 9:
+			// Escalating victims: each demands a larger contiguous run
+			// than the eroded maximum block is likely to hold.
+			reqs[i] = Request{Size: h/8 + rng.Intn(h/8), Lifetime: 2}
+		case i%10 == 0:
+			reqs[i] = pin(rng, cfg.Count)
+		default:
+			reqs[i] = Request{Size: 128 + rng.Intn(128), Lifetime: 1 + h/384 + rng.Intn(1+h/384)}
+		}
+	}
+	return reqs
+}
+
+// attackTwoEnded: boundary collision. The two-ended strategy keeps
+// small blocks at one end and large at the other; alternating sizes
+// just below and just above the threshold with skewed lifetimes makes
+// both ends grow toward the middle at different rates, pinning the
+// boundary with stragglers from each side.
+func attackTwoEnded(rng *sim.RNG, cfg AdversarialConfig) []Request {
+	const threshold = 512 // the experiments' TwoEnded{Threshold: 512}
+	reqs := make([]Request, cfg.Count)
+	for i := range reqs {
+		if i%2 == 0 {
+			// Small end: just under threshold, occasionally immortal.
+			life := 2 + rng.Intn(6)
+			if i%16 == 0 {
+				life = cfg.Count
+			}
+			reqs[i] = Request{Size: threshold - 8 - rng.Intn(16), Lifetime: life}
+		} else {
+			// Large end: just over threshold, churning fast.
+			reqs[i] = Request{Size: threshold + 8 + rng.Intn(16), Lifetime: 1 + rng.Intn(3)}
+		}
+	}
+	return reqs
+}
+
+// attackRiceChain: chain flooding. With deferred coalescing, rapid
+// alternation of small allocs and frees grows a long chain of
+// un-coalesced fragments in many sizes, forcing long searches; the
+// pins guarantee that even the failure-triggered full coalescing pass
+// cannot rebuild a hole for the interleaved large requests.
+func attackRiceChain(rng *sim.RNG, cfg AdversarialConfig) []Request {
+	h := cfg.HeapWords
+	reqs := make([]Request, cfg.Count)
+	for i := range reqs {
+		switch {
+		case i%12 == 0:
+			reqs[i] = pin(rng, cfg.Count)
+		case i%12 == 11:
+			reqs[i] = Request{Size: h / 16, Lifetime: 4 + rng.Intn(4)}
+		case i%2 == 0:
+			// Chain food: varied small sizes freed almost immediately;
+			// every free appends a differently-sized fragment.
+			reqs[i] = Request{Size: 16 << rng.Intn(3), Lifetime: 1 + rng.Intn(3)}
+		default:
+			// Occupancy: long-lived mediums that keep the chain's
+			// fragments from ever being adjacent to much free space.
+			reqs[i] = Request{Size: 32 + rng.Intn(96), Lifetime: 1 + h/80 + rng.Intn(1+h/160)}
+		}
+	}
+	return reqs
+}

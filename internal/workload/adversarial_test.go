@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"dsa/internal/alloc"
+	"dsa/internal/sim"
+)
+
+func TestAdversarialStreamsAreValid(t *testing.T) {
+	for _, target := range AdversarialTargets() {
+		cfg := AdversarialConfig{Target: target, HeapWords: 65536, Count: 4000}
+		reqs, err := Adversarial(sim.NewRNG(9), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if len(reqs) != cfg.Count {
+			t.Fatalf("%s: len = %d, want %d", target, len(reqs), cfg.Count)
+		}
+		for i, r := range reqs {
+			if r.Size <= 0 || r.Size > cfg.HeapWords {
+				t.Fatalf("%s: request %d has size %d", target, i, r.Size)
+			}
+			if r.Lifetime < 0 {
+				t.Fatalf("%s: request %d has lifetime %d", target, i, r.Lifetime)
+			}
+		}
+	}
+}
+
+func TestAdversarialDeterministic(t *testing.T) {
+	cfg := AdversarialConfig{Target: "best-fit", HeapWords: 65536, Count: 1000}
+	a, _ := Adversarial(sim.NewRNG(5), cfg)
+	b, _ := Adversarial(sim.NewRNG(5), cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAdversarialRejects(t *testing.T) {
+	if _, err := Adversarial(sim.NewRNG(1), AdversarialConfig{Target: "buddy", HeapWords: 1024, Count: 10}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := Adversarial(sim.NewRNG(1), AdversarialConfig{Target: "first-fit", HeapWords: 0, Count: 10}); err == nil {
+		t.Error("zero heap accepted")
+	}
+	if _, err := Adversarial(sim.NewRNG(1), AdversarialConfig{Target: "first-fit", HeapWords: 1024, Count: 0}); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+// TestAdversarialHurtsItsTarget: each stream, replayed against its
+// target policy, must actually provoke fragmentation failures — the
+// point of the family. (It need not be the *worst* policy on every
+// stream; heuristic attacks only guarantee damage to the target.)
+func TestAdversarialHurtsItsTarget(t *testing.T) {
+	const heapWords = 65536
+	mk := map[string]func() (alloc.Policy, alloc.Mode){
+		"first-fit":  func() (alloc.Policy, alloc.Mode) { return alloc.FirstFit{}, alloc.CoalesceImmediate },
+		"best-fit":   func() (alloc.Policy, alloc.Mode) { return alloc.BestFit{}, alloc.CoalesceImmediate },
+		"worst-fit":  func() (alloc.Policy, alloc.Mode) { return alloc.WorstFit{}, alloc.CoalesceImmediate },
+		"next-fit":   func() (alloc.Policy, alloc.Mode) { return &alloc.NextFit{}, alloc.CoalesceImmediate },
+		"two-ended":  func() (alloc.Policy, alloc.Mode) { return alloc.TwoEnded{Threshold: 512}, alloc.CoalesceImmediate },
+		"rice-chain": func() (alloc.Policy, alloc.Mode) { return alloc.RiceChain{}, alloc.CoalesceDeferred },
+	}
+	for _, target := range AdversarialTargets() {
+		reqs, err := Adversarial(sim.NewRNG(13), AdversarialConfig{
+			Target: target, HeapWords: heapWords, Count: 6000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, mode := mk[target]()
+		h := alloc.New(heapWords, pol, mode)
+		freeAt := make(map[int][]int)
+		for i, req := range reqs {
+			for _, a := range freeAt[i] {
+				if err := h.Free(a); err != nil {
+					t.Fatalf("%s: free: %v", target, err)
+				}
+			}
+			if a, err := h.Alloc(req.Size); err == nil && req.Lifetime > 0 {
+				freeAt[i+req.Lifetime] = append(freeAt[i+req.Lifetime], a)
+			}
+		}
+		c := h.Counters()
+		if c.FragFailures == 0 {
+			t.Errorf("%s: adversarial stream provoked no fragmentation failures", target)
+		}
+	}
+}

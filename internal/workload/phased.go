@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+)
+
+// PhasedConfig parameterizes a phase-structured trace whose locality
+// window *shifts*: unlike WorkingSet, which jumps to an independent
+// random origin every phase, a Phased program's window drifts a
+// configurable distance at each phase boundary and only occasionally
+// jumps — the "slowly wandering working set" regime the paper's
+// working-set discussion invites but WorkingSet cannot express. The
+// drift also continues *within* a phase, sliding the window
+// continuously, so no replacement policy gets a stationary set to
+// converge on.
+type PhasedConfig struct {
+	// Extent is the total name-space extent in words.
+	Extent uint64
+	// SetWords is the size of the locality window in words.
+	SetWords uint64
+	// PhaseLen is the number of references per phase.
+	PhaseLen int
+	// Phases is the number of phases.
+	Phases int
+	// DriftWords is how far the window origin slides over the course
+	// of one phase (wrapping around the extent). 0 degenerates to a
+	// stationary window per phase.
+	DriftWords uint64
+	// JumpProb is the probability that a phase boundary abandons the
+	// drift and jumps to a fresh random origin instead — a program
+	// entering a genuinely new phase of computation.
+	JumpProb float64
+	// LocalityProb is the probability a reference stays inside the
+	// current window (the remainder scatter over the whole space).
+	LocalityProb float64
+	// WriteProb is the probability an access is a write.
+	WriteProb float64
+}
+
+// PhasedDefault returns the stock configuration for a linear space of
+// the given extent and reference budget: eight phases whose window is
+// 1/16 of the extent, drifting half a window per phase with a 25%
+// jump probability. Used by internal/workload/stock ("phased") and the
+// scenario compiler.
+func PhasedDefault(extent uint64, refs int) PhasedConfig {
+	phases := 8
+	phaseLen := refs / phases
+	if phaseLen == 0 {
+		phaseLen = 1
+	}
+	set := extent / 16
+	if set == 0 {
+		set = 1
+	}
+	return PhasedConfig{
+		Extent:       extent,
+		SetWords:     set,
+		PhaseLen:     phaseLen,
+		Phases:       phases,
+		DriftWords:   set / 2,
+		JumpProb:     0.25,
+		LocalityProb: 0.95,
+		WriteProb:    0.15,
+	}
+}
+
+// Phased generates a shifting-locality trace from the configuration.
+func Phased(rng *sim.RNG, cfg PhasedConfig) (trace.Trace, error) {
+	if cfg.Extent == 0 || cfg.SetWords == 0 || cfg.SetWords > cfg.Extent {
+		return nil, fmt.Errorf("workload: bad phased config %+v", cfg)
+	}
+	if cfg.LocalityProb < 0 || cfg.LocalityProb > 1 {
+		return nil, fmt.Errorf("workload: locality probability %g out of [0,1]", cfg.LocalityProb)
+	}
+	if cfg.JumpProb < 0 || cfg.JumpProb > 1 {
+		return nil, fmt.Errorf("workload: jump probability %g out of [0,1]", cfg.JumpProb)
+	}
+	if cfg.PhaseLen <= 0 || cfg.Phases <= 0 {
+		return nil, fmt.Errorf("workload: phased needs positive phase shape, got len=%d phases=%d",
+			cfg.PhaseLen, cfg.Phases)
+	}
+	tr := make(trace.Trace, 0, cfg.PhaseLen*cfg.Phases)
+	origin := rng.Uint64() % cfg.Extent
+	for p := 0; p < cfg.Phases; p++ {
+		if p > 0 && rng.Float64() < cfg.JumpProb {
+			origin = rng.Uint64() % cfg.Extent
+		}
+		for i := 0; i < cfg.PhaseLen; i++ {
+			// The window slides DriftWords over the phase; integer
+			// arithmetic keeps the per-reference offset deterministic.
+			slid := origin + cfg.DriftWords*uint64(i)/uint64(cfg.PhaseLen)
+			var name uint64
+			if rng.Float64() < cfg.LocalityProb {
+				name = (slid + rng.Uint64()%cfg.SetWords) % cfg.Extent
+			} else {
+				name = rng.Uint64() % cfg.Extent
+			}
+			op := trace.Read
+			if rng.Float64() < cfg.WriteProb {
+				op = trace.Write
+			}
+			tr = append(tr, trace.Ref{Op: op, Name: name})
+		}
+		origin = (origin + cfg.DriftWords) % cfg.Extent
+	}
+	return tr, nil
+}

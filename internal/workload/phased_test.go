@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+
+	"dsa/internal/sim"
+	"dsa/internal/trace"
+)
+
+func TestPhasedShape(t *testing.T) {
+	cfg := PhasedDefault(16384, 20000)
+	tr, err := Phased(sim.NewRNG(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.PhaseLen * cfg.Phases; len(tr) != want {
+		t.Fatalf("len = %d, want %d", len(tr), want)
+	}
+	writes := 0
+	for _, r := range tr {
+		if r.Name >= cfg.Extent {
+			t.Fatalf("name %d outside extent %d", r.Name, cfg.Extent)
+		}
+		if r.Op == trace.Write {
+			writes++
+		}
+	}
+	if writes == 0 || writes == len(tr) {
+		t.Errorf("writes = %d of %d, want a mix", writes, len(tr))
+	}
+}
+
+func TestPhasedDeterministic(t *testing.T) {
+	cfg := PhasedDefault(8192, 4000)
+	a, err := Phased(sim.NewRNG(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Phased(sim.NewRNG(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ref %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := Phased(sim.NewRNG(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestPhasedDrifts: the defining property vs WorkingSet — consecutive
+// phases' locality centers move by about DriftWords, not to
+// independent random origins every time.
+func TestPhasedDrifts(t *testing.T) {
+	cfg := PhasedConfig{
+		Extent: 1 << 20, SetWords: 4096, PhaseLen: 2000, Phases: 12,
+		DriftWords: 2048, JumpProb: 0, LocalityProb: 1, WriteProb: 0,
+	}
+	tr, err := Phased(sim.NewRNG(11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With LocalityProb 1 and JumpProb 0, every reference of phase p
+	// falls inside a window whose origin is start + p*DriftWords; the
+	// span of each phase's names is bounded by SetWords + DriftWords.
+	for p := 0; p < cfg.Phases; p++ {
+		lo, hi := ^uint64(0), uint64(0)
+		for i := 0; i < cfg.PhaseLen; i++ {
+			n := tr[p*cfg.PhaseLen+i].Name
+			if n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+		}
+		if span := hi - lo; span > cfg.SetWords+cfg.DriftWords {
+			t.Fatalf("phase %d span %d exceeds window+drift %d", p, span, cfg.SetWords+cfg.DriftWords)
+		}
+	}
+	// And phase p+1's minimum should sit ~DriftWords above phase p's.
+	min := func(p int) uint64 {
+		lo := ^uint64(0)
+		for i := 0; i < cfg.PhaseLen; i++ {
+			if n := tr[p*cfg.PhaseLen+i].Name; n < lo {
+				lo = n
+			}
+		}
+		return lo
+	}
+	for p := 0; p+1 < cfg.Phases; p++ {
+		d := min(p+1) - min(p)
+		if d < cfg.DriftWords/2 || d > cfg.DriftWords*2 {
+			t.Errorf("phase %d->%d origin moved %d, want ~%d", p, p+1, d, cfg.DriftWords)
+		}
+	}
+}
+
+func TestPhasedRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []PhasedConfig{
+		{Extent: 0, SetWords: 1, PhaseLen: 1, Phases: 1},
+		{Extent: 100, SetWords: 200, PhaseLen: 1, Phases: 1},
+		{Extent: 100, SetWords: 10, PhaseLen: 0, Phases: 1},
+		{Extent: 100, SetWords: 10, PhaseLen: 1, Phases: 1, LocalityProb: 1.5},
+		{Extent: 100, SetWords: 10, PhaseLen: 1, Phases: 1, JumpProb: -0.1},
+	} {
+		if _, err := Phased(sim.NewRNG(1), cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}

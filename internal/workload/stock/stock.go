@@ -28,7 +28,7 @@ import (
 // Kinds lists the workload kinds dsasim accepts, linear trace kinds
 // first, the segmented kind last.
 func Kinds() []string {
-	return []string{"workingset", "sequential", "random", "loop", "matrix", "segments"}
+	return []string{"workingset", "phased", "sequential", "random", "loop", "matrix", "segments"}
 }
 
 // Extent picks a linear name-space extent suitable for the machine: a
@@ -65,6 +65,8 @@ func linearKey(kind string, extent uint64, refs int, seed uint64) string {
 		return "dsasim/matrix/rows=128/cols=128/bycols"
 	case "workingset":
 		return fmt.Sprintf("dsasim/workingset/extent=%d/refs=%d@%x", extent, refs, seed)
+	case "phased":
+		return fmt.Sprintf("dsasim/phased/extent=%d/refs=%d@%x", extent, refs, seed)
 	default:
 		return ""
 	}
@@ -105,9 +107,44 @@ func Linear(cat *catalog.Catalog, kind string, extent uint64, refs int, seed uin
 		return catalog.Get(cat, key, func() (trace.Trace, error) {
 			return workload.WorkingSet(sim.NewRNG(seed), workload.WorkloadWS(extent, refs))
 		})
+	case "phased":
+		return catalog.Get(cat, key, func() (trace.Trace, error) {
+			return workload.Phased(sim.NewRNG(seed), workload.PhasedDefault(extent, refs))
+		})
 	default:
 		return nil, fmt.Errorf("unknown workload %q", kind)
 	}
+}
+
+// requestsKey names one placement request stream; every generation
+// determinant (distribution shape and the derived seed) is embedded.
+func requestsKey(cfg workload.RequestConfig, seed uint64) string {
+	return fmt.Sprintf("dsasim/requests/%s/min=%d/max=%d/mean=%d/life=%d/count=%d@%x",
+		cfg.Dist, cfg.MinSize, cfg.MaxSize, cfg.MeanSize, cfg.MeanLifetime, cfg.Count, seed)
+}
+
+// Requests materializes a placement request stream through the store —
+// the request-distribution families (uniform, exponential, bimodal,
+// fixed) declarative placement scenarios sweep policies over.
+func Requests(cat *catalog.Catalog, cfg workload.RequestConfig, seed uint64) ([]workload.Request, error) {
+	return catalog.Get(cat, requestsKey(cfg, seed), func() ([]workload.Request, error) {
+		return workload.Requests(sim.NewRNG(seed), cfg)
+	})
+}
+
+// adversarialKey names one adversarial interleaving; the target policy
+// is a generation determinant like any other parameter.
+func adversarialKey(cfg workload.AdversarialConfig, seed uint64) string {
+	return fmt.Sprintf("dsasim/adversarial/target=%s/heap=%d/count=%d@%x",
+		cfg.Target, cfg.HeapWords, cfg.Count, seed)
+}
+
+// Adversarial materializes a per-policy adversarial fragmentation
+// interleaving through the store.
+func Adversarial(cat *catalog.Catalog, cfg workload.AdversarialConfig, seed uint64) ([]workload.Request, error) {
+	return catalog.Get(cat, adversarialKey(cfg, seed), func() ([]workload.Request, error) {
+		return workload.Adversarial(sim.NewRNG(seed), cfg)
+	})
 }
 
 // capTrace drops references at or beyond limit, into fresh storage.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dsa/internal/machine"
+	"dsa/internal/workload"
 	"dsa/internal/workload/catalog"
 )
 
@@ -22,7 +23,24 @@ func TestKeysAreStable(t *testing.T) {
 	if _, err := Linear(cat, "sequential", 4096, 20000, 1); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := Linear(cat, "phased", 64*1024, 20000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Requests(cat, workload.RequestConfig{
+		Dist: workload.SizesUniform, MinSize: 16, MaxSize: 1024,
+		MeanLifetime: 60, Count: 8000,
+	}, 31); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Adversarial(cat, workload.AdversarialConfig{
+		Target: "best-fit", HeapWords: 65536, Count: 6000,
+	}, 31); err != nil {
+		t.Fatal(err)
+	}
 	want := []string{
+		"dsasim/adversarial/target=best-fit/heap=65536/count=6000@1f",
+		"dsasim/phased/extent=65536/refs=20000@1",
+		"dsasim/requests/uniform/min=16/max=1024/mean=0/life=60/count=8000@1f",
 		"dsasim/segments/segs=32/refs=8000@1",
 		"dsasim/sequential/refs=20000/limit=4096",
 		"dsasim/workingset/extent=65536/refs=20000@1",
@@ -46,7 +64,7 @@ func TestKeysAreStable(t *testing.T) {
 // workload request a `dsasim -machine all` sweep will make without a
 // single further generation — the dsatrace warm contract.
 func TestWarmMachinesCoversTheSweep(t *testing.T) {
-	for _, kind := range []string{"segments", "workingset", "loop"} {
+	for _, kind := range []string{"segments", "workingset", "phased", "loop"} {
 		warm := catalog.New()
 		n, err := WarmMachines(warm, kind, 20000, 32, 1, 2)
 		if err != nil {
