@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet fmt-check lint build test race bench bench-gate examples fig sim dist-smoke battery-smoke tcp-smoke scenario-smoke
+.PHONY: ci vet fmt-check lint build test race bench bench-gate profile examples fig sim dist-smoke battery-smoke tcp-smoke scenario-smoke
 
 ci: vet fmt-check lint build race bench examples ## full tier-1 + lint + race + bench smoke + examples
 
@@ -57,10 +57,20 @@ BENCH_GATE_TIME ?= 200ms
 bench-gate:
 	@set -e; \
 	$(GO) test -run '^$$' -benchmem -count $(BENCH_GATE_COUNT) -benchtime $(BENCH_GATE_TIME) \
-		-bench '^(BenchmarkHeapAllocFree|BenchmarkTLBLookup|BenchmarkPagerTouch|BenchmarkReplacementPolicies|BenchmarkAllSweep|BenchmarkDistRoundTrips)$$' \
+		-bench '^(BenchmarkHeapAllocFree|BenchmarkTLBLookup|BenchmarkPagerTouch|BenchmarkReplacementPolicies|BenchmarkAllSweep|BenchmarkDistRoundTrips|BenchmarkMetricsTable|BenchmarkCellSteadyState|BenchmarkWorkloadGen)$$' \
 		. ./internal/engine/dist > $(BENCH_GATE_OUT).txt; \
 	cat $(BENCH_GATE_OUT).txt; \
 	$(GO) run ./cmd/dsabenchdiff parse -o $(BENCH_GATE_OUT).json $(BENCH_GATE_OUT).txt
+
+# Profile the full experiment battery through the CLIs' own
+# -cpuprofile/-memprofile flags (every sweep entry point registers
+# them via internal/cliflags). The heap profile is written after a
+# final GC, so it shows what the battery allocated, not what happened
+# to be live. Inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
+PROFILE_ARGS ?=
+profile:
+	$(GO) run ./cmd/dsafig -cpuprofile cpu.pprof -memprofile mem.pprof $(PROFILE_ARGS) > /dev/null
+	@echo "profile: wrote cpu.pprof and mem.pprof (go tool pprof <file>)"
 
 # Build every example program, then run the quickstart end to end.
 examples:

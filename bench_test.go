@@ -332,6 +332,90 @@ func BenchmarkAllSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsTable measures rendering a representative experiment
+// table — the hot path of every sweep's output — with the allocation
+// counters the bench gate tracks: the single-pass renderer should hold
+// a handful of allocations per render regardless of row count.
+func BenchmarkMetricsTable(b *testing.B) {
+	t := &metrics.Table{
+		Title:  "bench table",
+		Header: []string{"policy", "faults", "rate", "spacetime", "note"},
+	}
+	for i := 0; i < 24; i++ {
+		t.AddRow(fmt.Sprintf("policy-%d", i), i*137, float64(i)*0.017, int64(i)*1<<20, "steady")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(t.String()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkCellSteadyState measures the engine's per-cell cost in
+// steady state — scheduling, seeding, and result merging around
+// trivial cell bodies — with allocation counters, so the near-zero-
+// alloc cell path stays gated.
+func BenchmarkCellSteadyState(b *testing.B) {
+	jobs := make([]engine.Job, 256)
+	for i := range jobs {
+		jobs[i] = engine.Job{Key: fmt.Sprintf("cell%d", i),
+			Run: func(ctx context.Context, env engine.Env) (interface{}, error) {
+				return env.RNG.Uint64(), nil
+			}}
+	}
+	eng := engine.New(engine.Options{Parallel: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := eng.Run(context.Background(), jobs)
+		if len(results) != len(jobs) {
+			b.Fatal("short results")
+		}
+	}
+}
+
+// BenchmarkWorkloadGen measures the workload generators the catalog
+// rebuilds on every cold materialization, with allocation counters —
+// each generator should allocate its output trace and essentially
+// nothing else.
+func BenchmarkWorkloadGen(b *testing.B) {
+	const refs = 1 << 14
+	b.Run("workingset", func(b *testing.B) {
+		rng := sim.NewRNG(11)
+		cfg := workload.WorkloadWS(1<<16, refs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr, err := workload.WorkingSet(rng, cfg)
+			if err != nil || len(tr) == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("zipf", func(b *testing.B) {
+		rng := sim.NewRNG(12)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr := workload.Zipf(rng, 512, 512, 0.9, refs); len(tr) == 0 {
+				b.Fatal("empty trace")
+			}
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		rng := sim.NewRNG(13)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr := workload.UniformRandom(rng, 1<<16, refs); len(tr) == 0 {
+				b.Fatal("empty trace")
+			}
+		}
+	})
+}
+
 // BenchmarkEngineOverhead measures the engine's per-job cost with
 // trivial cells — the fan-out/merge tax a sweep pays over inline loops.
 func BenchmarkEngineOverhead(b *testing.B) {

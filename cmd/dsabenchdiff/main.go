@@ -23,7 +23,10 @@
 // side are listed but never gated. With -gate PCT the exit status
 // becomes 2 when the geomean regresses by more than PCT percent,
 // which is what lets CI hard-fail a pull request that slows the hot
-// paths down.
+// paths down. -gate-allocs PCT gates the allocs/op geomean the same
+// way, over the benchmarks that report allocations on both sides —
+// so an allocation regression fails CI even when it has not yet shown
+// up as time.
 package main
 
 import (
@@ -72,7 +75,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   dsabenchdiff parse [-o OUT.json] [BENCH.txt]   # bench output (or stdin) -> JSON snapshot
-  dsabenchdiff diff [-gate PCT] OLD.json NEW.json # delta table; exit 2 past the gate
+  dsabenchdiff diff [-gate PCT] [-gate-allocs PCT] OLD.json NEW.json # delta table; exit 2 past a gate
 `)
 	os.Exit(64)
 }
@@ -189,6 +192,7 @@ func loadSnapshot(path string) (*Snapshot, error) {
 func cmdDiff(args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	gate := fs.Float64("gate", 0, "fail (exit 2) if the geomean time ratio regresses by more than this percent")
+	gateAllocs := fs.Float64("gate-allocs", 0, "fail (exit 2) if the geomean allocs/op ratio regresses by more than this percent")
 	_ = fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
@@ -248,12 +252,57 @@ func cmdDiff(args []string) {
 	}
 	geomean := math.Exp(logSum / float64(len(names)))
 	fmt.Fprintf(w, "\ngeomean time ratio: %.4f (%+.1f%%) over %d benchmarks\n", geomean, (geomean-1)*100, len(names))
+	allocsGeo, allocsN := allocsGeomean(oldBy, newBy, names)
+	if allocsN > 0 {
+		fmt.Fprintf(w, "geomean allocs ratio: %.4f (%+.1f%%) over %d benchmarks\n", allocsGeo, (allocsGeo-1)*100, allocsN)
+	}
+	failed := false
 	if *gate > 0 {
 		limit := 1 + *gate/100
 		if geomean > limit {
 			fmt.Fprintf(w, "GATE FAIL: geomean %.4f exceeds regression limit %.4f (+%.0f%%)\n", geomean, limit, *gate)
-			os.Exit(2)
+			failed = true
+		} else {
+			fmt.Fprintf(w, "GATE OK: geomean %.4f within regression limit %.4f (+%.0f%%)\n", geomean, limit, *gate)
 		}
-		fmt.Fprintf(w, "GATE OK: geomean %.4f within regression limit %.4f (+%.0f%%)\n", geomean, limit, *gate)
 	}
+	if *gateAllocs > 0 && allocsN > 0 {
+		limit := 1 + *gateAllocs/100
+		if allocsGeo > limit {
+			fmt.Fprintf(w, "GATE FAIL: allocs geomean %.4f exceeds regression limit %.4f (+%.0f%%)\n", allocsGeo, limit, *gateAllocs)
+			failed = true
+		} else {
+			fmt.Fprintf(w, "GATE OK: allocs geomean %.4f within regression limit %.4f (+%.0f%%)\n", allocsGeo, limit, *gateAllocs)
+		}
+	}
+	if failed {
+		os.Exit(2)
+	}
+}
+
+// allocsGeomean is the geometric mean of the new/old allocs-per-op
+// ratios over the named benchmarks that reported allocations in the
+// old snapshot. A new-side zero — allocation-free after optimization —
+// is clamped to one alloc so the log stays finite while the win still
+// pulls the mean down; benchmarks without old-side allocation data
+// (plain -bench runs, or genuinely zero-alloc baselines) cannot be
+// gated and are skipped.
+func allocsGeomean(oldBy, newBy map[string]Result, names []string) (geomean float64, count int) {
+	logSum := 0.0
+	for _, n := range names {
+		o, nw := oldBy[n], newBy[n]
+		if o.AllocsPerOp <= 0 {
+			continue
+		}
+		newAllocs := nw.AllocsPerOp
+		if newAllocs < 1 {
+			newAllocs = 1
+		}
+		logSum += math.Log(newAllocs / o.AllocsPerOp)
+		count++
+	}
+	if count == 0 {
+		return 1, 0
+	}
+	return math.Exp(logSum / float64(count)), count
 }

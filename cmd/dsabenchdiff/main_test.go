@@ -41,3 +41,62 @@ func TestParseBenchRejectsEmptyInput(t *testing.T) {
 		t.Fatal("want an error when no benchmark lines are present")
 	}
 }
+
+func TestAllocsGeomean(t *testing.T) {
+	oldBy := map[string]Result{
+		"A": {Name: "A", AllocsPerOp: 100},
+		"B": {Name: "B", AllocsPerOp: 400},
+		"C": {Name: "C", AllocsPerOp: 0}, // no old-side data: skipped
+		"D": {Name: "D", AllocsPerOp: 50},
+	}
+	newBy := map[string]Result{
+		"A": {Name: "A", AllocsPerOp: 200}, // 2x regression
+		"B": {Name: "B", AllocsPerOp: 200}, // 2x improvement
+		"C": {Name: "C", AllocsPerOp: 7},
+		"D": {Name: "D", AllocsPerOp: 0}, // clamped to 1: a big win, finite log
+	}
+	names := []string{"A", "B", "C", "D"}
+	geo, n := allocsGeomean(oldBy, newBy, names)
+	if n != 3 {
+		t.Fatalf("gated %d benchmarks, want 3 (C has no old-side allocs)", n)
+	}
+	// ratios: 2, 0.5, 1/50 -> geomean = (2 * 0.5 * 0.02)^(1/3)
+	want := 0.2714
+	if geo < want-0.001 || geo > want+0.001 {
+		t.Fatalf("geomean = %v, want ~%v", geo, want)
+	}
+}
+
+func TestAllocsGeomeanNoData(t *testing.T) {
+	oldBy := map[string]Result{"A": {Name: "A"}}
+	newBy := map[string]Result{"A": {Name: "A", AllocsPerOp: 5}}
+	geo, n := allocsGeomean(oldBy, newBy, []string{"A"})
+	if n != 0 || geo != 1 {
+		t.Fatalf("want (1, 0) with no old-side allocation data, got (%v, %d)", geo, n)
+	}
+}
+
+func TestAllocsGeomeanGateBoundary(t *testing.T) {
+	// A pure 10% allocation regression sits exactly at geomean 1.10:
+	// the -gate-allocs 10 limit must not fire at the boundary and must
+	// fire just past it — mirroring the time gate's strict inequality.
+	oldBy := map[string]Result{"A": {Name: "A", AllocsPerOp: 100}}
+	for _, tc := range []struct {
+		newAllocs float64
+		fail      bool
+	}{
+		{110, false},
+		{111, true},
+	} {
+		newBy := map[string]Result{"A": {Name: "A", AllocsPerOp: tc.newAllocs}}
+		geo, n := allocsGeomean(oldBy, newBy, []string{"A"})
+		if n != 1 {
+			t.Fatalf("gated %d benchmarks, want 1", n)
+		}
+		limit := 1 + 10.0/100
+		if got := geo > limit; got != tc.fail {
+			t.Fatalf("new allocs %v: geomean %v vs limit %v: fail=%v, want %v",
+				tc.newAllocs, geo, limit, got, tc.fail)
+		}
+	}
+}

@@ -67,6 +67,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dsa/internal/cliflags"
@@ -105,6 +106,11 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	stopProfiles, err := sw.StartProfiles()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 	experiments.Configure(sw.Parallel, sw.Seed)
 	experiments.ConfigureBattery(sw.BatteryParallel)
 
@@ -137,6 +143,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dsafig: store: %s\n", st.Summary())
 		}
 	}()
+
+	// Sweep-cost manifest: with a cache directory the battery records
+	// each sweep's observed wall-clock time there, and later
+	// -battery-parallel runs schedule longest-first from it. Purely
+	// advisory — tables re-emit in canonical order regardless.
+	if sw.CacheDir != "" {
+		costs := battery.LoadCosts(filepath.Join(sw.CacheDir, "latency.json"))
+		experiments.UseCosts(costs)
+		defer func() {
+			if err := costs.Save(); err != nil {
+				fmt.Fprintf(os.Stderr, "dsafig: costs: %v\n", err)
+			}
+		}()
+	}
 
 	pool, err := sw.Pool()
 	if err != nil {

@@ -60,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -132,6 +133,11 @@ func main() {
 	)
 	sw := cliflags.Register(flag.CommandLine, "dsasim", 1)
 	flag.Parse()
+	stopProfiles, err := sw.StartProfiles()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	if strings.ToLower(*machineName) == "all" {
 		if *traceFile != "" {
@@ -177,6 +183,11 @@ func cmdRun(args []string) {
 	scenarios := fs.String("scenario", "", "comma-separated scenario files to compile and run (required)")
 	sw := cliflags.Register(fs, "dsasim", 0)
 	_ = fs.Parse(args)
+	stopProfiles, err := sw.StartProfiles()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	var names []string
 	for _, path := range strings.Split(*scenarios, ",") {
@@ -202,6 +213,15 @@ func cmdRun(args []string) {
 			fmt.Fprintf(os.Stderr, "dsasim: store: %s\n", store.Stats().Summary())
 		}
 	}()
+	if sw.CacheDir != "" {
+		costs := battery.LoadCosts(filepath.Join(sw.CacheDir, "latency.json"))
+		experiments.UseCosts(costs)
+		defer func() {
+			if err := costs.Save(); err != nil {
+				fmt.Fprintf(os.Stderr, "dsasim: costs: %v\n", err)
+			}
+		}()
+	}
 	pool, err := sw.Pool()
 	if err != nil {
 		fail(err)
@@ -331,6 +351,12 @@ func runAllBattery(names []string, store *catalog.Catalog, pool *dist.Pool,
 		cfg.Executor = pool
 	}
 	exec := battery.PoolFromConfig(cfg)
+	// Machine sweep costs persist beside the workload cache, so repeat
+	// -battery-parallel runs start the slowest machines first.
+	var costs *battery.CostManifest
+	if sw.CacheDir != "" {
+		costs = battery.LoadCosts(filepath.Join(sw.CacheDir, "latency.json"))
+	}
 	var tracker *battery.Tracker
 	if sw.Progress {
 		tracker = battery.NewTracker(len(names), store.Stats, func(p battery.Progress) {
@@ -349,8 +375,9 @@ func runAllBattery(names []string, store *catalog.Catalog, pool *dist.Pool,
 			return eng.Run(ctx, []engine.Job{machineJob(name, kind, refs, segs, sw.Seed, scale)})[0], nil
 		}}
 	}
-	battery.Run(context.Background(), units,
-		battery.Options{Parallel: sw.BatteryParallel, Tracker: tracker}, func(r battery.Result) {
+	results := battery.Run(context.Background(), units,
+		battery.Options{Parallel: sw.BatteryParallel, Tracker: tracker, Costs: costs.Cost},
+		func(r battery.Result) {
 			if r.Err != nil {
 				// A unit cannot fail by construction (cell failures ride
 				// inside the engine.Result), but containment demands we
@@ -360,6 +387,14 @@ func runAllBattery(names []string, store *catalog.Catalog, pool *dist.Pool,
 			}
 			emit(r.Value.(engine.Result))
 		})
+	for _, r := range results {
+		if r.Err == nil {
+			costs.Record(r.Name, r.Elapsed)
+		}
+	}
+	if err := costs.Save(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsasim: costs: %v\n", err)
+	}
 }
 
 // machineReport runs one machine × workload cell and renders its

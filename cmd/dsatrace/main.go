@@ -367,6 +367,11 @@ func cmdBatch(args []string) {
 	sw := cliflags.Register(fs, "dsatrace", 1)
 	g := specFlags(fs)
 	_ = fs.Parse(args)
+	stopProfiles, err := sw.StartProfiles()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	if *variants < 1 {
 		fail(fmt.Errorf("batch: -variants %d < 1", *variants))

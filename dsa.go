@@ -283,18 +283,37 @@
 //
 // bench-gate runs the named hot-path benchmarks (BenchmarkHeapAllocFree,
 // BenchmarkTLBLookup, BenchmarkPagerTouch, BenchmarkReplacementPolicies,
-// BenchmarkAllSweep, BenchmarkDistRoundTrips) and has cmd/dsabenchdiff
-// condense the output to a JSON snapshot, keeping the fastest of the
-// -count runs per benchmark — the noise floor that is stable enough to
-// gate on. CI's bench-gate job diffs that snapshot against the cached
-// main-branch baseline and fails the build when the geomean time ratio
-// regresses by more than 10%, so a change that slows these paths down
-// is blocked rather than merely reported; the baseline is re-saved
-// only from main pushes whose gate passed. The BENCH_<pr>.json files
-// at the repo root are local bench-gate snapshots committed per PR —
-// the recorded perf trajectory. Compare any two with:
+// BenchmarkAllSweep, BenchmarkDistRoundTrips, plus the allocation-shape
+// benchmarks BenchmarkMetricsTable, BenchmarkCellSteadyState and
+// BenchmarkWorkloadGen) and has cmd/dsabenchdiff condense the output to
+// a JSON snapshot, keeping the fastest of the -count runs per benchmark
+// — the noise floor that is stable enough to gate on. CI's bench-gate
+// job diffs that snapshot against the cached main-branch baseline and
+// fails the build when the geomean time ratio regresses by more than
+// 10% — or, via -gate-allocs, when the geomean allocs/op ratio does —
+// so a change that slows these paths down or re-grows their allocation
+// count is blocked rather than merely reported; the baseline is
+// re-saved only from main pushes whose gate passed. The BENCH_<pr>.json
+// files at the repo root are local bench-gate snapshots committed per
+// PR — the recorded perf trajectory. Compare any two with:
 //
 //	go run ./cmd/dsabenchdiff diff BENCH_6.json BENCH_7.json
+//
+// To find where a regression lives, every sweep-running command takes
+// -cpuprofile and -memprofile (standard pprof output; the allocs
+// profile is written after a final GC), and `make profile` runs the
+// full dsafig sweep under both — point `go tool pprof` at the result.
+//
+// Two cost-aware scheduling mechanisms reclaim wall-clock without
+// touching output bytes. A -cache-dir records each sweep's measured
+// latency into latency.json (atomic rename, corrupt-safe like the
+// workload cache); on the next -battery-parallel run the battery feeds
+// sweeps longest-first so a long tail cannot strand the final worker,
+// while results still emit in declaration order — byte-identical by
+// construction, pinned by tests. And -adaptive-batch lets each dist
+// worker size its protocol batches from an EWMA of measured per-cell
+// latency (targeting ~25ms per round trip, capped by -batch), so cheap
+// cells amortize framing while expensive cells keep feedback fresh.
 //
 // Every speedup to these paths is pinned by equivalence tests, not
 // just benchmarks: the indexed heap free list, the intrusive-LRU TLB,

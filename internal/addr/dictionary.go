@@ -49,6 +49,15 @@ func (d *SymbolicDictionary) Lookup(symbol string) (SegID, error) {
 	return id, nil
 }
 
+// Contains probes for a symbol without constructing a not-found error.
+// It counts as a lookup exactly like Lookup — existence probes are
+// bookkeeping the T7 comparison must see.
+func (d *SymbolicDictionary) Contains(symbol string) bool {
+	d.Lookups++
+	_, ok := d.ids[symbol]
+	return ok
+}
+
 // Remove deletes a symbol. Removing an unknown symbol is an error.
 func (d *SymbolicDictionary) Remove(symbol string) error {
 	d.Lookups++

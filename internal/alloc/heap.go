@@ -47,6 +47,16 @@ var ErrNoSpace = errors.New("alloc: no space")
 // allocated block.
 var ErrBadFree = errors.New("alloc: bad free")
 
+// Allocation failures are returned as cached errors: adversarial
+// workloads fail tens of thousands of times per cell, and callers only
+// ever test errors.Is(err, ErrNoSpace) — the request details are
+// recoverable from Stats/Counters, so formatting them per failure
+// bought nothing but garbage.
+var (
+	errFragmented = fmt.Errorf("%w: request fragmented (sufficient free words, no hole)", ErrNoSpace)
+	errExhausted  = fmt.Errorf("%w: request exceeds free words", ErrNoSpace)
+)
+
 // Mode selects when free neighbours are merged.
 type Mode int
 
@@ -104,6 +114,10 @@ type Heap struct {
 	// pool recycles Block nodes (linked through next) so steady-state
 	// alloc/free traffic does not allocate.
 	pool *Block
+
+	// Compact scratch, reused across calls (see Compact's contract).
+	moveScratch  []Move
+	orderScratch []*Block
 
 	// MinFragment is the smallest remainder worth keeping as a separate
 	// free block; smaller remainders are left attached to the allocated
@@ -186,10 +200,9 @@ func (h *Heap) Alloc(n int) (int, error) {
 		h.failures++
 		if h.FreeWords() >= n {
 			h.fragFails++
-			return 0, fmt.Errorf("%w: request %d fragmented (free %d, largest %d)",
-				ErrNoSpace, n, h.FreeWords(), h.LargestFree())
+			return 0, errFragmented
 		}
-		return 0, fmt.Errorf("%w: request %d exceeds free %d", ErrNoSpace, n, h.FreeWords())
+		return 0, errExhausted
 	}
 	if !b.Free || b.Size < n {
 		panic("alloc: policy returned unusable block")
@@ -444,13 +457,15 @@ type Move struct {
 // Compact slides every allocated block toward address zero, leaving
 // all free space as a single block at the top — the paper's "move
 // information around in storage so as to remove any unused spaces".
-// It returns the moves performed, in execution order. Note compaction
+// It returns the moves performed, in execution order; the slice is
+// only valid until the next Compact (it is reused scratch — callers
+// mirror the moves immediately and never retain them). Note compaction
 // is only possible because access is via the heap's handles; the paper
 // makes the same point about stored absolute addresses.
 func (h *Heap) Compact() []Move {
-	var moves []Move
+	moves := h.moveScratch[:0]
 	next := 0
-	var newOrder []*Block
+	newOrder := h.orderScratch[:0]
 	var stale *Block // old free blocks, chained for release
 	for b := h.head; b != nil; {
 		nb := b.next
@@ -507,6 +522,8 @@ func (h *Heap) Compact() []Move {
 		h.tailGap = len(newOrder)
 	}
 	h.tail = tailb
+	h.moveScratch = moves
+	h.orderScratch = newOrder[:0]
 	return moves
 }
 

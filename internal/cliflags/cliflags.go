@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dsa/internal/engine"
 	"dsa/internal/engine/dist"
@@ -32,10 +34,13 @@ type Sweep struct {
 	Remote          string
 	AuthToken       string
 	Batch           int
+	AdaptiveBatch   bool
 	BatteryParallel int
 	CacheDir        string
 	Progress        bool
 	Seed            uint64
+	CPUProfile      string
+	MemProfile      string
 }
 
 // Register installs the shared sweep flags — -parallel, -workers,
@@ -54,6 +59,8 @@ func Register(fs *flag.FlagSet, prog string, seedDefault uint64) *Sweep {
 	fs.StringVar(&s.AuthToken, "auth-token", os.Getenv("DSA_WORKER_TOKEN"),
 		"shared secret for -remote handshakes (default $DSA_WORKER_TOKEN)")
 	fs.IntVar(&s.Batch, "batch", 1, "cells per dist protocol frame with -workers/-remote (amortizes round trips)")
+	fs.BoolVar(&s.AdaptiveBatch, "adaptive-batch", false,
+		"size dist batches from measured per-cell latency instead of the static -batch (which then only caps them)")
 	fs.IntVar(&s.BatteryParallel, "battery-parallel", 1,
 		"run N whole sweeps concurrently over one shared executor (1 = serial; byte-identical at any N)")
 	fs.StringVar(&s.CacheDir, "cache-dir", "",
@@ -62,6 +69,8 @@ func Register(fs *flag.FlagSet, prog string, seedDefault uint64) *Sweep {
 		"report sweep progress (cells done/failed/total, ETA, cache traffic) on stderr")
 	fs.Uint64Var(&s.Seed, "seed", seedDefault,
 		"base seed (0 = paper-exact workloads; nonzero re-derives every workload)")
+	fs.StringVar(&s.CPUProfile, "cpuprofile", "", "write a CPU profile to `file` (go tool pprof)")
+	fs.StringVar(&s.MemProfile, "memprofile", "", "write an allocation profile to `file` on exit (go tool pprof)")
 	return s
 }
 
@@ -81,11 +90,54 @@ func (s *Sweep) Config(store *catalog.Catalog) engine.Config {
 		Catalog:         store,
 		Workers:         s.Workers,
 		Batch:           s.Batch,
+		AdaptiveBatch:   s.AdaptiveBatch,
 		Remote:          s.Remotes(),
 		AuthToken:       s.AuthToken,
 		CacheDir:        s.CacheDir,
 		BatteryParallel: s.BatteryParallel,
 	}
+}
+
+// StartProfiles honors the -cpuprofile/-memprofile flags: it starts
+// CPU profiling (when asked) and returns a stop function the command
+// must call on the way out — it stops the CPU profile and writes the
+// heap profile after a final GC, so the allocation picture reflects
+// live objects, not collectible garbage. With neither flag set the
+// returned function is a no-op. Profile files that cannot be created
+// are reported as errors up front rather than discovered after the run.
+func (s *Sweep) StartProfiles() (func(), error) {
+	var cpu *os.File
+	if s.CPUProfile != "" {
+		f, err := os.Create(s.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", s.Prog, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", s.Prog, err)
+		}
+		cpu = f
+	}
+	memPath := s.MemProfile
+	prog := s.Prog
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", prog, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", prog, err)
+			}
+		}
+	}, nil
 }
 
 // Pool builds the dist pool the flags ask for via dist.PoolFromConfig

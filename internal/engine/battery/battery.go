@@ -59,6 +59,10 @@ type Result struct {
 	// battery was cancelled before the unit started, or the unit
 	// function panicked (then Err wraps the recovered value).
 	Err error
+	// Elapsed is the unit's observed wall-clock run time (zero for
+	// units cancelled before they started). Callers feed it back into a
+	// CostManifest so the next battery run can schedule longest-first.
+	Elapsed time.Duration
 }
 
 // Options configures a battery run.
@@ -70,6 +74,13 @@ type Options struct {
 	// Tracker, if non-nil, receives sweep lifecycle events and renders
 	// battery-wide progress snapshots.
 	Tracker *Tracker
+	// Costs, if non-nil, reports the expected cost of a unit by name
+	// (typically CostManifest.Cost). With Parallel > 1, units with known
+	// costs are fed to workers longest-first so the battery's makespan
+	// is bounded by the widest sweep instead of whichever straggler was
+	// declared last; unknown units trail in declaration order. Emission
+	// order — and therefore output bytes — is unaffected.
+	Costs func(name string) (time.Duration, bool)
 }
 
 // Run executes every unit with at most o.Parallel sweeps in flight and
@@ -121,14 +132,25 @@ func Run(ctx context.Context, units []Unit, o Options, emit func(Result)) []Resu
 			}
 		}()
 	}
-	for i := range units {
+	// Feed order is a scheduling choice only — results re-emit in unit
+	// order regardless — so with width > 1 and recorded costs, feed
+	// longest-first to shorten the makespan. Serial batteries keep
+	// declaration order (reordering buys nothing at width 1).
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	if width > 1 && o.Costs != nil {
+		order = ScheduleOrder(len(units), o.Costs, func(i int) string { return units[i].Name })
+	}
+	for n, i := range order {
 		select {
 		case feed <- i:
 		case <-ctx.Done():
 			// Mark this and all remaining units cancelled; workers drain
 			// nothing further. These units never started, so account them
 			// as skipped rather than as a running sweep finishing.
-			for j := i; j < len(units); j++ {
+			for _, j := range order[n:] {
 				o.Tracker.sweepSkipped(units[j].Name)
 				results[j] = Result{Name: units[j].Name, Index: j, Err: ctx.Err()}
 				done <- j
@@ -156,7 +178,9 @@ func runUnit(ctx context.Context, index int, u Unit) (res Result) {
 		res.Err = err
 		return res
 	}
+	start := time.Now()
 	defer func() {
+		res.Elapsed = time.Since(start)
 		if p := recover(); p != nil {
 			stack := make([]byte, 8192)
 			stack = stack[:runtime.Stack(stack, false)]

@@ -1,0 +1,151 @@
+package battery
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CostManifest records the observed wall-clock cost of each battery
+// unit, persisted as JSON next to the workload cache. Costs feed the
+// longest-first scheduler: under a parallel battery the widest units
+// start first, so the tail of the run is short sweeps instead of one
+// straggler. The manifest is advisory throughout — a missing or
+// corrupt file degrades to an empty manifest, and scheduling order
+// never changes output bytes (results are re-emitted in declaration
+// order regardless).
+type CostManifest struct {
+	mu    sync.Mutex
+	path  string
+	costs map[string]time.Duration
+}
+
+// costFile is the JSON shape on disk: unit name to nanoseconds.
+type costFile struct {
+	Costs map[string]int64 `json:"costs"`
+}
+
+// LoadCosts opens (or initializes) the manifest at path. A missing,
+// unreadable or corrupt file yields an empty manifest — first runs
+// simply schedule in declaration order and record costs for the next.
+func LoadCosts(path string) *CostManifest {
+	m := &CostManifest{path: path, costs: make(map[string]time.Duration)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m
+	}
+	var f costFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return m
+	}
+	for name, ns := range f.Costs {
+		if ns > 0 {
+			m.costs[name] = time.Duration(ns)
+		}
+	}
+	return m
+}
+
+// Cost reports the recorded cost of a unit, if any. Nil-safe: a nil
+// manifest knows no costs.
+func (m *CostManifest) Cost(name string) (time.Duration, bool) {
+	if m == nil {
+		return 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.costs[name]
+	return d, ok
+}
+
+// Record stores an observed cost, replacing any earlier measurement.
+// Nil-safe no-op on a nil manifest or a non-positive duration.
+func (m *CostManifest) Record(name string, d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.costs[name] = d
+}
+
+// Len reports how many units have recorded costs.
+func (m *CostManifest) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.costs)
+}
+
+// Save writes the manifest atomically (temp file + rename, the same
+// idiom as the disk workload cache) so a crash mid-write never leaves
+// a corrupt manifest. Nil-safe no-op when there is nothing to write.
+func (m *CostManifest) Save() error {
+	if m == nil || m.path == "" {
+		return nil
+	}
+	m.mu.Lock()
+	f := costFile{Costs: make(map[string]int64, len(m.costs))}
+	for name, d := range m.costs {
+		f.Costs[name] = int64(d)
+	}
+	m.mu.Unlock()
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(m.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".costs-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), m.path)
+}
+
+// ScheduleOrder returns the order in which n units should be fed to
+// workers: longest recorded cost first, units without a recorded cost
+// trailing in declaration order. cost is typically CostManifest.Cost;
+// a nil cost function yields declaration order. The returned slice is
+// a permutation of [0, n) — emission order is unaffected (results are
+// always re-emitted in declaration order), so any permutation is
+// byte-identical; this one just shortens the parallel makespan.
+func ScheduleOrder(n int, cost func(name string) (time.Duration, bool), name func(i int) string) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if cost == nil {
+		return order
+	}
+	known := make([]time.Duration, n)
+	any := false
+	for i := 0; i < n; i++ {
+		if d, ok := cost(name(i)); ok {
+			known[i] = d
+			any = true
+		}
+	}
+	if !any {
+		return order
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return known[order[a]] > known[order[b]]
+	})
+	return order
+}

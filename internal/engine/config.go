@@ -44,6 +44,10 @@ type Config struct {
 	// Batch is the number of cells per dist protocol frame; <= 0
 	// means the dist default (one cell per frame).
 	Batch int
+	// AdaptiveBatch lets the dist pool size batches from measured
+	// per-cell latency instead of the static Batch (which then only
+	// caps the adaptive size). Output bytes are identical either way.
+	AdaptiveBatch bool
 	// Remote lists `<cmd> serve-worker` endpoints ("host:port"), one
 	// pool slot each, alongside any Workers children.
 	Remote []string

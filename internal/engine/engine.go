@@ -398,8 +398,12 @@ func (p poolExecutor) Execute(ctx context.Context, sw SweepEnv, jobs []Job, repo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One RNG per worker, reseeded per cell: the sequence each
+			// cell sees depends only on (seed, key), so reuse cannot be
+			// observed — it only drops the per-cell allocation.
+			var rng sim.RNG
 			for i := range feed {
-				report(RunJob(ctx, i, jobs[i], sw.Seed, sw.Catalog))
+				report(runJobSeeded(ctx, i, jobs[i], sw.Seed, sw.Catalog, &rng))
 			}
 		}()
 	}
@@ -428,6 +432,15 @@ func (p poolExecutor) Execute(ctx context.Context, sw SweepEnv, jobs []Job, repo
 // default in-process pool and the dist dispatcher's local fallback run
 // cells through here.
 func RunJob(ctx context.Context, index int, job Job, seed uint64, cat *catalog.Catalog) (res Result) {
+	var rng sim.RNG
+	return runJobSeeded(ctx, index, job, seed, cat, &rng)
+}
+
+// runJobSeeded is RunJob with a caller-owned RNG: the pool workers
+// hold one generator each and reseed it per cell, so steady-state cell
+// dispatch does not allocate. The sequence a cell draws depends only
+// on (seed, job.Key) either way.
+func runJobSeeded(ctx context.Context, index int, job Job, seed uint64, cat *catalog.Catalog, rng *sim.RNG) (res Result) {
 	res = Result{Key: job.Key, Index: index}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
@@ -442,8 +455,8 @@ func RunJob(ctx context.Context, index int, job Job, seed uint64, cat *catalog.C
 			res.Panicked = true
 		}
 	}()
-	env := Env{RNG: sim.NewRNG(sim.SeedFor(seed, job.Key)), Catalog: cat}
-	res.Value, res.Err = job.Run(ctx, env)
+	rng.Reseed(sim.SeedFor(seed, job.Key))
+	res.Value, res.Err = job.Run(ctx, Env{RNG: rng, Catalog: cat})
 	return res
 }
 

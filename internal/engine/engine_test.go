@@ -546,3 +546,31 @@ func TestOnProgressUnderCancellation(t *testing.T) {
 		t.Errorf("final snapshot = %+v, want done=%d failed=%d eta=0", final, n, n)
 	}
 }
+
+func TestCellExecutionAllocsBounded(t *testing.T) {
+	// Steady-state cell execution — scheduling, per-worker RNG reseeding,
+	// result merging — should cost O(1) allocations per cell for cells
+	// that allocate nothing themselves. The bound is loose enough for
+	// the fixed per-run structures (results slice, worker bookkeeping)
+	// and tight enough to catch a regression to per-cell RNG or map
+	// allocations.
+	const cells = 64
+	jobs := make([]Job, cells)
+	for i := range jobs {
+		jobs[i] = Job{Key: "cell" + string(rune('a'+i%26)) + string(rune('a'+i/26)),
+			Run: func(ctx context.Context, env Env) (interface{}, error) {
+				env.RNG.Uint64()
+				return nil, nil
+			}}
+	}
+	eng := New(Options{Parallel: 1})
+	eng.Run(context.Background(), jobs) // warm any lazily-built state
+	allocs := testing.AllocsPerRun(10, func() {
+		if results := eng.Run(context.Background(), jobs); len(results) != cells {
+			t.Fatal("short results")
+		}
+	})
+	if perCell := allocs / cells; perCell > 2 {
+		t.Errorf("engine allocates %.2f per cell in steady state, want <= 2", perCell)
+	}
+}

@@ -108,15 +108,31 @@ func a2Cells(sc runConfig) []cell {
 					return nil, err
 				}
 				h := alloc.New(32768, alloc.FirstFit{}, mc.mode)
-				freeAt := map[int][]int{}
+				// Per-slot FIFO free lists over flat arrays (node id is
+				// index+1 so zero means empty) instead of a map of
+				// slices, which dominated the sweep's allocations.
+				freeHead := make([]int32, len(reqs))
+				freeTail := make([]int32, len(reqs))
+				var addrs []int
+				var next []int32
 				for i, r := range reqs {
-					for _, a := range freeAt[i] {
-						if err := h.Free(a); err != nil {
+					for n := freeHead[i]; n != 0; n = next[n-1] {
+						if err := h.Free(addrs[n-1]); err != nil {
 							return nil, err
 						}
 					}
 					if a, err := h.Alloc(r.Size); err == nil && r.Lifetime > 0 {
-						freeAt[i+r.Lifetime] = append(freeAt[i+r.Lifetime], a)
+						if at := i + r.Lifetime; at < len(reqs) {
+							addrs = append(addrs, a)
+							next = append(next, 0)
+							id := int32(len(addrs))
+							if freeHead[at] == 0 {
+								freeHead[at] = id
+							} else {
+								next[freeTail[at]-1] = id
+							}
+							freeTail[at] = id
+						}
 					}
 				}
 				c := h.Counters()
@@ -240,21 +256,35 @@ func a4Cells(sc runConfig) []cell {
 					return nil, err
 				}
 				h := alloc.New(heapWords, alloc.FirstFit{}, alloc.CoalesceImmediate)
-				freeAt := map[int][]int{}
+				// Flat per-slot free lists, as in a2Cells: the map of
+				// address slices this replaces was the other dominant
+				// allocator in the full sweep.
+				freeHead := make([]int32, len(reqs))
+				freeTail := make([]int32, len(reqs))
+				var addrs []int
+				var next []int32
 				utilAtFail := -1.0
 				liveBlocks := 0
 				ratioSum, ratioN := 0.0, 0
 				for i, r := range reqs {
-					for _, a := range freeAt[i] {
-						if err := h.Free(a); err != nil {
+					for n := freeHead[i]; n != 0; n = next[n-1] {
+						if err := h.Free(addrs[n-1]); err != nil {
 							return nil, err
 						}
 						liveBlocks--
 					}
 					if a, err := h.Alloc(r.Size); err == nil {
 						liveBlocks++
-						if r.Lifetime > 0 {
-							freeAt[i+r.Lifetime] = append(freeAt[i+r.Lifetime], a)
+						if at := i + r.Lifetime; r.Lifetime > 0 && at < len(reqs) {
+							addrs = append(addrs, a)
+							next = append(next, 0)
+							id := int32(len(addrs))
+							if freeHead[at] == 0 {
+								freeHead[at] = id
+							} else {
+								next[freeTail[at]-1] = id
+							}
+							freeTail[at] = id
 						}
 					} else if utilAtFail < 0 {
 						utilAtFail = h.Stats().Utilization()

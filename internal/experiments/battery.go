@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"dsa/internal/engine"
 	"dsa/internal/engine/battery"
@@ -136,10 +137,12 @@ func Stream(emit func(*metrics.Table), names ...string) error {
 	sc := snapshot()
 	if sc.batteryParallel <= 1 {
 		for _, e := range list {
+			start := time.Now()
 			tb, err := e.fn()
 			if err != nil {
 				return err
 			}
+			sc.costs.Record(e.name, time.Since(start))
 			emit(tb)
 		}
 		return nil
@@ -202,7 +205,8 @@ func runConcurrentBattery(sc runConfig, list []namedExperiment, emit func(*metri
 	}
 	failed := false
 	results := battery.Run(ctx, units,
-		battery.Options{Parallel: sc.batteryParallel, Tracker: tracker}, func(r battery.Result) {
+		battery.Options{Parallel: sc.batteryParallel, Tracker: tracker, Costs: sc.costs.Cost},
+		func(r battery.Result) {
 			// Ordered emission: stop at the first failed slot, exactly
 			// where the serial loop would have stopped.
 			if failed {
@@ -214,6 +218,15 @@ func runConcurrentBattery(sc runConfig, list []namedExperiment, emit func(*metri
 			}
 			emit(r.Value.(*metrics.Table))
 		})
+	// Feed observed sweep times back into the manifest so the next
+	// battery schedules longest-first from real measurements. Failed or
+	// cancelled sweeps are not recorded — their elapsed time says
+	// nothing about a successful run's cost.
+	for _, r := range results {
+		if r.Err == nil {
+			sc.costs.Record(r.Name, r.Elapsed)
+		}
+	}
 	errMu.Lock()
 	defer errMu.Unlock()
 	// Report the battery-order-first real failure — the error a serial

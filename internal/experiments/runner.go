@@ -26,6 +26,7 @@ type runConfig struct {
 	bobserve        func(battery.Progress)
 	executor        engine.Executor
 	store           *catalog.Catalog
+	costs           *battery.CostManifest
 }
 
 var (
@@ -35,6 +36,7 @@ var (
 	batteryObserver func(battery.Progress)
 	executor        engine.Executor
 	batteryStore    *catalog.Catalog
+	costManifest    *battery.CostManifest
 )
 
 // Configure sets the parallelism (<= 0 means GOMAXPROCS) and the base
@@ -113,6 +115,20 @@ func UseStore(c *catalog.Catalog) {
 	batteryStore = c
 }
 
+// UseCosts installs a sweep-cost manifest for subsequent Run/All
+// batteries: each sweep's observed wall-clock time is recorded into it,
+// and with ConfigureBattery(n > 1) the scheduler feeds sweeps
+// longest-first by recorded cost — so the battery's tail is short
+// sweeps, not one late-declared straggler. Scheduling order never
+// changes output bytes (tables always re-emit in canonical order).
+// cmd/dsafig wires the manifest from its -cache-dir here and saves it
+// after the battery; pass nil to disable cost tracking.
+func UseCosts(m *battery.CostManifest) {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	costManifest = m
+}
+
 // snapshot returns the configuration an experiment should close over
 // before building cells, so a concurrent Configure cannot tear a
 // running sweep.
@@ -124,6 +140,7 @@ func snapshot() runConfig {
 	c.bobserve = batteryObserver
 	c.executor = executor
 	c.store = batteryStore
+	c.costs = costManifest
 	return c
 }
 

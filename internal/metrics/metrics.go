@@ -12,7 +12,7 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 
 	"dsa/internal/sim"
@@ -37,6 +37,12 @@ type SpaceTime struct {
 // NewSpaceTime returns an accumulator bound to the clock.
 func NewSpaceTime(clock *sim.Clock) *SpaceTime {
 	return &SpaceTime{clock: clock, last: clock.Now()}
+}
+
+// Reset rebinds the accumulator to clock and zeroes every account, so
+// one SpaceTime can be reused across runs instead of reallocated.
+func (s *SpaceTime) Reset(clock *sim.Clock) {
+	*s = SpaceTime{clock: clock, last: clock.Now()}
 }
 
 // accumulate charges the area since the last event at the current
@@ -166,6 +172,10 @@ func (f FragStats) InternalFrag() float64 {
 	return float64(f.AllocatedWords-f.RequestedWords) / float64(f.AllocatedWords)
 }
 
+// Reset zeroes the snapshot so a long-lived FragStats (one embedded in
+// reused per-worker scratch) can start a fresh accounting period.
+func (f *FragStats) Reset() { *f = FragStats{} }
+
 // Histogram is a fixed-bucket integer histogram for size and interval
 // distributions in reports.
 type Histogram struct {
@@ -187,15 +197,30 @@ func NewHistogram(bounds ...int64) *Histogram {
 	return &Histogram{Bounds: bounds, counts: make([]int64, len(bounds)+1)}
 }
 
-// Observe records a value.
+// Observe records a value. The bucket scan is an inline loop: the
+// bound lists here are a handful of entries, and the sort.Search
+// closure this replaces was a per-call indirect jump on the hottest
+// observe path.
 func (h *Histogram) Observe(v int64) {
-	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
 	h.counts[i]++
 	h.n++
 	h.sum += v
 	if v > h.max {
 		h.max = v
 	}
+}
+
+// Reset zeroes every bucket and statistic, keeping the bounds, so one
+// histogram can be reused across runs.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n, h.sum, h.max = 0, 0, 0
 }
 
 // Count reports the number of observations.
@@ -217,49 +242,131 @@ func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
 
 // Table renders rows of left-aligned columns with a header, the format
 // used by every experiment printer in cmd/dsafig and the benches.
+//
+// Rows added through AddRow share per-table scratch: each row is
+// formatted into one reused byte buffer and materialized as a single
+// string whose cells are substrings, so a row costs two allocations
+// (the string and the cell slice) regardless of column count.
 type Table struct {
 	Title  string
 	Header []string
 	Rows   [][]string
+
+	scratch []byte // row formatting buffer, reused across AddRow calls
+	ends    []int  // scratch offsets where each cell of the row ends
+	widths  []int  // running max cell width per column, AddRow rows only
+	tracked int    // rows whose widths are folded into widths
 }
 
-// AddRow appends a row of cells formatted with fmt.Sprint.
+// appendCell formats one cell into buf exactly as the historical
+// fmt.Sprint path did: floats as %.3f, everything without a fast path
+// through fmt. The fast paths cover the exact types experiment cells
+// emit; defined types with String methods (sim.Time) still take the
+// fmt route and render identically.
+func appendCell(buf []byte, c interface{}) []byte {
+	switch v := c.(type) {
+	case float64:
+		return strconv.AppendFloat(buf, v, 'f', 3, 64)
+	case int:
+		return strconv.AppendInt(buf, int64(v), 10)
+	case int64:
+		return strconv.AppendInt(buf, v, 10)
+	case string:
+		return append(buf, v...)
+	default:
+		return fmt.Append(buf, c)
+	}
+}
+
+// AddRow appends a row of cells, formatted with fmt.Sprint semantics
+// (float64 as %.3f).
 func (t *Table) AddRow(cells ...interface{}) {
+	buf := t.scratch[:0]
+	t.ends = t.ends[:0]
+	for _, c := range cells {
+		buf = appendCell(buf, c)
+		t.ends = append(t.ends, len(buf))
+	}
+	t.scratch = buf
+	s := string(buf)
 	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
-		default:
-			row[i] = fmt.Sprint(c)
+	start := 0
+	for i, end := range t.ends {
+		row[i] = s[start:end]
+		start = end
+	}
+	for i, cell := range row {
+		if i == len(t.widths) {
+			t.widths = append(t.widths, len(cell))
+		} else if len(cell) > t.widths[i] {
+			t.widths[i] = len(cell)
 		}
 	}
 	t.Rows = append(t.Rows, row)
+	t.tracked++
 }
 
-// String renders the table with aligned columns.
-func (t *Table) String() string {
-	var b strings.Builder
-	if t.Title != "" {
-		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+// pad is the whitespace/rule source for column padding; columns wider
+// than this fall back to a loop (none of the experiment tables do).
+const pad = "                                                                "
+const rule = "----------------------------------------------------------------"
+
+func writePadded(b *strings.Builder, s string, width int) {
+	b.WriteString(s)
+	for n := width - len(s); n > 0; {
+		k := n
+		if k > len(pad) {
+			k = len(pad)
+		}
+		b.WriteString(pad[:k])
+		n -= k
 	}
+}
+
+// String renders the table with aligned columns, in one pass: column
+// widths are tracked incrementally by AddRow (recomputed only when
+// rows were appended directly), and the output is built with manual
+// padding into a pre-grown builder instead of per-cell fmt calls.
+func (t *Table) String() string {
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+	if t.tracked == len(t.Rows) {
+		for i, w := range t.widths {
+			if i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
+	} else {
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+	}
+	lineWidth := 1 // newline
+	for i, w := range widths {
+		if i > 0 {
+			lineWidth += 2
+		}
+		lineWidth += w
+	}
+	var b strings.Builder
+	b.Grow(len(t.Title) + 8 + lineWidth*(len(t.Rows)+2))
+	if t.Title != "" {
+		b.WriteString("== ")
+		b.WriteString(t.Title)
+		b.WriteString(" ==\n")
 	}
 	line := func(cells []string) {
 		for i, cell := range cells {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			writePadded(&b, cell, widths[i])
 		}
 		b.WriteByte('\n')
 	}
@@ -268,7 +375,14 @@ func (t *Table) String() string {
 		if i > 0 {
 			b.WriteString("  ")
 		}
-		b.WriteString(strings.Repeat("-", w))
+		for w > 0 {
+			k := w
+			if k > len(rule) {
+				k = len(rule)
+			}
+			b.WriteString(rule[:k])
+			w -= k
+		}
 	}
 	b.WriteByte('\n')
 	for _, row := range t.Rows {

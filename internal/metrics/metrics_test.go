@@ -201,3 +201,25 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("columns misaligned:\n%s", s)
 	}
 }
+
+func TestTableRenderAllocsBounded(t *testing.T) {
+	tb := &Table{Title: "alloc guard", Header: []string{"name", "value", "rate"}}
+	for i := 0; i < 32; i++ {
+		tb.AddRow("row", i, float64(i)*0.25)
+	}
+	if tb.String() == "" { // warm the render scratch
+		t.Fatal("empty render")
+	}
+	// The single-pass renderer builds the whole table in one tracked
+	// buffer: one allocation for the buffer (when it grows) plus one
+	// for the returned string. A regression to per-cell or per-row
+	// formatting allocations trips this hard bound.
+	allocs := testing.AllocsPerRun(20, func() {
+		if len(tb.String()) == 0 {
+			t.Fatal("empty render")
+		}
+	})
+	if allocs > 3 {
+		t.Errorf("Table.String allocates %.1f per render, want <= 3", allocs)
+	}
+}

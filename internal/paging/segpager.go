@@ -212,8 +212,11 @@ func (p *SegPager) access(seg addr.SegID, off addr.Name, write bool) (addr.Addre
 		p.cfg.Policy.Touch(key, p.cfg.Clock.Now(), write)
 		return a + addr.Address(p.cfg.FrameBase), nil
 	}
-	var pf *mapping.PageFault
-	if !errors.As(err, &pf) {
+	// Translate returns the fault unwrapped; a type assertion avoids
+	// the errors.As escape that otherwise costs one heap allocation
+	// per reference, hit or miss.
+	pf, ok := err.(*mapping.PageFault)
+	if !ok {
 		return 0, err
 	}
 	if ferr := p.pageFault(seg, pf.Page, write); ferr != nil {

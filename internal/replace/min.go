@@ -9,10 +9,16 @@ import "dsa/internal/sim"
 // cursor on every Touch. It exists as the unreachable yardstick that
 // the paper's cited study measures every realizable policy against.
 type MIN struct {
-	// next[i] holds, for reference position i, the position of the next
-	// reference to the same page (len(refs) if none).
-	future   []PageID
-	nextPos  map[PageID][]int // ascending positions per page
+	future []PageID
+	// next[i] holds, for reference position i, the position of the
+	// next reference to the same page (len(future)+1 if none — the
+	// "never used again" sentinel Victim compares against). One flat
+	// precomputed array replaces the per-page position queues, whose
+	// construction dominated NewMIN's allocations.
+	next []int
+	// nextUse maps each resident page to the position of its next
+	// reference after the reference that last consumed it.
+	nextUse  map[PageID]int
 	cursor   int
 	resident map[PageID]bool
 }
@@ -22,11 +28,19 @@ type MIN struct {
 func NewMIN(refs []PageID) *MIN {
 	m := &MIN{
 		future:   refs,
-		nextPos:  make(map[PageID][]int),
+		next:     make([]int, len(refs)),
+		nextUse:  make(map[PageID]int),
 		resident: make(map[PageID]bool),
 	}
-	for i, p := range refs {
-		m.nextPos[p] = append(m.nextPos[p], i)
+	last := make(map[PageID]int)
+	for i := len(refs) - 1; i >= 0; i-- {
+		p := refs[i]
+		if j, ok := last[p]; ok {
+			m.next[i] = j
+		} else {
+			m.next[i] = len(refs) + 1 // never used again
+		}
+		last[p] = i
 	}
 	return m
 }
@@ -34,15 +48,15 @@ func NewMIN(refs []PageID) *MIN {
 // Name implements Policy.
 func (*MIN) Name() string { return "belady-min" }
 
-// consume advances the cursor past the current reference and trims the
-// page's pending-position queue.
+// consume advances the cursor past the current reference and records
+// the consumed page's next use.
 func (m *MIN) consume(id PageID) {
-	m.cursor++
-	q := m.nextPos[id]
-	for len(q) > 0 && q[0] < m.cursor {
-		q = q[1:]
+	if m.cursor < len(m.next) {
+		m.nextUse[id] = m.next[m.cursor]
+	} else {
+		m.nextUse[id] = len(m.future) + 1
 	}
-	m.nextPos[id] = q
+	m.cursor++
 }
 
 // Insert implements Policy. The insertion reference consumes one
@@ -66,10 +80,7 @@ func (m *MIN) Victim(sim.Time) (PageID, error) {
 	bestNext := -1
 	first := true
 	for id := range m.resident {
-		next := len(m.future) + 1 // never used again
-		if q := m.nextPos[id]; len(q) > 0 {
-			next = q[0]
-		}
+		next := m.nextUse[id]
 		if first || next > bestNext || (next == bestNext && id < victim) {
 			victim = id
 			bestNext = next

@@ -58,9 +58,15 @@ type Policy interface {
 	Len() int
 }
 
-// FIFO evicts the page resident longest.
+// FIFO evicts the page resident longest. The queue is a slice behind
+// an advancing head index: re-slicing the head away (queue = queue[1:])
+// made every append past capacity reallocate forever, because the
+// consumed front of the backing array could never be reused. Compacting
+// in place when growth would otherwise allocate keeps steady-state
+// insert/evict traffic on one backing array.
 type FIFO struct {
 	queue []PageID
+	head  int
 	pos   map[PageID]bool
 }
 
@@ -76,6 +82,11 @@ func (f *FIFO) Insert(id PageID, _ sim.Time) {
 		return
 	}
 	f.pos[id] = true
+	if len(f.queue) == cap(f.queue) && f.head > 0 {
+		n := copy(f.queue, f.queue[f.head:])
+		f.queue = f.queue[:n]
+		f.head = 0
+	}
 	f.queue = append(f.queue, id)
 }
 
@@ -84,12 +95,12 @@ func (f *FIFO) Touch(PageID, sim.Time, bool) {}
 
 // Victim implements Policy.
 func (f *FIFO) Victim(sim.Time) (PageID, error) {
-	for len(f.queue) > 0 {
-		id := f.queue[0]
+	for f.head < len(f.queue) {
+		id := f.queue[f.head]
 		if f.pos[id] {
 			return id, nil
 		}
-		f.queue = f.queue[1:] // lazily drop removed entries
+		f.head++ // lazily drop removed entries
 	}
 	return 0, ErrEmpty
 }
@@ -100,14 +111,14 @@ func (f *FIFO) Remove(id PageID) {
 		return
 	}
 	delete(f.pos, id)
-	if len(f.queue) > 0 && f.queue[0] == id {
-		f.queue = f.queue[1:]
-	} else {
-		for i, q := range f.queue {
-			if q == id {
-				f.queue = append(f.queue[:i], f.queue[i+1:]...)
-				break
-			}
+	if f.head < len(f.queue) && f.queue[f.head] == id {
+		f.head++
+		return
+	}
+	for i := f.head; i < len(f.queue); i++ {
+		if f.queue[i] == id {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			break
 		}
 	}
 }

@@ -103,12 +103,21 @@ func AllocPolicy(name string) (func() (alloc.Policy, alloc.Mode), bool) {
 // bytes by construction.
 func PlacementTail(reqs []workload.Request, pol alloc.Policy, mode alloc.Mode, heapWords int) ([]interface{}, error) {
 	h := alloc.New(heapWords, pol, mode)
-	// freeAt[i] lists addresses to free before request i.
-	freeAt := make(map[int][]int)
+	// The free schedule — addresses to free before request i — is an
+	// intrusive FIFO list per step over flat slices (node ids are
+	// index+1, so the zero value means "empty bucket"). A map of
+	// per-step slices here allocated on nearly every successful
+	// request; adversarial streams schedule tens of thousands. Frees
+	// that would land at or beyond len(reqs) are never consumed by the
+	// loop, so they are not scheduled at all.
+	freeHead := make([]int32, len(reqs))
+	freeTail := make([]int32, len(reqs))
+	var addrs []int
+	var next []int32
 	utilAtFirstFail := -1.0
 	for i, req := range reqs {
-		for _, a := range freeAt[i] {
-			if err := h.Free(a); err != nil {
+		for n := freeHead[i]; n != 0; n = next[n-1] {
+			if err := h.Free(addrs[n-1]); err != nil {
 				return nil, err
 			}
 		}
@@ -119,8 +128,16 @@ func PlacementTail(reqs []workload.Request, pol alloc.Policy, mode alloc.Mode, h
 			}
 			continue
 		}
-		if req.Lifetime > 0 {
-			freeAt[i+req.Lifetime] = append(freeAt[i+req.Lifetime], a)
+		if at := i + req.Lifetime; req.Lifetime > 0 && at < len(reqs) {
+			addrs = append(addrs, a)
+			next = append(next, 0)
+			id := int32(len(addrs))
+			if freeHead[at] == 0 {
+				freeHead[at] = id
+			} else {
+				next[freeTail[at]-1] = id
+			}
+			freeTail[at] = id
 		}
 	}
 	c := h.Counters()

@@ -150,7 +150,7 @@ func (m *Manager) Create(symbol string, extent addr.Name) (addr.SegID, error) {
 		return 0, fmt.Errorf("%w: %q extent %d exceeds core %d",
 			ErrTooLarge, symbol, extent, m.cfg.Working.Capacity())
 	}
-	if _, err := m.dict.Lookup(symbol); err == nil {
+	if m.dict.Contains(symbol) {
 		return 0, fmt.Errorf("segment: %q already exists", symbol)
 	}
 	if m.backingNext+int(extent) > m.cfg.Backing.Capacity() {

@@ -18,6 +18,15 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Reseed resets the generator to the exact sequence NewRNG(seed)
+// produces, so one RNG can be reused across cells without allocating.
+func (r *RNG) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r.state = seed
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

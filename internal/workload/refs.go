@@ -12,10 +12,17 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dsa/internal/sim"
 	"dsa/internal/trace"
 )
+
+// zipfCDF pools the CDF scratch Zipf rebuilds on every call; catalog
+// materializations regenerate traces often enough that the rebuild
+// showed up in the sweep allocation profile. Only the returned trace
+// outlives a call — the scratch never does, so pooling is safe.
+var zipfCDF = sync.Pool{New: func() interface{} { return new([]float64) }}
 
 // Sequential returns a trace that scans names [0, extent) in order,
 // repeated `passes` times — the pure-locality regime in which
@@ -124,17 +131,19 @@ func Zipf(rng *sim.RNG, pages int, pageSize uint64, s float64, length int) trace
 	if pages <= 0 || length <= 0 {
 		return nil
 	}
-	// Build the CDF once.
-	weights := make([]float64, pages)
+	// Build the CDF once, in pooled scratch: weights are staged in the
+	// same buffer and normalized in place, preserving the exact
+	// accumulation order of the separate weights/cdf arrays.
+	scratch := zipfCDF.Get().(*[]float64)
+	cdf := (*scratch)[:0]
 	total := 0.0
 	for k := 0; k < pages; k++ {
 		w := 1.0 / math.Pow(float64(k+1), s)
-		weights[k] = w
+		cdf = append(cdf, w)
 		total += w
 	}
-	cdf := make([]float64, pages)
 	acc := 0.0
-	for k, w := range weights {
+	for k, w := range cdf {
 		acc += w / total
 		cdf[k] = acc
 	}
@@ -154,6 +163,8 @@ func Zipf(rng *sim.RNG, pages int, pageSize uint64, s float64, length int) trace
 		off := rng.Uint64() % pageSize
 		tr[i] = trace.Ref{Op: trace.Read, Name: uint64(lo)*pageSize + off}
 	}
+	*scratch = cdf
+	zipfCDF.Put(scratch)
 	return tr
 }
 
