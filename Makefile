@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet fmt-check lint build test race bench bench-gate profile examples fig sim dist-smoke battery-smoke tcp-smoke scenario-smoke
+.PHONY: ci vet fmt-check lint build test race bench bench-gate profile examples fig sim dist-smoke battery-smoke tcp-smoke scenario-smoke serve-smoke load-smoke
 
 ci: vet fmt-check lint build race bench examples ## full tier-1 + lint + race + bench smoke + examples
 
@@ -227,7 +227,7 @@ tcp-smoke:
 	if [ -n "$(TCP_SMOKE_DIR)" ]; then tmp="$(TCP_SMOKE_DIR)"; mkdir -p "$$tmp"; keep=1; \
 	else tmp=$$(mktemp -d); keep=; fi; \
 	pids=; \
-	trap 'kill $$pids 2>/dev/null; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	trap 'kill $$pids 2>/dev/null || true; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/dsasim" ./cmd/dsasim; \
 	$(GO) build -o "$$tmp/dsafig" ./cmd/dsafig; \
 	"$$tmp/dsasim" -machine all -workload segments > "$$tmp/sim-serial.out"; \
@@ -258,3 +258,75 @@ tcp-smoke:
 	grep -q "16 cells in 2 workers, 0 in-process, 0 crashes" "$$tmp/fig-tcp-bp.err"; \
 	$(GO) test -race -count=1 -run 'TCP|Fault|Frame|RemoteLocal' ./internal/engine/dist; \
 	echo "tcp-smoke: remote TCP output byte-identical; fault-injection suite green under -race"
+
+# Sweep-service determinism check: a `dsasim serve` daemon's streamed
+# output must be byte-identical to the serial CLI for both a registry
+# sweep (t2) and an uploaded scenario file (the PR 8 compiler as API
+# payload), and re-fetching a completed result by its content-addressed
+# key must regenerate nothing — the daemon's /stats (job counters plus
+# the store summary) is captured before and after the fetch and must
+# not change by a byte. CI's serve-smoke job runs this with
+# SERVE_SMOKE_DIR set so the outputs can be uploaded as a debugging
+# artifact on failure.
+SERVE_SMOKE_DIR ?=
+serve-smoke:
+	@set -e; \
+	if [ -n "$(SERVE_SMOKE_DIR)" ]; then tmp="$(SERVE_SMOKE_DIR)"; mkdir -p "$$tmp"; keep=1; \
+	else tmp=$$(mktemp -d); keep=; fi; \
+	pids=; \
+	trap 'kill $$pids 2>/dev/null || true; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/dsasim" ./cmd/dsasim; \
+	$(GO) build -o "$$tmp/dsafig" ./cmd/dsafig; \
+	$(GO) build -o "$$tmp/dsabench" ./cmd/dsabench; \
+	mirror=examples/scenarios/t2-mirror.toml; \
+	"$$tmp/dsafig" t2 > "$$tmp/cli-t2.out"; \
+	"$$tmp/dsafig" -scenario "$$mirror" > "$$tmp/cli-mirror.out"; \
+	"$$tmp/dsasim" serve -listen 127.0.0.1:0 -addr-file "$$tmp/serve.addr" -cache-dir "$$tmp/cache" \
+		2> "$$tmp/serve.err" & pids="$$!"; \
+	i=0; while [ ! -s "$$tmp/serve.addr" ]; do \
+		i=$$((i+1)); if [ $$i -gt 500 ]; then echo "serve-smoke: serve.addr never appeared"; exit 1; fi; \
+		sleep 0.02; done; \
+	addr=$$(cat "$$tmp/serve.addr"); \
+	"$$tmp/dsabench" submit -url "http://$$addr" -experiments t2 -key-file "$$tmp/t2.key" \
+		> "$$tmp/served-t2.out"; \
+	cmp "$$tmp/cli-t2.out" "$$tmp/served-t2.out"; \
+	"$$tmp/dsabench" submit -url "http://$$addr" -scenario-file "$$mirror" > "$$tmp/served-mirror.out"; \
+	cmp "$$tmp/cli-mirror.out" "$$tmp/served-mirror.out"; \
+	"$$tmp/dsabench" stats -url "http://$$addr" > "$$tmp/stats-before.json"; \
+	"$$tmp/dsabench" fetch -url "http://$$addr" -key "$$(cat "$$tmp/t2.key")" > "$$tmp/fetched-t2.out"; \
+	cmp "$$tmp/cli-t2.out" "$$tmp/fetched-t2.out"; \
+	"$$tmp/dsabench" stats -url "http://$$addr" > "$$tmp/stats-after.json"; \
+	cat "$$tmp/stats-after.json"; \
+	cmp "$$tmp/stats-before.json" "$$tmp/stats-after.json"; \
+	grep -q '"store":"6 generated' "$$tmp/stats-after.json"; \
+	kill -TERM $$pids; wait $$pids; pids=; \
+	grep -q '^dsasim: store:' "$$tmp/serve.err"; \
+	echo "serve-smoke: served streams byte-identical to the CLI; fetch-by-key regenerated nothing"
+
+# Sweep-service load check: a burst of concurrent submissions against a
+# deliberately tiny cell budget must come back all 2xx/429 (back-
+# pressure, never errors) with sane latency percentiles, the daemon
+# must drain cleanly on SIGTERM (exit 0), and the in-process half —
+# TestServeLoadNoGoroutineLeak — must show the goroutine count
+# returning to baseline after shutdown. CI's serve-smoke job runs this
+# with LOAD_SMOKE_DIR set for failure artifacts.
+LOAD_SMOKE_DIR ?=
+load-smoke:
+	@set -e; \
+	if [ -n "$(LOAD_SMOKE_DIR)" ]; then tmp="$(LOAD_SMOKE_DIR)"; mkdir -p "$$tmp"; keep=1; \
+	else tmp=$$(mktemp -d); keep=; fi; \
+	pids=; \
+	trap 'kill $$pids 2>/dev/null || true; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/dsasim" ./cmd/dsasim; \
+	$(GO) build -o "$$tmp/dsabench" ./cmd/dsabench; \
+	"$$tmp/dsasim" serve -listen 127.0.0.1:0 -addr-file "$$tmp/serve.addr" -parallel 2 \
+		2> "$$tmp/serve.err" & pids="$$!"; \
+	i=0; while [ ! -s "$$tmp/serve.addr" ]; do \
+		i=$$((i+1)); if [ $$i -gt 500 ]; then echo "load-smoke: serve.addr never appeared"; exit 1; fi; \
+		sleep 0.02; done; \
+	addr=$$(cat "$$tmp/serve.addr"); \
+	"$$tmp/dsabench" load -url "http://$$addr" -n 220 -c 60 -experiments t1 | tee "$$tmp/load.out"; \
+	kill -TERM $$pids; wait $$pids; pids=; \
+	grep -q '^dsasim: serve: shutting down' "$$tmp/serve.err"; \
+	$(GO) test -count=1 -run 'TestServeLoadNoGoroutineLeak' -v ./internal/serve | tail -3; \
+	echo "load-smoke: 2xx/429 only under load; clean SIGTERM drain; no goroutine leak"

@@ -1,0 +1,315 @@
+// Command dsabench is the load and client harness for the `dsasim
+// serve` sweep service.
+//
+// Usage:
+//
+//	dsabench load -url http://host:port [-n 200] [-c 50] [-experiments t1]
+//	         [-tenants 5] [-seeds 8] [-retry 0]
+//	dsabench submit -url http://host:port [-experiments t2] [-scenario-file F]
+//	         [-seed S] [-tenant T] [-key-file F]
+//	dsabench fetch -url http://host:port -key KEY
+//	dsabench stats -url http://host:port
+//
+// `load` fires -n sweep submissions at the daemon with -c in flight,
+// spread across -tenants tenants and -seeds distinct seeds, and
+// reports the response mix and submission latency percentiles
+// (p50/p90/p99). Any response outside 2xx/429 is a failure: the
+// daemon's contract under overload is back-pressure, never an error.
+// With -retry > 0, a 429 is retried up to that many times, sleeping
+// the server's Retry-After between attempts.
+//
+// `submit` submits one sweep — named experiments and/or a scenario
+// file uploaded inline, the PR 8 compiler as API payload — then
+// streams the job's output to stdout: byte-identical to the serial
+// CLI for the same names and seed, which `make serve-smoke` enforces
+// with a byte diff. -key-file records the result's content-addressed
+// key for a later `fetch`.
+//
+// `fetch` retrieves a completed result by key without recomputing
+// anything; `stats` dumps the daemon's counters and store summary.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	args := os.Args[1:]
+	cmd := "load"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "load":
+		err = cmdLoad(args)
+	case "submit":
+		err = cmdSubmit(args)
+	case "fetch":
+		err = cmdFetch(args)
+	case "stats":
+		err = cmdStats(args)
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want load, submit, fetch or stats)", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsabench:", err)
+		os.Exit(1)
+	}
+}
+
+// submitBody is the POST /sweeps payload (mirrors internal/serve's
+// submitRequest; dsabench speaks only the public wire shape).
+type submitBody struct {
+	Experiments  []string `json:"experiments,omitempty"`
+	Scenario     string   `json:"scenario,omitempty"`
+	ScenarioFile string   `json:"scenario_file,omitempty"`
+	Seed         uint64   `json:"seed,omitempty"`
+}
+
+type submitReply struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	url := fs.String("url", "", "base URL of the dsasim serve daemon (required)")
+	n := fs.Int("n", 200, "total submissions")
+	c := fs.Int("c", 50, "submissions in flight")
+	experiments := fs.String("experiments", "t1", "comma-separated experiment names per submission")
+	tenants := fs.Int("tenants", 5, "spread submissions across this many tenants")
+	seeds := fs.Int("seeds", 8, "spread submissions across this many distinct seeds")
+	retry := fs.Int("retry", 0, "retries per 429, honoring the server's Retry-After")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	_ = fs.Parse(args)
+	if *url == "" {
+		return fmt.Errorf("load: -url is required")
+	}
+	names := splitList(*experiments)
+	client := &http.Client{Timeout: *timeout}
+
+	type outcome struct {
+		code    int
+		latency time.Duration
+		err     error
+	}
+	results := make([]outcome, *n)
+	sem := make(chan struct{}, max(1, *c))
+	var wg sync.WaitGroup
+	var errs atomic.Int32
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body, _ := json.Marshal(submitBody{Experiments: names, Seed: uint64(i % max(1, *seeds))})
+			tenant := fmt.Sprintf("bench-%d", i%max(1, *tenants))
+			start := time.Now()
+			code, _, err := postSweep(client, *url, tenant, body, *retry)
+			results[i] = outcome{code: code, latency: time.Since(start), err: err}
+			if err != nil {
+				errs.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	byCode := map[int]int{}
+	var latencies []time.Duration
+	bad := 0
+	for _, r := range results {
+		if r.err != nil {
+			bad++
+			continue
+		}
+		byCode[r.code]++
+		latencies = append(latencies, r.latency)
+		if !(r.code >= 200 && r.code < 300) && r.code != http.StatusTooManyRequests {
+			bad++
+		}
+	}
+	codes := make([]int, 0, len(byCode))
+	for code := range byCode {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	fmt.Printf("dsabench load: %d submissions, %d in flight\n", *n, *c)
+	for _, code := range codes {
+		fmt.Printf("  %d: %d\n", code, byCode[code])
+	}
+	if errs.Load() > 0 {
+		fmt.Printf("  transport errors: %d\n", errs.Load())
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	fmt.Printf("  latency p50 %s  p90 %s  p99 %s\n",
+		percentile(latencies, 50), percentile(latencies, 90), percentile(latencies, 99))
+	if bad > 0 {
+		return fmt.Errorf("load: %d responses outside 2xx/429", bad)
+	}
+	return nil
+}
+
+// postSweep submits once, retrying 429s when asked — sleeping the
+// server's Retry-After (or one second when absent) between attempts.
+func postSweep(client *http.Client, url, tenant string, body []byte, retries int) (int, submitReply, error) {
+	var reply submitReply
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest("POST", url+"/sweeps", bytes.NewReader(body))
+		if err != nil {
+			return 0, reply, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, reply, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
+			wait := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(wait)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&reply)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 && err != nil {
+			return resp.StatusCode, reply, fmt.Errorf("decoding submit reply: %w", err)
+		}
+		return resp.StatusCode, reply, nil
+	}
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	url := fs.String("url", "", "base URL of the dsasim serve daemon (required)")
+	experiments := fs.String("experiments", "", "comma-separated experiment names")
+	scenarioFile := fs.String("scenario-file", "", "scenario file to upload inline with the submission")
+	seed := fs.Uint64("seed", 0, "base workload seed (0 = paper-exact)")
+	tenant := fs.String("tenant", "", "tenant to submit as (default the server's default tenant)")
+	keyFile := fs.String("key-file", "", "write the result's content-addressed key to this file")
+	_ = fs.Parse(args)
+	if *url == "" {
+		return fmt.Errorf("submit: -url is required")
+	}
+	body := submitBody{Experiments: splitList(*experiments), Seed: *seed}
+	if *scenarioFile != "" {
+		src, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			return err
+		}
+		body.Scenario = string(src)
+		body.ScenarioFile = *scenarioFile
+	}
+	if len(body.Experiments) == 0 && body.Scenario == "" {
+		return fmt.Errorf("submit: nothing to run (-experiments and/or -scenario-file)")
+	}
+	payload, _ := json.Marshal(body)
+	client := &http.Client{} // no timeout: streams run as long as the sweep does
+	code, reply, err := postSweep(client, *url, *tenant, payload, 0)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK && code != http.StatusAccepted {
+		return fmt.Errorf("submit: server returned %d", code)
+	}
+	if *keyFile != "" {
+		if err := os.WriteFile(*keyFile, []byte(reply.Key), 0o644); err != nil {
+			return err
+		}
+	}
+	resp, err := client.Get(*url + "/sweeps/" + reply.ID + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: server returned %d", resp.StatusCode)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
+	}
+	return nil
+}
+
+func cmdFetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	url := fs.String("url", "", "base URL of the dsasim serve daemon (required)")
+	key := fs.String("key", "", "content-addressed result key (required)")
+	_ = fs.Parse(args)
+	if *url == "" || *key == "" {
+		return fmt.Errorf("fetch: -url and -key are required")
+	}
+	return getToStdout(*url + "/results/" + *key)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	url := fs.String("url", "", "base URL of the dsasim serve daemon (required)")
+	_ = fs.Parse(args)
+	if *url == "" {
+		return fmt.Errorf("stats: -url is required")
+	}
+	return getToStdout(*url + "/stats")
+}
+
+func getToStdout(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i].Round(time.Microsecond)
+}
+
+func splitList(v string) []string {
+	var out []string
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -14,6 +14,7 @@
 //	dsasim serve-worker -listen 0.0.0.0:7070 -cache-dir traces.cache
 //	dsasim -machine all -remote host1:7070,host2:7070 -workload segments
 //	dsasim run -scenario examples/scenarios/t2-mirror.toml
+//	dsasim serve -listen 127.0.0.1:8080 -cache-dir sweeps.cache
 //
 // Machines: atlas m44 b5000 rice b8500 multics m67 recommended, or
 // "all" to sweep every appendix machine concurrently through the
@@ -45,6 +46,18 @@
 // through the experiments battery — the same scheduler, store scoping
 // and -workers/-remote distribution dsafig uses, with byte-identical
 // output. Its -seed defaults to 0 (paper-exact), matching dsafig.
+//
+// `dsasim serve` runs the multi-tenant sweep service: a long-lived
+// daemon owning one battery-wide cell budget (-parallel), one workload
+// store (-cache-dir) and one cost manifest, accepting sweep
+// submissions over HTTP (POST /sweeps with experiment names or an
+// inline scenario file), streaming each job's tables byte-identical to
+// the serial CLI (GET /sweeps/{id}/stream), and serving completed
+// results by content-addressed key without recomputation
+// (GET /results/{key}). -tenant-cells caps one tenant's concurrent
+// cells, -tenant-jobs its open jobs (excess submissions get 429 +
+// Retry-After). See the package dsa documentation, "Running the sweep
+// service", and cmd/dsabench for the load harness.
 //
 // The hidden `dsasim worker` subcommand is the child side of -workers:
 // it serves cell batches over the stdio protocol of
@@ -121,6 +134,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "run" {
 		cmdRun(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		cmdServe(os.Args[2:])
 		return
 	}
 	var (

@@ -272,6 +272,52 @@
 // → higher B), -cache-dir amortizes generation (expensive workloads →
 // always worth it); they compose freely with -parallel/-workers.
 //
+// # Running the sweep service
+//
+// `dsasim serve` turns the battery into a long-running multi-tenant
+// HTTP/JSON service (internal/serve): one daemon owns one battery-wide
+// cell budget, one workload store, and one cost manifest for its
+// lifetime, and any number of tenants submit sweeps against them:
+//
+//	dsasim serve -listen 127.0.0.1:7070 -cache-dir /var/dsa-cache \
+//	    -parallel 8 -tenant-cells 4 -tenant-jobs 4
+//
+// The API is three verbs. POST /sweeps submits a sweep — compiled-in
+// experiments by registry name, or a scenario file uploaded inline,
+// plus an optional seed — and returns a job id with the result's
+// content-addressed key; GET /sweeps/{id}/stream streams the job's
+// emission, byte-identical to the serial CLI for the same names and
+// seed; GET /results/{key} re-serves any completed result with zero
+// recomputation. GET /stats exposes the daemon's counters and store
+// summary. The tenant is the X-Tenant header (or one shared default):
+//
+//	curl -s -X POST -H 'X-Tenant: alice' \
+//	    -d '{"experiments":["t2"],"seed":7}' http://127.0.0.1:7070/sweeps
+//	curl -s -X POST --data-binary @examples/scenarios/t2-mirror.toml \
+//	    ... # or upload the scenario source in the "scenario" field
+//	curl -N http://127.0.0.1:7070/sweeps/job-1/stream
+//	curl -s http://127.0.0.1:7070/results/<key>
+//
+// Admission is the battery semaphore generalized per tenant: -parallel
+// bounds total cells in flight across every tenant's sweeps,
+// -tenant-cells caps any one tenant below that, and when cells free up
+// the scheduler hands them to the least-served starved tenant,
+// breaking ties at random so no fixed tenant order can starve another.
+// A tenant already holding -tenant-jobs open jobs gets 429 with a
+// Retry-After estimated from the cost manifest's measured sweep
+// latencies — back-pressure, never an error — and cmd/dsabench is the
+// load harness that proves it (`dsabench load` reports the response
+// mix and submission latency percentiles, and fails on any response
+// outside 2xx/429). Per-job containment mirrors the engine's: a sweep
+// that panics becomes that job's FAILED stream while every other
+// tenant's jobs run on, a cancelled or abandoned stream releases its
+// cells promptly, and SIGTERM drains in-flight streams for -drain
+// before saving the cost manifest and exiting cleanly. CI's
+// serve-smoke job (`make serve-smoke` and `make load-smoke` locally)
+// byte-diffs served streams against the serial CLI, proves re-fetch by
+// key regenerates nothing, and holds the 2xx/429 contract under 220
+// concurrent submissions.
+//
 // # Benchmarking and the perf gate
 //
 // The hot paths under every experiment — heap alloc/free probing, TLB

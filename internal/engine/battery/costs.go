@@ -84,7 +84,13 @@ func (m *CostManifest) Len() int {
 
 // Save writes the manifest atomically (temp file + rename, the same
 // idiom as the disk workload cache) so a crash mid-write never leaves
-// a corrupt manifest. Nil-safe no-op when there is nothing to write.
+// a corrupt manifest. Before writing, it merges the file's current
+// contents under the manifest's own: two processes sharing a cache dir
+// (two daemons, or daemon + CLI) each load at start and save at end,
+// and a plain overwrite would drop whatever the other recorded in
+// between. In-memory measurements win per key — they are this
+// process's fresher observations — while keys only the file knows
+// survive. Nil-safe no-op when there is nothing to write.
 func (m *CostManifest) Save() error {
 	if m == nil || m.path == "" {
 		return nil
@@ -95,6 +101,16 @@ func (m *CostManifest) Save() error {
 		f.Costs[name] = int64(d)
 	}
 	m.mu.Unlock()
+	if data, err := os.ReadFile(m.path); err == nil {
+		var onDisk costFile
+		if json.Unmarshal(data, &onDisk) == nil {
+			for name, ns := range onDisk.Costs {
+				if _, ours := f.Costs[name]; !ours && ns > 0 {
+					f.Costs[name] = ns
+				}
+			}
+		}
+	}
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		return err

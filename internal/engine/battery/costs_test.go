@@ -35,6 +35,45 @@ func TestCostManifestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCostManifestMergeOnSaveTwoWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "latency.json")
+	// Two processes sharing a cache dir both load the (empty) manifest
+	// at battery start...
+	a := LoadCosts(path)
+	b := LoadCosts(path)
+	a.Record("t1", 100*time.Millisecond)
+	a.Record("shared", 40*time.Millisecond)
+	b.Record("t2", 250*time.Millisecond)
+	b.Record("shared", 60*time.Millisecond)
+	// ...and save at battery end, interleaved. The second save must not
+	// drop the first writer's measurements.
+	if err := a.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re := LoadCosts(path)
+	if d, ok := re.Cost("t1"); !ok || d != 100*time.Millisecond {
+		t.Fatalf("writer A's t1 lost in merge: %v, %v", d, ok)
+	}
+	if d, ok := re.Cost("t2"); !ok || d != 250*time.Millisecond {
+		t.Fatalf("writer B's t2 lost in merge: %v, %v", d, ok)
+	}
+	// Contested key: the saving process's own (fresher) measurement wins.
+	if d, ok := re.Cost("shared"); !ok || d != 60*time.Millisecond {
+		t.Fatalf("Cost(shared) = %v, %v, want writer B's 60ms", d, ok)
+	}
+	// A third writer that measured nothing new preserves everything.
+	c := LoadCosts(path)
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if re := LoadCosts(path); re.Len() != 3 {
+		t.Fatalf("no-op save shrank manifest to %d entries, want 3", re.Len())
+	}
+}
+
 func TestCostManifestCorruptFileDegrades(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "latency.json")
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

@@ -15,36 +15,40 @@ import (
 )
 
 // namedExperiment pairs an experiment's canonical CLI name with its
-// table function.
+// table function. The function takes the invocation's cancellation
+// context and configuration explicitly, so concurrent batteries (the
+// serve daemon's tenants) never race on the process-global config; the
+// exported per-experiment wrappers (T1Replacement, ...) bind these to
+// the global snapshot.
 type namedExperiment struct {
 	name string
-	fn   func() (*metrics.Table, error)
+	fn   func(ctx context.Context, sc runConfig) (*metrics.Table, error)
 }
 
 // allExperiments is the canonical battery: every experiment in the
 // paper's presentation order. Run emits tables in this order no matter
 // how the battery scheduler interleaves the sweeps.
 var allExperiments = []namedExperiment{
-	{"t0", T0Overlay},
-	{"fig1", Fig1ArtificialContiguity},
-	{"fig2", Fig2SimpleMapping},
-	{"fig3", Fig3SpaceTime},
-	{"fig4", Fig4TwoLevelMapping},
-	{"t1", T1Replacement},
-	{"t2", T2Placement},
-	{"t3", T3UnitSize},
-	{"t4", T4Machines},
-	{"t5", T5Predictive},
-	{"t6", T6DualPageSize},
-	{"t7", T7NameSpace},
-	{"t8", T8Overlap},
-	{"t8b", T8OverlapTraced},
-	{"a1", A1ReserveFrames},
-	{"a2", A2Coalescing},
-	{"a3", A3Compaction},
-	{"a4", A4WaldUtilization},
-	{"a5", A5TLBFlush},
-	{"a6", A6SegmentedPaging},
+	{"t0", t0Def.runCtx},
+	{"fig1", fig1Def.runCtx},
+	{"fig2", fig2Def.runCtx},
+	{"fig3", fig3Def.runCtx},
+	{"fig4", fig4Table},
+	{"t1", t1Def.runCtx},
+	{"t2", t2Def.runCtx},
+	{"t3", t3Def.runCtx},
+	{"t4", t4Def.runCtx},
+	{"t5", t5Def.runCtx},
+	{"t6", t6Def.runCtx},
+	{"t7", t7Def.runCtx},
+	{"t8", t8Def.runCtx},
+	{"t8b", t8bDef.runCtx},
+	{"a1", a1Def.runCtx},
+	{"a2", a2Def.runCtx},
+	{"a3", a3Def.runCtx},
+	{"a4", a4Def.runCtx},
+	{"a5", a5Def.runCtx},
+	{"a6", a6Def.runCtx},
 }
 
 // Names returns the canonical experiment names in battery order.
@@ -71,9 +75,22 @@ func byName(name string) (namedExperiment, error) {
 		return namedExperiment{}, err
 	}
 	if d != nil {
-		return namedExperiment{name: d.id, fn: d.run}, nil
+		return namedExperiment{name: d.id, fn: d.runCtx}, nil
 	}
 	return namedExperiment{}, fmt.Errorf("unknown experiment %q", name)
+}
+
+// Resolve canonicalizes an experiment name — a compiled-in battery
+// name (case-insensitive) or a registered scenario's wire id or bare
+// name — without running anything. The serve daemon validates
+// submissions with it so an unknown name is a 400 at POST time, not a
+// failure discovered mid-stream.
+func Resolve(name string) (string, error) {
+	e, err := byName(name)
+	if err != nil {
+		return "", err
+	}
+	return e.name, nil
 }
 
 // All runs the whole experiment battery and returns the tables in the
@@ -119,6 +136,64 @@ func Run(names ...string) ([]*metrics.Table, error) {
 // doomed sweeps). Panicking cells inside a sweep remain contained as
 // FAILED rows either way.
 func Stream(emit func(*metrics.Table), names ...string) error {
+	return stream(context.Background(), snapshot(), emit, names...)
+}
+
+// Config is a per-invocation battery configuration — the explicit
+// counterpart of the process-global Configure/UseStore/UseExecutor/
+// UseCosts state, for callers that run batteries concurrently with
+// distinct settings (the serve daemon runs one battery per tenant job,
+// each with its own seed and child store, over one shared executor).
+// The zero value means: GOMAXPROCS cell workers, serial battery,
+// paper-exact seed, a fresh in-memory store for the invocation, the
+// in-process executor, no cost manifest, no observers.
+type Config struct {
+	// Parallel bounds in-process cell workers per sweep (<= 0 means
+	// GOMAXPROCS); ignored when Executor is set.
+	Parallel int
+	// BatteryParallel bounds how many whole sweeps run concurrently
+	// (<= 1 serial). Byte-identical at any value.
+	BatteryParallel int
+	// Seed is the base workload seed (0 = paper-exact).
+	Seed uint64
+	// Store is the battery-scoped workload store; nil installs a fresh
+	// in-memory one for this invocation only.
+	Store *catalog.Catalog
+	// Executor, if non-nil, replaces the in-process cell pool (a
+	// dist.Pool, a battery.Pool, or the serve daemon's tenant-budgeted
+	// executor).
+	Executor engine.Executor
+	// Costs, if non-nil, records each sweep's observed wall-clock time
+	// and feeds longest-first scheduling under BatteryParallel > 1.
+	Costs *battery.CostManifest
+	// OnProgress observes per-sweep engine progress; OnBatteryProgress
+	// observes the aggregated battery view (BatteryParallel > 1).
+	OnProgress        func(sweep string, p engine.Progress)
+	OnBatteryProgress func(battery.Progress)
+}
+
+// StreamConfig is Stream under an explicit configuration and
+// cancellation context: it executes the named experiments (all of them
+// when names is empty) as one battery with exactly Stream's ordering
+// and abort semantics, without reading or mutating the process-global
+// config — so concurrent invocations cannot tear each other. Cancelling
+// ctx aborts the battery: cells not yet started report the context
+// error and the first failure is returned.
+func StreamConfig(ctx context.Context, c Config, emit func(*metrics.Table), names ...string) error {
+	return stream(ctx, runConfig{
+		parallel:        c.Parallel,
+		batteryParallel: c.BatteryParallel,
+		seed:            c.Seed,
+		observe:         c.OnProgress,
+		bobserve:        c.OnBatteryProgress,
+		executor:        c.Executor,
+		store:           c.Store,
+		costs:           c.Costs,
+	}, emit, names...)
+}
+
+// stream is the shared battery body behind Stream and StreamConfig.
+func stream(ctx context.Context, sc runConfig, emit func(*metrics.Table), names ...string) error {
 	list := allExperiments
 	if len(names) > 0 {
 		list = make([]namedExperiment, len(names))
@@ -130,15 +205,18 @@ func Stream(emit func(*metrics.Table), names ...string) error {
 			list[i] = e
 		}
 	}
-	if snapshot().store == nil {
-		UseStore(catalog.New())
-		defer UseStore(nil)
+	if sc.store == nil {
+		// Battery-scoped store for this invocation only, so sweeps
+		// still share workloads across experiments.
+		sc.store = catalog.New()
 	}
-	sc := snapshot()
 	if sc.batteryParallel <= 1 {
 		for _, e := range list {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			start := time.Now()
-			tb, err := e.fn()
+			tb, err := e.fn(ctx, sc)
 			if err != nil {
 				return err
 			}
@@ -147,11 +225,11 @@ func Stream(emit func(*metrics.Table), names ...string) error {
 		}
 		return nil
 	}
-	return runConcurrentBattery(sc, list, emit)
+	return runConcurrentBattery(ctx, sc, list, emit)
 }
 
 // runConcurrentBattery fans whole sweeps across the battery scheduler.
-func runConcurrentBattery(sc runConfig, list []namedExperiment, emit func(*metrics.Table)) error {
+func runConcurrentBattery(ctx context.Context, sc runConfig, list []namedExperiment, emit func(*metrics.Table)) error {
 	// One shared executor for every sweep of the battery. A dist pool
 	// installed via UseExecutor already is one (its worker processes
 	// bound total cell concurrency and persist across sweeps); without
@@ -159,39 +237,39 @@ func runConcurrentBattery(sc runConfig, list []namedExperiment, emit func(*metri
 	// parallelism bounds cells in flight across all sweeps, not per
 	// sweep.
 	if sc.executor == nil {
-		UseExecutor(battery.NewPool(sc.parallel))
-		defer UseExecutor(nil)
+		sc.executor = battery.NewPool(sc.parallel)
 	}
 
 	// Aggregate per-sweep engine progress battery-wide when someone is
 	// watching; the per-sweep observer, if any, still sees every
-	// snapshot.
+	// snapshot. The teeing observer rides this invocation's config —
+	// never the process globals — so concurrent batteries each keep
+	// their own tracker.
 	var tracker *battery.Tracker
 	if sc.bobserve != nil {
 		tracker = battery.NewTracker(len(list), sc.store.Stats, sc.bobserve)
 		prev := sc.observe
-		Observe(func(sweep string, p engine.Progress) {
+		sc.observe = func(sweep string, p engine.Progress) {
 			tracker.Observe(sweep, p)
 			if prev != nil {
 				prev(sweep, p)
 			}
-		})
-		defer Observe(prev)
+		}
 	}
 
 	// The first sweep to fail cancels the battery the moment it fails
 	// (not when its slot comes up in emission order), so sweeps not yet
 	// started are skipped — the serial abort contract, minus the work
 	// already in flight.
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var errMu sync.Mutex
 	var firstErr error
 	units := make([]battery.Unit, len(list))
 	for i, e := range list {
 		e := e
-		units[i] = battery.Unit{Name: e.name, Run: func(context.Context) (interface{}, error) {
-			tb, err := e.fn()
+		units[i] = battery.Unit{Name: e.name, Run: func(uctx context.Context) (interface{}, error) {
+			tb, err := e.fn(uctx, sc)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dsa/internal/addr"
@@ -262,7 +263,14 @@ type fig4Point struct {
 // column is normalized against the zero-register cell in a serial
 // aggregation pass.
 func Fig4TwoLevelMapping() (*metrics.Table, error) {
-	points, err := runValueSweep[fig4Point](fig4Def)
+	return fig4Table(context.Background(), snapshot())
+}
+
+// fig4Table is Fig4TwoLevelMapping under an explicit config: the value
+// sweep runs through the engine, then the serial aggregation pass
+// normalizes every row against the no-TLB baseline cell.
+func fig4Table(ctx context.Context, sc runConfig) (*metrics.Table, error) {
+	points, err := runValueSweep[fig4Point](ctx, fig4Def, sc)
 	if err != nil {
 		return nil, err
 	}

@@ -117,13 +117,23 @@ func (d *sweepDef) jobs(sc runConfig) []engine.Job {
 	return jobs
 }
 
-// run executes a registered table sweep under the current
-// configuration and aggregates it exactly like runTable.
+// run executes a registered table sweep under the process-global
+// configuration (Configure/UseStore/...) and aggregates it exactly
+// like runTable. The exported per-experiment wrappers (T1Replacement,
+// ...) keep this entry point; batteries and the serve daemon go
+// through runCtx with an explicit config instead.
 func (d *sweepDef) run() (*metrics.Table, error) {
-	sc := snapshot()
+	return d.runCtx(context.Background(), snapshot())
+}
+
+// runCtx executes a registered table sweep under an explicit
+// configuration and cancellation context — the seam that lets
+// concurrent invocations (serve-daemon tenants with distinct seeds)
+// run without racing on the process-global config.
+func (d *sweepDef) runCtx(ctx context.Context, sc runConfig) (*metrics.Table, error) {
 	t := &metrics.Table{Title: d.title, Header: d.header}
 	eng := newEngine(sc, d.title)
-	if _, err := eng.FillTable(context.Background(), t, d.jobs(sc)); err != nil {
+	if _, err := eng.FillTable(ctx, t, d.jobs(sc)); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -134,10 +144,9 @@ func (d *sweepDef) run() (*metrics.Table, error) {
 // panic — aborts the sweep, since a missing intermediate leaves
 // nothing to aggregate against; the first failure cancels cells not
 // yet started.
-func runValueSweep[T any](d *sweepDef) ([]T, error) {
-	sc := snapshot()
+func runValueSweep[T any](ctx context.Context, d *sweepDef, sc runConfig) ([]T, error) {
 	eng := newEngine(sc, d.title)
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var firstErr error
 	results := eng.Stream(ctx, d.jobs(sc), func(r engine.Result) {

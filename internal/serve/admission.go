@@ -1,0 +1,206 @@
+// Package serve is the multi-tenant sweep service behind `dsasim
+// serve`: one long-running daemon owning one battery-wide cell budget,
+// one workload store and one cost manifest, accepting sweep
+// submissions over HTTP and streaming each job's tables back
+// byte-identical to the serial CLI.
+//
+// The layering mirrors the rest of the repo one level up: the engine
+// bounds cells within a sweep, the battery bounds sweeps within a
+// battery, and serve bounds tenants within a daemon — a two-level
+// budget (battery-wide total, per-tenant cap) with randomized fair
+// hand-off between starved tenants, 429 back-pressure fed by the cost
+// manifest, and per-job panic/cancellation containment so one tenant's
+// poisoned sweep never wedges anyone else's bytes.
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"dsa/internal/engine"
+)
+
+// Budget is the daemon's two-level cell budget: a battery-wide total
+// (the generalization of battery.Pool's semaphore) split fairly across
+// tenants, each capped at perTenant concurrently running cells. When a
+// slot frees while several capped tenants have cells waiting, it goes
+// to a tenant with the fewest running cells — ties broken by a random
+// draw (Rabin's randomized mutual-exclusion posture: fairness from a
+// coin flip, not a queue that can encode starvation) — and within one
+// tenant strictly FIFO, so cell order stays deterministic per job.
+type Budget struct {
+	mu        sync.Mutex
+	free      int
+	perTenant int
+	running   map[string]int
+	queues    map[string][]chan struct{}
+}
+
+// NewBudget builds a budget of total battery-wide cell slots (<= 0
+// means GOMAXPROCS), at most perTenant of which one tenant may hold at
+// once (<= 0 or > total means no per-tenant cap below the total).
+func NewBudget(total, perTenant int) *Budget {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if perTenant <= 0 || perTenant > total {
+		perTenant = total
+	}
+	return &Budget{
+		free:      total,
+		perTenant: perTenant,
+		running:   make(map[string]int),
+		queues:    make(map[string][]chan struct{}),
+	}
+}
+
+// Total reports the battery-wide slot count.
+func (b *Budget) Total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.free
+	for _, r := range b.running {
+		n += r
+	}
+	return n
+}
+
+// Running reports tenant's currently held slots (test instrumentation).
+func (b *Budget) Running(tenant string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.running[tenant]
+}
+
+// Acquire blocks until tenant holds a cell slot or ctx is done. A
+// tenant below its cap with free slots and no earlier waiters of its
+// own proceeds immediately; otherwise it queues FIFO behind its own
+// waiters and competes fairly with other tenants for each freed slot.
+func (b *Budget) Acquire(ctx context.Context, tenant string) error {
+	b.mu.Lock()
+	if b.free > 0 && b.running[tenant] < b.perTenant && len(b.queues[tenant]) == 0 {
+		b.free--
+		b.running[tenant]++
+		b.mu.Unlock()
+		return nil
+	}
+	grant := make(chan struct{}, 1)
+	b.queues[tenant] = append(b.queues[tenant], grant)
+	// A slot may be free while this tenant queues (its earlier waiters
+	// kept FIFO order); let dispatch hand out whatever is grantable.
+	b.dispatchLocked()
+	b.mu.Unlock()
+	select {
+	case <-grant:
+		return nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		q := b.queues[tenant]
+		for i, g := range q {
+			if g == grant {
+				b.queues[tenant] = append(q[:i:i], q[i+1:]...)
+				if len(b.queues[tenant]) == 0 {
+					delete(b.queues, tenant)
+				}
+				b.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		b.mu.Unlock()
+		// Lost the race: the grant landed while we were cancelling.
+		// Take it and hand the slot straight back so it is not leaked.
+		<-grant
+		b.Release(tenant)
+		return ctx.Err()
+	}
+}
+
+// Release returns one of tenant's slots and hands it to the fairest
+// eligible waiter, if any.
+func (b *Budget) Release(tenant string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.running[tenant] <= 1 {
+		delete(b.running, tenant)
+	} else {
+		b.running[tenant]--
+	}
+	b.free++
+	b.dispatchLocked()
+}
+
+// dispatchLocked hands free slots to waiting tenants: among tenants
+// with waiters and headroom under the per-tenant cap, the one with the
+// fewest running cells wins each slot, ties broken uniformly at
+// random. Tenants at their cap are skipped — they hold running cells,
+// so a future Release always re-triggers dispatch; free slots plus
+// only capped waiters therefore never deadlocks, the slots just wait
+// for headroom.
+func (b *Budget) dispatchLocked() {
+	for b.free > 0 {
+		var best []string
+		min := -1
+		for tenant, q := range b.queues {
+			if len(q) == 0 || b.running[tenant] >= b.perTenant {
+				continue
+			}
+			switch r := b.running[tenant]; {
+			case min < 0 || r < min:
+				min, best = r, append(best[:0], tenant)
+			case r == min:
+				best = append(best, tenant)
+			}
+		}
+		if len(best) == 0 {
+			return
+		}
+		tenant := best[rand.Intn(len(best))]
+		grant := b.queues[tenant][0]
+		b.queues[tenant] = b.queues[tenant][1:]
+		if len(b.queues[tenant]) == 0 {
+			delete(b.queues, tenant)
+		}
+		b.free--
+		b.running[tenant]++
+		grant <- struct{}{}
+	}
+}
+
+// Executor returns an engine.Executor that runs a sweep's cells under
+// tenant's share of the budget: the daemon installs one per job, so
+// every tenant's sweeps compete cell-by-cell for the battery-wide
+// total instead of each job bringing its own unbounded pool. It
+// follows the engine's executor contract exactly as battery.Pool does
+// — exactly-once reporting, key-derived seeding via engine.RunJob,
+// cancelled jobs reported with ctx.Err() — so serving changes no
+// output byte.
+func (b *Budget) Executor(tenant string) engine.Executor {
+	return tenantExecutor{b: b, tenant: tenant}
+}
+
+type tenantExecutor struct {
+	b      *Budget
+	tenant string
+}
+
+func (e tenantExecutor) Execute(ctx context.Context, sw engine.SweepEnv, jobs []engine.Job, report func(engine.Result)) {
+	var wg sync.WaitGroup
+	for i := range jobs {
+		if err := e.b.Acquire(ctx, e.tenant); err != nil {
+			for j := i; j < len(jobs); j++ {
+				report(engine.Result{Key: jobs[j].Key, Index: j, Err: err})
+			}
+			wg.Wait()
+			return
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer e.b.Release(e.tenant)
+			report(engine.RunJob(ctx, i, jobs[i], sw.Seed, sw.Catalog))
+		}(i)
+	}
+	wg.Wait()
+}
